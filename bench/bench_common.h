@@ -1,0 +1,93 @@
+// Shared machinery for the paper-reproduction benches: evaluation setups,
+// estimator-bank caching, ground-truth "deployment" of configurations, and
+// the prediction study used by Figs. 7/8/9.
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baselines/performance_model.h"
+#include "src/core/estimator_bank.h"
+#include "src/core/pipeline.h"
+#include "src/models/model_zoo.h"
+#include "src/search/config_space.h"
+
+namespace maya {
+namespace bench {
+
+// One evaluation scenario of §7.1 (model x cluster).
+struct Setup {
+  std::string label;
+  ModelConfig model;
+  ClusterSpec cluster;
+};
+
+Setup Gpt2_7B_8xV100();
+Setup Gpt2_7B_16xV100();
+Setup Gpt18_4B_32xH100();
+Setup Gpt18_4B_64xH100();
+
+// Lazily trains and caches one estimator bank + pipeline per cluster
+// (kernel sweeps depend on the GPU type; collective sweeps depend on the
+// cluster topology, so the cache key is the full cluster shape).
+class EstimatorCache {
+ public:
+  MayaPipeline& PipelineFor(const ClusterSpec& cluster);
+  EstimatorBank& BankFor(const ClusterSpec& cluster);
+
+ private:
+  struct Entry {
+    std::unique_ptr<GroundTruthExecutor> profiling_executor;
+    EstimatorBank bank;
+    std::unique_ptr<MayaPipeline> pipeline;
+  };
+  Entry& EntryFor(const ClusterSpec& cluster);
+  std::map<std::string, std::unique_ptr<Entry>> entries_;
+};
+
+// The ground-truth executor a given deployment runs on (per-config noise
+// seed): oracle-mode predictions must consult the same executor.
+GroundTruthExecutor MakeDeploymentExecutor(const Setup& setup, const TrainConfig& config);
+
+// "Deploys" a configuration on the reference cluster and measures it.
+struct ActualOutcome {
+  bool oom = false;
+  double iteration_us = 0.0;
+  double mfu = 0.0;
+  uint64_t peak_memory = 0;
+};
+ActualOutcome DeployOnGroundTruth(const Setup& setup, const TrainConfig& config);
+
+// Per-config prediction study row (Fig. 7 / 8 / 9 substrate).
+struct StudyRow {
+  TrainConfig config;
+  double actual_us = 0.0;
+  double maya_us = 0.0;
+  double proteus_us = 0.0;   // 0 = unsupported
+  double calculon_us = 0.0;
+  double amped_us = 0.0;
+};
+
+struct PredictionStudy {
+  Setup setup;
+  std::vector<StudyRow> rows;  // sorted by actual_us ascending (top-N first)
+  int valid_configs = 0;
+  int evaluated_configs = 0;
+  int oom_configs = 0;
+};
+
+// Enumerates the Table 5 space, deploys a (deterministically strided) subset
+// of at most `max_evaluations` valid configurations on ground truth, keeps
+// the fastest `top_n`, and attaches every system's prediction.
+PredictionStudy RunPredictionStudy(const Setup& setup, EstimatorCache& cache,
+                                   int max_evaluations = 250, int top_n = 100);
+
+// Percent errors per system over the study rows (absolute, %).
+std::vector<double> PercentErrors(const PredictionStudy& study, const char* system);
+
+}  // namespace bench
+}  // namespace maya
+
+#endif  // BENCH_BENCH_COMMON_H_

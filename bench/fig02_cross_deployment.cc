@@ -1,0 +1,102 @@
+// Figure 2: (a) how the optimal GPT-3 18.4B configuration shifts as the H100
+// cluster grows from 16 to 128 GPUs, and (b) the cross-deployment cost
+// matrix — running the configuration tuned for cluster i on cluster j,
+// normalized to j's optimum (the paper measures up to 1.74x, with OOM when
+// small-cluster recipes move to bigger iron and vice versa).
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/common/strings.h"
+#include "src/common/table_printer.h"
+
+namespace maya {
+namespace bench {
+namespace {
+
+struct Optimal {
+  TrainConfig config;
+  double iteration_us = 0.0;
+  double mfu = 0.0;
+};
+
+Optimal FindOptimal(const Setup& setup) {
+  const ConfigSpace space = ConfigSpace::MegatronTable5(DefaultGlobalBatch(setup.model));
+  Optimal best;
+  std::vector<TrainConfig> valid;
+  for (const TrainConfig& config : space.EnumerateAll()) {
+    if (config.Validate(setup.model, setup.cluster).ok()) {
+      valid.push_back(config);
+    }
+  }
+  const size_t stride = std::max<size_t>(1, valid.size() / 150);
+  for (size_t i = 0; i < valid.size(); i += stride) {
+    const ActualOutcome outcome = DeployOnGroundTruth(setup, valid[i]);
+    if (!outcome.oom &&
+        (best.iteration_us == 0.0 || outcome.iteration_us < best.iteration_us)) {
+      best.config = valid[i];
+      best.iteration_us = outcome.iteration_us;
+      best.mfu = outcome.mfu;
+    }
+  }
+  CHECK_GT(best.iteration_us, 0.0) << "no runnable config found";
+  return best;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace maya
+
+int main() {
+  using namespace maya;
+  using namespace maya::bench;
+
+  const std::vector<int> gpu_counts = {16, 32, 64, 128};
+  std::vector<Setup> setups;
+  std::vector<Optimal> optima;
+  for (int gpus : gpu_counts) {
+    setups.push_back(Setup{StrFormat("18.4B %dxH100", gpus), Gpt3_18_4B(), H100Cluster(gpus)});
+  }
+
+  PrintBanner(std::cout, "Figure 2a: optimal configuration per cluster size (GPT-3 18.4B)");
+  TablePrinter shifts({"GPUs", "DP", "TP", "PP", "SeqPar", "#MB", "ActRecomp", "#VirtStages",
+                       "iter time", "MFU"});
+  for (size_t i = 0; i < setups.size(); ++i) {
+    optima.push_back(FindOptimal(setups[i]));
+    const Optimal& best = optima.back();
+    shifts.AddRow({StrFormat("%d", gpu_counts[i]),
+                   StrFormat("%d", best.config.data_parallel(gpu_counts[i])),
+                   StrFormat("%d", best.config.tensor_parallel),
+                   StrFormat("%d", best.config.pipeline_parallel),
+                   best.config.sequence_parallel ? "True" : "False",
+                   StrFormat("%d", best.config.num_microbatches()),
+                   best.config.activation_recomputation ? "True" : "False",
+                   StrFormat("%d", best.config.virtual_pipeline_stages),
+                   StrFormat("%.2f s", best.iteration_us / 1e6),
+                   StrFormat("%.1f%%", best.mfu * 100.0)});
+  }
+  shifts.Print(std::cout);
+
+  PrintBanner(std::cout, "Figure 2b: cross-deployment cost matrix (rows: reference cluster "
+                         "the recipe was tuned for; cols: deployment cluster)");
+  TablePrinter matrix({"ref\\deploy", "16", "32", "64", "128"});
+  for (size_t i = 0; i < setups.size(); ++i) {
+    std::vector<std::string> row = {StrFormat("%d", gpu_counts[i])};
+    for (size_t j = 0; j < setups.size(); ++j) {
+      const TrainConfig& recipe = optima[i].config;
+      if (!recipe.Validate(setups[j].model, setups[j].cluster).ok()) {
+        row.push_back("N/A");
+        continue;
+      }
+      const ActualOutcome outcome = DeployOnGroundTruth(setups[j], recipe);
+      if (outcome.oom) {
+        row.push_back("OOM");
+        continue;
+      }
+      // Same GPU type: cost ratio == time ratio at fixed global batch.
+      row.push_back(StrFormat("%.2f", outcome.iteration_us / optima[j].iteration_us));
+    }
+    matrix.AddRow(row);
+  }
+  matrix.Print(std::cout);
+  return 0;
+}

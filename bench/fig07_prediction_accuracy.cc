@@ -1,0 +1,62 @@
+// Figure 7: predicted vs actual per-iteration runtime for the top valid
+// configurations, across the four evaluation setups. Also prints the
+// per-system error summary the figure caption quotes (Maya within ~5%).
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/common/strings.h"
+#include "src/common/stats.h"
+#include "src/common/table_printer.h"
+
+namespace maya {
+namespace bench {
+namespace {
+
+void RunSetup(const Setup& setup, EstimatorCache& cache) {
+  PrintBanner(std::cout, "Figure 7: prediction accuracy — " + setup.label);
+  const PredictionStudy study = RunPredictionStudy(setup, cache);
+  std::cout << "valid configs: " << study.valid_configs
+            << ", deployed: " << study.evaluated_configs << " (OOM: " << study.oom_configs
+            << "), plotted: " << study.rows.size() << "\n";
+
+  TablePrinter table({"cfg", "config", "actual", "Maya", "Proteus", "Calculon", "AMPeD"});
+  auto cell = [](double us) { return us > 0.0 ? StrFormat("%.3f s", us / 1e6) : "n/s"; };
+  for (size_t i = 0; i < study.rows.size(); ++i) {
+    if (i % 5 != 0) {
+      continue;  // print every 5th row; the summary covers all of them
+    }
+    const StudyRow& row = study.rows[i];
+    table.AddRow({StrFormat("%zu", i), row.config.Summary(), cell(row.actual_us),
+                  cell(row.maya_us), cell(row.proteus_us), cell(row.calculon_us),
+                  cell(row.amped_us)});
+  }
+  table.Print(std::cout);
+
+  TablePrinter summary({"system", "configs", "median err%", "p90 err%", "max err%"});
+  for (const char* system : {"maya", "proteus", "calculon", "amped"}) {
+    std::vector<double> errors = PercentErrors(study, system);
+    if (errors.empty()) {
+      summary.AddRow({system, "0", "-", "-", "-"});
+      continue;
+    }
+    summary.AddRow({system, StrFormat("%zu", errors.size()),
+                    StrFormat("%.1f", Median(errors)),
+                    StrFormat("%.1f", Percentile(errors, 90.0)),
+                    StrFormat("%.1f", Percentile(errors, 100.0))});
+  }
+  summary.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace maya
+
+int main() {
+  maya::bench::EstimatorCache cache;
+  for (const auto& setup :
+       {maya::bench::Gpt2_7B_8xV100(), maya::bench::Gpt2_7B_16xV100(),
+        maya::bench::Gpt18_4B_32xH100(), maya::bench::Gpt18_4B_64xH100()}) {
+    maya::bench::RunSetup(setup, cache);
+  }
+  return 0;
+}

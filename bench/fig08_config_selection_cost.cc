@@ -1,0 +1,82 @@
+// Figure 8: cost of the configuration each system selects, normalized to the
+// optimal configuration's cost. Prediction error translates directly into
+// deployment cost: the paper measures Maya within 0-2% of optimal, Proteus
+// +5-17%, Calculon +10-15%, AMPeD up to +56%.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/common/strings.h"
+#include "src/baselines/amped_like.h"
+#include "src/baselines/calculon_like.h"
+#include "src/baselines/proteus_like.h"
+#include "src/common/table_printer.h"
+
+namespace maya {
+namespace bench {
+namespace {
+
+void RunSetup(const Setup& setup, EstimatorCache& cache) {
+  PrintBanner(std::cout, "Figure 8: configuration selection cost — " + setup.label);
+  // Evaluate a wide slice and keep every runnable config (not just top-100):
+  // systems may select anywhere in the space.
+  const PredictionStudy study =
+      RunPredictionStudy(setup, cache, /*max_evaluations=*/250, /*top_n=*/100000);
+  CHECK(!study.rows.empty());
+  const double optimal_us = study.rows.front().actual_us;  // rows sorted by actual
+
+  struct Selection {
+    const char* system;
+    double predicted(const StudyRow& row) const {
+      const std::string name = system;
+      if (name == "Maya") {
+        return row.maya_us;
+      }
+      if (name == "Proteus") {
+        return row.proteus_us;
+      }
+      if (name == "Calculon") {
+        return row.calculon_us;
+      }
+      return row.amped_us;
+    }
+  };
+
+  TablePrinter table({"system", "selected config", "actual cost", "vs optimal"});
+  table.AddRow({"Optimal", study.rows.front().config.Summary(),
+                StrFormat("%.3f s", optimal_us / 1e6), "+0%"});
+  for (const char* system : {"Maya", "Proteus", "Calculon", "AMPeD"}) {
+    const Selection selection{system};
+    const StudyRow* best = nullptr;
+    for (const StudyRow& row : study.rows) {
+      const double predicted = selection.predicted(row);
+      if (predicted <= 0.0) {
+        continue;  // outside this system's modeling domain
+      }
+      if (best == nullptr || predicted < selection.predicted(*best)) {
+        best = &row;
+      }
+    }
+    if (best == nullptr) {
+      table.AddRow({system, "(architecture unsupported)", "-", "-"});
+      continue;
+    }
+    const double overhead = (best->actual_us / optimal_us - 1.0) * 100.0;
+    table.AddRow({system, best->config.Summary(), StrFormat("%.3f s", best->actual_us / 1e6),
+                  StrFormat("%+.0f%%", overhead)});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace maya
+
+int main() {
+  maya::bench::EstimatorCache cache;
+  for (const auto& setup :
+       {maya::bench::Gpt2_7B_8xV100(), maya::bench::Gpt2_7B_16xV100(),
+        maya::bench::Gpt18_4B_32xH100(), maya::bench::Gpt18_4B_64xH100()}) {
+    maya::bench::RunSetup(setup, cache);
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 9: cumulative distribution of absolute prediction errors per
+// system, on the smallest and largest setups (8xV100 / 64xH100). The paper's
+// headline: Maya <1% error for 65% of configs on V100, <10% for ~90% on
+// 64xH100, while baselines sit in the 10-1000% band.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/common/strings.h"
+#include "src/common/stats.h"
+#include "src/common/table_printer.h"
+
+namespace maya {
+namespace bench {
+namespace {
+
+void RunSetup(const Setup& setup, EstimatorCache& cache) {
+  PrintBanner(std::cout, "Figure 9: error CDF — " + setup.label);
+  const PredictionStudy study = RunPredictionStudy(setup, cache);
+  TablePrinter table({"CDF", "Maya err%", "Proteus err%", "Calculon err%", "AMPeD err%"});
+  for (double percentile : {10.0, 25.0, 50.0, 65.0, 75.0, 90.0, 95.0, 100.0}) {
+    std::vector<std::string> row = {StrFormat("%.0f%%", percentile)};
+    for (const char* system : {"maya", "proteus", "calculon", "amped"}) {
+      std::vector<double> errors = PercentErrors(study, system);
+      row.push_back(errors.empty() ? "-"
+                                   : StrFormat("%.2f", Percentile(errors, percentile)));
+    }
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+
+  const std::vector<double> maya_errors = PercentErrors(study, "maya");
+  int below_ten = 0;
+  for (double error : maya_errors) {
+    below_ten += error < 10.0 ? 1 : 0;
+  }
+  std::cout << StrFormat("Maya: %.0f%% of configurations under 10%% error\n",
+                         100.0 * below_ten / static_cast<double>(maya_errors.size()));
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace maya
+
+int main() {
+  maya::bench::EstimatorCache cache;
+  maya::bench::RunSetup(maya::bench::Gpt2_7B_8xV100(), cache);
+  maya::bench::RunSetup(maya::bench::Gpt18_4B_64xH100(), cache);
+  return 0;
+}

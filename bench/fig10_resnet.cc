@@ -1,0 +1,74 @@
+// Figure 10: ResNet152 on the 8xA40 node — heterogeneous GPU links and
+// torch.compile-generated Triton kernels — predicted vs actual across DDP
+// configurations.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/common/strings.h"
+#include "src/common/stats.h"
+#include "src/common/table_printer.h"
+
+int main() {
+  using namespace maya;
+  using namespace maya::bench;
+
+  Setup setup{"ResNet152 - 8xA40", ResNet152(), A40Node()};
+  EstimatorCache cache;
+  MayaPipeline& pipeline = cache.PipelineFor(setup.cluster);
+
+  struct Entry {
+    TrainConfig config;
+    double actual_us;
+    double maya_us;
+  };
+  std::vector<Entry> entries;
+  for (int64_t batch : {128, 256, 512, 1024}) {
+    for (int mult : {1, 2, 4}) {
+      for (bool compile : {false, true}) {
+        TrainConfig config;
+        config.framework = ParallelFramework::kDdp;
+        config.global_batch_size = batch;
+        config.microbatch_multiplier = mult;
+        config.torch_compile = compile;
+        if (!config.Validate(setup.model, setup.cluster).ok()) {
+          continue;
+        }
+        const ActualOutcome actual = DeployOnGroundTruth(setup, config);
+        if (actual.oom) {
+          continue;
+        }
+        PredictionRequest request{setup.model, config};
+        Result<PredictionReport> prediction = pipeline.Predict(request);
+        CHECK(prediction.ok()) << prediction.status().ToString();
+        entries.push_back({config, actual.iteration_us, prediction->iteration_time_us});
+      }
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.actual_us < b.actual_us; });
+
+  PrintBanner(std::cout, "Figure 10: ResNet152 on 8xA40 — predicted vs actual");
+  TablePrinter table({"cfg", "batch", "microbatches", "compile", "actual", "Maya", "err%"});
+  std::vector<double> errors;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const Entry& entry = entries[i];
+    const double error =
+        std::abs(entry.maya_us - entry.actual_us) / entry.actual_us * 100.0;
+    errors.push_back(error);
+    table.AddRow({StrFormat("%zu", i),
+                  StrFormat("%lld", static_cast<long long>(entry.config.global_batch_size)),
+                  StrFormat("%d", entry.config.num_microbatches()),
+                  entry.config.torch_compile ? "yes" : "no",
+                  StrFormat("%.3f s", entry.actual_us / 1e6),
+                  StrFormat("%.3f s", entry.maya_us / 1e6), StrFormat("%.2f", error)});
+  }
+  table.Print(std::cout);
+  int under_five = 0;
+  for (double error : errors) {
+    under_five += error < 5.0 ? 1 : 0;
+  }
+  std::cout << StrFormat("median error %.2f%%; %.0f%% of configs under 5%% error\n",
+                         Median(errors),
+                         100.0 * under_five / static_cast<double>(errors.size()));
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Figure 14: impact of worker deduplication on Maya's own runtime. "Maya"
+// launches only the unique workers and simulates folded representatives;
+// "Maya w/o dedup" emulates, estimates and simulates every GPU. The paper
+// measures 74-94% runtime reductions that grow with the data-parallel degree.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/common/strings.h"
+#include "src/common/table_printer.h"
+
+int main() {
+  using namespace maya;
+  using namespace maya::bench;
+
+  EstimatorCache cache;
+  PrintBanner(std::cout, "Figure 14: worker deduplication ablation (Maya stack runtime)");
+  TablePrinter table({"setup", "config", "w/o dedup", "with dedup", "reduction"});
+  struct Case {
+    Setup setup;
+    TrainConfig config;
+  };
+  std::vector<Case> cases;
+  {
+    TrainConfig config;  // fixed parallelism; DP grows with the cluster
+    config.global_batch_size = 256;
+    config.tensor_parallel = 2;
+    config.pipeline_parallel = 2;
+    config.microbatch_multiplier = 2;
+    config.activation_recomputation = true;
+    cases.push_back({Gpt2_7B_8xV100(), config});
+    cases.push_back({Gpt2_7B_16xV100(), config});
+    Setup v32{"GPT3 2.7B - 32xV100", Gpt3_2_7B(), V100Cluster(32)};
+    cases.push_back({v32, config});
+  }
+  {
+    TrainConfig config;
+    config.global_batch_size = 512;
+    config.tensor_parallel = 4;
+    config.pipeline_parallel = 2;
+    config.microbatch_multiplier = 8;
+    config.sequence_parallel = true;
+    config.activation_recomputation = true;
+    cases.push_back({Gpt18_4B_32xH100(), config});
+    cases.push_back({Gpt18_4B_64xH100(), config});
+  }
+
+  for (const Case& test_case : cases) {
+    MayaPipeline& pipeline = cache.PipelineFor(test_case.setup.cluster);
+    CHECK(test_case.config.Validate(test_case.setup.model, test_case.setup.cluster).ok());
+
+    PredictionRequest without{test_case.setup.model, test_case.config};
+    without.deduplicate_workers = false;  // every GPU emulated and simulated
+    PredictionRequest with{test_case.setup.model, test_case.config};
+    with.selective_launch = true;  // unique workers only
+
+    Result<PredictionReport> slow = pipeline.Predict(without);
+    Result<PredictionReport> fast = pipeline.Predict(with);
+    CHECK(slow.ok() && fast.ok());
+    CHECK(!slow->oom) << slow->oom_detail;
+    const double slow_ms = slow->timings.total_ms();
+    const double fast_ms = fast->timings.total_ms();
+    table.AddRow({test_case.setup.label, test_case.config.Summary(),
+                  StrFormat("%.0f ms", slow_ms), StrFormat("%.0f ms", fast_ms),
+                  StrFormat("-%.0f%%", (1.0 - fast_ms / slow_ms) * 100.0)});
+  }
+  table.Print(std::cout);
+  return 0;
+}

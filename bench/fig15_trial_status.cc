@@ -1,0 +1,39 @@
+// Figure 15: trial status breakdown during configuration search — executed
+// vs cache-hit vs pruned-skipped trials (the paper measures ~20-30% of
+// configurations skipped by the fidelity-preserving tactics).
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/common/strings.h"
+#include "src/common/table_printer.h"
+#include "src/search/search_driver.h"
+
+int main() {
+  using namespace maya;
+  using namespace maya::bench;
+
+  EstimatorCache cache;
+  PrintBanner(std::cout, "Figure 15: trial status breakdown during config search");
+  TablePrinter table({"setup", "samples", "executed", "cached", "skipped", "invalid",
+                      "skip rate"});
+  for (const Setup& setup : {Gpt2_7B_8xV100(), Gpt2_7B_16xV100(), Gpt18_4B_32xH100(),
+                             Gpt18_4B_64xH100()}) {
+    MayaPipeline& pipeline = cache.PipelineFor(setup.cluster);
+    const ConfigSpace space = ConfigSpace::MegatronTable5(DefaultGlobalBatch(setup.model));
+    SearchOptions options;
+    options.algorithm = "cma";
+    options.sample_budget = 2000;
+    options.early_stop_patience = 20;
+    options.seed = 23;
+    const SearchOutcome outcome = RunSearch(pipeline, setup.model, space, options);
+    const int resolved = outcome.executed + outcome.skipped;
+    table.AddRow({setup.label, StrFormat("%d", outcome.samples),
+                  StrFormat("%d", outcome.executed), StrFormat("%d", outcome.cached),
+                  StrFormat("%d", outcome.skipped), StrFormat("%d", outcome.invalid),
+                  StrFormat("%.0f%%", resolved > 0
+                                          ? 100.0 * outcome.skipped / resolved
+                                          : 0.0)});
+  }
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Hot-path microbenchmarks (google-benchmark): emulator API call overhead,
+// discrete-event simulation throughput, trace collation + serialization, and
+// random-forest inference — the per-op costs the Fig. 13 stack runtimes are
+// built from.
+#include <benchmark/benchmark.h>
+
+#include "src/core/pipeline.h"
+#include "src/dlf/worker_launcher.h"
+#include "src/estimator/features.h"
+#include "src/estimator/kernel_estimator.h"
+#include "src/groundtruth/executor.h"
+#include "src/models/model_zoo.h"
+#include "src/trace/serialization.h"
+
+namespace maya {
+namespace {
+
+ModelConfig BenchModel() {
+  ModelConfig model;
+  model.name = "bench-gpt";
+  model.family = ModelFamily::kGpt;
+  model.num_layers = 8;
+  model.hidden_size = 1024;
+  model.num_heads = 16;
+  model.seq_length = 512;
+  model.vocab_size = 8192;
+  return model;
+}
+
+TrainConfig BenchConfig() {
+  TrainConfig config;
+  config.global_batch_size = 32;
+  config.tensor_parallel = 2;
+  config.pipeline_parallel = 2;
+  config.microbatch_multiplier = 2;
+  return config;
+}
+
+void BM_EmulatorApiCall(benchmark::State& state) {
+  VirtualHostClock clock;
+  JobEmulation emulation(EmulationSpec{H100Cluster(8)});
+  WorkerEmulator& worker = emulation.CreateWorker(0, &clock);
+  const KernelDesc kernel = MakeGemm(1024, 1024, 1024, DType::kBf16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(worker.cudaLaunchKernel(kernel, StreamHandle{0}));
+    clock.Advance(1.0);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EmulatorApiCall);
+
+void BM_JobEmulation(benchmark::State& state) {
+  for (auto _ : state) {
+    Result<LaunchResult> launched = EmulateJob(BenchModel(), BenchConfig(), H100Cluster(8));
+    CHECK(launched.ok());
+    benchmark::DoNotOptimize(launched->traces.size());
+  }
+}
+BENCHMARK(BM_JobEmulation)->Unit(benchmark::kMillisecond);
+
+void BM_TraceCollation(benchmark::State& state) {
+  Result<LaunchResult> launched = EmulateJob(BenchModel(), BenchConfig(), H100Cluster(8));
+  CHECK(launched.ok());
+  for (auto _ : state) {
+    std::vector<WorkerTrace> copy = launched->traces;
+    TraceCollator collator;
+    Result<JobTrace> job = collator.Collate(std::move(copy));
+    CHECK(job.ok());
+    benchmark::DoNotOptimize(job->TotalOps());
+  }
+}
+BENCHMARK(BM_TraceCollation)->Unit(benchmark::kMillisecond);
+
+void BM_Simulation(benchmark::State& state) {
+  Result<LaunchResult> launched = EmulateJob(BenchModel(), BenchConfig(), H100Cluster(8));
+  CHECK(launched.ok());
+  TraceCollator collator;
+  Result<JobTrace> job = collator.Collate(std::move(launched->traces));
+  CHECK(job.ok());
+  GroundTruthExecutor executor(H100Cluster(8), 3);
+  const JobTrace annotated = executor.AnnotateActualDurations(*job);
+  size_t events = 0;
+  for (auto _ : state) {
+    Simulator simulator(annotated, H100Cluster(8));
+    Result<SimReport> report = simulator.Run();
+    CHECK(report.ok());
+    events = report->events_processed;
+    benchmark::DoNotOptimize(report->total_time_us);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(events) * state.iterations());
+}
+BENCHMARK(BM_Simulation)->Unit(benchmark::kMillisecond);
+
+void BM_RandomForestPredict(benchmark::State& state) {
+  GroundTruthExecutor executor(H100Cluster(8), 3);
+  RandomForestKernelEstimator estimator;
+  ProfileSweepOptions sweep;
+  sweep.gemm_samples = 1500;
+  sweep.conv_samples = 100;
+  sweep.generic_samples = 30;
+  estimator.Fit(GenerateKernelDataset(GpuArch::kH100, executor.MakeKernelProfiler(), sweep));
+  const KernelDesc kernel = MakeGemm(4096, 1024, 4096, DType::kBf16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.PredictUs(kernel));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RandomForestPredict);
+
+void BM_KernelFeatureExtraction(benchmark::State& state) {
+  const KernelDesc kernel = MakeGemm(4096, 1024, 4096, DType::kBf16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KernelFeatures(kernel));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KernelFeatureExtraction);
+
+void BM_TraceSerialization(benchmark::State& state) {
+  Result<LaunchResult> launched = EmulateJob(BenchModel(), BenchConfig(), H100Cluster(8));
+  CHECK(launched.ok());
+  const WorkerTrace& trace = launched->traces.front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SerializeWorkerTrace(trace));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(SerializeWorkerTrace(trace).size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_TraceSerialization)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace maya
+
+BENCHMARK_MAIN();

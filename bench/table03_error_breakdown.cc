@@ -1,0 +1,85 @@
+// Table 3: error breakdown on V100 — Oracle (Maya's emulation + simulation
+// with the profiled *actual* per-kernel runtimes) vs E2E (learned
+// estimators). Oracle error isolates what the emulation/simulation phases
+// lose; E2E adds kernel-level misprediction.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/common/strings.h"
+#include "src/common/table_printer.h"
+
+namespace maya {
+namespace bench {
+
+struct Row {
+  const char* model_label;
+  int gpus;
+  int64_t batch;
+  int tp;
+  int pp;
+  int ga;  // microbatch multiplier (gradient accumulation)
+};
+
+void RunRows(const char* banner, const ModelConfig& model, int gpus,
+             const std::vector<Row>& rows, EstimatorCache& cache) {
+  Setup setup{StrFormat("%s (%d GPUs)", model.name.c_str(), gpus), model, V100Cluster(gpus)};
+  MayaPipeline& pipeline = cache.PipelineFor(setup.cluster);
+  TablePrinter table({"Model", "BS", "TP", "PP", "GA", "Oracle(%)", "E2E(%)"});
+  for (const Row& row : rows) {
+    TrainConfig config;
+    config.global_batch_size = row.batch;
+    config.tensor_parallel = row.tp;
+    config.pipeline_parallel = row.pp;
+    config.microbatch_multiplier = row.ga;
+    config.activation_recomputation = true;  // V100 memory requires it
+    if (!config.Validate(model, setup.cluster).ok()) {
+      continue;
+    }
+    const ActualOutcome actual = DeployOnGroundTruth(setup, config);
+    if (actual.oom) {
+      table.AddRow({row.model_label, StrFormat("%lld", static_cast<long long>(row.batch)),
+                    StrFormat("%d", row.tp), StrFormat("%d", row.pp),
+                    StrFormat("%d", row.ga), "OOM", "OOM"});
+      continue;
+    }
+    const GroundTruthExecutor executor = MakeDeploymentExecutor(setup, config);
+    PredictionRequest oracle_request{model, config};
+    oracle_request.oracle = &executor;
+    PredictionRequest e2e_request{model, config};
+    const double oracle_us = pipeline.Predict(oracle_request)->iteration_time_us;
+    const double e2e_us = pipeline.Predict(e2e_request)->iteration_time_us;
+    table.AddRow(
+        {row.model_label, StrFormat("%lld", static_cast<long long>(row.batch)),
+         StrFormat("%d", row.tp), StrFormat("%d", row.pp), StrFormat("%d", row.ga),
+         StrFormat("%.2f", std::abs(oracle_us - actual.iteration_us) / actual.iteration_us *
+                               100.0),
+         StrFormat("%.2f",
+                   std::abs(e2e_us - actual.iteration_us) / actual.iteration_us * 100.0)});
+  }
+  PrintBanner(std::cout, banner);
+  table.Print(std::cout);
+}
+
+}  // namespace bench
+}  // namespace maya
+
+int main() {
+  using maya::bench::Row;
+  using maya::bench::RunRows;
+  maya::bench::EstimatorCache cache;
+  RunRows("Table 3: GPT3-1.3B (8 GPUs, V100)", maya::Gpt3_1_3B(), 8,
+          {Row{"GPT3-1.3B", 8, 16, 1, 2, 2}, Row{"GPT3-1.3B", 8, 16, 2, 1, 2},
+           Row{"GPT3-1.3B", 8, 16, 2, 2, 2}, Row{"GPT3-1.3B", 8, 16, 2, 4, 2},
+           Row{"GPT3-1.3B", 8, 16, 4, 2, 2}},
+          cache);
+  RunRows("Table 3: GPT3-2.7B (8 GPUs, V100)", maya::Gpt3_2_7B(), 8,
+          {Row{"GPT3-2.7B", 8, 16, 1, 2, 2}, Row{"GPT3-2.7B", 8, 16, 2, 1, 2},
+           Row{"GPT3-2.7B", 8, 8, 2, 2, 2}, Row{"GPT3-2.7B", 8, 8, 2, 4, 2},
+           Row{"GPT3-2.7B", 8, 8, 4, 2, 2}},
+          cache);
+  RunRows("Table 3: Llama2-7B (32 GPUs, V100)", maya::Llama2_7B(), 32,
+          {Row{"Llama2-7B", 32, 16, 2, 8, 2}, Row{"Llama2-7B", 32, 8, 2, 8, 4},
+           Row{"Llama2-7B", 32, 16, 4, 4, 2}, Row{"Llama2-7B", 32, 8, 8, 2, 2}},
+          cache);
+  return 0;
+}

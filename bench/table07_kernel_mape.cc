@@ -1,0 +1,43 @@
+// Tables 7/8/9: per-kernel mean absolute percentage error of the trained
+// random-forest estimators on held-out validation data, for H100, V100 and
+// A40. The paper's pattern: GEMM/conv heavy hitters land in the low single
+// digits (they dominate end-to-end time), while short kernels show larger
+// relative errors without hurting end-to-end accuracy.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/common/strings.h"
+#include "src/common/table_printer.h"
+
+int main() {
+  using namespace maya;
+  using namespace maya::bench;
+
+  EstimatorCache cache;
+  struct Target {
+    const char* banner;
+    ClusterSpec cluster;
+  };
+  const Target targets[] = {
+      {"Table 7: per-kernel MAPE, H100", H100Cluster(8)},
+      {"Table 8: per-kernel MAPE, V100", V100Cluster(8)},
+      {"Table 9: per-kernel MAPE, A40", A40Node()},
+  };
+  for (const Target& target : targets) {
+    EstimatorBank& bank = cache.BankFor(target.cluster);
+    const std::map<KernelKind, double> mape =
+        PerKindMape(*bank.kernel, bank.kernel_validation);
+    PrintBanner(std::cout, target.banner);
+    TablePrinter table({"kernel", "MAPE", "validation samples"});
+    std::map<KernelKind, int> counts;
+    for (const KernelSample& sample : bank.kernel_validation) {
+      counts[sample.kernel.kind]++;
+    }
+    for (const auto& [kind, error] : mape) {
+      table.AddRow({KernelKindCudaSymbol(kind), StrFormat("%.2f%%", error),
+                    StrFormat("%d", counts[kind])});
+    }
+    table.Print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Pluggable estimators (§4.3): every stage of the Maya stack is replaceable.
+// This example swaps the default random-forest kernel estimator for a
+// user-supplied analytical roofline model (a stand-in for Habitat- or
+// GPU-Mangrove-style predictors) and compares the two predictions.
+#include <cstdio>
+
+#include "src/core/estimator_bank.h"
+#include "src/core/pipeline.h"
+#include "src/models/model_zoo.h"
+
+int main() {
+  using namespace maya;
+
+  const ClusterSpec cluster = H100Cluster(8);
+  const ModelConfig model = Gpt3_1_3B();
+  PredictionRequest request;
+  request.model = model;
+  request.config.global_batch_size = 64;
+  request.config.tensor_parallel = 2;
+  request.config.pipeline_parallel = 2;
+  request.config.microbatch_multiplier = 2;
+  request.config.activation_recomputation = true;
+
+  GroundTruthExecutor profiling_hardware(cluster, 2026);
+  const EstimatorBank bank = TrainEstimators(cluster, profiling_hardware);
+
+  // --- Default: learned random forests -------------------------------------
+  MayaPipeline learned(cluster, bank.kernel.get(), bank.collective.get());
+  const Result<PredictionReport> learned_report = learned.Predict(request);
+
+  // --- Custom: a simple analytical roofline over the same GPU spec ----------
+  const GpuSpec gpu = cluster.gpu;
+  CallbackKernelEstimator roofline(
+      "analytical-roofline", [gpu](const KernelDesc& kernel) {
+        const bool tensor = kernel.dtype == DType::kBf16 || kernel.dtype == DType::kFp16;
+        const double peak = (tensor ? gpu.peak_tensor_flops : gpu.peak_fp32_flops) * 0.5;
+        const double compute_us = kernel.flops / peak * 1e6;
+        const double memory_us = kernel.total_bytes() / (gpu.hbm_bandwidth * 0.8) * 1e6;
+        return 2.0 + std::max(compute_us, memory_us);
+      });
+  MayaPipeline analytical(cluster, &roofline, bank.collective.get());
+  const Result<PredictionReport> analytical_report = analytical.Predict(request);
+
+  if (!learned_report.ok() || !analytical_report.ok()) {
+    std::printf("prediction failed\n");
+    return 1;
+  }
+  std::printf("config: %s\n\n", request.config.Summary().c_str());
+  std::printf("random-forest estimators:  %.1f ms/iteration (MFU %.1f%%)\n",
+              learned_report->iteration_time_us / 1e3, learned_report->mfu * 100.0);
+  std::printf("user roofline estimator:   %.1f ms/iteration (MFU %.1f%%)\n",
+              analytical_report->iteration_time_us / 1e3, analytical_report->mfu * 100.0);
+  std::printf("\nSame emulation, same collation, same simulator — only the kernel\n"
+              "runtime estimator changed. Collective estimators (profiled tables,\n"
+              "ASTRA-sim-like analytical models) plug in the same way.\n");
+  return 0;
+}

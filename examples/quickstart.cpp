@@ -1,0 +1,61 @@
+// Quickstart: predict the iteration time of a GPT-3 2.7B Megatron training
+// job on an 8xV100 cluster without any GPU.
+//
+//   1. Train Maya's kernel + collective estimators from profiling-mode data.
+//   2. Describe the workload (model + training configuration).
+//   3. Run the four-stage pipeline: emulate -> collate -> estimate -> simulate.
+#include <cstdio>
+
+#include "src/core/estimator_bank.h"
+#include "src/core/pipeline.h"
+#include "src/models/model_zoo.h"
+
+int main() {
+  using namespace maya;
+
+  // The emulated deployment target (Fig. 5's "emulation spec").
+  const ClusterSpec cluster = V100Cluster(8);
+  std::printf("cluster: %s\n", cluster.ToString().c_str());
+
+  // Estimators are trained once per architecture from profiled kernel
+  // microbenchmarks and nccl-tests-style collective sweeps (Appendix B). In
+  // this repository "profiling mode" dispatches onto the ground-truth
+  // cluster executor (see DESIGN.md).
+  GroundTruthExecutor profiling_hardware(cluster, /*seed=*/2026);
+  const EstimatorBank bank = TrainEstimators(cluster, profiling_hardware);
+  MayaPipeline maya(cluster, bank.kernel.get(), bank.collective.get());
+
+  // The workload: unmodified Megatron-style training of GPT-3 2.7B.
+  PredictionRequest request;
+  request.model = Gpt3_2_7B();
+  request.config.global_batch_size = 256;
+  request.config.tensor_parallel = 2;
+  request.config.pipeline_parallel = 2;
+  request.config.microbatch_multiplier = 2;
+  request.config.activation_recomputation = true;
+  std::printf("model:   %s\n", request.model.Summary().c_str());
+  std::printf("config:  %s\n", request.config.Summary().c_str());
+
+  const Result<PredictionReport> report = maya.Predict(request);
+  if (!report.ok()) {
+    std::printf("prediction failed: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  if (report->oom) {
+    std::printf("configuration does not fit device memory: %s\n",
+                report->oom_detail.c_str());
+    return 0;
+  }
+  std::printf("\npredicted iteration time: %.1f ms\n", report->iteration_time_us / 1e3);
+  std::printf("predicted MFU:            %.1f%%\n", report->mfu * 100.0);
+  std::printf("communication time:       %.1f ms (exposed %.1f ms)\n",
+              report->sim.comm_time_us / 1e3, report->sim.exposed_comm_us / 1e3);
+  std::printf("peak device memory:       %.1f GiB\n",
+              report->sim.peak_memory_bytes / (1024.0 * 1024.0 * 1024.0));
+  std::printf("Maya stack runtime:       %.0f ms (emulate %.0f / collate %.0f / "
+              "estimate %.0f / simulate %.0f)\n",
+              report->timings.total_ms(), report->timings.emulation_ms,
+              report->timings.collation_ms, report->timings.estimation_ms,
+              report->timings.simulation_ms);
+  return 0;
+}

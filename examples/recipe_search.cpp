@@ -1,0 +1,48 @@
+// Maya-Search: find the optimal Megatron training recipe for GPT-3 2.7B on
+// a 16xV100 cluster with CMA-ES over the Table 5 configuration space —
+// worker dedup, result caching, fidelity-preserving pruning and top-5 early
+// stopping enabled (§5).
+#include <cstdio>
+
+#include "src/core/estimator_bank.h"
+#include "src/core/pipeline.h"
+#include "src/models/model_zoo.h"
+#include "src/search/search_driver.h"
+
+int main() {
+  using namespace maya;
+
+  const ClusterSpec cluster = V100Cluster(16);
+  const ModelConfig model = Gpt3_2_7B();
+  std::printf("searching recipes for %s on %s\n", model.Summary().c_str(),
+              cluster.ToString().c_str());
+
+  GroundTruthExecutor profiling_hardware(cluster, 2026);
+  const EstimatorBank bank = TrainEstimators(cluster, profiling_hardware);
+  MayaPipeline maya(cluster, bank.kernel.get(), bank.collective.get());
+
+  const ConfigSpace space = ConfigSpace::MegatronTable5(DefaultGlobalBatch(model));
+  std::printf("configuration space: %zu points (Table 5 knobs)\n", space.size());
+
+  SearchOptions options;
+  options.algorithm = "cma";
+  options.sample_budget = 2000;
+  options.early_stop_patience = 20;
+  options.seed = 7;
+  const SearchOutcome outcome = RunSearch(maya, model, space, options);
+
+  if (!outcome.found) {
+    std::printf("no runnable configuration found\n");
+    return 1;
+  }
+  std::printf("\nbest recipe: %s\n", outcome.best_config.Summary().c_str());
+  std::printf("  predicted iteration time: %.2f s\n", outcome.best_iteration_us / 1e6);
+  std::printf("  predicted MFU:            %.1f%%\n", outcome.best_mfu * 100.0);
+  std::printf("search statistics:\n");
+  std::printf("  wall time: %.1f s | samples: %d | executed: %d | cached: %d | "
+              "pruned: %d | invalid: %d | OOM: %d\n",
+              outcome.wall_ms / 1e3, outcome.samples, outcome.executed, outcome.cached,
+              outcome.skipped, outcome.invalid, outcome.oom);
+  std::printf("  unique valid configurations evaluated: %d\n", outcome.unique_valid);
+  return 0;
+}

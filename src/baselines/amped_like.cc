@@ -1,0 +1,98 @@
+#include "src/baselines/amped_like.h"
+
+#include <algorithm>
+
+#include "src/common/units.h"
+#include "src/hw/collective_cost.h"
+
+namespace maya {
+
+bool AmpedLike::SupportsConfig(const TrainConfig& config) const {
+  // Any Megatron declarative config is accepted — but only the DP/TP/PP
+  // degrees survive the translation into AMPeD's predefined model; every
+  // other knob is dropped (see header).
+  return config.framework == ParallelFramework::kMegatron;
+}
+
+Result<BaselinePrediction> AmpedLike::Predict(const ModelConfig& model,
+                                              const TrainConfig& config,
+                                              const ClusterSpec& cluster) const {
+  if (!SupportsConfig(config) || !SupportsArch(cluster.gpu.arch)) {
+    return Status::InvalidArgument("configuration outside AMPeD's modeling domain");
+  }
+  MAYA_RETURN_IF_ERROR(config.Validate(model, cluster));
+
+  // The semantic gap: AMPeD's model cannot represent gradient accumulation,
+  // recomputation, interleaving, sequence parallelism or sharded optimizers.
+  // The translated workload keeps only the parallel degrees.
+  TrainConfig translated = config;
+  translated.microbatch_multiplier = 1;
+  translated.virtual_pipeline_stages = 1;
+  translated.sequence_parallel = false;
+  translated.activation_recomputation = false;
+  translated.distributed_optimizer = false;
+  const AnalyticalWorkload w = DeriveWorkload(model, translated, cluster);
+  const int microbatches = translated.num_microbatches();
+
+  // --- Compute: rigid operator model with a flat, pessimistic efficiency
+  // that ignores how utilization actually scales with GEMM size.
+  constexpr double kAssumedEfficiency = 0.30;
+  const double stage_flops =
+      3.0 * (w.layer_flops_fwd * static_cast<double>(w.layers_per_stage) + w.head_flops_fwd);
+  const double compute_us_per_mb =
+      ComputeUs(stage_flops, cluster.gpu.peak_tensor_flops * kAssumedEfficiency);
+  // Fixed per-layer operator overheads (framework-agnostic constants).
+  const double overhead_us_per_mb = 80.0 * static_cast<double>(w.layers_per_stage);
+
+  // --- Communication: every collective fully exposed, at half bandwidth
+  // (AMPeD's curated link model does not track topology).
+  double tp_us_per_mb = 0.0;
+  if (config.tensor_parallel > 1) {
+    const double tp_bw =
+        0.5 * RingCollectiveModel::IntraBusBandwidth(cluster, config.tensor_parallel);
+    tp_us_per_mb = 4.0 * static_cast<double>(w.layers_per_stage) *
+                   IdealAllReduceUs(w.tp_collective_bytes, config.tensor_parallel, tp_bw,
+                                    4.0 * cluster.intra_latency_us);
+  }
+  double p2p_us_per_mb = 0.0;
+  if (config.pipeline_parallel > 1) {
+    const double bw = cluster.num_nodes > 1 && cluster.inter_bandwidth > 0.0
+                          ? 0.5 * cluster.inter_bandwidth
+                          : 0.25 * cluster.intra_bandwidth;
+    p2p_us_per_mb = 2.0 * TransferUs(w.boundary_bytes, bw);
+  }
+
+  const double bubble =
+      PipelineBubbleFraction(translated.pipeline_parallel, microbatches, /*virtual_stages=*/1);
+  double iteration_us = (compute_us_per_mb + overhead_us_per_mb + tp_us_per_mb +
+                         p2p_us_per_mb) *
+                        static_cast<double>(microbatches) / (1.0 - bubble);
+
+  const int dp = config.data_parallel(cluster.total_gpus());
+  if (dp > 1) {
+    const double dp_bw = cluster.num_nodes > 1 ? 0.5 * cluster.inter_bandwidth *
+                                                     cluster.gpus_per_node
+                                               : 0.5 * cluster.intra_bandwidth;
+    // Fully exposed gradient all-reduce (no overlap modeling).
+    iteration_us += IdealAllReduceUs(w.dp_grad_bytes, dp, dp_bw, cluster.inter_latency_us);
+  }
+  iteration_us +=
+      3.0 * TransferUs(static_cast<double>(w.params_per_rank) * 16.0, cluster.gpu.hbm_bandwidth);
+
+  // --- Memory: crude — ignores the quadratic attention term entirely, so
+  // AMPeD can select configurations that OOM on real hardware.
+  const double tokens = static_cast<double>(w.microbatch_tokens);
+  const double act_bytes_per_layer =
+      24.0 * tokens * static_cast<double>(model.hidden_size) / config.tensor_parallel;
+  const double in_flight = std::min<double>(microbatches, config.pipeline_parallel);
+  BaselinePrediction prediction;
+  prediction.iteration_us = iteration_us;
+  prediction.peak_memory_bytes =
+      static_cast<double>(w.params_per_rank) * 18.0 +
+      act_bytes_per_layer * static_cast<double>(w.layers_per_stage) * in_flight;
+  prediction.fits_memory =
+      prediction.peak_memory_bytes < static_cast<double>(cluster.gpu.hbm_bytes);
+  return prediction;
+}
+
+}  // namespace maya

@@ -1,0 +1,33 @@
+// AMPeD-like analytical model (Moolchandani et al., ISPASS'23).
+//
+// A declarative-config analytical model for transformer training with the
+// narrowest modeling domain of the baselines (Table 1): DP/TP/PP only. The
+// user feeds a declarative config into a *predefined* performance model
+// (Fig. 3), so knobs outside the model — sequence parallelism, pipeline
+// interleaving, the distributed optimizer, activation recomputation,
+// gradient accumulation — are silently dropped from the representation:
+// the semantic gap in its purest form. On top of that the rigid operator
+// model uses pessimistic flat efficiencies, charges every collective fully
+// exposed, and adds fixed per-layer overheads; the paper measures
+// consistent 2–3x over-estimation (Fig. 9) and configurations up to 56%
+// costlier than optimal (Fig. 8).
+#ifndef SRC_BASELINES_AMPED_LIKE_H_
+#define SRC_BASELINES_AMPED_LIKE_H_
+
+#include "src/baselines/analytical_common.h"
+#include "src/baselines/performance_model.h"
+
+namespace maya {
+
+class AmpedLike final : public PerformanceModel {
+ public:
+  std::string name() const override { return "AMPeD"; }
+  bool SupportsConfig(const TrainConfig& config) const override;
+  bool SupportsArch(GpuArch arch) const override { return arch != GpuArch::kV100; }
+  Result<BaselinePrediction> Predict(const ModelConfig& model, const TrainConfig& config,
+                                     const ClusterSpec& cluster) const override;
+};
+
+}  // namespace maya
+
+#endif  // SRC_BASELINES_AMPED_LIKE_H_

@@ -1,0 +1,71 @@
+#include "src/baselines/analytical_common.h"
+
+#include "src/common/check.h"
+#include "src/common/units.h"
+#include "src/dlf/transformer_ops.h"
+
+namespace maya {
+
+AnalyticalWorkload DeriveWorkload(const ModelConfig& model, const TrainConfig& config,
+                                  const ClusterSpec& cluster) {
+  AnalyticalWorkload w;
+  const int total_gpus = cluster.total_gpus();
+  const double h = static_cast<double>(model.hidden_size);
+  const double s = static_cast<double>(model.seq_length);
+  const double ffn = static_cast<double>(model.hidden_size * model.ffn_multiplier);
+  const double b = static_cast<double>(config.microbatch_size(total_gpus));
+  const double t = config.tensor_parallel;
+  const double v = static_cast<double>(model.vocab_size);
+
+  const double tokens = s * b;
+  w.microbatch_tokens = static_cast<int64_t>(tokens);
+  // QKV + proj + two FFN GEMMs + attention score/context batched GEMMs.
+  const double gemm_flops =
+      2.0 * tokens * (3.0 * h / t) * h + 2.0 * tokens * h * (h / t) +
+      2.0 * tokens * (ffn / t) * h + 2.0 * tokens * h * (ffn / t) +
+      2.0 * 2.0 * b * (static_cast<double>(model.num_heads) / t) * s * s *
+          (h / static_cast<double>(model.num_heads));
+  w.layer_flops_fwd = gemm_flops;
+  w.head_flops_fwd = 2.0 * tokens * (v / t) * h;
+  w.layers_per_stage = model.num_layers / config.pipeline_parallel;
+
+  TransformerDims dims;
+  dims.seq = model.seq_length;
+  dims.mbs = config.microbatch_size(total_gpus);
+  dims.hidden = model.hidden_size;
+  dims.heads = model.num_heads;
+  dims.ffn_hidden = model.hidden_size * model.ffn_multiplier;
+  dims.vocab = model.vocab_size;
+  dims.tp = config.tensor_parallel;
+  dims.sequence_parallel = config.sequence_parallel;
+  w.params_per_rank =
+      w.layers_per_stage * TransformerLayerParams(dims) +
+      static_cast<int64_t>(v) * model.hidden_size / config.tensor_parallel;
+
+  w.tp_collective_bytes = tokens * h * 2.0;             // bf16 activations
+  w.dp_grad_bytes = static_cast<double>(w.params_per_rank) * 4.0;  // fp32 grads
+  w.boundary_bytes = tokens * h * 2.0 / (config.sequence_parallel ? t : 1.0);
+  return w;
+}
+
+double IdealAllReduceUs(double bytes, int group_size, double bandwidth, double latency_us) {
+  CHECK_GT(bandwidth, 0.0);
+  if (group_size <= 1) {
+    return 0.0;
+  }
+  const double frac = 2.0 * (group_size - 1) / static_cast<double>(group_size);
+  return TransferUs(bytes * frac / 2.0, bandwidth / 2.0) + latency_us;
+}
+
+double PipelineBubbleFraction(int pipeline_parallel, int num_microbatches, int virtual_stages) {
+  if (pipeline_parallel <= 1) {
+    return 0.0;
+  }
+  const double p = pipeline_parallel;
+  const double m = num_microbatches;
+  const double v = virtual_stages;
+  // Interleaved 1F1B shrinks the bubble by the chunk count.
+  return (p - 1.0) / (v * m + p - 1.0);
+}
+
+}  // namespace maya

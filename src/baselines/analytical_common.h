@@ -1,0 +1,38 @@
+// Shared analytical building blocks for the baseline models: per-layer flop
+// counts, parameter/activation memory, idealized ring collective times and
+// pipeline bubble fractions. Each baseline composes these with its own
+// efficiency assumptions — the source of its characteristic bias.
+#ifndef SRC_BASELINES_ANALYTICAL_COMMON_H_
+#define SRC_BASELINES_ANALYTICAL_COMMON_H_
+
+#include <cstdint>
+
+#include "src/dlf/train_config.h"
+#include "src/hw/cluster_spec.h"
+
+namespace maya {
+
+struct AnalyticalWorkload {
+  double layer_flops_fwd = 0.0;       // one transformer layer, one microbatch, per tp rank
+  double head_flops_fwd = 0.0;        // LM head, one microbatch, per tp rank
+  int64_t layers_per_stage = 0;
+  int64_t microbatch_tokens = 0;
+  int64_t params_per_rank = 0;        // transformer + embedding shards
+  double tp_collective_bytes = 0.0;   // per layer forward payload
+  double dp_grad_bytes = 0.0;         // full gradient payload (fp32)
+  double boundary_bytes = 0.0;        // pipeline activation payload
+};
+
+// Derives the analytical quantities every baseline starts from.
+AnalyticalWorkload DeriveWorkload(const ModelConfig& model, const TrainConfig& config,
+                                  const ClusterSpec& cluster);
+
+// Idealized ring all-reduce time (no launch overheads, no stragglers).
+double IdealAllReduceUs(double bytes, int group_size, double bandwidth, double latency_us);
+
+// 1F1B pipeline bubble fraction: (p-1)/(m + p - 1), reduced by interleaving.
+double PipelineBubbleFraction(int pipeline_parallel, int num_microbatches, int virtual_stages);
+
+}  // namespace maya
+
+#endif  // SRC_BASELINES_ANALYTICAL_COMMON_H_

@@ -1,0 +1,115 @@
+#include "src/baselines/calculon_like.h"
+
+#include <algorithm>
+
+#include "src/common/units.h"
+#include "src/dlf/transformer_ops.h"
+#include "src/hw/collective_cost.h"
+
+namespace maya {
+
+bool CalculonLike::SupportsConfig(const TrainConfig& config) const {
+  // Calculon is Megatron-specific but covers the full knob set of Table 1.
+  return config.framework == ParallelFramework::kMegatron;
+}
+
+Result<BaselinePrediction> CalculonLike::Predict(const ModelConfig& model,
+                                                 const TrainConfig& config,
+                                                 const ClusterSpec& cluster) const {
+  if (!SupportsConfig(config) || !SupportsArch(cluster.gpu.arch)) {
+    return Status::InvalidArgument("configuration outside Calculon's modeling domain");
+  }
+  MAYA_RETURN_IF_ERROR(config.Validate(model, cluster));
+
+  const AnalyticalWorkload w = DeriveWorkload(model, config, cluster);
+  const int microbatches = config.num_microbatches();
+  const double recompute_factor = config.activation_recomputation ? 4.0 / 3.0 : 1.0;
+
+  // --- Compute: fixed (optimistic) utilization of the tensor-core peak. ---
+  constexpr double kAssumedEfficiency = 0.88;
+  const double stage_flops =
+      (3.0 * recompute_factor) *
+          (w.layer_flops_fwd * static_cast<double>(w.layers_per_stage)) +
+      (config.pipeline_parallel == 1 ? 3.0 * w.head_flops_fwd : 0.0);
+  const double compute_us_per_mb =
+      ComputeUs(stage_flops, cluster.gpu.peak_tensor_flops * kAssumedEfficiency);
+
+  // --- Tensor-parallel collectives: ideal ring, fully serialized. ---
+  const double tp_bw = RingCollectiveModel::IntraBusBandwidth(cluster, config.tensor_parallel);
+  const double tp_colls_per_layer = config.sequence_parallel ? 4.0 : 2.0;
+  const double tp_scale = config.sequence_parallel ? 0.5 : 1.0;  // RS/AG move half each
+  double tp_us_per_mb = 0.0;
+  if (config.tensor_parallel > 1) {
+    tp_us_per_mb = tp_colls_per_layer * (2.0 + (config.activation_recomputation ? 1.0 : 0.0)) *
+                   static_cast<double>(w.layers_per_stage) *
+                   IdealAllReduceUs(w.tp_collective_bytes * tp_scale, config.tensor_parallel,
+                                    tp_bw, cluster.intra_latency_us);
+  }
+
+  // --- Pipeline: bubble fraction over the microbatch train; p2p transfers
+  // modeled as ideal link time.
+  const double bubble = PipelineBubbleFraction(config.pipeline_parallel, microbatches,
+                                               config.virtual_pipeline_stages);
+  double p2p_us_per_mb = 0.0;
+  if (config.pipeline_parallel > 1) {
+    const bool cross_node = config.tensor_parallel * config.pipeline_parallel >
+                            cluster.gpus_per_node;
+    const double bw = cross_node && cluster.inter_bandwidth > 0.0
+                          ? cluster.inter_bandwidth
+                          : RingCollectiveModel::IntraBusBandwidth(cluster, 2) * 0.5;
+    p2p_us_per_mb =
+        2.0 * config.virtual_pipeline_stages * TransferUs(w.boundary_bytes, bw);
+  }
+
+  const double steady_us = (compute_us_per_mb + tp_us_per_mb + p2p_us_per_mb) *
+                           static_cast<double>(microbatches);
+  double iteration_us = steady_us / (1.0 - bubble);
+
+  // --- Data-parallel gradient sync: assumed fully overlapped except the
+  // final bucket; distributed optimizer adds the parameter all-gather.
+  const int dp = config.data_parallel(cluster.total_gpus());
+  if (dp > 1) {
+    const bool multi_node = cluster.num_nodes > 1;
+    const double dp_bw = multi_node ? cluster.inter_bandwidth * cluster.gpus_per_node
+                                    : RingCollectiveModel::IntraBusBandwidth(cluster, dp);
+    const double dp_us = IdealAllReduceUs(w.dp_grad_bytes, dp, dp_bw,
+                                          multi_node ? cluster.inter_latency_us
+                                                     : cluster.intra_latency_us);
+    iteration_us += 0.15 * dp_us;  // exposed tail only: perfect-overlap assumption
+    if (config.distributed_optimizer) {
+      iteration_us += 0.5 * dp_us;  // param all-gather at half the volume
+    }
+  }
+  // Optimizer step: bandwidth-bound sweep over optimizer state.
+  const double opt_bytes = static_cast<double>(w.params_per_rank) * 16.0 /
+                           (config.distributed_optimizer ? dp : 1);
+  iteration_us += TransferUs(opt_bytes, cluster.gpu.hbm_bandwidth);
+
+  // --- Memory model (reasonably faithful). ---
+  TransformerDims dims;
+  dims.seq = model.seq_length;
+  dims.mbs = config.microbatch_size(cluster.total_gpus());
+  dims.hidden = model.hidden_size;
+  dims.heads = model.num_heads;
+  dims.ffn_hidden = model.hidden_size * model.ffn_multiplier;
+  dims.vocab = model.vocab_size;
+  dims.tp = config.tensor_parallel;
+  dims.sequence_parallel = config.sequence_parallel;
+  const double act_per_layer_mb =
+      static_cast<double>(TransformerActivationBytes(dims, config.activation_recomputation));
+  const double in_flight = std::min<double>(microbatches, config.pipeline_parallel);
+  const double weights_bytes =
+      static_cast<double>(w.params_per_rank) *
+      (6.0 + 12.0 / (config.distributed_optimizer ? dp : 1));
+  const double activation_bytes =
+      act_per_layer_mb * static_cast<double>(w.layers_per_stage) * in_flight;
+
+  BaselinePrediction prediction;
+  prediction.iteration_us = iteration_us;
+  prediction.peak_memory_bytes = weights_bytes + activation_bytes + 0.75 * kGB;
+  prediction.fits_memory =
+      prediction.peak_memory_bytes < static_cast<double>(cluster.gpu.hbm_bytes);
+  return prediction;
+}
+
+}  // namespace maya

@@ -1,0 +1,30 @@
+// Calculon-like analytical model (Isaev et al., SC'23).
+//
+// A high-level co-design calculator for Megatron-style LLM training: wide
+// knob coverage (Table 1: DP/TP/PP/SP, interleaving, distributed optimizer,
+// recomputation, gradient accumulation) but purely analytical — fixed high
+// GEMM efficiency, idealized collectives, perfect DP-communication overlap
+// and no host/launch overheads. The paper observes consistent
+// *under*-estimation leading to configurations 10–15% costlier than optimal
+// (Fig. 8); those simplifications are reproduced here.
+#ifndef SRC_BASELINES_CALCULON_LIKE_H_
+#define SRC_BASELINES_CALCULON_LIKE_H_
+
+#include "src/baselines/analytical_common.h"
+#include "src/baselines/performance_model.h"
+
+namespace maya {
+
+class CalculonLike final : public PerformanceModel {
+ public:
+  std::string name() const override { return "Calculon"; }
+  bool SupportsConfig(const TrainConfig& config) const override;
+  // No bfloat16 modeling on Volta (§7.1).
+  bool SupportsArch(GpuArch arch) const override { return arch != GpuArch::kV100; }
+  Result<BaselinePrediction> Predict(const ModelConfig& model, const TrainConfig& config,
+                                     const ClusterSpec& cluster) const override;
+};
+
+}  // namespace maya
+
+#endif  // SRC_BASELINES_CALCULON_LIKE_H_

@@ -1,0 +1,41 @@
+// Common interface for the baseline performance-modeling systems the paper
+// compares against (§7.1): Calculon, AMPeD (analytical models) and Proteus
+// (domain-specific simulator). Each baseline declares which configuration
+// knobs it can model (Table 1) and predicts iteration time + peak memory for
+// supported configurations.
+#ifndef SRC_BASELINES_PERFORMANCE_MODEL_H_
+#define SRC_BASELINES_PERFORMANCE_MODEL_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/dlf/train_config.h"
+#include "src/hw/cluster_spec.h"
+
+namespace maya {
+
+struct BaselinePrediction {
+  double iteration_us = 0.0;
+  double peak_memory_bytes = 0.0;
+  bool fits_memory = true;
+};
+
+class PerformanceModel {
+ public:
+  virtual ~PerformanceModel() = default;
+  virtual std::string name() const = 0;
+
+  // Whether the system can express this configuration at all (Table 1).
+  virtual bool SupportsConfig(const TrainConfig& config) const = 0;
+  // The paper omits Calculon/AMPeD on Volta (no bfloat16 modeling).
+  virtual bool SupportsArch(GpuArch arch) const = 0;
+
+  // Predicted iteration time and memory. InvalidArgument for unsupported
+  // configurations.
+  virtual Result<BaselinePrediction> Predict(const ModelConfig& model, const TrainConfig& config,
+                                             const ClusterSpec& cluster) const = 0;
+};
+
+}  // namespace maya
+
+#endif  // SRC_BASELINES_PERFORMANCE_MODEL_H_

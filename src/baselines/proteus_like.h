@@ -1,0 +1,38 @@
+// Proteus-like domain-specific simulator (Duan et al.).
+//
+// Proteus asks users to translate their model into a custom IR plus a
+// "strategy tree" describing the parallelization, then simulates at kernel
+// granularity using execution times profiled on real GPUs. Faithful to the
+// paper's findings: on V100 its predictions track reality closely (it
+// profiles real kernels) modulo translation losses — the *semantic gap* —
+// which here manifest as per-shape translation perturbations, ignored host
+// overheads and idealized p2p. On H100 its kernel database is miscalibrated
+// and predictions deviate by up to an order of magnitude (§7.2, Fig. 9).
+// Coverage per Table 1: DP/TP/PP, interleaving, distributed optimizer,
+// recomputation — but no sequence parallelism or gradient accumulation.
+#ifndef SRC_BASELINES_PROTEUS_LIKE_H_
+#define SRC_BASELINES_PROTEUS_LIKE_H_
+
+#include "src/baselines/analytical_common.h"
+#include "src/baselines/performance_model.h"
+#include "src/groundtruth/kernel_cost.h"
+
+namespace maya {
+
+class ProteusLike final : public PerformanceModel {
+ public:
+  std::string name() const override { return "Proteus"; }
+  bool SupportsConfig(const TrainConfig& config) const override;
+  bool SupportsArch(GpuArch) const override { return true; }
+  Result<BaselinePrediction> Predict(const ModelConfig& model, const TrainConfig& config,
+                                     const ClusterSpec& cluster) const override;
+
+ private:
+  // Kernel time from Proteus's profiled database: near-truth on Volta,
+  // miscalibrated on Hopper.
+  double ProfiledKernelUs(const KernelDesc& kernel, const ClusterSpec& cluster) const;
+};
+
+}  // namespace maya
+
+#endif  // SRC_BASELINES_PROTEUS_LIKE_H_

@@ -1,0 +1,83 @@
+// Lightweight CHECK macros for invariant enforcement.
+//
+// CHECK* macros are always on and abort with a diagnostic on failure; DCHECK*
+// compiles out in NDEBUG builds. These are for programming errors only —
+// recoverable conditions use maya::Status / maya::Result (see status.h).
+// Failures support message streaming: CHECK_LT(i, n) << "index " << i;
+#ifndef SRC_COMMON_CHECK_H_
+#define SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace maya {
+namespace internal {
+
+[[noreturn]] inline void CheckFailure(const char* file, int line, const char* expr,
+                                      const std::string& message) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               message.empty() ? "" : " — ", message.c_str());
+  std::abort();
+}
+
+// Stream sink collecting an optional message attached via operator<<; the
+// destructor (end of full expression) reports the failure and aborts.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  [[noreturn]] ~CheckMessageBuilder() { CheckFailure(file_, line_, expr_, stream_.str()); }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+// Lower-precedence-than-<< adapter so the builder chain collapses to void in
+// the false arm of the ternary below.
+struct Voidifier {
+  void operator&(const CheckMessageBuilder&) const {}
+};
+
+}  // namespace internal
+}  // namespace maya
+
+#define MAYA_CHECK_IMPL(condition, expr_text)            \
+  (condition) ? (void)0                                  \
+              : ::maya::internal::Voidifier() &          \
+                    ::maya::internal::CheckMessageBuilder(__FILE__, __LINE__, expr_text)
+
+#define CHECK(condition) MAYA_CHECK_IMPL((condition), #condition)
+#define CHECK_EQ(a, b) MAYA_CHECK_IMPL((a) == (b), #a " == " #b)
+#define CHECK_NE(a, b) MAYA_CHECK_IMPL((a) != (b), #a " != " #b)
+#define CHECK_LT(a, b) MAYA_CHECK_IMPL((a) < (b), #a " < " #b)
+#define CHECK_LE(a, b) MAYA_CHECK_IMPL((a) <= (b), #a " <= " #b)
+#define CHECK_GT(a, b) MAYA_CHECK_IMPL((a) > (b), #a " > " #b)
+#define CHECK_GE(a, b) MAYA_CHECK_IMPL((a) >= (b), #a " >= " #b)
+
+#ifdef NDEBUG
+#define MAYA_DCHECK_IMPL(condition) MAYA_CHECK_IMPL(true || (condition), "")
+#else
+#define MAYA_DCHECK_IMPL(condition) MAYA_CHECK_IMPL((condition), #condition)
+#endif
+
+#define DCHECK(condition) MAYA_DCHECK_IMPL(condition)
+#define DCHECK_EQ(a, b) MAYA_DCHECK_IMPL((a) == (b))
+#define DCHECK_NE(a, b) MAYA_DCHECK_IMPL((a) != (b))
+#define DCHECK_LT(a, b) MAYA_DCHECK_IMPL((a) < (b))
+#define DCHECK_LE(a, b) MAYA_DCHECK_IMPL((a) <= (b))
+#define DCHECK_GT(a, b) MAYA_DCHECK_IMPL((a) > (b))
+#define DCHECK_GE(a, b) MAYA_DCHECK_IMPL((a) >= (b))
+
+#endif  // SRC_COMMON_CHECK_H_

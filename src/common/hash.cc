@@ -1,0 +1,21 @@
+#include "src/common/hash.h"
+
+#include "src/common/rng.h"
+
+namespace maya {
+
+uint64_t FnvHash(std::string_view bytes, uint64_t seed) {
+  uint64_t h = seed;
+  for (char c : bytes) {
+    h ^= static_cast<uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  // boost::hash_combine layout with a SplitMix64 finalizer for diffusion.
+  return SplitMix64(seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2)));
+}
+
+}  // namespace maya

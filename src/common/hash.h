@@ -1,0 +1,33 @@
+// Hashing utilities: FNV-1a, combine, and the rolling hash used by worker
+// deduplication to fingerprint operation sequences (§4.2 of the paper).
+#ifndef SRC_COMMON_HASH_H_
+#define SRC_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace maya {
+
+inline constexpr uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+uint64_t FnvHash(std::string_view bytes, uint64_t seed = kFnvOffsetBasis);
+uint64_t HashCombine(uint64_t seed, uint64_t value);
+
+// Accumulates a stream of operation signatures into a single fingerprint.
+// Two workers with equal fingerprints performed (with overwhelming
+// probability) identical operation sequences.
+class RollingHash {
+ public:
+  void Update(uint64_t value) { state_ = HashCombine(state_, value); }
+  void Update(std::string_view bytes) { state_ = FnvHash(bytes, state_); }
+  uint64_t digest() const { return state_; }
+  void Reset() { state_ = kFnvOffsetBasis; }
+
+ private:
+  uint64_t state_ = kFnvOffsetBasis;
+};
+
+}  // namespace maya
+
+#endif  // SRC_COMMON_HASH_H_

@@ -1,0 +1,62 @@
+// Minimal recursive-descent JSON parser (DOM). Complements JsonWriter for
+// round-tripping trace files; supports the full JSON grammar except \uXXXX
+// surrogate pairs (escapes decode to code points <= 0xFF).
+#ifndef SRC_COMMON_JSON_PARSER_H_
+#define SRC_COMMON_JSON_PARSER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace maya {
+
+class JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+  explicit JsonValue(bool b) : type_(Type::kBool), bool_(b) {}
+  explicit JsonValue(double d) : type_(Type::kNumber), number_(d) {}
+  explicit JsonValue(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  explicit JsonValue(JsonArray a);
+  explicit JsonValue(JsonObject o);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+
+  // Typed accessors CHECK the type.
+  bool AsBool() const;
+  double AsDouble() const;
+  int64_t AsInt() const;
+  uint64_t AsUint() const;
+  const std::string& AsString() const;
+  const JsonArray& AsArray() const;
+  const JsonObject& AsObject() const;
+
+  // Object field lookup; CHECK-fails if absent or wrong container type.
+  const JsonValue& at(const std::string& key) const;
+  bool Has(const std::string& key) const;
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::shared_ptr<JsonArray> array_;    // shared: JsonValue stays copyable
+  std::shared_ptr<JsonObject> object_;
+};
+
+Result<JsonValue> ParseJson(const std::string& text);
+
+}  // namespace maya
+
+#endif  // SRC_COMMON_JSON_PARSER_H_

@@ -1,0 +1,150 @@
+#include "src/common/json_writer.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/common/strings.h"
+
+namespace maya {
+
+JsonWriter::JsonWriter() { has_element_.push_back(false); }
+
+void JsonWriter::MaybeComma() {
+  if (has_element_.back()) {
+    out_ += ',';
+  }
+  has_element_.back() = true;
+}
+
+void JsonWriter::AppendEscaped(std::string_view s) {
+  out_ += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out_ += "\\\"";
+        break;
+      case '\\':
+        out_ += "\\\\";
+        break;
+      case '\n':
+        out_ += "\\n";
+        break;
+      case '\t':
+        out_ += "\\t";
+        break;
+      case '\r':
+        out_ += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out_ += StrFormat("\\u%04x", c);
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+void JsonWriter::BeginObject() {
+  MaybeComma();
+  out_ += '{';
+  has_element_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  CHECK_GT(has_element_.size(), 1u);
+  out_ += '}';
+  has_element_.pop_back();
+}
+
+void JsonWriter::BeginArray() {
+  MaybeComma();
+  out_ += '[';
+  has_element_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  CHECK_GT(has_element_.size(), 1u);
+  out_ += ']';
+  has_element_.pop_back();
+}
+
+void JsonWriter::Key(std::string_view key) {
+  MaybeComma();
+  AppendEscaped(key);
+  out_ += ':';
+  // The upcoming value call must not emit its own comma.
+  has_element_.back() = false;
+}
+
+void JsonWriter::KeyedBeginObject(std::string_view key) {
+  Key(key);
+  BeginObject();
+}
+
+void JsonWriter::KeyedBeginArray(std::string_view key) {
+  Key(key);
+  BeginArray();
+}
+
+void JsonWriter::String(std::string_view value) {
+  MaybeComma();
+  AppendEscaped(value);
+}
+
+void JsonWriter::Int(int64_t value) {
+  MaybeComma();
+  out_ += StrFormat("%lld", static_cast<long long>(value));
+}
+
+void JsonWriter::Uint(uint64_t value) {
+  MaybeComma();
+  out_ += StrFormat("%llu", static_cast<unsigned long long>(value));
+}
+
+void JsonWriter::Double(double value) {
+  MaybeComma();
+  if (std::isfinite(value)) {
+    out_ += StrFormat("%.9g", value);
+  } else {
+    out_ += "null";
+  }
+}
+
+void JsonWriter::Bool(bool value) {
+  MaybeComma();
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  MaybeComma();
+  out_ += "null";
+}
+
+void JsonWriter::Field(std::string_view key, std::string_view value) {
+  Key(key);
+  String(value);
+}
+
+void JsonWriter::Field(std::string_view key, int64_t value) {
+  Key(key);
+  Int(value);
+}
+
+void JsonWriter::Field(std::string_view key, uint64_t value) {
+  Key(key);
+  Uint(value);
+}
+
+void JsonWriter::Field(std::string_view key, double value) {
+  Key(key);
+  Double(value);
+}
+
+void JsonWriter::Field(std::string_view key, bool value) {
+  Key(key);
+  Bool(value);
+}
+
+}  // namespace maya

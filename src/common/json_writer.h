@@ -1,0 +1,55 @@
+// Minimal streaming JSON writer used for trace serialization (the paper's
+// emulator emits JSON event traces, Fig. 3).
+#ifndef SRC_COMMON_JSON_WRITER_H_
+#define SRC_COMMON_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace maya {
+
+// Emits syntactically valid JSON; the caller supplies structure via
+// BeginObject/BeginArray nesting. Keys/values are escaped.
+class JsonWriter {
+ public:
+  JsonWriter();
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  // Keyed variants, valid inside objects.
+  void Key(std::string_view key);
+  void KeyedBeginObject(std::string_view key);
+  void KeyedBeginArray(std::string_view key);
+
+  void String(std::string_view value);
+  void Int(int64_t value);
+  void Uint(uint64_t value);
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  void Field(std::string_view key, std::string_view value);
+  void Field(std::string_view key, int64_t value);
+  void Field(std::string_view key, uint64_t value);
+  void Field(std::string_view key, double value);
+  void Field(std::string_view key, bool value);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void MaybeComma();
+  void AppendEscaped(std::string_view s);
+
+  std::string out_;
+  // Tracks whether the current nesting level already has an element.
+  std::vector<bool> has_element_;
+};
+
+}  // namespace maya
+
+#endif  // SRC_COMMON_JSON_WRITER_H_

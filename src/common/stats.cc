@@ -1,0 +1,92 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace maya {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double x : xs) {
+    sum += x;
+  }
+  return sum / static_cast<double>(xs.size());
+}
+
+double StdDev(const std::vector<double>& xs) {
+  if (xs.size() < 2) {
+    return 0.0;
+  }
+  const double mean = Mean(xs);
+  double sq = 0.0;
+  for (double x : xs) {
+    sq += (x - mean) * (x - mean);
+  }
+  return std::sqrt(sq / static_cast<double>(xs.size() - 1));
+}
+
+double Median(std::vector<double> xs) { return Percentile(std::move(xs), 50.0); }
+
+double Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  CHECK_GE(p, 0.0);
+  CHECK_LE(p, 100.0);
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) {
+    return xs[0];
+  }
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double AbsolutePercentageError(double actual, double predicted) {
+  CHECK_NE(actual, 0.0);
+  return std::abs(predicted - actual) / std::abs(actual) * 100.0;
+}
+
+double MeanAbsolutePercentageError(const std::vector<double>& actual,
+                                   const std::vector<double>& predicted) {
+  CHECK_EQ(actual.size(), predicted.size());
+  if (actual.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    sum += AbsolutePercentageError(actual[i], predicted[i]);
+  }
+  return sum / static_cast<double>(actual.size());
+}
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace maya

@@ -1,0 +1,45 @@
+// Small statistics helpers shared by estimator evaluation and benches.
+#ifndef SRC_COMMON_STATS_H_
+#define SRC_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace maya {
+
+double Mean(const std::vector<double>& xs);
+double StdDev(const std::vector<double>& xs);
+double Median(std::vector<double> xs);
+// Linear-interpolation percentile; p in [0, 100]. Empty input returns 0.
+double Percentile(std::vector<double> xs, double p);
+
+// Mean absolute percentage error of predictions vs actuals (same length,
+// actuals must be nonzero). Returned as a percentage (e.g. 4.2 for 4.2%).
+double MeanAbsolutePercentageError(const std::vector<double>& actual,
+                                   const std::vector<double>& predicted);
+
+// Absolute percentage error of a single prediction, as a percentage.
+double AbsolutePercentageError(double actual, double predicted);
+
+// Incremental mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void Add(double x);
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace maya
+
+#endif  // SRC_COMMON_STATS_H_

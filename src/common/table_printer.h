@@ -1,0 +1,33 @@
+// Aligned console tables — every bench prints its paper table/figure rows
+// through this so outputs share one visual format.
+#ifndef SRC_COMMON_TABLE_PRINTER_H_
+#define SRC_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace maya {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  // Prints with a header rule and column alignment.
+  void Print(std::ostream& os) const;
+  std::string ToString() const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Prints a section banner, e.g. "==== Figure 7: ... ====".
+void PrintBanner(std::ostream& os, const std::string& title);
+
+}  // namespace maya
+
+#endif  // SRC_COMMON_TABLE_PRINTER_H_

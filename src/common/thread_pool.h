@@ -1,0 +1,51 @@
+// Fixed-size worker pool used by Maya-Search for concurrent trial evaluation
+// (§5.1) and by benches for parallel ground-truth sweeps.
+#ifndef SRC_COMMON_THREAD_POOL_H_
+#define SRC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace maya {
+
+class ThreadPool {
+ public:
+  // num_threads == 0 selects hardware concurrency (at least 1).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task; tasks may be enqueued from inside tasks.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task (including any submitted while
+  // waiting) has finished.
+  void Wait();
+
+  // Convenience: runs fn(i) for i in [0, count) across the pool and waits.
+  void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace maya
+
+#endif  // SRC_COMMON_THREAD_POOL_H_

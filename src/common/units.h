@@ -1,0 +1,39 @@
+// Unit constants and conversions. Internal conventions:
+//   time       — microseconds (double)
+//   bytes      — bytes (uint64_t / double in models)
+//   bandwidth  — bytes per second
+//   compute    — FLOPs; rates in FLOP/s
+#ifndef SRC_COMMON_UNITS_H_
+#define SRC_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace maya {
+
+inline constexpr uint64_t kKiB = 1024ULL;
+inline constexpr uint64_t kMiB = 1024ULL * kKiB;
+inline constexpr uint64_t kGiB = 1024ULL * kMiB;
+
+inline constexpr double kKB = 1e3;
+inline constexpr double kMB = 1e6;
+inline constexpr double kGB = 1e9;
+
+inline constexpr double kUsPerSecond = 1e6;
+inline constexpr double kUsPerMs = 1e3;
+
+inline constexpr double kTeraflop = 1e12;
+inline constexpr double kGigaflop = 1e9;
+
+// Converts a (bytes, bytes/sec) pair to microseconds.
+inline constexpr double TransferUs(double bytes, double bytes_per_second) {
+  return bytes / bytes_per_second * kUsPerSecond;
+}
+
+// Converts a (flops, flop/s) pair to microseconds.
+inline constexpr double ComputeUs(double flops, double flops_per_second) {
+  return flops / flops_per_second * kUsPerSecond;
+}
+
+}  // namespace maya
+
+#endif  // SRC_COMMON_UNITS_H_

@@ -1,0 +1,25 @@
+#include "src/core/estimator_bank.h"
+
+namespace maya {
+
+EstimatorBank TrainEstimators(const ClusterSpec& cluster, const GroundTruthExecutor& executor,
+                              const ProfileSweepOptions& sweep, uint64_t seed) {
+  EstimatorBank bank;
+
+  const KernelDataset all =
+      GenerateKernelDataset(cluster.gpu.arch, executor.MakeKernelProfiler(), sweep);
+  KernelDataset train;
+  Rng rng(seed);
+  SplitKernelDataset(all, /*train_fraction=*/0.8, rng, &train, &bank.kernel_validation);
+
+  bank.kernel = std::make_unique<RandomForestKernelEstimator>();
+  bank.kernel->Fit(train);
+
+  const std::vector<CollectiveSample> collective_samples =
+      GenerateCollectiveDataset(cluster, executor.MakeCollectiveProfiler(), sweep);
+  bank.collective = std::make_unique<ProfiledCollectiveEstimator>();
+  bank.collective->Fit(collective_samples, cluster);
+  return bank;
+}
+
+}  // namespace maya

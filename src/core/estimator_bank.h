@@ -1,0 +1,32 @@
+// Trains Maya's default estimators for a target cluster from profiling-mode
+// data: per-kernel-kind random forests (80:20 split retained for the
+// Appendix B MAPE tables) and the interpolating collective estimator.
+#ifndef SRC_CORE_ESTIMATOR_BANK_H_
+#define SRC_CORE_ESTIMATOR_BANK_H_
+
+#include <memory>
+
+#include "src/estimator/profiler_repository.h"
+#include "src/groundtruth/executor.h"
+
+namespace maya {
+
+struct EstimatorBank {
+  std::unique_ptr<RandomForestKernelEstimator> kernel;
+  std::unique_ptr<ProfiledCollectiveEstimator> collective;
+  // Held-out validation split (never seen in training) for MAPE evaluation.
+  KernelDataset kernel_validation;
+
+  EstimatorBank() = default;
+  EstimatorBank(EstimatorBank&&) = default;
+  EstimatorBank& operator=(EstimatorBank&&) = default;
+};
+
+// Runs the profiling sweeps against the cluster's ground-truth executor
+// ("dispatch on hardware, log runtimes"), splits 80:20, and fits the models.
+EstimatorBank TrainEstimators(const ClusterSpec& cluster, const GroundTruthExecutor& executor,
+                              const ProfileSweepOptions& sweep = {}, uint64_t seed = 404);
+
+}  // namespace maya
+
+#endif  // SRC_CORE_ESTIMATOR_BANK_H_

@@ -1,0 +1,133 @@
+#include "src/core/pipeline.h"
+
+#include <chrono>
+
+#include "src/common/hash.h"
+#include "src/common/strings.h"
+#include "src/trace/collator.h"
+
+namespace maya {
+namespace {
+
+class StageClock {
+ public:
+  StageClock() : last_(std::chrono::steady_clock::now()) {}
+  double LapMs() {
+    const auto now = std::chrono::steady_clock::now();
+    const double ms = std::chrono::duration<double, std::milli>(now - last_).count();
+    last_ = now;
+    return ms;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point last_;
+};
+
+}  // namespace
+
+std::string PredictionReport::Summary() const {
+  if (oom) {
+    return "OOM: " + oom_detail;
+  }
+  return StrFormat("iteration %s | MFU %.1f%% | %s | stages %.0f/%.0f/%.0f/%.0f ms",
+                   HumanDuration(iteration_time_us).c_str(), mfu * 100.0, sim.Summary().c_str(),
+                   timings.emulation_ms, timings.collation_ms, timings.estimation_ms,
+                   timings.simulation_ms);
+}
+
+MayaPipeline::MayaPipeline(const ClusterSpec& cluster,
+                           const KernelRuntimeEstimator* kernel_estimator,
+                           const CollectiveEstimator* collective_estimator)
+    : cluster_(cluster),
+      kernel_estimator_(kernel_estimator),
+      collective_estimator_(collective_estimator) {
+  CHECK(kernel_estimator_ != nullptr);
+  CHECK(collective_estimator_ != nullptr);
+}
+
+void MayaPipeline::AnnotateDurations(JobTrace& job, const GroundTruthExecutor* oracle) const {
+  for (WorkerTrace& worker : job.workers) {
+    for (size_t i = 0; i < worker.ops.size(); ++i) {
+      TraceOp& op = worker.ops[i];
+      if (op.type == TraceOpType::kKernelLaunch) {
+        if (oracle != nullptr) {
+          // Profiled actual runtime of this exact execution instance.
+          op.duration_us = oracle->kernel_model().NoisyUs(
+              op.kernel, HashCombine(static_cast<uint64_t>(worker.rank), i));
+        } else {
+          op.duration_us = kernel_estimator_->PredictUs(op.kernel);
+        }
+      } else if (op.type == TraceOpType::kCollective) {
+        const CommGroup& group = job.comm(op.collective.comm_uid);
+        CollectiveRequest request{op.collective.kind, op.collective.bytes, group.members};
+        if (oracle != nullptr) {
+          op.duration_us = oracle->collective_model().NoisyUs(
+              request, HashCombine(op.collective.comm_uid, op.collective.seq));
+        } else {
+          op.duration_us = collective_estimator_->PredictUs(request, cluster_);
+        }
+      }
+    }
+  }
+}
+
+Result<PredictionReport> MayaPipeline::Predict(const PredictionRequest& request) const {
+  PredictionReport report;
+  StageClock clock;
+
+  // (1) Trace collection via emulation.
+  LaunchOptions launch;
+  launch.selective_launch = request.selective_launch;
+  Result<LaunchResult> launched = EmulateJob(request.model, request.config, cluster_, launch);
+  if (!launched.ok()) {
+    return launched.status();
+  }
+  report.timings.emulation_ms = launched->emulation_wall_ms;
+  clock.LapMs();
+  if (launched->oom) {
+    report.oom = true;
+    report.oom_detail = launched->oom_detail;
+    return report;
+  }
+  report.full_workers_emulated = launched->full_workers_emulated;
+
+  // (2) Trace collation + worker deduplication.
+  TraceCollator collator(CollationOptions{request.deduplicate_workers});
+  Result<JobTrace> job = collator.Collate(std::move(launched->traces));
+  if (!job.ok()) {
+    return job.status();
+  }
+  report.collation = collator.stats();
+  report.timings.collation_ms = clock.LapMs();
+
+  // (3) Kernel runtime estimation.
+  AnnotateDurations(*job, request.oracle);
+  report.timings.estimation_ms = clock.LapMs();
+
+  // (4) End-to-end simulation (no SM contention: Maya's model, §8).
+  Simulator simulator(*job, cluster_, SimOptions{});
+  Result<SimReport> sim = simulator.Run();
+  if (!sim.ok()) {
+    return sim.status();
+  }
+  report.sim = *std::move(sim);
+  report.timings.simulation_ms = clock.LapMs();
+
+  report.iteration_time_us = report.sim.total_time_us;
+  report.mfu = ComputeMfu(request.model, request.config.global_batch_size, cluster_,
+                          report.iteration_time_us);
+  return report;
+}
+
+double ComputeMfu(const ModelConfig& model, int64_t global_batch, const ClusterSpec& cluster,
+                  double iteration_time_us) {
+  CHECK_GT(iteration_time_us, 0.0);
+  const double model_flops = model.FlopsPerIteration(global_batch);
+  const double peak = model.family == ModelFamily::kResNet ? cluster.gpu.peak_fp32_flops
+                                                           : cluster.gpu.peak_tensor_flops;
+  const double cluster_flops =
+      peak * cluster.total_gpus() * (iteration_time_us / 1e6);
+  return model_flops / cluster_flops;
+}
+
+}  // namespace maya

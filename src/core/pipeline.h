@@ -1,0 +1,86 @@
+// Maya's public prediction API: the four-stage pipeline of Fig. 5 —
+// (1) trace collection via emulation, (2) trace collation (+ dedup),
+// (3) kernel runtime estimation, (4) event-driven cluster simulation —
+// producing the simulation report and MFU for a training configuration
+// without touching accelerator hardware.
+#ifndef SRC_CORE_PIPELINE_H_
+#define SRC_CORE_PIPELINE_H_
+
+#include <string>
+
+#include "src/dlf/worker_launcher.h"
+#include "src/estimator/collective_estimator.h"
+#include "src/estimator/kernel_estimator.h"
+#include "src/groundtruth/executor.h"
+#include "src/sim/simulator.h"
+
+namespace maya {
+
+struct PredictionRequest {
+  ModelConfig model;
+  TrainConfig config;
+
+  // Pipeline knobs.
+  bool deduplicate_workers = true;   // dynamic worker dedup (§4.2)
+  bool selective_launch = false;     // hyperscale unique-rank launch (§7.4)
+  // Oracle mode (Table 3): annotate with the profiled *actual* per-instance
+  // runtimes from this executor instead of learned estimates. Must be the
+  // same executor (seed) that produced the "actual" measurement.
+  const GroundTruthExecutor* oracle = nullptr;
+};
+
+// Wall-clock cost of each Maya stage (Fig. 13 / Table 6).
+struct StageTimings {
+  double emulation_ms = 0.0;
+  double collation_ms = 0.0;
+  double estimation_ms = 0.0;
+  double simulation_ms = 0.0;
+  double total_ms() const {
+    return emulation_ms + collation_ms + estimation_ms + simulation_ms;
+  }
+};
+
+struct PredictionReport {
+  bool oom = false;
+  std::string oom_detail;
+
+  SimReport sim;
+  double iteration_time_us = 0.0;
+  double mfu = 0.0;  // model FLOPs / (time x GPUs x peak)
+
+  StageTimings timings;
+  CollationStats collation;
+  int full_workers_emulated = 0;
+
+  std::string Summary() const;
+};
+
+class MayaPipeline {
+ public:
+  // Estimators are borrowed and must outlive the pipeline. The collective
+  // estimator is pluggable (profiled interpolation by default; an
+  // ASTRA-sim-like analytical model for hyperscale runs).
+  MayaPipeline(const ClusterSpec& cluster, const KernelRuntimeEstimator* kernel_estimator,
+               const CollectiveEstimator* collective_estimator);
+
+  // Full pipeline: emulate -> collate -> estimate -> simulate.
+  Result<PredictionReport> Predict(const PredictionRequest& request) const;
+
+  // Stage 3 alone: annotates kernel + collective durations in place.
+  void AnnotateDurations(JobTrace& job, const GroundTruthExecutor* oracle) const;
+
+  const ClusterSpec& cluster() const { return cluster_; }
+
+ private:
+  ClusterSpec cluster_;
+  const KernelRuntimeEstimator* kernel_estimator_;
+  const CollectiveEstimator* collective_estimator_;
+};
+
+// MFU given a measured/predicted iteration time.
+double ComputeMfu(const ModelConfig& model, int64_t global_batch, const ClusterSpec& cluster,
+                  double iteration_time_us);
+
+}  // namespace maya
+
+#endif  // SRC_CORE_PIPELINE_H_

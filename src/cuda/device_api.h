@@ -1,0 +1,132 @@
+// The narrow-waist accelerator API (§3.4).
+//
+// Training code interacts with devices exclusively through this interface —
+// the C++ rendering of the CUDA runtime/driver + cuBLAS + cuDNN + NCCL symbol
+// surface the real Maya intercepts with LD_PRELOAD. Method names deliberately
+// mirror the CUDA C symbols (style exception: mimicking an external ABI) so
+// the call sites in src/dlf read like real framework code.
+//
+// Implementations: src/emulator (Maya's transparent emulator, records traces
+// without executing), optionally wrapped in profiling mode (attaches
+// ground-truth runtimes, §4.3).
+#ifndef SRC_CUDA_DEVICE_API_H_
+#define SRC_CUDA_DEVICE_API_H_
+
+#include <cstdint>
+
+#include "src/cuda/kernel_desc.h"
+#include "src/cuda/types.h"
+
+namespace maya {
+
+// Source of host-side timestamps. The paper measures wall-clock deltas
+// between API calls to capture host overhead (§4.2); this reproduction uses
+// a virtual host clock advanced by the workload's host cost model so traces
+// are deterministic (see DESIGN.md substitutions).
+class HostClock {
+ public:
+  virtual ~HostClock() = default;
+  virtual double NowUs() const = 0;
+};
+
+class DeviceApi {
+ public:
+  virtual ~DeviceApi() = default;
+
+  // ---- Device management -------------------------------------------------
+  virtual CudaError cudaGetDeviceCount(int* count) = 0;
+  virtual CudaError cudaSetDevice(int device) = 0;
+  virtual CudaError cudaGetDevice(int* device) = 0;
+  // Reports *emulated* free/total device memory so framework allocators make
+  // the same decisions they would on real hardware (§4.1).
+  virtual CudaError cudaMemGetInfo(uint64_t* free_bytes, uint64_t* total_bytes) = 0;
+  virtual CudaError cudaDeviceSynchronize() = 0;
+
+  // ---- Memory ------------------------------------------------------------
+  virtual CudaError cudaMalloc(DevPtr* ptr, uint64_t bytes) = 0;
+  virtual CudaError cudaFree(DevPtr ptr) = 0;
+  // Pinned host memory (activation/parameter offload paths).
+  virtual CudaError cudaHostAlloc(DevPtr* ptr, uint64_t bytes) = 0;
+  virtual CudaError cudaFreeHost(DevPtr ptr) = 0;
+  virtual CudaError cudaMemcpyAsync(DevPtr dst, DevPtr src, uint64_t bytes, MemcpyKind kind,
+                                    StreamHandle stream) = 0;
+  // Synchronous copy: implies a stream synchronize on the legacy stream.
+  virtual CudaError cudaMemcpy(DevPtr dst, DevPtr src, uint64_t bytes, MemcpyKind kind) = 0;
+  virtual CudaError cudaMemsetAsync(DevPtr ptr, int value, uint64_t bytes,
+                                    StreamHandle stream) = 0;
+
+  // ---- Streams and events ------------------------------------------------
+  virtual CudaError cudaStreamCreate(StreamHandle* stream) = 0;
+  virtual CudaError cudaStreamDestroy(StreamHandle stream) = 0;
+  virtual CudaError cudaStreamSynchronize(StreamHandle stream) = 0;
+  virtual CudaError cudaEventCreate(EventHandle* event) = 0;
+  virtual CudaError cudaEventDestroy(EventHandle event) = 0;
+  virtual CudaError cudaEventRecord(EventHandle event, StreamHandle stream) = 0;
+  virtual CudaError cudaStreamWaitEvent(StreamHandle stream, EventHandle event) = 0;
+  virtual CudaError cudaEventSynchronize(EventHandle event) = 0;
+  virtual CudaError cudaEventQuery(EventHandle event) = 0;
+
+  // ---- Kernel launch -----------------------------------------------------
+  // Eager-mode framework kernels and Triton-compiled kernels arrive here.
+  virtual CudaError cudaLaunchKernel(const KernelDesc& kernel, StreamHandle stream) = 0;
+
+  // ---- cuBLAS (stateful handle protocol) ----------------------------------
+  virtual CudaError cublasCreate(CublasHandle* handle) = 0;
+  virtual CudaError cublasDestroy(CublasHandle handle) = 0;
+  virtual CudaError cublasSetStream(CublasHandle handle, StreamHandle stream) = 0;
+  virtual CudaError cublasSetMathMode(CublasHandle handle, bool tensor_ops_allowed) = 0;
+  virtual CudaError cublasGemmEx(CublasHandle handle, int64_t m, int64_t n, int64_t k,
+                                 DType dtype) = 0;
+  virtual CudaError cublasGemmStridedBatchedEx(CublasHandle handle, int64_t m, int64_t n,
+                                               int64_t k, int64_t batch, DType dtype) = 0;
+
+  // ---- cuDNN (incremental descriptor protocol, §4.1) ----------------------
+  virtual CudaError cudnnCreate(CudnnHandle* handle) = 0;
+  virtual CudaError cudnnDestroy(CudnnHandle handle) = 0;
+  virtual CudaError cudnnSetStream(CudnnHandle handle, StreamHandle stream) = 0;
+  virtual CudaError cudnnCreateTensorDescriptor(CudnnTensorDesc* desc) = 0;
+  virtual CudaError cudnnSetTensor4dDescriptor(CudnnTensorDesc desc, int64_t n, int64_t c,
+                                               int64_t h, int64_t w, DType dtype) = 0;
+  virtual CudaError cudnnDestroyTensorDescriptor(CudnnTensorDesc desc) = 0;
+  virtual CudaError cudnnCreateFilterDescriptor(CudnnFilterDesc* desc) = 0;
+  virtual CudaError cudnnSetFilter4dDescriptor(CudnnFilterDesc desc, int64_t k, int64_t c,
+                                               int64_t r, int64_t s, DType dtype) = 0;
+  virtual CudaError cudnnDestroyFilterDescriptor(CudnnFilterDesc desc) = 0;
+  virtual CudaError cudnnCreateConvolutionDescriptor(CudnnConvDesc* desc) = 0;
+  virtual CudaError cudnnSetConvolution2dDescriptor(CudnnConvDesc desc, int64_t pad,
+                                                    int64_t stride) = 0;
+  virtual CudaError cudnnDestroyConvolutionDescriptor(CudnnConvDesc desc) = 0;
+  virtual CudaError cudnnConvolutionForward(CudnnHandle handle, CudnnTensorDesc x_desc,
+                                            CudnnFilterDesc w_desc, CudnnConvDesc conv_desc) = 0;
+  virtual CudaError cudnnConvolutionBackwardData(CudnnHandle handle, CudnnTensorDesc dy_desc,
+                                                 CudnnFilterDesc w_desc,
+                                                 CudnnConvDesc conv_desc) = 0;
+  virtual CudaError cudnnConvolutionBackwardFilter(CudnnHandle handle, CudnnTensorDesc x_desc,
+                                                   CudnnTensorDesc dy_desc,
+                                                   CudnnConvDesc conv_desc) = 0;
+
+  // ---- NCCL ----------------------------------------------------------------
+  virtual CudaError ncclGetUniqueId(NcclUniqueId* unique_id) = 0;
+  virtual CudaError ncclCommInitRank(NcclComm* comm, int nranks, NcclUniqueId unique_id,
+                                     int rank) = 0;
+  virtual CudaError ncclCommDestroy(NcclComm comm) = 0;
+  // Counts are elements per rank, matching NCCL semantics.
+  virtual CudaError ncclAllReduce(uint64_t count, DType dtype, NcclRedOp op, NcclComm comm,
+                                  StreamHandle stream) = 0;
+  virtual CudaError ncclAllGather(uint64_t send_count, DType dtype, NcclComm comm,
+                                  StreamHandle stream) = 0;
+  virtual CudaError ncclReduceScatter(uint64_t recv_count, DType dtype, NcclRedOp op,
+                                      NcclComm comm, StreamHandle stream) = 0;
+  virtual CudaError ncclBroadcast(uint64_t count, DType dtype, int root, NcclComm comm,
+                                  StreamHandle stream) = 0;
+  virtual CudaError ncclSend(uint64_t count, DType dtype, int peer, NcclComm comm,
+                             StreamHandle stream) = 0;
+  virtual CudaError ncclRecv(uint64_t count, DType dtype, int peer, NcclComm comm,
+                             StreamHandle stream) = 0;
+  virtual CudaError ncclGroupStart() = 0;
+  virtual CudaError ncclGroupEnd() = 0;
+};
+
+}  // namespace maya
+
+#endif  // SRC_CUDA_DEVICE_API_H_

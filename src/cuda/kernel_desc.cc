@@ -1,0 +1,371 @@
+#include "src/cuda/kernel_desc.h"
+
+#include "src/common/check.h"
+#include "src/common/strings.h"
+
+namespace maya {
+
+const char* KernelKindName(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kGemm:
+      return "Gemm";
+    case KernelKind::kGemmStridedBatched:
+      return "GemmStridedBatched";
+    case KernelKind::kLayerNormForward:
+      return "LayerNormForward";
+    case KernelKind::kLayerNormBackward:
+      return "LayerNormBackward";
+    case KernelKind::kLayerNormGradWeights:
+      return "LayerNormGradWeights";
+    case KernelKind::kBatchNormForward:
+      return "BatchNormForward";
+    case KernelKind::kBatchNormBackward:
+      return "BatchNormBackward";
+    case KernelKind::kSoftmaxForward:
+      return "SoftmaxForward";
+    case KernelKind::kSoftmaxBackward:
+      return "SoftmaxBackward";
+    case KernelKind::kDropout:
+      return "Dropout";
+    case KernelKind::kElementwise:
+      return "Elementwise";
+    case KernelKind::kReduce:
+      return "Reduce";
+    case KernelKind::kCat:
+      return "Cat";
+    case KernelKind::kEmbeddingForward:
+      return "EmbeddingForward";
+    case KernelKind::kEmbeddingBackward:
+      return "EmbeddingBackward";
+    case KernelKind::kCrossEntropyForward:
+      return "CrossEntropyForward";
+    case KernelKind::kCrossEntropyBackward:
+      return "CrossEntropyBackward";
+    case KernelKind::kOptimizerApply:
+      return "OptimizerApply";
+    case KernelKind::kConvForward:
+      return "ConvForward";
+    case KernelKind::kConvBackwardData:
+      return "ConvBackwardData";
+    case KernelKind::kConvBackwardFilter:
+      return "ConvBackwardFilter";
+    case KernelKind::kPooling:
+      return "Pooling";
+    case KernelKind::kTritonFused:
+      return "TritonFused";
+    case KernelKind::kMemcpyH2D:
+      return "MemcpyH2D";
+    case KernelKind::kMemcpyD2H:
+      return "MemcpyD2H";
+    case KernelKind::kMemcpyD2D:
+      return "MemcpyD2D";
+    case KernelKind::kMemset:
+      return "Memset";
+    case KernelKind::kNumKinds:
+      break;
+  }
+  return "Unknown";
+}
+
+const char* KernelKindCudaSymbol(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kGemm:
+      return "cublasSgemm_v2";
+    case KernelKind::kGemmStridedBatched:
+      return "cublasSgemmStridedBatched";
+    case KernelKind::kLayerNormForward:
+      return "cuApplyLayerNorm";
+    case KernelKind::kLayerNormBackward:
+      return "cuComputeGradInput";
+    case KernelKind::kLayerNormGradWeights:
+      return "cuComputePartGradGammaBeta";
+    case KernelKind::kBatchNormForward:
+      return "batch_norm_collect_statistics";
+    case KernelKind::kBatchNormBackward:
+      return "batch_norm_backward_reduce";
+    case KernelKind::kSoftmaxForward:
+      return "scaled_masked_softmax_warp_forward";
+    case KernelKind::kSoftmaxBackward:
+      return "scaled_masked_softmax_warp_backward";
+    case KernelKind::kDropout:
+      return "fused_dropout_kernel_vec";
+    case KernelKind::kElementwise:
+      return "vectorized_elementwise_kernel";
+    case KernelKind::kReduce:
+      return "reduce_kernel";
+    case KernelKind::kCat:
+      return "CatArrayBatchedCopy";
+    case KernelKind::kEmbeddingForward:
+      return "indexSelectLargeIndex";
+    case KernelKind::kEmbeddingBackward:
+      return "compute_grad_weight";
+    case KernelKind::kCrossEntropyForward:
+      return "nll_loss_forward_reduce_cuda_kernel_2d";
+    case KernelKind::kCrossEntropyBackward:
+      return "nll_loss_backward_reduce_cuda_kernel_2d";
+    case KernelKind::kOptimizerApply:
+      return "multi_tensor_apply_kernel";
+    case KernelKind::kConvForward:
+      return "cudnnConvolutionForward";
+    case KernelKind::kConvBackwardData:
+      return "cudnnConvolutionBackwardData";
+    case KernelKind::kConvBackwardFilter:
+      return "cudnnConvolutionBackwardFilter";
+    case KernelKind::kPooling:
+      return "max_pool_backward_nhwc";
+    case KernelKind::kTritonFused:
+      return "triton";
+    case KernelKind::kMemcpyH2D:
+      return "MemcpyHtoD";
+    case KernelKind::kMemcpyD2H:
+      return "MemcpyDtoH";
+    case KernelKind::kMemcpyD2D:
+      return "MemcpyDtoD";
+    case KernelKind::kMemset:
+      return "Memset";
+    case KernelKind::kNumKinds:
+      break;
+  }
+  return "unknown_kernel";
+}
+
+double KernelDesc::intensity() const {
+  const double bytes = total_bytes();
+  return bytes > 0.0 ? flops / bytes : 0.0;
+}
+
+std::string KernelDesc::ToString() const {
+  return StrFormat("%s(%s, params=[%lld,%lld,%lld,%lld], %.3g flops, %.3g B)",
+                   KernelKindCudaSymbol(kind), DTypeName(dtype),
+                   static_cast<long long>(params[0]), static_cast<long long>(params[1]),
+                   static_cast<long long>(params[2]), static_cast<long long>(params[3]), flops,
+                   total_bytes());
+}
+
+KernelDesc MakeGemm(int64_t m, int64_t n, int64_t k, DType dtype, int64_t batch) {
+  CHECK_GT(m, 0);
+  CHECK_GT(n, 0);
+  CHECK_GT(k, 0);
+  CHECK_GT(batch, 0);
+  KernelDesc desc;
+  desc.kind = batch > 1 ? KernelKind::kGemmStridedBatched : KernelKind::kGemm;
+  desc.dtype = dtype;
+  desc.params = {m, n, k, batch, 0, 0, 0, 0};
+  const double elem = static_cast<double>(DTypeSize(dtype));
+  desc.flops = 2.0 * static_cast<double>(m) * n * k * batch;
+  desc.bytes_read = elem * batch * (static_cast<double>(m) * k + static_cast<double>(k) * n);
+  desc.bytes_written = elem * batch * static_cast<double>(m) * n;
+  return desc;
+}
+
+KernelDesc MakeLayerNorm(KernelKind kind, int64_t rows, int64_t hidden, DType dtype) {
+  CHECK(kind == KernelKind::kLayerNormForward || kind == KernelKind::kLayerNormBackward ||
+        kind == KernelKind::kLayerNormGradWeights);
+  KernelDesc desc;
+  desc.kind = kind;
+  desc.dtype = dtype;
+  desc.params = {rows, hidden, 0, 0, 0, 0, 0, 0};
+  const double elements = static_cast<double>(rows) * hidden;
+  const double elem = static_cast<double>(DTypeSize(dtype));
+  // ~8 flops/element forward (mean, var, normalize, affine); backward ~2x.
+  const double flops_per_element = kind == KernelKind::kLayerNormForward ? 8.0 : 16.0;
+  desc.flops = elements * flops_per_element;
+  desc.bytes_read = elements * elem * (kind == KernelKind::kLayerNormForward ? 1.0 : 2.0);
+  desc.bytes_written = kind == KernelKind::kLayerNormGradWeights
+                           ? 2.0 * hidden * elem
+                           : elements * elem;
+  return desc;
+}
+
+KernelDesc MakeBatchNorm(KernelKind kind, int64_t n, int64_t c, int64_t hw, DType dtype) {
+  CHECK(kind == KernelKind::kBatchNormForward || kind == KernelKind::kBatchNormBackward);
+  KernelDesc desc;
+  desc.kind = kind;
+  desc.dtype = dtype;
+  desc.params = {n, c, hw, 0, 0, 0, 0, 0};
+  const double elements = static_cast<double>(n) * c * hw;
+  const double elem = static_cast<double>(DTypeSize(dtype));
+  desc.flops = elements * (kind == KernelKind::kBatchNormForward ? 6.0 : 12.0);
+  desc.bytes_read = elements * elem * (kind == KernelKind::kBatchNormForward ? 1.0 : 2.0);
+  desc.bytes_written = elements * elem;
+  return desc;
+}
+
+KernelDesc MakeSoftmax(KernelKind kind, int64_t rows, int64_t cols, DType dtype) {
+  CHECK(kind == KernelKind::kSoftmaxForward || kind == KernelKind::kSoftmaxBackward);
+  KernelDesc desc;
+  desc.kind = kind;
+  desc.dtype = dtype;
+  desc.params = {rows, cols, 0, 0, 0, 0, 0, 0};
+  const double elements = static_cast<double>(rows) * cols;
+  const double elem = static_cast<double>(DTypeSize(dtype));
+  desc.flops = elements * (kind == KernelKind::kSoftmaxForward ? 5.0 : 7.0);
+  desc.bytes_read = elements * elem * (kind == KernelKind::kSoftmaxForward ? 1.0 : 2.0);
+  desc.bytes_written = elements * elem;
+  return desc;
+}
+
+KernelDesc MakeDropout(int64_t elements, DType dtype) {
+  KernelDesc desc;
+  desc.kind = KernelKind::kDropout;
+  desc.dtype = dtype;
+  desc.params = {elements, 0, 0, 0, 0, 0, 0, 0};
+  const double elem = static_cast<double>(DTypeSize(dtype));
+  desc.flops = 3.0 * static_cast<double>(elements);  // rng + compare + scale
+  desc.bytes_read = static_cast<double>(elements) * elem;
+  desc.bytes_written = static_cast<double>(elements) * (elem + 1.0);  // output + mask
+  return desc;
+}
+
+KernelDesc MakeElementwise(int64_t elements, DType dtype, int arity) {
+  CHECK_GE(arity, 1);
+  KernelDesc desc;
+  desc.kind = KernelKind::kElementwise;
+  desc.dtype = dtype;
+  desc.params = {elements, arity, 0, 0, 0, 0, 0, 0};
+  const double elem = static_cast<double>(DTypeSize(dtype));
+  desc.flops = static_cast<double>(elements) * arity;
+  desc.bytes_read = static_cast<double>(elements) * elem * arity;
+  desc.bytes_written = static_cast<double>(elements) * elem;
+  return desc;
+}
+
+KernelDesc MakeReduce(int64_t elements, DType dtype) {
+  KernelDesc desc;
+  desc.kind = KernelKind::kReduce;
+  desc.dtype = dtype;
+  desc.params = {elements, 0, 0, 0, 0, 0, 0, 0};
+  desc.flops = static_cast<double>(elements);
+  desc.bytes_read = static_cast<double>(elements) * DTypeSize(dtype);
+  desc.bytes_written = static_cast<double>(DTypeSize(dtype));
+  return desc;
+}
+
+KernelDesc MakeCat(int64_t elements, DType dtype) {
+  KernelDesc desc;
+  desc.kind = KernelKind::kCat;
+  desc.dtype = dtype;
+  desc.params = {elements, 0, 0, 0, 0, 0, 0, 0};
+  desc.flops = 0.0;
+  desc.bytes_read = static_cast<double>(elements) * DTypeSize(dtype);
+  desc.bytes_written = desc.bytes_read;
+  return desc;
+}
+
+KernelDesc MakeEmbedding(KernelKind kind, int64_t tokens, int64_t hidden, int64_t vocab,
+                         DType dtype) {
+  CHECK(kind == KernelKind::kEmbeddingForward || kind == KernelKind::kEmbeddingBackward);
+  KernelDesc desc;
+  desc.kind = kind;
+  desc.dtype = dtype;
+  desc.params = {tokens, hidden, vocab, 0, 0, 0, 0, 0};
+  const double elem = static_cast<double>(DTypeSize(dtype));
+  const double moved = static_cast<double>(tokens) * hidden * elem;
+  desc.flops = kind == KernelKind::kEmbeddingBackward ? static_cast<double>(tokens) * hidden : 0.0;
+  desc.bytes_read = moved + static_cast<double>(tokens) * 8.0;  // indices are int64
+  desc.bytes_written = moved;
+  return desc;
+}
+
+KernelDesc MakeCrossEntropy(KernelKind kind, int64_t tokens, int64_t vocab, DType dtype) {
+  CHECK(kind == KernelKind::kCrossEntropyForward || kind == KernelKind::kCrossEntropyBackward);
+  KernelDesc desc;
+  desc.kind = kind;
+  desc.dtype = dtype;
+  desc.params = {tokens, vocab, 0, 0, 0, 0, 0, 0};
+  const double elements = static_cast<double>(tokens) * vocab;
+  const double elem = static_cast<double>(DTypeSize(dtype));
+  desc.flops = elements * 4.0;
+  desc.bytes_read = elements * elem;
+  desc.bytes_written =
+      kind == KernelKind::kCrossEntropyForward ? static_cast<double>(tokens) * elem
+                                               : elements * elem;
+  return desc;
+}
+
+KernelDesc MakeOptimizerApply(int64_t elements, int state_tensors, DType dtype) {
+  CHECK_GE(state_tensors, 1);
+  KernelDesc desc;
+  desc.kind = KernelKind::kOptimizerApply;
+  desc.dtype = dtype;
+  desc.params = {elements, state_tensors, 0, 0, 0, 0, 0, 0};
+  const double elem = static_cast<double>(DTypeSize(dtype));
+  desc.flops = static_cast<double>(elements) * 10.0;  // Adam update arithmetic
+  desc.bytes_read = static_cast<double>(elements) * elem * state_tensors;
+  desc.bytes_written = static_cast<double>(elements) * elem * (state_tensors - 1);
+  return desc;
+}
+
+KernelDesc MakeConv(KernelKind kind, int64_t n, int64_t c, int64_t h, int64_t w, int64_t k_out,
+                    int64_t r, int64_t s, int64_t stride, DType dtype) {
+  CHECK(kind == KernelKind::kConvForward || kind == KernelKind::kConvBackwardData ||
+        kind == KernelKind::kConvBackwardFilter);
+  CHECK_GT(stride, 0);
+  KernelDesc desc;
+  desc.kind = kind;
+  desc.dtype = dtype;
+  desc.params = {n, c, h, w, k_out, r, s, stride};
+  const int64_t out_h = h / stride;
+  const int64_t out_w = w / stride;
+  const double elem = static_cast<double>(DTypeSize(dtype));
+  // Implicit-GEMM flop count; backward passes cost about the same as forward.
+  desc.flops = 2.0 * static_cast<double>(n) * k_out * out_h * out_w * c * r * s;
+  desc.bytes_read = elem * (static_cast<double>(n) * c * h * w +
+                            static_cast<double>(k_out) * c * r * s);
+  desc.bytes_written = elem * static_cast<double>(n) * k_out * out_h * out_w;
+  if (kind == KernelKind::kConvBackwardFilter) {
+    desc.bytes_written = elem * static_cast<double>(k_out) * c * r * s;
+  }
+  return desc;
+}
+
+KernelDesc MakePooling(int64_t n, int64_t c, int64_t h, int64_t w, int64_t window, DType dtype) {
+  KernelDesc desc;
+  desc.kind = KernelKind::kPooling;
+  desc.dtype = dtype;
+  desc.params = {n, c, h, w, window, 0, 0, 0};
+  const double elements = static_cast<double>(n) * c * h * w;
+  const double elem = static_cast<double>(DTypeSize(dtype));
+  desc.flops = elements;
+  desc.bytes_read = elements * elem;
+  desc.bytes_written = elements * elem / (static_cast<double>(window) * window);
+  return desc;
+}
+
+KernelDesc MakeTritonFused(int64_t elements, int fused_op_count, DType dtype) {
+  CHECK_GE(fused_op_count, 1);
+  KernelDesc desc;
+  desc.kind = KernelKind::kTritonFused;
+  desc.dtype = dtype;
+  desc.params = {elements, fused_op_count, 0, 0, 0, 0, 0, 0};
+  desc.fused_op_count = fused_op_count;
+  const double elem = static_cast<double>(DTypeSize(dtype));
+  desc.flops = static_cast<double>(elements) * fused_op_count;
+  // Fusion reads inputs once and writes once regardless of op count.
+  desc.bytes_read = static_cast<double>(elements) * elem * 2.0;
+  desc.bytes_written = static_cast<double>(elements) * elem;
+  return desc;
+}
+
+KernelDesc MakeMemcpy(KernelKind kind, int64_t bytes) {
+  CHECK(kind == KernelKind::kMemcpyH2D || kind == KernelKind::kMemcpyD2H ||
+        kind == KernelKind::kMemcpyD2D);
+  KernelDesc desc;
+  desc.kind = kind;
+  desc.dtype = DType::kUint8;
+  desc.params = {bytes, 0, 0, 0, 0, 0, 0, 0};
+  desc.bytes_read = static_cast<double>(bytes);
+  desc.bytes_written = static_cast<double>(bytes);
+  return desc;
+}
+
+KernelDesc MakeMemset(int64_t bytes) {
+  KernelDesc desc;
+  desc.kind = KernelKind::kMemset;
+  desc.dtype = DType::kUint8;
+  desc.params = {bytes, 0, 0, 0, 0, 0, 0, 0};
+  desc.bytes_written = static_cast<double>(bytes);
+  return desc;
+}
+
+}  // namespace maya

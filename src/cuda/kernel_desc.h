@@ -1,0 +1,114 @@
+// Kernel taxonomy and operation metadata.
+//
+// During emulation, compute operations become no-ops that record a KernelDesc
+// — the shapes, datatypes and derived flop/byte counts the runtime estimators
+// need (§4.2 "Worker Trace Generation"). Kernel kind names mirror the CUDA
+// symbol names reported in the paper's Appendix B tables.
+#ifndef SRC_CUDA_KERNEL_DESC_H_
+#define SRC_CUDA_KERNEL_DESC_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "src/cuda/types.h"
+
+namespace maya {
+
+enum class KernelKind {
+  // GEMM family (cuBLAS).
+  kGemm,                 // cublasSgemm_v2 / cublasGemmEx
+  kGemmStridedBatched,   // cublasSgemmStridedBatched
+  // Normalization.
+  kLayerNormForward,     // cuApplyLayerNorm
+  kLayerNormBackward,    // cuComputeGradInput
+  kLayerNormGradWeights, // cuComputePartGradGammaBeta + cuComputeGradGammaBeta
+  kBatchNormForward,
+  kBatchNormBackward,
+  // Attention pieces.
+  kSoftmaxForward,       // (scaled_)masked_softmax_warp_forward
+  kSoftmaxBackward,      // (scaled_)masked_softmax_warp_backward
+  kDropout,              // fused_dropout_kernel_vec
+  // Pointwise / reduction.
+  kElementwise,          // vectorized/unrolled_elementwise_kernel
+  kReduce,               // reduce_kernel
+  kCat,                  // CatArrayBatchedCopy
+  // Embedding.
+  kEmbeddingForward,     // indexSelectLargeIndex
+  kEmbeddingBackward,    // compute_grad_weight + RadixSort* helpers
+  // Loss.
+  kCrossEntropyForward,  // nll_loss_forward_reduce_cuda_kernel_2d
+  kCrossEntropyBackward, // nll_loss_backward_reduce_cuda_kernel_2d
+  // Optimizer.
+  kOptimizerApply,       // multi_tensor_apply_kernel
+  // Convolution family (cuDNN).
+  kConvForward,          // cudnnConvolutionForward
+  kConvBackwardData,     // cudnnConvolutionBackwardData
+  kConvBackwardFilter,   // cudnnConvolutionBackwardFilter
+  kPooling,              // max_pool_backward_nhwc etc.
+  // Compiler-generated fused kernels (torch.compile / Triton).
+  kTritonFused,
+  // Memory operations (treated as kernels for estimation, Table 4).
+  kMemcpyH2D,
+  kMemcpyD2H,
+  kMemcpyD2D,
+  kMemset,
+
+  kNumKinds,  // sentinel
+};
+
+const char* KernelKindName(KernelKind kind);        // enum identifier, e.g. "Gemm"
+const char* KernelKindCudaSymbol(KernelKind kind);  // e.g. "cublasSgemm_v2"
+
+// Operation metadata captured at emulation time. `params` is a kind-specific
+// shape vector (documented per factory function below); flops / bytes are
+// derived analytically from shapes and exposed to estimator features.
+struct KernelDesc {
+  KernelKind kind = KernelKind::kElementwise;
+  DType dtype = DType::kBf16;
+
+  // Kind-specific shape parameters (see factories).
+  std::array<int64_t, 8> params = {0, 0, 0, 0, 0, 0, 0, 0};
+
+  double flops = 0.0;        // floating-point work
+  double bytes_read = 0.0;   // device memory traffic in
+  double bytes_written = 0.0;
+  int fused_op_count = 0;    // Triton: number of primitive ops in the kernel body
+
+  double total_bytes() const { return bytes_read + bytes_written; }
+  // Arithmetic intensity (flops per byte); 0 for pure-memory ops.
+  double intensity() const;
+  std::string ToString() const;
+};
+
+// ---- Factories (shapes follow framework conventions) ----------------------
+
+// C[m,n] += A[m,k] * B[k,n]; batch repeats the GEMM (strided-batched).
+KernelDesc MakeGemm(int64_t m, int64_t n, int64_t k, DType dtype, int64_t batch = 1);
+// rows x hidden layer normalization.
+KernelDesc MakeLayerNorm(KernelKind kind, int64_t rows, int64_t hidden, DType dtype);
+KernelDesc MakeBatchNorm(KernelKind kind, int64_t n, int64_t c, int64_t hw, DType dtype);
+// Attention softmax over [batch*heads, q_len, k_len].
+KernelDesc MakeSoftmax(KernelKind kind, int64_t rows, int64_t cols, DType dtype);
+KernelDesc MakeDropout(int64_t elements, DType dtype);
+// `arity` = number of input tensors (1 = unary, 2 = binary, ...).
+KernelDesc MakeElementwise(int64_t elements, DType dtype, int arity = 1);
+KernelDesc MakeReduce(int64_t elements, DType dtype);
+KernelDesc MakeCat(int64_t elements, DType dtype);
+KernelDesc MakeEmbedding(KernelKind kind, int64_t tokens, int64_t hidden, int64_t vocab,
+                         DType dtype);
+KernelDesc MakeCrossEntropy(KernelKind kind, int64_t tokens, int64_t vocab, DType dtype);
+// Fused optimizer step over `elements` parameters with `tensors_per_apply`
+// state tensors (param, grad, exp_avg, exp_avg_sq for Adam).
+KernelDesc MakeOptimizerApply(int64_t elements, int state_tensors, DType dtype);
+// Conv2d: input [n, c, h, w], filter [k_out, c, r, s], stride.
+KernelDesc MakeConv(KernelKind kind, int64_t n, int64_t c, int64_t h, int64_t w, int64_t k_out,
+                    int64_t r, int64_t s, int64_t stride, DType dtype);
+KernelDesc MakePooling(int64_t n, int64_t c, int64_t h, int64_t w, int64_t window, DType dtype);
+KernelDesc MakeTritonFused(int64_t elements, int fused_op_count, DType dtype);
+KernelDesc MakeMemcpy(KernelKind kind, int64_t bytes);
+KernelDesc MakeMemset(int64_t bytes);
+
+}  // namespace maya
+
+#endif  // SRC_CUDA_KERNEL_DESC_H_

@@ -1,0 +1,79 @@
+#include "src/cuda/types.h"
+
+namespace maya {
+
+const char* CudaErrorName(CudaError error) {
+  switch (error) {
+    case CudaError::kSuccess:
+      return "cudaSuccess";
+    case CudaError::kErrorMemoryAllocation:
+      return "cudaErrorMemoryAllocation";
+    case CudaError::kErrorInvalidValue:
+      return "cudaErrorInvalidValue";
+    case CudaError::kErrorInvalidResourceHandle:
+      return "cudaErrorInvalidResourceHandle";
+    case CudaError::kErrorInvalidDevicePointer:
+      return "cudaErrorInvalidDevicePointer";
+    case CudaError::kErrorNotReady:
+      return "cudaErrorNotReady";
+    case CudaError::kErrorInitializationError:
+      return "cudaErrorInitializationError";
+  }
+  return "cudaErrorUnknown";
+}
+
+const char* MemcpyKindName(MemcpyKind kind) {
+  switch (kind) {
+    case MemcpyKind::kHostToDevice:
+      return "MemcpyHtoD";
+    case MemcpyKind::kDeviceToHost:
+      return "MemcpyDtoH";
+    case MemcpyKind::kDeviceToDevice:
+      return "MemcpyDtoD";
+    case MemcpyKind::kHostToHost:
+      return "MemcpyHtoH";
+  }
+  return "MemcpyUnknown";
+}
+
+size_t DTypeSize(DType dtype) {
+  switch (dtype) {
+    case DType::kFp32:
+    case DType::kInt32:
+      return 4;
+    case DType::kFp16:
+    case DType::kBf16:
+      return 2;
+    case DType::kFp64:
+    case DType::kInt64:
+      return 8;
+    case DType::kInt8:
+    case DType::kUint8:
+      return 1;
+  }
+  return 0;
+}
+
+const char* DTypeName(DType dtype) {
+  switch (dtype) {
+    case DType::kFp32:
+      return "fp32";
+    case DType::kFp16:
+      return "fp16";
+    case DType::kBf16:
+      return "bf16";
+    case DType::kFp64:
+      return "fp64";
+    case DType::kInt64:
+      return "int64";
+    case DType::kInt32:
+      return "int32";
+    case DType::kInt8:
+      return "int8";
+    case DType::kUint8:
+      return "uint8";
+  }
+  return "unknown";
+}
+
+}  // namespace maya

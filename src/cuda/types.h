@@ -1,0 +1,115 @@
+// Core types of the virtual CUDA device API.
+//
+// This is Maya's narrow waist (§3.4): training frameworks interact with
+// accelerators only through these opaque handles and enums, so swapping the
+// implementation underneath (emulator, profiler) is invisible to the app.
+// The real system interposes on libcudart/cuBLAS/cuDNN/NCCL symbols via
+// LD_PRELOAD; this reproduction expresses the same ABI as a C++ interface
+// (see DESIGN.md, substitutions).
+#ifndef SRC_CUDA_TYPES_H_
+#define SRC_CUDA_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace maya {
+
+// Mirrors cudaError_t. Only the codes the emulator can produce are defined.
+enum class CudaError {
+  kSuccess = 0,
+  kErrorMemoryAllocation,       // cudaMalloc failure: emulated device OOM
+  kErrorInvalidValue,
+  kErrorInvalidResourceHandle,  // unknown/destroyed stream, event, handle
+  kErrorInvalidDevicePointer,
+  kErrorNotReady,               // cudaEventQuery on a pending event
+  kErrorInitializationError,
+};
+
+const char* CudaErrorName(CudaError error);
+
+// Opaque device pointer. 0 is the null pointer.
+using DevPtr = uint64_t;
+
+// Typed opaque handles. 0 is invalid except for StreamHandle, where 0 is the
+// legacy default stream.
+struct StreamHandle {
+  uint64_t id = 0;
+  bool operator==(const StreamHandle&) const = default;
+};
+
+struct EventHandle {
+  uint64_t id = 0;
+  bool operator==(const EventHandle&) const = default;
+};
+
+struct CublasHandle {
+  uint64_t id = 0;
+  bool operator==(const CublasHandle&) const = default;
+};
+
+struct CudnnHandle {
+  uint64_t id = 0;
+  bool operator==(const CudnnHandle&) const = default;
+};
+
+struct CudnnTensorDesc {
+  uint64_t id = 0;
+  bool operator==(const CudnnTensorDesc&) const = default;
+};
+
+struct CudnnFilterDesc {
+  uint64_t id = 0;
+  bool operator==(const CudnnFilterDesc&) const = default;
+};
+
+struct CudnnConvDesc {
+  uint64_t id = 0;
+  bool operator==(const CudnnConvDesc&) const = default;
+};
+
+struct NcclComm {
+  uint64_t id = 0;
+  bool operator==(const NcclComm&) const = default;
+};
+
+// Returned by ncclGetUniqueId; shared out-of-band among the ranks of a
+// communicator before ncclCommInitRank.
+struct NcclUniqueId {
+  uint64_t value = 0;
+  bool operator==(const NcclUniqueId&) const = default;
+};
+
+enum class MemcpyKind {
+  kHostToDevice,
+  kDeviceToHost,
+  kDeviceToDevice,
+  kHostToHost,
+};
+
+const char* MemcpyKindName(MemcpyKind kind);
+
+enum class NcclRedOp {
+  kSum,
+  kProd,
+  kMax,
+  kMin,
+  kAvg,
+};
+
+enum class DType {
+  kFp32,
+  kFp16,
+  kBf16,
+  kFp64,
+  kInt64,
+  kInt32,
+  kInt8,
+  kUint8,
+};
+
+size_t DTypeSize(DType dtype);
+const char* DTypeName(DType dtype);
+
+}  // namespace maya
+
+#endif  // SRC_CUDA_TYPES_H_

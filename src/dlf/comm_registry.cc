@@ -1,0 +1,16 @@
+#include "src/dlf/comm_registry.h"
+
+namespace maya {
+
+NcclUniqueId JobCommRegistry::IdFor(const std::string& logical_name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = ids_.find(logical_name);
+  if (it != ids_.end()) {
+    return it->second;
+  }
+  const NcclUniqueId id = bootstrap_->CreateUniqueId();
+  ids_.emplace(logical_name, id);
+  return id;
+}
+
+}  // namespace maya

@@ -1,0 +1,37 @@
+// Job-wide registry mapping logical communicator names ("tp group 3",
+// "pp-fwd link 0->1 of replica 2") to NCCL unique ids — the moral
+// equivalent of the rank-0-creates-and-broadcasts pattern real frameworks
+// implement over a TCP store. Every rank asking for the same logical name
+// receives the same unique id.
+#ifndef SRC_DLF_COMM_REGISTRY_H_
+#define SRC_DLF_COMM_REGISTRY_H_
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "src/common/check.h"
+#include "src/emulator/emulator.h"
+
+namespace maya {
+
+class JobCommRegistry {
+ public:
+  explicit JobCommRegistry(JobBootstrap* bootstrap) : bootstrap_(bootstrap) {
+    CHECK(bootstrap_ != nullptr);
+  }
+
+  // Returns the unique id for the logical group, creating it on first use.
+  NcclUniqueId IdFor(const std::string& logical_name);
+
+  size_t size() const { return ids_.size(); }
+
+ private:
+  JobBootstrap* bootstrap_;
+  std::mutex mutex_;
+  std::unordered_map<std::string, NcclUniqueId> ids_;
+};
+
+}  // namespace maya
+
+#endif  // SRC_DLF_COMM_REGISTRY_H_

@@ -1,0 +1,12 @@
+#include "src/dlf/host_cost_model.h"
+
+#include <algorithm>
+
+namespace maya {
+
+void ChargeHost(VirtualHostClock& clock, Rng& rng, const HostCostModel& costs, double base_us) {
+  const double jitter = 1.0 + costs.jitter_fraction * (2.0 * rng.NextDouble() - 1.0);
+  clock.Advance(std::max(0.1, base_us * jitter));
+}
+
+}  // namespace maya

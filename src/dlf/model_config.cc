@@ -1,0 +1,89 @@
+#include "src/dlf/model_config.h"
+
+#include "src/common/check.h"
+#include "src/common/strings.h"
+
+namespace maya {
+
+const char* ModelFamilyName(ModelFamily family) {
+  switch (family) {
+    case ModelFamily::kGpt:
+      return "GPT";
+    case ModelFamily::kBert:
+      return "BERT";
+    case ModelFamily::kT5:
+      return "T5";
+    case ModelFamily::kVit:
+      return "ViT";
+    case ModelFamily::kResNet:
+      return "ResNet";
+  }
+  return "UNKNOWN";
+}
+
+double ModelConfig::ParameterCount() const {
+  if (family == ModelFamily::kResNet) {
+    double params = stem_channels * 3.0 * 49.0;  // 7x7 stem
+    int64_t in_channels = stem_channels;
+    for (const ConvStageConfig& stage : conv_stages) {
+      // Bottleneck block: 1x1 down, 3x3, 1x1 up (4x expansion).
+      const double mid = static_cast<double>(stage.channels) / 4.0;
+      params += static_cast<double>(in_channels) * mid;                 // first 1x1
+      params += static_cast<double>(stage.blocks) * (mid * mid * 9.0 +  // 3x3
+                                                     mid * stage.channels +
+                                                     stage.channels * mid);
+      in_channels = stage.channels;
+    }
+    params += static_cast<double>(in_channels) * num_classes;
+    return params;
+  }
+  const double h = static_cast<double>(hidden_size);
+  // Per layer: QKV + proj (4h^2) + FFN (2 * ffn_multiplier * h^2).
+  const double per_layer = (4.0 + 2.0 * static_cast<double>(ffn_multiplier)) * h * h;
+  double params = static_cast<double>(num_layers) * per_layer;
+  params += static_cast<double>(vocab_size) * h;  // embeddings
+  return params;
+}
+
+double ModelConfig::FlopsPerIteration(int64_t global_batch) const {
+  CHECK_GT(global_batch, 0);
+  if (family == ModelFamily::kResNet) {
+    // fwd+bwd ~= 3x forward; forward ~2 flops/MAC.
+    double fwd_flops = 0.0;
+    int64_t spatial = image_size / 4;  // after stem + pool
+    int64_t in_channels = stem_channels;
+    for (const ConvStageConfig& stage : conv_stages) {
+      spatial /= stage.stride;
+      const double mid = static_cast<double>(stage.channels) / 4.0;
+      const double hw = static_cast<double>(spatial) * spatial;
+      const double block =
+          2.0 * hw * (in_channels * mid + mid * mid * 9.0 + mid * stage.channels);
+      fwd_flops += block * stage.blocks;
+      in_channels = stage.channels;
+    }
+    fwd_flops += 2.0 * static_cast<double>(in_channels) * num_classes;
+    return 3.0 * fwd_flops * static_cast<double>(global_batch);
+  }
+  // Megatron-style accounting: 96 * B * s * L * h^2 * (1 + s/6h + V/16Lh)
+  // covers forward+backward GEMMs, attention and the LM head.
+  const double h = static_cast<double>(hidden_size);
+  const double s = static_cast<double>(seq_length);
+  const double l = static_cast<double>(num_layers);
+  const double v = static_cast<double>(vocab_size);
+  const double b = static_cast<double>(global_batch);
+  return 96.0 * b * s * l * h * h *
+         (1.0 + s / (6.0 * h) + v / (16.0 * l * h));
+}
+
+std::string ModelConfig::Summary() const {
+  if (family == ModelFamily::kResNet) {
+    return StrFormat("%s (%s, %zu conv stages, %.1fM params)", name.c_str(),
+                     ModelFamilyName(family), conv_stages.size(), ParameterCount() / 1e6);
+  }
+  return StrFormat("%s (%s, L=%lld h=%lld a=%lld s=%lld, %.2fB params)", name.c_str(),
+                   ModelFamilyName(family), static_cast<long long>(num_layers),
+                   static_cast<long long>(hidden_size), static_cast<long long>(num_heads),
+                   static_cast<long long>(seq_length), ParameterCount() / 1e9);
+}
+
+}  // namespace maya

@@ -1,0 +1,58 @@
+// Model architecture descriptions consumed by the training engines.
+// Preset configurations for the paper's evaluation models live in src/models.
+#ifndef SRC_DLF_MODEL_CONFIG_H_
+#define SRC_DLF_MODEL_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace maya {
+
+enum class ModelFamily {
+  kGpt,     // decoder-only transformer (GPT-3 / Llama)
+  kBert,    // encoder-only transformer
+  kT5,      // encoder-decoder (modeled as a deeper encoder stack)
+  kVit,     // vision transformer
+  kResNet,  // convolutional vision models (ResNet / DenseNet / VGG / MobileNet)
+};
+
+const char* ModelFamilyName(ModelFamily family);
+
+struct ConvStageConfig {
+  int blocks = 0;         // residual blocks in this stage
+  int64_t channels = 0;   // output channels
+  int64_t stride = 1;     // stride of the first block
+};
+
+struct ModelConfig {
+  std::string name;
+  ModelFamily family = ModelFamily::kGpt;
+
+  // Transformer families.
+  int64_t num_layers = 0;
+  int64_t hidden_size = 0;
+  int64_t num_heads = 0;
+  int64_t vocab_size = 0;
+  int64_t seq_length = 0;
+  int64_t ffn_multiplier = 4;
+
+  // Convolutional families.
+  int64_t image_size = 224;
+  int64_t stem_channels = 64;
+  std::vector<ConvStageConfig> conv_stages;
+  int64_t num_classes = 1000;
+
+  // Approximate parameter count.
+  double ParameterCount() const;
+  // Model FLOPs for one full iteration over `global_batch` samples
+  // (forward + backward, without activation-recomputation overhead) — the
+  // numerator of MFU.
+  double FlopsPerIteration(int64_t global_batch) const;
+
+  std::string Summary() const;
+};
+
+}  // namespace maya
+
+#endif  // SRC_DLF_MODEL_CONFIG_H_

@@ -1,0 +1,232 @@
+#include "src/dlf/op_emitter.h"
+
+#include "src/common/strings.h"
+
+namespace maya {
+
+OpEmitter::OpEmitter(DeviceApi* api, VirtualHostClock* clock, const HostCostModel& costs,
+                     uint64_t seed)
+    : api_(api), clock_(clock), costs_(costs), rng_(seed) {
+  CHECK(api_ != nullptr);
+  CHECK(clock_ != nullptr);
+}
+
+Status OpEmitter::Check(CudaError error, const char* what) {
+  switch (error) {
+    case CudaError::kSuccess:
+      return Status::Ok();
+    case CudaError::kErrorMemoryAllocation:
+      return Status::OutOfMemory(what);
+    default:
+      return Status::Internal(StrFormat("%s failed: %s", what, CudaErrorName(error)));
+  }
+}
+
+Status OpEmitter::Init() {
+  ChargeHost(*clock_, rng_, costs_, costs_.memory_op_us);
+  return Check(api_->cublasCreate(&cublas_), "cublasCreate");
+}
+
+Result<StreamHandle> OpEmitter::CreateStream() {
+  ChargeHost(*clock_, rng_, costs_, costs_.memory_op_us);
+  StreamHandle stream;
+  MAYA_RETURN_IF_ERROR(Check(api_->cudaStreamCreate(&stream), "cudaStreamCreate"));
+  return stream;
+}
+
+Result<EventHandle> OpEmitter::CreateEvent() {
+  ChargeHost(*clock_, rng_, costs_, costs_.memory_op_us);
+  EventHandle event;
+  MAYA_RETURN_IF_ERROR(Check(api_->cudaEventCreate(&event), "cudaEventCreate"));
+  return event;
+}
+
+Result<DevPtr> OpEmitter::Malloc(uint64_t bytes) {
+  ChargeHost(*clock_, rng_, costs_, costs_.memory_op_us);
+  DevPtr ptr = 0;
+  MAYA_RETURN_IF_ERROR(Check(api_->cudaMalloc(&ptr, bytes), "cudaMalloc"));
+  return ptr;
+}
+
+Status OpEmitter::Free(DevPtr ptr) {
+  ChargeHost(*clock_, rng_, costs_, costs_.memory_op_us);
+  return Check(api_->cudaFree(ptr), "cudaFree");
+}
+
+Result<DevPtr> OpEmitter::HostAlloc(uint64_t bytes) {
+  ChargeHost(*clock_, rng_, costs_, costs_.memory_op_us);
+  DevPtr ptr = 0;
+  MAYA_RETURN_IF_ERROR(Check(api_->cudaHostAlloc(&ptr, bytes), "cudaHostAlloc"));
+  return ptr;
+}
+
+Status OpEmitter::LaunchKernel(const KernelDesc& kernel, StreamHandle stream) {
+  ChargeHost(*clock_, rng_, costs_, costs_.kernel_launch_us);
+  return Check(api_->cudaLaunchKernel(kernel, stream), "cudaLaunchKernel");
+}
+
+Status OpEmitter::Gemm(int64_t m, int64_t n, int64_t k, DType dtype, StreamHandle stream,
+                       int64_t batch) {
+  if (!cublas_stream_bound_ || !(cublas_stream_ == stream)) {
+    ChargeHost(*clock_, rng_, costs_, costs_.memory_op_us);
+    MAYA_RETURN_IF_ERROR(Check(api_->cublasSetStream(cublas_, stream), "cublasSetStream"));
+    cublas_stream_ = stream;
+    cublas_stream_bound_ = true;
+  }
+  ChargeHost(*clock_, rng_, costs_, costs_.kernel_launch_us);
+  if (batch > 1) {
+    return Check(api_->cublasGemmStridedBatchedEx(cublas_, m, n, k, batch, dtype),
+                 "cublasGemmStridedBatchedEx");
+  }
+  return Check(api_->cublasGemmEx(cublas_, m, n, k, dtype), "cublasGemmEx");
+}
+
+Result<CudnnHandle> OpEmitter::CudnnCreate() {
+  ChargeHost(*clock_, rng_, costs_, costs_.memory_op_us);
+  CudnnHandle handle;
+  MAYA_RETURN_IF_ERROR(Check(api_->cudnnCreate(&handle), "cudnnCreate"));
+  return handle;
+}
+
+Status OpEmitter::CudnnSetStream(CudnnHandle handle, StreamHandle stream) {
+  ChargeHost(*clock_, rng_, costs_, costs_.memory_op_us);
+  return Check(api_->cudnnSetStream(handle, stream), "cudnnSetStream");
+}
+
+Status OpEmitter::Conv(KernelKind kind, CudnnHandle handle, int64_t n, int64_t c, int64_t h,
+                       int64_t w, int64_t k_out, int64_t r, int64_t s, int64_t stride,
+                       DType dtype) {
+  // The incremental descriptor protocol of the real library (context-aware
+  // modeling in the emulator, §4.1).
+  ChargeHost(*clock_, rng_, costs_, costs_.memory_op_us * 3.0);
+  CudnnTensorDesc x_desc;
+  CudnnFilterDesc w_desc;
+  CudnnConvDesc conv_desc;
+  MAYA_RETURN_IF_ERROR(
+      Check(api_->cudnnCreateTensorDescriptor(&x_desc), "cudnnCreateTensorDescriptor"));
+  MAYA_RETURN_IF_ERROR(
+      Check(api_->cudnnCreateFilterDescriptor(&w_desc), "cudnnCreateFilterDescriptor"));
+  MAYA_RETURN_IF_ERROR(Check(api_->cudnnCreateConvolutionDescriptor(&conv_desc),
+                             "cudnnCreateConvolutionDescriptor"));
+  MAYA_RETURN_IF_ERROR(Check(api_->cudnnSetTensor4dDescriptor(x_desc, n, c, h, w, dtype),
+                             "cudnnSetTensor4dDescriptor"));
+  MAYA_RETURN_IF_ERROR(Check(api_->cudnnSetFilter4dDescriptor(w_desc, k_out, c, r, s, dtype),
+                             "cudnnSetFilter4dDescriptor"));
+  MAYA_RETURN_IF_ERROR(Check(api_->cudnnSetConvolution2dDescriptor(conv_desc, r / 2, stride),
+                             "cudnnSetConvolution2dDescriptor"));
+  ChargeHost(*clock_, rng_, costs_, costs_.kernel_launch_us);
+  switch (kind) {
+    case KernelKind::kConvForward:
+      MAYA_RETURN_IF_ERROR(Check(api_->cudnnConvolutionForward(handle, x_desc, w_desc, conv_desc),
+                                 "cudnnConvolutionForward"));
+      break;
+    case KernelKind::kConvBackwardData:
+      MAYA_RETURN_IF_ERROR(Check(
+          api_->cudnnConvolutionBackwardData(handle, x_desc, w_desc, conv_desc),
+          "cudnnConvolutionBackwardData"));
+      break;
+    case KernelKind::kConvBackwardFilter: {
+      // Backward-filter takes two tensor descriptors (x and dy).
+      CudnnTensorDesc dy_desc;
+      MAYA_RETURN_IF_ERROR(
+          Check(api_->cudnnCreateTensorDescriptor(&dy_desc), "cudnnCreateTensorDescriptor"));
+      MAYA_RETURN_IF_ERROR(Check(
+          api_->cudnnSetTensor4dDescriptor(dy_desc, n, k_out, h / stride, w / stride, dtype),
+          "cudnnSetTensor4dDescriptor"));
+      MAYA_RETURN_IF_ERROR(Check(
+          api_->cudnnConvolutionBackwardFilter(handle, x_desc, dy_desc, conv_desc),
+          "cudnnConvolutionBackwardFilter"));
+      MAYA_RETURN_IF_ERROR(Check(api_->cudnnDestroyTensorDescriptor(dy_desc),
+                                 "cudnnDestroyTensorDescriptor"));
+      break;
+    }
+    default:
+      return Status::InvalidArgument("Conv expects a convolution kernel kind");
+  }
+  MAYA_RETURN_IF_ERROR(
+      Check(api_->cudnnDestroyTensorDescriptor(x_desc), "cudnnDestroyTensorDescriptor"));
+  MAYA_RETURN_IF_ERROR(
+      Check(api_->cudnnDestroyFilterDescriptor(w_desc), "cudnnDestroyFilterDescriptor"));
+  return Check(api_->cudnnDestroyConvolutionDescriptor(conv_desc),
+               "cudnnDestroyConvolutionDescriptor");
+}
+
+Status OpEmitter::RecordEvent(EventHandle event, StreamHandle stream) {
+  ChargeHost(*clock_, rng_, costs_, costs_.memory_op_us);
+  return Check(api_->cudaEventRecord(event, stream), "cudaEventRecord");
+}
+
+Status OpEmitter::WaitEvent(StreamHandle stream, EventHandle event) {
+  ChargeHost(*clock_, rng_, costs_, costs_.memory_op_us);
+  return Check(api_->cudaStreamWaitEvent(stream, event), "cudaStreamWaitEvent");
+}
+
+Status OpEmitter::StreamSync(StreamHandle stream) {
+  ChargeHost(*clock_, rng_, costs_, costs_.sync_us);
+  return Check(api_->cudaStreamSynchronize(stream), "cudaStreamSynchronize");
+}
+
+Status OpEmitter::DeviceSync() {
+  ChargeHost(*clock_, rng_, costs_, costs_.sync_us);
+  return Check(api_->cudaDeviceSynchronize(), "cudaDeviceSynchronize");
+}
+
+Status OpEmitter::MemcpyAsync(DevPtr dst, DevPtr src, uint64_t bytes, MemcpyKind kind,
+                              StreamHandle stream) {
+  ChargeHost(*clock_, rng_, costs_, costs_.memory_op_us);
+  return Check(api_->cudaMemcpyAsync(dst, src, bytes, kind, stream), "cudaMemcpyAsync");
+}
+
+Status OpEmitter::MemsetAsync(DevPtr ptr, uint64_t bytes, StreamHandle stream) {
+  ChargeHost(*clock_, rng_, costs_, costs_.memory_op_us);
+  return Check(api_->cudaMemsetAsync(ptr, 0, bytes, stream), "cudaMemsetAsync");
+}
+
+Result<NcclComm> OpEmitter::CommInit(int nranks, NcclUniqueId unique_id, int rank_in_comm) {
+  ChargeHost(*clock_, rng_, costs_, costs_.collective_launch_us * 4.0);  // comm setup is slow
+  NcclComm comm;
+  MAYA_RETURN_IF_ERROR(
+      Check(api_->ncclCommInitRank(&comm, nranks, unique_id, rank_in_comm), "ncclCommInitRank"));
+  return comm;
+}
+
+Status OpEmitter::AllReduce(uint64_t count, DType dtype, NcclComm comm, StreamHandle stream) {
+  ChargeHost(*clock_, rng_, costs_, costs_.collective_launch_us);
+  return Check(api_->ncclAllReduce(count, dtype, NcclRedOp::kSum, comm, stream),
+               "ncclAllReduce");
+}
+
+Status OpEmitter::AllGather(uint64_t send_count, DType dtype, NcclComm comm,
+                            StreamHandle stream) {
+  ChargeHost(*clock_, rng_, costs_, costs_.collective_launch_us);
+  return Check(api_->ncclAllGather(send_count, dtype, comm, stream), "ncclAllGather");
+}
+
+Status OpEmitter::ReduceScatter(uint64_t recv_count, DType dtype, NcclComm comm,
+                                StreamHandle stream) {
+  ChargeHost(*clock_, rng_, costs_, costs_.collective_launch_us);
+  return Check(api_->ncclReduceScatter(recv_count, dtype, NcclRedOp::kSum, comm, stream),
+               "ncclReduceScatter");
+}
+
+Status OpEmitter::Broadcast(uint64_t count, DType dtype, int root, NcclComm comm,
+                            StreamHandle stream) {
+  ChargeHost(*clock_, rng_, costs_, costs_.collective_launch_us);
+  return Check(api_->ncclBroadcast(count, dtype, root, comm, stream), "ncclBroadcast");
+}
+
+Status OpEmitter::Send(uint64_t count, DType dtype, int peer, NcclComm comm,
+                       StreamHandle stream) {
+  ChargeHost(*clock_, rng_, costs_, costs_.collective_launch_us * 0.5);
+  return Check(api_->ncclSend(count, dtype, peer, comm, stream), "ncclSend");
+}
+
+Status OpEmitter::Recv(uint64_t count, DType dtype, int peer, NcclComm comm,
+                       StreamHandle stream) {
+  ChargeHost(*clock_, rng_, costs_, costs_.collective_launch_us * 0.5);
+  return Check(api_->ncclRecv(count, dtype, peer, comm, stream), "ncclRecv");
+}
+
+void OpEmitter::ChargeGlue(double us) { ChargeHost(*clock_, rng_, costs_, us); }
+
+}  // namespace maya

@@ -1,0 +1,81 @@
+// Thin framework-side wrapper over DeviceApi: every call charges host time
+// on the virtual clock (so the emulator measures realistic dispatch gaps)
+// and converts CUDA error codes into Status (OOM propagates as a
+// first-class recoverable outcome).
+#ifndef SRC_DLF_OP_EMITTER_H_
+#define SRC_DLF_OP_EMITTER_H_
+
+#include "src/common/status.h"
+#include "src/cuda/device_api.h"
+#include "src/dlf/host_cost_model.h"
+
+namespace maya {
+
+class OpEmitter {
+ public:
+  OpEmitter(DeviceApi* api, VirtualHostClock* clock, const HostCostModel& costs, uint64_t seed);
+
+  // Creates the cuBLAS handle used by Gemm(); must be called once first.
+  Status Init();
+
+  DeviceApi* api() { return api_; }
+
+  // ---- Resources ----------------------------------------------------------
+  Result<StreamHandle> CreateStream();
+  Result<EventHandle> CreateEvent();
+  Result<DevPtr> Malloc(uint64_t bytes);  // OOM surfaces as StatusCode::kOutOfMemory
+  Status Free(DevPtr ptr);
+  Result<DevPtr> HostAlloc(uint64_t bytes);
+
+  // ---- Compute ------------------------------------------------------------
+  Status LaunchKernel(const KernelDesc& kernel, StreamHandle stream);
+  Status Gemm(int64_t m, int64_t n, int64_t k, DType dtype, StreamHandle stream,
+              int64_t batch = 1);
+
+  // Convolution through the full stateful cuDNN descriptor protocol
+  // (create -> set -> convolve -> destroy), on the handle bound stream.
+  Result<CudnnHandle> CudnnCreate();
+  Status CudnnSetStream(CudnnHandle handle, StreamHandle stream);
+  Status Conv(KernelKind kind, CudnnHandle handle, int64_t n, int64_t c, int64_t h, int64_t w,
+              int64_t k_out, int64_t r, int64_t s, int64_t stride, DType dtype);
+
+  // ---- Synchronization ------------------------------------------------------
+  Status RecordEvent(EventHandle event, StreamHandle stream);
+  Status WaitEvent(StreamHandle stream, EventHandle event);
+  Status StreamSync(StreamHandle stream);
+  Status DeviceSync();
+
+  // ---- Memory movement -------------------------------------------------------
+  Status MemcpyAsync(DevPtr dst, DevPtr src, uint64_t bytes, MemcpyKind kind,
+                     StreamHandle stream);
+  Status MemsetAsync(DevPtr ptr, uint64_t bytes, StreamHandle stream);
+
+  // ---- Collectives -------------------------------------------------------------
+  Result<NcclComm> CommInit(int nranks, NcclUniqueId unique_id, int rank_in_comm);
+  Status AllReduce(uint64_t count, DType dtype, NcclComm comm, StreamHandle stream);
+  Status AllGather(uint64_t send_count, DType dtype, NcclComm comm, StreamHandle stream);
+  Status ReduceScatter(uint64_t recv_count, DType dtype, NcclComm comm, StreamHandle stream);
+  Status Broadcast(uint64_t count, DType dtype, int root, NcclComm comm, StreamHandle stream);
+  Status Send(uint64_t count, DType dtype, int peer, NcclComm comm, StreamHandle stream);
+  Status Recv(uint64_t count, DType dtype, int peer, NcclComm comm, StreamHandle stream);
+
+  // Host-only framework logic (schedule glue, optimizer bookkeeping).
+  void ChargeGlue(double us);
+
+  const HostCostModel& costs() const { return costs_; }
+
+ private:
+  Status Check(CudaError error, const char* what);
+
+  DeviceApi* api_;
+  VirtualHostClock* clock_;
+  HostCostModel costs_;
+  Rng rng_;
+  CublasHandle cublas_;
+  StreamHandle cublas_stream_;
+  bool cublas_stream_bound_ = false;
+};
+
+}  // namespace maya
+
+#endif  // SRC_DLF_OP_EMITTER_H_

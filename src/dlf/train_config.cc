@@ -1,0 +1,107 @@
+#include "src/dlf/train_config.h"
+
+#include "src/common/strings.h"
+
+namespace maya {
+
+const char* ParallelFrameworkName(ParallelFramework framework) {
+  switch (framework) {
+    case ParallelFramework::kMegatron:
+      return "Megatron-LM";
+    case ParallelFramework::kDdp:
+      return "PyTorch DDP";
+    case ParallelFramework::kFsdp:
+      return "PyTorch FSDP";
+    case ParallelFramework::kDeepSpeed:
+      return "DeepSpeed";
+  }
+  return "UNKNOWN";
+}
+
+int TrainConfig::data_parallel(int total_gpus) const {
+  const int model_parallel = tensor_parallel * pipeline_parallel;
+  CHECK_GT(model_parallel, 0);
+  CHECK_EQ(total_gpus % model_parallel, 0);
+  return total_gpus / model_parallel;
+}
+
+int64_t TrainConfig::microbatch_size(int total_gpus) const {
+  const int64_t denominator =
+      static_cast<int64_t>(data_parallel(total_gpus)) * num_microbatches();
+  CHECK_GT(denominator, 0);
+  CHECK_EQ(global_batch_size % denominator, 0);
+  return global_batch_size / denominator;
+}
+
+Status TrainConfig::Validate(const ModelConfig& model, const ClusterSpec& cluster) const {
+  const int total_gpus = cluster.total_gpus();
+  if (tensor_parallel < 1 || pipeline_parallel < 1 || microbatch_multiplier < 1 ||
+      virtual_pipeline_stages < 1) {
+    return Status::InvalidArgument("degrees must be >= 1");
+  }
+  const int model_parallel = tensor_parallel * pipeline_parallel;
+  if (model_parallel > total_gpus || total_gpus % model_parallel != 0) {
+    return Status::InvalidArgument(
+        StrFormat("tp*pp=%d does not divide %d GPUs", model_parallel, total_gpus));
+  }
+  // Tensor parallelism beyond the node boundary is impractical (NVLink only).
+  if (tensor_parallel > cluster.gpus_per_node) {
+    return Status::InvalidArgument("tensor parallel group spans nodes");
+  }
+  if (sequence_parallel && tensor_parallel == 1) {
+    return Status::InvalidArgument("sequence parallelism requires tensor parallelism");
+  }
+  if (virtual_pipeline_stages > 1 && pipeline_parallel == 1) {
+    return Status::InvalidArgument("virtual stages require pipeline parallelism");
+  }
+  if (model.family != ModelFamily::kResNet) {
+    const int64_t chunks =
+        static_cast<int64_t>(pipeline_parallel) * virtual_pipeline_stages;
+    if (model.num_layers % chunks != 0) {
+      return Status::InvalidArgument(
+          StrFormat("layers %lld not divisible into %lld pipeline chunks",
+                    static_cast<long long>(model.num_layers), static_cast<long long>(chunks)));
+    }
+    if (sequence_parallel && model.seq_length % tensor_parallel != 0) {
+      return Status::InvalidArgument("sequence length not divisible by tp");
+    }
+    if (model.num_heads % tensor_parallel != 0) {
+      return Status::InvalidArgument("attention heads not divisible by tp");
+    }
+  }
+  const int64_t denominator =
+      static_cast<int64_t>(total_gpus / model_parallel) * num_microbatches();
+  if (global_batch_size % denominator != 0) {
+    return Status::InvalidArgument(
+        StrFormat("global batch %lld not divisible by dp*microbatches=%lld",
+                  static_cast<long long>(global_batch_size),
+                  static_cast<long long>(denominator)));
+  }
+  if (framework != ParallelFramework::kMegatron &&
+      (tensor_parallel > 1 || pipeline_parallel > 1)) {
+    return Status::InvalidArgument("TP/PP require the Megatron engine");
+  }
+  if (framework == ParallelFramework::kDeepSpeed && (zero_stage < 1 || zero_stage > 3)) {
+    return Status::InvalidArgument("DeepSpeed requires zero_stage in [1,3]");
+  }
+  return Status::Ok();
+}
+
+std::string TrainConfig::Summary() const {
+  return StrFormat("%s tp%d pp%d mb%d vs%d%s%s%s gbs%lld", ParallelFrameworkName(framework),
+                   tensor_parallel, pipeline_parallel, num_microbatches(),
+                   virtual_pipeline_stages, sequence_parallel ? " sp" : "",
+                   activation_recomputation ? " ckpt" : "", distributed_optimizer ? " do" : "",
+                   static_cast<long long>(global_batch_size));
+}
+
+std::string TrainConfig::CacheKey() const {
+  return StrFormat("f%d_b%lld_t%d_p%d_m%d_v%d_s%d_r%d_d%d_z%d_o%d_c%d",
+                   static_cast<int>(framework), static_cast<long long>(global_batch_size),
+                   tensor_parallel, pipeline_parallel, microbatch_multiplier,
+                   virtual_pipeline_stages, sequence_parallel ? 1 : 0,
+                   activation_recomputation ? 1 : 0, distributed_optimizer ? 1 : 0, zero_stage,
+                   activation_offload ? 1 : 0, torch_compile ? 1 : 0);
+}
+
+}  // namespace maya

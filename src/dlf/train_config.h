@@ -1,0 +1,59 @@
+// Training configuration: the knobs of the paper's Table 5 plus the
+// DeepSpeed/FSDP options used in the generality study (Table 4).
+#ifndef SRC_DLF_TRAIN_CONFIG_H_
+#define SRC_DLF_TRAIN_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/dlf/model_config.h"
+#include "src/hw/cluster_spec.h"
+
+namespace maya {
+
+enum class ParallelFramework {
+  kMegatron,  // 3D parallelism (TP / PP / DP)
+  kDdp,       // PyTorch DistributedDataParallel
+  kFsdp,      // PyTorch FSDP / DeepSpeed ZeRO-3 style sharding
+  kDeepSpeed, // ZeRO stage selectable via zero_stage
+};
+
+const char* ParallelFrameworkName(ParallelFramework framework);
+
+struct TrainConfig {
+  ParallelFramework framework = ParallelFramework::kMegatron;
+
+  int64_t global_batch_size = 256;
+  int tensor_parallel = 1;
+  int pipeline_parallel = 1;
+  // Number of microbatches = microbatch_multiplier * pipeline_parallel.
+  int microbatch_multiplier = 1;
+  int virtual_pipeline_stages = 1;  // interleaved 1F1B chunks per rank
+  bool sequence_parallel = false;
+  bool activation_recomputation = false;
+  bool distributed_optimizer = false;  // Megatron ZeRO-1-style sharding
+
+  // DeepSpeed / FSDP options (generality study).
+  int zero_stage = 0;            // 1, 2 or 3 for kDeepSpeed
+  bool activation_offload = false;  // host offload through cudaMemcpyAsync
+  bool torch_compile = false;    // fused Triton kernels + reduced host overhead
+
+  // Derived quantities (CHECK-validated against Validate()).
+  int data_parallel(int total_gpus) const;
+  int num_microbatches() const { return microbatch_multiplier * pipeline_parallel; }
+  int64_t microbatch_size(int total_gpus) const;
+
+  // Checks divisibility and knob-compatibility constraints for this model
+  // and cluster; returns a descriptive error for invalid points so the
+  // search can classify them.
+  Status Validate(const ModelConfig& model, const ClusterSpec& cluster) const;
+
+  std::string Summary() const;
+  // Stable identity for caching / pruning (search).
+  std::string CacheKey() const;
+};
+
+}  // namespace maya
+
+#endif  // SRC_DLF_TRAIN_CONFIG_H_

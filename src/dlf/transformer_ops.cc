@@ -1,0 +1,233 @@
+#include "src/dlf/transformer_ops.h"
+
+namespace maya {
+
+int64_t TransformerLayerParams(const TransformerDims& dims) {
+  const int64_t h = dims.hidden;
+  const int64_t ffn = dims.ffn_hidden;
+  const int64_t t = dims.tp;
+  // QKV (3h^2) + proj (h^2) sharded by tp; two FFN matrices; LN affine params.
+  return (4 * h * h + 2 * h * ffn) / t + 4 * h;
+}
+
+uint64_t TransformerActivationBytes(const TransformerDims& dims, bool recompute) {
+  // Korthikanti et al. activation accounting for 2-byte activations,
+  // specialized to the active tp / sequence-parallel combination.
+  const double s = static_cast<double>(dims.seq);
+  const double b = static_cast<double>(dims.mbs);
+  const double h = static_cast<double>(dims.hidden);
+  const double a = static_cast<double>(dims.heads);
+  const double t = static_cast<double>(dims.tp);
+  const double sbh = s * b * h;
+  if (recompute) {
+    // Full recomputation keeps only the layer input.
+    const double kept = dims.sequence_parallel ? 2.0 * sbh / t : 2.0 * sbh;
+    return static_cast<uint64_t>(kept);
+  }
+  double bytes = 0.0;
+  if (dims.tp == 1) {
+    bytes = sbh * (34.0 + 5.0 * a * s / h);
+  } else if (dims.sequence_parallel) {
+    bytes = sbh * (34.0 / t + 5.0 * a * s / (h * t));
+  } else {
+    bytes = sbh * (10.0 + 24.0 / t + 5.0 * a * s / (h * t));
+  }
+  return static_cast<uint64_t>(bytes);
+}
+
+TransformerLayerOps::TransformerLayerOps(OpEmitter* emitter, const TransformerDims& dims,
+                                         NcclComm tp_comm, StreamHandle compute_stream)
+    : emitter_(emitter), dims_(dims), tp_comm_(tp_comm), stream_(compute_stream) {
+  CHECK(emitter_ != nullptr);
+  CHECK_GT(dims_.seq, 0);
+  CHECK_GT(dims_.mbs, 0);
+  CHECK_GT(dims_.hidden, 0);
+  CHECK_EQ(dims_.heads % dims_.tp, 0);
+}
+
+Status TransformerLayerOps::PointwiseChain(int64_t elements, int eager_ops) {
+  if (dims_.compiled) {
+    // torch.compile fuses the chain into one Triton kernel whose body
+    // carries the primitive-op count feature (Appendix B).
+    return emitter_->LaunchKernel(MakeTritonFused(elements, eager_ops + 1, dims_.dtype),
+                                  stream_);
+  }
+  MAYA_RETURN_IF_ERROR(emitter_->LaunchKernel(MakeDropout(elements, dims_.dtype), stream_));
+  for (int i = 1; i < eager_ops; ++i) {
+    MAYA_RETURN_IF_ERROR(
+        emitter_->LaunchKernel(MakeElementwise(elements, dims_.dtype, 2), stream_));
+  }
+  return Status::Ok();
+}
+
+Status TransformerLayerOps::TpAllReduce(int64_t elements) {
+  if (dims_.tp <= 1) {
+    return Status::Ok();
+  }
+  return emitter_->AllReduce(static_cast<uint64_t>(elements), dims_.dtype, tp_comm_, stream_);
+}
+
+Status TransformerLayerOps::TpAllGatherActivations() {
+  if (dims_.tp <= 1 || !dims_.sequence_parallel) {
+    return Status::Ok();
+  }
+  return emitter_->AllGather(static_cast<uint64_t>(dims_.sp_tokens() * dims_.hidden),
+                             dims_.dtype, tp_comm_, stream_);
+}
+
+Status TransformerLayerOps::TpReduceScatterActivations() {
+  if (dims_.tp <= 1) {
+    return Status::Ok();
+  }
+  if (!dims_.sequence_parallel) {
+    return TpAllReduce(dims_.tokens() * dims_.hidden);
+  }
+  return emitter_->ReduceScatter(static_cast<uint64_t>(dims_.sp_tokens() * dims_.hidden),
+                                 dims_.dtype, tp_comm_, stream_);
+}
+
+Status TransformerLayerOps::Forward() {
+  const int64_t tokens = dims_.tokens();
+  const int64_t h = dims_.hidden;
+  const int64_t hl = dims_.heads_local();
+  const int64_t hd = dims_.head_dim();
+  const int64_t s = dims_.seq;
+  const int64_t b = dims_.mbs;
+  const int64_t ffn_local = dims_.ffn_hidden / dims_.tp;
+
+  // ---- Self-attention -------------------------------------------------------
+  MAYA_RETURN_IF_ERROR(emitter_->LaunchKernel(
+      MakeLayerNorm(KernelKind::kLayerNormForward, dims_.sp_tokens(), h, dims_.dtype), stream_));
+  MAYA_RETURN_IF_ERROR(TpAllGatherActivations());
+  // Column-parallel QKV projection.
+  MAYA_RETURN_IF_ERROR(emitter_->Gemm(tokens, 3 * h / dims_.tp, h, dims_.dtype, stream_));
+  // Attention scores and context (batched over local heads).
+  MAYA_RETURN_IF_ERROR(emitter_->Gemm(s, s, hd, dims_.dtype, stream_, b * hl));
+  MAYA_RETURN_IF_ERROR(emitter_->LaunchKernel(
+      MakeSoftmax(KernelKind::kSoftmaxForward, b * hl * s, s, dims_.dtype), stream_));
+  MAYA_RETURN_IF_ERROR(
+      emitter_->LaunchKernel(MakeDropout(b * hl * s * s, dims_.dtype), stream_));
+  MAYA_RETURN_IF_ERROR(emitter_->Gemm(s, hd, s, dims_.dtype, stream_, b * hl));
+  // Row-parallel output projection + collective.
+  MAYA_RETURN_IF_ERROR(emitter_->Gemm(tokens, h, h / dims_.tp, dims_.dtype, stream_));
+  MAYA_RETURN_IF_ERROR(TpReduceScatterActivations());
+  // Bias + dropout + residual.
+  MAYA_RETURN_IF_ERROR(PointwiseChain(dims_.sp_tokens() * h, 3));
+
+  // ---- MLP -------------------------------------------------------------------
+  MAYA_RETURN_IF_ERROR(emitter_->LaunchKernel(
+      MakeLayerNorm(KernelKind::kLayerNormForward, dims_.sp_tokens(), h, dims_.dtype), stream_));
+  MAYA_RETURN_IF_ERROR(TpAllGatherActivations());
+  MAYA_RETURN_IF_ERROR(emitter_->Gemm(tokens, ffn_local, h, dims_.dtype, stream_));
+  MAYA_RETURN_IF_ERROR(PointwiseChain(tokens * ffn_local, 2));  // bias + GELU
+  MAYA_RETURN_IF_ERROR(emitter_->Gemm(tokens, h, ffn_local, dims_.dtype, stream_));
+  MAYA_RETURN_IF_ERROR(TpReduceScatterActivations());
+  MAYA_RETURN_IF_ERROR(PointwiseChain(dims_.sp_tokens() * h, 3));
+  return Status::Ok();
+}
+
+Status TransformerLayerOps::Backward() {
+  const int64_t tokens = dims_.tokens();
+  const int64_t h = dims_.hidden;
+  const int64_t hl = dims_.heads_local();
+  const int64_t hd = dims_.head_dim();
+  const int64_t s = dims_.seq;
+  const int64_t b = dims_.mbs;
+  const int64_t ffn_local = dims_.ffn_hidden / dims_.tp;
+
+  // ---- MLP backward ------------------------------------------------------------
+  MAYA_RETURN_IF_ERROR(PointwiseChain(dims_.sp_tokens() * h, 3));
+  MAYA_RETURN_IF_ERROR(TpAllGatherActivations());  // gather output grads (sp)
+  // fc2: input grad + weight grad.
+  MAYA_RETURN_IF_ERROR(emitter_->Gemm(tokens, ffn_local, h, dims_.dtype, stream_));
+  MAYA_RETURN_IF_ERROR(emitter_->Gemm(h, ffn_local, tokens, dims_.dtype, stream_));
+  MAYA_RETURN_IF_ERROR(PointwiseChain(tokens * ffn_local, 2));  // GELU backward
+  // fc1: input grad + weight grad, then column-parallel grad collective.
+  MAYA_RETURN_IF_ERROR(emitter_->Gemm(tokens, h, ffn_local, dims_.dtype, stream_));
+  MAYA_RETURN_IF_ERROR(emitter_->Gemm(h, ffn_local, tokens, dims_.dtype, stream_));
+  MAYA_RETURN_IF_ERROR(TpReduceScatterActivations());
+  MAYA_RETURN_IF_ERROR(emitter_->LaunchKernel(
+      MakeLayerNorm(KernelKind::kLayerNormBackward, dims_.sp_tokens(), h, dims_.dtype), stream_));
+  MAYA_RETURN_IF_ERROR(emitter_->LaunchKernel(
+      MakeLayerNorm(KernelKind::kLayerNormGradWeights, dims_.sp_tokens(), h, dims_.dtype),
+      stream_));
+
+  // ---- Attention backward --------------------------------------------------------
+  MAYA_RETURN_IF_ERROR(PointwiseChain(dims_.sp_tokens() * h, 2));
+  MAYA_RETURN_IF_ERROR(TpAllGatherActivations());
+  // Output projection.
+  MAYA_RETURN_IF_ERROR(emitter_->Gemm(tokens, h / dims_.tp, h, dims_.dtype, stream_));
+  MAYA_RETURN_IF_ERROR(emitter_->Gemm(h, h / dims_.tp, tokens, dims_.dtype, stream_));
+  // Context and scores backward (two batched GEMMs each).
+  MAYA_RETURN_IF_ERROR(emitter_->Gemm(s, s, hd, dims_.dtype, stream_, b * hl));
+  MAYA_RETURN_IF_ERROR(emitter_->Gemm(s, hd, s, dims_.dtype, stream_, b * hl));
+  MAYA_RETURN_IF_ERROR(
+      emitter_->LaunchKernel(MakeElementwise(b * hl * s * s, dims_.dtype, 2), stream_));
+  MAYA_RETURN_IF_ERROR(emitter_->LaunchKernel(
+      MakeSoftmax(KernelKind::kSoftmaxBackward, b * hl * s, s, dims_.dtype), stream_));
+  MAYA_RETURN_IF_ERROR(emitter_->Gemm(s, hd, s, dims_.dtype, stream_, b * hl));
+  MAYA_RETURN_IF_ERROR(emitter_->Gemm(s, s, hd, dims_.dtype, stream_, b * hl));
+  // QKV projection.
+  MAYA_RETURN_IF_ERROR(emitter_->Gemm(tokens, h, 3 * h / dims_.tp, dims_.dtype, stream_));
+  MAYA_RETURN_IF_ERROR(emitter_->Gemm(h, 3 * h / dims_.tp, tokens, dims_.dtype, stream_));
+  MAYA_RETURN_IF_ERROR(TpReduceScatterActivations());
+  MAYA_RETURN_IF_ERROR(emitter_->LaunchKernel(
+      MakeLayerNorm(KernelKind::kLayerNormBackward, dims_.sp_tokens(), h, dims_.dtype), stream_));
+  MAYA_RETURN_IF_ERROR(emitter_->LaunchKernel(
+      MakeLayerNorm(KernelKind::kLayerNormGradWeights, dims_.sp_tokens(), h, dims_.dtype),
+      stream_));
+  return Status::Ok();
+}
+
+Status TransformerLayerOps::EmbeddingForward() {
+  const int64_t tokens = dims_.tokens();
+  const int64_t vocab_local = dims_.vocab / dims_.tp;
+  MAYA_RETURN_IF_ERROR(emitter_->LaunchKernel(
+      MakeEmbedding(KernelKind::kEmbeddingForward, tokens, dims_.hidden, vocab_local,
+                    dims_.dtype),
+      stream_));
+  // Vocab-parallel embedding: partial results are reduced across tp.
+  MAYA_RETURN_IF_ERROR(TpReduceScatterActivations());
+  // Position embedding add + embedding dropout.
+  return PointwiseChain(dims_.sp_tokens() * dims_.hidden, 2);
+}
+
+Status TransformerLayerOps::EmbeddingBackward() {
+  MAYA_RETURN_IF_ERROR(PointwiseChain(dims_.sp_tokens() * dims_.hidden, 1));
+  MAYA_RETURN_IF_ERROR(TpAllGatherActivations());
+  return emitter_->LaunchKernel(
+      MakeEmbedding(KernelKind::kEmbeddingBackward, dims_.tokens(), dims_.hidden,
+                    dims_.vocab / dims_.tp, dims_.dtype),
+      stream_);
+}
+
+Status TransformerLayerOps::HeadForwardAndLoss() {
+  const int64_t tokens = dims_.tokens();
+  const int64_t vocab_local = dims_.vocab / dims_.tp;
+  MAYA_RETURN_IF_ERROR(TpAllGatherActivations());
+  MAYA_RETURN_IF_ERROR(emitter_->Gemm(tokens, vocab_local, dims_.hidden, dims_.dtype, stream_));
+  MAYA_RETURN_IF_ERROR(emitter_->LaunchKernel(
+      MakeCrossEntropy(KernelKind::kCrossEntropyForward, tokens, vocab_local, DType::kFp32),
+      stream_));
+  if (dims_.tp > 1) {
+    // Vocab-parallel cross entropy reduces per-token partials.
+    MAYA_RETURN_IF_ERROR(
+        emitter_->AllReduce(static_cast<uint64_t>(tokens), DType::kFp32, tp_comm_, stream_));
+  }
+  return Status::Ok();
+}
+
+Status TransformerLayerOps::HeadBackward() {
+  const int64_t tokens = dims_.tokens();
+  const int64_t vocab_local = dims_.vocab / dims_.tp;
+  MAYA_RETURN_IF_ERROR(emitter_->LaunchKernel(
+      MakeCrossEntropy(KernelKind::kCrossEntropyBackward, tokens, vocab_local, DType::kFp32),
+      stream_));
+  MAYA_RETURN_IF_ERROR(emitter_->Gemm(tokens, dims_.hidden, vocab_local, dims_.dtype, stream_));
+  MAYA_RETURN_IF_ERROR(
+      emitter_->Gemm(dims_.hidden, vocab_local, tokens, dims_.dtype, stream_));
+  MAYA_RETURN_IF_ERROR(TpReduceScatterActivations());
+  return Status::Ok();
+}
+
+}  // namespace maya

@@ -1,0 +1,76 @@
+// Transformer layer kernel emission.
+//
+// Emits the device-API call sequence a Megatron-style framework performs for
+// one transformer layer — forward and backward, with tensor parallelism,
+// optional sequence parallelism, and optional torch.compile-style fusion
+// (eager elementwise chains collapse into Triton kernels). These are the
+// exact kernels the paper's traces contain (GEMMs, fused softmax, layernorm,
+// dropout, embedding, NLL loss; Appendix B).
+#ifndef SRC_DLF_TRANSFORMER_OPS_H_
+#define SRC_DLF_TRANSFORMER_OPS_H_
+
+#include <cstdint>
+
+#include "src/dlf/op_emitter.h"
+
+namespace maya {
+
+struct TransformerDims {
+  int64_t seq = 0;         // full sequence length
+  int64_t mbs = 0;         // microbatch size
+  int64_t hidden = 0;
+  int64_t heads = 0;       // total attention heads
+  int64_t ffn_hidden = 0;  // usually 4 * hidden
+  int64_t vocab = 0;
+  int tp = 1;
+  bool sequence_parallel = false;
+  bool compiled = false;   // torch.compile: fuse pointwise chains
+  DType dtype = DType::kBf16;
+
+  int64_t heads_local() const { return heads / tp; }
+  int64_t head_dim() const { return hidden / heads; }
+  int64_t tokens() const { return seq * mbs; }
+  // Sequence-parallel regions operate on a 1/tp sequence shard.
+  int64_t sp_tokens() const { return sequence_parallel ? tokens() / tp : tokens(); }
+};
+
+// Per-layer parameter count on one tensor-parallel rank.
+int64_t TransformerLayerParams(const TransformerDims& dims);
+
+// Activation memory retained per microbatch per layer until backward
+// (Korthikanti et al. accounting, adapted to the active tp/sp/recompute
+// combination). With full recomputation only the layer input survives.
+uint64_t TransformerActivationBytes(const TransformerDims& dims, bool recompute);
+
+class TransformerLayerOps {
+ public:
+  // `tp_comm` may be default-constructed when dims.tp == 1.
+  TransformerLayerOps(OpEmitter* emitter, const TransformerDims& dims, NcclComm tp_comm,
+                      StreamHandle compute_stream);
+
+  Status Forward();
+  Status Backward();
+
+  // First pipeline stage: token + position embedding.
+  Status EmbeddingForward();
+  Status EmbeddingBackward();
+
+  // Last pipeline stage: LM head projection + vocab-parallel cross entropy.
+  Status HeadForwardAndLoss();
+  Status HeadBackward();
+
+ private:
+  Status PointwiseChain(int64_t elements, int eager_ops);
+  Status TpAllReduce(int64_t elements);
+  Status TpAllGatherActivations();
+  Status TpReduceScatterActivations();
+
+  OpEmitter* emitter_;
+  TransformerDims dims_;
+  NcclComm tp_comm_;
+  StreamHandle stream_;
+};
+
+}  // namespace maya
+
+#endif  // SRC_DLF_TRANSFORMER_OPS_H_

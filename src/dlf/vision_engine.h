@@ -1,0 +1,29 @@
+// Convolutional vision training engine (ResNet-family) with DistributedData-
+// Parallel and optional torch.compile — the Fig. 10 workload (ResNet152 on
+// 8xA40). Convolutions go through the full stateful cuDNN descriptor
+// protocol so the emulator's context-aware modeling is exercised end to end.
+#ifndef SRC_DLF_VISION_ENGINE_H_
+#define SRC_DLF_VISION_ENGINE_H_
+
+#include "src/dlf/comm_registry.h"
+#include "src/dlf/train_config.h"
+#include "src/dlf/op_emitter.h"
+
+namespace maya {
+
+class VisionEngine {
+ public:
+  VisionEngine(const ModelConfig& model, const TrainConfig& config, const ClusterSpec& cluster);
+
+  Status RunWorker(int rank, DeviceApi* api, VirtualHostClock* clock,
+                   JobCommRegistry* registry);
+
+ private:
+  ModelConfig model_;
+  TrainConfig config_;
+  ClusterSpec cluster_;
+};
+
+}  // namespace maya
+
+#endif  // SRC_DLF_VISION_ENGINE_H_

@@ -1,0 +1,101 @@
+#include "src/dlf/worker_launcher.h"
+
+#include <chrono>
+#include <memory>
+
+#include "src/common/strings.h"
+
+namespace maya {
+namespace {
+
+double WallMs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+Result<LaunchResult> EmulateJob(const ModelConfig& model, const TrainConfig& config,
+                                const ClusterSpec& cluster, const LaunchOptions& options) {
+  MAYA_RETURN_IF_ERROR(config.Validate(model, cluster));
+  const auto start = std::chrono::steady_clock::now();
+
+  JobEmulation emulation(EmulationSpec{cluster});
+  JobCommRegistry registry(&emulation.bootstrap());
+  LaunchResult result;
+
+  const bool is_megatron = config.framework == ParallelFramework::kMegatron &&
+                           model.family != ModelFamily::kResNet;
+  if (options.selective_launch && !is_megatron) {
+    return Status::InvalidArgument("selective launch requires the Megatron engine");
+  }
+
+  // Engines are stateless across workers; one instance drives every rank.
+  std::unique_ptr<MegatronEngine> megatron;
+  std::unique_ptr<FsdpEngine> fsdp;
+  std::unique_ptr<VisionEngine> vision;
+  if (model.family == ModelFamily::kResNet) {
+    vision = std::make_unique<VisionEngine>(model, config, cluster);
+  } else if (config.framework == ParallelFramework::kMegatron) {
+    megatron = std::make_unique<MegatronEngine>(model, config, cluster);
+  } else {
+    fsdp = std::make_unique<FsdpEngine>(model, config, cluster);
+  }
+
+  std::vector<bool> full_rank(static_cast<size_t>(cluster.total_gpus()), true);
+  if (options.selective_launch) {
+    full_rank.assign(static_cast<size_t>(cluster.total_gpus()), false);
+    for (int rank : megatron->layout().UniqueRanks()) {
+      full_rank[static_cast<size_t>(rank)] = true;
+    }
+  }
+
+  // Host clocks must outlive the emulators that reference them.
+  std::vector<std::unique_ptr<VirtualHostClock>> clocks;
+  std::vector<WorkerEmulator*> workers;
+  for (int rank = 0; rank < cluster.total_gpus(); ++rank) {
+    clocks.push_back(std::make_unique<VirtualHostClock>());
+    WorkerEmulator& worker = emulation.CreateWorker(rank, clocks.back().get());
+    workers.push_back(&worker);
+
+    Status status;
+    if (!full_rank[static_cast<size_t>(rank)]) {
+      status = megatron->RunCommInitOnly(rank, &worker, clocks.back().get(), &registry);
+    } else if (vision != nullptr) {
+      status = vision->RunWorker(rank, &worker, clocks.back().get(), &registry);
+    } else if (megatron != nullptr) {
+      status = megatron->RunWorker(rank, &worker, clocks.back().get(), &registry);
+    } else {
+      status = fsdp->RunWorker(rank, &worker, clocks.back().get(), &registry);
+    }
+
+    if (status.code() == StatusCode::kOutOfMemory) {
+      // The configuration does not fit: a first-class outcome (search
+      // pruning, Fig. 2b OOM cells). Twin ranks would OOM identically.
+      result.oom = true;
+      result.oom_detail = StrFormat("rank %d: %s", rank, status.message().c_str());
+      result.emulation_wall_ms = WallMs(start);
+      return result;
+    }
+    MAYA_RETURN_IF_ERROR(status);
+    result.total_api_calls += worker.stats().api_calls;
+    if (full_rank[static_cast<size_t>(rank)]) {
+      ++result.full_workers_emulated;
+    }
+  }
+
+  result.traces = emulation.TakeTraces();
+  if (options.selective_launch) {
+    for (WorkerTrace& trace : result.traces) {
+      if (!full_rank[static_cast<size_t>(trace.rank)]) {
+        trace.comm_init_only = true;
+        trace.duplicate_of = megatron->layout().RepresentativeOf(trace.rank);
+        trace.ops.clear();  // bootstrap host noise is not part of the job trace
+      }
+    }
+  }
+  result.emulation_wall_ms = WallMs(start);
+  return result;
+}
+
+}  // namespace maya

@@ -1,0 +1,41 @@
+// Job-level emulation driver: runs the training script of every (or, in
+// selective-launch mode, every analytically-unique) rank against its own
+// WorkerEmulator and collects the per-worker traces — the "Trace Collection
+// via Emulation" stage of Fig. 4/5.
+#ifndef SRC_DLF_WORKER_LAUNCHER_H_
+#define SRC_DLF_WORKER_LAUNCHER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/dlf/fsdp_engine.h"
+#include "src/dlf/megatron_engine.h"
+#include "src/dlf/vision_engine.h"
+#include "src/emulator/emulator.h"
+
+namespace maya {
+
+struct LaunchOptions {
+  // Hyperscale mode (§7.4): emulate only the unique workers computed from
+  // the Megatron layout; other ranks contribute communicator-bootstrap
+  // stubs. Megatron framework only.
+  bool selective_launch = false;
+};
+
+struct LaunchResult {
+  std::vector<WorkerTrace> traces;
+  bool oom = false;                // config does not fit device memory
+  std::string oom_detail;
+  int full_workers_emulated = 0;   // excludes stubs
+  double emulation_wall_ms = 0.0;  // real wall-clock of this stage (Fig. 13)
+  uint64_t total_api_calls = 0;
+};
+
+// Emulates one training iteration of the job. Fails only on internal errors;
+// out-of-memory is reported via LaunchResult::oom.
+Result<LaunchResult> EmulateJob(const ModelConfig& model, const TrainConfig& config,
+                                const ClusterSpec& cluster, const LaunchOptions& options = {});
+
+}  // namespace maya
+
+#endif  // SRC_DLF_WORKER_LAUNCHER_H_

@@ -1,0 +1,85 @@
+#include "src/estimator/collective_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <tuple>
+
+#include "src/common/check.h"
+
+namespace maya {
+
+bool ProfiledCollectiveEstimator::Key::operator<(const Key& other) const {
+  return std::tie(kind, nranks, num_nodes) <
+         std::tie(other.kind, other.nranks, other.num_nodes);
+}
+
+ProfiledCollectiveEstimator::Key ProfiledCollectiveEstimator::KeyFor(
+    const CollectiveRequest& request, const ClusterSpec& cluster) {
+  std::set<int> nodes;
+  for (int rank : request.ranks) {
+    nodes.insert(cluster.node_of(rank));
+  }
+  // A send and its matching receive are the same wire transfer; one profiled
+  // curve serves both directions.
+  const CollectiveKind kind =
+      request.kind == CollectiveKind::kRecv ? CollectiveKind::kSend : request.kind;
+  return Key{kind, static_cast<int32_t>(request.ranks.size()),
+             static_cast<int32_t>(nodes.size())};
+}
+
+void ProfiledCollectiveEstimator::Fit(const std::vector<CollectiveSample>& samples,
+                                      const ClusterSpec& cluster) {
+  tables_.clear();
+  for (const CollectiveSample& sample : samples) {
+    CHECK_GT(sample.runtime_us, 0.0);
+    CHECK_GT(sample.request.bytes, 0u);
+    Curve& curve = tables_[KeyFor(sample.request, cluster)];
+    curve.emplace_back(std::log(static_cast<double>(sample.request.bytes)),
+                       std::log(sample.runtime_us));
+  }
+  for (auto& [key, curve] : tables_) {
+    (void)key;
+    std::sort(curve.begin(), curve.end());
+    // Collapse duplicate sizes to their mean (repeat measurements).
+    Curve merged;
+    size_t i = 0;
+    while (i < curve.size()) {
+      size_t j = i;
+      double sum = 0.0;
+      while (j < curve.size() && curve[j].first == curve[i].first) {
+        sum += curve[j].second;
+        ++j;
+      }
+      merged.emplace_back(curve[i].first, sum / static_cast<double>(j - i));
+      i = j;
+    }
+    curve = std::move(merged);
+  }
+}
+
+double ProfiledCollectiveEstimator::PredictUs(const CollectiveRequest& request,
+                                              const ClusterSpec& cluster) const {
+  if (request.ranks.size() <= 1 || request.bytes == 0) {
+    return 0.0;
+  }
+  auto it = tables_.find(KeyFor(request, cluster));
+  if (it == tables_.end() || it->second.size() < 2) {
+    // Unprofiled group shape: fall back to the analytical ring model.
+    return fallback_.CollectiveUs(request, cluster);
+  }
+  const Curve& curve = it->second;
+  const double log_bytes = std::log(static_cast<double>(request.bytes));
+  // Locate the surrounding segment (ends extrapolate with the edge slope).
+  size_t hi = 1;
+  while (hi + 1 < curve.size() && curve[hi].first < log_bytes) {
+    ++hi;
+  }
+  const size_t lo = hi - 1;
+  const double span = curve[hi].first - curve[lo].first;
+  const double t = span > 0.0 ? (log_bytes - curve[lo].first) / span : 0.0;
+  const double log_us = curve[lo].second + t * (curve[hi].second - curve[lo].second);
+  return std::exp(log_us);
+}
+
+}  // namespace maya

@@ -1,0 +1,48 @@
+#include "src/estimator/features.h"
+
+#include <cmath>
+
+namespace maya {
+namespace {
+
+double Log2p1(double x) { return std::log2(1.0 + (x > 0.0 ? x : 0.0)); }
+
+}  // namespace
+
+std::vector<double> KernelFeatures(const KernelDesc& kernel) {
+  std::vector<double> features(kKernelFeatureCount);
+  features[0] = Log2p1(static_cast<double>(kernel.params[0]));
+  features[1] = Log2p1(static_cast<double>(kernel.params[1]));
+  features[2] = Log2p1(static_cast<double>(kernel.params[2]));
+  features[3] = Log2p1(static_cast<double>(kernel.params[3]));
+  features[4] = Log2p1(kernel.flops);
+  features[5] = Log2p1(kernel.bytes_read);
+  features[6] = Log2p1(kernel.bytes_written);
+  features[7] = Log2p1(kernel.intensity());
+  features[8] = static_cast<double>(DTypeSize(kernel.dtype));
+  features[9] = static_cast<double>(kernel.fused_op_count);
+  features[10] = Log2p1(kernel.total_bytes() / static_cast<double>(DTypeSize(kernel.dtype)));
+  features[11] = 1.0;  // bias
+  // Tile-quantization features: library GEMM/conv kernels launch in units of
+  // ~128x128 output tiles, so runtime is a step function of the tile count.
+  const double tiles_m = std::ceil(static_cast<double>(kernel.params[0]) / 128.0);
+  const double tiles_n = std::ceil(static_cast<double>(kernel.params[1]) / 128.0);
+  const double batch = static_cast<double>(kernel.params[3] > 0 ? kernel.params[3] : 1);
+  features[12] = Log2p1(tiles_m * tiles_n * batch);
+  features[13] = kernel.params[0] % 128 == 0 ? 1.0 : 0.0;
+  features[14] = kernel.params[1] % 128 == 0 ? 1.0 : 0.0;
+  features[15] = Log2p1(static_cast<double>(kernel.params[2]));
+  return features;
+}
+
+const std::vector<std::string>& KernelFeatureNames() {
+  static const std::vector<std::string> kNames = {
+      "log2_param0", "log2_param1", "log2_param2",   "log2_param3",
+      "log2_flops",  "log2_bytes_r", "log2_bytes_w", "log2_intensity",
+      "dtype_size",  "fused_ops",   "log2_elements", "bias",
+      "log2_tiles",  "m_aligned",   "n_aligned",     "log2_k",
+  };
+  return kNames;
+}
+
+}  // namespace maya

@@ -1,0 +1,25 @@
+// Feature extraction for kernel runtime regression (Appendix B).
+//
+// Every kernel maps to a fixed-width numeric feature vector: log-scaled shape
+// parameters, derived flop/byte counts, arithmetic intensity, datatype width
+// and (for compiler-fused kernels) the number of primitive ops in the kernel
+// body — the feature the paper found valuable for Triton kernels.
+#ifndef SRC_ESTIMATOR_FEATURES_H_
+#define SRC_ESTIMATOR_FEATURES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/cuda/kernel_desc.h"
+
+namespace maya {
+
+inline constexpr int kKernelFeatureCount = 16;
+
+std::vector<double> KernelFeatures(const KernelDesc& kernel);
+// Human-readable names, index-aligned with KernelFeatures output.
+const std::vector<std::string>& KernelFeatureNames();
+
+}  // namespace maya
+
+#endif  // SRC_ESTIMATOR_FEATURES_H_

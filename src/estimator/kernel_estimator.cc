@@ -1,0 +1,91 @@
+#include "src/estimator/kernel_estimator.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/common/stats.h"
+#include "src/common/units.h"
+#include "src/estimator/features.h"
+
+namespace maya {
+namespace {
+
+// Roofline fallback for kernel kinds with no trained model: assume a generic
+// accelerator (100 TFLOP/s, 1 TB/s). Only exercised for workloads containing
+// operations absent from the profiling sweep.
+double RooflineFallbackUs(const KernelDesc& kernel) {
+  const double compute_us = ComputeUs(kernel.flops, 100e12);
+  const double memory_us = TransferUs(kernel.total_bytes(), 1e12);
+  return std::max({compute_us, memory_us, 1.0});
+}
+
+}  // namespace
+
+RandomForestKernelEstimator::RandomForestKernelEstimator(RandomForestOptions options)
+    : options_(options) {}
+
+void RandomForestKernelEstimator::Fit(const KernelDataset& samples) {
+  CHECK(!samples.empty());
+  std::map<KernelKind, Dataset> per_kind;
+  for (const KernelSample& sample : samples) {
+    CHECK_GT(sample.runtime_us, 0.0);
+    per_kind[sample.kernel.kind].Add(KernelFeatures(sample.kernel), std::log(sample.runtime_us));
+  }
+  forests_.clear();
+  uint64_t salt = 0;
+  for (auto& [kind, dataset] : per_kind) {
+    RandomForestOptions options = options_;
+    options.seed = SplitMix64(options_.seed ^ ++salt);
+    RandomForestRegressor forest(options);
+    forest.Fit(dataset);
+    forests_.emplace(kind, std::move(forest));
+  }
+}
+
+double RandomForestKernelEstimator::PredictUs(const KernelDesc& kernel) const {
+  auto it = forests_.find(kernel.kind);
+  if (it == forests_.end()) {
+    ++fallback_predictions;
+    return RooflineFallbackUs(kernel);
+  }
+  return std::exp(it->second.Predict(KernelFeatures(kernel)));
+}
+
+std::map<KernelKind, double> PerKindMape(const KernelRuntimeEstimator& estimator,
+                                         const KernelDataset& samples) {
+  std::map<KernelKind, std::vector<double>> errors;
+  for (const KernelSample& sample : samples) {
+    const double predicted = estimator.PredictUs(sample.kernel);
+    errors[sample.kernel.kind].push_back(
+        AbsolutePercentageError(sample.runtime_us, predicted));
+  }
+  std::map<KernelKind, double> mape;
+  for (const auto& [kind, kind_errors] : errors) {
+    mape[kind] = Mean(kind_errors);
+  }
+  return mape;
+}
+
+void SplitKernelDataset(const KernelDataset& all, double train_fraction, Rng& rng,
+                        KernelDataset* train, KernelDataset* test) {
+  CHECK(train != nullptr);
+  CHECK(test != nullptr);
+  CHECK_GT(train_fraction, 0.0);
+  CHECK_LT(train_fraction, 1.0);
+  train->clear();
+  test->clear();
+  for (const KernelSample& sample : all) {
+    (rng.NextDouble() < train_fraction ? *train : *test).push_back(sample);
+  }
+  // Degenerate splits (tiny datasets) still need one sample on each side.
+  if (train->empty() && !test->empty()) {
+    train->push_back(test->back());
+    test->pop_back();
+  }
+  if (test->empty() && !train->empty()) {
+    test->push_back(train->back());
+    train->pop_back();
+  }
+}
+
+}  // namespace maya

@@ -1,0 +1,256 @@
+#include "src/estimator/profiler_repository.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/common/units.h"
+
+namespace maya {
+namespace {
+
+int64_t LogUniformInt(Rng& rng, int64_t lo, int64_t hi) {
+  CHECK_GT(lo, 0);
+  CHECK_GE(hi, lo);
+  const double value = std::exp(rng.Uniform(std::log(static_cast<double>(lo)),
+                                            std::log(static_cast<double>(hi) + 1.0)));
+  return std::clamp<int64_t>(static_cast<int64_t>(value), lo, hi);
+}
+
+DType SampleComputeDtype(Rng& rng) {
+  const double p = rng.NextDouble();
+  if (p < 0.55) {
+    return DType::kBf16;
+  }
+  if (p < 0.8) {
+    return DType::kFp16;
+  }
+  return DType::kFp32;
+}
+
+void Profile(KernelDataset& out, const KernelProfiler& profiler, const KernelDesc& kernel) {
+  const double runtime_us = profiler(kernel);
+  CHECK_GT(runtime_us, 0.0) << "profiler returned non-positive runtime";
+  out.push_back(KernelSample{kernel, runtime_us});
+}
+
+}  // namespace
+
+KernelDataset GenerateKernelDataset(GpuArch arch, const KernelProfiler& profiler,
+                                    const ProfileSweepOptions& options) {
+  (void)arch;  // sweep ranges cover all three evaluation architectures
+  KernelDataset dataset;
+  Rng rng(options.seed);
+
+  // Heavy hitters: GEMMs. The paper profiles a dense sweep (~42k points)
+  // plus shapes scraped from single-layer model traces, so the training set
+  // concentrates where workloads actually live: token-count rows against
+  // transformer projection columns, and attention-pattern batched GEMMs.
+  const int64_t hidden_sizes[] = {1024, 2048, 2560, 4096, 5120, 6144, 8192, 12288};
+  const int64_t tp_degrees[] = {1, 2, 4, 8};
+  for (int i = 0; i < options.gemm_samples; ++i) {
+    int64_t m = 0, n = 0, k = 0, batch = 1;
+    const double mode = rng.NextDouble();
+    if (mode < 0.30) {
+      // Broad log-uniform coverage.
+      m = LogUniformInt(rng, 16, 65536);
+      n = LogUniformInt(rng, 16, 32768);
+      k = LogUniformInt(rng, 16, 32768);
+      if (rng.Bernoulli(0.3)) {
+        batch = LogUniformInt(rng, 2, 512);
+      }
+    } else if (mode < 0.75) {
+      // Projection GEMMs: m = tokens, n/k in {h, 3h/t, 4h/t, h/t, vocab/t}.
+      const int64_t h = hidden_sizes[rng.NextUint64(8)];
+      const int64_t t = tp_degrees[rng.NextUint64(4)];
+      const int64_t seq = 512 << rng.NextUint64(4);  // 512..4096
+      const int64_t mbs = static_cast<int64_t>(1) << rng.NextUint64(7);  // 1..64
+      m = seq * mbs;
+      const int64_t cols[] = {h, 3 * h / t, 4 * h / t, h / t, 51200 / t, 32000 / t};
+      n = cols[rng.NextUint64(6)];
+      k = rng.Bernoulli(0.5) ? h : cols[rng.NextUint64(6)];
+      if (rng.Bernoulli(0.25)) {
+        std::swap(m, n);  // weight-gradient GEMMs transpose the roles
+      }
+    } else {
+      // Attention-pattern batched GEMMs: [b*heads] x (s x s x hd).
+      const int64_t h = hidden_sizes[rng.NextUint64(8)];
+      const int64_t heads = h / (rng.Bernoulli(0.5) ? 64 : 128);
+      const int64_t t = tp_degrees[rng.NextUint64(4)];
+      const int64_t seq = 512 << rng.NextUint64(4);
+      const int64_t mbs = static_cast<int64_t>(1) << rng.NextUint64(6);
+      const int64_t hd = h / std::max<int64_t>(1, heads);
+      batch = std::max<int64_t>(1, mbs * heads / t);
+      if (rng.Bernoulli(0.5)) {
+        m = seq; n = seq; k = hd;
+      } else {
+        m = seq; n = hd; k = seq;
+      }
+    }
+    Profile(dataset, profiler, MakeGemm(m, n, k, SampleComputeDtype(rng), batch));
+  }
+
+  // Heavy hitters: convolutions. Half broad coverage, half ResNet-family
+  // shapes (channel doublings at spatial halvings).
+  for (int i = 0; i < options.conv_samples; ++i) {
+    int64_t n = 0, c = 0, k_out = 0, hw = 0, r = 3, stride = 1;
+    if (rng.Bernoulli(0.5)) {
+      n = LogUniformInt(rng, 4, 256);
+      c = LogUniformInt(rng, 16, 2048);
+      k_out = LogUniformInt(rng, 16, 2048);
+      hw = LogUniformInt(rng, 7, 224);
+      r = rng.Bernoulli(0.7) ? 3 : (rng.Bernoulli(0.5) ? 1 : 7);
+      stride = rng.Bernoulli(0.75) ? 1 : 2;
+    } else {
+      const int level = static_cast<int>(rng.NextUint64(4));  // ResNet stage
+      hw = 56 >> level;
+      const int64_t stage_channels[] = {256, 512, 1024, 2048};
+      const int64_t out = stage_channels[level];
+      const int64_t mid = out / 4;
+      n = static_cast<int64_t>(8) << rng.NextUint64(5);  // 8..128
+      switch (rng.NextUint64(3)) {
+        case 0: c = rng.Bernoulli(0.5) ? out : out / 2; k_out = mid; r = 1; break;
+        case 1: c = mid; k_out = mid; r = 3; stride = rng.Bernoulli(0.8) ? 1 : 2; break;
+        default: c = mid; k_out = out; r = 1; break;
+      }
+    }
+    const KernelKind kinds[] = {KernelKind::kConvForward, KernelKind::kConvBackwardData,
+                                KernelKind::kConvBackwardFilter};
+    const KernelKind kind = kinds[rng.NextUint64(3)];
+    Profile(dataset, profiler,
+            MakeConv(kind, n, c, hw, hw, k_out, r, r, stride, SampleComputeDtype(rng)));
+  }
+
+  // Remaining kinds: trace-scraped ranges (single-layer LLaMa/OPT/vision
+  // sweeps over batch and tensor-parallel splits in the paper).
+  const int generic = options.generic_samples;
+  for (int i = 0; i < generic; ++i) {
+    const DType dtype = SampleComputeDtype(rng);
+    const int64_t rows = LogUniformInt(rng, 64, 1 << 20);
+    const int64_t hidden = LogUniformInt(rng, 128, 16384);
+    Profile(dataset, profiler, MakeLayerNorm(KernelKind::kLayerNormForward, rows, hidden, dtype));
+    Profile(dataset, profiler, MakeLayerNorm(KernelKind::kLayerNormBackward, rows, hidden, dtype));
+    Profile(dataset, profiler,
+            MakeLayerNorm(KernelKind::kLayerNormGradWeights, rows, hidden, dtype));
+    const int64_t soft_rows = LogUniformInt(rng, 64, 1 << 18);
+    const int64_t soft_cols = LogUniformInt(rng, 64, 8192);
+    Profile(dataset, profiler, MakeSoftmax(KernelKind::kSoftmaxForward, soft_rows, soft_cols,
+                                           dtype));
+    Profile(dataset, profiler, MakeSoftmax(KernelKind::kSoftmaxBackward, soft_rows, soft_cols,
+                                           dtype));
+    const int64_t elements = LogUniformInt(rng, 1 << 10, 1LL << 31);
+    Profile(dataset, profiler, MakeDropout(elements, dtype));
+    Profile(dataset, profiler, MakeElementwise(elements, dtype,
+                                               1 + static_cast<int>(rng.NextUint64(3))));
+    Profile(dataset, profiler, MakeReduce(elements, dtype));
+    Profile(dataset, profiler, MakeCat(LogUniformInt(rng, 1 << 10, 1 << 28), dtype));
+    const int64_t tokens = LogUniformInt(rng, 256, 1 << 20);
+    const int64_t vocab = LogUniformInt(rng, 8192, 65536);
+    Profile(dataset, profiler,
+            MakeEmbedding(KernelKind::kEmbeddingForward, tokens, hidden, vocab, dtype));
+    Profile(dataset, profiler,
+            MakeEmbedding(KernelKind::kEmbeddingBackward, tokens, hidden, vocab, dtype));
+    const int64_t loss_tokens = LogUniformInt(rng, 256, 1 << 16);
+    Profile(dataset, profiler,
+            MakeCrossEntropy(KernelKind::kCrossEntropyForward, loss_tokens, vocab, DType::kFp32));
+    Profile(dataset, profiler,
+            MakeCrossEntropy(KernelKind::kCrossEntropyBackward, loss_tokens, vocab, DType::kFp32));
+    Profile(dataset, profiler,
+            MakeOptimizerApply(LogUniformInt(rng, 1 << 12, 1LL << 30),
+                               2 + static_cast<int>(rng.NextUint64(3)), DType::kFp32));
+    Profile(dataset, profiler,
+            MakeBatchNorm(KernelKind::kBatchNormForward, LogUniformInt(rng, 4, 256),
+                          LogUniformInt(rng, 16, 512), LogUniformInt(rng, 49, 50176), dtype));
+    Profile(dataset, profiler,
+            MakeBatchNorm(KernelKind::kBatchNormBackward, LogUniformInt(rng, 4, 256),
+                          LogUniformInt(rng, 16, 512), LogUniformInt(rng, 49, 50176), dtype));
+    Profile(dataset, profiler,
+            MakePooling(LogUniformInt(rng, 4, 256), LogUniformInt(rng, 16, 512),
+                        LogUniformInt(rng, 7, 112), LogUniformInt(rng, 7, 112), 2, dtype));
+    // Compiler-fused kernels: feature on body op count (Appendix B).
+    Profile(dataset, profiler,
+            MakeTritonFused(LogUniformInt(rng, 1 << 10, 1LL << 30),
+                            1 + static_cast<int>(rng.NextUint64(16)), dtype));
+    const int64_t copy_bytes = LogUniformInt(rng, 1 << 10, 8LL * 1024 * 1024 * 1024);
+    Profile(dataset, profiler, MakeMemcpy(KernelKind::kMemcpyH2D, copy_bytes));
+    Profile(dataset, profiler, MakeMemcpy(KernelKind::kMemcpyD2H, copy_bytes));
+    Profile(dataset, profiler, MakeMemcpy(KernelKind::kMemcpyD2D, copy_bytes));
+    Profile(dataset, profiler, MakeMemset(LogUniformInt(rng, 1 << 10, 1LL << 32)));
+  }
+  return dataset;
+}
+
+std::vector<CollectiveSample> GenerateCollectiveDataset(const ClusterSpec& cluster,
+                                                        const CollectiveProfiler& profiler,
+                                                        const ProfileSweepOptions& options) {
+  std::vector<CollectiveSample> samples;
+
+  // Group shapes realizable on this cluster: contiguous intra-node subsets,
+  // node-spanning groups, and strided data-parallel-style groups.
+  std::vector<std::vector<int>> groups;
+  for (int size = 2; size <= cluster.gpus_per_node; size *= 2) {
+    std::vector<int> ranks(static_cast<size_t>(size));
+    for (int i = 0; i < size; ++i) {
+      ranks[static_cast<size_t>(i)] = i;
+    }
+    groups.push_back(ranks);
+  }
+  for (int nodes = 2; nodes <= cluster.num_nodes; nodes *= 2) {
+    // One rank per node (pipeline / data-parallel spans).
+    std::vector<int> sparse;
+    for (int node = 0; node < nodes; ++node) {
+      sparse.push_back(node * cluster.gpus_per_node);
+    }
+    groups.push_back(sparse);
+    // All ranks of `nodes` nodes.
+    std::vector<int> dense;
+    for (int rank = 0; rank < nodes * cluster.gpus_per_node; ++rank) {
+      dense.push_back(rank);
+    }
+    groups.push_back(dense);
+  }
+
+  const CollectiveKind kinds[] = {CollectiveKind::kAllReduce, CollectiveKind::kAllGather,
+                                  CollectiveKind::kReduceScatter, CollectiveKind::kBroadcast};
+  // nccl-tests-style sweep. The paper's headline range is tens of MB to tens
+  // of GB; like nccl-tests we also cover the sub-MB latency-dominated regime
+  // so small collectives (loss scalars, tiny tensor-parallel payloads on
+  // small models) interpolate instead of extrapolating.
+  const double min_bytes = 256.0 * kKB;
+  const double max_bytes = 32.0 * kGB;
+  for (const auto& ranks : groups) {
+    for (CollectiveKind kind : kinds) {
+      for (int i = 0; i < options.collective_sizes; ++i) {
+        const double fraction =
+            static_cast<double>(i) / static_cast<double>(options.collective_sizes - 1);
+        const uint64_t bytes = static_cast<uint64_t>(
+            min_bytes * std::pow(max_bytes / min_bytes, fraction));
+        for (int repeat = 0; repeat < options.collective_repeats; ++repeat) {
+          CollectiveRequest request{kind, bytes, ranks};
+          samples.push_back(CollectiveSample{request, profiler(request)});
+        }
+      }
+    }
+  }
+
+  // Point-to-point pairs: intra-node neighbor and (if present) cross-node.
+  std::vector<std::vector<int>> pairs = {{0, 1}};
+  if (cluster.num_nodes > 1) {
+    pairs.push_back({0, cluster.gpus_per_node});
+  }
+  for (const auto& pair : pairs) {
+    for (int i = 0; i < options.collective_sizes; ++i) {
+      const double fraction =
+          static_cast<double>(i) / static_cast<double>(options.collective_sizes - 1);
+      const uint64_t bytes =
+          static_cast<uint64_t>(min_bytes * std::pow(max_bytes / min_bytes, fraction));
+      for (int repeat = 0; repeat < options.collective_repeats; ++repeat) {
+        CollectiveRequest request{CollectiveKind::kSend, bytes, pair};
+        samples.push_back(CollectiveSample{request, profiler(request)});
+      }
+    }
+  }
+  return samples;
+}
+
+}  // namespace maya

@@ -1,0 +1,52 @@
+// Profiling-mode dataset generation (§4.3, Appendix B).
+//
+// Maya's transparent profiling mode dispatches operations on real hardware
+// and logs each operation's arguments and observed runtime; regressors are
+// then trained on the log. Here the "real hardware" is the ground-truth
+// cluster executor (see DESIGN.md substitutions): callers pass a profiler
+// callback that returns the observed (noisy) runtime for a kernel, and this
+// repository sweeps the kernel/collective configuration spaces the paper
+// describes — dense sweeps for heavy-hitter kernels (matmul, convolution),
+// trace-scraped ranges for the rest, nccl-tests-style size sweeps for
+// collectives (tens of MB to tens of GB).
+#ifndef SRC_ESTIMATOR_PROFILER_REPOSITORY_H_
+#define SRC_ESTIMATOR_PROFILER_REPOSITORY_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/estimator/collective_estimator.h"
+#include "src/estimator/kernel_estimator.h"
+#include "src/hw/cluster_spec.h"
+
+namespace maya {
+
+// "Dispatch on hardware, observe runtime."
+using KernelProfiler = std::function<double(const KernelDesc&)>;
+using CollectiveProfiler = std::function<double(const CollectiveRequest&)>;
+
+struct ProfileSweepOptions {
+  // Heavy-hitter kernels get dense sweeps (the paper's ~42k-point GEMM/conv
+  // training sets); the remaining kinds get smaller trace-scraped ranges.
+  int gemm_samples = 12000;
+  int conv_samples = 4000;
+  int generic_samples = 500;
+  int collective_sizes = 24;       // per (kind, group shape)
+  int collective_repeats = 3;      // repeat measurements per size
+  uint64_t seed = 2026;
+};
+
+// Sweeps kernel shapes for every kernel kind the workloads emit and profiles
+// each through `profiler`.
+KernelDataset GenerateKernelDataset(GpuArch arch, const KernelProfiler& profiler,
+                                    const ProfileSweepOptions& options = {});
+
+// Sweeps collective payloads across the group shapes realizable on
+// `cluster` (intra-node subsets, multi-node spans, p2p pairs).
+std::vector<CollectiveSample> GenerateCollectiveDataset(
+    const ClusterSpec& cluster, const CollectiveProfiler& profiler,
+    const ProfileSweepOptions& options = {});
+
+}  // namespace maya
+
+#endif  // SRC_ESTIMATOR_PROFILER_REPOSITORY_H_

@@ -1,0 +1,189 @@
+#include "src/estimator/random_forest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "src/common/check.h"
+
+namespace maya {
+
+void Dataset::Add(std::vector<double> features, double target) {
+  if (!x.empty()) {
+    CHECK_EQ(features.size(), x.front().size());
+  }
+  x.push_back(std::move(features));
+  y.push_back(target);
+}
+
+namespace {
+
+// Best split of indices[begin, end) on `feature`: minimizes weighted child
+// variance via a prefix-sum scan over the sorted feature values.
+struct SplitCandidate {
+  bool valid = false;
+  double threshold = 0.0;
+  double score = std::numeric_limits<double>::infinity();  // weighted SSE
+  size_t left_count = 0;
+};
+
+SplitCandidate BestSplitOnFeature(const Dataset& data, std::vector<uint32_t>& indices,
+                                  size_t begin, size_t end, int feature, int min_samples_leaf) {
+  std::sort(indices.begin() + static_cast<long>(begin), indices.begin() + static_cast<long>(end),
+            [&data, feature](uint32_t a, uint32_t b) {
+              return data.x[a][static_cast<size_t>(feature)] <
+                     data.x[b][static_cast<size_t>(feature)];
+            });
+  const size_t n = end - begin;
+  double total_sum = 0.0;
+  double total_sq = 0.0;
+  for (size_t i = begin; i < end; ++i) {
+    const double target = data.y[indices[i]];
+    total_sum += target;
+    total_sq += target * target;
+  }
+  SplitCandidate best;
+  double left_sum = 0.0;
+  double left_sq = 0.0;
+  for (size_t i = 0; i + 1 < n; ++i) {
+    const double target = data.y[indices[begin + i]];
+    left_sum += target;
+    left_sq += target * target;
+    const size_t left_count = i + 1;
+    const size_t right_count = n - left_count;
+    if (left_count < static_cast<size_t>(min_samples_leaf) ||
+        right_count < static_cast<size_t>(min_samples_leaf)) {
+      continue;
+    }
+    const double lo = data.x[indices[begin + i]][static_cast<size_t>(feature)];
+    const double hi = data.x[indices[begin + i + 1]][static_cast<size_t>(feature)];
+    if (hi <= lo) {
+      continue;  // equal values cannot be separated
+    }
+    const double right_sum = total_sum - left_sum;
+    const double right_sq = total_sq - left_sq;
+    const double sse_left = left_sq - left_sum * left_sum / static_cast<double>(left_count);
+    const double sse_right = right_sq - right_sum * right_sum / static_cast<double>(right_count);
+    const double score = sse_left + sse_right;
+    if (score < best.score) {
+      best.valid = true;
+      best.score = score;
+      best.threshold = 0.5 * (lo + hi);
+      best.left_count = left_count;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int32_t RegressionTree::Build(const Dataset& data, std::vector<uint32_t>& indices, size_t begin,
+                              size_t end, int depth, const RandomForestOptions& options,
+                              Rng& rng) {
+  CHECK_LT(begin, end);
+  const size_t n = end - begin;
+  double sum = 0.0;
+  for (size_t i = begin; i < end; ++i) {
+    sum += data.y[indices[i]];
+  }
+  const double mean = sum / static_cast<double>(n);
+
+  const int32_t node_index = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(Node{});
+  nodes_[static_cast<size_t>(node_index)].value = mean;
+
+  if (depth >= options.max_depth || n < 2 * static_cast<size_t>(options.min_samples_leaf)) {
+    return node_index;
+  }
+
+  // Feature bagging: examine a random subset each split.
+  const int feature_count = static_cast<int>(data.x.front().size());
+  std::vector<int> features(static_cast<size_t>(feature_count));
+  std::iota(features.begin(), features.end(), 0);
+  rng.Shuffle(features);
+  const int examine = std::max(1, static_cast<int>(std::lround(options.feature_fraction *
+                                                               feature_count)));
+  features.resize(static_cast<size_t>(examine));
+
+  SplitCandidate best;
+  int best_feature = -1;
+  for (int feature : features) {
+    const SplitCandidate candidate =
+        BestSplitOnFeature(data, indices, begin, end, feature, options.min_samples_leaf);
+    if (candidate.valid && candidate.score < best.score) {
+      best = candidate;
+      best_feature = feature;
+    }
+  }
+  if (best_feature < 0) {
+    return node_index;
+  }
+
+  // Re-partition by the winning feature (sorting order may have been
+  // clobbered while probing other features).
+  auto middle = std::partition(
+      indices.begin() + static_cast<long>(begin), indices.begin() + static_cast<long>(end),
+      [&data, best_feature, &best](uint32_t index) {
+        return data.x[index][static_cast<size_t>(best_feature)] <= best.threshold;
+      });
+  const size_t mid = static_cast<size_t>(middle - indices.begin());
+  if (mid == begin || mid == end) {
+    return node_index;  // degenerate partition (ties): stay a leaf
+  }
+
+  const int32_t left = Build(data, indices, begin, mid, depth + 1, options, rng);
+  const int32_t right = Build(data, indices, mid, end, depth + 1, options, rng);
+  nodes_[static_cast<size_t>(node_index)].feature = best_feature;
+  nodes_[static_cast<size_t>(node_index)].threshold = best.threshold;
+  nodes_[static_cast<size_t>(node_index)].left = left;
+  nodes_[static_cast<size_t>(node_index)].right = right;
+  return node_index;
+}
+
+void RegressionTree::Fit(const Dataset& data, const std::vector<uint32_t>& sample_indices,
+                         const RandomForestOptions& options, Rng& rng) {
+  CHECK(!sample_indices.empty());
+  nodes_.clear();
+  std::vector<uint32_t> indices = sample_indices;
+  Build(data, indices, 0, indices.size(), 0, options, rng);
+}
+
+double RegressionTree::Predict(const std::vector<double>& features) const {
+  CHECK(!nodes_.empty());
+  int32_t node = 0;
+  while (nodes_[static_cast<size_t>(node)].feature >= 0) {
+    const Node& current = nodes_[static_cast<size_t>(node)];
+    node = features[static_cast<size_t>(current.feature)] <= current.threshold ? current.left
+                                                                               : current.right;
+  }
+  return nodes_[static_cast<size_t>(node)].value;
+}
+
+void RandomForestRegressor::Fit(const Dataset& data) {
+  CHECK_GT(data.size(), 0u);
+  trees_.clear();
+  trees_.resize(static_cast<size_t>(options_.num_trees));
+  Rng rng(options_.seed);
+  const size_t bootstrap_size = std::max<size_t>(
+      1, static_cast<size_t>(std::lround(options_.sample_fraction *
+                                         static_cast<double>(data.size()))));
+  for (auto& tree : trees_) {
+    std::vector<uint32_t> sample(bootstrap_size);
+    for (auto& index : sample) {
+      index = static_cast<uint32_t>(rng.NextUint64(data.size()));
+    }
+    tree.Fit(data, sample, options_, rng);
+  }
+}
+
+double RandomForestRegressor::Predict(const std::vector<double>& features) const {
+  CHECK(trained());
+  double sum = 0.0;
+  for (const auto& tree : trees_) {
+    sum += tree.Predict(features);
+  }
+  return sum / static_cast<double>(trees_.size());
+}
+
+}  // namespace maya

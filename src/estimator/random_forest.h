@@ -1,0 +1,74 @@
+// Random-forest regression, from scratch: bagged CART trees with
+// variance-reduction splits. Maya's default kernel runtime estimators are
+// random forests trained on profiled kernel microbenchmarks (§4.3, App. B).
+#ifndef SRC_ESTIMATOR_RANDOM_FOREST_H_
+#define SRC_ESTIMATOR_RANDOM_FOREST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace maya {
+
+struct Dataset {
+  // Row-major features; all rows share one width.
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+
+  size_t size() const { return y.size(); }
+  void Add(std::vector<double> features, double target);
+};
+
+struct RandomForestOptions {
+  int num_trees = 24;
+  int max_depth = 18;
+  int min_samples_leaf = 2;
+  // Fraction of features examined per split (feature bagging).
+  double feature_fraction = 0.75;
+  // Bootstrap sample fraction per tree.
+  double sample_fraction = 0.85;
+  uint64_t seed = 17;
+};
+
+// A single CART regression tree (flattened node array).
+class RegressionTree {
+ public:
+  void Fit(const Dataset& data, const std::vector<uint32_t>& sample_indices,
+           const RandomForestOptions& options, Rng& rng);
+  double Predict(const std::vector<double>& features) const;
+  size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    int feature = -1;        // -1 == leaf
+    double threshold = 0.0;
+    int32_t left = -1;
+    int32_t right = -1;
+    double value = 0.0;      // leaf prediction (mean target)
+  };
+
+  int32_t Build(const Dataset& data, std::vector<uint32_t>& indices, size_t begin, size_t end,
+                int depth, const RandomForestOptions& options, Rng& rng);
+
+  std::vector<Node> nodes_;
+};
+
+class RandomForestRegressor {
+ public:
+  explicit RandomForestRegressor(RandomForestOptions options = {}) : options_(options) {}
+
+  // Trains on the dataset; CHECK-fails on empty input.
+  void Fit(const Dataset& data);
+  double Predict(const std::vector<double>& features) const;
+  bool trained() const { return !trees_.empty(); }
+  const RandomForestOptions& options() const { return options_; }
+
+ private:
+  RandomForestOptions options_;
+  std::vector<RegressionTree> trees_;
+};
+
+}  // namespace maya
+
+#endif  // SRC_ESTIMATOR_RANDOM_FOREST_H_

@@ -1,0 +1,48 @@
+#include "src/groundtruth/collective_cost.h"
+
+#include <cmath>
+
+#include "src/common/hash.h"
+#include "src/common/rng.h"
+#include "src/common/units.h"
+
+namespace maya {
+
+GroundTruthCollectiveModel::GroundTruthCollectiveModel(const ClusterSpec& cluster, uint64_t seed)
+    : cluster_(cluster), seed_(seed) {}
+
+double GroundTruthCollectiveModel::MeanUs(const CollectiveRequest& request) const {
+  const int n = static_cast<int>(request.ranks.size());
+  if (n <= 1 || request.bytes == 0) {
+    return 0.0;
+  }
+  double us = base_.CollectiveUs(request, cluster_);
+
+  // NCCL kernel launch + channel setup overhead.
+  us += 8.0;
+
+  // Protocol inefficiency below ~8 MiB: LL/LL128 protocols trade bandwidth
+  // for latency, so small collectives undershoot the ring model's bandwidth.
+  const double bytes = static_cast<double>(request.bytes);
+  const double small_penalty = 1.0 + 0.6 * std::exp(-bytes / (8.0 * static_cast<double>(kMiB)));
+  us *= small_penalty;
+
+  // Straggler tail: the last arrival among n workers lags by a factor that
+  // grows with the group size (max of i.i.d. skews).
+  us *= 1.0 + 0.015 * std::log2(static_cast<double>(n));
+  return us;
+}
+
+double GroundTruthCollectiveModel::NoisyUs(const CollectiveRequest& request,
+                                           uint64_t instance_key) const {
+  const double mean = MeanUs(request);
+  if (mean <= 0.0) {
+    return 0.0;
+  }
+  Rng rng(SplitMix64(seed_ ^ HashCombine(instance_key, request.bytes)));
+  // Collectives are noisier than compute kernels (network + peers).
+  const double sigma = 0.04 + 0.18 * std::exp(-mean / 80.0);
+  return mean * rng.LognormalFactor(sigma);
+}
+
+}  // namespace maya

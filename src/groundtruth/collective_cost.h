@@ -1,0 +1,31 @@
+// Ground-truth collective cost: the analytical ring/hierarchical model plus
+// effects real fabrics exhibit and Maya's estimators must learn or miss —
+// NCCL launch/setup overhead, protocol inefficiency at small sizes, and a
+// straggler tail that grows with participant count.
+#ifndef SRC_GROUNDTRUTH_COLLECTIVE_COST_H_
+#define SRC_GROUNDTRUTH_COLLECTIVE_COST_H_
+
+#include <cstdint>
+
+#include "src/hw/collective_cost.h"
+
+namespace maya {
+
+class GroundTruthCollectiveModel {
+ public:
+  explicit GroundTruthCollectiveModel(const ClusterSpec& cluster, uint64_t seed = 11);
+
+  // Expected on-the-wire duration, microseconds.
+  double MeanUs(const CollectiveRequest& request) const;
+  // Observed duration for one execution (deterministic per instance_key).
+  double NoisyUs(const CollectiveRequest& request, uint64_t instance_key) const;
+
+ private:
+  ClusterSpec cluster_;
+  uint64_t seed_;
+  RingCollectiveModel base_;
+};
+
+}  // namespace maya
+
+#endif  // SRC_GROUNDTRUTH_COLLECTIVE_COST_H_

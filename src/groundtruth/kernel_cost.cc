@@ -1,0 +1,193 @@
+#include "src/groundtruth/kernel_cost.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/common/hash.h"
+#include "src/common/rng.h"
+#include "src/common/units.h"
+
+namespace maya {
+namespace {
+
+// GEMM tile footprint used for wave quantization (128x128 output tiles is
+// representative of library kernels across the three architectures).
+constexpr double kTileM = 128.0;
+constexpr double kTileN = 128.0;
+
+double WaveEfficiency(double tiles, int sm_count) {
+  const double waves = std::ceil(tiles / sm_count);
+  if (waves <= 0.0) {
+    return 1.0;
+  }
+  // Partial last wave leaves SMs idle.
+  return tiles / (waves * sm_count);
+}
+
+}  // namespace
+
+GroundTruthKernelModel::GroundTruthKernelModel(const GpuSpec& gpu, uint64_t seed)
+    : gpu_(gpu), seed_(seed) {
+  switch (gpu_.arch) {
+    case GpuArch::kV100:
+      peak_gemm_efficiency_ = 0.72;
+      launch_floor_us_ = 3.5;
+      pcie_bandwidth_ = 12e9;  // PCIe Gen3 x16
+      break;
+    case GpuArch::kH100:
+      peak_gemm_efficiency_ = 0.62;  // big tensor cores are harder to saturate
+      launch_floor_us_ = 2.0;
+      pcie_bandwidth_ = 55e9;  // PCIe Gen5 x16
+      break;
+    case GpuArch::kA40:
+      peak_gemm_efficiency_ = 0.68;
+      launch_floor_us_ = 2.8;
+      pcie_bandwidth_ = 25e9;  // PCIe Gen4 x16
+      break;
+  }
+}
+
+double GroundTruthKernelModel::GemmUs(const KernelDesc& kernel) const {
+  const double m = static_cast<double>(kernel.params[0]);
+  const double n = static_cast<double>(kernel.params[1]);
+  const double k = static_cast<double>(kernel.params[2]);
+  const double batch = static_cast<double>(std::max<int64_t>(1, kernel.params[3]));
+
+  const bool tensor_dtype = kernel.dtype == DType::kFp16 || kernel.dtype == DType::kBf16;
+  const double peak = tensor_dtype ? gpu_.peak_tensor_flops : gpu_.peak_fp32_flops;
+
+  // Efficiency: deep-K GEMMs amortize prologue/epilogue; shallow ones do not.
+  const double k_saturation = k / (k + 512.0);
+  const double tiles = std::ceil(m / kTileM) * std::ceil(n / kTileN) * batch;
+  const double wave = WaveEfficiency(tiles, gpu_.sm_count);
+  const double efficiency = peak_gemm_efficiency_ * k_saturation * (0.35 + 0.65 * wave);
+
+  const double compute_us = ComputeUs(kernel.flops, peak * std::max(efficiency, 0.02));
+  const double memory_us = TransferUs(kernel.total_bytes(), gpu_.hbm_bandwidth * 0.85);
+  return launch_floor_us_ + std::max(compute_us, memory_us);
+}
+
+double GroundTruthKernelModel::ConvUs(const KernelDesc& kernel) const {
+  // Implicit-GEMM path with its own (slightly lower) efficiency ceiling.
+  const double c = static_cast<double>(kernel.params[1]);
+  const double rs = static_cast<double>(kernel.params[5] * kernel.params[6]);
+  const bool tensor_dtype = kernel.dtype == DType::kFp16 || kernel.dtype == DType::kBf16;
+  const double peak = tensor_dtype ? gpu_.peak_tensor_flops : gpu_.peak_fp32_flops;
+
+  const double reduction_depth = c * rs;  // implicit GEMM K dimension
+  const double k_saturation = reduction_depth / (reduction_depth + 384.0);
+  const double efficiency = peak_gemm_efficiency_ * 0.82 * k_saturation;
+
+  const double compute_us = ComputeUs(kernel.flops, peak * std::max(efficiency, 0.02));
+  const double memory_us = TransferUs(kernel.total_bytes(), gpu_.hbm_bandwidth * 0.8);
+  return launch_floor_us_ + std::max(compute_us, memory_us);
+}
+
+double GroundTruthKernelModel::MemoryBoundUs(const KernelDesc& kernel, double efficiency) const {
+  const double bytes = kernel.total_bytes();
+  // Small transfers never reach peak bandwidth: ramp over the first ~4 MiB.
+  const double ramp = bytes / (bytes + 4.0 * static_cast<double>(kMiB));
+  const double bandwidth = gpu_.hbm_bandwidth * efficiency * (0.25 + 0.75 * ramp);
+  const double flop_us = ComputeUs(kernel.flops, gpu_.peak_fp32_flops * 0.5);
+  return launch_floor_us_ + std::max(TransferUs(bytes, bandwidth), flop_us);
+}
+
+double GroundTruthKernelModel::MemcpyUs(const KernelDesc& kernel) const {
+  const double bytes = static_cast<double>(kernel.params[0]);
+  double bandwidth = 0.0;
+  switch (kernel.kind) {
+    case KernelKind::kMemcpyH2D:
+      bandwidth = pcie_bandwidth_;
+      break;
+    case KernelKind::kMemcpyD2H:
+      bandwidth = pcie_bandwidth_ * 0.9;  // readbacks are slightly slower
+      break;
+    default:
+      bandwidth = gpu_.hbm_bandwidth * 0.45;  // D2D pays read+write
+      break;
+  }
+  const double ramp = bytes / (bytes + 1.0 * static_cast<double>(kMiB));
+  return launch_floor_us_ * 0.8 + TransferUs(bytes, bandwidth * (0.3 + 0.7 * ramp));
+}
+
+double GroundTruthKernelModel::MeanUs(const KernelDesc& kernel) const {
+  switch (kernel.kind) {
+    case KernelKind::kGemm:
+    case KernelKind::kGemmStridedBatched:
+      return GemmUs(kernel);
+    case KernelKind::kConvForward:
+    case KernelKind::kConvBackwardData:
+    case KernelKind::kConvBackwardFilter:
+      return ConvUs(kernel);
+    case KernelKind::kMemcpyH2D:
+    case KernelKind::kMemcpyD2H:
+    case KernelKind::kMemcpyD2D:
+      return MemcpyUs(kernel);
+    case KernelKind::kMemset:
+      return launch_floor_us_ * 0.6 +
+             TransferUs(kernel.bytes_written, gpu_.hbm_bandwidth * 0.9);
+    case KernelKind::kLayerNormForward:
+      return MemoryBoundUs(kernel, 0.75);
+    case KernelKind::kLayerNormBackward:
+    case KernelKind::kLayerNormGradWeights:
+      return MemoryBoundUs(kernel, 0.62);
+    case KernelKind::kBatchNormForward:
+    case KernelKind::kBatchNormBackward:
+      return MemoryBoundUs(kernel, 0.6);
+    case KernelKind::kSoftmaxForward:
+      return MemoryBoundUs(kernel, 0.8);
+    case KernelKind::kSoftmaxBackward:
+      return MemoryBoundUs(kernel, 0.7);
+    case KernelKind::kDropout:
+      return MemoryBoundUs(kernel, 0.72);
+    case KernelKind::kElementwise:
+      return MemoryBoundUs(kernel, 0.85);
+    case KernelKind::kReduce:
+      return MemoryBoundUs(kernel, 0.65);
+    case KernelKind::kCat:
+      return MemoryBoundUs(kernel, 0.7);
+    case KernelKind::kEmbeddingForward:
+      return MemoryBoundUs(kernel, 0.55);  // gather: irregular access
+    case KernelKind::kEmbeddingBackward:
+      return MemoryBoundUs(kernel, 0.35);  // scatter-add + sorting helpers
+    case KernelKind::kCrossEntropyForward:
+      return MemoryBoundUs(kernel, 0.6);
+    case KernelKind::kCrossEntropyBackward:
+      return MemoryBoundUs(kernel, 0.55);
+    case KernelKind::kOptimizerApply:
+      return MemoryBoundUs(kernel, 0.8);
+    case KernelKind::kPooling:
+      return MemoryBoundUs(kernel, 0.6);
+    case KernelKind::kTritonFused: {
+      // Fused kernels trade memory traffic for more arithmetic per element.
+      const double base = MemoryBoundUs(kernel, 0.78);
+      const double alu_us =
+          ComputeUs(kernel.flops, gpu_.peak_fp32_flops * 0.6);
+      return std::max(base, launch_floor_us_ + alu_us);
+    }
+    case KernelKind::kNumKinds:
+      break;
+  }
+  CHECK(false) << "unknown kernel kind";
+  return 0.0;
+}
+
+double GroundTruthKernelModel::NoiseSigma(double mean_us) const {
+  // Relative run-to-run variation: ~3% floor for long kernels, up to ~25%
+  // for microsecond-scale launches (scheduling and clock jitter dominate).
+  return 0.03 + 0.22 * std::exp(-mean_us / 25.0);
+}
+
+double GroundTruthKernelModel::NoisyUs(const KernelDesc& kernel, uint64_t instance_key) const {
+  const double mean = MeanUs(kernel);
+  uint64_t shape_hash = HashCombine(static_cast<uint64_t>(kernel.kind),
+                                    static_cast<uint64_t>(kernel.dtype));
+  for (int64_t p : kernel.params) {
+    shape_hash = HashCombine(shape_hash, static_cast<uint64_t>(p));
+  }
+  Rng rng(SplitMix64(seed_ ^ HashCombine(instance_key, shape_hash)));
+  return mean * rng.LognormalFactor(NoiseSigma(mean));
+}
+
+}  // namespace maya

@@ -1,0 +1,57 @@
+// Ground-truth per-kernel cost model — the reproduction's stand-in for real
+// GPU execution (see DESIGN.md substitutions).
+//
+// For each architecture this models effects Maya's learned estimators can
+// only approximate: GEMM tile/wave quantization against the SM count,
+// size-dependent efficiency curves, per-kernel launch floors, and
+// memory-bandwidth ceilings. NoisyUs() additionally applies deterministic
+// multiplicative lognormal run-to-run variation whose magnitude shrinks with
+// kernel duration — short kernels are relatively noisier, which is exactly
+// why the paper's Appendix B tables show large MAPE on tiny kernels and
+// small MAPE on GEMM/conv heavy hitters.
+#ifndef SRC_GROUNDTRUTH_KERNEL_COST_H_
+#define SRC_GROUNDTRUTH_KERNEL_COST_H_
+
+#include <cstdint>
+
+#include "src/cuda/kernel_desc.h"
+#include "src/hw/gpu_spec.h"
+
+namespace maya {
+
+class GroundTruthKernelModel {
+ public:
+  // `seed` drives the deterministic noise stream; two models with the same
+  // seed produce identical "measurements" for identical instance keys.
+  explicit GroundTruthKernelModel(const GpuSpec& gpu, uint64_t seed = 7);
+
+  // Expected (noise-free) device-side runtime, microseconds.
+  double MeanUs(const KernelDesc& kernel) const;
+
+  // Observed runtime for one execution instance. `instance_key` identifies
+  // the execution (e.g. hash of rank and op index) so repeated queries
+  // reproduce the same measurement.
+  double NoisyUs(const KernelDesc& kernel, uint64_t instance_key) const;
+
+  // Noise sigma for a kernel of the given mean duration.
+  double NoiseSigma(double mean_us) const;
+
+  const GpuSpec& gpu() const { return gpu_; }
+
+ private:
+  double GemmUs(const KernelDesc& kernel) const;
+  double ConvUs(const KernelDesc& kernel) const;
+  double MemoryBoundUs(const KernelDesc& kernel, double efficiency) const;
+  double MemcpyUs(const KernelDesc& kernel) const;
+
+  GpuSpec gpu_;
+  uint64_t seed_;
+  // Arch-dependent calibration.
+  double peak_gemm_efficiency_ = 0.8;
+  double launch_floor_us_ = 2.0;
+  double pcie_bandwidth_ = 25e9;
+};
+
+}  // namespace maya
+
+#endif  // SRC_GROUNDTRUTH_KERNEL_COST_H_

@@ -1,0 +1,103 @@
+#include "src/hw/cluster_spec.h"
+
+#include "src/common/check.h"
+#include "src/common/strings.h"
+
+namespace maya {
+
+const char* IntraNodeFabricName(IntraNodeFabric fabric) {
+  switch (fabric) {
+    case IntraNodeFabric::kNvSwitch:
+      return "NVSwitch";
+    case IntraNodeFabric::kCubeMesh:
+      return "NVLink cube-mesh";
+    case IntraNodeFabric::kPairwiseNvlink:
+      return "pairwise NVLink";
+  }
+  return "UNKNOWN";
+}
+
+const char* InterNodeFabricName(InterNodeFabric fabric) {
+  switch (fabric) {
+    case InterNodeFabric::kInfiniBand:
+      return "InfiniBand";
+    case InterNodeFabric::kRoCE:
+      return "RoCE";
+    case InterNodeFabric::kEthernet:
+      return "Ethernet";
+    case InterNodeFabric::kNone:
+      return "none";
+  }
+  return "UNKNOWN";
+}
+
+bool ClusterSpec::IsIntraNode(const std::vector<int>& ranks) const {
+  if (ranks.empty()) {
+    return true;
+  }
+  const int node = node_of(ranks[0]);
+  for (int rank : ranks) {
+    if (node_of(rank) != node) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string ClusterSpec::ToString() const {
+  return StrFormat("%d x %s (%d nodes x %d GPUs, intra %s, inter %s)", total_gpus(),
+                   GpuArchName(gpu.arch), num_nodes, gpus_per_node,
+                   IntraNodeFabricName(intra_fabric), InterNodeFabricName(inter_fabric));
+}
+
+ClusterSpec V100Cluster(int num_gpus) {
+  CHECK_GT(num_gpus, 0);
+  ClusterSpec cluster;
+  cluster.gpu = V100Spec();
+  cluster.gpus_per_node = num_gpus < 8 ? num_gpus : 8;
+  cluster.num_nodes = (num_gpus + cluster.gpus_per_node - 1) / cluster.gpus_per_node;
+  CHECK_EQ(cluster.total_gpus(), num_gpus) << "GPU count must be a multiple of the node size";
+  cluster.intra_fabric = IntraNodeFabric::kCubeMesh;
+  cluster.intra_bandwidth = 300e9;  // NVLink2 hybrid cube-mesh, bidirectional aggregate
+  cluster.intra_latency_us = 6.0;
+  if (cluster.num_nodes > 1) {
+    cluster.inter_fabric = InterNodeFabric::kInfiniBand;
+    cluster.inter_bandwidth = 12.5e9;  // 100 Gbps per GPU pair
+    cluster.inter_latency_us = 12.0;
+  }
+  cluster.cost_per_gpu_hour = 1.0;
+  return cluster;
+}
+
+ClusterSpec H100Cluster(int num_gpus) {
+  CHECK_GT(num_gpus, 0);
+  ClusterSpec cluster;
+  cluster.gpu = H100Spec();
+  cluster.gpus_per_node = num_gpus < 8 ? num_gpus : 8;
+  cluster.num_nodes = (num_gpus + cluster.gpus_per_node - 1) / cluster.gpus_per_node;
+  CHECK_EQ(cluster.total_gpus(), num_gpus) << "GPU count must be a multiple of the node size";
+  cluster.intra_fabric = IntraNodeFabric::kNvSwitch;
+  cluster.intra_bandwidth = 900e9;  // NVLink4 through NVSwitch
+  cluster.intra_latency_us = 4.0;
+  if (cluster.num_nodes > 1) {
+    cluster.inter_fabric = InterNodeFabric::kRoCE;
+    cluster.inter_bandwidth = 50e9;  // 400 Gbps per GPU pair
+    cluster.inter_latency_us = 8.0;
+  }
+  cluster.cost_per_gpu_hour = 3.8;  // H100 hours cost more than V100 hours
+  return cluster;
+}
+
+ClusterSpec A40Node() {
+  ClusterSpec cluster;
+  cluster.gpu = A40Spec();
+  cluster.gpus_per_node = 8;
+  cluster.num_nodes = 1;
+  cluster.intra_fabric = IntraNodeFabric::kPairwiseNvlink;
+  cluster.intra_bandwidth = 112.5e9;  // NVLink bridge within a pair
+  cluster.intra_latency_us = 7.0;
+  cluster.cost_per_gpu_hour = 0.6;
+  return cluster;
+}
+
+}  // namespace maya

@@ -1,0 +1,60 @@
+// Cluster description: device type, node shape, intra-node fabric and
+// inter-node interconnect. Matches the emulation spec fed to Maya (Fig. 5).
+#ifndef SRC_HW_CLUSTER_SPEC_H_
+#define SRC_HW_CLUSTER_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "src/hw/gpu_spec.h"
+
+namespace maya {
+
+enum class IntraNodeFabric {
+  kNvSwitch,        // H100 DGX: all-to-all NVSwitch
+  kCubeMesh,        // V100 DGX: asymmetric hybrid cube-mesh NVLink
+  kPairwiseNvlink,  // A40 node: NVLink bridges between GPU pairs, PCIe otherwise
+};
+
+enum class InterNodeFabric {
+  kInfiniBand,
+  kRoCE,
+  kEthernet,
+  kNone,  // single-node cluster
+};
+
+const char* IntraNodeFabricName(IntraNodeFabric fabric);
+const char* InterNodeFabricName(InterNodeFabric fabric);
+
+struct ClusterSpec {
+  GpuSpec gpu;
+  int gpus_per_node = 8;
+  int num_nodes = 1;
+
+  IntraNodeFabric intra_fabric = IntraNodeFabric::kNvSwitch;
+  double intra_bandwidth = 0.0;   // bytes/s per GPU, bidirectional aggregate
+  double intra_latency_us = 0.0;  // per-hop latency
+
+  InterNodeFabric inter_fabric = InterNodeFabric::kNone;
+  double inter_bandwidth = 0.0;   // bytes/s per GPU pair
+  double inter_latency_us = 0.0;
+
+  double cost_per_gpu_hour = 1.0;  // relative $ for cost-normalized metrics
+
+  int total_gpus() const { return gpus_per_node * num_nodes; }
+  int node_of(int rank) const { return rank / gpus_per_node; }
+  bool SameNode(int rank_a, int rank_b) const { return node_of(rank_a) == node_of(rank_b); }
+  // True when every rank in the group lives on one node.
+  bool IsIntraNode(const std::vector<int>& ranks) const;
+
+  std::string ToString() const;
+};
+
+// The three evaluation clusters (§7.1). num_nodes scales the same node type.
+ClusterSpec V100Cluster(int num_gpus);  // 8 GPUs/node, NVLink cube-mesh, 100Gbps IB
+ClusterSpec H100Cluster(int num_gpus);  // 8 GPUs/node, NVSwitch, 400Gbps RoCE
+ClusterSpec A40Node();                  // single 8xA40 node, pairwise NVLink
+
+}  // namespace maya
+
+#endif  // SRC_HW_CLUSTER_SPEC_H_

@@ -1,0 +1,190 @@
+#include "src/hw/collective_cost.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "src/common/check.h"
+#include "src/common/units.h"
+
+namespace maya {
+
+const char* CollectiveKindName(CollectiveKind kind) {
+  switch (kind) {
+    case CollectiveKind::kAllReduce:
+      return "ncclAllReduce";
+    case CollectiveKind::kAllGather:
+      return "ncclAllGather";
+    case CollectiveKind::kReduceScatter:
+      return "ncclReduceScatter";
+    case CollectiveKind::kBroadcast:
+      return "ncclBroadcast";
+    case CollectiveKind::kReduce:
+      return "ncclReduce";
+    case CollectiveKind::kAllToAll:
+      return "ncclAllToAll";
+    case CollectiveKind::kSend:
+      return "ncclSend";
+    case CollectiveKind::kRecv:
+      return "ncclRecv";
+  }
+  return "UNKNOWN";
+}
+
+double RingCollectiveModel::IntraBusBandwidth(const ClusterSpec& cluster, int group_size) {
+  const double bw = cluster.intra_bandwidth;
+  switch (cluster.intra_fabric) {
+    case IntraNodeFabric::kNvSwitch:
+      // Non-blocking switch: every GPU drives its full links regardless of
+      // group size.
+      return bw;
+    case IntraNodeFabric::kCubeMesh:
+      // The hybrid cube-mesh has direct links only within 4-GPU cliques;
+      // 8-GPU rings cross the asymmetric diagonal links.
+      if (group_size <= 2) {
+        return bw;
+      }
+      if (group_size <= 4) {
+        return bw * 0.85;
+      }
+      return bw * 0.62;
+    case IntraNodeFabric::kPairwiseNvlink:
+      // NVLink bridge covers pairs; anything larger spills onto PCIe.
+      if (group_size <= 2) {
+        return bw;
+      }
+      return 28e9;  // effective PCIe Gen4 x16 payload bandwidth
+  }
+  return bw;
+}
+
+double RingCollectiveModel::FlatRingUs(CollectiveKind kind, double bytes, int n, double bandwidth,
+                                       double latency_us) const {
+  CHECK_GT(bandwidth, 0.0);
+  if (n <= 1) {
+    return 0.0;
+  }
+  const double frac = static_cast<double>(n - 1) / static_cast<double>(n);
+  switch (kind) {
+    case CollectiveKind::kAllReduce:
+      return 2.0 * frac * TransferUs(bytes, bandwidth) + 2.0 * (n - 1) * latency_us;
+    case CollectiveKind::kAllGather:
+    case CollectiveKind::kReduceScatter:
+    case CollectiveKind::kAllToAll:
+      return frac * TransferUs(bytes, bandwidth) + (n - 1) * latency_us;
+    case CollectiveKind::kBroadcast:
+    case CollectiveKind::kReduce:
+      return TransferUs(bytes, bandwidth) + std::ceil(std::log2(n)) * latency_us;
+    case CollectiveKind::kSend:
+    case CollectiveKind::kRecv:
+      return TransferUs(bytes, bandwidth) + latency_us;
+  }
+  return 0.0;
+}
+
+double RingCollectiveModel::CollectiveUs(const CollectiveRequest& request,
+                                         const ClusterSpec& cluster) const {
+  const int n = static_cast<int>(request.ranks.size());
+  if (n <= 1) {
+    return 0.0;
+  }
+  const double bytes = static_cast<double>(request.bytes);
+
+  // Point-to-point: time is set by the single link crossed.
+  if (request.kind == CollectiveKind::kSend || request.kind == CollectiveKind::kRecv) {
+    CHECK_EQ(n, 2);
+    const bool intra = cluster.SameNode(request.ranks[0], request.ranks[1]);
+    // NVLink is bidirectional; a one-way transfer uses half the aggregate.
+    const double bw = intra ? IntraBusBandwidth(cluster, 2) * 0.5 : cluster.inter_bandwidth;
+    const double lat = intra ? cluster.intra_latency_us : cluster.inter_latency_us;
+    return TransferUs(bytes, bw) + lat;
+  }
+
+  if (cluster.IsIntraNode(request.ranks)) {
+    return FlatRingUs(request.kind, bytes, n, IntraBusBandwidth(cluster, n),
+                      cluster.intra_latency_us);
+  }
+
+  // Hierarchical decomposition. Megatron-style groups are symmetric across
+  // nodes; compute local group size from rank placement.
+  std::map<int, int> per_node;
+  for (int rank : request.ranks) {
+    per_node[cluster.node_of(rank)]++;
+  }
+  const int num_nodes = static_cast<int>(per_node.size());
+  const int n_local = per_node.begin()->second;
+  CHECK_GT(cluster.inter_bandwidth, 0.0) << "multi-node group on a single-node cluster";
+
+  const double intra_bw = IntraBusBandwidth(cluster, n_local);
+  // Ranks on the same node share outbound links during the inter-node phase.
+  const double inter_bw = cluster.inter_bandwidth * n_local;
+
+  switch (request.kind) {
+    case CollectiveKind::kAllReduce: {
+      if (n_local <= 1) {
+        return FlatRingUs(request.kind, bytes, num_nodes, cluster.inter_bandwidth,
+                          cluster.inter_latency_us);
+      }
+      // reduce-scatter intra, all-reduce inter on 1/n_local shard, all-gather intra.
+      const double phase1 = FlatRingUs(CollectiveKind::kReduceScatter, bytes, n_local, intra_bw,
+                                       cluster.intra_latency_us);
+      const double phase2 = FlatRingUs(CollectiveKind::kAllReduce, bytes / n_local, num_nodes,
+                                       inter_bw / n_local, cluster.inter_latency_us);
+      const double phase3 =
+          FlatRingUs(CollectiveKind::kAllGather, bytes, n_local, intra_bw,
+                     cluster.intra_latency_us);
+      return phase1 + phase2 + phase3;
+    }
+    case CollectiveKind::kAllGather:
+    case CollectiveKind::kReduceScatter: {
+      const double intra = FlatRingUs(request.kind, bytes / num_nodes, n_local, intra_bw,
+                                      cluster.intra_latency_us);
+      const double inter = FlatRingUs(request.kind, bytes, num_nodes, inter_bw,
+                                      cluster.inter_latency_us);
+      return intra + inter;
+    }
+    case CollectiveKind::kBroadcast:
+    case CollectiveKind::kReduce: {
+      const double inter = FlatRingUs(request.kind, bytes, num_nodes, inter_bw,
+                                      cluster.inter_latency_us);
+      const double intra =
+          FlatRingUs(request.kind, bytes, n_local, intra_bw, cluster.intra_latency_us);
+      return inter + intra;
+    }
+    case CollectiveKind::kAllToAll: {
+      // Dominated by cross-node traffic.
+      const double cross_fraction =
+          static_cast<double>(n - n_local) / static_cast<double>(n);
+      return TransferUs(bytes * cross_fraction, inter_bw / n_local) +
+             (num_nodes - 1) * cluster.inter_latency_us;
+    }
+    case CollectiveKind::kSend:
+    case CollectiveKind::kRecv:
+      CHECK(false) << "handled above";
+  }
+  return 0.0;
+}
+
+double AstraLikeNetworkModel::CollectiveUs(const CollectiveRequest& request,
+                                           const ClusterSpec& cluster) const {
+  RingCollectiveModel base;
+  double us = base.CollectiveUs(request, cluster);
+
+  // Rail congestion: at hyperscale, inter-node phases contend on shared
+  // switches. ASTRA-sim models this via topology simulation; here the effect
+  // is folded into a slowly growing congestion factor on multi-node groups.
+  if (!cluster.IsIntraNode(request.ranks)) {
+    std::map<int, bool> nodes;
+    for (int rank : request.ranks) {
+      nodes[cluster.node_of(rank)] = true;
+    }
+    const double num_nodes = static_cast<double>(nodes.size());
+    if (num_nodes > 1) {
+      const double congestion = 1.0 + 0.035 * std::log2(num_nodes);
+      us *= congestion;
+    }
+  }
+  return us;
+}
+
+}  // namespace maya

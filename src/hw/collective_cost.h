@@ -1,0 +1,40 @@
+// Analytical ring/hierarchical collective cost model.
+//
+// Serves three roles: (a) substrate of the ground-truth cluster's "real"
+// collective behaviour (with noise applied in src/groundtruth), (b) the data
+// generator target for Maya's profiled collective estimator, and (c) a
+// building block of the ASTRA-sim-like model for hyperscale runs.
+#ifndef SRC_HW_COLLECTIVE_COST_H_
+#define SRC_HW_COLLECTIVE_COST_H_
+
+#include "src/hw/network_model.h"
+
+namespace maya {
+
+// alpha-beta ring model with hierarchical decomposition across nodes.
+class RingCollectiveModel : public NetworkModel {
+ public:
+  std::string name() const override { return "ring-hierarchical"; }
+  double CollectiveUs(const CollectiveRequest& request, const ClusterSpec& cluster) const override;
+
+  // Effective per-GPU bus bandwidth (bytes/s) for a group, accounting for
+  // fabric topology quirks (cube-mesh asymmetry, pairwise NVLink fallback).
+  static double IntraBusBandwidth(const ClusterSpec& cluster, int group_size);
+
+ private:
+  double FlatRingUs(CollectiveKind kind, double bytes, int n, double bandwidth,
+                    double latency_us) const;
+};
+
+// ASTRA-sim-like hierarchical topology-aware model (§7.4): decomposes
+// multi-node collectives into intra-node reduce-scatter, inter-node
+// all-reduce over rails, intra-node all-gather, and adds congestion at scale.
+class AstraLikeNetworkModel : public NetworkModel {
+ public:
+  std::string name() const override { return "astra-like-hierarchical"; }
+  double CollectiveUs(const CollectiveRequest& request, const ClusterSpec& cluster) const override;
+};
+
+}  // namespace maya
+
+#endif  // SRC_HW_COLLECTIVE_COST_H_

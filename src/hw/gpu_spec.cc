@@ -1,0 +1,78 @@
+#include "src/hw/gpu_spec.h"
+
+#include "src/common/check.h"
+#include "src/common/units.h"
+
+namespace maya {
+
+const char* GpuArchName(GpuArch arch) {
+  switch (arch) {
+    case GpuArch::kV100:
+      return "V100";
+    case GpuArch::kH100:
+      return "H100";
+    case GpuArch::kA40:
+      return "A40";
+  }
+  return "UNKNOWN";
+}
+
+GpuSpec V100Spec() {
+  GpuSpec spec;
+  spec.arch = GpuArch::kV100;
+  spec.name = "NVIDIA V100 (DGX)";
+  spec.peak_fp32_flops = 15.7e12;
+  spec.peak_tensor_flops = 125e12;
+  // The paper's V100 DGX servers carry 40 GB of HBM per GPU (§7.1).
+  spec.hbm_bytes = 40ULL * kGiB;
+  spec.hbm_bandwidth = 900e9;
+  spec.sm_count = 80;
+  spec.sm_clock_ghz = 1.53;
+  spec.kernel_dispatch_latency_us = 4.0;
+  return spec;
+}
+
+GpuSpec H100Spec() {
+  GpuSpec spec;
+  spec.arch = GpuArch::kH100;
+  spec.name = "NVIDIA H100 (DGX, SXM)";
+  spec.peak_fp32_flops = 67e12;
+  spec.peak_tensor_flops = 989e12;
+  spec.hbm_bytes = 80ULL * kGiB;
+  spec.hbm_bandwidth = 3.35e12;
+  spec.sm_count = 132;
+  spec.sm_clock_ghz = 1.98;
+  // H100 host dispatch overhead is comparatively significant for small
+  // kernels (§4.2), but the device-side latency itself is low.
+  spec.kernel_dispatch_latency_us = 2.0;
+  return spec;
+}
+
+GpuSpec A40Spec() {
+  GpuSpec spec;
+  spec.arch = GpuArch::kA40;
+  spec.name = "NVIDIA A40";
+  spec.peak_fp32_flops = 37.4e12;
+  spec.peak_tensor_flops = 149.7e12;
+  spec.hbm_bytes = 48ULL * kGiB;
+  spec.hbm_bandwidth = 696e9;
+  spec.sm_count = 84;
+  spec.sm_clock_ghz = 1.74;
+  spec.kernel_dispatch_latency_us = 3.0;
+  return spec;
+}
+
+GpuSpec SpecForArch(GpuArch arch) {
+  switch (arch) {
+    case GpuArch::kV100:
+      return V100Spec();
+    case GpuArch::kH100:
+      return H100Spec();
+    case GpuArch::kA40:
+      return A40Spec();
+  }
+  CHECK(false) << "unknown arch";
+  return GpuSpec{};
+}
+
+}  // namespace maya

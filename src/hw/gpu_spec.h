@@ -1,0 +1,46 @@
+// Accelerator hardware descriptions for the three clusters in the paper's
+// evaluation (§7.1): DGX-H100, DGX-V100 and an 8xA40 node.
+#ifndef SRC_HW_GPU_SPEC_H_
+#define SRC_HW_GPU_SPEC_H_
+
+#include <cstdint>
+#include <string>
+
+namespace maya {
+
+enum class GpuArch {
+  kV100,
+  kH100,
+  kA40,
+};
+
+const char* GpuArchName(GpuArch arch);
+
+// Static per-device capability numbers. Dynamic behaviour (efficiency curves,
+// wave quantization, noise) lives in src/groundtruth.
+struct GpuSpec {
+  GpuArch arch = GpuArch::kH100;
+  std::string name;
+
+  // Peak throughputs, FLOP/s.
+  double peak_fp32_flops = 0.0;
+  double peak_tensor_flops = 0.0;  // fp16/bf16 tensor-core dense peak
+
+  uint64_t hbm_bytes = 0;        // device memory capacity
+  double hbm_bandwidth = 0.0;    // bytes/s
+  int sm_count = 0;
+  double sm_clock_ghz = 0.0;
+
+  // Device-side launch-to-start latency for an enqueued kernel, microseconds.
+  double kernel_dispatch_latency_us = 0.0;
+};
+
+// Canonical specs used throughout the evaluation.
+GpuSpec V100Spec();
+GpuSpec H100Spec();
+GpuSpec A40Spec();
+GpuSpec SpecForArch(GpuArch arch);
+
+}  // namespace maya
+
+#endif  // SRC_HW_GPU_SPEC_H_

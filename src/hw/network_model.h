@@ -1,0 +1,49 @@
+// Pluggable network/collective time models.
+//
+// The simulator treats the on-the-wire duration of a collective as a
+// black-box prediction (§4.3 "Network Model"): once all participants join
+// the collective waitmap, one of these models supplies the duration. Users
+// can plug profiled data (the default estimator, src/estimator) or an
+// analytical simulator like the ASTRA-sim-like model below.
+#ifndef SRC_HW_NETWORK_MODEL_H_
+#define SRC_HW_NETWORK_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/hw/cluster_spec.h"
+
+namespace maya {
+
+enum class CollectiveKind {
+  kAllReduce,
+  kAllGather,
+  kReduceScatter,
+  kBroadcast,
+  kReduce,
+  kAllToAll,
+  kSend,  // point-to-point (pipeline stages)
+  kRecv,
+};
+
+const char* CollectiveKindName(CollectiveKind kind);
+
+struct CollectiveRequest {
+  CollectiveKind kind = CollectiveKind::kAllReduce;
+  uint64_t bytes = 0;        // payload size per rank
+  std::vector<int> ranks;    // participating global device ranks
+};
+
+class NetworkModel {
+ public:
+  virtual ~NetworkModel() = default;
+  virtual std::string name() const = 0;
+  // Wire time in microseconds for the collective on the given cluster.
+  virtual double CollectiveUs(const CollectiveRequest& request,
+                              const ClusterSpec& cluster) const = 0;
+};
+
+}  // namespace maya
+
+#endif  // SRC_HW_NETWORK_MODEL_H_

@@ -1,0 +1,105 @@
+#include "src/models/model_zoo.h"
+
+namespace maya {
+namespace {
+
+ModelConfig Transformer(const char* name, ModelFamily family, int64_t layers, int64_t hidden,
+                        int64_t heads, int64_t seq, int64_t vocab = 51200) {
+  ModelConfig model;
+  model.name = name;
+  model.family = family;
+  model.num_layers = layers;
+  model.hidden_size = hidden;
+  model.num_heads = heads;
+  model.seq_length = seq;
+  model.vocab_size = vocab;
+  return model;
+}
+
+}  // namespace
+
+ModelConfig Gpt3_1_3B() { return Transformer("GPT3-1.3B", ModelFamily::kGpt, 24, 2048, 16, 2048); }
+
+ModelConfig Gpt3_2_7B() { return Transformer("GPT3-2.7B", ModelFamily::kGpt, 32, 2560, 32, 2048); }
+
+ModelConfig Gpt3_18_4B() {
+  return Transformer("GPT3-18.4B", ModelFamily::kGpt, 40, 6144, 48, 2048);
+}
+
+ModelConfig Gpt3_145_6B() {
+  return Transformer("GPT3-145.6B", ModelFamily::kGpt, 80, 12288, 96, 2048);
+}
+
+ModelConfig Llama2_7B() {
+  ModelConfig model = Transformer("Llama2-7B", ModelFamily::kGpt, 32, 4096, 32, 4096, 32000);
+  return model;
+}
+
+ModelConfig Bert_Large() {
+  return Transformer("BERT-Large", ModelFamily::kBert, 24, 1024, 16, 512, 30522);
+}
+
+ModelConfig ViT_Large() {
+  return Transformer("ViT-Large", ModelFamily::kVit, 24, 1024, 16, 577, 1024);
+}
+
+ModelConfig T5_Large() {
+  return Transformer("T5-Large", ModelFamily::kT5, 48, 1024, 16, 512, 32128);
+}
+
+ModelConfig Gpt2_Medium() {
+  return Transformer("GPT2-Medium", ModelFamily::kGpt, 24, 1024, 16, 1024, 50257);
+}
+
+ModelConfig ResNet152() {
+  ModelConfig model;
+  model.name = "ResNet152";
+  model.family = ModelFamily::kResNet;
+  model.image_size = 224;
+  model.stem_channels = 64;
+  model.conv_stages = {{3, 256, 1}, {8, 512, 2}, {36, 1024, 2}, {3, 2048, 2}};
+  model.num_classes = 1000;
+  return model;
+}
+
+ModelConfig DenseNet201() {
+  ModelConfig model = ResNet152();
+  model.name = "DenseNet201";
+  model.conv_stages = {{6, 256, 1}, {12, 512, 2}, {48, 896, 2}, {32, 1920, 2}};
+  return model;
+}
+
+ModelConfig MobileNetV2() {
+  ModelConfig model = ResNet152();
+  model.name = "MobileNetV2";
+  model.stem_channels = 32;
+  model.conv_stages = {{2, 24, 1}, {3, 32, 2}, {7, 96, 2}, {4, 320, 2}};
+  return model;
+}
+
+ModelConfig Vgg19() {
+  ModelConfig model = ResNet152();
+  model.name = "VGG19";
+  model.conv_stages = {{2, 128, 1}, {4, 256, 2}, {4, 512, 2}, {4, 512, 2}};
+  return model;
+}
+
+int64_t DefaultGlobalBatch(const ModelConfig& model) {
+  if (model.name == "GPT3-18.4B") {
+    return 512;
+  }
+  if (model.name == "GPT3-145.6B") {
+    return 12288;
+  }
+  if (model.family == ModelFamily::kResNet) {
+    return 512;
+  }
+  return 256;
+}
+
+std::vector<ModelConfig> GeneralityZoo() {
+  return {ResNet152(),  DenseNet201(), MobileNetV2(), Vgg19(),      Bert_Large(),
+          Gpt2_Medium(), Llama2_7B(),   T5_Large(),    ViT_Large()};
+}
+
+}  // namespace maya

@@ -1,0 +1,36 @@
+// Preset model configurations used throughout the paper's evaluation:
+// the GPT-3 family (2.7B / 18.4B / 145.6B plus 1.3B from Table 3),
+// Llama2-7B, ResNet152 for Fig. 10, and the Table 4 generality-zoo models.
+#ifndef SRC_MODELS_MODEL_ZOO_H_
+#define SRC_MODELS_MODEL_ZOO_H_
+
+#include <vector>
+
+#include "src/dlf/model_config.h"
+
+namespace maya {
+
+ModelConfig Gpt3_1_3B();
+ModelConfig Gpt3_2_7B();
+ModelConfig Gpt3_18_4B();
+ModelConfig Gpt3_145_6B();
+ModelConfig Llama2_7B();
+ModelConfig ResNet152();
+// Smaller members of the Table 4 zoo.
+ModelConfig Bert_Large();
+ModelConfig ViT_Large();
+ModelConfig T5_Large();
+ModelConfig Gpt2_Medium();
+ModelConfig DenseNet201();
+ModelConfig MobileNetV2();
+ModelConfig Vgg19();
+
+// Paper-default global batch sizes (§7.1): 256 / 512 / 12k for the GPT-3
+// 2.7B / 18.4B / 145.6B models.
+int64_t DefaultGlobalBatch(const ModelConfig& model);
+
+std::vector<ModelConfig> GeneralityZoo();
+
+}  // namespace maya
+
+#endif  // SRC_MODELS_MODEL_ZOO_H_

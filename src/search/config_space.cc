@@ -1,0 +1,101 @@
+#include "src/search/config_space.h"
+
+#include "src/common/check.h"
+
+namespace maya {
+
+ConfigSpace ConfigSpace::MegatronTable5(int64_t global_batch) {
+  return ConfigSpace({1, 2, 4, 8}, {1, 2, 4, 8}, {1, 2, 4, 6, 8}, {1, 2, 4}, {false, true},
+                     {false, true}, {false, true}, global_batch);
+}
+
+ConfigSpace::ConfigSpace(std::vector<int> tensor_parallel, std::vector<int> pipeline_parallel,
+                         std::vector<int> microbatch_multiplier, std::vector<int> virtual_stages,
+                         std::vector<bool> activation_recomputation,
+                         std::vector<bool> sequence_parallel,
+                         std::vector<bool> distributed_optimizer, int64_t global_batch)
+    : tp_(std::move(tensor_parallel)),
+      pp_(std::move(pipeline_parallel)),
+      mbm_(std::move(microbatch_multiplier)),
+      vs_(std::move(virtual_stages)),
+      recomp_(std::move(activation_recomputation)),
+      seqpar_(std::move(sequence_parallel)),
+      distopt_(std::move(distributed_optimizer)),
+      global_batch_(global_batch) {
+  size_ = tp_.size() * pp_.size() * mbm_.size() * vs_.size() * recomp_.size() * seqpar_.size() *
+          distopt_.size();
+  CHECK_GT(size_, 0u);
+}
+
+size_t ConfigSpace::DimensionSize(size_t d) const {
+  switch (d) {
+    case 0:
+      return tp_.size();
+    case 1:
+      return pp_.size();
+    case 2:
+      return mbm_.size();
+    case 3:
+      return vs_.size();
+    case 4:
+      return recomp_.size();
+    case 5:
+      return seqpar_.size();
+    case 6:
+      return distopt_.size();
+    default:
+      CHECK(false) << "dimension out of range";
+      return 0;
+  }
+}
+
+std::vector<size_t> ConfigSpace::Coordinates(size_t flat_index) const {
+  CHECK_LT(flat_index, size_);
+  std::vector<size_t> coords(dimensions());
+  for (size_t d = 0; d < dimensions(); ++d) {
+    const size_t radix = DimensionSize(d);
+    coords[d] = flat_index % radix;
+    flat_index /= radix;
+  }
+  return coords;
+}
+
+size_t ConfigSpace::FlatIndex(const std::vector<size_t>& coords) const {
+  CHECK_EQ(coords.size(), dimensions());
+  size_t index = 0;
+  for (size_t d = dimensions(); d-- > 0;) {
+    CHECK_LT(coords[d], DimensionSize(d));
+    index = index * DimensionSize(d) + coords[d];
+  }
+  return index;
+}
+
+TrainConfig ConfigSpace::AtCoordinates(const std::vector<size_t>& coords) const {
+  CHECK_EQ(coords.size(), dimensions());
+  TrainConfig config;
+  config.framework = ParallelFramework::kMegatron;
+  config.global_batch_size = global_batch_;
+  config.tensor_parallel = tp_[coords[0]];
+  config.pipeline_parallel = pp_[coords[1]];
+  config.microbatch_multiplier = mbm_[coords[2]];
+  config.virtual_pipeline_stages = vs_[coords[3]];
+  config.activation_recomputation = recomp_[coords[4]];
+  config.sequence_parallel = seqpar_[coords[5]];
+  config.distributed_optimizer = distopt_[coords[6]];
+  return config;
+}
+
+TrainConfig ConfigSpace::At(size_t flat_index) const {
+  return AtCoordinates(Coordinates(flat_index));
+}
+
+std::vector<TrainConfig> ConfigSpace::EnumerateAll() const {
+  std::vector<TrainConfig> configs;
+  configs.reserve(size_);
+  for (size_t i = 0; i < size_; ++i) {
+    configs.push_back(At(i));
+  }
+  return configs;
+}
+
+}  // namespace maya

@@ -1,0 +1,55 @@
+// The Megatron-LM configuration space of Table 5: tensor/pipeline parallel
+// degrees, microbatch multiplier, virtual stages, activation recomputation,
+// sequence parallelism and the distributed optimizer (~1920 points).
+// Configurations are addressed by a mixed-radix flat index so black-box
+// search algorithms can operate on a simple integer/continuous encoding.
+#ifndef SRC_SEARCH_CONFIG_SPACE_H_
+#define SRC_SEARCH_CONFIG_SPACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/dlf/train_config.h"
+
+namespace maya {
+
+class ConfigSpace {
+ public:
+  // The paper's search space (Table 5).
+  static ConfigSpace MegatronTable5(int64_t global_batch);
+
+  ConfigSpace(std::vector<int> tensor_parallel, std::vector<int> pipeline_parallel,
+              std::vector<int> microbatch_multiplier, std::vector<int> virtual_stages,
+              std::vector<bool> activation_recomputation, std::vector<bool> sequence_parallel,
+              std::vector<bool> distributed_optimizer, int64_t global_batch);
+
+  size_t size() const { return size_; }
+  size_t dimensions() const { return 7; }
+  // Cardinality of dimension d (for continuous-relaxation searchers).
+  size_t DimensionSize(size_t d) const;
+
+  TrainConfig At(size_t flat_index) const;
+  // Decodes a per-dimension coordinate vector (each in [0, DimensionSize)).
+  TrainConfig AtCoordinates(const std::vector<size_t>& coords) const;
+  size_t FlatIndex(const std::vector<size_t>& coords) const;
+  std::vector<size_t> Coordinates(size_t flat_index) const;
+
+  // Enumerates every point (including invalid ones; callers validate).
+  std::vector<TrainConfig> EnumerateAll() const;
+
+ private:
+  std::vector<int> tp_;
+  std::vector<int> pp_;
+  std::vector<int> mbm_;
+  std::vector<int> vs_;
+  std::vector<bool> recomp_;
+  std::vector<bool> seqpar_;
+  std::vector<bool> distopt_;
+  int64_t global_batch_;
+  size_t size_;
+};
+
+}  // namespace maya
+
+#endif  // SRC_SEARCH_CONFIG_SPACE_H_

@@ -1,0 +1,60 @@
+#include "src/search/pruning.h"
+
+namespace maya {
+
+void PruningOracle::Observe(const TrainConfig& config, bool oom, double iteration_us) {
+  history_[config.CacheKey()] = Outcome{oom, iteration_us};
+}
+
+const PruningOracle::Outcome* PruningOracle::Find(const TrainConfig& config) const {
+  auto it = history_.find(config.CacheKey());
+  return it == history_.end() ? nullptr : &it->second;
+}
+
+std::optional<PrunedOutcome> PruningOracle::Lookup(const TrainConfig& config) const {
+  // Tactic 1: the recomputation-enabled twin OOMed -> this one will too
+  // (recomputation strictly reduces activation memory).
+  if (!config.activation_recomputation) {
+    TrainConfig twin = config;
+    twin.activation_recomputation = true;
+    const Outcome* outcome = Find(twin);
+    if (outcome != nullptr && outcome->oom) {
+      return PrunedOutcome{true, 0.0, "recomputation-oom-dominates"};
+    }
+  }
+  // Tactic 2: the sequence-parallel twin OOMed -> this one will too
+  // (sequence parallelism reduces activation memory at no comm cost).
+  if (!config.sequence_parallel && config.tensor_parallel > 1) {
+    TrainConfig twin = config;
+    twin.sequence_parallel = true;
+    const Outcome* outcome = Find(twin);
+    if (outcome != nullptr && outcome->oom) {
+      return PrunedOutcome{true, 0.0, "sequence-parallel-oom-dominates"};
+    }
+  }
+  // Tactic 3: the non-distributed-optimizer twin fit -> the distributed
+  // variant fits too (it only shards state); reuse its runtime.
+  if (config.distributed_optimizer) {
+    TrainConfig twin = config;
+    twin.distributed_optimizer = false;
+    const Outcome* outcome = Find(twin);
+    if (outcome != nullptr && !outcome->oom) {
+      return PrunedOutcome{false, outcome->iteration_us, "distributed-optimizer-equivalent"};
+    }
+  }
+  // Tactic 4: with no pipeline, a configuration that fit with fewer
+  // microbatches dominates ones with more; reuse its runtime.
+  if (config.pipeline_parallel == 1 && config.microbatch_multiplier > 1) {
+    for (int smaller = 1; smaller < config.microbatch_multiplier; ++smaller) {
+      TrainConfig twin = config;
+      twin.microbatch_multiplier = smaller;
+      const Outcome* outcome = Find(twin);
+      if (outcome != nullptr && !outcome->oom) {
+        return PrunedOutcome{false, outcome->iteration_us, "microbatch-monotone"};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace maya

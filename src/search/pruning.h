@@ -1,0 +1,53 @@
+// Fidelity-preserving trial pruning (§5.2, Appendix D).
+//
+// Known monotonic relationships between Megatron configuration knobs form a
+// partial order over resource consumption; a trial whose outcome is implied
+// by an already-evaluated dominating trial can be skipped without risking
+// the optimum. The four tactics of Table 10:
+//   1. OOM with recomputation ON      => OOM with recomputation OFF.
+//   2. OOM with sequence parallel ON  => OOM with sequence parallel OFF.
+//   3. no OOM without dist-optimizer  => dist-optimizer variant fits; reuse
+//      its runtime (same compute, added comm amortized at these scales).
+//   4. pp == 1, no OOM with n microbatches => more microbatches fit; reuse
+//      the runtime (utilization inversely proportional to microbatch count).
+#ifndef SRC_SEARCH_PRUNING_H_
+#define SRC_SEARCH_PRUNING_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "src/dlf/train_config.h"
+
+namespace maya {
+
+struct PrunedOutcome {
+  bool oom = false;
+  double iteration_us = 0.0;  // valid when !oom
+  std::string tactic;         // which Table 10 rule fired
+};
+
+class PruningOracle {
+ public:
+  // Records an evaluated configuration's outcome.
+  void Observe(const TrainConfig& config, bool oom, double iteration_us);
+
+  // Returns a decided outcome if some previously observed configuration
+  // dominates `config` under a Table 10 tactic.
+  std::optional<PrunedOutcome> Lookup(const TrainConfig& config) const;
+
+  size_t history_size() const { return history_.size(); }
+
+ private:
+  struct Outcome {
+    bool oom = false;
+    double iteration_us = 0.0;
+  };
+  const Outcome* Find(const TrainConfig& config) const;
+
+  std::unordered_map<std::string, Outcome> history_;
+};
+
+}  // namespace maya
+
+#endif  // SRC_SEARCH_PRUNING_H_

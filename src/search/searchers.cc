@@ -1,0 +1,494 @@
+#include "src/search/searchers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace maya {
+namespace {
+
+// ---- Shared continuous <-> discrete decoding --------------------------------
+
+std::vector<size_t> DecodePoint(const ConfigSpace& space, const std::vector<double>& x) {
+  std::vector<size_t> coords(space.dimensions());
+  for (size_t d = 0; d < space.dimensions(); ++d) {
+    const double clamped = std::clamp(x[d], 0.0, 1.0 - 1e-9);
+    coords[d] = static_cast<size_t>(clamped * static_cast<double>(space.DimensionSize(d)));
+  }
+  return coords;
+}
+
+// ---- Grid --------------------------------------------------------------------
+
+class GridSearch final : public SearchAlgorithm {
+ public:
+  explicit GridSearch(const ConfigSpace& space) : space_(space) {}
+  std::string name() const override { return "grid"; }
+  std::optional<size_t> Ask() override {
+    if (next_ >= space_.size()) {
+      return std::nullopt;
+    }
+    return next_++;
+  }
+  void Tell(size_t, double) override {}
+
+ private:
+  const ConfigSpace& space_;
+  size_t next_ = 0;
+};
+
+// ---- Random ------------------------------------------------------------------
+
+class RandomSearch final : public SearchAlgorithm {
+ public:
+  RandomSearch(const ConfigSpace& space, uint64_t seed) : space_(space), rng_(seed) {}
+  std::string name() const override { return "random"; }
+  std::optional<size_t> Ask() override { return rng_.NextUint64(space_.size()); }
+  void Tell(size_t, double) override {}
+
+ private:
+  const ConfigSpace& space_;
+  Rng rng_;
+};
+
+// ---- (1+1) evolution strategy ---------------------------------------------------
+
+class OnePlusOneSearch final : public SearchAlgorithm {
+ public:
+  OnePlusOneSearch(const ConfigSpace& space, uint64_t seed) : space_(space), rng_(seed) {
+    parent_.resize(space_.dimensions());
+    for (size_t d = 0; d < space_.dimensions(); ++d) {
+      parent_[d] = rng_.NextUint64(space_.DimensionSize(d));
+    }
+  }
+  std::string name() const override { return "one-plus-one"; }
+
+  std::optional<size_t> Ask() override {
+    if (first_) {
+      candidate_ = parent_;
+    } else {
+      // Mutate each dimension with probability ~1/d; force at least one.
+      candidate_ = parent_;
+      bool mutated = false;
+      for (size_t d = 0; d < space_.dimensions(); ++d) {
+        if (rng_.NextDouble() < 1.0 / static_cast<double>(space_.dimensions())) {
+          candidate_[d] = rng_.NextUint64(space_.DimensionSize(d));
+          mutated = true;
+        }
+      }
+      if (!mutated) {
+        const size_t d = rng_.NextUint64(space_.dimensions());
+        candidate_[d] = rng_.NextUint64(space_.DimensionSize(d));
+      }
+    }
+    return space_.FlatIndex(candidate_);
+  }
+
+  void Tell(size_t, double objective) override {
+    if (first_ || objective >= parent_objective_) {
+      parent_ = candidate_;
+      parent_objective_ = objective;
+    }
+    first_ = false;
+  }
+
+ private:
+  const ConfigSpace& space_;
+  Rng rng_;
+  std::vector<size_t> parent_;
+  std::vector<size_t> candidate_;
+  double parent_objective_ = -1.0;
+  bool first_ = true;
+};
+
+// ---- Particle swarm -------------------------------------------------------------
+
+class PsoSearch final : public SearchAlgorithm {
+ public:
+  static constexpr int kSwarm = 12;
+
+  PsoSearch(const ConfigSpace& space, uint64_t seed) : space_(space), rng_(seed) {
+    const size_t d = space_.dimensions();
+    for (int i = 0; i < kSwarm; ++i) {
+      Particle particle;
+      particle.x.resize(d);
+      particle.v.resize(d);
+      for (size_t j = 0; j < d; ++j) {
+        particle.x[j] = rng_.NextDouble();
+        particle.v[j] = 0.2 * (rng_.NextDouble() - 0.5);
+      }
+      particle.best_x = particle.x;
+      swarm_.push_back(std::move(particle));
+    }
+  }
+  std::string name() const override { return "pso"; }
+
+  std::optional<size_t> Ask() override {
+    Particle& particle = swarm_[static_cast<size_t>(cursor_)];
+    return space_.FlatIndex(DecodePoint(space_, particle.x));
+  }
+
+  void Tell(size_t, double objective) override {
+    Particle& particle = swarm_[static_cast<size_t>(cursor_)];
+    if (objective > particle.best_objective) {
+      particle.best_objective = objective;
+      particle.best_x = particle.x;
+    }
+    if (objective > global_best_objective_) {
+      global_best_objective_ = objective;
+      global_best_x_ = particle.x;
+    }
+    // Velocity update (inertia 0.7, cognitive/social 1.5).
+    for (size_t j = 0; j < space_.dimensions(); ++j) {
+      const double r1 = rng_.NextDouble();
+      const double r2 = rng_.NextDouble();
+      particle.v[j] = 0.7 * particle.v[j] +
+                      1.5 * r1 * (particle.best_x[j] - particle.x[j]) +
+                      1.5 * r2 * (global_best_x_.empty()
+                                      ? 0.0
+                                      : global_best_x_[j] - particle.x[j]);
+      particle.x[j] = std::clamp(particle.x[j] + particle.v[j], 0.0, 1.0);
+    }
+    cursor_ = (cursor_ + 1) % kSwarm;
+  }
+
+ private:
+  struct Particle {
+    std::vector<double> x, v, best_x;
+    double best_objective = -1.0;
+  };
+  const ConfigSpace& space_;
+  Rng rng_;
+  std::vector<Particle> swarm_;
+  std::vector<double> global_best_x_;
+  double global_best_objective_ = -1.0;
+  int cursor_ = 0;
+};
+
+// ---- Two-points differential evolution -----------------------------------------
+
+class TwoPointsDeSearch final : public SearchAlgorithm {
+ public:
+  static constexpr int kPopulation = 16;
+
+  TwoPointsDeSearch(const ConfigSpace& space, uint64_t seed) : space_(space), rng_(seed) {
+    const size_t d = space_.dimensions();
+    population_.resize(kPopulation);
+    objectives_.assign(kPopulation, -1.0);
+    for (auto& member : population_) {
+      member.resize(d);
+      for (auto& x : member) {
+        x = rng_.NextDouble();
+      }
+    }
+  }
+  std::string name() const override { return "two-points-de"; }
+
+  std::optional<size_t> Ask() override {
+    const size_t d = space_.dimensions();
+    if (initializing_ < kPopulation) {
+      candidate_ = population_[static_cast<size_t>(initializing_)];
+      return space_.FlatIndex(DecodePoint(space_, candidate_));
+    }
+    // DE/rand/1 with two-points crossover: copy a contiguous segment from
+    // the mutant into the target.
+    const size_t a = rng_.NextUint64(kPopulation);
+    size_t b = rng_.NextUint64(kPopulation);
+    size_t c = rng_.NextUint64(kPopulation);
+    while (b == a) {
+      b = rng_.NextUint64(kPopulation);
+    }
+    while (c == a || c == b) {
+      c = rng_.NextUint64(kPopulation);
+    }
+    target_ = rng_.NextUint64(kPopulation);
+    candidate_ = population_[target_];
+    std::vector<double> mutant(d);
+    for (size_t j = 0; j < d; ++j) {
+      mutant[j] = std::clamp(population_[a][j] + 0.8 * (population_[b][j] - population_[c][j]),
+                             0.0, 1.0);
+    }
+    size_t p1 = rng_.NextUint64(d);
+    size_t p2 = rng_.NextUint64(d);
+    if (p1 > p2) {
+      std::swap(p1, p2);
+    }
+    for (size_t j = p1; j <= p2; ++j) {
+      candidate_[j] = mutant[j];
+    }
+    return space_.FlatIndex(DecodePoint(space_, candidate_));
+  }
+
+  void Tell(size_t, double objective) override {
+    if (initializing_ < kPopulation) {
+      objectives_[static_cast<size_t>(initializing_)] = objective;
+      ++initializing_;
+      return;
+    }
+    if (objective >= objectives_[target_]) {
+      population_[target_] = candidate_;
+      objectives_[target_] = objective;
+    }
+  }
+
+ private:
+  const ConfigSpace& space_;
+  Rng rng_;
+  std::vector<std::vector<double>> population_;
+  std::vector<double> objectives_;
+  std::vector<double> candidate_;
+  size_t target_ = 0;
+  int initializing_ = 0;
+};
+
+// ---- CMA-ES ----------------------------------------------------------------------
+
+// Covariance Matrix Adaptation Evolution Strategy (Hansen 2016) minimizing
+// -objective over [0,1]^d with boundary clipping. Full covariance with a
+// Jacobi eigendecomposition (d == 7, so exact decomposition is cheap).
+class CmaEsSearch final : public SearchAlgorithm {
+ public:
+  CmaEsSearch(const ConfigSpace& space, uint64_t seed)
+      : space_(space), rng_(seed), d_(space.dimensions()) {
+    lambda_ = 4 + static_cast<int>(std::floor(3.0 * std::log(static_cast<double>(d_))));
+    mu_ = lambda_ / 2;
+    weights_.resize(static_cast<size_t>(mu_));
+    double weight_sum = 0.0;
+    for (int i = 0; i < mu_; ++i) {
+      weights_[static_cast<size_t>(i)] =
+          std::log(mu_ + 0.5) - std::log(static_cast<double>(i + 1));
+      weight_sum += weights_[static_cast<size_t>(i)];
+    }
+    double weight_sq = 0.0;
+    for (auto& weight : weights_) {
+      weight /= weight_sum;
+      weight_sq += weight * weight;
+    }
+    mu_eff_ = 1.0 / weight_sq;
+    const double dd = static_cast<double>(d_);
+    c_sigma_ = (mu_eff_ + 2.0) / (dd + mu_eff_ + 5.0);
+    d_sigma_ = 1.0 + 2.0 * std::max(0.0, std::sqrt((mu_eff_ - 1.0) / (dd + 1.0)) - 1.0) +
+               c_sigma_;
+    c_c_ = (4.0 + mu_eff_ / dd) / (dd + 4.0 + 2.0 * mu_eff_ / dd);
+    c_1_ = 2.0 / ((dd + 1.3) * (dd + 1.3) + mu_eff_);
+    c_mu_ = std::min(1.0 - c_1_, 2.0 * (mu_eff_ - 2.0 + 1.0 / mu_eff_) /
+                                     ((dd + 2.0) * (dd + 2.0) + mu_eff_));
+    chi_n_ = std::sqrt(dd) * (1.0 - 1.0 / (4.0 * dd) + 1.0 / (21.0 * dd * dd));
+
+    mean_.assign(d_, 0.5);
+    sigma_ = 0.3;
+    cov_.assign(d_ * d_, 0.0);
+    for (size_t i = 0; i < d_; ++i) {
+      cov_[i * d_ + i] = 1.0;
+    }
+    p_sigma_.assign(d_, 0.0);
+    p_c_.assign(d_, 0.0);
+    DecomposeCovariance();
+  }
+
+  std::string name() const override { return "cma"; }
+
+  std::optional<size_t> Ask() override {
+    // Sample y = B * diag(sqrt(eig)) * z; x = mean + sigma * y.
+    std::vector<double> z(d_);
+    for (auto& value : z) {
+      value = rng_.Normal();
+    }
+    Candidate candidate;
+    candidate.z = z;
+    candidate.y.assign(d_, 0.0);
+    for (size_t i = 0; i < d_; ++i) {
+      for (size_t j = 0; j < d_; ++j) {
+        candidate.y[i] += eigvec_[i * d_ + j] * std::sqrt(eigval_[j]) * z[j];
+      }
+    }
+    candidate.x.resize(d_);
+    for (size_t i = 0; i < d_; ++i) {
+      candidate.x[i] = std::clamp(mean_[i] + sigma_ * candidate.y[i], 0.0, 1.0);
+    }
+    pending_.push_back(candidate);
+    return space_.FlatIndex(DecodePoint(space_, candidate.x));
+  }
+
+  void Tell(size_t, double objective) override {
+    // Tells arrive in Ask order (FIFO): batched asking is supported.
+    CHECK(!pending_.empty());
+    Candidate candidate = std::move(pending_.front());
+    pending_.pop_front();
+    candidate.objective = objective;
+    generation_.push_back(std::move(candidate));
+    if (static_cast<int>(generation_.size()) == lambda_) {
+      UpdateDistribution();
+      generation_.clear();
+    }
+  }
+
+ private:
+  struct Candidate {
+    std::vector<double> x, y, z;
+    double objective = 0.0;
+  };
+
+  void UpdateDistribution() {
+    std::sort(generation_.begin(), generation_.end(),
+              [](const Candidate& a, const Candidate& b) { return a.objective > b.objective; });
+    // Weighted recombination of the top mu candidates.
+    std::vector<double> y_w(d_, 0.0);
+    for (int i = 0; i < mu_; ++i) {
+      for (size_t j = 0; j < d_; ++j) {
+        y_w[j] += weights_[static_cast<size_t>(i)] * generation_[static_cast<size_t>(i)].y[j];
+      }
+    }
+    for (size_t j = 0; j < d_; ++j) {
+      mean_[j] = std::clamp(mean_[j] + sigma_ * y_w[j], 0.0, 1.0);
+    }
+    // Step-size path (uses C^{-1/2} y_w = B z_w).
+    std::vector<double> z_w(d_, 0.0);
+    for (int i = 0; i < mu_; ++i) {
+      for (size_t j = 0; j < d_; ++j) {
+        z_w[j] += weights_[static_cast<size_t>(i)] * generation_[static_cast<size_t>(i)].z[j];
+      }
+    }
+    std::vector<double> c_invsqrt_y(d_, 0.0);
+    for (size_t i = 0; i < d_; ++i) {
+      for (size_t j = 0; j < d_; ++j) {
+        c_invsqrt_y[i] += eigvec_[i * d_ + j] * z_w[j];
+      }
+    }
+    double p_sigma_norm_sq = 0.0;
+    for (size_t j = 0; j < d_; ++j) {
+      p_sigma_[j] = (1.0 - c_sigma_) * p_sigma_[j] +
+                    std::sqrt(c_sigma_ * (2.0 - c_sigma_) * mu_eff_) * c_invsqrt_y[j];
+      p_sigma_norm_sq += p_sigma_[j] * p_sigma_[j];
+    }
+    sigma_ *= std::exp(c_sigma_ / d_sigma_ * (std::sqrt(p_sigma_norm_sq) / chi_n_ - 1.0));
+    sigma_ = std::clamp(sigma_, 0.01, 1.0);
+    // Covariance path + rank-1 / rank-mu update.
+    const bool hsig =
+        std::sqrt(p_sigma_norm_sq) / std::sqrt(1.0 - std::pow(1.0 - c_sigma_, 2.0)) / chi_n_ <
+        1.4 + 2.0 / (static_cast<double>(d_) + 1.0);
+    for (size_t j = 0; j < d_; ++j) {
+      p_c_[j] = (1.0 - c_c_) * p_c_[j] +
+                (hsig ? std::sqrt(c_c_ * (2.0 - c_c_) * mu_eff_) * y_w[j] : 0.0);
+    }
+    for (size_t i = 0; i < d_; ++i) {
+      for (size_t j = 0; j < d_; ++j) {
+        double rank_mu = 0.0;
+        for (int k = 0; k < mu_; ++k) {
+          rank_mu += weights_[static_cast<size_t>(k)] *
+                     generation_[static_cast<size_t>(k)].y[i] *
+                     generation_[static_cast<size_t>(k)].y[j];
+        }
+        cov_[i * d_ + j] = (1.0 - c_1_ - c_mu_) * cov_[i * d_ + j] +
+                           c_1_ * (p_c_[i] * p_c_[j] +
+                                   (hsig ? 0.0 : c_c_ * (2.0 - c_c_)) * cov_[i * d_ + j]) +
+                           c_mu_ * rank_mu;
+      }
+    }
+    DecomposeCovariance();
+  }
+
+  // Jacobi eigendecomposition of the symmetric covariance.
+  void DecomposeCovariance() {
+    std::vector<double> a = cov_;
+    eigvec_.assign(d_ * d_, 0.0);
+    for (size_t i = 0; i < d_; ++i) {
+      eigvec_[i * d_ + i] = 1.0;
+    }
+    for (int sweep = 0; sweep < 50; ++sweep) {
+      double off = 0.0;
+      for (size_t p = 0; p < d_; ++p) {
+        for (size_t q = p + 1; q < d_; ++q) {
+          off += a[p * d_ + q] * a[p * d_ + q];
+        }
+      }
+      if (off < 1e-14) {
+        break;
+      }
+      for (size_t p = 0; p < d_; ++p) {
+        for (size_t q = p + 1; q < d_; ++q) {
+          if (std::abs(a[p * d_ + q]) < 1e-15) {
+            continue;
+          }
+          const double theta = (a[q * d_ + q] - a[p * d_ + p]) / (2.0 * a[p * d_ + q]);
+          const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                           (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+          const double cos = 1.0 / std::sqrt(t * t + 1.0);
+          const double sin = t * cos;
+          for (size_t k = 0; k < d_; ++k) {
+            const double akp = a[k * d_ + p];
+            const double akq = a[k * d_ + q];
+            a[k * d_ + p] = cos * akp - sin * akq;
+            a[k * d_ + q] = sin * akp + cos * akq;
+          }
+          for (size_t k = 0; k < d_; ++k) {
+            const double apk = a[p * d_ + k];
+            const double aqk = a[q * d_ + k];
+            a[p * d_ + k] = cos * apk - sin * aqk;
+            a[q * d_ + k] = sin * apk + cos * aqk;
+          }
+          for (size_t k = 0; k < d_; ++k) {
+            const double vkp = eigvec_[k * d_ + p];
+            const double vkq = eigvec_[k * d_ + q];
+            eigvec_[k * d_ + p] = cos * vkp - sin * vkq;
+            eigvec_[k * d_ + q] = sin * vkp + cos * vkq;
+          }
+        }
+      }
+    }
+    eigval_.resize(d_);
+    for (size_t i = 0; i < d_; ++i) {
+      eigval_[i] = std::max(a[i * d_ + i], 1e-10);
+    }
+  }
+
+  const ConfigSpace& space_;
+  Rng rng_;
+  size_t d_;
+  int lambda_ = 0;
+  int mu_ = 0;
+  std::vector<double> weights_;
+  double mu_eff_ = 0.0, c_sigma_ = 0.0, d_sigma_ = 0.0, c_c_ = 0.0, c_1_ = 0.0, c_mu_ = 0.0;
+  double chi_n_ = 0.0;
+
+  std::vector<double> mean_;
+  double sigma_ = 0.3;
+  std::vector<double> cov_;       // row-major d x d
+  std::vector<double> eigvec_;    // columns are eigenvectors
+  std::vector<double> eigval_;
+  std::vector<double> p_sigma_, p_c_;
+
+  std::deque<Candidate> pending_;
+  std::vector<Candidate> generation_;
+};
+
+}  // namespace
+
+std::unique_ptr<SearchAlgorithm> MakeSearchAlgorithm(const std::string& name,
+                                                     const ConfigSpace& space, uint64_t seed) {
+  if (name == "grid") {
+    return std::make_unique<GridSearch>(space);
+  }
+  if (name == "random") {
+    return std::make_unique<RandomSearch>(space, seed);
+  }
+  if (name == "one-plus-one") {
+    return std::make_unique<OnePlusOneSearch>(space, seed);
+  }
+  if (name == "pso") {
+    return std::make_unique<PsoSearch>(space, seed);
+  }
+  if (name == "two-points-de") {
+    return std::make_unique<TwoPointsDeSearch>(space, seed);
+  }
+  if (name == "cma") {
+    return std::make_unique<CmaEsSearch>(space, seed);
+  }
+  CHECK(false) << "unknown search algorithm '" << name << "'";
+  return nullptr;
+}
+
+}  // namespace maya

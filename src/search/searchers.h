@@ -1,0 +1,39 @@
+// Black-box search algorithms over the configuration space (§5, App. C).
+//
+// All algorithms speak a simple ask/tell protocol on flat config indices;
+// continuous-relaxation methods (CMA-ES, PSO, DE) optimize in [0,1]^d and
+// decode to mixed-radix coordinates. Implemented from scratch: CMA-ES
+// (Hansen & Ostermeier), particle swarm, two-points differential evolution,
+// (1+1) evolution strategy, random and grid search — the algorithm set of
+// the paper's Fig. 16.
+#ifndef SRC_SEARCH_SEARCHERS_H_
+#define SRC_SEARCH_SEARCHERS_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/search/config_space.h"
+
+namespace maya {
+
+class SearchAlgorithm {
+ public:
+  virtual ~SearchAlgorithm() = default;
+  virtual std::string name() const = 0;
+  // Proposes the next configuration to evaluate; nullopt when exhausted.
+  virtual std::optional<size_t> Ask() = 0;
+  // Reports the objective (MFU; 0 for OOM/invalid points). Must be called
+  // exactly once per Ask, in order.
+  virtual void Tell(size_t flat_index, double objective) = 0;
+};
+
+// Supported names: "cma", "pso", "two-points-de", "one-plus-one", "random",
+// "grid". CHECK-fails on unknown names.
+std::unique_ptr<SearchAlgorithm> MakeSearchAlgorithm(const std::string& name,
+                                                     const ConfigSpace& space, uint64_t seed);
+
+}  // namespace maya
+
+#endif  // SRC_SEARCH_SEARCHERS_H_

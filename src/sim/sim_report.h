@@ -1,0 +1,38 @@
+// Simulation output: the report of Fig. 5 (batch time, communication time,
+// peak memory) plus per-worker detail used by benches and tests.
+#ifndef SRC_SIM_SIM_REPORT_H_
+#define SRC_SIM_SIM_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace maya {
+
+struct WorkerSimReport {
+  int rank = -1;
+  int folded_multiplicity = 1;  // how many real ranks this worker represents
+  double finish_us = 0.0;
+  double host_busy_us = 0.0;
+  double compute_busy_us = 0.0;
+  // Time with at least one collective in flight on the device (join→completion).
+  double comm_busy_us = 0.0;
+  // Collective time not hidden behind concurrent compute.
+  double exposed_comm_us = 0.0;
+};
+
+struct SimReport {
+  double total_time_us = 0.0;  // makespan across all workers
+  double comm_time_us = 0.0;   // mean per-worker collective busy time
+  double exposed_comm_us = 0.0;
+  double host_time_us = 0.0;   // mean per-worker host busy time
+  uint64_t peak_memory_bytes = 0;
+  size_t events_processed = 0;
+  std::vector<WorkerSimReport> workers;
+
+  std::string Summary() const;
+};
+
+}  // namespace maya
+
+#endif  // SRC_SIM_SIM_REPORT_H_

@@ -1,0 +1,503 @@
+#include "src/sim/simulator.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/strings.h"
+
+namespace maya {
+namespace {
+
+// Key for (event id, version): versions disambiguate CUDA event handle
+// re-use (Appendix A, CudaEventWaitMap).
+uint64_t EventKey(uint32_t id, uint32_t version) {
+  return (static_cast<uint64_t>(id) << 32) | version;
+}
+
+// Key for (communicator uid, sequence number).
+struct CollKey {
+  uint64_t uid;
+  uint32_t seq;
+  bool operator==(const CollKey&) const = default;
+};
+
+struct CollKeyHash {
+  size_t operator()(const CollKey& key) const {
+    return static_cast<size_t>(key.uid * 0x9e3779b97f4a7c15ULL ^ key.seq);
+  }
+};
+
+enum class SimEventType { kHostAdvance, kOpComplete };
+
+struct SimEvent {
+  double time = 0.0;
+  uint64_t sequence = 0;  // FIFO tie-break for simultaneous events
+  SimEventType type = SimEventType::kHostAdvance;
+  int worker = -1;
+  uint64_t stream = 0;
+};
+
+struct SimEventLater {
+  bool operator()(const SimEvent& a, const SimEvent& b) const {
+    if (a.time != b.time) {
+      return a.time > b.time;
+    }
+    return a.sequence > b.sequence;
+  }
+};
+
+struct QueuedOp {
+  size_t op_index;
+  double enqueue_time;
+};
+
+struct StreamState {
+  std::deque<QueuedOp> queue;
+  bool busy = false;             // an op is executing / joined a collective
+  bool blocked_on_event = false; // head is a waiting kStreamWaitEvent marker
+  double ready_time = 0.0;       // completion time of the last finished op
+  size_t executing_op = 0;
+  double executing_start = 0.0;
+};
+
+enum class HostBlock { kNone, kEvent, kStream, kDevice };
+
+struct WorkerState {
+  const WorkerTrace* trace = nullptr;
+  size_t next_op = 0;
+  double host_time = 0.0;
+  double host_busy_us = 0.0;
+  HostBlock block = HostBlock::kNone;
+  uint64_t block_key = 0;  // event key or stream id
+
+  std::unordered_map<uint64_t, StreamState> streams;
+  std::unordered_map<uint64_t, double> event_completion;  // EventKey -> time
+  // Streams of this worker blocked on a future (event, version) record.
+  std::unordered_map<uint64_t, std::vector<uint64_t>> event_stream_waiters;
+
+  // Device-level occupancy accounting.
+  int active_collectives = 0;
+  double comm_window_start = 0.0;
+  double comm_busy_us = 0.0;
+  double compute_busy_us = 0.0;
+  double exposed_comm_us = 0.0;
+  double last_comm_compute_overlap_us = 0.0;
+  int active_compute = 0;
+  double compute_window_start = 0.0;
+  double finish_us = 0.0;
+};
+
+struct CollectiveParticipant {
+  int worker;
+  uint64_t stream;
+  double join_time;
+};
+
+struct CollectiveWait {
+  std::vector<CollectiveParticipant> joined;
+};
+
+}  // namespace
+
+Simulator::Simulator(const JobTrace& job, const ClusterSpec& cluster, SimOptions options)
+    : job_(job), cluster_(cluster), options_(options) {
+  if (options_.dispatch_latency_us < 0.0) {
+    options_.dispatch_latency_us = cluster_.gpu.kernel_dispatch_latency_us;
+  }
+}
+
+Result<SimReport> Simulator::Run() {
+  const size_t worker_count = job_.workers.size();
+  if (worker_count == 0) {
+    return Status::InvalidArgument("empty job trace");
+  }
+
+  std::vector<WorkerState> workers(worker_count);
+  for (size_t w = 0; w < worker_count; ++w) {
+    workers[w].trace = &job_.workers[w];
+  }
+
+  // Expected number of *simulated* joiners per communicator: folded workers
+  // move in lockstep, so one representative join stands for all of its
+  // folded ranks (§4.2 dedup: redundant GPUs are neither emulated nor
+  // simulated).
+  std::unordered_map<int, int> rank_to_worker;
+  for (size_t w = 0; w < worker_count; ++w) {
+    for (int rank : job_.folded_ranks[w]) {
+      rank_to_worker[rank] = static_cast<int>(w);
+    }
+  }
+  std::unordered_map<uint64_t, int> expected_joins;
+  for (const auto& [uid, group] : job_.comms) {
+    std::vector<int> sim_workers;
+    for (int member : group.members) {
+      auto it = rank_to_worker.find(member);
+      if (it != rank_to_worker.end()) {
+        sim_workers.push_back(it->second);
+      }
+    }
+    std::sort(sim_workers.begin(), sim_workers.end());
+    sim_workers.erase(std::unique(sim_workers.begin(), sim_workers.end()), sim_workers.end());
+    expected_joins[uid] = static_cast<int>(sim_workers.size());
+  }
+
+  std::priority_queue<SimEvent, std::vector<SimEvent>, SimEventLater> event_queue;
+  uint64_t next_sequence = 0;
+  size_t events_processed = 0;
+  double now = 0.0;
+
+  auto push_event = [&](double time, SimEventType type, int worker, uint64_t stream) {
+    event_queue.push(SimEvent{time, next_sequence++, type, worker, stream});
+  };
+
+  // NetworkCollectiveWaitMap: participants gathered per (uid, seq).
+  std::unordered_map<CollKey, CollectiveWait, CollKeyHash> collective_waits;
+
+  // ---- Device occupancy accounting helpers ---------------------------------
+
+  auto comm_begin = [&](WorkerState& worker, double time) {
+    if (worker.active_collectives++ == 0) {
+      worker.comm_window_start = time;
+    }
+  };
+  auto comm_end = [&](WorkerState& worker, double time) {
+    CHECK_GT(worker.active_collectives, 0);
+    if (--worker.active_collectives == 0) {
+      const double window = time - worker.comm_window_start;
+      worker.comm_busy_us += window;
+      worker.exposed_comm_us += std::max(0.0, window - worker.last_comm_compute_overlap_us);
+      worker.last_comm_compute_overlap_us = 0.0;
+    }
+  };
+  auto compute_begin = [&](WorkerState& worker, double time) {
+    if (worker.active_compute++ == 0) {
+      worker.compute_window_start = time;
+    }
+  };
+  auto compute_end = [&](WorkerState& worker, double time) {
+    CHECK_GT(worker.active_compute, 0);
+    if (--worker.active_compute == 0) {
+      const double window = time - worker.compute_window_start;
+      worker.compute_busy_us += window;
+      if (worker.active_collectives > 0) {
+        worker.last_comm_compute_overlap_us += window;
+      }
+    }
+  };
+
+  // ---- Stream engine --------------------------------------------------------
+
+  // Starts ops from the head of a stream until it blocks or empties.
+  std::function<void(int, uint64_t, double)> advance_stream;
+
+  // CudaEventWaitMap release path (Appendix A): record the completion, wake
+  // blocked streams of this worker, and wake the host if it is inside
+  // cudaEventSynchronize on this (event, version).
+  auto complete_event_record = [&](WorkerState& worker, int worker_index, uint64_t key,
+                                   double time) {
+    worker.event_completion[key] = time;
+    auto it = worker.event_stream_waiters.find(key);
+    if (it != worker.event_stream_waiters.end()) {
+      std::vector<uint64_t> blocked = std::move(it->second);
+      worker.event_stream_waiters.erase(it);
+      for (uint64_t blocked_stream : blocked) {
+        StreamState& stream = worker.streams[blocked_stream];
+        stream.blocked_on_event = false;
+        stream.ready_time = std::max(stream.ready_time, time);
+        advance_stream(worker_index, blocked_stream, time);
+      }
+    }
+    if (worker.block == HostBlock::kEvent && worker.block_key == key) {
+      push_event(time, SimEventType::kHostAdvance, worker_index, 0);
+    }
+  };
+
+  advance_stream = [&](int worker_index, uint64_t stream_id, double time) {
+    (void)time;  // stream progress is driven by op-local timestamps
+    WorkerState& worker = workers[static_cast<size_t>(worker_index)];
+    StreamState& stream = worker.streams[stream_id];
+    while (!stream.busy && !stream.blocked_on_event && !stream.queue.empty()) {
+      const QueuedOp queued = stream.queue.front();
+      const TraceOp& op = worker.trace->ops[queued.op_index];
+      const double earliest = std::max(
+          stream.ready_time, queued.enqueue_time + options_.dispatch_latency_us);
+      switch (op.type) {
+        case TraceOpType::kEventRecord: {
+          // Markers complete instantly once reached in stream order.
+          stream.queue.pop_front();
+          stream.ready_time = std::max(stream.ready_time, queued.enqueue_time);
+          complete_event_record(worker, worker_index,
+                                EventKey(op.event.event_id, op.event.version),
+                                stream.ready_time);
+          continue;
+        }
+        case TraceOpType::kStreamWaitEvent: {
+          if (op.event.version == 0) {
+            stream.queue.pop_front();  // wait on never-recorded event: no-op
+            continue;
+          }
+          const uint64_t key = EventKey(op.event.event_id, op.event.version);
+          auto completed = worker.event_completion.find(key);
+          if (completed != worker.event_completion.end()) {
+            stream.ready_time = std::max(stream.ready_time, completed->second);
+            stream.queue.pop_front();
+            continue;
+          }
+          stream.blocked_on_event = true;
+          worker.event_stream_waiters[key].push_back(stream_id);
+          return;
+        }
+        case TraceOpType::kKernelLaunch: {
+          stream.queue.pop_front();
+          stream.busy = true;
+          stream.executing_op = queued.op_index;
+          double duration = op.duration_us;
+          if (options_.compute_contention_factor > 1.0 && worker.active_collectives > 0) {
+            duration *= options_.compute_contention_factor;
+          }
+          stream.executing_start = earliest;
+          compute_begin(worker, earliest);
+          push_event(earliest + duration, SimEventType::kOpComplete, worker_index, stream_id);
+          return;
+        }
+        case TraceOpType::kCollective: {
+          stream.queue.pop_front();
+          stream.busy = true;
+          stream.executing_op = queued.op_index;
+          stream.executing_start = earliest;
+          comm_begin(worker, earliest);
+          const CollKey key{op.collective.comm_uid, op.collective.seq};
+          CollectiveWait& wait = collective_waits[key];
+          wait.joined.push_back(CollectiveParticipant{worker_index, stream_id, earliest});
+          const int expected = expected_joins.at(op.collective.comm_uid);
+          CHECK_LE(static_cast<int>(wait.joined.size()), expected);
+          if (static_cast<int>(wait.joined.size()) == expected) {
+            // Last worker arrived: release everyone after the wire time
+            // (workers move in lockstep, Appendix A).
+            double join_time = 0.0;
+            for (const CollectiveParticipant& participant : wait.joined) {
+              join_time = std::max(join_time, participant.join_time);
+            }
+            const double completion = join_time + op.duration_us;
+            for (const CollectiveParticipant& participant : wait.joined) {
+              push_event(completion, SimEventType::kOpComplete, participant.worker,
+                         participant.stream);
+            }
+            collective_waits.erase(key);
+          }
+          return;
+        }
+        default:
+          CHECK(false) << "op type " << TraceOpTypeName(op.type) << " cannot be stream-enqueued";
+      }
+    }
+  };
+
+  // True when the host's current blocking dependency is satisfied.
+  auto host_dependency_ready = [&](WorkerState& worker, double* ready_at) {
+    const TraceOp& op = worker.trace->ops[worker.next_op];
+    switch (worker.block) {
+      case HostBlock::kEvent: {
+        auto it = worker.event_completion.find(worker.block_key);
+        if (it == worker.event_completion.end()) {
+          return false;
+        }
+        *ready_at = it->second;
+        return true;
+      }
+      case HostBlock::kStream: {
+        StreamState& stream = worker.streams[op.stream];
+        if (stream.busy || stream.blocked_on_event || !stream.queue.empty()) {
+          return false;
+        }
+        *ready_at = stream.ready_time;
+        return true;
+      }
+      case HostBlock::kDevice: {
+        double latest = 0.0;
+        for (const auto& [id, stream] : worker.streams) {
+          (void)id;
+          if (stream.busy || stream.blocked_on_event || !stream.queue.empty()) {
+            return false;
+          }
+          latest = std::max(latest, stream.ready_time);
+        }
+        *ready_at = latest;
+        return true;
+      }
+      case HostBlock::kNone:
+        *ready_at = 0.0;
+        return true;
+    }
+    return false;
+  };
+
+  // Host dispatch queue: processes trace ops in order, issuing async ops to
+  // streams and blocking on synchronization ops (Algorithm 1/2).
+  auto advance_host = [&](int worker_index, double time) {
+    WorkerState& worker = workers[static_cast<size_t>(worker_index)];
+    while (worker.next_op < worker.trace->ops.size()) {
+      const TraceOp& op = worker.trace->ops[worker.next_op];
+      const double issue = worker.host_time + op.host_delay_us;
+      switch (op.type) {
+        case TraceOpType::kKernelLaunch:
+        case TraceOpType::kCollective:
+        case TraceOpType::kEventRecord:
+        case TraceOpType::kStreamWaitEvent: {
+          worker.host_busy_us += op.host_delay_us;
+          worker.host_time = issue;
+          StreamState& stream = worker.streams[op.stream];
+          stream.queue.push_back(QueuedOp{worker.next_op, issue});
+          ++worker.next_op;
+          worker.block = HostBlock::kNone;
+          advance_stream(worker_index, op.stream, issue);
+          continue;
+        }
+        case TraceOpType::kMalloc:
+        case TraceOpType::kFree: {
+          worker.host_busy_us += op.host_delay_us;
+          worker.host_time = issue;
+          ++worker.next_op;
+          continue;
+        }
+        case TraceOpType::kEventSynchronize:
+        case TraceOpType::kStreamSynchronize:
+        case TraceOpType::kDeviceSynchronize: {
+          // Establish the block descriptor, then test it.
+          if (op.type == TraceOpType::kEventSynchronize) {
+            if (op.event.version == 0) {
+              worker.host_busy_us += op.host_delay_us;
+              worker.host_time = issue;
+              ++worker.next_op;
+              continue;
+            }
+            worker.block = HostBlock::kEvent;
+            worker.block_key = EventKey(op.event.event_id, op.event.version);
+          } else if (op.type == TraceOpType::kStreamSynchronize) {
+            worker.block = HostBlock::kStream;
+            worker.block_key = op.stream;
+          } else {
+            worker.block = HostBlock::kDevice;
+            worker.block_key = 0;
+          }
+          double ready_at = 0.0;
+          if (host_dependency_ready(worker, &ready_at)) {
+            worker.host_busy_us += op.host_delay_us;
+            worker.host_time = std::max(issue, ready_at);
+            worker.block = HostBlock::kNone;
+            ++worker.next_op;
+            continue;
+          }
+          // Host stalls; an OpComplete / event record will wake it.
+          return;
+        }
+      }
+    }
+    worker.finish_us = std::max(worker.finish_us, std::max(worker.host_time, time));
+  };
+
+  // ---- Main loop (Algorithm 1) ----------------------------------------------
+
+  for (size_t w = 0; w < worker_count; ++w) {
+    push_event(0.0, SimEventType::kHostAdvance, static_cast<int>(w), 0);
+  }
+
+  while (!event_queue.empty()) {
+    const SimEvent event = event_queue.top();
+    event_queue.pop();
+    ++events_processed;
+    now = std::max(now, event.time);
+
+    WorkerState& worker = workers[static_cast<size_t>(event.worker)];
+    switch (event.type) {
+      case SimEventType::kHostAdvance:
+        advance_host(event.worker, event.time);
+        break;
+      case SimEventType::kOpComplete: {
+        StreamState& stream = worker.streams[event.stream];
+        CHECK(stream.busy);
+        const TraceOp& op = worker.trace->ops[stream.executing_op];
+        stream.busy = false;
+        stream.ready_time = event.time;
+        worker.finish_us = std::max(worker.finish_us, event.time);
+        if (op.type == TraceOpType::kKernelLaunch) {
+          compute_end(worker, event.time);
+        } else if (op.type == TraceOpType::kCollective) {
+          comm_end(worker, event.time);
+        }
+        advance_stream(event.worker, event.stream, event.time);
+        // The completion may unblock the host (stream/device/event sync).
+        if (worker.block != HostBlock::kNone) {
+          double ready_at = 0.0;
+          if (host_dependency_ready(worker, &ready_at)) {
+            push_event(event.time, SimEventType::kHostAdvance, event.worker, 0);
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  // ---- Termination checks & report -------------------------------------------
+
+  for (size_t w = 0; w < worker_count; ++w) {
+    const WorkerState& worker = workers[w];
+    if (worker.next_op < worker.trace->ops.size()) {
+      const TraceOp& op = worker.trace->ops[worker.next_op];
+      return Status::Internal(StrFormat(
+          "deadlock: worker rank %d stuck at op %zu/%zu (%s%s)", worker.trace->rank,
+          worker.next_op, worker.trace->ops.size(), TraceOpTypeName(op.type),
+          op.type == TraceOpType::kCollective
+              ? StrFormat(", comm %llu seq %u",
+                          static_cast<unsigned long long>(op.collective.comm_uid),
+                          op.collective.seq)
+                    .c_str()
+              : ""));
+    }
+  }
+  if (!collective_waits.empty()) {
+    return Status::Internal("deadlock: collectives left waiting after event queue drained");
+  }
+  for (size_t w = 0; w < worker_count; ++w) {
+    for (const auto& [stream_id, stream] : workers[w].streams) {
+      if (stream.busy || stream.blocked_on_event || !stream.queue.empty()) {
+        return Status::Internal(StrFormat(
+            "deadlock: rank %d stream %llu stalled (%s) with %zu queued ops",
+            workers[w].trace->rank, static_cast<unsigned long long>(stream_id),
+            stream.blocked_on_event ? "waiting on event" : "busy", stream.queue.size()));
+      }
+    }
+  }
+
+  SimReport report;
+  report.events_processed = events_processed;
+  for (size_t w = 0; w < worker_count; ++w) {
+    const WorkerState& worker = workers[w];
+    WorkerSimReport worker_report;
+    worker_report.rank = worker.trace->rank;
+    worker_report.folded_multiplicity = static_cast<int>(job_.folded_ranks[w].size());
+    worker_report.finish_us = worker.finish_us;
+    worker_report.host_busy_us = worker.host_busy_us;
+    worker_report.compute_busy_us = worker.compute_busy_us;
+    worker_report.comm_busy_us = worker.comm_busy_us;
+    worker_report.exposed_comm_us = worker.exposed_comm_us;
+    report.total_time_us = std::max(report.total_time_us, worker.finish_us);
+    report.comm_time_us += worker.comm_busy_us;
+    report.exposed_comm_us += worker.exposed_comm_us;
+    report.host_time_us += worker.host_busy_us;
+    report.peak_memory_bytes =
+        std::max(report.peak_memory_bytes, worker.trace->peak_device_bytes);
+    report.workers.push_back(worker_report);
+  }
+  const double n = static_cast<double>(worker_count);
+  report.comm_time_us /= n;
+  report.exposed_comm_us /= n;
+  report.host_time_us /= n;
+  return report;
+}
+
+}  // namespace maya

@@ -1,0 +1,48 @@
+// Event-driven cluster simulator (§4.3, Appendix A).
+//
+// Consumes a collated JobTrace whose operations are already annotated with
+// durations (kernel runtimes from the estimation phase; collective wire
+// times from the collective estimator) and replays the distributed execution:
+// per-worker host dispatch queues issue operations onto device streams,
+// synchronization is resolved through a CUDA-event waitmap (with handle
+// re-use versioning), and collectives rendezvous in a network waitmap that
+// releases all participants after the last one joins plus the predicted
+// on-the-wire duration. Pipeline bubbles and compute/communication overlap
+// emerge from these mechanics rather than from explicit modeling.
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include "src/common/status.h"
+#include "src/hw/cluster_spec.h"
+#include "src/sim/sim_report.h"
+#include "src/trace/collator.h"
+
+namespace maya {
+
+struct SimOptions {
+  // Duration multiplier for compute kernels that start while a collective is
+  // in flight on the same device. Maya's simulator assumes decoupled SMs
+  // (factor 1.0, §8); the ground-truth executor models contention (>1).
+  double compute_contention_factor = 1.0;
+  // Device-side launch-to-start latency applied between an operation's
+  // enqueue and its earliest start. Defaults to the GPU spec value.
+  double dispatch_latency_us = -1.0;
+};
+
+class Simulator {
+ public:
+  Simulator(const JobTrace& job, const ClusterSpec& cluster, SimOptions options = {});
+
+  // Runs the discrete-event simulation to completion. Fails (with a stuck-
+  // worker diagnostic) if the trace deadlocks — e.g. mismatched collectives.
+  Result<SimReport> Run();
+
+ private:
+  const JobTrace& job_;
+  const ClusterSpec& cluster_;
+  SimOptions options_;
+};
+
+}  // namespace maya
+
+#endif  // SRC_SIM_SIMULATOR_H_

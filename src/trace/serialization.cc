@@ -1,0 +1,324 @@
+#include "src/trace/serialization.h"
+
+#include "src/common/json_parser.h"
+#include "src/common/json_writer.h"
+#include "src/common/strings.h"
+
+namespace maya {
+namespace {
+
+void WriteOp(JsonWriter& w, const TraceOp& op) {
+  w.BeginObject();
+  w.Field("type", std::string_view(TraceOpTypeName(op.type)));
+  w.Field("stream", op.stream);
+  w.Field("host_delay_us", op.host_delay_us);
+  if (op.duration_us != 0.0) {
+    w.Field("duration_us", op.duration_us);
+  }
+  switch (op.type) {
+    case TraceOpType::kKernelLaunch: {
+      w.KeyedBeginObject("kernel");
+      w.Field("kind", std::string_view(KernelKindName(op.kernel.kind)));
+      w.Field("op", std::string_view(KernelKindCudaSymbol(op.kernel.kind)));
+      w.Field("dtype", std::string_view(DTypeName(op.kernel.dtype)));
+      w.KeyedBeginArray("params");
+      for (int64_t p : op.kernel.params) {
+        w.Int(p);
+      }
+      w.EndArray();
+      w.Field("flops", op.kernel.flops);
+      w.Field("bytes_read", op.kernel.bytes_read);
+      w.Field("bytes_written", op.kernel.bytes_written);
+      if (op.kernel.fused_op_count != 0) {
+        w.Field("fused_ops", static_cast<int64_t>(op.kernel.fused_op_count));
+      }
+      w.EndObject();
+      break;
+    }
+    case TraceOpType::kCollective: {
+      w.KeyedBeginObject("collective");
+      w.Field("kind", std::string_view(CollectiveKindName(op.collective.kind)));
+      w.Field("bytes", op.collective.bytes);
+      w.Field("comm_uid", op.collective.comm_uid);
+      w.Field("seq", static_cast<uint64_t>(op.collective.seq));
+      w.Field("nranks", static_cast<int64_t>(op.collective.nranks));
+      w.Field("rank_in_comm", static_cast<int64_t>(op.collective.rank_in_comm));
+      w.Field("peer", static_cast<int64_t>(op.collective.peer));
+      w.EndObject();
+      break;
+    }
+    case TraceOpType::kEventRecord:
+    case TraceOpType::kStreamWaitEvent:
+    case TraceOpType::kEventSynchronize: {
+      w.KeyedBeginObject("event");
+      w.Field("id", static_cast<uint64_t>(op.event.event_id));
+      w.Field("version", static_cast<uint64_t>(op.event.version));
+      w.EndObject();
+      break;
+    }
+    case TraceOpType::kMalloc:
+    case TraceOpType::kFree: {
+      w.KeyedBeginObject("memory");
+      w.Field("bytes", op.memory.bytes);
+      w.Field("ptr", op.memory.ptr);
+      w.EndObject();
+      break;
+    }
+    case TraceOpType::kStreamSynchronize:
+    case TraceOpType::kDeviceSynchronize:
+      break;
+  }
+  w.EndObject();
+}
+
+void WriteWorker(JsonWriter& w, const WorkerTrace& worker) {
+  w.BeginObject();
+  w.Field("rank", static_cast<int64_t>(worker.rank));
+  w.Field("comm_init_only", worker.comm_init_only);
+  w.Field("duplicate_of", static_cast<int64_t>(worker.duplicate_of));
+  w.Field("peak_device_bytes", worker.peak_device_bytes);
+  w.Field("final_device_bytes", worker.final_device_bytes);
+  w.KeyedBeginArray("comm_inits");
+  for (const CommInitRecord& init : worker.comm_inits) {
+    w.BeginObject();
+    w.Field("uid", init.comm_uid);
+    w.Field("nranks", static_cast<int64_t>(init.nranks));
+    w.Field("rank_in_comm", static_cast<int64_t>(init.rank_in_comm));
+    w.EndObject();
+  }
+  w.EndArray();
+  w.KeyedBeginArray("events");
+  for (const TraceOp& op : worker.ops) {
+    WriteOp(w, op);
+  }
+  w.EndArray();
+  w.EndObject();
+}
+
+Result<TraceOpType> OpTypeFromName(const std::string& name) {
+  static constexpr TraceOpType kAll[] = {
+      TraceOpType::kKernelLaunch,     TraceOpType::kCollective,
+      TraceOpType::kEventRecord,      TraceOpType::kStreamWaitEvent,
+      TraceOpType::kEventSynchronize, TraceOpType::kStreamSynchronize,
+      TraceOpType::kDeviceSynchronize, TraceOpType::kMalloc,
+      TraceOpType::kFree,
+  };
+  for (TraceOpType type : kAll) {
+    if (name == TraceOpTypeName(type)) {
+      return type;
+    }
+  }
+  return Status::InvalidArgument("unknown op type '" + name + "'");
+}
+
+Result<KernelKind> KernelKindFromName(const std::string& name) {
+  for (int i = 0; i < static_cast<int>(KernelKind::kNumKinds); ++i) {
+    const auto kind = static_cast<KernelKind>(i);
+    if (name == KernelKindName(kind)) {
+      return kind;
+    }
+  }
+  return Status::InvalidArgument("unknown kernel kind '" + name + "'");
+}
+
+Result<DType> DTypeFromName(const std::string& name) {
+  static constexpr DType kAll[] = {DType::kFp32, DType::kFp16, DType::kBf16, DType::kFp64,
+                                   DType::kInt64, DType::kInt32, DType::kInt8, DType::kUint8};
+  for (DType dtype : kAll) {
+    if (name == DTypeName(dtype)) {
+      return dtype;
+    }
+  }
+  return Status::InvalidArgument("unknown dtype '" + name + "'");
+}
+
+Result<CollectiveKind> CollectiveKindFromName(const std::string& name) {
+  static constexpr CollectiveKind kAll[] = {
+      CollectiveKind::kAllReduce, CollectiveKind::kAllGather, CollectiveKind::kReduceScatter,
+      CollectiveKind::kBroadcast, CollectiveKind::kReduce,    CollectiveKind::kAllToAll,
+      CollectiveKind::kSend,      CollectiveKind::kRecv,
+  };
+  for (CollectiveKind kind : kAll) {
+    if (name == CollectiveKindName(kind)) {
+      return kind;
+    }
+  }
+  return Status::InvalidArgument("unknown collective kind '" + name + "'");
+}
+
+Status RequireKeys(const JsonValue& value, std::initializer_list<const char*> keys) {
+  if (!value.is_object()) {
+    return Status::InvalidArgument("expected JSON object");
+  }
+  for (const char* key : keys) {
+    if (!value.Has(key)) {
+      return Status::InvalidArgument(std::string("missing key '") + key + "'");
+    }
+  }
+  return Status::Ok();
+}
+
+Result<TraceOp> ParseOp(const JsonValue& value) {
+  TraceOp op;
+  MAYA_RETURN_IF_ERROR(RequireKeys(value, {"type", "stream", "host_delay_us"}));
+  Result<TraceOpType> type = OpTypeFromName(value.at("type").AsString());
+  if (!type.ok()) {
+    return type.status();
+  }
+  op.type = *type;
+  op.stream = value.at("stream").AsUint();
+  op.host_delay_us = value.at("host_delay_us").AsDouble();
+  if (value.Has("duration_us")) {
+    op.duration_us = value.at("duration_us").AsDouble();
+  }
+  switch (op.type) {
+    case TraceOpType::kKernelLaunch: {
+      MAYA_RETURN_IF_ERROR(RequireKeys(value, {"kernel"}));
+      const JsonValue& k = value.at("kernel");
+      MAYA_RETURN_IF_ERROR(RequireKeys(
+          k, {"kind", "dtype", "params", "flops", "bytes_read", "bytes_written"}));
+      Result<KernelKind> kind = KernelKindFromName(k.at("kind").AsString());
+      if (!kind.ok()) {
+        return kind.status();
+      }
+      Result<DType> dtype = DTypeFromName(k.at("dtype").AsString());
+      if (!dtype.ok()) {
+        return dtype.status();
+      }
+      op.kernel.kind = *kind;
+      op.kernel.dtype = *dtype;
+      const JsonArray& params = k.at("params").AsArray();
+      if (params.size() != op.kernel.params.size()) {
+        return Status::InvalidArgument("kernel params must have 8 entries");
+      }
+      for (size_t i = 0; i < params.size(); ++i) {
+        op.kernel.params[i] = params[i].AsInt();
+      }
+      op.kernel.flops = k.at("flops").AsDouble();
+      op.kernel.bytes_read = k.at("bytes_read").AsDouble();
+      op.kernel.bytes_written = k.at("bytes_written").AsDouble();
+      if (k.Has("fused_ops")) {
+        op.kernel.fused_op_count = static_cast<int>(k.at("fused_ops").AsInt());
+      }
+      break;
+    }
+    case TraceOpType::kCollective: {
+      MAYA_RETURN_IF_ERROR(RequireKeys(value, {"collective"}));
+      const JsonValue& c = value.at("collective");
+      MAYA_RETURN_IF_ERROR(RequireKeys(
+          c, {"kind", "bytes", "comm_uid", "seq", "nranks", "rank_in_comm", "peer"}));
+      Result<CollectiveKind> kind = CollectiveKindFromName(c.at("kind").AsString());
+      if (!kind.ok()) {
+        return kind.status();
+      }
+      op.collective.kind = *kind;
+      op.collective.bytes = c.at("bytes").AsUint();
+      op.collective.comm_uid = c.at("comm_uid").AsUint();
+      op.collective.seq = static_cast<uint32_t>(c.at("seq").AsUint());
+      op.collective.nranks = static_cast<int32_t>(c.at("nranks").AsInt());
+      op.collective.rank_in_comm = static_cast<int32_t>(c.at("rank_in_comm").AsInt());
+      op.collective.peer = static_cast<int32_t>(c.at("peer").AsInt());
+      break;
+    }
+    case TraceOpType::kEventRecord:
+    case TraceOpType::kStreamWaitEvent:
+    case TraceOpType::kEventSynchronize: {
+      MAYA_RETURN_IF_ERROR(RequireKeys(value, {"event"}));
+      const JsonValue& e = value.at("event");
+      MAYA_RETURN_IF_ERROR(RequireKeys(e, {"id", "version"}));
+      op.event.event_id = static_cast<uint32_t>(e.at("id").AsUint());
+      op.event.version = static_cast<uint32_t>(e.at("version").AsUint());
+      break;
+    }
+    case TraceOpType::kMalloc:
+    case TraceOpType::kFree: {
+      MAYA_RETURN_IF_ERROR(RequireKeys(value, {"memory"}));
+      const JsonValue& m = value.at("memory");
+      MAYA_RETURN_IF_ERROR(RequireKeys(m, {"bytes", "ptr"}));
+      op.memory.bytes = m.at("bytes").AsUint();
+      op.memory.ptr = m.at("ptr").AsUint();
+      break;
+    }
+    case TraceOpType::kStreamSynchronize:
+    case TraceOpType::kDeviceSynchronize:
+      break;
+  }
+  return op;
+}
+
+}  // namespace
+
+std::string SerializeWorkerTrace(const WorkerTrace& worker) {
+  JsonWriter w;
+  WriteWorker(w, worker);
+  return w.str();
+}
+
+std::string SerializeJobTrace(const JobTrace& job) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("world_size", static_cast<int64_t>(job.world_size));
+  w.KeyedBeginArray("comms");
+  for (const auto& [uid, group] : job.comms) {
+    w.BeginObject();
+    w.Field("uid", uid);
+    w.Field("nranks", static_cast<int64_t>(group.nranks));
+    w.KeyedBeginArray("members");
+    for (int member : group.members) {
+      w.Int(member);
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.KeyedBeginArray("folded_ranks");
+  for (const auto& ranks : job.folded_ranks) {
+    w.BeginArray();
+    for (int rank : ranks) {
+      w.Int(rank);
+    }
+    w.EndArray();
+  }
+  w.EndArray();
+  w.KeyedBeginArray("workers");
+  for (const WorkerTrace& worker : job.workers) {
+    WriteWorker(w, worker);
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+Result<WorkerTrace> ParseWorkerTrace(const std::string& json) {
+  Result<JsonValue> root = ParseJson(json);
+  if (!root.ok()) {
+    return root.status();
+  }
+  WorkerTrace worker;
+  const JsonValue& v = *root;
+  MAYA_RETURN_IF_ERROR(RequireKeys(v, {"rank", "comm_init_only", "duplicate_of",
+                                       "peak_device_bytes", "final_device_bytes", "comm_inits",
+                                       "events"}));
+  worker.rank = static_cast<int>(v.at("rank").AsInt());
+  worker.comm_init_only = v.at("comm_init_only").AsBool();
+  worker.duplicate_of = static_cast<int>(v.at("duplicate_of").AsInt());
+  worker.peak_device_bytes = v.at("peak_device_bytes").AsUint();
+  worker.final_device_bytes = v.at("final_device_bytes").AsUint();
+  for (const JsonValue& init_value : v.at("comm_inits").AsArray()) {
+    CommInitRecord init;
+    init.comm_uid = init_value.at("uid").AsUint();
+    init.nranks = static_cast<int32_t>(init_value.at("nranks").AsInt());
+    init.rank_in_comm = static_cast<int32_t>(init_value.at("rank_in_comm").AsInt());
+    worker.comm_inits.push_back(init);
+  }
+  for (const JsonValue& op_value : v.at("events").AsArray()) {
+    Result<TraceOp> op = ParseOp(op_value);
+    if (!op.ok()) {
+      return op.status();
+    }
+    worker.ops.push_back(*op);
+  }
+  return worker;
+}
+
+}  // namespace maya

@@ -1,0 +1,24 @@
+// JSON serialization of traces — the on-disk interchange format between the
+// emulator and the downstream pipeline stages (the paper's emulator emits
+// JSON event traces, Fig. 3).
+#ifndef SRC_TRACE_SERIALIZATION_H_
+#define SRC_TRACE_SERIALIZATION_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/trace/collator.h"
+#include "src/trace/trace.h"
+
+namespace maya {
+
+std::string SerializeWorkerTrace(const WorkerTrace& worker);
+std::string SerializeJobTrace(const JobTrace& job);
+
+// Parses the output of SerializeWorkerTrace (strict: unknown fields are
+// errors, the format is self-describing within this repository only).
+Result<WorkerTrace> ParseWorkerTrace(const std::string& json);
+
+}  // namespace maya
+
+#endif  // SRC_TRACE_SERIALIZATION_H_

@@ -1,0 +1,121 @@
+#include "src/trace/trace.h"
+
+#include "src/common/hash.h"
+#include "src/common/strings.h"
+
+namespace maya {
+
+const char* TraceOpTypeName(TraceOpType type) {
+  switch (type) {
+    case TraceOpType::kKernelLaunch:
+      return "kernel_launch";
+    case TraceOpType::kCollective:
+      return "collective";
+    case TraceOpType::kEventRecord:
+      return "cudaEventRecord";
+    case TraceOpType::kStreamWaitEvent:
+      return "cudaStreamWaitEvent";
+    case TraceOpType::kEventSynchronize:
+      return "cudaEventSynchronize";
+    case TraceOpType::kStreamSynchronize:
+      return "cudaStreamSynchronize";
+    case TraceOpType::kDeviceSynchronize:
+      return "cudaDeviceSynchronize";
+    case TraceOpType::kMalloc:
+      return "cudaMalloc";
+    case TraceOpType::kFree:
+      return "cudaFree";
+  }
+  return "unknown";
+}
+
+uint64_t TraceOp::StructuralSignature() const {
+  uint64_t h = kFnvOffsetBasis;
+  h = HashCombine(h, static_cast<uint64_t>(type));
+  h = HashCombine(h, stream);
+  switch (type) {
+    case TraceOpType::kKernelLaunch: {
+      h = HashCombine(h, static_cast<uint64_t>(kernel.kind));
+      h = HashCombine(h, static_cast<uint64_t>(kernel.dtype));
+      for (int64_t p : kernel.params) {
+        h = HashCombine(h, static_cast<uint64_t>(p));
+      }
+      break;
+    }
+    case TraceOpType::kCollective: {
+      // Deliberately excludes comm_uid (rank-specific: tensor/data-parallel
+      // twins join different groups of identical shape) and the global peer
+      // rank. For symmetric collectives the rank-in-group is also
+      // non-structural — every member performs the same work — which is what
+      // lets an 8-way-TP x 8-way-DP job fold to a single worker (§4.2). For
+      // point-to-point transfers the role is part of the work.
+      h = HashCombine(h, static_cast<uint64_t>(collective.kind));
+      h = HashCombine(h, collective.bytes);
+      h = HashCombine(h, static_cast<uint64_t>(collective.nranks));
+      if (collective.kind == CollectiveKind::kSend || collective.kind == CollectiveKind::kRecv) {
+        h = HashCombine(h, static_cast<uint64_t>(collective.rank_in_comm));
+      }
+      break;
+    }
+    case TraceOpType::kEventRecord:
+    case TraceOpType::kStreamWaitEvent:
+    case TraceOpType::kEventSynchronize: {
+      // Event ids are allocated in creation order, so they are structural.
+      h = HashCombine(h, event.event_id);
+      h = HashCombine(h, event.version);
+      break;
+    }
+    case TraceOpType::kStreamSynchronize:
+    case TraceOpType::kDeviceSynchronize:
+      break;
+    case TraceOpType::kMalloc:
+    case TraceOpType::kFree:
+      h = HashCombine(h, memory.bytes);
+      break;
+  }
+  return h;
+}
+
+uint64_t WorkerTrace::Fingerprint() const {
+  RollingHash hash;
+  for (const TraceOp& op : ops) {
+    hash.Update(op.StructuralSignature());
+  }
+  return hash.digest();
+}
+
+double WorkerTrace::TotalHostDelayUs() const {
+  double total = 0.0;
+  for (const TraceOp& op : ops) {
+    total += op.host_delay_us;
+  }
+  return total;
+}
+
+size_t WorkerTrace::KernelLaunchCount() const {
+  size_t count = 0;
+  for (const TraceOp& op : ops) {
+    if (op.type == TraceOpType::kKernelLaunch) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+size_t WorkerTrace::CollectiveCount() const {
+  size_t count = 0;
+  for (const TraceOp& op : ops) {
+    if (op.type == TraceOpType::kCollective) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::string WorkerTrace::Summary() const {
+  return StrFormat("rank %d: %zu ops (%zu kernels, %zu collectives), peak mem %s", rank,
+                   ops.size(), KernelLaunchCount(), CollectiveCount(),
+                   HumanBytes(static_cast<double>(peak_device_bytes)).c_str());
+}
+
+}  // namespace maya

@@ -1,0 +1,344 @@
+// Unit tests for src/common: status/result, rng, stats, hashing, strings,
+// JSON writer/parser round-trips, thread pool and table printing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+
+#include "src/common/hash.h"
+#include "src/common/json_parser.h"
+#include "src/common/json_writer.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/status.h"
+#include "src/common/strings.h"
+#include "src/common/table_printer.h"
+#include "src/common/thread_pool.h"
+#include "src/common/units.h"
+
+namespace maya {
+namespace {
+
+// ---- Status / Result ---------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = Status::OutOfMemory("72 GiB requested");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOutOfMemory);
+  EXPECT_EQ(status.ToString(), "OUT_OF_MEMORY: 72 GiB requested");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument), "INVALID_ARGUMENT");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "INTERNAL");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnimplemented), "UNIMPLEMENTED");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kFailedPrecondition), "FAILED_PRECONDITION");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kAlreadyExists), "ALREADY_EXISTS");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(result.value_or(0), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = Status::NotFound("nope");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(result.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> result = std::make_unique<int>(7);
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> owned = *std::move(result);
+  EXPECT_EQ(*owned, 7);
+}
+
+// ---- Rng ----------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.NextUint64() == b.NextUint64() ? 1 : 0;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, ForkIsIndependentAndDeterministic) {
+  Rng parent(9);
+  Rng fork1 = parent.Fork(1);
+  Rng fork1_again = Rng(9).Fork(1);
+  EXPECT_EQ(fork1.NextUint64(), fork1_again.NextUint64());
+  Rng fork2 = parent.Fork(2);
+  EXPECT_NE(fork1.NextUint64(), fork2.NextUint64());
+}
+
+TEST(RngTest, BoundedUniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextUint64(10), 10u);
+    const int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double d = rng.Uniform(2.0, 3.0);
+    EXPECT_GE(d, 2.0);
+    EXPECT_LT(d, 3.0);
+  }
+}
+
+TEST(RngTest, NormalMomentsApproximatelyStandard) {
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    stats.Add(rng.Normal());
+  }
+  EXPECT_NEAR(stats.mean(), 0.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.05);
+}
+
+TEST(RngTest, LognormalFactorHasUnitMean) {
+  Rng rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 40000; ++i) {
+    stats.Add(rng.LognormalFactor(0.2));
+  }
+  EXPECT_NEAR(stats.mean(), 1.0, 0.02);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(5);
+  std::vector<int> values = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = values;
+  rng.Shuffle(shuffled);
+  std::multiset<int> a(values.begin(), values.end());
+  std::multiset<int> b(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, SplitMix64AvoidsFixedPointZero) { EXPECT_NE(SplitMix64(0), 0u); }
+
+// ---- Stats ----------------------------------------------------------------------
+
+TEST(StatsTest, MeanAndStdDev) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(xs), 5.0);
+  EXPECT_NEAR(StdDev(xs), 2.138, 1e-3);
+}
+
+TEST(StatsTest, EmptyInputsAreZero) {
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_EQ(StdDev({}), 0.0);
+  EXPECT_EQ(Percentile({}, 50.0), 0.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(Median(xs), 2.5);
+}
+
+TEST(StatsTest, MapeMatchesHandComputation) {
+  EXPECT_NEAR(MeanAbsolutePercentageError({100.0, 200.0}, {110.0, 180.0}), 10.0, 1e-9);
+  EXPECT_NEAR(AbsolutePercentageError(50.0, 40.0), 20.0, 1e-9);
+}
+
+TEST(StatsTest, RunningStatsTracksMinMax) {
+  RunningStats stats;
+  for (double x : {3.0, -1.0, 7.0, 2.0}) {
+    stats.Add(x);
+  }
+  EXPECT_EQ(stats.count(), 4u);
+  EXPECT_DOUBLE_EQ(stats.min(), -1.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 7.0);
+  EXPECT_NEAR(stats.mean(), 2.75, 1e-12);
+}
+
+// ---- Hash -----------------------------------------------------------------------
+
+TEST(HashTest, FnvMatchesKnownVector) {
+  // FNV-1a of empty input is the offset basis.
+  EXPECT_EQ(FnvHash(""), kFnvOffsetBasis);
+  EXPECT_NE(FnvHash("a"), FnvHash("b"));
+}
+
+TEST(HashTest, RollingHashOrderSensitive) {
+  RollingHash ab;
+  ab.Update(1);
+  ab.Update(2);
+  RollingHash ba;
+  ba.Update(2);
+  ba.Update(1);
+  EXPECT_NE(ab.digest(), ba.digest());
+}
+
+TEST(HashTest, RollingHashResets) {
+  RollingHash hash;
+  hash.Update(42);
+  hash.Reset();
+  EXPECT_EQ(hash.digest(), RollingHash().digest());
+}
+
+TEST(HashTest, HashCombineNotCommutative) {
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+// ---- Strings --------------------------------------------------------------------
+
+TEST(StringsTest, StrFormatFormats) {
+  EXPECT_EQ(StrFormat("%d-%s", 5, "x"), "5-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.5), "1.50");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StringsTest, JoinHandlesEdges) {
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"a"}, ","), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StringsTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512.00 B");
+  EXPECT_EQ(HumanBytes(1536), "1.50 KiB");
+  EXPECT_EQ(HumanBytes(3.0 * kGiB), "3.00 GiB");
+}
+
+TEST(StringsTest, HumanDuration) {
+  EXPECT_EQ(HumanDuration(500), "500 us");
+  EXPECT_EQ(HumanDuration(2500), "2.50 ms");
+  EXPECT_EQ(HumanDuration(3.2e6), "3.20 s");
+  EXPECT_EQ(HumanDuration(120e6), "2.0 min");
+}
+
+// ---- JSON writer + parser round trip ----------------------------------------------
+
+TEST(JsonTest, WriterProducesValidObject) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("name", std::string_view("maya"));
+  w.Field("count", static_cast<int64_t>(3));
+  w.Field("ratio", 0.5);
+  w.Field("ok", true);
+  w.KeyedBeginArray("xs");
+  w.Int(1);
+  w.Int(2);
+  w.EndArray();
+  w.EndObject();
+  Result<JsonValue> parsed = ParseJson(w.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->at("name").AsString(), "maya");
+  EXPECT_EQ(parsed->at("count").AsInt(), 3);
+  EXPECT_DOUBLE_EQ(parsed->at("ratio").AsDouble(), 0.5);
+  EXPECT_TRUE(parsed->at("ok").AsBool());
+  EXPECT_EQ(parsed->at("xs").AsArray().size(), 2u);
+}
+
+TEST(JsonTest, EscapesSpecialCharacters) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("s", std::string_view("a\"b\\c\nd"));
+  w.EndObject();
+  Result<JsonValue> parsed = ParseJson(w.str());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->at("s").AsString(), "a\"b\\c\nd");
+}
+
+TEST(JsonTest, ParserHandlesNestedStructures) {
+  Result<JsonValue> parsed = ParseJson(R"({"a": [1, {"b": null}, [true, false]], "c": -2.5e3})");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->at("a").AsArray()[1].at("b").is_null());
+  EXPECT_DOUBLE_EQ(parsed->at("c").AsDouble(), -2500.0);
+}
+
+TEST(JsonTest, ParserRejectsGarbage) {
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":1} trailing").ok());
+  EXPECT_FALSE(ParseJson("nul").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+}
+
+TEST(JsonTest, ParserHandlesUnicodeEscapes) {
+  Result<JsonValue> parsed = ParseJson(R"(["A"])");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->AsArray()[0].AsString(), "A");
+  EXPECT_FALSE(ParseJson("[\"\\u1F60\"]").ok());  // above 0xFF unsupported
+}
+
+// ---- ThreadPool -------------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(50);
+  pool.ParallelFor(50, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& hit : hits) {
+    EXPECT_EQ(hit.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, TasksCanSubmitTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&] {
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+  });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 10);
+}
+
+// ---- TablePrinter -------------------------------------------------------------------
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer-name", "22"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("| name        | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer-name | 22    |"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+// ---- Units ----------------------------------------------------------------------------
+
+TEST(UnitsTest, TransferAndComputeConversions) {
+  EXPECT_DOUBLE_EQ(TransferUs(1e9, 1e9), 1e6);        // 1 GB at 1 GB/s = 1 s
+  EXPECT_DOUBLE_EQ(ComputeUs(2e12, 1e12), 2e6);       // 2 TFLOP at 1 TFLOP/s
+}
+
+}  // namespace
+}  // namespace maya

@@ -1,0 +1,208 @@
+// End-to-end MayaPipeline tests: prediction accuracy against the ground
+// truth executor, oracle mode (Table 3 structure), dedup invariance, stage
+// timings, MFU computation and estimator training.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/estimator_bank.h"
+#include "src/core/pipeline.h"
+#include "src/models/model_zoo.h"
+
+namespace maya {
+namespace {
+
+ModelConfig TinyGpt() {
+  ModelConfig model;
+  model.name = "tiny-gpt";
+  model.family = ModelFamily::kGpt;
+  model.num_layers = 8;
+  model.hidden_size = 1024;
+  model.num_heads = 16;
+  model.seq_length = 512;
+  model.vocab_size = 8192;
+  return model;
+}
+
+// Shared (expensive) fixture: one trained estimator bank per test binary.
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    cluster_ = new ClusterSpec(H100Cluster(8));
+    executor_ = new GroundTruthExecutor(*cluster_, 99);
+    ProfileSweepOptions sweep;  // trimmed for test speed
+    sweep.gemm_samples = 5000;
+    sweep.conv_samples = 400;
+    sweep.generic_samples = 150;
+    sweep.collective_sizes = 16;
+    bank_ = new EstimatorBank(TrainEstimators(*cluster_, *executor_, sweep));
+    pipeline_ = new MayaPipeline(*cluster_, bank_->kernel.get(), bank_->collective.get());
+  }
+  static void TearDownTestSuite() {
+    delete pipeline_;
+    delete bank_;
+    delete executor_;
+    delete cluster_;
+  }
+
+  static TrainConfig BaseConfig() {
+    TrainConfig config;
+    config.global_batch_size = 32;
+    config.tensor_parallel = 2;
+    config.pipeline_parallel = 2;
+    config.microbatch_multiplier = 2;
+    return config;
+  }
+
+  static double ActualUs(const TrainConfig& config) {
+    Result<LaunchResult> launched = EmulateJob(TinyGpt(), config, *cluster_);
+    CHECK(launched.ok());
+    CHECK(!launched->oom);
+    TraceCollator collator;
+    Result<JobTrace> job = collator.Collate(std::move(launched->traces));
+    CHECK(job.ok());
+    Result<SimReport> report = executor_->Execute(*job);
+    CHECK(report.ok()) << report.status().ToString();
+    return report->total_time_us;
+  }
+
+  static ClusterSpec* cluster_;
+  static GroundTruthExecutor* executor_;
+  static EstimatorBank* bank_;
+  static MayaPipeline* pipeline_;
+};
+
+ClusterSpec* PipelineTest::cluster_ = nullptr;
+GroundTruthExecutor* PipelineTest::executor_ = nullptr;
+EstimatorBank* PipelineTest::bank_ = nullptr;
+MayaPipeline* PipelineTest::pipeline_ = nullptr;
+
+TEST_F(PipelineTest, PredictsWithinPaperErrorBand) {
+  PredictionRequest request;
+  request.model = TinyGpt();
+  request.config = BaseConfig();
+  Result<PredictionReport> prediction = pipeline_->Predict(request);
+  ASSERT_TRUE(prediction.ok()) << prediction.status().ToString();
+  ASSERT_FALSE(prediction->oom);
+  const double actual = ActualUs(request.config);
+  const double error =
+      std::abs(prediction->iteration_time_us - actual) / actual * 100.0;
+  EXPECT_LT(error, 12.0) << "Maya " << prediction->iteration_time_us << "us vs actual "
+                         << actual << "us";
+}
+
+TEST_F(PipelineTest, OracleBeatsEndToEndOnAverage) {
+  // Table 3's structure: oracle (actual kernel times) error < E2E error,
+  // averaged across configurations.
+  std::vector<TrainConfig> configs;
+  for (int tp : {1, 2}) {
+    for (int pp : {1, 2}) {
+      TrainConfig config = BaseConfig();
+      config.tensor_parallel = tp;
+      config.pipeline_parallel = pp;
+      configs.push_back(config);
+    }
+  }
+  double oracle_error_sum = 0.0;
+  double e2e_error_sum = 0.0;
+  for (const TrainConfig& config : configs) {
+    const double actual = ActualUs(config);
+    PredictionRequest e2e{TinyGpt(), config};
+    PredictionRequest oracle{TinyGpt(), config};
+    oracle.oracle = executor_;
+    const double e2e_us = pipeline_->Predict(e2e)->iteration_time_us;
+    const double oracle_us = pipeline_->Predict(oracle)->iteration_time_us;
+    e2e_error_sum += std::abs(e2e_us - actual) / actual;
+    oracle_error_sum += std::abs(oracle_us - actual) / actual;
+  }
+  EXPECT_LT(oracle_error_sum / configs.size(), 0.05);
+  EXPECT_LE(oracle_error_sum, e2e_error_sum + 0.02 * configs.size());
+}
+
+TEST_F(PipelineTest, DedupDoesNotChangePrediction) {
+  // Estimators are deterministic per kernel shape, so folding twins must
+  // not move the prediction.
+  PredictionRequest with{TinyGpt(), BaseConfig()};
+  PredictionRequest without{TinyGpt(), BaseConfig()};
+  without.deduplicate_workers = false;
+  const double a = pipeline_->Predict(with)->iteration_time_us;
+  const double b = pipeline_->Predict(without)->iteration_time_us;
+  EXPECT_NEAR(a / b, 1.0, 1e-9);
+}
+
+TEST_F(PipelineTest, DedupShrinksSimulatedWorkers) {
+  PredictionRequest request{TinyGpt(), BaseConfig()};
+  Result<PredictionReport> report = pipeline_->Predict(request);
+  ASSERT_TRUE(report.ok());
+  // tp2 x pp2 x dp2 on 8 GPUs folds to one representative per stage.
+  EXPECT_EQ(report->collation.unique_workers, 2);
+  EXPECT_EQ(report->collation.duplicates_folded, 6);
+}
+
+TEST_F(PipelineTest, SelectiveLaunchMatchesDedupPath) {
+  PredictionRequest dynamic{TinyGpt(), BaseConfig()};
+  PredictionRequest selective{TinyGpt(), BaseConfig()};
+  selective.selective_launch = true;
+  const Result<PredictionReport> a = pipeline_->Predict(dynamic);
+  const Result<PredictionReport> b = pipeline_->Predict(selective);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NEAR(a->iteration_time_us / b->iteration_time_us, 1.0, 1e-9);
+  EXPECT_EQ(b->full_workers_emulated, 2);
+  EXPECT_EQ(a->full_workers_emulated, 8);
+}
+
+TEST_F(PipelineTest, OomReportedNotFailed) {
+  PredictionRequest request{TinyGpt(), BaseConfig()};
+  request.model.seq_length = 8192;  // blow up attention memory
+  request.config.microbatch_multiplier = 1;
+  Result<PredictionReport> report = pipeline_->Predict(request);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->oom);
+  EXPECT_FALSE(report->oom_detail.empty());
+  EXPECT_NE(report->Summary().find("OOM"), std::string::npos);
+}
+
+TEST_F(PipelineTest, StageTimingsPopulated) {
+  PredictionRequest request{TinyGpt(), BaseConfig()};
+  Result<PredictionReport> report = pipeline_->Predict(request);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->timings.emulation_ms, 0.0);
+  EXPECT_GT(report->timings.estimation_ms, 0.0);
+  EXPECT_GT(report->timings.simulation_ms, 0.0);
+  EXPECT_GT(report->timings.total_ms(), 0.0);
+}
+
+TEST_F(PipelineTest, MfuInPlausibleRange) {
+  PredictionRequest request{TinyGpt(), BaseConfig()};
+  Result<PredictionReport> report = pipeline_->Predict(request);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->mfu, 0.005);
+  EXPECT_LT(report->mfu, 0.9);
+}
+
+TEST_F(PipelineTest, ValidationMapeMatchesPaperShape) {
+  // Heavy hitters (GEMM) must be much better predicted than tiny kernels —
+  // the consistent theme of Tables 7-9.
+  const std::map<KernelKind, double> mape = PerKindMape(*bank_->kernel, bank_->kernel_validation);
+  ASSERT_TRUE(mape.count(KernelKind::kGemm) > 0);
+  EXPECT_LT(mape.at(KernelKind::kGemm), 12.0);
+  EXPECT_LT(mape.at(KernelKind::kGemmStridedBatched), 14.0);
+}
+
+TEST(ComputeMfuTest, ScalesInverselyWithTime) {
+  const ClusterSpec cluster = H100Cluster(8);
+  const ModelConfig model = Gpt3_2_7B();
+  const double fast = ComputeMfu(model, 256, cluster, 1e6);
+  const double slow = ComputeMfu(model, 256, cluster, 2e6);
+  EXPECT_NEAR(fast / slow, 2.0, 1e-9);
+}
+
+TEST(ComputeMfuTest, UsesFp32PeakForConvModels) {
+  const ClusterSpec cluster = A40Node();
+  const double vision_mfu = ComputeMfu(ResNet152(), 512, cluster, 1e6);
+  EXPECT_GT(vision_mfu, 0.0);
+}
+
+}  // namespace
+}  // namespace maya

@@ -1,0 +1,161 @@
+// Unit tests for src/cuda: type helpers and kernel metadata factories
+// (flop/byte accounting that estimator features depend on).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "src/cuda/kernel_desc.h"
+#include "src/cuda/types.h"
+
+namespace maya {
+namespace {
+
+TEST(TypesTest, DTypeSizes) {
+  EXPECT_EQ(DTypeSize(DType::kFp32), 4u);
+  EXPECT_EQ(DTypeSize(DType::kBf16), 2u);
+  EXPECT_EQ(DTypeSize(DType::kFp16), 2u);
+  EXPECT_EQ(DTypeSize(DType::kInt64), 8u);
+  EXPECT_EQ(DTypeSize(DType::kInt8), 1u);
+}
+
+TEST(TypesTest, ErrorNamesMirrorCuda) {
+  EXPECT_STREQ(CudaErrorName(CudaError::kSuccess), "cudaSuccess");
+  EXPECT_STREQ(CudaErrorName(CudaError::kErrorMemoryAllocation), "cudaErrorMemoryAllocation");
+  EXPECT_STREQ(CudaErrorName(CudaError::kErrorInvalidResourceHandle),
+               "cudaErrorInvalidResourceHandle");
+}
+
+TEST(TypesTest, MemcpyKindNamesMatchProfilerConvention) {
+  EXPECT_STREQ(MemcpyKindName(MemcpyKind::kHostToDevice), "MemcpyHtoD");
+  EXPECT_STREQ(MemcpyKindName(MemcpyKind::kDeviceToHost), "MemcpyDtoH");
+}
+
+TEST(KernelDescTest, GemmFlopsAndBytes) {
+  const KernelDesc gemm = MakeGemm(128, 256, 512, DType::kBf16);
+  EXPECT_EQ(gemm.kind, KernelKind::kGemm);
+  EXPECT_DOUBLE_EQ(gemm.flops, 2.0 * 128 * 256 * 512);
+  EXPECT_DOUBLE_EQ(gemm.bytes_read, 2.0 * (128.0 * 512 + 512.0 * 256));
+  EXPECT_DOUBLE_EQ(gemm.bytes_written, 2.0 * 128 * 256);
+  EXPECT_GT(gemm.intensity(), 1.0);
+}
+
+TEST(KernelDescTest, BatchedGemmScalesWithBatch) {
+  const KernelDesc single = MakeGemm(64, 64, 64, DType::kFp16);
+  const KernelDesc batched = MakeGemm(64, 64, 64, DType::kFp16, 8);
+  EXPECT_EQ(batched.kind, KernelKind::kGemmStridedBatched);
+  EXPECT_DOUBLE_EQ(batched.flops, 8.0 * single.flops);
+}
+
+TEST(KernelDescTest, ConvImplicitGemmFlops) {
+  // 3x3 conv, 64->128 channels, 56x56, stride 1, batch 4.
+  const KernelDesc conv = MakeConv(KernelKind::kConvForward, 4, 64, 56, 56, 128, 3, 3, 1,
+                                   DType::kFp32);
+  EXPECT_DOUBLE_EQ(conv.flops, 2.0 * 4 * 128 * 56 * 56 * 64 * 9);
+  EXPECT_GT(conv.bytes_read, 0.0);
+}
+
+TEST(KernelDescTest, ConvStrideShrinksOutput) {
+  const KernelDesc s1 = MakeConv(KernelKind::kConvForward, 1, 64, 56, 56, 64, 3, 3, 1,
+                                 DType::kFp32);
+  const KernelDesc s2 = MakeConv(KernelKind::kConvForward, 1, 64, 56, 56, 64, 3, 3, 2,
+                                 DType::kFp32);
+  EXPECT_NEAR(s1.flops / s2.flops, 4.0, 1e-9);
+}
+
+TEST(KernelDescTest, MemoryOpsHaveNoFlops) {
+  EXPECT_EQ(MakeMemcpy(KernelKind::kMemcpyH2D, 1 << 20).flops, 0.0);
+  EXPECT_EQ(MakeMemset(1 << 20).flops, 0.0);
+  EXPECT_EQ(MakeCat(1 << 10, DType::kBf16).flops, 0.0);
+  EXPECT_EQ(MakeMemcpy(KernelKind::kMemcpyD2H, 123).bytes_read, 123.0);
+}
+
+TEST(KernelDescTest, LayerNormBackwardCostsMoreThanForward) {
+  const KernelDesc fwd = MakeLayerNorm(KernelKind::kLayerNormForward, 4096, 1024, DType::kBf16);
+  const KernelDesc bwd = MakeLayerNorm(KernelKind::kLayerNormBackward, 4096, 1024, DType::kBf16);
+  EXPECT_GT(bwd.flops, fwd.flops);
+  EXPECT_GT(bwd.bytes_read, fwd.bytes_read);
+}
+
+TEST(KernelDescTest, TritonFusedTracksOpCount) {
+  const KernelDesc fused = MakeTritonFused(1 << 20, 7, DType::kBf16);
+  EXPECT_EQ(fused.fused_op_count, 7);
+  EXPECT_DOUBLE_EQ(fused.flops, 7.0 * (1 << 20));
+}
+
+TEST(KernelDescTest, OptimizerBandwidthScalesWithStates) {
+  const KernelDesc adam = MakeOptimizerApply(1 << 20, 4, DType::kFp32);
+  const KernelDesc sgd = MakeOptimizerApply(1 << 20, 2, DType::kFp32);
+  EXPECT_GT(adam.total_bytes(), sgd.total_bytes());
+}
+
+TEST(KernelDescTest, EmbeddingMovesTokenRows) {
+  const KernelDesc emb =
+      MakeEmbedding(KernelKind::kEmbeddingForward, 8192, 4096, 50304, DType::kBf16);
+  EXPECT_DOUBLE_EQ(emb.bytes_written, 8192.0 * 4096 * 2);
+  EXPECT_EQ(emb.flops, 0.0);
+}
+
+TEST(KernelDescTest, EveryKindHasDistinctCudaSymbol) {
+  std::set<std::string> symbols;
+  for (int i = 0; i < static_cast<int>(KernelKind::kNumKinds); ++i) {
+    symbols.insert(KernelKindCudaSymbol(static_cast<KernelKind>(i)));
+  }
+  EXPECT_EQ(symbols.size(), static_cast<size_t>(KernelKind::kNumKinds));
+}
+
+TEST(KernelDescTest, ToStringIsInformative) {
+  const std::string str = MakeGemm(128, 256, 512, DType::kBf16).ToString();
+  EXPECT_NE(str.find("cublasSgemm_v2"), std::string::npos);
+  EXPECT_NE(str.find("bf16"), std::string::npos);
+}
+
+// Parameterized sanity sweep: every factory produces internally consistent
+// descriptors (non-negative flops/bytes; dtype preserved).
+struct FactoryCase {
+  const char* name;
+  KernelDesc desc;
+};
+
+class KernelFactoryTest : public ::testing::TestWithParam<FactoryCase> {};
+
+TEST_P(KernelFactoryTest, ConsistentAccounting) {
+  const KernelDesc& desc = GetParam().desc;
+  EXPECT_GE(desc.flops, 0.0);
+  EXPECT_GE(desc.bytes_read, 0.0);
+  EXPECT_GT(desc.total_bytes(), 0.0);
+  EXPECT_GE(desc.intensity(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFactories, KernelFactoryTest,
+    ::testing::Values(
+        FactoryCase{"gemm", MakeGemm(64, 64, 64, DType::kBf16)},
+        FactoryCase{"batched", MakeGemm(64, 64, 64, DType::kBf16, 16)},
+        FactoryCase{"ln_fwd", MakeLayerNorm(KernelKind::kLayerNormForward, 1024, 512,
+                                            DType::kBf16)},
+        FactoryCase{"ln_gw", MakeLayerNorm(KernelKind::kLayerNormGradWeights, 1024, 512,
+                                           DType::kBf16)},
+        FactoryCase{"bn", MakeBatchNorm(KernelKind::kBatchNormForward, 32, 64, 3136,
+                                        DType::kFp32)},
+        FactoryCase{"softmax", MakeSoftmax(KernelKind::kSoftmaxForward, 2048, 2048,
+                                           DType::kBf16)},
+        FactoryCase{"dropout", MakeDropout(1 << 16, DType::kBf16)},
+        FactoryCase{"elementwise", MakeElementwise(1 << 16, DType::kBf16, 2)},
+        FactoryCase{"reduce", MakeReduce(1 << 16, DType::kFp32)},
+        FactoryCase{"cat", MakeCat(1 << 16, DType::kBf16)},
+        FactoryCase{"embedding", MakeEmbedding(KernelKind::kEmbeddingForward, 4096, 1024,
+                                               50304, DType::kBf16)},
+        FactoryCase{"xent", MakeCrossEntropy(KernelKind::kCrossEntropyForward, 4096, 50304,
+                                             DType::kFp32)},
+        FactoryCase{"adam", MakeOptimizerApply(1 << 20, 4, DType::kFp32)},
+        FactoryCase{"conv", MakeConv(KernelKind::kConvForward, 8, 64, 56, 56, 128, 3, 3, 1,
+                                     DType::kFp32)},
+        FactoryCase{"pool", MakePooling(8, 64, 112, 112, 2, DType::kFp32)},
+        FactoryCase{"triton", MakeTritonFused(1 << 20, 5, DType::kBf16)},
+        FactoryCase{"h2d", MakeMemcpy(KernelKind::kMemcpyH2D, 1 << 20)},
+        FactoryCase{"memset", MakeMemset(1 << 20)}),
+    [](const auto& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace maya

@@ -1,0 +1,347 @@
+// Tests for the estimation stack: random forest, features, kernel and
+// collective estimators, and profiling-mode dataset generation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/common/stats.h"
+#include "src/estimator/collective_estimator.h"
+#include "src/estimator/features.h"
+#include "src/estimator/kernel_estimator.h"
+#include "src/estimator/profiler_repository.h"
+#include "src/estimator/random_forest.h"
+
+namespace maya {
+namespace {
+
+// ---- Random forest -----------------------------------------------------------
+
+TEST(RandomForestTest, FitsLinearFunction) {
+  Dataset data;
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const double x0 = rng.Uniform(0.0, 10.0);
+    const double x1 = rng.Uniform(0.0, 10.0);
+    data.Add({x0, x1}, 3.0 * x0 + 0.5 * x1);
+  }
+  RandomForestRegressor forest;
+  forest.Fit(data);
+  double total_error = 0.0;
+  Rng eval(2);
+  for (int i = 0; i < 100; ++i) {
+    const double x0 = eval.Uniform(1.0, 9.0);
+    const double x1 = eval.Uniform(1.0, 9.0);
+    total_error += std::abs(forest.Predict({x0, x1}) - (3.0 * x0 + 0.5 * x1));
+  }
+  EXPECT_LT(total_error / 100.0, 1.0);
+}
+
+TEST(RandomForestTest, FitsStepFunction) {
+  // Trees should capture hard thresholds exactly.
+  Dataset data;
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Uniform(0.0, 1.0);
+    data.Add({x}, x < 0.5 ? 1.0 : 5.0);
+  }
+  RandomForestRegressor forest;
+  forest.Fit(data);
+  EXPECT_NEAR(forest.Predict({0.2}), 1.0, 0.2);
+  EXPECT_NEAR(forest.Predict({0.8}), 5.0, 0.2);
+}
+
+TEST(RandomForestTest, DeterministicForSeed) {
+  Dataset data;
+  Rng rng(4);
+  for (int i = 0; i < 300; ++i) {
+    const double x = rng.Uniform(0.0, 1.0);
+    data.Add({x}, x * x);
+  }
+  RandomForestOptions options;
+  options.seed = 99;
+  RandomForestRegressor a(options);
+  RandomForestRegressor b(options);
+  a.Fit(data);
+  b.Fit(data);
+  for (double x : {0.1, 0.4, 0.9}) {
+    EXPECT_DOUBLE_EQ(a.Predict({x}), b.Predict({x}));
+  }
+}
+
+TEST(RandomForestTest, ConstantTargetYieldsConstantPrediction) {
+  Dataset data;
+  for (int i = 0; i < 50; ++i) {
+    data.Add({static_cast<double>(i)}, 7.0);
+  }
+  RandomForestRegressor forest;
+  forest.Fit(data);
+  EXPECT_NEAR(forest.Predict({25.0}), 7.0, 1e-9);
+}
+
+TEST(RandomForestTest, SingleSampleIsLeaf) {
+  Dataset data;
+  data.Add({1.0}, 42.0);
+  RandomForestRegressor forest;
+  forest.Fit(data);
+  EXPECT_DOUBLE_EQ(forest.Predict({5.0}), 42.0);
+}
+
+TEST(RegressionTreeTest, RespectsMinSamplesLeaf) {
+  Dataset data;
+  for (int i = 0; i < 10; ++i) {
+    data.Add({static_cast<double>(i)}, static_cast<double>(i));
+  }
+  RandomForestOptions options;
+  options.min_samples_leaf = 5;
+  options.max_depth = 10;
+  std::vector<uint32_t> indices(10);
+  for (uint32_t i = 0; i < 10; ++i) {
+    indices[i] = i;
+  }
+  RegressionTree tree;
+  Rng rng(1);
+  tree.Fit(data, indices, options, rng);
+  // With min leaf 5 over 10 samples, at most one split: <= 3 nodes.
+  EXPECT_LE(tree.node_count(), 3u);
+}
+
+// ---- Features ------------------------------------------------------------------
+
+TEST(FeaturesTest, FixedWidthAndNames) {
+  const std::vector<double> features = KernelFeatures(MakeGemm(128, 256, 512, DType::kBf16));
+  EXPECT_EQ(features.size(), static_cast<size_t>(kKernelFeatureCount));
+  EXPECT_EQ(KernelFeatureNames().size(), static_cast<size_t>(kKernelFeatureCount));
+}
+
+TEST(FeaturesTest, LogScaledShapes) {
+  const std::vector<double> features = KernelFeatures(MakeGemm(127, 256, 512, DType::kBf16));
+  EXPECT_NEAR(features[0], std::log2(128.0), 1e-6);  // log2(1+127)
+  EXPECT_DOUBLE_EQ(features[8], 2.0);                // bf16 width
+  EXPECT_DOUBLE_EQ(features[11], 1.0);               // bias
+}
+
+TEST(FeaturesTest, TileAlignmentFlags) {
+  EXPECT_DOUBLE_EQ(KernelFeatures(MakeGemm(256, 256, 64, DType::kBf16))[13], 1.0);
+  EXPECT_DOUBLE_EQ(KernelFeatures(MakeGemm(255, 256, 64, DType::kBf16))[13], 0.0);
+}
+
+TEST(FeaturesTest, FusedOpCountSurfaces) {
+  EXPECT_DOUBLE_EQ(KernelFeatures(MakeTritonFused(1 << 20, 9, DType::kBf16))[9], 9.0);
+}
+
+// ---- Kernel estimator -------------------------------------------------------------
+
+KernelDataset SyntheticGemmDataset(int count, uint64_t seed) {
+  KernelDataset dataset;
+  Rng rng(seed);
+  for (int i = 0; i < count; ++i) {
+    const int64_t m = 1 << rng.UniformInt(5, 12);
+    const int64_t n = 1 << rng.UniformInt(5, 12);
+    const int64_t k = 1 << rng.UniformInt(5, 12);
+    KernelDesc gemm = MakeGemm(m, n, k, DType::kBf16);
+    // Synthetic truth: flops-proportional with 5% noise.
+    const double truth = gemm.flops / 100e12 * 1e6 + 2.0;
+    dataset.push_back({gemm, truth * rng.LognormalFactor(0.05)});
+  }
+  return dataset;
+}
+
+TEST(KernelEstimatorTest, LearnsFlopsProportionalRuntime) {
+  RandomForestKernelEstimator estimator;
+  estimator.Fit(SyntheticGemmDataset(3000, 7));
+  const KernelDataset test = SyntheticGemmDataset(300, 8);
+  std::vector<double> actual;
+  std::vector<double> predicted;
+  for (const KernelSample& sample : test) {
+    actual.push_back(sample.runtime_us);
+    predicted.push_back(estimator.PredictUs(sample.kernel));
+  }
+  EXPECT_LT(MeanAbsolutePercentageError(actual, predicted), 15.0);
+}
+
+TEST(KernelEstimatorTest, UnseenKindUsesRooflineFallback) {
+  RandomForestKernelEstimator estimator;
+  estimator.Fit(SyntheticGemmDataset(100, 9));
+  EXPECT_FALSE(estimator.HasModelFor(KernelKind::kConvForward));
+  const double us = estimator.PredictUs(
+      MakeConv(KernelKind::kConvForward, 8, 64, 56, 56, 64, 3, 3, 1, DType::kFp32));
+  EXPECT_GT(us, 0.0);
+  EXPECT_EQ(estimator.fallback_predictions.load(), 1u);
+}
+
+TEST(KernelEstimatorTest, PerKindMapeGroupsCorrectly) {
+  RandomForestKernelEstimator estimator;
+  KernelDataset train = SyntheticGemmDataset(500, 10);
+  estimator.Fit(train);
+  const std::map<KernelKind, double> mape = PerKindMape(estimator, train);
+  ASSERT_EQ(mape.size(), 1u);
+  EXPECT_EQ(mape.begin()->first, KernelKind::kGemm);
+  EXPECT_LT(mape.begin()->second, 30.0);
+}
+
+TEST(KernelEstimatorTest, CallbackEstimatorDelegates) {
+  CallbackKernelEstimator oracle("oracle", [](const KernelDesc&) { return 42.0; });
+  EXPECT_DOUBLE_EQ(oracle.PredictUs(MakeMemset(1)), 42.0);
+  EXPECT_EQ(oracle.name(), "oracle");
+}
+
+TEST(KernelEstimatorTest, SplitPreservesAllSamples) {
+  const KernelDataset all = SyntheticGemmDataset(1000, 11);
+  KernelDataset train;
+  KernelDataset test;
+  Rng rng(12);
+  SplitKernelDataset(all, 0.8, rng, &train, &test);
+  EXPECT_EQ(train.size() + test.size(), all.size());
+  EXPECT_GT(train.size(), test.size());
+  EXPECT_GT(test.size(), 100u);
+}
+
+// ---- Collective estimator -------------------------------------------------------------
+
+std::vector<int> Range(int n, int stride = 1) {
+  std::vector<int> ranks;
+  for (int i = 0; i < n; ++i) {
+    ranks.push_back(i * stride);
+  }
+  return ranks;
+}
+
+TEST(CollectiveEstimatorTest, InterpolatesBetweenProfiledSizes) {
+  const ClusterSpec cluster = H100Cluster(8);
+  std::vector<CollectiveSample> samples;
+  // Linear truth: 1us per MiB.
+  for (uint64_t mib : {16, 64, 256, 1024}) {
+    samples.push_back(
+        {{CollectiveKind::kAllReduce, mib << 20, Range(8)}, static_cast<double>(mib)});
+  }
+  ProfiledCollectiveEstimator estimator;
+  estimator.Fit(samples, cluster);
+  EXPECT_EQ(estimator.group_count(), 1u);
+  const double mid =
+      estimator.PredictUs({CollectiveKind::kAllReduce, 128ULL << 20, Range(8)}, cluster);
+  EXPECT_NEAR(mid, 128.0, 2.0);  // log-log interpolation of a power law is exact
+}
+
+TEST(CollectiveEstimatorTest, ExtrapolatesWithEdgeSlope) {
+  const ClusterSpec cluster = H100Cluster(8);
+  std::vector<CollectiveSample> samples;
+  for (uint64_t mib : {64, 256}) {
+    samples.push_back(
+        {{CollectiveKind::kAllReduce, mib << 20, Range(8)}, static_cast<double>(mib)});
+  }
+  ProfiledCollectiveEstimator estimator;
+  estimator.Fit(samples, cluster);
+  EXPECT_NEAR(estimator.PredictUs({CollectiveKind::kAllReduce, 16ULL << 20, Range(8)}, cluster),
+              16.0, 2.0);
+  EXPECT_NEAR(
+      estimator.PredictUs({CollectiveKind::kAllReduce, 1024ULL << 20, Range(8)}, cluster),
+      1024.0, 40.0);
+}
+
+TEST(CollectiveEstimatorTest, UnprofiledShapeFallsBackToRingModel) {
+  const ClusterSpec cluster = H100Cluster(16);
+  ProfiledCollectiveEstimator estimator;
+  estimator.Fit({}, cluster);
+  RingCollectiveModel ring;
+  const CollectiveRequest request{CollectiveKind::kAllReduce, 1ULL << 28, Range(16)};
+  EXPECT_DOUBLE_EQ(estimator.PredictUs(request, cluster),
+                   ring.CollectiveUs(request, cluster));
+}
+
+TEST(CollectiveEstimatorTest, RepeatMeasurementsAveraged) {
+  const ClusterSpec cluster = H100Cluster(8);
+  std::vector<CollectiveSample> samples = {
+      {{CollectiveKind::kAllReduce, 64ULL << 20, Range(8)}, 90.0},
+      {{CollectiveKind::kAllReduce, 64ULL << 20, Range(8)}, 110.0},
+      {{CollectiveKind::kAllReduce, 256ULL << 20, Range(8)}, 400.0},
+  };
+  ProfiledCollectiveEstimator estimator;
+  estimator.Fit(samples, cluster);
+  EXPECT_NEAR(
+      estimator.PredictUs({CollectiveKind::kAllReduce, 64ULL << 20, Range(8)}, cluster),
+      std::sqrt(90.0 * 110.0), 1.0);  // geometric mean in log space
+}
+
+TEST(CollectiveEstimatorTest, ZeroWorkIsFree) {
+  const ClusterSpec cluster = H100Cluster(8);
+  ProfiledCollectiveEstimator estimator;
+  estimator.Fit({}, cluster);
+  EXPECT_EQ(estimator.PredictUs({CollectiveKind::kAllReduce, 0, Range(8)}, cluster), 0.0);
+  EXPECT_EQ(estimator.PredictUs({CollectiveKind::kAllReduce, 100, {0}}, cluster), 0.0);
+}
+
+TEST(CollectiveEstimatorTest, NetworkModelAdapterDelegates) {
+  AstraLikeNetworkModel astra;
+  NetworkModelCollectiveEstimator estimator(&astra);
+  const ClusterSpec cluster = H100Cluster(16);
+  const CollectiveRequest request{CollectiveKind::kAllReduce, 1ULL << 28, Range(16)};
+  EXPECT_DOUBLE_EQ(estimator.PredictUs(request, cluster),
+                   astra.CollectiveUs(request, cluster));
+  EXPECT_NE(estimator.name().find("astra"), std::string::npos);
+}
+
+// ---- Profiler repository -------------------------------------------------------------
+
+TEST(ProfilerRepositoryTest, SweepCoversAllWorkloadKernelKinds) {
+  ProfileSweepOptions options;
+  options.gemm_samples = 50;
+  options.conv_samples = 30;
+  options.generic_samples = 5;
+  const KernelDataset dataset = GenerateKernelDataset(
+      GpuArch::kH100, [](const KernelDesc&) { return 10.0; }, options);
+  std::set<KernelKind> kinds;
+  for (const KernelSample& sample : dataset) {
+    kinds.insert(sample.kernel.kind);
+  }
+  // Every kind the training engines emit must be profiled.
+  for (KernelKind kind :
+       {KernelKind::kGemm, KernelKind::kGemmStridedBatched, KernelKind::kLayerNormForward,
+        KernelKind::kSoftmaxForward, KernelKind::kDropout, KernelKind::kElementwise,
+        KernelKind::kEmbeddingForward, KernelKind::kOptimizerApply, KernelKind::kConvForward,
+        KernelKind::kConvBackwardFilter, KernelKind::kTritonFused, KernelKind::kMemcpyH2D,
+        KernelKind::kMemset, KernelKind::kCrossEntropyForward, KernelKind::kBatchNormForward,
+        KernelKind::kPooling, KernelKind::kCat, KernelKind::kReduce}) {
+    EXPECT_TRUE(kinds.count(kind) > 0) << KernelKindName(kind);
+  }
+}
+
+TEST(ProfilerRepositoryTest, CollectiveSweepSpansPaperRange) {
+  ProfileSweepOptions options;
+  options.collective_sizes = 6;
+  options.collective_repeats = 1;
+  const std::vector<CollectiveSample> samples = GenerateCollectiveDataset(
+      H100Cluster(16), [](const CollectiveRequest&) { return 5.0; }, options);
+  EXPECT_GT(samples.size(), 50u);
+  uint64_t min_bytes = UINT64_MAX;
+  uint64_t max_bytes = 0;
+  bool has_multi_node = false;
+  for (const CollectiveSample& sample : samples) {
+    min_bytes = std::min(min_bytes, sample.request.bytes);
+    max_bytes = std::max(max_bytes, sample.request.bytes);
+    if (!H100Cluster(16).IsIntraNode(sample.request.ranks)) {
+      has_multi_node = true;
+    }
+  }
+  EXPECT_LE(min_bytes, 32ULL << 20);   // tens of MB
+  EXPECT_GE(max_bytes, 16ULL << 30);   // tens of GB
+  EXPECT_TRUE(has_multi_node);
+}
+
+TEST(ProfilerRepositoryTest, DeterministicForSeed) {
+  ProfileSweepOptions options;
+  options.gemm_samples = 20;
+  options.conv_samples = 5;
+  options.generic_samples = 2;
+  auto profiler = [](const KernelDesc& kernel) { return kernel.flops / 1e9 + 1.0; };
+  const KernelDataset a = GenerateKernelDataset(GpuArch::kV100, profiler, options);
+  const KernelDataset b = GenerateKernelDataset(GpuArch::kV100, profiler, options);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kernel.params, b[i].kernel.params);
+    EXPECT_DOUBLE_EQ(a[i].runtime_us, b[i].runtime_us);
+  }
+}
+
+}  // namespace
+}  // namespace maya

@@ -1,0 +1,196 @@
+// Unit + property tests for src/hw: GPU specs, cluster topology and the
+// analytical collective cost models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/units.h"
+#include "src/hw/cluster_spec.h"
+#include "src/hw/collective_cost.h"
+
+namespace maya {
+namespace {
+
+TEST(GpuSpecTest, CanonicalSpecsMatchDatasheets) {
+  const GpuSpec v100 = V100Spec();
+  EXPECT_EQ(v100.arch, GpuArch::kV100);
+  EXPECT_NEAR(v100.peak_tensor_flops, 125e12, 1e9);
+  EXPECT_EQ(v100.hbm_bytes, 40ULL * kGiB);  // paper's V100 DGX (§7.1)
+
+  const GpuSpec h100 = H100Spec();
+  EXPECT_GT(h100.peak_tensor_flops, 5.0 * v100.peak_tensor_flops);
+  EXPECT_EQ(h100.hbm_bytes, 80ULL * kGiB);
+
+  const GpuSpec a40 = A40Spec();
+  EXPECT_EQ(a40.hbm_bytes, 48ULL * kGiB);
+  EXPECT_STREQ(GpuArchName(a40.arch), "A40");
+}
+
+TEST(ClusterSpecTest, V100ClusterShape) {
+  const ClusterSpec cluster = V100Cluster(16);
+  EXPECT_EQ(cluster.num_nodes, 2);
+  EXPECT_EQ(cluster.gpus_per_node, 8);
+  EXPECT_EQ(cluster.total_gpus(), 16);
+  EXPECT_EQ(cluster.intra_fabric, IntraNodeFabric::kCubeMesh);
+  EXPECT_EQ(cluster.inter_fabric, InterNodeFabric::kInfiniBand);
+  EXPECT_EQ(cluster.node_of(7), 0);
+  EXPECT_EQ(cluster.node_of(8), 1);
+  EXPECT_TRUE(cluster.SameNode(0, 7));
+  EXPECT_FALSE(cluster.SameNode(7, 8));
+}
+
+TEST(ClusterSpecTest, SingleNodeHasNoInterconnect) {
+  const ClusterSpec cluster = V100Cluster(8);
+  EXPECT_EQ(cluster.num_nodes, 1);
+  EXPECT_EQ(cluster.inter_fabric, InterNodeFabric::kNone);
+}
+
+TEST(ClusterSpecTest, SubNodeClusterSupported) {
+  const ClusterSpec cluster = H100Cluster(4);
+  EXPECT_EQ(cluster.gpus_per_node, 4);
+  EXPECT_EQ(cluster.num_nodes, 1);
+}
+
+TEST(ClusterSpecTest, IsIntraNode) {
+  const ClusterSpec cluster = H100Cluster(32);
+  EXPECT_TRUE(cluster.IsIntraNode({0, 3, 7}));
+  EXPECT_FALSE(cluster.IsIntraNode({0, 8}));
+  EXPECT_TRUE(cluster.IsIntraNode({}));
+}
+
+TEST(ClusterSpecTest, A40NodeUsesPairwiseNvlink) {
+  const ClusterSpec cluster = A40Node();
+  EXPECT_EQ(cluster.intra_fabric, IntraNodeFabric::kPairwiseNvlink);
+  EXPECT_EQ(cluster.total_gpus(), 8);
+}
+
+// ---- RingCollectiveModel properties ------------------------------------------
+
+std::vector<int> Range(int n, int stride = 1) {
+  std::vector<int> ranks;
+  for (int i = 0; i < n; ++i) {
+    ranks.push_back(i * stride);
+  }
+  return ranks;
+}
+
+TEST(RingModelTest, ZeroForSingleRank) {
+  RingCollectiveModel model;
+  const ClusterSpec cluster = H100Cluster(8);
+  EXPECT_EQ(model.CollectiveUs({CollectiveKind::kAllReduce, 1 << 20, {0}}, cluster), 0.0);
+}
+
+TEST(RingModelTest, MonotoneInBytes) {
+  RingCollectiveModel model;
+  const ClusterSpec cluster = H100Cluster(8);
+  double previous = 0.0;
+  for (uint64_t bytes = 1 << 20; bytes <= (1ULL << 30); bytes *= 4) {
+    const double us =
+        model.CollectiveUs({CollectiveKind::kAllReduce, bytes, Range(8)}, cluster);
+    EXPECT_GT(us, previous);
+    previous = us;
+  }
+}
+
+TEST(RingModelTest, AllReduceCostsTwiceReduceScatter) {
+  RingCollectiveModel model;
+  const ClusterSpec cluster = H100Cluster(8);
+  const uint64_t bytes = 1ULL << 28;
+  const double ar = model.CollectiveUs({CollectiveKind::kAllReduce, bytes, Range(8)}, cluster);
+  const double rs =
+      model.CollectiveUs({CollectiveKind::kReduceScatter, bytes, Range(8)}, cluster);
+  EXPECT_NEAR(ar / rs, 2.0, 0.25);
+}
+
+TEST(RingModelTest, CrossNodeSlowerThanIntraNode) {
+  RingCollectiveModel model;
+  const ClusterSpec cluster = H100Cluster(16);
+  const uint64_t bytes = 1ULL << 28;
+  const double intra =
+      model.CollectiveUs({CollectiveKind::kAllReduce, bytes, Range(8)}, cluster);
+  const double inter =
+      model.CollectiveUs({CollectiveKind::kAllReduce, bytes, Range(2, 8)}, cluster);
+  EXPECT_GT(inter, intra);
+}
+
+TEST(RingModelTest, SendUsesLinkBandwidth) {
+  RingCollectiveModel model;
+  const ClusterSpec v100 = V100Cluster(16);
+  const uint64_t bytes = 256ULL << 20;
+  const double intra = model.CollectiveUs({CollectiveKind::kSend, bytes, {0, 1}}, v100);
+  const double inter = model.CollectiveUs({CollectiveKind::kSend, bytes, {0, 8}}, v100);
+  // 100 Gbps IB is far slower than NVLink.
+  EXPECT_GT(inter, 5.0 * intra);
+}
+
+TEST(RingModelTest, CubeMeshLargeGroupsLoseBandwidth) {
+  const ClusterSpec v100 = V100Cluster(8);
+  EXPECT_GT(RingCollectiveModel::IntraBusBandwidth(v100, 2),
+            RingCollectiveModel::IntraBusBandwidth(v100, 8));
+}
+
+TEST(RingModelTest, PairwiseNvlinkFallsBackToPcie) {
+  const ClusterSpec a40 = A40Node();
+  EXPECT_GT(RingCollectiveModel::IntraBusBandwidth(a40, 2),
+            3.0 * RingCollectiveModel::IntraBusBandwidth(a40, 4));
+}
+
+TEST(RingModelTest, NvSwitchKeepsFullBandwidth) {
+  const ClusterSpec h100 = H100Cluster(8);
+  EXPECT_EQ(RingCollectiveModel::IntraBusBandwidth(h100, 2),
+            RingCollectiveModel::IntraBusBandwidth(h100, 8));
+}
+
+TEST(AstraLikeTest, AddsCongestionOnlyAcrossNodes) {
+  RingCollectiveModel ring;
+  AstraLikeNetworkModel astra;
+  const ClusterSpec cluster = H100Cluster(64);
+  const uint64_t bytes = 1ULL << 28;
+  // Intra-node: identical.
+  EXPECT_DOUBLE_EQ(astra.CollectiveUs({CollectiveKind::kAllReduce, bytes, Range(8)}, cluster),
+                   ring.CollectiveUs({CollectiveKind::kAllReduce, bytes, Range(8)}, cluster));
+  // Cross-node: congested.
+  const CollectiveRequest cross{CollectiveKind::kAllReduce, bytes, Range(8, 8)};
+  EXPECT_GT(astra.CollectiveUs(cross, cluster), ring.CollectiveUs(cross, cluster));
+}
+
+TEST(AstraLikeTest, CongestionGrowsWithNodeCount) {
+  AstraLikeNetworkModel astra;
+  RingCollectiveModel ring;
+  const ClusterSpec big = H100Cluster(1024);
+  const uint64_t bytes = 1ULL << 28;
+  const CollectiveRequest few{CollectiveKind::kAllReduce, bytes, Range(2, 8)};
+  const CollectiveRequest many{CollectiveKind::kAllReduce, bytes, Range(128, 8)};
+  const double ratio_few = astra.CollectiveUs(few, big) / ring.CollectiveUs(few, big);
+  const double ratio_many = astra.CollectiveUs(many, big) / ring.CollectiveUs(many, big);
+  EXPECT_GT(ratio_many, ratio_few);
+}
+
+// Parameterized: every collective kind costs something for multi-rank groups
+// and is monotone in group-spanning topology.
+class CollectiveKindTest : public ::testing::TestWithParam<CollectiveKind> {};
+
+TEST_P(CollectiveKindTest, PositiveAndFiniteAcrossGroups) {
+  RingCollectiveModel model;
+  const ClusterSpec cluster = H100Cluster(32);
+  const CollectiveKind kind = GetParam();
+  for (int size : {2, 4, 8}) {
+    const double us = model.CollectiveUs({kind, 64ULL << 20, Range(size)}, cluster);
+    EXPECT_GT(us, 0.0) << CollectiveKindName(kind) << " size " << size;
+    EXPECT_TRUE(std::isfinite(us));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, CollectiveKindTest,
+                         ::testing::Values(CollectiveKind::kAllReduce,
+                                           CollectiveKind::kAllGather,
+                                           CollectiveKind::kReduceScatter,
+                                           CollectiveKind::kBroadcast,
+                                           CollectiveKind::kReduce,
+                                           CollectiveKind::kAllToAll),
+                         [](const auto& info) {
+                           return std::string(CollectiveKindName(info.param)).substr(4);
+                         });
+
+}  // namespace
+}  // namespace maya
