@@ -45,7 +45,14 @@ int main() {
   }
 
   for (const Case& test_case : cases) {
-    MayaPipeline& pipeline = cache.PipelineFor(test_case.setup.cluster);
+    // Isolate the worker-dedup lever: a warm cross-trial estimate cache would
+    // make whichever arm runs second near-free in the estimation stage, so
+    // both arms run on a cache-free pipeline built from the shared bank.
+    EstimatorBank& bank = cache.BankFor(test_case.setup.cluster);
+    MayaPipelineOptions options;
+    options.enable_estimate_cache = false;
+    MayaPipeline pipeline(test_case.setup.cluster, bank.kernel.get(), bank.collective.get(),
+                          options);
     CHECK(test_case.config.Validate(test_case.setup.model, test_case.setup.cluster).ok());
 
     PredictionRequest without{test_case.setup.model, test_case.config};

@@ -1,15 +1,28 @@
 // Hot-path microbenchmarks (google-benchmark): emulator API call overhead,
-// discrete-event simulation throughput, trace collation + serialization, and
-// random-forest inference — the per-op costs the Fig. 13 stack runtimes are
-// built from.
+// discrete-event simulation throughput, trace collation + serialization,
+// random-forest inference, and the estimation stage's memoized hot path —
+// the per-op costs the Fig. 13 stack runtimes are built from. Also emits
+// BENCH_estimation.json with the estimation-throughput study (naive per-op
+// vs. deduped-batched vs. warm-cache predictions/sec).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string_view>
+
+#include "src/common/json_writer.h"
+#include "src/common/strings.h"
+#include "src/core/estimator_bank.h"
 #include "src/core/pipeline.h"
 #include "src/dlf/worker_launcher.h"
 #include "src/estimator/features.h"
 #include "src/estimator/kernel_estimator.h"
 #include "src/groundtruth/executor.h"
 #include "src/models/model_zoo.h"
+#include "src/trace/collator.h"
 #include "src/trace/serialization.h"
 
 namespace maya {
@@ -107,6 +120,116 @@ void BM_RandomForestPredict(benchmark::State& state) {
 }
 BENCHMARK(BM_RandomForestPredict);
 
+void BM_RandomForestPredictBatch(benchmark::State& state) {
+  GroundTruthExecutor executor(H100Cluster(8), 3);
+  RandomForestKernelEstimator estimator;
+  ProfileSweepOptions sweep;
+  sweep.gemm_samples = 1500;
+  sweep.conv_samples = 100;
+  sweep.generic_samples = 30;
+  estimator.Fit(GenerateKernelDataset(GpuArch::kH100, executor.MakeKernelProfiler(), sweep));
+  std::vector<KernelDesc> kernels;
+  for (int64_t m = 128; m <= 4096; m *= 2) {
+    for (int64_t k = 128; k <= 4096; k *= 2) {
+      kernels.push_back(MakeGemm(m, 1024, k, DType::kBf16));
+    }
+  }
+  std::vector<const KernelDesc*> pointers;
+  for (const KernelDesc& kernel : kernels) {
+    pointers.push_back(&kernel);
+  }
+  std::vector<double> out(kernels.size());
+  for (auto _ : state) {
+    estimator.PredictUsBatch(pointers.data(), pointers.size(), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(kernels.size()) * state.iterations());
+}
+BENCHMARK(BM_RandomForestPredictBatch);
+
+// Shared fixture for the estimation-stage benchmarks: one collated trace and
+// one trained estimator bank, built once per binary.
+struct EstimationFixture {
+  ClusterSpec cluster = H100Cluster(8);
+  GroundTruthExecutor executor{cluster, 3};
+  EstimatorBank bank;
+  JobTrace job;
+  size_t estimated_ops = 0;  // kernel + collective ops annotated per pass
+
+  EstimationFixture() {
+    ProfileSweepOptions sweep;
+    sweep.gemm_samples = 1500;
+    sweep.conv_samples = 100;
+    sweep.generic_samples = 30;
+    bank = TrainEstimators(cluster, executor, sweep);
+    Result<LaunchResult> launched = EmulateJob(BenchModel(), BenchConfig(), cluster);
+    CHECK(launched.ok());
+    TraceCollator collator;
+    Result<JobTrace> collated = collator.Collate(std::move(launched->traces));
+    CHECK(collated.ok());
+    job = *std::move(collated);
+    for (const WorkerTrace& worker : job.workers) {
+      estimated_ops += worker.KernelLaunchCount() + worker.CollectiveCount();
+    }
+  }
+
+  static EstimationFixture& Get() {
+    static EstimationFixture fixture;
+    return fixture;
+  }
+
+  // The seed's estimation stage: one estimator call per op, no dedup, no
+  // memoization — the baseline the tentpole is measured against.
+  void AnnotateNaive() {
+    for (WorkerTrace& worker : job.workers) {
+      for (TraceOp& op : worker.ops) {
+        if (op.type == TraceOpType::kKernelLaunch) {
+          op.duration_us = bank.kernel->PredictUs(op.kernel);
+        } else if (op.type == TraceOpType::kCollective) {
+          const CommGroup& group = job.comm(op.collective.comm_uid);
+          CollectiveRequest request{op.collective.kind, op.collective.bytes, group.members};
+          op.duration_us = bank.collective->PredictUs(request, cluster);
+        }
+      }
+    }
+  }
+};
+
+void BM_AnnotateDurationsNaivePerOp(benchmark::State& state) {
+  EstimationFixture& fixture = EstimationFixture::Get();
+  for (auto _ : state) {
+    fixture.AnnotateNaive();
+    benchmark::DoNotOptimize(fixture.job.workers.front().ops.front().duration_us);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(fixture.estimated_ops) * state.iterations());
+}
+BENCHMARK(BM_AnnotateDurationsNaivePerOp)->Unit(benchmark::kMillisecond);
+
+void BM_AnnotateDurationsDedupBatched(benchmark::State& state) {
+  EstimationFixture& fixture = EstimationFixture::Get();
+  MayaPipelineOptions options;
+  options.enable_estimate_cache = false;
+  MayaPipeline pipeline(fixture.cluster, fixture.bank.kernel.get(),
+                        fixture.bank.collective.get(), options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipeline.AnnotateDurations(fixture.job, nullptr).kernel_ops);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(fixture.estimated_ops) * state.iterations());
+}
+BENCHMARK(BM_AnnotateDurationsDedupBatched)->Unit(benchmark::kMillisecond);
+
+void BM_AnnotateDurationsWarmCache(benchmark::State& state) {
+  EstimationFixture& fixture = EstimationFixture::Get();
+  MayaPipeline pipeline(fixture.cluster, fixture.bank.kernel.get(),
+                        fixture.bank.collective.get());
+  pipeline.AnnotateDurations(fixture.job, nullptr);  // warm the estimate cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipeline.AnnotateDurations(fixture.job, nullptr).cache_hits);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(fixture.estimated_ops) * state.iterations());
+}
+BENCHMARK(BM_AnnotateDurationsWarmCache)->Unit(benchmark::kMillisecond);
+
 void BM_KernelFeatureExtraction(benchmark::State& state) {
   const KernelDesc kernel = MakeGemm(4096, 1024, 4096, DType::kBf16);
   for (auto _ : state) {
@@ -128,7 +251,97 @@ void BM_TraceSerialization(benchmark::State& state) {
 }
 BENCHMARK(BM_TraceSerialization)->Unit(benchmark::kMillisecond);
 
+// Estimation-throughput study: predictions/sec for the three estimation-stage
+// strategies on a repeated-kernel GPT trace, plus the cache hit rate —
+// written to BENCH_estimation.json for the perf-tracking harness.
+double MeasurePredictionsPerSec(size_t ops_per_pass, const std::function<void()>& annotate) {
+  // One untimed pass to fault in everything, then time enough passes to get
+  // out of clock-resolution territory.
+  annotate();
+  const int passes = 20;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < passes; ++i) {
+    annotate();
+  }
+  const double seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                             .count();
+  return static_cast<double>(ops_per_pass) * passes / seconds;
+}
+
+void RunEstimationThroughputStudy() {
+  EstimationFixture& fixture = EstimationFixture::Get();
+
+  const double naive_per_sec =
+      MeasurePredictionsPerSec(fixture.estimated_ops, [&] { fixture.AnnotateNaive(); });
+
+  MayaPipelineOptions uncached_options;
+  uncached_options.enable_estimate_cache = false;
+  MayaPipeline uncached(fixture.cluster, fixture.bank.kernel.get(),
+                        fixture.bank.collective.get(), uncached_options);
+  const double dedup_per_sec = MeasurePredictionsPerSec(
+      fixture.estimated_ops, [&] { uncached.AnnotateDurations(fixture.job, nullptr); });
+
+  MayaPipeline cached(fixture.cluster, fixture.bank.kernel.get(),
+                      fixture.bank.collective.get());
+  const double cached_per_sec = MeasurePredictionsPerSec(
+      fixture.estimated_ops, [&] { cached.AnnotateDurations(fixture.job, nullptr); });
+  const EstimationStats warm_stats = cached.AnnotateDurations(fixture.job, nullptr);
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("benchmark", std::string_view("estimation_throughput"));
+  json.Field("trace_ops_estimated", static_cast<uint64_t>(fixture.estimated_ops));
+  json.Field("unique_kernels", warm_stats.unique_kernels);
+  json.Field("unique_collectives", warm_stats.unique_collectives);
+  json.Field("naive_per_op_predictions_per_sec", naive_per_sec);
+  json.Field("dedup_batched_predictions_per_sec", dedup_per_sec);
+  json.Field("warm_cache_predictions_per_sec", cached_per_sec);
+  json.Field("speedup_dedup_vs_naive", dedup_per_sec / naive_per_sec);
+  json.Field("speedup_cached_vs_naive", cached_per_sec / naive_per_sec);
+  json.Field("warm_cache_hit_rate", warm_stats.hit_rate());
+  json.EndObject();
+  std::ofstream out("BENCH_estimation.json");
+  out << json.str() << "\n";
+
+  std::cout << "Estimation throughput (predictions/sec) on "
+            << fixture.estimated_ops << " ops (" << warm_stats.unique_kernels
+            << " unique kernels, " << warm_stats.unique_collectives
+            << " unique collectives):\n"
+            << StrFormat("  naive per-op : %12.0f\n", naive_per_sec)
+            << StrFormat("  dedup+batched: %12.0f  (%.1fx)\n", dedup_per_sec,
+                         dedup_per_sec / naive_per_sec)
+            << StrFormat("  warm cache   : %12.0f  (%.1fx, hit rate %.1f%%)\n", cached_per_sec,
+                         cached_per_sec / naive_per_sec, warm_stats.hit_rate() * 100.0)
+            << "Wrote BENCH_estimation.json\n";
+}
+
 }  // namespace
 }  // namespace maya
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // The estimation study trains estimators and emulates a job (seconds):
+  // keep listing/help invocations cheap, and honor --no_estimation_study so
+  // filtered runs of unrelated benchmarks don't pay for (or clobber) it.
+  bool run_study = true;
+  for (int i = argc - 1; i > 0; --i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--no_estimation_study") {
+      run_study = false;
+      std::rotate(argv + i, argv + i + 1, argv + argc);
+      argv[--argc] = nullptr;  // preserve the argv[argc] == nullptr invariant
+    } else if (arg == "--benchmark_list_tests" || arg == "--benchmark_list_tests=true" ||
+               arg == "--help") {
+      run_study = false;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  if (run_study) {
+    maya::RunEstimationThroughputStudy();
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

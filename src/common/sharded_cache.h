@@ -1,0 +1,195 @@
+// Lock-striped, bounded, thread-safe memoization cache.
+//
+// Maya's hot loops (kernel runtime estimation, collective estimation) keep
+// re-deriving values for keys they have already seen — within one trace and
+// across the thousands of trials a config search evaluates (§7.2–7.3). A
+// ShardedCache memoizes those computations with per-shard mutexes so many
+// search threads can hit it concurrently without serializing on one lock.
+//
+// Values must be deterministic functions of their key: concurrent misses on
+// the same key may compute twice, and whichever insert lands first wins.
+#ifndef SRC_COMMON_SHARDED_CACHE_H_
+#define SRC_COMMON_SHARDED_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+
+namespace maya {
+
+struct ShardedCacheOptions {
+  // Rounded up to a power of two. More shards = less contention.
+  size_t num_shards = 32;
+  // Total entry bound across all shards; 0 means unbounded. When a shard
+  // fills, an arbitrary resident entry is evicted per insert (the estimate
+  // working set is far smaller than the default bound in practice, so
+  // eviction is a safety valve, not a tuning knob).
+  size_t max_entries = 1u << 20;
+};
+
+// Monotonic counters, aggregated across shards. hits/misses count Lookup and
+// GetOrCompute outcomes; insertions/evictions count entry turnover.
+struct ShardedCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  uint64_t entries = 0;
+
+  double hit_rate() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>,
+          typename Eq = std::equal_to<Key>>
+class ShardedCache {
+ public:
+  explicit ShardedCache(ShardedCacheOptions options = {}) {
+    size_t shards = 1;
+    while (shards < options.num_shards) {
+      shards <<= 1;
+    }
+    shards_ = std::vector<Shard>(shards);
+    shard_capacity_ = options.max_entries == 0
+                          ? 0
+                          : std::max<size_t>(1, options.max_entries / shards);
+  }
+
+  ShardedCache(const ShardedCache&) = delete;
+  ShardedCache& operator=(const ShardedCache&) = delete;
+
+  std::optional<Value> Lookup(const Key& key) const {
+    const Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+      ++shard.misses;
+      return std::nullopt;
+    }
+    ++shard.hits;
+    return it->second;
+  }
+
+  // Inserts (or overwrites) the value for `key`, evicting an arbitrary
+  // resident entry first when the shard is at capacity.
+  void Insert(const Key& key, Value value) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    InsertLocked(shard, key, std::move(value));
+  }
+
+  // Returns the cached value, or computes, caches, and returns it. `compute`
+  // runs outside the shard lock so slow computations never block the shard.
+  template <typename Fn>
+  Value GetOrCompute(const Key& key, Fn&& compute) {
+    {
+      Shard& shard = ShardFor(key);
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      auto it = shard.map.find(key);
+      if (it != shard.map.end()) {
+        ++shard.hits;
+        return it->second;
+      }
+      ++shard.misses;
+    }
+    Value value = compute();
+    Insert(key, value);
+    return value;
+  }
+
+  size_t size() const {
+    size_t total = 0;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      total += shard.map.size();
+    }
+    return total;
+  }
+
+  void Clear() {
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.map.clear();
+    }
+  }
+
+  ShardedCacheStats stats() const {
+    ShardedCacheStats stats;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      stats.hits += shard.hits;
+      stats.misses += shard.misses;
+      stats.insertions += shard.insertions;
+      stats.evictions += shard.evictions;
+      stats.entries += shard.map.size();
+    }
+    return stats;
+  }
+
+  size_t num_shards() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<Key, Value, Hash, Eq> map;
+    // Guarded by mutex (plain integers: cheaper than atomics under the lock).
+    mutable uint64_t hits = 0;
+    mutable uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+    size_t evict_cursor = 0;
+  };
+
+  // The unordered_map consumes the low hash bits for bucketing; shard
+  // selection re-diffuses the hash and takes high bits so shards stay
+  // decorrelated even for weak hashers (e.g. identity std::hash<int>).
+  size_t ShardIndex(const Key& key) const {
+    return (SplitMix64(Hash{}(key)) >> 32) & (shards_.size() - 1);
+  }
+  Shard& ShardFor(const Key& key) { return shards_[ShardIndex(key)]; }
+  const Shard& ShardFor(const Key& key) const { return shards_[ShardIndex(key)]; }
+
+  void InsertLocked(Shard& shard, const Key& key, Value value) {
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      it->second = std::move(value);
+      return;
+    }
+    if (shard_capacity_ != 0 && shard.map.size() >= shard_capacity_) {
+      // Pseudo-random victim via a rotating bucket cursor. (Erasing begin()
+      // would evict the most recently inserted entry on common
+      // implementations, pinning stale entries once the shard fills.)
+      const size_t buckets = shard.map.bucket_count();
+      size_t bucket = shard.evict_cursor++ % buckets;
+      for (size_t probe = 0; probe < buckets; ++probe, bucket = (bucket + 1) % buckets) {
+        auto victim = shard.map.begin(bucket);
+        if (victim != shard.map.end(bucket)) {
+          const Key victim_key = victim->first;  // copy: erase-by-alias is unsafe
+          shard.map.erase(victim_key);
+          ++shard.evictions;
+          break;
+        }
+      }
+    }
+    shard.map.emplace(key, std::move(value));
+    ++shard.insertions;
+  }
+
+  size_t shard_capacity_ = 0;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace maya
+
+#endif  // SRC_COMMON_SHARDED_CACHE_H_

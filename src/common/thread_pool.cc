@@ -44,10 +44,29 @@ void ThreadPool::Wait() {
 }
 
 void ThreadPool::ParallelFor(size_t count, const std::function<void(size_t)>& fn) {
-  for (size_t i = 0; i < count; ++i) {
-    Submit([&fn, i] { fn(i); });
+  if (count == 0) {
+    return;
   }
-  Wait();
+  // Per-call completion latch: waits for exactly this call's tasks, so
+  // concurrent ParallelFor callers on a shared pool don't block on (or time)
+  // each other's work the way the pool-global Wait() would.
+  std::mutex done_mutex;
+  std::condition_variable done;
+  size_t remaining = count;
+  for (size_t i = 0; i < count; ++i) {
+    Submit([&fn, &done_mutex, &done, &remaining, i] {
+      fn(i);
+      // Notify under the lock: once the waiter observes remaining == 0 it
+      // returns and destroys the latch, so the notify must happen before
+      // this task releases the mutex.
+      std::unique_lock<std::mutex> lock(done_mutex);
+      if (--remaining == 0) {
+        done.notify_one();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done.wait(lock, [&remaining] { return remaining == 0; });
 }
 
 void ThreadPool::WorkerLoop() {

@@ -29,7 +29,9 @@ class ThreadPool {
   // waiting) has finished.
   void Wait();
 
-  // Convenience: runs fn(i) for i in [0, count) across the pool and waits.
+  // Convenience: runs fn(i) for i in [0, count) across the pool and waits
+  // for exactly those tasks (a per-call latch — safe and isolated for
+  // concurrent callers sharing one pool, unlike the pool-global Wait()).
   void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
 
   size_t num_threads() const { return threads_.size(); }

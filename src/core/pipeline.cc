@@ -1,6 +1,9 @@
 #include "src/core/pipeline.h"
 
+#include <algorithm>
 #include <chrono>
+#include <unordered_map>
+#include <vector>
 
 #include "src/common/hash.h"
 #include "src/common/strings.h"
@@ -23,6 +26,35 @@ class StageClock {
   std::chrono::steady_clock::time_point last_;
 };
 
+// Dedup map keyed by pointers into the trace (ops are not mutated structurally
+// during annotation, so the pointers stay valid) — avoids copying KernelDescs.
+struct KernelPtrHash {
+  size_t operator()(const KernelDesc* kernel) const {
+    return static_cast<size_t>(kernel->Hash());
+  }
+};
+struct KernelPtrEq {
+  bool operator()(const KernelDesc* a, const KernelDesc* b) const { return *a == *b; }
+};
+
+// Within one JobTrace a communicator uid pins the member list, so
+// (kind, bytes, comm_uid) identifies a collective without copying the group's
+// rank vector per op. The cross-trial cache key is the canonical
+// CollectiveRequest, built once per unique local key.
+struct LocalCollectiveKey {
+  CollectiveKind kind;
+  uint64_t bytes;
+  uint64_t comm_uid;
+  bool operator==(const LocalCollectiveKey& other) const = default;
+};
+struct LocalCollectiveKeyHash {
+  size_t operator()(const LocalCollectiveKey& key) const {
+    uint64_t h = HashCombine(kFnvOffsetBasis, static_cast<uint64_t>(key.kind));
+    h = HashCombine(h, key.bytes);
+    return static_cast<size_t>(HashCombine(h, key.comm_uid));
+  }
+};
+
 }  // namespace
 
 std::string PredictionReport::Summary() const {
@@ -37,38 +69,173 @@ std::string PredictionReport::Summary() const {
 
 MayaPipeline::MayaPipeline(const ClusterSpec& cluster,
                            const KernelRuntimeEstimator* kernel_estimator,
-                           const CollectiveEstimator* collective_estimator)
+                           const CollectiveEstimator* collective_estimator,
+                           MayaPipelineOptions options)
     : cluster_(cluster),
       kernel_estimator_(kernel_estimator),
-      collective_estimator_(collective_estimator) {
+      collective_estimator_(collective_estimator),
+      options_(options),
+      kernel_estimate_cache_(
+          ShardedCacheOptions{options.estimate_cache_shards, options.estimate_cache_entries}),
+      collective_estimate_cache_(
+          ShardedCacheOptions{options.estimate_cache_shards, options.estimate_cache_entries}) {
   CHECK(kernel_estimator_ != nullptr);
   CHECK(collective_estimator_ != nullptr);
+  if (options_.estimation_threads > 0) {
+    estimation_pool_ =
+        std::make_unique<ThreadPool>(static_cast<size_t>(options_.estimation_threads));
+  }
 }
 
-void MayaPipeline::AnnotateDurations(JobTrace& job, const GroundTruthExecutor* oracle) const {
-  for (WorkerTrace& worker : job.workers) {
-    for (size_t i = 0; i < worker.ops.size(); ++i) {
-      TraceOp& op = worker.ops[i];
-      if (op.type == TraceOpType::kKernelLaunch) {
-        if (oracle != nullptr) {
-          // Profiled actual runtime of this exact execution instance.
+void MayaPipeline::PredictKernels(const std::vector<const KernelDesc*>& kernels,
+                                  double* out) const {
+  const size_t count = kernels.size();
+  if (estimation_pool_ == nullptr || count < options_.parallel_estimation_threshold) {
+    kernel_estimator_->PredictUsBatch(kernels.data(), count, out);
+    return;
+  }
+  // Fan the unique batch out in contiguous chunks; slots are disjoint, so
+  // workers write without synchronization. ParallelFor's per-call latch keeps
+  // concurrent callers (search trials annotating at once) isolated: each
+  // waits for its own chunks only.
+  const size_t chunk =
+      std::max<size_t>(256, count / (estimation_pool_->num_threads() * 4));
+  const size_t num_chunks = (count + chunk - 1) / chunk;
+  estimation_pool_->ParallelFor(num_chunks, [&](size_t c) {
+    const size_t begin = c * chunk;
+    const size_t len = std::min(chunk, count - begin);
+    kernel_estimator_->PredictUsBatch(kernels.data() + begin, len, out + begin);
+  });
+}
+
+EstimationStats MayaPipeline::AnnotateDurations(JobTrace& job,
+                                                const GroundTruthExecutor* oracle) const {
+  EstimationStats stats;
+  if (oracle != nullptr) {
+    // Profiled actual runtime of each exact execution instance: per-instance
+    // noise makes oracle durations non-memoizable by design (Table 3).
+    for (WorkerTrace& worker : job.workers) {
+      for (size_t i = 0; i < worker.ops.size(); ++i) {
+        TraceOp& op = worker.ops[i];
+        if (op.type == TraceOpType::kKernelLaunch) {
+          ++stats.kernel_ops;
           op.duration_us = oracle->kernel_model().NoisyUs(
               op.kernel, HashCombine(static_cast<uint64_t>(worker.rank), i));
-        } else {
-          op.duration_us = kernel_estimator_->PredictUs(op.kernel);
-        }
-      } else if (op.type == TraceOpType::kCollective) {
-        const CommGroup& group = job.comm(op.collective.comm_uid);
-        CollectiveRequest request{op.collective.kind, op.collective.bytes, group.members};
-        if (oracle != nullptr) {
+        } else if (op.type == TraceOpType::kCollective) {
+          ++stats.collective_ops;
+          const CommGroup& group = job.comm(op.collective.comm_uid);
+          CollectiveRequest request{op.collective.kind, op.collective.bytes, group.members};
           op.duration_us = oracle->collective_model().NoisyUs(
               request, HashCombine(op.collective.comm_uid, op.collective.seq));
-        } else {
-          op.duration_us = collective_estimator_->PredictUs(request, cluster_);
         }
       }
     }
+    return stats;
   }
+
+  // Pass 1: dedup. Collect the unique kernels / collectives and record, in
+  // op-walk order, which unique slot each op resolves to.
+  size_t total_ops = 0;
+  for (const WorkerTrace& worker : job.workers) {
+    total_ops += worker.ops.size();
+  }
+  std::unordered_map<const KernelDesc*, uint32_t, KernelPtrHash, KernelPtrEq> kernel_slots;
+  std::vector<const KernelDesc*> unique_kernels;
+  std::vector<uint32_t> kernel_op_slots;
+  kernel_op_slots.reserve(total_ops);
+  std::unordered_map<LocalCollectiveKey, uint32_t, LocalCollectiveKeyHash> collective_slots;
+  std::vector<LocalCollectiveKey> unique_collectives;
+  std::vector<uint32_t> collective_op_slots;
+  collective_op_slots.reserve(total_ops / 4);
+  for (WorkerTrace& worker : job.workers) {
+    for (TraceOp& op : worker.ops) {
+      if (op.type == TraceOpType::kKernelLaunch) {
+        auto [it, inserted] =
+            kernel_slots.try_emplace(&op.kernel, static_cast<uint32_t>(unique_kernels.size()));
+        if (inserted) {
+          unique_kernels.push_back(&op.kernel);
+        }
+        kernel_op_slots.push_back(it->second);
+      } else if (op.type == TraceOpType::kCollective) {
+        const LocalCollectiveKey key{op.collective.kind, op.collective.bytes,
+                                     op.collective.comm_uid};
+        auto [it, inserted] =
+            collective_slots.try_emplace(key, static_cast<uint32_t>(unique_collectives.size()));
+        if (inserted) {
+          unique_collectives.push_back(key);
+        }
+        collective_op_slots.push_back(it->second);
+      }
+    }
+  }
+  stats.kernel_ops = kernel_op_slots.size();
+  stats.unique_kernels = unique_kernels.size();
+  stats.collective_ops = collective_op_slots.size();
+  stats.unique_collectives = unique_collectives.size();
+
+  // Pass 2: resolve each unique kernel once — from the cross-trial cache
+  // when possible, otherwise through batched (optionally parallel) inference.
+  std::vector<double> kernel_durations(unique_kernels.size());
+  if (options_.enable_estimate_cache) {
+    std::vector<uint32_t> miss_slots;
+    std::vector<const KernelDesc*> miss_kernels;
+    for (size_t i = 0; i < unique_kernels.size(); ++i) {
+      if (std::optional<double> hit = kernel_estimate_cache_.Lookup(*unique_kernels[i])) {
+        kernel_durations[i] = *hit;
+        ++stats.cache_hits;
+      } else {
+        miss_slots.push_back(static_cast<uint32_t>(i));
+        miss_kernels.push_back(unique_kernels[i]);
+      }
+    }
+    if (!miss_kernels.empty()) {
+      std::vector<double> predicted(miss_kernels.size());
+      PredictKernels(miss_kernels, predicted.data());
+      for (size_t j = 0; j < miss_kernels.size(); ++j) {
+        kernel_durations[miss_slots[j]] = predicted[j];
+        kernel_estimate_cache_.Insert(*miss_kernels[j], predicted[j]);
+      }
+      stats.cache_misses += miss_kernels.size();
+    }
+  } else {
+    PredictKernels(unique_kernels, kernel_durations.data());
+    stats.cache_misses += unique_kernels.size();
+  }
+
+  // Unique collectives (few per trace): canonical request built once each.
+  std::vector<double> collective_durations(unique_collectives.size());
+  for (size_t i = 0; i < unique_collectives.size(); ++i) {
+    const LocalCollectiveKey& key = unique_collectives[i];
+    CollectiveRequest request{key.kind, key.bytes, job.comm(key.comm_uid).members};
+    if (options_.enable_estimate_cache) {
+      if (std::optional<double> hit = collective_estimate_cache_.Lookup(request)) {
+        collective_durations[i] = *hit;
+        ++stats.cache_hits;
+        continue;
+      }
+      ++stats.cache_misses;
+      collective_durations[i] = collective_estimator_->PredictUs(request, cluster_);
+      collective_estimate_cache_.Insert(request, collective_durations[i]);
+    } else {
+      ++stats.cache_misses;
+      collective_durations[i] = collective_estimator_->PredictUs(request, cluster_);
+    }
+  }
+
+  // Pass 3: broadcast durations to every matching op, consuming the slot
+  // streams in the same walk order as pass 1.
+  size_t kernel_cursor = 0;
+  size_t collective_cursor = 0;
+  for (WorkerTrace& worker : job.workers) {
+    for (TraceOp& op : worker.ops) {
+      if (op.type == TraceOpType::kKernelLaunch) {
+        op.duration_us = kernel_durations[kernel_op_slots[kernel_cursor++]];
+      } else if (op.type == TraceOpType::kCollective) {
+        op.duration_us = collective_durations[collective_op_slots[collective_cursor++]];
+      }
+    }
+  }
+  return stats;
 }
 
 Result<PredictionReport> MayaPipeline::Predict(const PredictionRequest& request) const {
@@ -101,7 +268,7 @@ Result<PredictionReport> MayaPipeline::Predict(const PredictionRequest& request)
   report.timings.collation_ms = clock.LapMs();
 
   // (3) Kernel runtime estimation.
-  AnnotateDurations(*job, request.oracle);
+  report.estimation = AnnotateDurations(*job, request.oracle);
   report.timings.estimation_ms = clock.LapMs();
 
   // (4) End-to-end simulation (no SM contention: Maya's model, §8).

@@ -6,8 +6,12 @@
 #ifndef SRC_CORE_PIPELINE_H_
 #define SRC_CORE_PIPELINE_H_
 
+#include <cstdint>
+#include <memory>
 #include <string>
 
+#include "src/common/sharded_cache.h"
+#include "src/common/thread_pool.h"
 #include "src/dlf/worker_launcher.h"
 #include "src/estimator/collective_estimator.h"
 #include "src/estimator/kernel_estimator.h"
@@ -15,6 +19,51 @@
 #include "src/sim/simulator.h"
 
 namespace maya {
+
+// Estimation-stage knobs. The estimate cache applies the paper's dedup lever
+// (Fig. 14) to stage 3: a kernel/collective estimate is computed once per
+// unique key and reused within a trace, across Predict calls, and across the
+// thousands of trials of a config search. Estimators are pure functions of
+// their inputs, so caching is output-preserving (bit-identical on vs. off).
+struct MayaPipelineOptions {
+  bool enable_estimate_cache = true;
+  // Entry bound / lock-stripe count per estimate cache (kernel, collective).
+  size_t estimate_cache_entries = 1u << 20;
+  size_t estimate_cache_shards = 32;
+  // Worker threads for unique-kernel prediction; 0 keeps estimation serial
+  // (the right default inside a concurrent search, which parallelizes across
+  // trials instead).
+  int estimation_threads = 0;
+  // Minimum unique kernels before the estimation pool engages.
+  size_t parallel_estimation_threshold = 1024;
+};
+
+// Per-Predict estimation-stage counters (plumbed into PredictionReport and
+// aggregated across trials in SearchOutcome).
+struct EstimationStats {
+  uint64_t kernel_ops = 0;          // kernel-launch ops annotated
+  uint64_t unique_kernels = 0;      // distinct KernelDescs among them
+  uint64_t collective_ops = 0;      // collective ops annotated
+  uint64_t unique_collectives = 0;  // distinct (kind, bytes, group) keys
+  // Unique keys served from / missing in the cross-trial estimate cache.
+  // With the cache disabled every unique key counts as a miss.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+
+  uint64_t unique_ops() const { return unique_kernels + unique_collectives; }
+  double hit_rate() const {
+    const uint64_t total = cache_hits + cache_misses;
+    return total == 0 ? 0.0 : static_cast<double>(cache_hits) / static_cast<double>(total);
+  }
+  void Accumulate(const EstimationStats& other) {
+    kernel_ops += other.kernel_ops;
+    unique_kernels += other.unique_kernels;
+    collective_ops += other.collective_ops;
+    unique_collectives += other.unique_collectives;
+    cache_hits += other.cache_hits;
+    cache_misses += other.cache_misses;
+  }
+};
 
 struct PredictionRequest {
   ModelConfig model;
@@ -50,6 +99,7 @@ struct PredictionReport {
 
   StageTimings timings;
   CollationStats collation;
+  EstimationStats estimation;
   int full_workers_emulated = 0;
 
   std::string Summary() const;
@@ -61,20 +111,46 @@ class MayaPipeline {
   // estimator is pluggable (profiled interpolation by default; an
   // ASTRA-sim-like analytical model for hyperscale runs).
   MayaPipeline(const ClusterSpec& cluster, const KernelRuntimeEstimator* kernel_estimator,
-               const CollectiveEstimator* collective_estimator);
+               const CollectiveEstimator* collective_estimator,
+               MayaPipelineOptions options = {});
 
-  // Full pipeline: emulate -> collate -> estimate -> simulate.
+  // Full pipeline: emulate -> collate -> estimate -> simulate. Thread-safe:
+  // search trials call this concurrently against one pipeline.
   Result<PredictionReport> Predict(const PredictionRequest& request) const;
 
   // Stage 3 alone: annotates kernel + collective durations in place.
-  void AnnotateDurations(JobTrace& job, const GroundTruthExecutor* oracle) const;
+  // Deduplicates the trace's ops, predicts each unique key once (through the
+  // cross-trial estimate cache, in parallel when configured), and broadcasts
+  // durations to all matching ops. Oracle mode bypasses the cache: oracle
+  // durations are per-instance noisy, not functions of the key.
+  EstimationStats AnnotateDurations(JobTrace& job, const GroundTruthExecutor* oracle) const;
 
   const ClusterSpec& cluster() const { return cluster_; }
+  const MayaPipelineOptions& options() const { return options_; }
+
+  // Lifetime counters of the cross-trial estimate caches.
+  ShardedCacheStats KernelCacheStats() const { return kernel_estimate_cache_.stats(); }
+  ShardedCacheStats CollectiveCacheStats() const { return collective_estimate_cache_.stats(); }
+  void ClearEstimateCache() {
+    kernel_estimate_cache_.Clear();
+    collective_estimate_cache_.Clear();
+  }
 
  private:
+  // Predicts unique kernels, fanning out over the estimation pool when the
+  // batch is large enough; writes predictions to out[i].
+  void PredictKernels(const std::vector<const KernelDesc*>& kernels, double* out) const;
+
   ClusterSpec cluster_;
   const KernelRuntimeEstimator* kernel_estimator_;
   const CollectiveEstimator* collective_estimator_;
+  MayaPipelineOptions options_;
+  // Cross-trial estimate memoization; mutable because annotation is
+  // observably const (cached values are bit-identical to fresh predictions).
+  mutable ShardedCache<KernelDesc, double, KernelDescHash> kernel_estimate_cache_;
+  mutable ShardedCache<CollectiveRequest, double, CollectiveRequestHash>
+      collective_estimate_cache_;
+  std::unique_ptr<ThreadPool> estimation_pool_;  // null when estimation_threads == 0
 };
 
 // MFU given a measured/predicted iteration time.

@@ -1,9 +1,28 @@
 #include "src/cuda/kernel_desc.h"
 
 #include "src/common/check.h"
+#include "src/common/hash.h"
+#include "src/common/rng.h"
 #include "src/common/strings.h"
 
 namespace maya {
+
+uint64_t KernelDesc::Hash() const {
+  // Word-wise FNV-1a over (kind, dtype, params, fused_op_count) with a
+  // SplitMix64 finalizer: one multiply per word keeps this cheap on the
+  // per-op dedup path. flops / bytes_read / bytes_written are derived
+  // deterministically from these fields by every factory, so omitting them
+  // keeps the hash consistent with operator== (equal descs hash equal;
+  // collisions are resolved by the full equality check).
+  uint64_t h = kFnvOffsetBasis;
+  h = (h ^ (static_cast<uint64_t>(kind) | static_cast<uint64_t>(dtype) << 8 |
+            static_cast<uint64_t>(fused_op_count) << 16)) *
+      kFnvPrime;
+  for (int64_t param : params) {
+    h = (h ^ static_cast<uint64_t>(param)) * kFnvPrime;
+  }
+  return SplitMix64(h);
+}
 
 const char* KernelKindName(KernelKind kind) {
   switch (kind) {

@@ -79,6 +79,19 @@ struct KernelDesc {
   // Arithmetic intensity (flops per byte); 0 for pure-memory ops.
   double intensity() const;
   std::string ToString() const;
+
+  // Canonical identity over every estimation-relevant field. Two descs that
+  // compare equal are indistinguishable to every estimator, so their
+  // predicted runtimes may be shared (the estimate-cache invariant).
+  bool operator==(const KernelDesc& other) const = default;
+  uint64_t Hash() const;
+};
+
+// Hasher for unordered containers / ShardedCache keyed by KernelDesc.
+struct KernelDescHash {
+  size_t operator()(const KernelDesc& kernel) const {
+    return static_cast<size_t>(kernel.Hash());
+  }
 };
 
 // ---- Factories (shapes follow framework conventions) ----------------------

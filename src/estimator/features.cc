@@ -9,8 +9,7 @@ double Log2p1(double x) { return std::log2(1.0 + (x > 0.0 ? x : 0.0)); }
 
 }  // namespace
 
-std::vector<double> KernelFeatures(const KernelDesc& kernel) {
-  std::vector<double> features(kKernelFeatureCount);
+void KernelFeaturesInto(const KernelDesc& kernel, double* features) {
   features[0] = Log2p1(static_cast<double>(kernel.params[0]));
   features[1] = Log2p1(static_cast<double>(kernel.params[1]));
   features[2] = Log2p1(static_cast<double>(kernel.params[2]));
@@ -32,7 +31,6 @@ std::vector<double> KernelFeatures(const KernelDesc& kernel) {
   features[13] = kernel.params[0] % 128 == 0 ? 1.0 : 0.0;
   features[14] = kernel.params[1] % 128 == 0 ? 1.0 : 0.0;
   features[15] = Log2p1(static_cast<double>(kernel.params[2]));
-  return features;
 }
 
 const std::vector<std::string>& KernelFeatureNames() {

@@ -7,6 +7,7 @@
 #ifndef SRC_ESTIMATOR_FEATURES_H_
 #define SRC_ESTIMATOR_FEATURES_H_
 
+#include <array>
 #include <string>
 #include <vector>
 
@@ -16,7 +17,17 @@ namespace maya {
 
 inline constexpr int kKernelFeatureCount = 16;
 
-std::vector<double> KernelFeatures(const KernelDesc& kernel);
+// Fixed-width stack buffer for the hot inference path: extraction into a
+// caller-owned array performs no heap allocation per kernel.
+using KernelFeatureBuffer = std::array<double, kKernelFeatureCount>;
+void KernelFeaturesInto(const KernelDesc& kernel, double* out);
+
+inline std::vector<double> KernelFeatures(const KernelDesc& kernel) {
+  std::vector<double> features(kKernelFeatureCount);
+  KernelFeaturesInto(kernel, features.data());
+  return features;
+}
+
 // Human-readable names, index-aligned with KernelFeatures output.
 const std::vector<std::string>& KernelFeatureNames();
 

@@ -1,5 +1,6 @@
 #include "src/estimator/kernel_estimator.h"
 
+#include <array>
 #include <cmath>
 
 #include "src/common/check.h"
@@ -48,7 +49,45 @@ double RandomForestKernelEstimator::PredictUs(const KernelDesc& kernel) const {
     ++fallback_predictions;
     return RooflineFallbackUs(kernel);
   }
-  return std::exp(it->second.Predict(KernelFeatures(kernel)));
+  KernelFeatureBuffer features;
+  KernelFeaturesInto(kernel, features.data());
+  return std::exp(it->second.Predict(features.data()));
+}
+
+void RandomForestKernelEstimator::PredictUsBatch(const KernelDesc* const* kernels, size_t count,
+                                                 double* out) const {
+  // Group batch slots by kind so each kind's forest traverses a contiguous
+  // feature matrix with its trees cache-hot. Fixed-size bucket array: no
+  // tree-node allocations on the hot path.
+  std::array<std::vector<size_t>, static_cast<size_t>(KernelKind::kNumKinds)> by_kind;
+  for (size_t i = 0; i < count; ++i) {
+    by_kind[static_cast<size_t>(kernels[i]->kind)].push_back(i);
+  }
+  std::vector<double> rows;
+  std::vector<double> predictions;
+  for (size_t kind_index = 0; kind_index < by_kind.size(); ++kind_index) {
+    const std::vector<size_t>& slots = by_kind[kind_index];
+    if (slots.empty()) {
+      continue;
+    }
+    auto it = forests_.find(static_cast<KernelKind>(kind_index));
+    if (it == forests_.end()) {
+      fallback_predictions += slots.size();
+      for (size_t slot : slots) {
+        out[slot] = RooflineFallbackUs(*kernels[slot]);
+      }
+      continue;
+    }
+    rows.resize(slots.size() * kKernelFeatureCount);
+    predictions.resize(slots.size());
+    for (size_t i = 0; i < slots.size(); ++i) {
+      KernelFeaturesInto(*kernels[slots[i]], rows.data() + i * kKernelFeatureCount);
+    }
+    it->second.PredictBatch(rows.data(), slots.size(), kKernelFeatureCount, predictions.data());
+    for (size_t i = 0; i < slots.size(); ++i) {
+      out[slots[i]] = std::exp(predictions[i]);
+    }
+  }
 }
 
 std::map<KernelKind, double> PerKindMape(const KernelRuntimeEstimator& estimator,

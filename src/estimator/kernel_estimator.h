@@ -26,6 +26,15 @@ class KernelRuntimeEstimator {
   virtual std::string name() const = 0;
   // Predicted device-side duration, microseconds.
   virtual double PredictUs(const KernelDesc& kernel) const = 0;
+  // Batched prediction: out[i] = predicted duration of *kernels[i] for i in
+  // [0, count). The default delegates to PredictUs per kernel; model-backed
+  // estimators override it with throughput-oriented inference.
+  // Implementations must be bit-identical to per-kernel PredictUs calls.
+  virtual void PredictUsBatch(const KernelDesc* const* kernels, size_t count, double* out) const {
+    for (size_t i = 0; i < count; ++i) {
+      out[i] = PredictUs(*kernels[i]);
+    }
+  }
 };
 
 // One profiled observation: kernel metadata + measured runtime.
@@ -44,10 +53,17 @@ class RandomForestKernelEstimator final : public KernelRuntimeEstimator {
   void Fit(const KernelDataset& samples);
   std::string name() const override { return "random-forest"; }
   double PredictUs(const KernelDesc& kernel) const override;
+  // Groups the batch by kernel kind and runs each kind's forest over a
+  // contiguous feature matrix (trees-outer batched traversal).
+  void PredictUsBatch(const KernelDesc* const* kernels, size_t count,
+                      double* out) const override;
 
   bool HasModelFor(KernelKind kind) const { return forests_.count(kind) > 0; }
-  // Count of predictions served by the roofline fallback (unseen kinds).
-  // Atomic: predictions run concurrently from search trials.
+  // Count of estimator invocations served by the roofline fallback (unseen
+  // kinds). Counts what this estimator was actually asked to predict: the
+  // pipeline dedups ops and memoizes estimates, so with caching this tracks
+  // unique fallback keys, not per-op trace annotations. Atomic: predictions
+  // run concurrently from search trials.
   mutable std::atomic<uint64_t> fallback_predictions{0};
 
  private:

@@ -78,6 +78,16 @@ SplitCandidate BestSplitOnFeature(const Dataset& data, std::vector<uint32_t>& in
 
 }  // namespace
 
+int32_t RegressionTree::AppendNode(double value) {
+  const int32_t node_index = static_cast<int32_t>(feature_.size());
+  feature_.push_back(-1);
+  threshold_.push_back(0.0);
+  left_.push_back(-1);
+  right_.push_back(-1);
+  value_.push_back(value);
+  return node_index;
+}
+
 int32_t RegressionTree::Build(const Dataset& data, std::vector<uint32_t>& indices, size_t begin,
                               size_t end, int depth, const RandomForestOptions& options,
                               Rng& rng) {
@@ -89,9 +99,7 @@ int32_t RegressionTree::Build(const Dataset& data, std::vector<uint32_t>& indice
   }
   const double mean = sum / static_cast<double>(n);
 
-  const int32_t node_index = static_cast<int32_t>(nodes_.size());
-  nodes_.push_back(Node{});
-  nodes_[static_cast<size_t>(node_index)].value = mean;
+  const int32_t node_index = AppendNode(mean);
 
   if (depth >= options.max_depth || n < 2 * static_cast<size_t>(options.min_samples_leaf)) {
     return node_index;
@@ -134,30 +142,37 @@ int32_t RegressionTree::Build(const Dataset& data, std::vector<uint32_t>& indice
 
   const int32_t left = Build(data, indices, begin, mid, depth + 1, options, rng);
   const int32_t right = Build(data, indices, mid, end, depth + 1, options, rng);
-  nodes_[static_cast<size_t>(node_index)].feature = best_feature;
-  nodes_[static_cast<size_t>(node_index)].threshold = best.threshold;
-  nodes_[static_cast<size_t>(node_index)].left = left;
-  nodes_[static_cast<size_t>(node_index)].right = right;
+  feature_[static_cast<size_t>(node_index)] = best_feature;
+  threshold_[static_cast<size_t>(node_index)] = best.threshold;
+  left_[static_cast<size_t>(node_index)] = left;
+  right_[static_cast<size_t>(node_index)] = right;
   return node_index;
 }
 
 void RegressionTree::Fit(const Dataset& data, const std::vector<uint32_t>& sample_indices,
                          const RandomForestOptions& options, Rng& rng) {
   CHECK(!sample_indices.empty());
-  nodes_.clear();
+  feature_.clear();
+  threshold_.clear();
+  left_.clear();
+  right_.clear();
+  value_.clear();
   std::vector<uint32_t> indices = sample_indices;
   Build(data, indices, 0, indices.size(), 0, options, rng);
 }
 
-double RegressionTree::Predict(const std::vector<double>& features) const {
-  CHECK(!nodes_.empty());
+double RegressionTree::Predict(const double* features) const {
+  CHECK(!feature_.empty());
   int32_t node = 0;
-  while (nodes_[static_cast<size_t>(node)].feature >= 0) {
-    const Node& current = nodes_[static_cast<size_t>(node)];
-    node = features[static_cast<size_t>(current.feature)] <= current.threshold ? current.left
-                                                                               : current.right;
+  int32_t split_feature = feature_[0];
+  while (split_feature >= 0) {
+    node = features[static_cast<size_t>(split_feature)] <=
+                   threshold_[static_cast<size_t>(node)]
+               ? left_[static_cast<size_t>(node)]
+               : right_[static_cast<size_t>(node)];
+    split_feature = feature_[static_cast<size_t>(node)];
   }
-  return nodes_[static_cast<size_t>(node)].value;
+  return value_[static_cast<size_t>(node)];
 }
 
 void RandomForestRegressor::Fit(const Dataset& data) {
@@ -177,13 +192,32 @@ void RandomForestRegressor::Fit(const Dataset& data) {
   }
 }
 
-double RandomForestRegressor::Predict(const std::vector<double>& features) const {
+double RandomForestRegressor::Predict(const double* features) const {
   CHECK(trained());
   double sum = 0.0;
   for (const auto& tree : trees_) {
     sum += tree.Predict(features);
   }
   return sum / static_cast<double>(trees_.size());
+}
+
+void RandomForestRegressor::PredictBatch(const double* rows, size_t row_count, size_t row_width,
+                                         double* out) const {
+  CHECK(trained());
+  CHECK_GT(row_width, 0u);
+  std::fill(out, out + row_count, 0.0);
+  // Trees outer, rows inner: one tree's SoA node arrays service the whole
+  // batch before the next tree is touched. Accumulation visits trees in the
+  // same order as Predict, so results are bit-identical to per-row calls.
+  for (const auto& tree : trees_) {
+    const double* row = rows;
+    for (size_t i = 0; i < row_count; ++i, row += row_width) {
+      out[i] += tree.Predict(row);
+    }
+  }
+  for (size_t i = 0; i < row_count; ++i) {
+    out[i] /= static_cast<double>(trees_.size());
+  }
 }
 
 }  // namespace maya

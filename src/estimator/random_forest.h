@@ -31,27 +31,32 @@ struct RandomForestOptions {
   uint64_t seed = 17;
 };
 
-// A single CART regression tree (flattened node array).
+// A single CART regression tree. Nodes live in a contiguous struct-of-arrays
+// layout (parallel feature/threshold/child/value vectors): traversal only
+// touches the arrays it branches on, so the hot inference loop stays inside a
+// few cache lines instead of striding over fat AoS nodes.
 class RegressionTree {
  public:
   void Fit(const Dataset& data, const std::vector<uint32_t>& sample_indices,
            const RandomForestOptions& options, Rng& rng);
-  double Predict(const std::vector<double>& features) const;
-  size_t node_count() const { return nodes_.size(); }
+  // Iterative root-to-leaf descent; `features` must hold at least as many
+  // values as the widest feature index seen in training.
+  double Predict(const double* features) const;
+  double Predict(const std::vector<double>& features) const { return Predict(features.data()); }
+  size_t node_count() const { return feature_.size(); }
 
  private:
-  struct Node {
-    int feature = -1;        // -1 == leaf
-    double threshold = 0.0;
-    int32_t left = -1;
-    int32_t right = -1;
-    double value = 0.0;      // leaf prediction (mean target)
-  };
-
   int32_t Build(const Dataset& data, std::vector<uint32_t>& indices, size_t begin, size_t end,
                 int depth, const RandomForestOptions& options, Rng& rng);
+  int32_t AppendNode(double value);
 
-  std::vector<Node> nodes_;
+  // SoA node storage, index-aligned: feature_[i] < 0 marks node i a leaf with
+  // prediction value_[i]; otherwise branch on threshold_[i] to left_/right_.
+  std::vector<int32_t> feature_;
+  std::vector<double> threshold_;
+  std::vector<int32_t> left_;
+  std::vector<int32_t> right_;
+  std::vector<double> value_;
 };
 
 class RandomForestRegressor {
@@ -60,7 +65,13 @@ class RandomForestRegressor {
 
   // Trains on the dataset; CHECK-fails on empty input.
   void Fit(const Dataset& data);
-  double Predict(const std::vector<double>& features) const;
+  double Predict(const double* features) const;
+  double Predict(const std::vector<double>& features) const { return Predict(features.data()); }
+  // Batched inference over `row_count` rows of `row_width` features each
+  // (row-major, contiguous). Iterates trees in the outer loop so each tree's
+  // node arrays stay cache-hot across the whole batch; out[i] receives the
+  // prediction for row i. Bit-identical to per-row Predict.
+  void PredictBatch(const double* rows, size_t row_count, size_t row_width, double* out) const;
   bool trained() const { return !trees_.empty(); }
   const RandomForestOptions& options() const { return options_; }
 

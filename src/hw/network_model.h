@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/hash.h"
 #include "src/hw/cluster_spec.h"
 
 namespace maya {
@@ -33,6 +34,27 @@ struct CollectiveRequest {
   CollectiveKind kind = CollectiveKind::kAllReduce;
   uint64_t bytes = 0;        // payload size per rank
   std::vector<int> ranks;    // participating global device ranks
+
+  // Canonical identity: every network model is a pure function of
+  // (kind, bytes, ranks) and the cluster, so for a fixed cluster equal
+  // requests have equal durations (the estimate-cache invariant).
+  bool operator==(const CollectiveRequest& other) const = default;
+  uint64_t Hash() const {
+    uint64_t h = HashCombine(kFnvOffsetBasis, static_cast<uint64_t>(kind));
+    h = HashCombine(h, bytes);
+    h = HashCombine(h, static_cast<uint64_t>(ranks.size()));
+    for (int rank : ranks) {
+      h = HashCombine(h, static_cast<uint64_t>(rank));
+    }
+    return h;
+  }
+};
+
+// Hasher for unordered containers / ShardedCache keyed by CollectiveRequest.
+struct CollectiveRequestHash {
+  size_t operator()(const CollectiveRequest& request) const {
+    return static_cast<size_t>(request.Hash());
+  }
 };
 
 class NetworkModel {

@@ -71,6 +71,7 @@ SearchOutcome RunSearch(const MayaPipeline& pipeline, const ModelConfig& model,
     outcome.stage_totals.collation_ms += report->timings.collation_ms;
     outcome.stage_totals.estimation_ms += report->timings.estimation_ms;
     outcome.stage_totals.simulation_ms += report->timings.simulation_ms;
+    outcome.estimation_totals.Accumulate(report->estimation);
     return trial;
   };
 
@@ -142,6 +143,7 @@ SearchOutcome RunSearch(const MayaPipeline& pipeline, const ModelConfig& model,
       // Stage timing accumulation is not thread-safe; run trials through the
       // pool but accumulate afterwards via the returned outcomes.
       std::vector<StageTimings> timings(to_run.size());
+      std::vector<EstimationStats> estimations(to_run.size());
       pool.ParallelFor(to_run.size(), [&](size_t j) {
         PredictionRequest request;
         request.model = model;
@@ -158,6 +160,7 @@ SearchOutcome RunSearch(const MayaPipeline& pipeline, const ModelConfig& model,
         }
         results[j] = trial;
         timings[j] = report->timings;
+        estimations[j] = report->estimation;
       });
       for (size_t j = 0; j < to_run.size(); ++j) {
         batch[to_run[j]].outcome = results[j];
@@ -165,6 +168,7 @@ SearchOutcome RunSearch(const MayaPipeline& pipeline, const ModelConfig& model,
         outcome.stage_totals.collation_ms += timings[j].collation_ms;
         outcome.stage_totals.estimation_ms += timings[j].estimation_ms;
         outcome.stage_totals.simulation_ms += timings[j].simulation_ms;
+        outcome.estimation_totals.Accumulate(estimations[j]);
       }
     }
 

@@ -49,6 +49,9 @@ struct SearchOutcome {
   double wall_ms = 0.0;
   // Summed Maya stage timings across executed trials (Table 6).
   StageTimings stage_totals;
+  // Summed estimation-stage counters across executed trials: total vs unique
+  // ops and the cross-trial estimate cache's hit/miss split.
+  EstimationStats estimation_totals;
   // (unique valid configs sampled, best MFU so far) — Fig. 16 series.
   std::vector<std::pair<int, double>> progress;
 };

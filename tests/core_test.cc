@@ -190,6 +190,77 @@ TEST_F(PipelineTest, ValidationMapeMatchesPaperShape) {
   EXPECT_LT(mape.at(KernelKind::kGemmStridedBatched), 14.0);
 }
 
+TEST_F(PipelineTest, EstimateCacheOnVsOffBitIdentical) {
+  // The tentpole invariant: memoizing estimates must not move any output.
+  MayaPipelineOptions cached_options;
+  ASSERT_TRUE(cached_options.enable_estimate_cache);
+  MayaPipelineOptions uncached_options;
+  uncached_options.enable_estimate_cache = false;
+  MayaPipeline cached(*cluster_, bank_->kernel.get(), bank_->collective.get(), cached_options);
+  MayaPipeline uncached(*cluster_, bank_->kernel.get(), bank_->collective.get(),
+                        uncached_options);
+  for (int tp : {1, 2}) {
+    TrainConfig config = BaseConfig();
+    config.tensor_parallel = tp;
+    PredictionRequest request{TinyGpt(), config};
+    // Two rounds each: round 2 exercises the warm-cache path.
+    for (int round = 0; round < 2; ++round) {
+      const Result<PredictionReport> a = cached.Predict(request);
+      const Result<PredictionReport> b = uncached.Predict(request);
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      EXPECT_EQ(a->iteration_time_us, b->iteration_time_us)
+          << "tp=" << tp << " round=" << round;
+      EXPECT_EQ(a->mfu, b->mfu) << "tp=" << tp << " round=" << round;
+    }
+  }
+  EXPECT_GT(cached.KernelCacheStats().hits, 0u);
+  EXPECT_EQ(uncached.KernelCacheStats().insertions, 0u);
+}
+
+TEST_F(PipelineTest, EstimateCachePersistsAcrossPredictCalls) {
+  MayaPipeline pipeline(*cluster_, bank_->kernel.get(), bank_->collective.get());
+  PredictionRequest request{TinyGpt(), BaseConfig()};
+  const Result<PredictionReport> cold = pipeline.Predict(request);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_GT(cold->estimation.kernel_ops, cold->estimation.unique_kernels);
+  EXPECT_GT(cold->estimation.cache_misses, 0u);
+  const Result<PredictionReport> warm = pipeline.Predict(request);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->estimation.cache_misses, 0u);
+  EXPECT_EQ(warm->estimation.cache_hits, warm->estimation.unique_ops());
+  EXPECT_EQ(warm->iteration_time_us, cold->iteration_time_us);
+}
+
+TEST_F(PipelineTest, ParallelEstimationMatchesSerial) {
+  MayaPipelineOptions parallel_options;
+  parallel_options.estimation_threads = 4;
+  parallel_options.parallel_estimation_threshold = 1;  // force the pool path
+  parallel_options.enable_estimate_cache = false;      // re-predict every call
+  MayaPipelineOptions serial_options;
+  serial_options.enable_estimate_cache = false;
+  MayaPipeline parallel(*cluster_, bank_->kernel.get(), bank_->collective.get(),
+                        parallel_options);
+  MayaPipeline serial(*cluster_, bank_->kernel.get(), bank_->collective.get(), serial_options);
+  PredictionRequest request{TinyGpt(), BaseConfig()};
+  const Result<PredictionReport> a = parallel.Predict(request);
+  const Result<PredictionReport> b = serial.Predict(request);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->iteration_time_us, b->iteration_time_us);
+}
+
+TEST_F(PipelineTest, OracleModeBypassesEstimateCache) {
+  MayaPipeline pipeline(*cluster_, bank_->kernel.get(), bank_->collective.get());
+  PredictionRequest request{TinyGpt(), BaseConfig()};
+  request.oracle = executor_;
+  const Result<PredictionReport> report = pipeline.Predict(request);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->estimation.kernel_ops, 0u);
+  EXPECT_EQ(report->estimation.cache_hits + report->estimation.cache_misses, 0u);
+  EXPECT_EQ(pipeline.KernelCacheStats().insertions, 0u);
+}
+
 TEST(ComputeMfuTest, ScalesInverselyWithTime) {
   const ClusterSpec cluster = H100Cluster(8);
   const ModelConfig model = Gpt3_2_7B();

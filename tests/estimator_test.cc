@@ -106,7 +106,69 @@ TEST(RegressionTreeTest, RespectsMinSamplesLeaf) {
   EXPECT_LE(tree.node_count(), 3u);
 }
 
+TEST(RandomForestTest, PredictBatchBitIdenticalToPredict) {
+  Dataset data;
+  Rng rng(11);
+  for (int i = 0; i < 500; ++i) {
+    const double x0 = rng.Uniform(0.0, 10.0);
+    const double x1 = rng.Uniform(0.0, 10.0);
+    data.Add({x0, x1}, x0 * x1);
+  }
+  RandomForestRegressor forest;
+  forest.Fit(data);
+  constexpr size_t kRows = 64;
+  constexpr size_t kWidth = 2;
+  std::vector<double> rows(kRows * kWidth);
+  Rng eval(12);
+  for (double& v : rows) {
+    v = eval.Uniform(0.0, 10.0);
+  }
+  std::vector<double> batched(kRows);
+  forest.PredictBatch(rows.data(), kRows, kWidth, batched.data());
+  for (size_t i = 0; i < kRows; ++i) {
+    EXPECT_DOUBLE_EQ(batched[i], forest.Predict(rows.data() + i * kWidth)) << "row " << i;
+  }
+}
+
 // ---- Features ------------------------------------------------------------------
+
+TEST(FeaturesTest, StackBufferMatchesVectorExtraction) {
+  const KernelDesc kernel = MakeGemm(768, 3072, 768, DType::kFp16, 4);
+  const std::vector<double> heap = KernelFeatures(kernel);
+  KernelFeatureBuffer stack_buffer;
+  KernelFeaturesInto(kernel, stack_buffer.data());
+  ASSERT_EQ(heap.size(), stack_buffer.size());
+  for (size_t i = 0; i < stack_buffer.size(); ++i) {
+    EXPECT_DOUBLE_EQ(heap[i], stack_buffer[i]) << KernelFeatureNames()[i];
+  }
+}
+
+TEST(KernelDescTest, HashAndEqualityAgree) {
+  const KernelDesc a = MakeGemm(1024, 1024, 1024, DType::kBf16);
+  const KernelDesc b = MakeGemm(1024, 1024, 1024, DType::kBf16);
+  const KernelDesc c = MakeGemm(1024, 1024, 2048, DType::kBf16);
+  const KernelDesc d = MakeGemm(1024, 1024, 1024, DType::kFp32);
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a == d);
+  EXPECT_NE(a.Hash(), c.Hash());
+  EXPECT_NE(a.Hash(), d.Hash());
+}
+
+TEST(CollectiveRequestTest, HashAndEqualityAgree) {
+  const CollectiveRequest a{CollectiveKind::kAllReduce, 1 << 20, {0, 1, 2, 3}};
+  const CollectiveRequest b{CollectiveKind::kAllReduce, 1 << 20, {0, 1, 2, 3}};
+  const CollectiveRequest c{CollectiveKind::kAllGather, 1 << 20, {0, 1, 2, 3}};
+  const CollectiveRequest d{CollectiveKind::kAllReduce, 1 << 20, {0, 1, 2, 7}};
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a == d);
+  EXPECT_NE(a.Hash(), c.Hash());
+  EXPECT_NE(a.Hash(), d.Hash());
+}
+
 
 TEST(FeaturesTest, FixedWidthAndNames) {
   const std::vector<double> features = KernelFeatures(MakeGemm(128, 256, 512, DType::kBf16));
@@ -168,6 +230,28 @@ TEST(KernelEstimatorTest, UnseenKindUsesRooflineFallback) {
       MakeConv(KernelKind::kConvForward, 8, 64, 56, 56, 64, 3, 3, 1, DType::kFp32));
   EXPECT_GT(us, 0.0);
   EXPECT_EQ(estimator.fallback_predictions.load(), 1u);
+}
+
+TEST(KernelEstimatorTest, BatchBitIdenticalToPerKernelPredict) {
+  RandomForestKernelEstimator estimator;
+  estimator.Fit(SyntheticGemmDataset(500, 21));
+  // Mix of trained (GEMM) and fallback (conv, memcpy) kinds.
+  std::vector<KernelDesc> kernels;
+  for (const KernelSample& sample : SyntheticGemmDataset(40, 22)) {
+    kernels.push_back(sample.kernel);
+  }
+  kernels.push_back(MakeConv(KernelKind::kConvForward, 8, 64, 56, 56, 64, 3, 3, 1,
+                             DType::kFp32));
+  kernels.push_back(MakeMemcpy(KernelKind::kMemcpyD2D, 1 << 24));
+  std::vector<const KernelDesc*> pointers;
+  for (const KernelDesc& kernel : kernels) {
+    pointers.push_back(&kernel);
+  }
+  std::vector<double> batched(kernels.size());
+  estimator.PredictUsBatch(pointers.data(), pointers.size(), batched.data());
+  for (size_t i = 0; i < kernels.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batched[i], estimator.PredictUs(kernels[i])) << kernels[i].ToString();
+  }
 }
 
 TEST(KernelEstimatorTest, PerKindMapeGroupsCorrectly) {

@@ -1,0 +1,155 @@
+// Tests for the lock-striped estimation cache: single-thread semantics,
+// bounded eviction, stats accounting, and concurrent hammering from
+// ThreadPool threads (the access pattern of concurrent search trials).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "src/common/sharded_cache.h"
+#include "src/common/thread_pool.h"
+#include "src/cuda/kernel_desc.h"
+
+namespace maya {
+namespace {
+
+TEST(ShardedCacheTest, LookupMissThenInsertThenHit) {
+  ShardedCache<int, double> cache;
+  EXPECT_FALSE(cache.Lookup(7).has_value());
+  cache.Insert(7, 3.5);
+  ASSERT_TRUE(cache.Lookup(7).has_value());
+  EXPECT_DOUBLE_EQ(*cache.Lookup(7), 3.5);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ShardedCacheTest, InsertOverwrites) {
+  ShardedCache<int, double> cache;
+  cache.Insert(1, 1.0);
+  cache.Insert(1, 2.0);
+  EXPECT_DOUBLE_EQ(*cache.Lookup(1), 2.0);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ShardedCacheTest, GetOrComputeComputesOncePerKey) {
+  ShardedCache<int, int> cache;
+  int computes = 0;
+  for (int round = 0; round < 3; ++round) {
+    const int value = cache.GetOrCompute(5, [&] {
+      ++computes;
+      return 55;
+    });
+    EXPECT_EQ(value, 55);
+  }
+  EXPECT_EQ(computes, 1);
+  const ShardedCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(ShardedCacheTest, StatsTrackHitsAndMisses) {
+  ShardedCache<int, int> cache;
+  cache.Insert(1, 10);
+  cache.Lookup(1);  // hit
+  cache.Lookup(2);  // miss
+  cache.Lookup(1);  // hit
+  const ShardedCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_NEAR(stats.hit_rate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ShardedCacheTest, BoundedSizeEvicts) {
+  ShardedCacheOptions options;
+  options.num_shards = 4;
+  options.max_entries = 64;
+  ShardedCache<int, int> cache(options);
+  for (int i = 0; i < 10000; ++i) {
+    cache.Insert(i, i);
+  }
+  EXPECT_LE(cache.size(), 64u);
+  EXPECT_GT(cache.stats().evictions, 0u);
+  // Eviction must not pin stale entries by always victimizing the newest
+  // resident: a healthy share of recently inserted keys survives the churn.
+  int recent_alive = 0;
+  for (int i = 10000 - 16; i < 10000; ++i) {
+    recent_alive += cache.Lookup(i).has_value() ? 1 : 0;
+  }
+  EXPECT_GE(recent_alive, 8);
+}
+
+TEST(ShardedCacheTest, ClearEmptiesAllShards) {
+  ShardedCache<int, int> cache;
+  for (int i = 0; i < 100; ++i) {
+    cache.Insert(i, i);
+  }
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Lookup(50).has_value());
+}
+
+TEST(ShardedCacheTest, ShardCountRoundsUpToPowerOfTwo) {
+  ShardedCacheOptions options;
+  options.num_shards = 5;
+  ShardedCache<int, int> cache(options);
+  EXPECT_EQ(cache.num_shards(), 8u);
+}
+
+TEST(ShardedCacheTest, KernelDescKeys) {
+  ShardedCache<KernelDesc, double, KernelDescHash> cache;
+  const KernelDesc a = MakeGemm(512, 512, 512, DType::kBf16);
+  const KernelDesc b = MakeGemm(512, 512, 512, DType::kBf16);  // equal to a
+  const KernelDesc c = MakeGemm(512, 512, 513, DType::kBf16);
+  cache.Insert(a, 1.25);
+  ASSERT_TRUE(cache.Lookup(b).has_value());  // same canonical key
+  EXPECT_DOUBLE_EQ(*cache.Lookup(b), 1.25);
+  EXPECT_FALSE(cache.Lookup(c).has_value());
+}
+
+TEST(ShardedCacheTest, ConcurrentHammerFromThreadPool) {
+  // Many threads compute overlapping keys through GetOrCompute; every lookup
+  // must observe the deterministic value and accounting must not lose
+  // updates under contention.
+  ShardedCache<uint64_t, uint64_t> cache;
+  ThreadPool pool(8);
+  constexpr uint64_t kKeys = 97;
+  constexpr size_t kTasks = 64;
+  constexpr uint64_t kOpsPerTask = 2000;
+  std::atomic<uint64_t> wrong{0};
+  pool.ParallelFor(kTasks, [&](size_t task) {
+    for (uint64_t i = 0; i < kOpsPerTask; ++i) {
+      const uint64_t key = (task * 31 + i) % kKeys;
+      const uint64_t value = cache.GetOrCompute(key, [key] { return key * key + 1; });
+      if (value != key * key + 1) {
+        wrong.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  EXPECT_EQ(wrong.load(), 0u);
+  EXPECT_EQ(cache.size(), kKeys);
+  const ShardedCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, kTasks * kOpsPerTask);
+  // Every key missed at least once; concurrent first touches may re-compute.
+  EXPECT_GE(stats.misses, kKeys);
+  EXPECT_GT(stats.hits, 0u);
+}
+
+TEST(ShardedCacheTest, ConcurrentInsertLookupMixedKeys) {
+  ShardedCache<uint64_t, uint64_t> cache;
+  ThreadPool pool(8);
+  pool.ParallelFor(32, [&](size_t task) {
+    for (uint64_t i = 0; i < 1000; ++i) {
+      const uint64_t key = task * 1000 + i;  // disjoint key ranges
+      cache.Insert(key, key + 1);
+      auto hit = cache.Lookup(key);
+      ASSERT_TRUE(hit.has_value());
+      EXPECT_EQ(*hit, key + 1);
+    }
+  });
+  EXPECT_EQ(cache.size(), 32u * 1000u);
+}
+
+}  // namespace
+}  // namespace maya
