@@ -7,11 +7,16 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <fstream>
 #include <functional>
+#include <future>
 #include <iostream>
 #include <string_view>
+#include <thread>
+#include <vector>
 
 #include "src/common/json_writer.h"
 #include "src/common/strings.h"
@@ -22,6 +27,8 @@
 #include "src/estimator/kernel_estimator.h"
 #include "src/groundtruth/executor.h"
 #include "src/models/model_zoo.h"
+#include "src/service/artifact_store.h"
+#include "src/service/service_engine.h"
 #include "src/trace/collator.h"
 #include "src/trace/serialization.h"
 
@@ -315,23 +322,144 @@ void RunEstimationThroughputStudy() {
             << "Wrote BENCH_estimation.json\n";
 }
 
+// Service-throughput study: requests/s through a warm ServiceEngine at 1, 4
+// and 16 concurrent clients, plus cold-start vs artifact-bundle warm-start on
+// a repeated config sweep — written to BENCH_service.json.
+std::vector<ServiceRequest> ServiceSweepRequests() {
+  std::vector<ServiceRequest> requests;
+  for (int tp : {1, 2}) {
+    for (int pp : {1, 2}) {
+      for (int mb : {1, 2}) {
+        ServiceRequest request;
+        request.kind = ServiceRequestKind::kPredict;
+        request.model = BenchModel();
+        request.config = BenchConfig();
+        request.config.tensor_parallel = tp;
+        request.config.pipeline_parallel = pp;
+        request.config.microbatch_multiplier = mb;
+        requests.push_back(std::move(request));
+      }
+    }
+  }
+  return requests;
+}
+
+// `clients` threads each issue `per_client` requests round-robin over the
+// sweep; returns completed requests per wall-clock second.
+double MeasureServiceRequestsPerSec(ServiceEngine& engine,
+                                    const std::vector<ServiceRequest>& sweep, int clients,
+                                    int per_client) {
+  std::atomic<uint64_t> next_id{1};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&engine, &sweep, &next_id, per_client, c] {
+      std::vector<std::future<ServiceResponse>> futures;
+      futures.reserve(static_cast<size_t>(per_client));
+      for (int i = 0; i < per_client; ++i) {
+        ServiceRequest request = sweep[static_cast<size_t>(c + i) % sweep.size()];
+        request.id = next_id.fetch_add(1);
+        futures.push_back(engine.Submit(request));
+      }
+      for (std::future<ServiceResponse>& future : futures) {
+        const ServiceResponse response = future.get();
+        CHECK(response.ok) << response.error;
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return static_cast<double>(clients) * per_client / seconds;
+}
+
+void RunServiceThroughputStudy() {
+  EstimationFixture& fixture = EstimationFixture::Get();
+  const std::vector<ServiceRequest> sweep = ServiceSweepRequests();
+  ServiceEngineOptions options;
+  options.worker_threads = 4;
+  options.max_queue_depth = 4096;
+
+  // Cold start: fresh engine, empty estimate caches, first sweep pass.
+  ServiceEngine cold(fixture.cluster, fixture.bank.kernel.get(), fixture.bank.collective.get(),
+                     options);
+  const double cold_per_sec =
+      MeasureServiceRequestsPerSec(cold, sweep, /*clients=*/1, /*per_client=*/
+                                   static_cast<int>(sweep.size()));
+
+  // Persist the warmed caches, then restart from the bundle.
+  const std::string bundle_dir =
+      (std::filesystem::temp_directory_path() / "maya_bench_bundle").string();
+  std::filesystem::remove_all(bundle_dir);
+  ArtifactStore store(bundle_dir);
+  CHECK(store.Save(fixture.cluster, fixture.bank, cold.pipeline()).ok());
+  const auto load_start = std::chrono::steady_clock::now();
+  Result<std::unique_ptr<ServiceEngine>> warm =
+      ServiceEngine::FromArtifacts(fixture.cluster, store, options);
+  CHECK(warm.ok()) << warm.status().ToString();
+  const double artifact_load_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - load_start)
+          .count();
+
+  const double warm_per_sec =
+      MeasureServiceRequestsPerSec(**warm, sweep, /*clients=*/1,
+                                   /*per_client=*/static_cast<int>(sweep.size()));
+  const ShardedCacheStats warm_kernel_cache = (*warm)->pipeline().KernelCacheStats();
+  const double warm_hit_rate = warm_kernel_cache.hit_rate();
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("benchmark", std::string_view("service_throughput"));
+  json.Field("sweep_configs", static_cast<uint64_t>(sweep.size()));
+  json.Field("worker_threads", static_cast<int64_t>(options.worker_threads));
+  json.Field("cold_start_requests_per_sec", cold_per_sec);
+  json.Field("warm_start_requests_per_sec", warm_per_sec);
+  json.Field("warm_start_speedup", warm_per_sec / cold_per_sec);
+  json.Field("warm_start_kernel_cache_hit_rate", warm_hit_rate);
+  json.Field("artifact_load_ms", artifact_load_ms);
+  json.KeyedBeginObject("warm_requests_per_sec_by_clients");
+  std::cout << StrFormat(
+      "Service throughput (%zu-config sweep, %d workers): cold %0.1f req/s, "
+      "warm %0.1f req/s (%.2fx, kernel-cache hit rate %.1f%%, bundle load %.0f ms)\n",
+      sweep.size(), options.worker_threads, cold_per_sec, warm_per_sec,
+      warm_per_sec / cold_per_sec, warm_hit_rate * 100.0, artifact_load_ms);
+  for (int clients : {1, 4, 16}) {
+    const double per_sec =
+        MeasureServiceRequestsPerSec(**warm, sweep, clients, /*per_client=*/12);
+    json.Field(StrFormat("%d", clients).c_str(), per_sec);
+    std::cout << StrFormat("  %2d client(s): %8.1f requests/s\n", clients, per_sec);
+  }
+  json.EndObject();
+  json.EndObject();
+  std::ofstream out("BENCH_service.json");
+  out << json.str() << "\n";
+  std::cout << "Wrote BENCH_service.json\n";
+  std::filesystem::remove_all(bundle_dir);
+}
+
 }  // namespace
 }  // namespace maya
 
 int main(int argc, char** argv) {
-  // The estimation study trains estimators and emulates a job (seconds):
-  // keep listing/help invocations cheap, and honor --no_estimation_study so
-  // filtered runs of unrelated benchmarks don't pay for (or clobber) it.
+  // The studies train estimators and emulate jobs (seconds): keep
+  // listing/help invocations cheap, and honor --no_estimation_study /
+  // --no_service_study so filtered runs of unrelated benchmarks don't pay
+  // for (or clobber) them.
   bool run_study = true;
+  bool run_service_study = true;
   for (int i = argc - 1; i > 0; --i) {
     const std::string_view arg = argv[i];
-    if (arg == "--no_estimation_study") {
-      run_study = false;
+    if (arg == "--no_estimation_study" || arg == "--no_service_study") {
+      (arg == "--no_estimation_study" ? run_study : run_service_study) = false;
       std::rotate(argv + i, argv + i + 1, argv + argc);
       argv[--argc] = nullptr;  // preserve the argv[argc] == nullptr invariant
     } else if (arg == "--benchmark_list_tests" || arg == "--benchmark_list_tests=true" ||
                arg == "--help") {
       run_study = false;
+      run_service_study = false;
     }
   }
   benchmark::Initialize(&argc, argv);
@@ -340,6 +468,9 @@ int main(int argc, char** argv) {
   }
   if (run_study) {
     maya::RunEstimationThroughputStudy();
+  }
+  if (run_service_study) {
+    maya::RunServiceThroughputStudy();
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -1,0 +1,110 @@
+// Maya-as-a-service quickstart: host one warm pipeline behind the concurrent
+// ServiceEngine, answer a batch of what-if questions through the NDJSON
+// protocol, persist the estimator artifacts, and warm-start a second engine
+// from the bundle — the flow `tools/maya_serve` wraps behind stdio.
+//
+//   1. Train estimators once (or load a saved bundle).
+//   2. Serve Predict / WhatIf / Search requests from many clients.
+//   3. Save the artifact bundle; a restarted engine answers the same sweep
+//      from the caches without re-training.
+#include <cstdio>
+
+#include "src/core/estimator_bank.h"
+#include "src/service/artifact_store.h"
+#include "src/service/service_client.h"
+#include "src/service/service_engine.h"
+
+int main() {
+  using namespace maya;
+
+  const ClusterSpec cluster = H100Cluster(8);
+
+  // --- 1. Cold start: train the estimator stack (once per cluster). --------
+  GroundTruthExecutor profiling_hardware(cluster, /*seed=*/2026);
+  ProfileSweepOptions sweep;  // trimmed sweep keeps the example quick
+  sweep.gemm_samples = 2000;
+  sweep.conv_samples = 200;
+  sweep.generic_samples = 60;
+  sweep.collective_sizes = 12;
+  ServiceEngineOptions options;
+  options.worker_threads = 4;
+  auto engine = std::make_unique<ServiceEngine>(
+      cluster, TrainEstimators(cluster, profiling_hardware, sweep), options);
+
+  // --- 2. Ask what-if questions through the wire protocol. -----------------
+  // The in-process transport serializes every call to one NDJSON line and
+  // parses the response line — exactly what a remote maya_serve client sees.
+  InProcessTransport transport(engine.get());
+  ServiceClient client(&transport);
+
+  ModelConfig model;
+  model.name = "example-gpt";
+  model.family = ModelFamily::kGpt;
+  model.num_layers = 12;
+  model.hidden_size = 1024;
+  model.num_heads = 16;
+  model.seq_length = 512;
+  model.vocab_size = 16384;
+
+  TrainConfig config;
+  config.global_batch_size = 64;
+  config.tensor_parallel = 2;
+  config.pipeline_parallel = 2;
+  config.microbatch_multiplier = 2;
+
+  Result<ServiceResponse> predicted = client.Predict(model, config);
+  if (!predicted.ok() || !predicted->ok) {
+    std::printf("predict failed\n");
+    return 1;
+  }
+  std::printf("predict:        %.1f ms/iteration, MFU %.1f%% (cache hit rate %.0f%%)\n",
+              predicted->iteration_time_us / 1e3, predicted->mfu * 100.0,
+              predicted->estimation.hit_rate() * 100.0);
+
+  TrainConfig heavy = config;
+  heavy.microbatch_multiplier = 1;
+  heavy.activation_recomputation = false;
+  Result<ServiceResponse> feasibility = client.CheckOom(model, heavy);
+  std::printf("whatif_oom:     %s\n",
+              feasibility->oom ? feasibility->oom_detail.c_str() : "fits device memory");
+
+  Result<ServiceResponse> scaled = client.PredictOnCluster(model, config, "h100x16");
+  if (scaled->ok) {
+    std::printf("whatif_cluster: %.1f ms/iteration on h100x16 (same estimators)\n",
+                scaled->iteration_time_us / 1e3);
+  }
+
+  SearchOptions search;
+  search.algorithm = "random";
+  search.sample_budget = 48;
+  search.seed = 3;
+  Result<ServiceResponse> best = client.Search(model, search, /*global_batch=*/64);
+  if (best->ok && best->found) {
+    std::printf("search:         best MFU %.1f%% over %d samples (%s)\n",
+                best->best_mfu * 100.0, best->samples, best->best_config.Summary().c_str());
+  }
+
+  // --- 3. Persist the artifacts; warm-start a second engine. ---------------
+  ArtifactStore store("maya_artifacts.bundle");
+  if (!store.Save(engine->cluster(), engine->bank(), engine->pipeline()).ok()) {
+    std::printf("artifact save failed\n");
+    return 1;
+  }
+  engine->Shutdown();
+
+  Result<std::unique_ptr<ServiceEngine>> warm =
+      ServiceEngine::FromArtifacts(cluster, store, options);
+  if (!warm.ok()) {
+    std::printf("warm start failed: %s\n", warm.status().ToString().c_str());
+    return 1;
+  }
+  InProcessTransport warm_transport(warm->get());
+  ServiceClient warm_client(&warm_transport);
+  Result<ServiceResponse> warm_predict = warm_client.Predict(model, config);
+  std::printf("warm restart:   %.1f ms/iteration, cache hit rate %.0f%% "
+              "(bit-identical: %s, no re-training)\n",
+              warm_predict->iteration_time_us / 1e3,
+              warm_predict->estimation.hit_rate() * 100.0,
+              warm_predict->iteration_time_us == predicted->iteration_time_us ? "yes" : "no");
+  return 0;
+}

@@ -310,4 +310,58 @@ class Parser {
 
 Result<JsonValue> ParseJson(const std::string& text) { return Parser(text).Parse(); }
 
+Status RequireKeys(const JsonValue& value, std::initializer_list<const char*> keys) {
+  if (!value.is_object()) {
+    return Status::InvalidArgument("expected JSON object");
+  }
+  for (const char* key : keys) {
+    if (!value.Has(key)) {
+      return Status::InvalidArgument(std::string("missing key '") + key + "'");
+    }
+  }
+  return Status::Ok();
+}
+
+Result<bool> ToBool(const JsonValue& value) {
+  if (value.type() != JsonValue::Type::kBool) {
+    return Status::InvalidArgument("expected JSON boolean");
+  }
+  return value.AsBool();
+}
+
+Result<double> ToNumber(const JsonValue& value) {
+  if (value.type() != JsonValue::Type::kNumber) {
+    return Status::InvalidArgument("expected JSON number");
+  }
+  return value.AsDouble();
+}
+
+Result<int64_t> ToInt(const JsonValue& value) {
+  if (value.type() != JsonValue::Type::kNumber) {
+    return Status::InvalidArgument("expected JSON number");
+  }
+  return value.AsInt();
+}
+
+Result<uint64_t> ToUint(const JsonValue& value) {
+  if (value.type() != JsonValue::Type::kNumber || value.AsDouble() < 0.0) {
+    return Status::InvalidArgument("expected non-negative JSON number");
+  }
+  return value.AsUint();
+}
+
+Result<std::string> ToString(const JsonValue& value) {
+  if (value.type() != JsonValue::Type::kString) {
+    return Status::InvalidArgument("expected JSON string");
+  }
+  return value.AsString();
+}
+
+Result<const JsonArray*> ToArray(const JsonValue& value) {
+  if (!value.is_array()) {
+    return Status::InvalidArgument("expected JSON array");
+  }
+  return &value.AsArray();
+}
+
 }  // namespace maya

@@ -57,6 +57,22 @@ class JsonValue {
 
 Result<JsonValue> ParseJson(const std::string& text);
 
+// InvalidArgument unless `value` is an object containing every key — the
+// strict-parsing precondition shared by the trace/estimator/service codecs.
+Status RequireKeys(const JsonValue& value, std::initializer_list<const char*> keys);
+
+// Non-aborting typed conversions for untrusted input (wire payloads): the
+// member accessors above CHECK-fail on type mismatch, which is correct for
+// trusted in-repo data but would let one malformed client request abort a
+// multi-tenant server. These return InvalidArgument instead.
+Result<bool> ToBool(const JsonValue& value);
+Result<double> ToNumber(const JsonValue& value);
+Result<int64_t> ToInt(const JsonValue& value);    // number, rounded
+Result<uint64_t> ToUint(const JsonValue& value);  // non-negative number
+Result<std::string> ToString(const JsonValue& value);
+// Borrowed pointer into `value`; valid while `value` lives.
+Result<const JsonArray*> ToArray(const JsonValue& value);
+
 }  // namespace maya
 
 #endif  // SRC_COMMON_JSON_PARSER_H_

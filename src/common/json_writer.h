@@ -32,6 +32,9 @@ class JsonWriter {
   void Double(double value);
   void Bool(bool value);
   void Null();
+  // Splices pre-serialized JSON in value position verbatim. The caller is
+  // responsible for `json` being a complete, valid JSON value.
+  void RawValue(std::string_view json);
 
   void Field(std::string_view key, std::string_view value);
   void Field(std::string_view key, int64_t value);

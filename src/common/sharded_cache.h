@@ -124,6 +124,21 @@ class ShardedCache {
     }
   }
 
+  // Consistent-per-shard copy of every resident entry (shards are snapshotted
+  // one at a time; concurrent inserts may straddle the boundary). Used to
+  // persist the cache contents into an artifact bundle.
+  std::vector<std::pair<Key, Value>> Snapshot() const {
+    std::vector<std::pair<Key, Value>> entries;
+    entries.reserve(size());
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      for (const auto& [key, value] : shard.map) {
+        entries.emplace_back(key, value);
+      }
+    }
+    return entries;
+  }
+
   ShardedCacheStats stats() const {
     ShardedCacheStats stats;
     for (const Shard& shard : shards_) {

@@ -108,4 +108,15 @@ class Result {
     if (!_status.ok()) return _status;   \
   } while (false)
 
+// Evaluates a Result<T> expression; assigns its value to `lhs` on success,
+// propagates the error status to the caller otherwise.
+#define MAYA_ASSIGN_CONCAT_INNER(a, b) a##b
+#define MAYA_ASSIGN_CONCAT(a, b) MAYA_ASSIGN_CONCAT_INNER(a, b)
+#define MAYA_ASSIGN_OR_RETURN(lhs, rexpr) \
+  MAYA_ASSIGN_OR_RETURN_IMPL(MAYA_ASSIGN_CONCAT(_maya_result_, __COUNTER__), lhs, rexpr)
+#define MAYA_ASSIGN_OR_RETURN_IMPL(result, lhs, rexpr) \
+  auto result = (rexpr);                                \
+  if (!result.ok()) return result.status();             \
+  lhs = *std::move(result)
+
 #endif  // SRC_COMMON_STATUS_H_

@@ -55,6 +55,32 @@ struct LocalCollectiveKeyHash {
   }
 };
 
+// Identity of stages 1+2 for one request on a fixed cluster: the training
+// configuration, the pipeline knobs that shape the trace, and every
+// ModelConfig field the engines read (names alone are not identity — callers
+// mutate preset configs).
+std::string TraceCacheKey(const PredictionRequest& request) {
+  const ModelConfig& model = request.model;
+  std::string key = request.config.CacheKey();
+  key += request.deduplicate_workers ? "|d1" : "|d0";
+  key += request.selective_launch ? "s1" : "s0";
+  key += StrFormat("|%d|%lld|%lld|%lld|%lld|%lld|%lld|%lld|%lld|%lld",
+                   static_cast<int>(model.family), static_cast<long long>(model.num_layers),
+                   static_cast<long long>(model.hidden_size),
+                   static_cast<long long>(model.num_heads),
+                   static_cast<long long>(model.vocab_size),
+                   static_cast<long long>(model.seq_length),
+                   static_cast<long long>(model.ffn_multiplier),
+                   static_cast<long long>(model.image_size),
+                   static_cast<long long>(model.stem_channels),
+                   static_cast<long long>(model.num_classes));
+  for (const ConvStageConfig& stage : model.conv_stages) {
+    key += StrFormat(",%d:%lld:%lld", stage.blocks, static_cast<long long>(stage.channels),
+                     static_cast<long long>(stage.stride));
+  }
+  return key;
+}
+
 }  // namespace
 
 std::string PredictionReport::Summary() const {
@@ -78,7 +104,8 @@ MayaPipeline::MayaPipeline(const ClusterSpec& cluster,
       kernel_estimate_cache_(
           ShardedCacheOptions{options.estimate_cache_shards, options.estimate_cache_entries}),
       collective_estimate_cache_(
-          ShardedCacheOptions{options.estimate_cache_shards, options.estimate_cache_entries}) {
+          ShardedCacheOptions{options.estimate_cache_shards, options.estimate_cache_entries}),
+      trace_cache_(ShardedCacheOptions{8, options.trace_cache_entries}) {
   CHECK(kernel_estimator_ != nullptr);
   CHECK(collective_estimator_ != nullptr);
   if (options_.estimation_threads > 0) {
@@ -242,37 +269,79 @@ Result<PredictionReport> MayaPipeline::Predict(const PredictionRequest& request)
   PredictionReport report;
   StageClock clock;
 
-  // (1) Trace collection via emulation.
-  LaunchOptions launch;
-  launch.selective_launch = request.selective_launch;
-  Result<LaunchResult> launched = EmulateJob(request.model, request.config, cluster_, launch);
-  if (!launched.ok()) {
-    return launched.status();
+  std::string trace_key;
+  std::shared_ptr<const CollatedTrace> cached;
+  if (options_.enable_trace_cache) {
+    trace_key = TraceCacheKey(request);
+    if (std::optional<std::shared_ptr<const CollatedTrace>> hit =
+            trace_cache_.Lookup(trace_key)) {
+      cached = *std::move(hit);
+      report.trace_cache_hit = true;
+    }
   }
-  report.timings.emulation_ms = launched->emulation_wall_ms;
-  clock.LapMs();
-  if (launched->oom) {
-    report.oom = true;
-    report.oom_detail = launched->oom_detail;
-    return report;
-  }
-  report.full_workers_emulated = launched->full_workers_emulated;
 
-  // (2) Trace collation + worker deduplication.
-  TraceCollator collator(CollationOptions{request.deduplicate_workers});
-  Result<JobTrace> job = collator.Collate(std::move(launched->traces));
-  if (!job.ok()) {
-    return job.status();
+  JobTrace job;
+  if (cached != nullptr) {
+    // Stages 1+2 served from the collated-trace cache. The copy is required:
+    // annotation writes durations into the trace in place.
+    if (cached->oom) {
+      report.oom = true;
+      report.oom_detail = cached->oom_detail;
+      report.timings.emulation_ms = clock.LapMs();
+      return report;
+    }
+    job = cached->job;
+    report.collation = cached->collation;
+    report.full_workers_emulated = cached->full_workers_emulated;
+    report.timings.collation_ms = clock.LapMs();
+  } else {
+    // (1) Trace collection via emulation.
+    LaunchOptions launch;
+    launch.selective_launch = request.selective_launch;
+    Result<LaunchResult> launched = EmulateJob(request.model, request.config, cluster_, launch);
+    if (!launched.ok()) {
+      return launched.status();
+    }
+    report.timings.emulation_ms = launched->emulation_wall_ms;
+    clock.LapMs();
+    if (launched->oom) {
+      report.oom = true;
+      report.oom_detail = launched->oom_detail;
+      if (options_.enable_trace_cache) {
+        auto entry = std::make_shared<CollatedTrace>();
+        entry->oom = true;
+        entry->oom_detail = launched->oom_detail;
+        trace_cache_.Insert(trace_key, std::move(entry));
+      }
+      return report;
+    }
+    report.full_workers_emulated = launched->full_workers_emulated;
+
+    // (2) Trace collation + worker deduplication.
+    TraceCollator collator(CollationOptions{request.deduplicate_workers});
+    Result<JobTrace> collated = collator.Collate(std::move(launched->traces));
+    if (!collated.ok()) {
+      return collated.status();
+    }
+    job = *std::move(collated);
+    report.collation = collator.stats();
+    report.timings.collation_ms = clock.LapMs();
+
+    if (options_.enable_trace_cache) {
+      auto entry = std::make_shared<CollatedTrace>();
+      entry->job = job;  // pre-annotation copy (durations still zero)
+      entry->collation = report.collation;
+      entry->full_workers_emulated = report.full_workers_emulated;
+      trace_cache_.Insert(trace_key, std::move(entry));
+    }
   }
-  report.collation = collator.stats();
-  report.timings.collation_ms = clock.LapMs();
 
   // (3) Kernel runtime estimation.
-  report.estimation = AnnotateDurations(*job, request.oracle);
+  report.estimation = AnnotateDurations(job, request.oracle);
   report.timings.estimation_ms = clock.LapMs();
 
   // (4) End-to-end simulation (no SM contention: Maya's model, §8).
-  Simulator simulator(*job, cluster_, SimOptions{});
+  Simulator simulator(job, cluster_, SimOptions{});
   Result<SimReport> sim = simulator.Run();
   if (!sim.ok()) {
     return sim.status();

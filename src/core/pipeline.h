@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/common/sharded_cache.h"
 #include "src/common/thread_pool.h"
@@ -36,6 +38,14 @@ struct MayaPipelineOptions {
   int estimation_threads = 0;
   // Minimum unique kernels before the estimation pool engages.
   size_t parallel_estimation_threshold = 1024;
+  // Memoize collated traces across Predict calls keyed by
+  // (model, config, pipeline knobs) — stages 1+2 are deterministic functions
+  // of that key for a fixed cluster, so a repeated configuration (across
+  // RunSearch invocations or service sweeps) skips emulation + collation and
+  // re-annotates a copy of the cached trace. Off by default: entries hold
+  // full JobTraces, so this trades memory for wall-clock.
+  bool enable_trace_cache = false;
+  size_t trace_cache_entries = 128;
 };
 
 // Per-Predict estimation-stage counters (plumbed into PredictionReport and
@@ -101,6 +111,8 @@ struct PredictionReport {
   CollationStats collation;
   EstimationStats estimation;
   int full_workers_emulated = 0;
+  // True when stages 1+2 were served from the collated-trace cache.
+  bool trace_cache_hit = false;
 
   std::string Summary() const;
 };
@@ -131,12 +143,49 @@ class MayaPipeline {
   // Lifetime counters of the cross-trial estimate caches.
   ShardedCacheStats KernelCacheStats() const { return kernel_estimate_cache_.stats(); }
   ShardedCacheStats CollectiveCacheStats() const { return collective_estimate_cache_.stats(); }
+  ShardedCacheStats TraceCacheStats() const { return trace_cache_.stats(); }
   void ClearEstimateCache() {
     kernel_estimate_cache_.Clear();
     collective_estimate_cache_.Clear();
   }
 
+  // Estimate-cache export/import for cross-process persistence (the service
+  // layer's ArtifactStore): Snapshot* copies out every resident entry;
+  // Import* seeds the cache so a fresh process warm-starts with the previous
+  // process's hit rate. Imported values must come from identical estimators
+  // (the ArtifactStore bundles both), or predictions will silently diverge
+  // from fresh computation. Thread-safe, like all cache access.
+  std::vector<std::pair<KernelDesc, double>> SnapshotKernelEstimates() const {
+    return kernel_estimate_cache_.Snapshot();
+  }
+  std::vector<std::pair<CollectiveRequest, double>> SnapshotCollectiveEstimates() const {
+    return collective_estimate_cache_.Snapshot();
+  }
+  void ImportKernelEstimates(const std::vector<std::pair<KernelDesc, double>>& entries) {
+    for (const auto& [kernel, duration_us] : entries) {
+      kernel_estimate_cache_.Insert(kernel, duration_us);
+    }
+  }
+  void ImportCollectiveEstimates(
+      const std::vector<std::pair<CollectiveRequest, double>>& entries) {
+    for (const auto& [request, duration_us] : entries) {
+      collective_estimate_cache_.Insert(request, duration_us);
+    }
+  }
+
  private:
+  // Cached outcome of stages 1+2 (emulation + collation) for one request key.
+  // OOM outcomes are cached too: a repeated infeasible config answers without
+  // re-emulating. Shared-ptr values: hits copy the (immutable) entry's trace
+  // before annotation mutates durations in place.
+  struct CollatedTrace {
+    bool oom = false;
+    std::string oom_detail;
+    JobTrace job;
+    CollationStats collation;
+    int full_workers_emulated = 0;
+  };
+
   // Predicts unique kernels, fanning out over the estimation pool when the
   // batch is large enough; writes predictions to out[i].
   void PredictKernels(const std::vector<const KernelDesc*>& kernels, double* out) const;
@@ -150,6 +199,7 @@ class MayaPipeline {
   mutable ShardedCache<KernelDesc, double, KernelDescHash> kernel_estimate_cache_;
   mutable ShardedCache<CollectiveRequest, double, CollectiveRequestHash>
       collective_estimate_cache_;
+  mutable ShardedCache<std::string, std::shared_ptr<const CollatedTrace>> trace_cache_;
   std::unique_ptr<ThreadPool> estimation_pool_;  // null when estimation_threads == 0
 };
 

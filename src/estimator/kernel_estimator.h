@@ -67,6 +67,8 @@ class RandomForestKernelEstimator final : public KernelRuntimeEstimator {
   mutable std::atomic<uint64_t> fallback_predictions{0};
 
  private:
+  friend struct ForestSerializer;  // src/estimator/serialization.cc
+
   RandomForestOptions options_;
   std::map<KernelKind, RandomForestRegressor> forests_;
 };

@@ -1,0 +1,302 @@
+#include "src/service/artifact_store.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "src/common/json_parser.h"
+#include "src/common/json_writer.h"
+#include "src/common/strings.h"
+#include "src/estimator/serialization.h"
+#include "src/service/protocol.h"
+
+namespace maya {
+namespace {
+
+constexpr const char* kManifestFile = "manifest.json";
+constexpr const char* kKernelEstimatorFile = "kernel_estimator.json";
+constexpr const char* kCollectiveEstimatorFile = "collective_estimator.json";
+constexpr const char* kKernelValidationFile = "kernel_validation.json";
+constexpr const char* kKernelCacheFile = "kernel_cache.json";
+constexpr const char* kCollectiveCacheFile = "collective_cache.json";
+
+Status WriteFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::Internal("cannot open '" + path + "' for writing");
+  }
+  out << contents << '\n';
+  out.flush();
+  if (!out) {
+    return Status::Internal("write to '" + path + "' failed");
+  }
+  return Status::Ok();
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  if (in.bad()) {
+    return Status::Internal("read from '" + path + "' failed");
+  }
+  return contents.str();
+}
+
+Result<JsonValue> ReadJsonFile(const std::string& path) {
+  Result<std::string> contents = ReadFile(path);
+  if (!contents.ok()) {
+    return contents.status();
+  }
+  Result<JsonValue> value = ParseJson(*contents);
+  if (!value.ok()) {
+    return Status::InvalidArgument(path + ": " + value.status().message());
+  }
+  return value;
+}
+
+// Structural cluster identity via the canonical JSON encoding: the evaluation
+// clusters are constructed from constants, so equal specs serialize equally.
+std::string ClusterSignature(const ClusterSpec& cluster) {
+  JsonWriter w;
+  WriteClusterSpec(w, cluster);
+  return w.str();
+}
+
+}  // namespace
+
+std::string ArtifactStore::PathFor(const char* file) const {
+  return (std::filesystem::path(dir_) / file).string();
+}
+
+bool ArtifactStore::Exists() const {
+  std::error_code ec;
+  return std::filesystem::exists(PathFor(kManifestFile), ec);
+}
+
+Status ArtifactStore::SaveBundle(const ClusterSpec& cluster, const EstimatorBank& bank,
+                                 const MayaPipeline* pipeline) const {
+  if (bank.kernel == nullptr || bank.collective == nullptr) {
+    return Status::FailedPrecondition("estimator bank is not trained");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    return Status::Internal("cannot create bundle directory '" + dir_ + "': " + ec.message());
+  }
+  // Invalidate any existing bundle before touching its files, and write the
+  // manifest strictly last: a crash at any point mid-save leaves a directory
+  // without a manifest, which never loads — not a loadable bundle mixing new
+  // and stale (or torn) files.
+  std::filesystem::remove(PathFor(kManifestFile), ec);
+
+  {
+    JsonWriter w;
+    WriteKernelEstimator(w, *bank.kernel);
+    MAYA_RETURN_IF_ERROR(WriteFile(PathFor(kKernelEstimatorFile), w.str()));
+  }
+  {
+    JsonWriter w;
+    WriteCollectiveEstimator(w, *bank.collective);
+    MAYA_RETURN_IF_ERROR(WriteFile(PathFor(kCollectiveEstimatorFile), w.str()));
+  }
+  {
+    JsonWriter w;
+    WriteKernelDataset(w, bank.kernel_validation);
+    MAYA_RETURN_IF_ERROR(WriteFile(PathFor(kKernelValidationFile), w.str()));
+  }
+
+  size_t kernel_entries = 0;
+  size_t collective_entries = 0;
+  if (pipeline == nullptr) {
+    // Estimator-only save: empty cache files keep the bundle loadable.
+    MAYA_RETURN_IF_ERROR(WriteFile(PathFor(kKernelCacheFile), "[]"));
+    MAYA_RETURN_IF_ERROR(WriteFile(PathFor(kCollectiveCacheFile), "[]"));
+  } else {
+    const std::vector<std::pair<KernelDesc, double>> kernels =
+        pipeline->SnapshotKernelEstimates();
+    kernel_entries = kernels.size();
+    JsonWriter kernel_writer;
+    kernel_writer.BeginArray();
+    for (const auto& [kernel, duration_us] : kernels) {
+      kernel_writer.BeginObject();
+      kernel_writer.Key("kernel");
+      WriteKernelDescExact(kernel_writer, kernel);
+      kernel_writer.Field("duration_us", std::string_view(DoubleBits(duration_us)));
+      kernel_writer.EndObject();
+    }
+    kernel_writer.EndArray();
+    MAYA_RETURN_IF_ERROR(WriteFile(PathFor(kKernelCacheFile), kernel_writer.str()));
+
+    const std::vector<std::pair<CollectiveRequest, double>> collectives =
+        pipeline->SnapshotCollectiveEstimates();
+    collective_entries = collectives.size();
+    JsonWriter collective_writer;
+    collective_writer.BeginArray();
+    for (const auto& [request, duration_us] : collectives) {
+      collective_writer.BeginObject();
+      collective_writer.Key("request");
+      WriteCollectiveRequest(collective_writer, request);
+      collective_writer.Field("duration_us", std::string_view(DoubleBits(duration_us)));
+      collective_writer.EndObject();
+    }
+    collective_writer.EndArray();
+    MAYA_RETURN_IF_ERROR(WriteFile(PathFor(kCollectiveCacheFile), collective_writer.str()));
+  }
+
+  JsonWriter manifest;
+  manifest.BeginObject();
+  manifest.Field("version", static_cast<int64_t>(kArtifactBundleVersion));
+  manifest.Key("cluster");
+  WriteClusterSpec(manifest, cluster);
+  manifest.Field("kernel_cache_entries", static_cast<uint64_t>(kernel_entries));
+  manifest.Field("collective_cache_entries", static_cast<uint64_t>(collective_entries));
+  manifest.EndObject();
+  return WriteFile(PathFor(kManifestFile), manifest.str());
+}
+
+Status ArtifactStore::SaveEstimators(const ClusterSpec& cluster, const EstimatorBank& bank) const {
+  return SaveBundle(cluster, bank, nullptr);
+}
+
+Status ArtifactStore::Save(const ClusterSpec& cluster, const EstimatorBank& bank,
+                           const MayaPipeline& pipeline) const {
+  return SaveBundle(cluster, bank, &pipeline);
+}
+
+Result<ArtifactManifest> ArtifactStore::ReadManifest() const {
+  Result<JsonValue> root = ReadJsonFile(PathFor(kManifestFile));
+  if (!root.ok()) {
+    return root.status();
+  }
+  if (!root->is_object() || !root->Has("version") || !root->Has("cluster")) {
+    return Status::InvalidArgument("malformed artifact manifest");
+  }
+  ArtifactManifest manifest;
+  manifest.version = static_cast<int>(root->at("version").AsInt());
+  if (manifest.version != kArtifactBundleVersion) {
+    return Status::FailedPrecondition(
+        StrFormat("artifact bundle version %d is not the supported version %d",
+                  manifest.version, kArtifactBundleVersion));
+  }
+  Result<ClusterSpec> cluster = ParseClusterSpec(root->at("cluster"));
+  if (!cluster.ok()) {
+    return cluster.status();
+  }
+  manifest.cluster = *std::move(cluster);
+  if (root->Has("kernel_cache_entries")) {
+    manifest.kernel_cache_entries = root->at("kernel_cache_entries").AsUint();
+  }
+  if (root->Has("collective_cache_entries")) {
+    manifest.collective_cache_entries = root->at("collective_cache_entries").AsUint();
+  }
+  return manifest;
+}
+
+Result<EstimatorBank> ArtifactStore::LoadEstimators(const ClusterSpec& expected_cluster) const {
+  Result<ArtifactManifest> manifest = ReadManifest();
+  if (!manifest.ok()) {
+    return manifest.status();
+  }
+  if (ClusterSignature(manifest->cluster) != ClusterSignature(expected_cluster)) {
+    return Status::FailedPrecondition(
+        "artifact bundle was trained for cluster " + manifest->cluster.ToString() +
+        ", not " + expected_cluster.ToString());
+  }
+
+  EstimatorBank bank;
+  {
+    Result<JsonValue> value = ReadJsonFile(PathFor(kKernelEstimatorFile));
+    if (!value.ok()) {
+      return value.status();
+    }
+    Result<std::unique_ptr<RandomForestKernelEstimator>> estimator =
+        ParseKernelEstimator(*value);
+    if (!estimator.ok()) {
+      return estimator.status();
+    }
+    bank.kernel = *std::move(estimator);
+  }
+  {
+    Result<JsonValue> value = ReadJsonFile(PathFor(kCollectiveEstimatorFile));
+    if (!value.ok()) {
+      return value.status();
+    }
+    Result<std::unique_ptr<ProfiledCollectiveEstimator>> estimator =
+        ParseCollectiveEstimator(*value);
+    if (!estimator.ok()) {
+      return estimator.status();
+    }
+    bank.collective = *std::move(estimator);
+  }
+  {
+    Result<JsonValue> value = ReadJsonFile(PathFor(kKernelValidationFile));
+    if (!value.ok()) {
+      return value.status();
+    }
+    Result<KernelDataset> validation = ParseKernelDataset(*value);
+    if (!validation.ok()) {
+      return validation.status();
+    }
+    bank.kernel_validation = *std::move(validation);
+  }
+  return bank;
+}
+
+Result<uint64_t> ArtifactStore::WarmPipeline(MayaPipeline& pipeline) const {
+  uint64_t imported = 0;
+  {
+    Result<JsonValue> value = ReadJsonFile(PathFor(kKernelCacheFile));
+    if (!value.ok()) {
+      return value.status();
+    }
+    std::vector<std::pair<KernelDesc, double>> entries;
+    for (const JsonValue& entry : value->AsArray()) {
+      if (!entry.Has("kernel") || !entry.Has("duration_us")) {
+        return Status::InvalidArgument("malformed kernel cache entry");
+      }
+      Result<KernelDesc> kernel = ParseKernelDescExact(entry.at("kernel"));
+      if (!kernel.ok()) {
+        return kernel.status();
+      }
+      Result<double> duration = DoubleFromBits(entry.at("duration_us").AsString());
+      if (!duration.ok()) {
+        return duration.status();
+      }
+      entries.emplace_back(*kernel, *duration);
+    }
+    pipeline.ImportKernelEstimates(entries);
+    imported += entries.size();
+  }
+  {
+    Result<JsonValue> value = ReadJsonFile(PathFor(kCollectiveCacheFile));
+    if (!value.ok()) {
+      return value.status();
+    }
+    std::vector<std::pair<CollectiveRequest, double>> entries;
+    for (const JsonValue& entry : value->AsArray()) {
+      if (!entry.Has("request") || !entry.Has("duration_us")) {
+        return Status::InvalidArgument("malformed collective cache entry");
+      }
+      Result<CollectiveRequest> request = ParseCollectiveRequest(entry.at("request"));
+      if (!request.ok()) {
+        return request.status();
+      }
+      Result<double> duration = DoubleFromBits(entry.at("duration_us").AsString());
+      if (!duration.ok()) {
+        return duration.status();
+      }
+      entries.emplace_back(*std::move(request), *duration);
+    }
+    pipeline.ImportCollectiveEstimates(entries);
+    imported += entries.size();
+  }
+  return imported;
+}
+
+}  // namespace maya

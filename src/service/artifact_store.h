@@ -1,0 +1,84 @@
+// Persistent estimator artifacts: a versioned on-disk bundle holding
+// everything a Maya server needs to warm-start — the trained per-kind kernel
+// forests, the profiled collective estimator, the held-out validation split,
+// and the kernel/collective estimate caches. A restarted server (or a fresh
+// sweep process) loads the bundle instead of re-running profiling sweeps and
+// re-training forests, and answers a repeated sweep with the previous
+// process's cache hit rate and bit-identical predictions.
+//
+// Bundle layout (directory of JSON files):
+//   manifest.json            — format version, full ClusterSpec, entry counts
+//   kernel_estimator.json    — RandomForestKernelEstimator (per-kind forests)
+//   collective_estimator.json— ProfiledCollectiveEstimator tables
+//   kernel_validation.json   — held-out KernelDataset (MAPE evaluation)
+//   kernel_cache.json        — KernelDesc -> duration_us estimate entries
+//   collective_cache.json    — CollectiveRequest -> duration_us entries
+//
+// All prediction-relevant doubles use the bit-exact hex encoding from
+// src/estimator/serialization.h, so loading is lossless.
+#ifndef SRC_SERVICE_ARTIFACT_STORE_H_
+#define SRC_SERVICE_ARTIFACT_STORE_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/core/estimator_bank.h"
+#include "src/core/pipeline.h"
+#include "src/hw/cluster_spec.h"
+
+namespace maya {
+
+// Bumped on any incompatible change to the bundle layout or encodings.
+inline constexpr int kArtifactBundleVersion = 1;
+
+struct ArtifactManifest {
+  int version = 0;
+  ClusterSpec cluster;
+  uint64_t kernel_cache_entries = 0;
+  uint64_t collective_cache_entries = 0;
+};
+
+class ArtifactStore {
+ public:
+  explicit ArtifactStore(std::string dir) : dir_(std::move(dir)) {}
+
+  const std::string& dir() const { return dir_; }
+  // True when the bundle directory holds a manifest.
+  bool Exists() const;
+
+  // Writes the full bundle (estimators + the pipeline's current estimate
+  // caches) atomically enough for a single writer: any existing manifest is
+  // removed first and the new one lands last, so a crash at any point leaves
+  // a manifest-less directory that never loads — not a torn bundle.
+  Status Save(const ClusterSpec& cluster, const EstimatorBank& bank,
+              const MayaPipeline& pipeline) const;
+
+  // Estimators only (no caches to snapshot yet) — e.g. right after training.
+  Status SaveEstimators(const ClusterSpec& cluster, const EstimatorBank& bank) const;
+
+  Result<ArtifactManifest> ReadManifest() const;
+
+  // Rebuilds the estimator bank from the bundle. Fails on version mismatch
+  // or when the manifest's cluster disagrees with `expected_cluster` (trained
+  // estimators are cluster-specific; a bundle from another cluster would
+  // silently answer with the wrong hardware model).
+  Result<EstimatorBank> LoadEstimators(const ClusterSpec& expected_cluster) const;
+
+  // Seeds the pipeline's estimate caches from the bundle; returns the number
+  // of entries imported. Call with a pipeline built over estimators loaded
+  // from the SAME bundle — cache values are only valid for the estimators
+  // that produced them.
+  Result<uint64_t> WarmPipeline(MayaPipeline& pipeline) const;
+
+ private:
+  // Shared save path; null pipeline writes empty cache files.
+  Status SaveBundle(const ClusterSpec& cluster, const EstimatorBank& bank,
+                    const MayaPipeline* pipeline) const;
+  std::string PathFor(const char* file) const;
+
+  std::string dir_;
+};
+
+}  // namespace maya
+
+#endif  // SRC_SERVICE_ARTIFACT_STORE_H_

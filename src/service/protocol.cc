@@ -1,0 +1,742 @@
+#include "src/service/protocol.h"
+
+#include <cstdlib>
+
+#include "src/common/strings.h"
+#include "src/estimator/serialization.h"
+#include "src/trace/serialization.h"
+
+namespace maya {
+namespace {
+
+Result<ModelFamily> ModelFamilyFromName(const std::string& name) {
+  static constexpr ModelFamily kAll[] = {ModelFamily::kGpt, ModelFamily::kBert, ModelFamily::kT5,
+                                         ModelFamily::kVit, ModelFamily::kResNet};
+  for (ModelFamily family : kAll) {
+    if (name == ModelFamilyName(family)) {
+      return family;
+    }
+  }
+  return Status::InvalidArgument("unknown model family '" + name + "'");
+}
+
+Result<ParallelFramework> ParallelFrameworkFromName(const std::string& name) {
+  static constexpr ParallelFramework kAll[] = {ParallelFramework::kMegatron,
+                                               ParallelFramework::kDdp, ParallelFramework::kFsdp,
+                                               ParallelFramework::kDeepSpeed};
+  for (ParallelFramework framework : kAll) {
+    if (name == ParallelFrameworkName(framework)) {
+      return framework;
+    }
+  }
+  return Status::InvalidArgument("unknown parallel framework '" + name + "'");
+}
+
+Result<GpuArch> GpuArchFromName(const std::string& name) {
+  static constexpr GpuArch kAll[] = {GpuArch::kV100, GpuArch::kH100, GpuArch::kA40};
+  for (GpuArch arch : kAll) {
+    if (name == GpuArchName(arch)) {
+      return arch;
+    }
+  }
+  return Status::InvalidArgument("unknown GPU arch '" + name + "'");
+}
+
+Result<IntraNodeFabric> IntraNodeFabricFromName(const std::string& name) {
+  static constexpr IntraNodeFabric kAll[] = {
+      IntraNodeFabric::kNvSwitch, IntraNodeFabric::kCubeMesh, IntraNodeFabric::kPairwiseNvlink};
+  for (IntraNodeFabric fabric : kAll) {
+    if (name == IntraNodeFabricName(fabric)) {
+      return fabric;
+    }
+  }
+  return Status::InvalidArgument("unknown intra-node fabric '" + name + "'");
+}
+
+Result<InterNodeFabric> InterNodeFabricFromName(const std::string& name) {
+  static constexpr InterNodeFabric kAll[] = {InterNodeFabric::kInfiniBand, InterNodeFabric::kRoCE,
+                                             InterNodeFabric::kEthernet, InterNodeFabric::kNone};
+  for (InterNodeFabric fabric : kAll) {
+    if (name == InterNodeFabricName(fabric)) {
+      return fabric;
+    }
+  }
+  return Status::InvalidArgument("unknown inter-node fabric '" + name + "'");
+}
+
+void WriteSearchOptions(JsonWriter& w, const SearchOptions& options) {
+  w.BeginObject();
+  w.Field("algorithm", std::string_view(options.algorithm));
+  w.Field("sample_budget", static_cast<int64_t>(options.sample_budget));
+  w.Field("enable_pruning", options.enable_pruning);
+  w.Field("enable_cache", options.enable_cache);
+  w.Field("deduplicate_workers", options.deduplicate_workers);
+  w.Field("concurrency", static_cast<int64_t>(options.concurrency));
+  w.Field("early_stop_patience", static_cast<int64_t>(options.early_stop_patience));
+  w.Field("seed", options.seed);
+  w.EndObject();
+}
+
+Result<SearchOptions> ParseSearchOptions(const JsonValue& value) {
+  if (!value.is_object()) {
+    return Status::InvalidArgument("search options must be an object");
+  }
+  SearchOptions options;
+  if (value.Has("algorithm")) {
+    MAYA_ASSIGN_OR_RETURN(options.algorithm, ToString(value.at("algorithm")));
+  }
+  int64_t field = 0;
+  if (value.Has("sample_budget")) {
+    MAYA_ASSIGN_OR_RETURN(field, ToInt(value.at("sample_budget")));
+    options.sample_budget = static_cast<int>(field);
+  }
+  if (value.Has("enable_pruning")) {
+    MAYA_ASSIGN_OR_RETURN(options.enable_pruning, ToBool(value.at("enable_pruning")));
+  }
+  if (value.Has("enable_cache")) {
+    MAYA_ASSIGN_OR_RETURN(options.enable_cache, ToBool(value.at("enable_cache")));
+  }
+  if (value.Has("deduplicate_workers")) {
+    MAYA_ASSIGN_OR_RETURN(options.deduplicate_workers,
+                          ToBool(value.at("deduplicate_workers")));
+  }
+  if (value.Has("concurrency")) {
+    MAYA_ASSIGN_OR_RETURN(field, ToInt(value.at("concurrency")));
+    options.concurrency = static_cast<int>(field);
+  }
+  if (value.Has("early_stop_patience")) {
+    MAYA_ASSIGN_OR_RETURN(field, ToInt(value.at("early_stop_patience")));
+    options.early_stop_patience = static_cast<int>(field);
+  }
+  if (value.Has("seed")) {
+    MAYA_ASSIGN_OR_RETURN(options.seed, ToUint(value.at("seed")));
+  }
+  return options;
+}
+
+void WriteEstimationStats(JsonWriter& w, const EstimationStats& stats) {
+  w.BeginObject();
+  w.Field("kernel_ops", stats.kernel_ops);
+  w.Field("unique_kernels", stats.unique_kernels);
+  w.Field("collective_ops", stats.collective_ops);
+  w.Field("unique_collectives", stats.unique_collectives);
+  w.Field("cache_hits", stats.cache_hits);
+  w.Field("cache_misses", stats.cache_misses);
+  w.Field("hit_rate", stats.hit_rate());
+  w.EndObject();
+}
+
+EstimationStats ParseEstimationStats(const JsonValue& value) {
+  EstimationStats stats;
+  stats.kernel_ops = value.at("kernel_ops").AsUint();
+  stats.unique_kernels = value.at("unique_kernels").AsUint();
+  stats.collective_ops = value.at("collective_ops").AsUint();
+  stats.unique_collectives = value.at("unique_collectives").AsUint();
+  stats.cache_hits = value.at("cache_hits").AsUint();
+  stats.cache_misses = value.at("cache_misses").AsUint();
+  return stats;
+}
+
+void WriteCacheStats(JsonWriter& w, const ShardedCacheStats& stats) {
+  w.BeginObject();
+  w.Field("hits", stats.hits);
+  w.Field("misses", stats.misses);
+  w.Field("insertions", stats.insertions);
+  w.Field("evictions", stats.evictions);
+  w.Field("entries", stats.entries);
+  w.EndObject();
+}
+
+ShardedCacheStats ParseCacheStats(const JsonValue& value) {
+  ShardedCacheStats stats;
+  stats.hits = value.at("hits").AsUint();
+  stats.misses = value.at("misses").AsUint();
+  stats.insertions = value.at("insertions").AsUint();
+  stats.evictions = value.at("evictions").AsUint();
+  stats.entries = value.at("entries").AsUint();
+  return stats;
+}
+
+}  // namespace
+
+const char* ServiceRequestKindName(ServiceRequestKind kind) {
+  switch (kind) {
+    case ServiceRequestKind::kPredict:
+      return "predict";
+    case ServiceRequestKind::kSearch:
+      return "search";
+    case ServiceRequestKind::kWhatIfOom:
+      return "whatif_oom";
+    case ServiceRequestKind::kWhatIfCluster:
+      return "whatif_cluster";
+    case ServiceRequestKind::kTracePredict:
+      return "trace_predict";
+    case ServiceRequestKind::kStats:
+      return "stats";
+    case ServiceRequestKind::kCancel:
+      return "cancel";
+  }
+  return "unknown";
+}
+
+Result<ServiceRequestKind> ServiceRequestKindFromName(const std::string& name) {
+  static constexpr ServiceRequestKind kAll[] = {
+      ServiceRequestKind::kPredict,      ServiceRequestKind::kSearch,
+      ServiceRequestKind::kWhatIfOom,    ServiceRequestKind::kWhatIfCluster,
+      ServiceRequestKind::kTracePredict, ServiceRequestKind::kStats,
+      ServiceRequestKind::kCancel,
+  };
+  for (ServiceRequestKind kind : kAll) {
+    if (name == ServiceRequestKindName(kind)) {
+      return kind;
+    }
+  }
+  return Status::InvalidArgument("unknown request kind '" + name + "'");
+}
+
+void WriteModelConfig(JsonWriter& w, const ModelConfig& model) {
+  w.BeginObject();
+  w.Field("name", std::string_view(model.name));
+  w.Field("family", std::string_view(ModelFamilyName(model.family)));
+  w.Field("num_layers", model.num_layers);
+  w.Field("hidden_size", model.hidden_size);
+  w.Field("num_heads", model.num_heads);
+  w.Field("vocab_size", model.vocab_size);
+  w.Field("seq_length", model.seq_length);
+  w.Field("ffn_multiplier", model.ffn_multiplier);
+  w.Field("image_size", model.image_size);
+  w.Field("stem_channels", model.stem_channels);
+  w.Field("num_classes", model.num_classes);
+  w.KeyedBeginArray("conv_stages");
+  for (const ConvStageConfig& stage : model.conv_stages) {
+    w.BeginObject();
+    w.Field("blocks", static_cast<int64_t>(stage.blocks));
+    w.Field("channels", stage.channels);
+    w.Field("stride", stage.stride);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+}
+
+Result<ModelConfig> ParseModelConfig(const JsonValue& value) {
+  MAYA_RETURN_IF_ERROR(RequireKeys(value, {"name", "family"}));
+  ModelConfig model;
+  MAYA_ASSIGN_OR_RETURN(model.name, ToString(value.at("name")));
+  std::string family_name;
+  MAYA_ASSIGN_OR_RETURN(family_name, ToString(value.at("family")));
+  MAYA_ASSIGN_OR_RETURN(model.family, ModelFamilyFromName(family_name));
+  auto int_field = [&value](const char* key, int64_t* out) -> Status {
+    if (value.Has(key)) {
+      Result<int64_t> parsed = ToInt(value.at(key));
+      if (!parsed.ok()) {
+        return Status::InvalidArgument(std::string(key) + ": " + parsed.status().message());
+      }
+      *out = *parsed;
+    }
+    return Status::Ok();
+  };
+  MAYA_RETURN_IF_ERROR(int_field("num_layers", &model.num_layers));
+  MAYA_RETURN_IF_ERROR(int_field("hidden_size", &model.hidden_size));
+  MAYA_RETURN_IF_ERROR(int_field("num_heads", &model.num_heads));
+  MAYA_RETURN_IF_ERROR(int_field("vocab_size", &model.vocab_size));
+  MAYA_RETURN_IF_ERROR(int_field("seq_length", &model.seq_length));
+  MAYA_RETURN_IF_ERROR(int_field("ffn_multiplier", &model.ffn_multiplier));
+  MAYA_RETURN_IF_ERROR(int_field("image_size", &model.image_size));
+  MAYA_RETURN_IF_ERROR(int_field("stem_channels", &model.stem_channels));
+  MAYA_RETURN_IF_ERROR(int_field("num_classes", &model.num_classes));
+  if (value.Has("conv_stages")) {
+    const JsonArray* stages = nullptr;
+    MAYA_ASSIGN_OR_RETURN(stages, ToArray(value.at("conv_stages")));
+    for (const JsonValue& stage_value : *stages) {
+      MAYA_RETURN_IF_ERROR(RequireKeys(stage_value, {"blocks", "channels", "stride"}));
+      ConvStageConfig stage;
+      int64_t blocks = 0;
+      MAYA_ASSIGN_OR_RETURN(blocks, ToInt(stage_value.at("blocks")));
+      stage.blocks = static_cast<int>(blocks);
+      MAYA_ASSIGN_OR_RETURN(stage.channels, ToInt(stage_value.at("channels")));
+      MAYA_ASSIGN_OR_RETURN(stage.stride, ToInt(stage_value.at("stride")));
+      model.conv_stages.push_back(stage);
+    }
+  }
+  return model;
+}
+
+void WriteTrainConfig(JsonWriter& w, const TrainConfig& config) {
+  w.BeginObject();
+  w.Field("framework", std::string_view(ParallelFrameworkName(config.framework)));
+  w.Field("global_batch_size", config.global_batch_size);
+  w.Field("tensor_parallel", static_cast<int64_t>(config.tensor_parallel));
+  w.Field("pipeline_parallel", static_cast<int64_t>(config.pipeline_parallel));
+  w.Field("microbatch_multiplier", static_cast<int64_t>(config.microbatch_multiplier));
+  w.Field("virtual_pipeline_stages", static_cast<int64_t>(config.virtual_pipeline_stages));
+  w.Field("sequence_parallel", config.sequence_parallel);
+  w.Field("activation_recomputation", config.activation_recomputation);
+  w.Field("distributed_optimizer", config.distributed_optimizer);
+  w.Field("zero_stage", static_cast<int64_t>(config.zero_stage));
+  w.Field("activation_offload", config.activation_offload);
+  w.Field("torch_compile", config.torch_compile);
+  w.EndObject();
+}
+
+Result<TrainConfig> ParseTrainConfig(const JsonValue& value) {
+  if (!value.is_object()) {
+    return Status::InvalidArgument("train config must be an object");
+  }
+  TrainConfig config;
+  if (value.Has("framework")) {
+    std::string framework_name;
+    MAYA_ASSIGN_OR_RETURN(framework_name, ToString(value.at("framework")));
+    MAYA_ASSIGN_OR_RETURN(config.framework, ParallelFrameworkFromName(framework_name));
+  }
+  auto int_field = [&value](const char* key, int* out) -> Status {
+    if (value.Has(key)) {
+      Result<int64_t> parsed = ToInt(value.at(key));
+      if (!parsed.ok()) {
+        return Status::InvalidArgument(std::string(key) + ": " + parsed.status().message());
+      }
+      *out = static_cast<int>(*parsed);
+    }
+    return Status::Ok();
+  };
+  auto bool_field = [&value](const char* key, bool* out) -> Status {
+    if (value.Has(key)) {
+      Result<bool> parsed = ToBool(value.at(key));
+      if (!parsed.ok()) {
+        return Status::InvalidArgument(std::string(key) + ": " + parsed.status().message());
+      }
+      *out = *parsed;
+    }
+    return Status::Ok();
+  };
+  if (value.Has("global_batch_size")) {
+    MAYA_ASSIGN_OR_RETURN(config.global_batch_size, ToInt(value.at("global_batch_size")));
+  }
+  MAYA_RETURN_IF_ERROR(int_field("tensor_parallel", &config.tensor_parallel));
+  MAYA_RETURN_IF_ERROR(int_field("pipeline_parallel", &config.pipeline_parallel));
+  MAYA_RETURN_IF_ERROR(int_field("microbatch_multiplier", &config.microbatch_multiplier));
+  MAYA_RETURN_IF_ERROR(int_field("virtual_pipeline_stages", &config.virtual_pipeline_stages));
+  MAYA_RETURN_IF_ERROR(bool_field("sequence_parallel", &config.sequence_parallel));
+  MAYA_RETURN_IF_ERROR(
+      bool_field("activation_recomputation", &config.activation_recomputation));
+  MAYA_RETURN_IF_ERROR(bool_field("distributed_optimizer", &config.distributed_optimizer));
+  MAYA_RETURN_IF_ERROR(int_field("zero_stage", &config.zero_stage));
+  MAYA_RETURN_IF_ERROR(bool_field("activation_offload", &config.activation_offload));
+  MAYA_RETURN_IF_ERROR(bool_field("torch_compile", &config.torch_compile));
+  return config;
+}
+
+void WriteClusterSpec(JsonWriter& w, const ClusterSpec& cluster) {
+  w.BeginObject();
+  w.Field("arch", std::string_view(GpuArchName(cluster.gpu.arch)));
+  w.Field("gpu_name", std::string_view(cluster.gpu.name));
+  w.Field("peak_fp32_flops", cluster.gpu.peak_fp32_flops);
+  w.Field("peak_tensor_flops", cluster.gpu.peak_tensor_flops);
+  w.Field("hbm_bytes", cluster.gpu.hbm_bytes);
+  w.Field("hbm_bandwidth", cluster.gpu.hbm_bandwidth);
+  w.Field("sm_count", static_cast<int64_t>(cluster.gpu.sm_count));
+  w.Field("sm_clock_ghz", cluster.gpu.sm_clock_ghz);
+  w.Field("kernel_dispatch_latency_us", cluster.gpu.kernel_dispatch_latency_us);
+  w.Field("gpus_per_node", static_cast<int64_t>(cluster.gpus_per_node));
+  w.Field("num_nodes", static_cast<int64_t>(cluster.num_nodes));
+  w.Field("intra_fabric", std::string_view(IntraNodeFabricName(cluster.intra_fabric)));
+  w.Field("intra_bandwidth", cluster.intra_bandwidth);
+  w.Field("intra_latency_us", cluster.intra_latency_us);
+  w.Field("inter_fabric", std::string_view(InterNodeFabricName(cluster.inter_fabric)));
+  w.Field("inter_bandwidth", cluster.inter_bandwidth);
+  w.Field("inter_latency_us", cluster.inter_latency_us);
+  w.Field("cost_per_gpu_hour", cluster.cost_per_gpu_hour);
+  w.EndObject();
+}
+
+Result<ClusterSpec> ParseClusterSpec(const JsonValue& value) {
+  MAYA_RETURN_IF_ERROR(RequireKeys(
+      value, {"arch", "gpu_name", "peak_fp32_flops", "peak_tensor_flops", "hbm_bytes",
+              "hbm_bandwidth", "sm_count", "sm_clock_ghz", "kernel_dispatch_latency_us",
+              "gpus_per_node", "num_nodes", "intra_fabric", "intra_bandwidth",
+              "intra_latency_us", "inter_fabric", "inter_bandwidth", "inter_latency_us",
+              "cost_per_gpu_hour"}));
+  ClusterSpec cluster;
+  Result<GpuArch> arch = GpuArchFromName(value.at("arch").AsString());
+  if (!arch.ok()) {
+    return arch.status();
+  }
+  cluster.gpu.arch = *arch;
+  cluster.gpu.name = value.at("gpu_name").AsString();
+  cluster.gpu.peak_fp32_flops = value.at("peak_fp32_flops").AsDouble();
+  cluster.gpu.peak_tensor_flops = value.at("peak_tensor_flops").AsDouble();
+  cluster.gpu.hbm_bytes = value.at("hbm_bytes").AsUint();
+  cluster.gpu.hbm_bandwidth = value.at("hbm_bandwidth").AsDouble();
+  cluster.gpu.sm_count = static_cast<int>(value.at("sm_count").AsInt());
+  cluster.gpu.sm_clock_ghz = value.at("sm_clock_ghz").AsDouble();
+  cluster.gpu.kernel_dispatch_latency_us =
+      value.at("kernel_dispatch_latency_us").AsDouble();
+  cluster.gpus_per_node = static_cast<int>(value.at("gpus_per_node").AsInt());
+  cluster.num_nodes = static_cast<int>(value.at("num_nodes").AsInt());
+  Result<IntraNodeFabric> intra = IntraNodeFabricFromName(value.at("intra_fabric").AsString());
+  if (!intra.ok()) {
+    return intra.status();
+  }
+  cluster.intra_fabric = *intra;
+  cluster.intra_bandwidth = value.at("intra_bandwidth").AsDouble();
+  cluster.intra_latency_us = value.at("intra_latency_us").AsDouble();
+  Result<InterNodeFabric> inter = InterNodeFabricFromName(value.at("inter_fabric").AsString());
+  if (!inter.ok()) {
+    return inter.status();
+  }
+  cluster.inter_fabric = *inter;
+  cluster.inter_bandwidth = value.at("inter_bandwidth").AsDouble();
+  cluster.inter_latency_us = value.at("inter_latency_us").AsDouble();
+  cluster.cost_per_gpu_hour = value.at("cost_per_gpu_hour").AsDouble();
+  return cluster;
+}
+
+Result<ClusterSpec> ClusterSpecByName(const std::string& name) {
+  if (name == "a40") {
+    return A40Node();
+  }
+  const auto parse_count = [&name](size_t prefix_len) -> Result<int> {
+    const std::string count_str = name.substr(prefix_len);
+    char* end = nullptr;
+    const long count = std::strtol(count_str.c_str(), &end, 10);
+    if (count_str.empty() || end != count_str.c_str() + count_str.size() || count <= 0) {
+      return Status::InvalidArgument("bad GPU count in cluster name '" + name + "'");
+    }
+    return static_cast<int>(count);
+  };
+  if (name.rfind("h100x", 0) == 0) {
+    Result<int> count = parse_count(5);
+    if (!count.ok()) {
+      return count.status();
+    }
+    return H100Cluster(*count);
+  }
+  if (name.rfind("v100x", 0) == 0) {
+    Result<int> count = parse_count(5);
+    if (!count.ok()) {
+      return count.status();
+    }
+    return V100Cluster(*count);
+  }
+  return Status::InvalidArgument(
+      "unknown cluster '" + name + "' (expected h100x<N>, v100x<N>, or a40)");
+}
+
+std::string SerializeServiceRequest(const ServiceRequest& request) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("id", request.id);
+  w.Field("kind", std::string_view(ServiceRequestKindName(request.kind)));
+  if (request.deadline_ms > 0.0) {
+    w.Field("deadline_ms", request.deadline_ms);
+  }
+  switch (request.kind) {
+    case ServiceRequestKind::kPredict:
+    case ServiceRequestKind::kWhatIfOom:
+      w.Key("model");
+      WriteModelConfig(w, request.model);
+      w.Key("config");
+      WriteTrainConfig(w, request.config);
+      w.Field("deduplicate_workers", request.deduplicate_workers);
+      w.Field("selective_launch", request.selective_launch);
+      break;
+    case ServiceRequestKind::kWhatIfCluster:
+      w.Key("model");
+      WriteModelConfig(w, request.model);
+      w.Key("config");
+      WriteTrainConfig(w, request.config);
+      w.Field("deduplicate_workers", request.deduplicate_workers);
+      w.Field("selective_launch", request.selective_launch);
+      w.Field("cluster", std::string_view(request.cluster_name));
+      break;
+    case ServiceRequestKind::kSearch:
+      w.Key("model");
+      WriteModelConfig(w, request.model);
+      w.Key("search");
+      WriteSearchOptions(w, request.search);
+      w.Field("global_batch", request.global_batch);
+      break;
+    case ServiceRequestKind::kTracePredict: {
+      CHECK(request.trace.has_value()) << "trace_predict request carries no trace";
+      // Embed the canonical job-trace serialization as a nested object.
+      w.Key("trace");
+      w.RawValue(SerializeJobTrace(*request.trace));
+      break;
+    }
+    case ServiceRequestKind::kStats:
+      break;
+    case ServiceRequestKind::kCancel:
+      w.Field("target_id", request.target_id);
+      break;
+  }
+  w.EndObject();
+  return w.str();
+}
+
+Result<ServiceRequest> ParseServiceRequest(const std::string& line) {
+  Result<JsonValue> root = ParseJson(line);
+  if (!root.ok()) {
+    return root.status();
+  }
+  MAYA_RETURN_IF_ERROR(RequireKeys(*root, {"id", "kind"}));
+  // Typed accessors CHECK-fail on mismatches; the envelope fields come
+  // straight off the wire, so validate their types before touching them.
+  if (root->at("id").type() != JsonValue::Type::kNumber || root->at("id").AsDouble() < 0.0) {
+    return Status::InvalidArgument("request id must be a non-negative number");
+  }
+  if (root->at("kind").type() != JsonValue::Type::kString) {
+    return Status::InvalidArgument("request kind must be a string");
+  }
+  ServiceRequest request;
+  request.id = root->at("id").AsUint();
+  Result<ServiceRequestKind> kind = ServiceRequestKindFromName(root->at("kind").AsString());
+  if (!kind.ok()) {
+    return kind.status();
+  }
+  request.kind = *kind;
+  if (root->Has("deadline_ms")) {
+    if (root->at("deadline_ms").type() != JsonValue::Type::kNumber) {
+      return Status::InvalidArgument("deadline_ms must be a number");
+    }
+    request.deadline_ms = root->at("deadline_ms").AsDouble();
+  }
+  switch (request.kind) {
+    case ServiceRequestKind::kPredict:
+    case ServiceRequestKind::kWhatIfOom:
+    case ServiceRequestKind::kWhatIfCluster: {
+      MAYA_RETURN_IF_ERROR(RequireKeys(*root, {"model", "config"}));
+      Result<ModelConfig> model = ParseModelConfig(root->at("model"));
+      if (!model.ok()) {
+        return model.status();
+      }
+      request.model = *std::move(model);
+      Result<TrainConfig> config = ParseTrainConfig(root->at("config"));
+      if (!config.ok()) {
+        return config.status();
+      }
+      request.config = *config;
+      if (root->Has("deduplicate_workers")) {
+        MAYA_ASSIGN_OR_RETURN(request.deduplicate_workers,
+                              ToBool(root->at("deduplicate_workers")));
+      }
+      if (root->Has("selective_launch")) {
+        MAYA_ASSIGN_OR_RETURN(request.selective_launch, ToBool(root->at("selective_launch")));
+      }
+      if (request.kind == ServiceRequestKind::kWhatIfCluster) {
+        MAYA_RETURN_IF_ERROR(RequireKeys(*root, {"cluster"}));
+        MAYA_ASSIGN_OR_RETURN(request.cluster_name, ToString(root->at("cluster")));
+      }
+      break;
+    }
+    case ServiceRequestKind::kSearch: {
+      MAYA_RETURN_IF_ERROR(RequireKeys(*root, {"model"}));
+      Result<ModelConfig> model = ParseModelConfig(root->at("model"));
+      if (!model.ok()) {
+        return model.status();
+      }
+      request.model = *std::move(model);
+      if (root->Has("search")) {
+        Result<SearchOptions> search = ParseSearchOptions(root->at("search"));
+        if (!search.ok()) {
+          return search.status();
+        }
+        request.search = *search;
+      }
+      if (root->Has("global_batch")) {
+        MAYA_ASSIGN_OR_RETURN(request.global_batch, ToInt(root->at("global_batch")));
+      }
+      break;
+    }
+    case ServiceRequestKind::kTracePredict: {
+      MAYA_RETURN_IF_ERROR(RequireKeys(*root, {"trace"}));
+      Result<JobTrace> trace = ParseJobTrace(root->at("trace"));
+      if (!trace.ok()) {
+        return trace.status();
+      }
+      request.trace = *std::move(trace);
+      break;
+    }
+    case ServiceRequestKind::kStats:
+      break;
+    case ServiceRequestKind::kCancel:
+      MAYA_RETURN_IF_ERROR(RequireKeys(*root, {"target_id"}));
+      MAYA_ASSIGN_OR_RETURN(request.target_id, ToUint(root->at("target_id")));
+      break;
+  }
+  return request;
+}
+
+std::string SerializeServiceResponse(const ServiceResponse& response) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("id", response.id);
+  w.Field("kind", std::string_view(ServiceRequestKindName(response.kind)));
+  w.Field("ok", response.ok);
+  if (!response.ok) {
+    w.Field("error", std::string_view(response.error));
+    w.Field("error_code", std::string_view(response.error_code));
+    w.EndObject();
+    return w.str();
+  }
+  switch (response.kind) {
+    case ServiceRequestKind::kPredict:
+    case ServiceRequestKind::kWhatIfOom:
+    case ServiceRequestKind::kWhatIfCluster:
+    case ServiceRequestKind::kTracePredict:
+      w.Field("oom", response.oom);
+      if (response.oom) {
+        w.Field("oom_detail", std::string_view(response.oom_detail));
+      } else {
+        w.Field("iteration_time_us", std::string_view(DoubleBits(response.iteration_time_us)));
+        w.Field("iteration_time_us_approx", response.iteration_time_us);
+        w.Field("mfu", std::string_view(DoubleBits(response.mfu)));
+        w.Field("mfu_approx", response.mfu);
+        w.Field("peak_memory_bytes", response.peak_memory_bytes);
+      }
+      w.Field("emulation_ms", response.timings.emulation_ms);
+      w.Field("collation_ms", response.timings.collation_ms);
+      w.Field("estimation_ms", response.timings.estimation_ms);
+      w.Field("simulation_ms", response.timings.simulation_ms);
+      w.Key("estimation");
+      WriteEstimationStats(w, response.estimation);
+      w.Field("trace_cache_hit", response.trace_cache_hit);
+      break;
+    case ServiceRequestKind::kSearch:
+      w.Field("found", response.found);
+      if (response.found) {
+        w.Key("best_config");
+        WriteTrainConfig(w, response.best_config);
+        w.Field("best_mfu", std::string_view(DoubleBits(response.best_mfu)));
+        w.Field("best_mfu_approx", response.best_mfu);
+        w.Field("best_iteration_us", std::string_view(DoubleBits(response.best_iteration_us)));
+      }
+      w.Field("samples", static_cast<int64_t>(response.samples));
+      w.Field("executed", static_cast<int64_t>(response.executed));
+      w.Field("cached", static_cast<int64_t>(response.cached));
+      w.Field("skipped", static_cast<int64_t>(response.skipped));
+      w.Field("oom_trials", static_cast<int64_t>(response.search_oom));
+      w.Key("estimation");
+      WriteEstimationStats(w, response.estimation);
+      break;
+    case ServiceRequestKind::kStats:
+      w.Field("submitted", response.stats.submitted);
+      w.Field("completed", response.stats.completed);
+      w.Field("rejected", response.stats.rejected);
+      w.Field("cancelled", response.stats.cancelled);
+      w.Field("deadline_expired", response.stats.deadline_expired);
+      w.Field("queue_depth", response.stats.queue_depth);
+      w.Key("kernel_cache");
+      WriteCacheStats(w, response.stats.kernel_cache);
+      w.Key("collective_cache");
+      WriteCacheStats(w, response.stats.collective_cache);
+      w.Key("trace_cache");
+      WriteCacheStats(w, response.stats.trace_cache);
+      break;
+    case ServiceRequestKind::kCancel:
+      w.Field("cancel_found", response.cancel_found);
+      break;
+  }
+  w.EndObject();
+  return w.str();
+}
+
+Result<ServiceResponse> ParseServiceResponse(const std::string& line) {
+  Result<JsonValue> root = ParseJson(line);
+  if (!root.ok()) {
+    return root.status();
+  }
+  MAYA_RETURN_IF_ERROR(RequireKeys(*root, {"id", "kind", "ok"}));
+  ServiceResponse response;
+  response.id = root->at("id").AsUint();
+  Result<ServiceRequestKind> kind = ServiceRequestKindFromName(root->at("kind").AsString());
+  if (!kind.ok()) {
+    return kind.status();
+  }
+  response.kind = *kind;
+  response.ok = root->at("ok").AsBool();
+  if (!response.ok) {
+    MAYA_RETURN_IF_ERROR(RequireKeys(*root, {"error", "error_code"}));
+    response.error = root->at("error").AsString();
+    response.error_code = root->at("error_code").AsString();
+    return response;
+  }
+  switch (response.kind) {
+    case ServiceRequestKind::kPredict:
+    case ServiceRequestKind::kWhatIfOom:
+    case ServiceRequestKind::kWhatIfCluster:
+    case ServiceRequestKind::kTracePredict: {
+      MAYA_RETURN_IF_ERROR(RequireKeys(*root, {"oom", "estimation"}));
+      response.oom = root->at("oom").AsBool();
+      if (response.oom) {
+        response.oom_detail = root->at("oom_detail").AsString();
+      } else {
+        Result<double> iteration = DoubleFromBits(root->at("iteration_time_us").AsString());
+        if (!iteration.ok()) {
+          return iteration.status();
+        }
+        response.iteration_time_us = *iteration;
+        Result<double> mfu = DoubleFromBits(root->at("mfu").AsString());
+        if (!mfu.ok()) {
+          return mfu.status();
+        }
+        response.mfu = *mfu;
+        response.peak_memory_bytes = root->at("peak_memory_bytes").AsUint();
+      }
+      response.timings.emulation_ms = root->at("emulation_ms").AsDouble();
+      response.timings.collation_ms = root->at("collation_ms").AsDouble();
+      response.timings.estimation_ms = root->at("estimation_ms").AsDouble();
+      response.timings.simulation_ms = root->at("simulation_ms").AsDouble();
+      response.estimation = ParseEstimationStats(root->at("estimation"));
+      if (root->Has("trace_cache_hit")) {
+        response.trace_cache_hit = root->at("trace_cache_hit").AsBool();
+      }
+      break;
+    }
+    case ServiceRequestKind::kSearch: {
+      MAYA_RETURN_IF_ERROR(RequireKeys(*root, {"found", "samples", "estimation"}));
+      response.found = root->at("found").AsBool();
+      if (response.found) {
+        Result<TrainConfig> best = ParseTrainConfig(root->at("best_config"));
+        if (!best.ok()) {
+          return best.status();
+        }
+        response.best_config = *best;
+        Result<double> best_mfu = DoubleFromBits(root->at("best_mfu").AsString());
+        if (!best_mfu.ok()) {
+          return best_mfu.status();
+        }
+        response.best_mfu = *best_mfu;
+        Result<double> best_iteration =
+            DoubleFromBits(root->at("best_iteration_us").AsString());
+        if (!best_iteration.ok()) {
+          return best_iteration.status();
+        }
+        response.best_iteration_us = *best_iteration;
+      }
+      response.samples = static_cast<int>(root->at("samples").AsInt());
+      response.executed = static_cast<int>(root->at("executed").AsInt());
+      response.cached = static_cast<int>(root->at("cached").AsInt());
+      response.skipped = static_cast<int>(root->at("skipped").AsInt());
+      response.search_oom = static_cast<int>(root->at("oom_trials").AsInt());
+      response.estimation = ParseEstimationStats(root->at("estimation"));
+      break;
+    }
+    case ServiceRequestKind::kStats:
+      response.stats.submitted = root->at("submitted").AsUint();
+      response.stats.completed = root->at("completed").AsUint();
+      response.stats.rejected = root->at("rejected").AsUint();
+      response.stats.cancelled = root->at("cancelled").AsUint();
+      response.stats.deadline_expired = root->at("deadline_expired").AsUint();
+      response.stats.queue_depth = root->at("queue_depth").AsUint();
+      response.stats.kernel_cache = ParseCacheStats(root->at("kernel_cache"));
+      response.stats.collective_cache = ParseCacheStats(root->at("collective_cache"));
+      response.stats.trace_cache = ParseCacheStats(root->at("trace_cache"));
+      break;
+    case ServiceRequestKind::kCancel:
+      response.cancel_found = root->at("cancel_found").AsBool();
+      break;
+  }
+  return response;
+}
+
+}  // namespace maya

@@ -1,0 +1,154 @@
+// Maya-as-a-service wire protocol: newline-delimited JSON request/response
+// messages (one object per line) over any byte stream — stdio for the
+// `maya_serve` tool, an in-process loopback for tests and benches.
+//
+// Every request carries a caller-chosen `id` echoed in the response, so a
+// client may pipeline many requests and match completions out of order. An
+// optional `deadline_ms` bounds queue wait + execution; expired requests are
+// answered with DEADLINE_EXCEEDED instead of running stale what-ifs.
+//
+// Request kinds:
+//   predict        — full pipeline run for (model, config); reports iteration
+//                    time, MFU, per-stage timings, estimate-cache hit rate.
+//   search         — Maya-Search over the Table-5 Megatron space for `model`.
+//   whatif_oom     — feasibility probe: does (model, config) fit device
+//                    memory? Reports OOM verdict + peak memory when it fits.
+//   whatif_cluster — predict (model, config) on a different named cluster
+//                    (e.g. "h100x32") sharing the engine's trained
+//                    estimators — the paper's cross-deployment what-if.
+//   trace_predict  — skip emulation: annotate + simulate a pre-collated
+//                    JobTrace supplied in the request payload.
+//   stats          — engine counters and cache statistics.
+//   cancel         — best-effort cancellation of a queued request by id.
+#ifndef SRC_SERVICE_PROTOCOL_H_
+#define SRC_SERVICE_PROTOCOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/common/json_parser.h"
+#include "src/common/json_writer.h"
+#include "src/common/sharded_cache.h"
+#include "src/common/status.h"
+#include "src/core/pipeline.h"
+#include "src/search/search_driver.h"
+#include "src/trace/collator.h"
+
+namespace maya {
+
+enum class ServiceRequestKind {
+  kPredict,
+  kSearch,
+  kWhatIfOom,
+  kWhatIfCluster,
+  kTracePredict,
+  kStats,
+  kCancel,
+};
+
+const char* ServiceRequestKindName(ServiceRequestKind kind);
+Result<ServiceRequestKind> ServiceRequestKindFromName(const std::string& name);
+
+struct ServiceRequest {
+  uint64_t id = 0;
+  ServiceRequestKind kind = ServiceRequestKind::kPredict;
+  // Wall-clock budget from receipt to completion; 0 = no deadline.
+  double deadline_ms = 0.0;
+
+  // predict / search / whatif_* payload.
+  ModelConfig model;
+  TrainConfig config;
+  bool deduplicate_workers = true;
+  bool selective_launch = false;
+
+  // search payload (the space is the Megatron Table-5 grid for `model`;
+  // global_batch 0 selects the paper default for the model).
+  SearchOptions search;
+  int64_t global_batch = 0;
+
+  // whatif_cluster payload: target cluster name ("h100x32", "v100x16", "a40").
+  std::string cluster_name;
+
+  // trace_predict payload.
+  std::optional<JobTrace> trace;
+
+  // cancel payload.
+  uint64_t target_id = 0;
+};
+
+// Machine-readable failure classes (the `error_code` response field).
+inline constexpr const char* kErrQueueFull = "QUEUE_FULL";
+inline constexpr const char* kErrDeadlineExceeded = "DEADLINE_EXCEEDED";
+inline constexpr const char* kErrCancelled = "CANCELLED";
+inline constexpr const char* kErrShuttingDown = "SHUTTING_DOWN";
+inline constexpr const char* kErrInvalidRequest = "INVALID_REQUEST";
+
+// Engine-level counters reported by `stats` responses.
+struct ServiceStats {
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  uint64_t rejected = 0;   // queue-full or shutdown refusals
+  uint64_t cancelled = 0;
+  uint64_t deadline_expired = 0;
+  uint64_t queue_depth = 0;
+  ShardedCacheStats kernel_cache;
+  ShardedCacheStats collective_cache;
+  ShardedCacheStats trace_cache;
+};
+
+struct ServiceResponse {
+  uint64_t id = 0;
+  ServiceRequestKind kind = ServiceRequestKind::kPredict;
+  bool ok = false;
+  std::string error;
+  std::string error_code;
+
+  // predict / whatif_* / trace_predict results.
+  bool oom = false;
+  std::string oom_detail;
+  double iteration_time_us = 0.0;
+  double mfu = 0.0;
+  uint64_t peak_memory_bytes = 0;
+  StageTimings timings;
+  EstimationStats estimation;
+  bool trace_cache_hit = false;
+
+  // search results.
+  bool found = false;
+  TrainConfig best_config;
+  double best_mfu = 0.0;
+  double best_iteration_us = 0.0;
+  int samples = 0;
+  int executed = 0;
+  int cached = 0;
+  int skipped = 0;
+  int search_oom = 0;
+
+  // stats results.
+  ServiceStats stats;
+
+  // cancel results.
+  bool cancel_found = false;
+};
+
+// One NDJSON line (no trailing newline); the transport appends '\n'.
+std::string SerializeServiceRequest(const ServiceRequest& request);
+Result<ServiceRequest> ParseServiceRequest(const std::string& line);
+std::string SerializeServiceResponse(const ServiceResponse& response);
+Result<ServiceResponse> ParseServiceResponse(const std::string& line);
+
+// Shared model/config codecs (also used by the artifact store's manifest).
+void WriteModelConfig(JsonWriter& w, const ModelConfig& model);
+Result<ModelConfig> ParseModelConfig(const JsonValue& value);
+void WriteTrainConfig(JsonWriter& w, const TrainConfig& config);
+Result<TrainConfig> ParseTrainConfig(const JsonValue& value);
+void WriteClusterSpec(JsonWriter& w, const ClusterSpec& cluster);
+Result<ClusterSpec> ParseClusterSpec(const JsonValue& value);
+
+// Named evaluation clusters: "h100x<gpus>", "v100x<gpus>", "a40".
+Result<ClusterSpec> ClusterSpecByName(const std::string& name);
+
+}  // namespace maya
+
+#endif  // SRC_SERVICE_PROTOCOL_H_

@@ -1,0 +1,84 @@
+#include "src/service/service_client.h"
+
+#include <utility>
+
+#include "src/common/strings.h"
+
+namespace maya {
+
+Result<std::string> InProcessTransport::RoundTrip(const std::string& request_line) {
+  Result<ServiceRequest> request = ParseServiceRequest(request_line);
+  if (!request.ok()) {
+    return request.status();
+  }
+  return SerializeServiceResponse(engine_->Submit(*std::move(request)).get());
+}
+
+Result<ServiceResponse> ServiceClient::Call(ServiceRequest request) {
+  if (request.id == 0) {
+    request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+  const uint64_t id = request.id;
+  Result<std::string> response_line = transport_->RoundTrip(SerializeServiceRequest(request));
+  if (!response_line.ok()) {
+    return response_line.status();
+  }
+  Result<ServiceResponse> response = ParseServiceResponse(*response_line);
+  if (!response.ok()) {
+    return response.status();
+  }
+  if (response->id != id) {
+    return Status::Internal(StrFormat("response id %llu does not match request id %llu",
+                                      static_cast<unsigned long long>(response->id),
+                                      static_cast<unsigned long long>(id)));
+  }
+  return response;
+}
+
+Result<ServiceResponse> ServiceClient::Predict(const ModelConfig& model,
+                                               const TrainConfig& config) {
+  ServiceRequest request;
+  request.kind = ServiceRequestKind::kPredict;
+  request.model = model;
+  request.config = config;
+  return Call(std::move(request));
+}
+
+Result<ServiceResponse> ServiceClient::CheckOom(const ModelConfig& model,
+                                                const TrainConfig& config) {
+  ServiceRequest request;
+  request.kind = ServiceRequestKind::kWhatIfOom;
+  request.model = model;
+  request.config = config;
+  return Call(std::move(request));
+}
+
+Result<ServiceResponse> ServiceClient::PredictOnCluster(const ModelConfig& model,
+                                                        const TrainConfig& config,
+                                                        const std::string& cluster_name) {
+  ServiceRequest request;
+  request.kind = ServiceRequestKind::kWhatIfCluster;
+  request.model = model;
+  request.config = config;
+  request.cluster_name = cluster_name;
+  return Call(std::move(request));
+}
+
+Result<ServiceResponse> ServiceClient::Search(const ModelConfig& model,
+                                              const SearchOptions& options,
+                                              int64_t global_batch) {
+  ServiceRequest request;
+  request.kind = ServiceRequestKind::kSearch;
+  request.model = model;
+  request.search = options;
+  request.global_batch = global_batch;
+  return Call(std::move(request));
+}
+
+Result<ServiceResponse> ServiceClient::Stats() {
+  ServiceRequest request;
+  request.kind = ServiceRequestKind::kStats;
+  return Call(std::move(request));
+}
+
+}  // namespace maya

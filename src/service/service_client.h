@@ -1,0 +1,62 @@
+// Client helper for the Maya service protocol.
+//
+// ServiceClient speaks the NDJSON wire format against any line transport; the
+// bundled InProcessTransport loops lines back through a local ServiceEngine,
+// so tests and benches exercise the exact serialize -> parse -> execute ->
+// serialize -> parse path a remote stdio client would, with no subprocess.
+#ifndef SRC_SERVICE_SERVICE_CLIENT_H_
+#define SRC_SERVICE_SERVICE_CLIENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "src/service/protocol.h"
+#include "src/service/service_engine.h"
+
+namespace maya {
+
+// One request line in, one response line out.
+class LineTransport {
+ public:
+  virtual ~LineTransport() = default;
+  virtual Result<std::string> RoundTrip(const std::string& request_line) = 0;
+};
+
+// Loopback transport: parses the line, submits to the engine, waits for the
+// response, re-serializes it.
+class InProcessTransport final : public LineTransport {
+ public:
+  explicit InProcessTransport(ServiceEngine* engine) : engine_(engine) {}
+  Result<std::string> RoundTrip(const std::string& request_line) override;
+
+ private:
+  ServiceEngine* engine_;
+};
+
+class ServiceClient {
+ public:
+  // Borrowed transport/engine must outlive the client.
+  explicit ServiceClient(LineTransport* transport) : transport_(transport) {}
+
+  // Assigns a fresh id (unless the caller set one), round-trips the request,
+  // and checks the response id matches.
+  Result<ServiceResponse> Call(ServiceRequest request);
+
+  // Convenience wrappers for the common request shapes.
+  Result<ServiceResponse> Predict(const ModelConfig& model, const TrainConfig& config);
+  Result<ServiceResponse> CheckOom(const ModelConfig& model, const TrainConfig& config);
+  Result<ServiceResponse> PredictOnCluster(const ModelConfig& model, const TrainConfig& config,
+                                           const std::string& cluster_name);
+  Result<ServiceResponse> Search(const ModelConfig& model, const SearchOptions& options,
+                                 int64_t global_batch = 0);
+  Result<ServiceResponse> Stats();
+
+ private:
+  LineTransport* transport_;
+  std::atomic<uint64_t> next_id_{1};
+};
+
+}  // namespace maya
+
+#endif  // SRC_SERVICE_SERVICE_CLIENT_H_

@@ -1,0 +1,360 @@
+#include "src/service/service_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/strings.h"
+#include "src/models/model_zoo.h"
+#include "src/search/config_space.h"
+
+namespace maya {
+
+ServiceEngine::ServiceEngine(const ClusterSpec& cluster, EstimatorBank bank,
+                             ServiceEngineOptions options)
+    : cluster_(cluster),
+      bank_(std::move(bank)),
+      kernel_estimator_(bank_.kernel.get()),
+      collective_estimator_(bank_.collective.get()),
+      options_(options) {
+  Start();
+}
+
+ServiceEngine::ServiceEngine(const ClusterSpec& cluster,
+                             const KernelRuntimeEstimator* kernel_estimator,
+                             const CollectiveEstimator* collective_estimator,
+                             ServiceEngineOptions options)
+    : cluster_(cluster),
+      kernel_estimator_(kernel_estimator),
+      collective_estimator_(collective_estimator),
+      options_(options) {
+  Start();
+}
+
+void ServiceEngine::Start() {
+  CHECK(kernel_estimator_ != nullptr);
+  CHECK(collective_estimator_ != nullptr);
+  // A zero bound would reject every request; a service with no queue is a
+  // misconfiguration, not a mode.
+  options_.max_queue_depth = std::max<size_t>(1, options_.max_queue_depth);
+  pipeline_ = std::make_unique<MayaPipeline>(cluster_, kernel_estimator_, collective_estimator_,
+                                             options_.pipeline);
+  paused_ = options_.start_paused;
+  const int workers = std::max(1, options_.worker_threads);
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Result<std::unique_ptr<ServiceEngine>> ServiceEngine::FromArtifacts(
+    const ClusterSpec& cluster, const ArtifactStore& store, ServiceEngineOptions options) {
+  Result<EstimatorBank> bank = store.LoadEstimators(cluster);
+  if (!bank.ok()) {
+    return bank.status();
+  }
+  auto engine = std::make_unique<ServiceEngine>(cluster, *std::move(bank), options);
+  Result<uint64_t> imported = store.WarmPipeline(engine->pipeline());
+  if (!imported.ok()) {
+    return imported.status();
+  }
+  return engine;
+}
+
+ServiceEngine::~ServiceEngine() { Shutdown(); }
+
+void ServiceEngine::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    paused_ = false;
+  }
+  queue_cv_.notify_all();
+}
+
+void ServiceEngine::Shutdown() {
+  // Claim the worker threads under the lock: concurrent Shutdown callers
+  // must never join the same std::thread twice.
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    shutting_down_ = true;
+    paused_ = false;  // a paused engine must still drain on shutdown
+    workers.swap(workers_);
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+}
+
+ServiceResponse ServiceEngine::ErrorResponse(const ServiceRequest& request, const char* code,
+                                             std::string message) {
+  ServiceResponse response;
+  response.id = request.id;
+  response.kind = request.kind;
+  response.ok = false;
+  response.error_code = code;
+  response.error = std::move(message);
+  return response;
+}
+
+std::future<ServiceResponse> ServiceEngine::Submit(ServiceRequest request) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  std::promise<ServiceResponse> immediate;
+  std::future<ServiceResponse> immediate_future = immediate.get_future();
+
+  // Control kinds answer synchronously: they read or mutate engine state and
+  // must not queue behind compute work.
+  if (request.kind == ServiceRequestKind::kStats) {
+    ServiceResponse response;
+    response.id = request.id;
+    response.kind = request.kind;
+    response.ok = true;
+    response.stats = stats();
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    immediate.set_value(std::move(response));
+    return immediate_future;
+  }
+  if (request.kind == ServiceRequestKind::kCancel) {
+    ServiceResponse response;
+    response.id = request.id;
+    response.kind = request.kind;
+    response.ok = true;
+    response.cancel_found = Cancel(request.target_id);
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    immediate.set_value(std::move(response));
+    return immediate_future;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->request = std::move(request);
+  job->deadline = job->request.deadline_ms > 0.0
+                      ? std::chrono::steady_clock::now() +
+                            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                                std::chrono::duration<double, std::milli>(
+                                    job->request.deadline_ms))
+                      : std::chrono::steady_clock::time_point::max();
+  std::future<ServiceResponse> future = job->promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (shutting_down_) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      job->promise.set_value(
+          ErrorResponse(job->request, kErrShuttingDown, "engine is shutting down"));
+      return future;
+    }
+    if (queue_.size() >= options_.max_queue_depth) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      job->promise.set_value(ErrorResponse(
+          job->request, kErrQueueFull,
+          StrFormat("queue depth %zu at bound %zu", queue_.size(), options_.max_queue_depth)));
+      return future;
+    }
+    queue_.push_back(std::move(job));
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+bool ServiceEngine::Cancel(uint64_t id) {
+  std::shared_ptr<Job> victim;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if ((*it)->request.id == id) {
+        victim = *it;
+        queue_.erase(it);
+        break;
+      }
+    }
+  }
+  if (victim == nullptr) {
+    return false;
+  }
+  cancelled_.fetch_add(1, std::memory_order_relaxed);
+  victim->promise.set_value(
+      ErrorResponse(victim->request, kErrCancelled, "cancelled while queued"));
+  return true;
+}
+
+void ServiceEngine::WorkerLoop() {
+  while (true) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] {
+        return (!queue_.empty() && !paused_) || (shutting_down_ && queue_.empty());
+      });
+      if (queue_.empty()) {
+        return;  // shutting down, queue drained
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    if (std::chrono::steady_clock::now() > job->deadline) {
+      deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+      job->promise.set_value(
+          ErrorResponse(job->request, kErrDeadlineExceeded, "deadline expired in queue"));
+      continue;
+    }
+    ServiceResponse response = Execute(job->request);
+    // Count before publishing: a caller that observed the future must also
+    // observe the completion in stats().
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    job->promise.set_value(std::move(response));
+  }
+}
+
+ServiceResponse ServiceEngine::ExecutePredictLike(const ServiceRequest& request,
+                                                  const MayaPipeline& pipeline) const {
+  PredictionRequest predict;
+  predict.model = request.model;
+  predict.config = request.config;
+  predict.deduplicate_workers = request.deduplicate_workers;
+  predict.selective_launch = request.selective_launch;
+  Result<PredictionReport> report = pipeline.Predict(predict);
+  if (!report.ok()) {
+    return ErrorResponse(request, kErrInvalidRequest, report.status().ToString());
+  }
+  ServiceResponse response;
+  response.id = request.id;
+  response.kind = request.kind;
+  response.ok = true;
+  response.oom = report->oom;
+  response.oom_detail = report->oom_detail;
+  if (!report->oom) {
+    response.iteration_time_us = report->iteration_time_us;
+    response.mfu = report->mfu;
+    response.peak_memory_bytes = report->sim.peak_memory_bytes;
+  }
+  response.timings = report->timings;
+  response.estimation = report->estimation;
+  response.trace_cache_hit = report->trace_cache_hit;
+  return response;
+}
+
+ServiceResponse ServiceEngine::ExecuteSearch(const ServiceRequest& request) const {
+  const int64_t global_batch =
+      request.global_batch > 0 ? request.global_batch : DefaultGlobalBatch(request.model);
+  const ConfigSpace space = ConfigSpace::MegatronTable5(global_batch);
+  const SearchOutcome outcome = RunSearch(*pipeline_, request.model, space, request.search);
+  ServiceResponse response;
+  response.id = request.id;
+  response.kind = request.kind;
+  response.ok = true;
+  response.found = outcome.found;
+  response.best_config = outcome.best_config;
+  response.best_mfu = outcome.best_mfu;
+  response.best_iteration_us = outcome.best_iteration_us;
+  response.samples = outcome.samples;
+  response.executed = outcome.executed;
+  response.cached = outcome.cached;
+  response.skipped = outcome.skipped;
+  response.search_oom = outcome.oom;
+  response.estimation = outcome.estimation_totals;
+  return response;
+}
+
+ServiceResponse ServiceEngine::ExecuteTracePredict(const ServiceRequest& request) const {
+  if (!request.trace.has_value()) {
+    return ErrorResponse(request, kErrInvalidRequest,
+                         "trace_predict request carries no trace");
+  }
+  // The trace arrives pre-collated: run stages 3+4 only.
+  JobTrace job = *request.trace;
+  ServiceResponse response;
+  response.id = request.id;
+  response.kind = request.kind;
+  response.estimation = pipeline_->AnnotateDurations(job, nullptr);
+  Simulator simulator(job, cluster_, SimOptions{});
+  Result<SimReport> sim = simulator.Run();
+  if (!sim.ok()) {
+    return ErrorResponse(request, kErrInvalidRequest, sim.status().ToString());
+  }
+  response.ok = true;
+  response.oom = false;
+  response.iteration_time_us = sim->total_time_us;
+  response.peak_memory_bytes = sim->peak_memory_bytes;
+  // MFU needs a model + batch; a raw trace carries neither, so it stays 0.
+  return response;
+}
+
+Result<std::shared_ptr<const MayaPipeline>> ServiceEngine::PipelineForCluster(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(whatif_mutex_);
+  auto it = whatif_pipelines_.find(name);
+  if (it != whatif_pipelines_.end()) {
+    return it->second;
+  }
+  Result<ClusterSpec> cluster = ClusterSpecByName(name);
+  if (!cluster.ok()) {
+    return cluster.status();
+  }
+  if (cluster->gpu.arch != cluster_.gpu.arch) {
+    return Status::FailedPrecondition(
+        "what-if cluster '" + name + "' uses a different GPU architecture (" +
+        GpuArchName(cluster->gpu.arch) + ") than the engine's estimators (" +
+        GpuArchName(cluster_.gpu.arch) + "); kernel forests do not transfer across archs");
+  }
+  // Bound the cache: cluster names are client-supplied, so evict arbitrarily
+  // beyond the cap (executing requests keep their pipeline alive via the
+  // shared_ptr; a re-requested evicted cluster is simply rebuilt).
+  constexpr size_t kMaxWhatIfPipelines = 8;
+  if (whatif_pipelines_.size() >= kMaxWhatIfPipelines) {
+    whatif_pipelines_.erase(whatif_pipelines_.begin());
+  }
+  auto pipeline = std::make_shared<const MayaPipeline>(*cluster, kernel_estimator_,
+                                                       collective_estimator_, options_.pipeline);
+  whatif_pipelines_.emplace(name, pipeline);
+  return pipeline;
+}
+
+ServiceResponse ServiceEngine::Execute(const ServiceRequest& request) const {
+  switch (request.kind) {
+    case ServiceRequestKind::kPredict:
+    case ServiceRequestKind::kWhatIfOom:
+      return ExecutePredictLike(request, *pipeline_);
+    case ServiceRequestKind::kWhatIfCluster: {
+      Result<std::shared_ptr<const MayaPipeline>> pipeline =
+          PipelineForCluster(request.cluster_name);
+      if (!pipeline.ok()) {
+        return ErrorResponse(request, kErrInvalidRequest, pipeline.status().ToString());
+      }
+      return ExecutePredictLike(request, **pipeline);
+    }
+    case ServiceRequestKind::kSearch:
+      return ExecuteSearch(request);
+    case ServiceRequestKind::kTracePredict:
+      return ExecuteTracePredict(request);
+    case ServiceRequestKind::kStats: {
+      ServiceResponse response;
+      response.id = request.id;
+      response.kind = request.kind;
+      response.ok = true;
+      response.stats = stats();
+      return response;
+    }
+    case ServiceRequestKind::kCancel:
+      return ErrorResponse(request, kErrInvalidRequest,
+                           "cancel is a control request; submit it through the engine");
+  }
+  return ErrorResponse(request, kErrInvalidRequest, "unknown request kind");
+}
+
+ServiceStats ServiceEngine::stats() const {
+  ServiceStats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.cancelled = cancelled_.load(std::memory_order_relaxed);
+  stats.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stats.queue_depth = queue_.size();
+  }
+  stats.kernel_cache = pipeline_->KernelCacheStats();
+  stats.collective_cache = pipeline_->CollectiveCacheStats();
+  stats.trace_cache = pipeline_->TraceCacheStats();
+  return stats;
+}
+
+}  // namespace maya

@@ -1,0 +1,147 @@
+// Multi-tenant prediction service: one warm MayaPipeline (trained estimators
+// + sharded estimate caches) behind a bounded job queue and a worker pool, so
+// many callers share the cost of training and cache warm-up instead of each
+// paying cold-start (§5's many-what-ifs-per-estimator usage pattern at
+// service scale).
+//
+// Concurrency model: Submit() enqueues and returns a future; worker threads
+// drain the queue and execute requests against the shared pipeline (whose
+// Predict is thread-safe and whose caches are lock-striped). Backpressure is
+// a hard queue bound — beyond it Submit answers QUEUE_FULL immediately rather
+// than building unbounded latency. Per-request deadlines are re-checked at
+// dequeue, so requests that aged out in the queue never burn worker time.
+// Queued requests can be cancelled by id; executing requests run to
+// completion (pipeline stages are short relative to queue waits).
+#ifndef SRC_SERVICE_SERVICE_ENGINE_H_
+#define SRC_SERVICE_SERVICE_ENGINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/estimator_bank.h"
+#include "src/core/pipeline.h"
+#include "src/service/artifact_store.h"
+#include "src/service/protocol.h"
+
+namespace maya {
+
+struct ServiceEngineOptions {
+  int worker_threads = 4;
+  size_t max_queue_depth = 64;
+  MayaPipelineOptions pipeline;
+  // Construct with the queue paused (workers idle until Resume()) — lets
+  // tests and staged startups fill the queue deterministically.
+  bool start_paused = false;
+};
+
+class ServiceEngine {
+ public:
+  // Takes ownership of the trained bank; the pipeline is built over it.
+  ServiceEngine(const ClusterSpec& cluster, EstimatorBank bank,
+                ServiceEngineOptions options = {});
+  // Borrowed-estimator variant (estimators must outlive the engine) — for
+  // callers that already own a trained bank (benches, test fixtures).
+  // bank() is empty on engines built this way.
+  ServiceEngine(const ClusterSpec& cluster, const KernelRuntimeEstimator* kernel_estimator,
+                const CollectiveEstimator* collective_estimator,
+                ServiceEngineOptions options = {});
+  // Warm start: estimators and estimate caches loaded from a bundle.
+  static Result<std::unique_ptr<ServiceEngine>> FromArtifacts(
+      const ClusterSpec& cluster, const ArtifactStore& store,
+      ServiceEngineOptions options = {});
+  ~ServiceEngine();
+
+  ServiceEngine(const ServiceEngine&) = delete;
+  ServiceEngine& operator=(const ServiceEngine&) = delete;
+
+  // Enqueues a compute request (predict / search / whatif_* / trace_predict)
+  // and returns a future for its response. Control kinds (stats, cancel)
+  // resolve synchronously. Rejections (queue full, shutting down) resolve
+  // immediately with ok=false.
+  std::future<ServiceResponse> Submit(ServiceRequest request);
+
+  // Executes a request synchronously on the caller's thread against the same
+  // shared pipeline — the sequential reference path for tests, and the
+  // substrate workers run on.
+  ServiceResponse Execute(const ServiceRequest& request) const;
+
+  // Best-effort cancellation of a queued request; returns true when the
+  // request was found still queued (its future resolves CANCELLED).
+  bool Cancel(uint64_t id);
+
+  // Releases a paused engine's workers.
+  void Resume();
+
+  // Stops accepting work, drains the queue, joins workers. Idempotent.
+  void Shutdown();
+
+  ServiceStats stats() const;
+  const MayaPipeline& pipeline() const { return *pipeline_; }
+  MayaPipeline& pipeline() { return *pipeline_; }
+  const EstimatorBank& bank() const { return bank_; }
+  const ClusterSpec& cluster() const { return cluster_; }
+
+ private:
+  struct Job {
+    ServiceRequest request;
+    std::promise<ServiceResponse> promise;
+    std::chrono::steady_clock::time_point deadline;  // max() = none
+    bool cancelled = false;
+  };
+
+  // Shared constructor tail: clamps options, builds the pipeline, spawns the
+  // worker pool.
+  void Start();
+  void WorkerLoop();
+  ServiceResponse ExecutePredictLike(const ServiceRequest& request,
+                                     const MayaPipeline& pipeline) const;
+  ServiceResponse ExecuteSearch(const ServiceRequest& request) const;
+  ServiceResponse ExecuteTracePredict(const ServiceRequest& request) const;
+  // Lazily builds (and caches) a secondary pipeline for a what-if cluster,
+  // sharing this engine's estimators. Same-arch clusters reuse the kernel
+  // forests directly; unprofiled collective group shapes fall back to the
+  // analytical ring model inside the estimator. The cache is bounded:
+  // cluster names are client-supplied, so an unbounded map would let one
+  // caller grow the server without limit. Shared ownership keeps a pipeline
+  // alive for requests still executing on it after eviction.
+  Result<std::shared_ptr<const MayaPipeline>> PipelineForCluster(const std::string& name) const;
+
+  static ServiceResponse ErrorResponse(const ServiceRequest& request, const char* code,
+                                       std::string message);
+
+  ClusterSpec cluster_;
+  EstimatorBank bank_;  // empty for borrowed-estimator engines
+  const KernelRuntimeEstimator* kernel_estimator_;
+  const CollectiveEstimator* collective_estimator_;
+  ServiceEngineOptions options_;
+  std::unique_ptr<MayaPipeline> pipeline_;
+
+  mutable std::mutex whatif_mutex_;
+  mutable std::map<std::string, std::shared_ptr<const MayaPipeline>> whatif_pipelines_;
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<Job>> queue_;
+  bool paused_ = false;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> cancelled_{0};
+  std::atomic<uint64_t> deadline_expired_{0};
+};
+
+}  // namespace maya
+
+#endif  // SRC_SERVICE_SERVICE_ENGINE_H_

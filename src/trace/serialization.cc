@@ -1,5 +1,10 @@
 #include "src/trace/serialization.h"
 
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
 #include "src/common/json_parser.h"
 #include "src/common/json_writer.h"
 #include "src/common/strings.h"
@@ -95,7 +100,140 @@ void WriteWorker(JsonWriter& w, const WorkerTrace& worker) {
   w.EndObject();
 }
 
-Result<TraceOpType> OpTypeFromName(const std::string& name) {
+// Traces arrive over the service wire as untrusted payloads, so every typed
+// access goes through the non-aborting To* accessors.
+Result<TraceOp> ParseOp(const JsonValue& value) {
+  TraceOp op;
+  MAYA_RETURN_IF_ERROR(RequireKeys(value, {"type", "stream", "host_delay_us"}));
+  std::string type_name;
+  MAYA_ASSIGN_OR_RETURN(type_name, ToString(value.at("type")));
+  MAYA_ASSIGN_OR_RETURN(op.type, TraceOpTypeFromName(type_name));
+  MAYA_ASSIGN_OR_RETURN(op.stream, ToUint(value.at("stream")));
+  MAYA_ASSIGN_OR_RETURN(op.host_delay_us, ToNumber(value.at("host_delay_us")));
+  if (value.Has("duration_us")) {
+    MAYA_ASSIGN_OR_RETURN(op.duration_us, ToNumber(value.at("duration_us")));
+  }
+  switch (op.type) {
+    case TraceOpType::kKernelLaunch: {
+      MAYA_RETURN_IF_ERROR(RequireKeys(value, {"kernel"}));
+      const JsonValue& k = value.at("kernel");
+      MAYA_RETURN_IF_ERROR(RequireKeys(
+          k, {"kind", "dtype", "params", "flops", "bytes_read", "bytes_written"}));
+      std::string kind_name;
+      MAYA_ASSIGN_OR_RETURN(kind_name, ToString(k.at("kind")));
+      MAYA_ASSIGN_OR_RETURN(op.kernel.kind, KernelKindFromName(kind_name));
+      std::string dtype_name;
+      MAYA_ASSIGN_OR_RETURN(dtype_name, ToString(k.at("dtype")));
+      MAYA_ASSIGN_OR_RETURN(op.kernel.dtype, DTypeFromName(dtype_name));
+      const JsonArray* params = nullptr;
+      MAYA_ASSIGN_OR_RETURN(params, ToArray(k.at("params")));
+      if (params->size() != op.kernel.params.size()) {
+        return Status::InvalidArgument("kernel params must have 8 entries");
+      }
+      for (size_t i = 0; i < params->size(); ++i) {
+        MAYA_ASSIGN_OR_RETURN(op.kernel.params[i], ToInt((*params)[i]));
+      }
+      MAYA_ASSIGN_OR_RETURN(op.kernel.flops, ToNumber(k.at("flops")));
+      MAYA_ASSIGN_OR_RETURN(op.kernel.bytes_read, ToNumber(k.at("bytes_read")));
+      MAYA_ASSIGN_OR_RETURN(op.kernel.bytes_written, ToNumber(k.at("bytes_written")));
+      if (k.Has("fused_ops")) {
+        int64_t fused = 0;
+        MAYA_ASSIGN_OR_RETURN(fused, ToInt(k.at("fused_ops")));
+        op.kernel.fused_op_count = static_cast<int>(fused);
+      }
+      break;
+    }
+    case TraceOpType::kCollective: {
+      MAYA_RETURN_IF_ERROR(RequireKeys(value, {"collective"}));
+      const JsonValue& c = value.at("collective");
+      MAYA_RETURN_IF_ERROR(RequireKeys(
+          c, {"kind", "bytes", "comm_uid", "seq", "nranks", "rank_in_comm", "peer"}));
+      std::string kind_name;
+      MAYA_ASSIGN_OR_RETURN(kind_name, ToString(c.at("kind")));
+      MAYA_ASSIGN_OR_RETURN(op.collective.kind, CollectiveKindFromName(kind_name));
+      MAYA_ASSIGN_OR_RETURN(op.collective.bytes, ToUint(c.at("bytes")));
+      MAYA_ASSIGN_OR_RETURN(op.collective.comm_uid, ToUint(c.at("comm_uid")));
+      uint64_t seq = 0;
+      MAYA_ASSIGN_OR_RETURN(seq, ToUint(c.at("seq")));
+      op.collective.seq = static_cast<uint32_t>(seq);
+      int64_t field = 0;
+      MAYA_ASSIGN_OR_RETURN(field, ToInt(c.at("nranks")));
+      op.collective.nranks = static_cast<int32_t>(field);
+      MAYA_ASSIGN_OR_RETURN(field, ToInt(c.at("rank_in_comm")));
+      op.collective.rank_in_comm = static_cast<int32_t>(field);
+      MAYA_ASSIGN_OR_RETURN(field, ToInt(c.at("peer")));
+      op.collective.peer = static_cast<int32_t>(field);
+      break;
+    }
+    case TraceOpType::kEventRecord:
+    case TraceOpType::kStreamWaitEvent:
+    case TraceOpType::kEventSynchronize: {
+      MAYA_RETURN_IF_ERROR(RequireKeys(value, {"event"}));
+      const JsonValue& e = value.at("event");
+      MAYA_RETURN_IF_ERROR(RequireKeys(e, {"id", "version"}));
+      uint64_t field = 0;
+      MAYA_ASSIGN_OR_RETURN(field, ToUint(e.at("id")));
+      op.event.event_id = static_cast<uint32_t>(field);
+      MAYA_ASSIGN_OR_RETURN(field, ToUint(e.at("version")));
+      op.event.version = static_cast<uint32_t>(field);
+      break;
+    }
+    case TraceOpType::kMalloc:
+    case TraceOpType::kFree: {
+      MAYA_RETURN_IF_ERROR(RequireKeys(value, {"memory"}));
+      const JsonValue& m = value.at("memory");
+      MAYA_RETURN_IF_ERROR(RequireKeys(m, {"bytes", "ptr"}));
+      MAYA_ASSIGN_OR_RETURN(op.memory.bytes, ToUint(m.at("bytes")));
+      MAYA_ASSIGN_OR_RETURN(op.memory.ptr, ToUint(m.at("ptr")));
+      break;
+    }
+    case TraceOpType::kStreamSynchronize:
+    case TraceOpType::kDeviceSynchronize:
+      break;
+  }
+  return op;
+}
+
+Result<WorkerTrace> ParseWorkerValue(const JsonValue& v) {
+  WorkerTrace worker;
+  MAYA_RETURN_IF_ERROR(RequireKeys(v, {"rank", "comm_init_only", "duplicate_of",
+                                       "peak_device_bytes", "final_device_bytes", "comm_inits",
+                                       "events"}));
+  int64_t field = 0;
+  MAYA_ASSIGN_OR_RETURN(field, ToInt(v.at("rank")));
+  worker.rank = static_cast<int>(field);
+  MAYA_ASSIGN_OR_RETURN(worker.comm_init_only, ToBool(v.at("comm_init_only")));
+  MAYA_ASSIGN_OR_RETURN(field, ToInt(v.at("duplicate_of")));
+  worker.duplicate_of = static_cast<int>(field);
+  MAYA_ASSIGN_OR_RETURN(worker.peak_device_bytes, ToUint(v.at("peak_device_bytes")));
+  MAYA_ASSIGN_OR_RETURN(worker.final_device_bytes, ToUint(v.at("final_device_bytes")));
+  const JsonArray* comm_inits = nullptr;
+  MAYA_ASSIGN_OR_RETURN(comm_inits, ToArray(v.at("comm_inits")));
+  for (const JsonValue& init_value : *comm_inits) {
+    MAYA_RETURN_IF_ERROR(RequireKeys(init_value, {"uid", "nranks", "rank_in_comm"}));
+    CommInitRecord init;
+    MAYA_ASSIGN_OR_RETURN(init.comm_uid, ToUint(init_value.at("uid")));
+    MAYA_ASSIGN_OR_RETURN(field, ToInt(init_value.at("nranks")));
+    init.nranks = static_cast<int32_t>(field);
+    MAYA_ASSIGN_OR_RETURN(field, ToInt(init_value.at("rank_in_comm")));
+    init.rank_in_comm = static_cast<int32_t>(field);
+    worker.comm_inits.push_back(init);
+  }
+  const JsonArray* events = nullptr;
+  MAYA_ASSIGN_OR_RETURN(events, ToArray(v.at("events")));
+  for (const JsonValue& op_value : *events) {
+    Result<TraceOp> op = ParseOp(op_value);
+    if (!op.ok()) {
+      return op.status();
+    }
+    worker.ops.push_back(*op);
+  }
+  return worker;
+}
+
+}  // namespace
+
+Result<TraceOpType> TraceOpTypeFromName(const std::string& name) {
   static constexpr TraceOpType kAll[] = {
       TraceOpType::kKernelLaunch,     TraceOpType::kCollective,
       TraceOpType::kEventRecord,      TraceOpType::kStreamWaitEvent,
@@ -146,108 +284,6 @@ Result<CollectiveKind> CollectiveKindFromName(const std::string& name) {
   return Status::InvalidArgument("unknown collective kind '" + name + "'");
 }
 
-Status RequireKeys(const JsonValue& value, std::initializer_list<const char*> keys) {
-  if (!value.is_object()) {
-    return Status::InvalidArgument("expected JSON object");
-  }
-  for (const char* key : keys) {
-    if (!value.Has(key)) {
-      return Status::InvalidArgument(std::string("missing key '") + key + "'");
-    }
-  }
-  return Status::Ok();
-}
-
-Result<TraceOp> ParseOp(const JsonValue& value) {
-  TraceOp op;
-  MAYA_RETURN_IF_ERROR(RequireKeys(value, {"type", "stream", "host_delay_us"}));
-  Result<TraceOpType> type = OpTypeFromName(value.at("type").AsString());
-  if (!type.ok()) {
-    return type.status();
-  }
-  op.type = *type;
-  op.stream = value.at("stream").AsUint();
-  op.host_delay_us = value.at("host_delay_us").AsDouble();
-  if (value.Has("duration_us")) {
-    op.duration_us = value.at("duration_us").AsDouble();
-  }
-  switch (op.type) {
-    case TraceOpType::kKernelLaunch: {
-      MAYA_RETURN_IF_ERROR(RequireKeys(value, {"kernel"}));
-      const JsonValue& k = value.at("kernel");
-      MAYA_RETURN_IF_ERROR(RequireKeys(
-          k, {"kind", "dtype", "params", "flops", "bytes_read", "bytes_written"}));
-      Result<KernelKind> kind = KernelKindFromName(k.at("kind").AsString());
-      if (!kind.ok()) {
-        return kind.status();
-      }
-      Result<DType> dtype = DTypeFromName(k.at("dtype").AsString());
-      if (!dtype.ok()) {
-        return dtype.status();
-      }
-      op.kernel.kind = *kind;
-      op.kernel.dtype = *dtype;
-      const JsonArray& params = k.at("params").AsArray();
-      if (params.size() != op.kernel.params.size()) {
-        return Status::InvalidArgument("kernel params must have 8 entries");
-      }
-      for (size_t i = 0; i < params.size(); ++i) {
-        op.kernel.params[i] = params[i].AsInt();
-      }
-      op.kernel.flops = k.at("flops").AsDouble();
-      op.kernel.bytes_read = k.at("bytes_read").AsDouble();
-      op.kernel.bytes_written = k.at("bytes_written").AsDouble();
-      if (k.Has("fused_ops")) {
-        op.kernel.fused_op_count = static_cast<int>(k.at("fused_ops").AsInt());
-      }
-      break;
-    }
-    case TraceOpType::kCollective: {
-      MAYA_RETURN_IF_ERROR(RequireKeys(value, {"collective"}));
-      const JsonValue& c = value.at("collective");
-      MAYA_RETURN_IF_ERROR(RequireKeys(
-          c, {"kind", "bytes", "comm_uid", "seq", "nranks", "rank_in_comm", "peer"}));
-      Result<CollectiveKind> kind = CollectiveKindFromName(c.at("kind").AsString());
-      if (!kind.ok()) {
-        return kind.status();
-      }
-      op.collective.kind = *kind;
-      op.collective.bytes = c.at("bytes").AsUint();
-      op.collective.comm_uid = c.at("comm_uid").AsUint();
-      op.collective.seq = static_cast<uint32_t>(c.at("seq").AsUint());
-      op.collective.nranks = static_cast<int32_t>(c.at("nranks").AsInt());
-      op.collective.rank_in_comm = static_cast<int32_t>(c.at("rank_in_comm").AsInt());
-      op.collective.peer = static_cast<int32_t>(c.at("peer").AsInt());
-      break;
-    }
-    case TraceOpType::kEventRecord:
-    case TraceOpType::kStreamWaitEvent:
-    case TraceOpType::kEventSynchronize: {
-      MAYA_RETURN_IF_ERROR(RequireKeys(value, {"event"}));
-      const JsonValue& e = value.at("event");
-      MAYA_RETURN_IF_ERROR(RequireKeys(e, {"id", "version"}));
-      op.event.event_id = static_cast<uint32_t>(e.at("id").AsUint());
-      op.event.version = static_cast<uint32_t>(e.at("version").AsUint());
-      break;
-    }
-    case TraceOpType::kMalloc:
-    case TraceOpType::kFree: {
-      MAYA_RETURN_IF_ERROR(RequireKeys(value, {"memory"}));
-      const JsonValue& m = value.at("memory");
-      MAYA_RETURN_IF_ERROR(RequireKeys(m, {"bytes", "ptr"}));
-      op.memory.bytes = m.at("bytes").AsUint();
-      op.memory.ptr = m.at("ptr").AsUint();
-      break;
-    }
-    case TraceOpType::kStreamSynchronize:
-    case TraceOpType::kDeviceSynchronize:
-      break;
-  }
-  return op;
-}
-
-}  // namespace
-
 std::string SerializeWorkerTrace(const WorkerTrace& worker) {
   JsonWriter w;
   WriteWorker(w, worker);
@@ -258,8 +294,19 @@ std::string SerializeJobTrace(const JobTrace& job) {
   JsonWriter w;
   w.BeginObject();
   w.Field("world_size", static_cast<int64_t>(job.world_size));
-  w.KeyedBeginArray("comms");
+  // Canonical form: comms sorted by uid, so equal traces serialize to equal
+  // bytes regardless of the unordered map's insertion history (the service's
+  // strict round-trip contract).
+  std::vector<uint64_t> uids;
+  uids.reserve(job.comms.size());
   for (const auto& [uid, group] : job.comms) {
+    (void)group;
+    uids.push_back(uid);
+  }
+  std::sort(uids.begin(), uids.end());
+  w.KeyedBeginArray("comms");
+  for (uint64_t uid : uids) {
+    const CommGroup& group = job.comms.at(uid);
     w.BeginObject();
     w.Field("uid", uid);
     w.Field("nranks", static_cast<int64_t>(group.nranks));
@@ -294,31 +341,145 @@ Result<WorkerTrace> ParseWorkerTrace(const std::string& json) {
   if (!root.ok()) {
     return root.status();
   }
-  WorkerTrace worker;
-  const JsonValue& v = *root;
-  MAYA_RETURN_IF_ERROR(RequireKeys(v, {"rank", "comm_init_only", "duplicate_of",
-                                       "peak_device_bytes", "final_device_bytes", "comm_inits",
-                                       "events"}));
-  worker.rank = static_cast<int>(v.at("rank").AsInt());
-  worker.comm_init_only = v.at("comm_init_only").AsBool();
-  worker.duplicate_of = static_cast<int>(v.at("duplicate_of").AsInt());
-  worker.peak_device_bytes = v.at("peak_device_bytes").AsUint();
-  worker.final_device_bytes = v.at("final_device_bytes").AsUint();
-  for (const JsonValue& init_value : v.at("comm_inits").AsArray()) {
-    CommInitRecord init;
-    init.comm_uid = init_value.at("uid").AsUint();
-    init.nranks = static_cast<int32_t>(init_value.at("nranks").AsInt());
-    init.rank_in_comm = static_cast<int32_t>(init_value.at("rank_in_comm").AsInt());
-    worker.comm_inits.push_back(init);
-  }
-  for (const JsonValue& op_value : v.at("events").AsArray()) {
-    Result<TraceOp> op = ParseOp(op_value);
-    if (!op.ok()) {
-      return op.status();
+  return ParseWorkerValue(*root);
+}
+
+Result<JobTrace> ParseJobTrace(const JsonValue& value) {
+  MAYA_RETURN_IF_ERROR(
+      RequireKeys(value, {"world_size", "comms", "folded_ranks", "workers"}));
+  JobTrace job;
+  int64_t field = 0;
+  MAYA_ASSIGN_OR_RETURN(field, ToInt(value.at("world_size")));
+  job.world_size = static_cast<int>(field);
+  const JsonArray* comms = nullptr;
+  MAYA_ASSIGN_OR_RETURN(comms, ToArray(value.at("comms")));
+  for (const JsonValue& comm_value : *comms) {
+    MAYA_RETURN_IF_ERROR(RequireKeys(comm_value, {"uid", "nranks", "members"}));
+    CommGroup group;
+    MAYA_ASSIGN_OR_RETURN(group.uid, ToUint(comm_value.at("uid")));
+    MAYA_ASSIGN_OR_RETURN(field, ToInt(comm_value.at("nranks")));
+    group.nranks = static_cast<int32_t>(field);
+    const JsonArray* members = nullptr;
+    MAYA_ASSIGN_OR_RETURN(members, ToArray(comm_value.at("members")));
+    for (const JsonValue& member : *members) {
+      MAYA_ASSIGN_OR_RETURN(field, ToInt(member));
+      group.members.push_back(static_cast<int>(field));
     }
-    worker.ops.push_back(*op);
+    if (group.nranks != static_cast<int32_t>(group.members.size())) {
+      return Status::InvalidArgument(
+          StrFormat("comm %llu declares %d ranks but lists %zu members",
+                    static_cast<unsigned long long>(group.uid), group.nranks,
+                    group.members.size()));
+    }
+    if (!job.comms.emplace(group.uid, std::move(group)).second) {
+      return Status::InvalidArgument("duplicate comm uid in job trace");
+    }
   }
-  return worker;
+  const JsonArray* folded = nullptr;
+  MAYA_ASSIGN_OR_RETURN(folded, ToArray(value.at("folded_ranks")));
+  for (const JsonValue& ranks_value : *folded) {
+    const JsonArray* rank_array = nullptr;
+    MAYA_ASSIGN_OR_RETURN(rank_array, ToArray(ranks_value));
+    std::vector<int> ranks;
+    for (const JsonValue& rank : *rank_array) {
+      MAYA_ASSIGN_OR_RETURN(field, ToInt(rank));
+      ranks.push_back(static_cast<int>(field));
+    }
+    job.folded_ranks.push_back(std::move(ranks));
+  }
+  const JsonArray* workers = nullptr;
+  MAYA_ASSIGN_OR_RETURN(workers, ToArray(value.at("workers")));
+  for (const JsonValue& worker_value : *workers) {
+    Result<WorkerTrace> worker = ParseWorkerValue(worker_value);
+    if (!worker.ok()) {
+      return worker.status();
+    }
+    job.workers.push_back(*std::move(worker));
+  }
+
+  // Boundary validation: the simulator CHECK-fails (process abort) or
+  // silently desynchronizes on inconsistent traces, so a multi-tenant server
+  // must reject them here.
+  if (job.folded_ranks.size() != job.workers.size()) {
+    return Status::InvalidArgument(
+        StrFormat("folded_ranks entries (%zu) do not match workers (%zu)",
+                  job.folded_ranks.size(), job.workers.size()));
+  }
+  // Folded rank sets must be non-empty and disjoint: the simulator resolves
+  // rank -> worker through this table, and an overlap would make two workers
+  // claim the same collective participant (wrong synchronization).
+  std::unordered_map<int, size_t> rank_to_worker;
+  for (size_t w = 0; w < job.workers.size(); ++w) {
+    if (job.folded_ranks[w].empty()) {
+      return Status::InvalidArgument(StrFormat("worker %zu has no folded ranks", w));
+    }
+    for (int rank : job.folded_ranks[w]) {
+      if (!rank_to_worker.emplace(rank, w).second) {
+        return Status::InvalidArgument(
+            StrFormat("rank %d is claimed by workers %zu and %zu", rank,
+                      rank_to_worker.at(rank), w));
+      }
+    }
+  }
+  // Workers expected to join each comm's collectives (the simulator's
+  // expected_joins), precomputed once so the per-op check is O(1).
+  std::unordered_map<uint64_t, std::set<size_t>> comm_workers;
+  for (const auto& [uid, group] : job.comms) {
+    std::set<size_t>& joiners = comm_workers[uid];
+    for (int member : group.members) {
+      auto it = rank_to_worker.find(member);
+      if (it != rank_to_worker.end()) {
+        joiners.insert(it->second);
+      }
+    }
+  }
+  for (size_t w = 0; w < job.workers.size(); ++w) {
+    const WorkerTrace& worker = job.workers[w];
+    // One collective join per (comm, seq) per worker — a duplicate would
+    // over-fill the simulator's collective waitmap.
+    std::set<std::pair<uint64_t, uint32_t>> seen_joins;
+    for (const TraceOp& op : worker.ops) {
+      if (op.type != TraceOpType::kCollective) {
+        continue;
+      }
+      auto comm_it = job.comms.find(op.collective.comm_uid);
+      if (comm_it == job.comms.end()) {
+        return Status::InvalidArgument(
+            StrFormat("collective references undeclared comm uid %llu",
+                      static_cast<unsigned long long>(op.collective.comm_uid)));
+      }
+      const CommGroup& group = comm_it->second;
+      if (op.collective.nranks != group.nranks) {
+        return Status::InvalidArgument(
+            StrFormat("collective on comm %llu claims %d ranks but the comm has %d",
+                      static_cast<unsigned long long>(op.collective.comm_uid),
+                      op.collective.nranks, group.nranks));
+      }
+      // The issuing worker must represent at least one member of the comm,
+      // or it would join a collective the simulator never expects it in.
+      if (comm_workers.at(op.collective.comm_uid).count(w) == 0) {
+        return Status::InvalidArgument(
+            StrFormat("worker %zu issues a collective on comm %llu but represents none of "
+                      "its members",
+                      w, static_cast<unsigned long long>(op.collective.comm_uid)));
+      }
+      if (!seen_joins.emplace(op.collective.comm_uid, op.collective.seq).second) {
+        return Status::InvalidArgument(
+            StrFormat("worker %zu joins (comm %llu, seq %u) more than once", w,
+                      static_cast<unsigned long long>(op.collective.comm_uid),
+                      op.collective.seq));
+      }
+    }
+  }
+  return job;
+}
+
+Result<JobTrace> ParseJobTrace(const std::string& json) {
+  Result<JsonValue> root = ParseJson(json);
+  if (!root.ok()) {
+    return root.status();
+  }
+  return ParseJobTrace(*root);
 }
 
 }  // namespace maya

@@ -1,0 +1,302 @@
+// Estimator serialization + ArtifactStore bundle tests: bit-identical
+// round-trips of forests, estimators, datasets and estimate caches, plus
+// version/cluster guard rails on load.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/core/estimator_bank.h"
+#include "src/estimator/profiler_repository.h"
+#include "src/estimator/serialization.h"
+#include "src/groundtruth/executor.h"
+#include "src/service/artifact_store.h"
+
+namespace maya {
+namespace {
+
+std::string TempBundleDir(const char* name) {
+  const std::string dir = (std::filesystem::path(::testing::TempDir()) / name).string();
+  std::filesystem::remove_all(dir);  // stale bundles from earlier runs
+  return dir;
+}
+
+TEST(DoubleBitsTest, RoundTripsExactBitPatterns) {
+  const double values[] = {0.0,
+                           -0.0,
+                           1.0,
+                           -1.0,
+                           3.14159265358979,
+                           1e-308,   // subnormal territory
+                           1.7976931348623157e308,
+                           0.1};     // classic non-terminating binary fraction
+  for (double value : values) {
+    Result<double> round = DoubleFromBits(DoubleBits(value));
+    ASSERT_TRUE(round.ok());
+    EXPECT_EQ(std::bit_cast<uint64_t>(*round), std::bit_cast<uint64_t>(value));
+  }
+}
+
+TEST(DoubleBitsTest, RejectsMalformedPatterns) {
+  EXPECT_FALSE(DoubleFromBits("").ok());
+  EXPECT_FALSE(DoubleFromBits("12345").ok());
+  EXPECT_FALSE(DoubleFromBits("zzzzzzzzzzzzzzzz").ok());
+}
+
+TEST(KernelDescExactTest, RoundTripPreservesIdentity) {
+  const KernelDesc kernel = MakeGemm(4096, 1024, 333, DType::kBf16, 7);
+  JsonWriter w;
+  WriteKernelDescExact(w, kernel);
+  Result<JsonValue> value = ParseJson(w.str());
+  ASSERT_TRUE(value.ok()) << value.status().ToString();
+  Result<KernelDesc> parsed = ParseKernelDescExact(*value);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  // Full equality, including the derived flop/byte doubles: the desc is an
+  // estimate-cache key, so any lost bit would demote hits to misses.
+  EXPECT_TRUE(*parsed == kernel);
+  EXPECT_EQ(parsed->Hash(), kernel.Hash());
+}
+
+TEST(ForestSerializationTest, RoundTripPredictsBitIdentically) {
+  Dataset data;
+  Rng rng(7);
+  for (int i = 0; i < 400; ++i) {
+    const double a = rng.NextDouble() * 10.0;
+    const double b = rng.NextDouble() * 4.0;
+    data.Add({a, b, a * b}, std::sin(a) + b * b);
+  }
+  RandomForestOptions options;
+  options.num_trees = 8;
+  RandomForestRegressor forest(options);
+  forest.Fit(data);
+
+  JsonWriter w;
+  WriteRandomForest(w, forest);
+  Result<JsonValue> value = ParseJson(w.str());
+  ASSERT_TRUE(value.ok());
+  Result<RandomForestRegressor> restored = ParseRandomForest(*value);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_TRUE(restored->trained());
+  for (int i = 0; i < 50; ++i) {
+    const double a = rng.NextDouble() * 12.0 - 1.0;  // includes out-of-range
+    const double b = rng.NextDouble() * 5.0;
+    const std::vector<double> features = {a, b, a * b};
+    EXPECT_EQ(forest.Predict(features), restored->Predict(features));
+  }
+}
+
+TEST(ForestSerializationTest, RejectsCorruptTrees) {
+  EXPECT_FALSE(ParseRandomForest(JsonValue()).ok());
+  Result<JsonValue> missing_trees = ParseJson(
+      R"({"options":{"num_trees":1,"max_depth":1,"min_samples_leaf":1,)"
+      R"("feature_fraction":"3fe8000000000000","sample_fraction":"3feb333333333333",)"
+      R"("seed":17},"trees":[]})");
+  ASSERT_TRUE(missing_trees.ok());
+  EXPECT_FALSE(ParseRandomForest(*missing_trees).ok());
+  // A branch node pointing outside the node array must be rejected.
+  Result<JsonValue> bad_child = ParseJson(
+      R"({"options":{"num_trees":1,"max_depth":1,"min_samples_leaf":1,)"
+      R"("feature_fraction":"3fe8000000000000","sample_fraction":"3feb333333333333",)"
+      R"("seed":17},"trees":[{"feature":[0],"threshold":["3ff0000000000000"],)"
+      R"("left":[5],"right":[1],"value":["3ff0000000000000"]}]})");
+  ASSERT_TRUE(bad_child.ok());
+  EXPECT_FALSE(ParseRandomForest(*bad_child).ok());
+}
+
+TEST(DatasetSerializationTest, RoundTripsExactly) {
+  Dataset data;
+  data.Add({1.0, 0.25, 1e-9}, 42.0);
+  data.Add({2.0, 0.1, 3.0}, -7.5);
+  JsonWriter w;
+  WriteDataset(w, data);
+  Result<JsonValue> value = ParseJson(w.str());
+  ASSERT_TRUE(value.ok());
+  Result<Dataset> restored = ParseDataset(*value);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_EQ(restored->size(), data.size());
+  EXPECT_EQ(restored->x, data.x);
+  EXPECT_EQ(restored->y, data.y);
+}
+
+// Shared trained bank for the estimator/bundle tests (training dominates the
+// test runtime, so do it once).
+class ArtifactStoreTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    cluster_ = new ClusterSpec(H100Cluster(8));
+    executor_ = new GroundTruthExecutor(*cluster_, 42);
+    ProfileSweepOptions sweep;
+    sweep.gemm_samples = 1200;
+    sweep.conv_samples = 100;
+    sweep.generic_samples = 60;
+    sweep.collective_sizes = 12;
+    bank_ = new EstimatorBank(TrainEstimators(*cluster_, *executor_, sweep));
+  }
+  static void TearDownTestSuite() {
+    delete bank_;
+    delete executor_;
+    delete cluster_;
+  }
+
+  static std::vector<KernelDesc> ProbeKernels() {
+    std::vector<KernelDesc> kernels;
+    for (int64_t m : {64, 512, 2048}) {
+      kernels.push_back(MakeGemm(m, 1024, 512, DType::kBf16));
+      kernels.push_back(MakeLayerNorm(KernelKind::kLayerNormForward, m * 8, 1024, DType::kBf16));
+      kernels.push_back(MakeElementwise(m * 4096, DType::kBf16, 2));
+    }
+    return kernels;
+  }
+
+  static ClusterSpec* cluster_;
+  static GroundTruthExecutor* executor_;
+  static EstimatorBank* bank_;
+};
+
+ClusterSpec* ArtifactStoreTest::cluster_ = nullptr;
+GroundTruthExecutor* ArtifactStoreTest::executor_ = nullptr;
+EstimatorBank* ArtifactStoreTest::bank_ = nullptr;
+
+TEST_F(ArtifactStoreTest, KernelEstimatorRoundTripBitIdentical) {
+  JsonWriter w;
+  WriteKernelEstimator(w, *bank_->kernel);
+  Result<JsonValue> value = ParseJson(w.str());
+  ASSERT_TRUE(value.ok());
+  Result<std::unique_ptr<RandomForestKernelEstimator>> restored = ParseKernelEstimator(*value);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  for (const KernelDesc& kernel : ProbeKernels()) {
+    EXPECT_EQ(bank_->kernel->PredictUs(kernel), (*restored)->PredictUs(kernel))
+        << kernel.ToString();
+  }
+  // The validation split round-trips through the bundle too.
+  JsonWriter dataset_writer;
+  WriteKernelDataset(dataset_writer, bank_->kernel_validation);
+  Result<JsonValue> dataset_value = ParseJson(dataset_writer.str());
+  ASSERT_TRUE(dataset_value.ok());
+  Result<KernelDataset> dataset = ParseKernelDataset(*dataset_value);
+  ASSERT_TRUE(dataset.ok());
+  ASSERT_EQ(dataset->size(), bank_->kernel_validation.size());
+  for (size_t i = 0; i < dataset->size(); ++i) {
+    EXPECT_TRUE((*dataset)[i].kernel == bank_->kernel_validation[i].kernel);
+    EXPECT_EQ((*dataset)[i].runtime_us, bank_->kernel_validation[i].runtime_us);
+  }
+}
+
+TEST_F(ArtifactStoreTest, CollectiveEstimatorRoundTripBitIdentical) {
+  JsonWriter w;
+  WriteCollectiveEstimator(w, *bank_->collective);
+  Result<JsonValue> value = ParseJson(w.str());
+  ASSERT_TRUE(value.ok());
+  Result<std::unique_ptr<ProfiledCollectiveEstimator>> restored =
+      ParseCollectiveEstimator(*value);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ((*restored)->group_count(), bank_->collective->group_count());
+  for (uint64_t bytes : {1u << 12, 1u << 20, 1u << 26}) {
+    for (int nranks : {2, 4, 8}) {
+      CollectiveRequest request;
+      request.kind = CollectiveKind::kAllReduce;
+      request.bytes = bytes;
+      for (int rank = 0; rank < nranks; ++rank) {
+        request.ranks.push_back(rank);
+      }
+      EXPECT_EQ(bank_->collective->PredictUs(request, *cluster_),
+                (*restored)->PredictUs(request, *cluster_));
+    }
+  }
+}
+
+TEST_F(ArtifactStoreTest, BundleSaveLoadWarmsCaches) {
+  const std::string dir = TempBundleDir("bundle_warm");
+  MayaPipeline pipeline(*cluster_, bank_->kernel.get(), bank_->collective.get());
+  // Populate the caches with a few estimates.
+  for (const KernelDesc& kernel : ProbeKernels()) {
+    JobTrace job;
+    job.world_size = 1;
+    WorkerTrace worker;
+    worker.rank = 0;
+    TraceOp op;
+    op.type = TraceOpType::kKernelLaunch;
+    op.kernel = kernel;
+    worker.ops.push_back(op);
+    job.workers.push_back(worker);
+    pipeline.AnnotateDurations(job, nullptr);
+  }
+  const uint64_t resident = pipeline.KernelCacheStats().entries;
+  ASSERT_GT(resident, 0u);
+
+  ArtifactStore store(dir);
+  EXPECT_FALSE(store.Exists());
+  ASSERT_TRUE(store.Save(*cluster_, *bank_, pipeline).ok());
+  EXPECT_TRUE(store.Exists());
+
+  Result<ArtifactManifest> manifest = store.ReadManifest();
+  ASSERT_TRUE(manifest.ok()) << manifest.status().ToString();
+  EXPECT_EQ(manifest->version, kArtifactBundleVersion);
+  EXPECT_EQ(manifest->kernel_cache_entries, resident);
+
+  Result<EstimatorBank> loaded = store.LoadEstimators(*cluster_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  MayaPipeline warm(*cluster_, loaded->kernel.get(), loaded->collective.get());
+  Result<uint64_t> imported = store.WarmPipeline(warm);
+  ASSERT_TRUE(imported.ok()) << imported.status().ToString();
+  EXPECT_GE(*imported, resident);
+  EXPECT_EQ(warm.KernelCacheStats().entries, resident);
+
+  // Every cached estimate answers identically to the original pipeline's.
+  for (const auto& [kernel, duration_us] : pipeline.SnapshotKernelEstimates()) {
+    bool found = false;
+    for (const auto& [warm_kernel, warm_duration] : warm.SnapshotKernelEstimates()) {
+      if (warm_kernel == kernel) {
+        EXPECT_EQ(warm_duration, duration_us);
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "cache entry missing after warm start";
+  }
+}
+
+TEST_F(ArtifactStoreTest, LoadRejectsClusterMismatch) {
+  const std::string dir = TempBundleDir("bundle_cluster_mismatch");
+  ArtifactStore store(dir);
+  ASSERT_TRUE(store.SaveEstimators(*cluster_, *bank_).ok());
+  const Result<EstimatorBank> wrong = store.LoadEstimators(H100Cluster(16));
+  EXPECT_FALSE(wrong.ok());
+  EXPECT_EQ(wrong.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ArtifactStoreTest, LoadRejectsVersionMismatch) {
+  const std::string dir = TempBundleDir("bundle_version_mismatch");
+  ArtifactStore store(dir);
+  ASSERT_TRUE(store.SaveEstimators(*cluster_, *bank_).ok());
+  // Corrupt the version in place.
+  const std::string manifest_path =
+      (std::filesystem::path(dir) / "manifest.json").string();
+  std::ifstream in(manifest_path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string contents = buffer.str();
+  const std::string needle = "\"version\":1";
+  const size_t pos = contents.find(needle);
+  ASSERT_NE(pos, std::string::npos);
+  contents.replace(pos, needle.size(), "\"version\":999");
+  std::ofstream out(manifest_path, std::ios::trunc);
+  out << contents;
+  out.close();
+  const Result<EstimatorBank> wrong = store.LoadEstimators(*cluster_);
+  EXPECT_FALSE(wrong.ok());
+  EXPECT_EQ(wrong.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ArtifactStoreTest, MissingBundleReportsNotFound) {
+  ArtifactStore store(TempBundleDir("bundle_absent"));
+  EXPECT_FALSE(store.Exists());
+  EXPECT_FALSE(store.ReadManifest().ok());
+  EXPECT_FALSE(store.LoadEstimators(*cluster_).ok());
+}
+
+}  // namespace
+}  // namespace maya

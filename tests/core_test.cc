@@ -261,6 +261,50 @@ TEST_F(PipelineTest, OracleModeBypassesEstimateCache) {
   EXPECT_EQ(pipeline.KernelCacheStats().insertions, 0u);
 }
 
+TEST_F(PipelineTest, TraceCacheOnVsOffBitIdentical) {
+  MayaPipelineOptions cached_options;
+  cached_options.enable_trace_cache = true;
+  MayaPipeline cached(*cluster_, bank_->kernel.get(), bank_->collective.get(), cached_options);
+  MayaPipeline plain(*cluster_, bank_->kernel.get(), bank_->collective.get());
+  for (int tp : {1, 2}) {
+    TrainConfig config = BaseConfig();
+    config.tensor_parallel = tp;
+    PredictionRequest request{TinyGpt(), config};
+    // Round 2 re-annotates a copy of the cached collated trace.
+    for (int round = 0; round < 2; ++round) {
+      const Result<PredictionReport> a = cached.Predict(request);
+      const Result<PredictionReport> b = plain.Predict(request);
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      EXPECT_EQ(a->iteration_time_us, b->iteration_time_us)
+          << "tp=" << tp << " round=" << round;
+      EXPECT_EQ(a->mfu, b->mfu);
+      EXPECT_EQ(a->trace_cache_hit, round == 1);
+      EXPECT_EQ(a->collation.unique_workers, b->collation.unique_workers);
+      EXPECT_FALSE(b->trace_cache_hit);
+    }
+  }
+  EXPECT_GT(cached.TraceCacheStats().hits, 0u);
+  EXPECT_EQ(plain.TraceCacheStats().insertions, 0u);
+}
+
+TEST_F(PipelineTest, TraceCacheServesOomOutcomes) {
+  MayaPipelineOptions options;
+  options.enable_trace_cache = true;
+  MayaPipeline pipeline(*cluster_, bank_->kernel.get(), bank_->collective.get(), options);
+  PredictionRequest request{TinyGpt(), BaseConfig()};
+  request.model.seq_length = 8192;
+  request.config.microbatch_multiplier = 1;
+  const Result<PredictionReport> cold = pipeline.Predict(request);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_TRUE(cold->oom);
+  const Result<PredictionReport> warm = pipeline.Predict(request);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->oom);
+  EXPECT_TRUE(warm->trace_cache_hit);
+  EXPECT_EQ(warm->oom_detail, cold->oom_detail);
+}
+
 TEST(ComputeMfuTest, ScalesInverselyWithTime) {
   const ClusterSpec cluster = H100Cluster(8);
   const ModelConfig model = Gpt3_2_7B();

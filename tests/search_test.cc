@@ -300,6 +300,33 @@ TEST_F(SearchDriverTest, EarlyStoppingCutsSamples) {
   EXPECT_TRUE(outcome.found);
 }
 
+TEST_F(SearchDriverTest, TraceCacheReusedAcrossSearches) {
+  // ROADMAP follow-up: collated traces memoized across RunSearch trials.
+  // Two identical searches on one pipeline: the second serves every repeated
+  // (config, model) key's emulation + collation from the trace cache and
+  // lands on bit-identical results.
+  MayaPipelineOptions options;
+  options.enable_trace_cache = true;
+  MayaPipeline pipeline(*cluster_, bank_->kernel.get(), bank_->collective.get(), options);
+  const ConfigSpace space({1, 2}, {1, 2}, {1, 2}, {1}, {false, true}, {false}, {false}, 32);
+  SearchOptions search;
+  search.algorithm = "grid";
+  search.sample_budget = static_cast<int>(space.size());
+  search.early_stop_patience = 0;
+
+  const SearchOutcome first = RunSearch(pipeline, TinyGpt(), space, search);
+  const ShardedCacheStats after_first = pipeline.TraceCacheStats();
+  EXPECT_GT(after_first.insertions, 0u);
+
+  const SearchOutcome second = RunSearch(pipeline, TinyGpt(), space, search);
+  const ShardedCacheStats after_second = pipeline.TraceCacheStats();
+  EXPECT_GT(after_second.hits, after_first.hits);
+  EXPECT_TRUE(second.found);
+  EXPECT_EQ(second.best_mfu, first.best_mfu);
+  EXPECT_EQ(second.best_iteration_us, first.best_iteration_us);
+  EXPECT_EQ(second.executed, first.executed);
+}
+
 TEST_F(SearchDriverTest, ProgressIsMonotoneInBestMfu) {
   const ConfigSpace space({1, 2}, {1, 2}, {1}, {1}, {false, true}, {false}, {false}, 32);
   SearchOptions options;

@@ -1,0 +1,530 @@
+// ServiceEngine / protocol / warm-start tests: NDJSON round-trips, concurrent
+// mixed workloads with per-request isolation, deadlines, cancellation, queue
+// backpressure, what-if requests, and artifact-bundle warm starts with
+// >= 90% estimate-cache hit rate and bit-identical predictions.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "src/dlf/worker_launcher.h"
+#include "src/service/artifact_store.h"
+#include "src/service/service_client.h"
+#include "src/service/service_engine.h"
+#include "src/sim/simulator.h"
+#include "src/trace/collator.h"
+#include "src/trace/serialization.h"
+
+namespace maya {
+namespace {
+
+ModelConfig TinyGpt() {
+  ModelConfig model;
+  model.name = "tiny-gpt";
+  model.family = ModelFamily::kGpt;
+  model.num_layers = 8;
+  model.hidden_size = 1024;
+  model.num_heads = 16;
+  model.seq_length = 512;
+  model.vocab_size = 8192;
+  return model;
+}
+
+TrainConfig BaseConfig() {
+  TrainConfig config;
+  config.global_batch_size = 32;
+  config.tensor_parallel = 2;
+  config.pipeline_parallel = 2;
+  config.microbatch_multiplier = 2;
+  return config;
+}
+
+// One trained bank per test binary; engines borrow it.
+class ServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    cluster_ = new ClusterSpec(H100Cluster(8));
+    executor_ = new GroundTruthExecutor(*cluster_, 7);
+    ProfileSweepOptions sweep;
+    sweep.gemm_samples = 1200;
+    sweep.conv_samples = 100;
+    sweep.generic_samples = 60;
+    sweep.collective_sizes = 12;
+    bank_ = new EstimatorBank(TrainEstimators(*cluster_, *executor_, sweep));
+  }
+  static void TearDownTestSuite() {
+    delete bank_;
+    delete executor_;
+    delete cluster_;
+  }
+
+  static std::unique_ptr<ServiceEngine> MakeEngine(ServiceEngineOptions options = {}) {
+    return std::make_unique<ServiceEngine>(*cluster_, bank_->kernel.get(),
+                                           bank_->collective.get(), options);
+  }
+
+  // The configuration sweep used by the warm-start and concurrency tests.
+  static std::vector<TrainConfig> SweepConfigs() {
+    std::vector<TrainConfig> configs;
+    for (int tp : {1, 2}) {
+      for (int pp : {1, 2}) {
+        TrainConfig config = BaseConfig();
+        config.tensor_parallel = tp;
+        config.pipeline_parallel = pp;
+        configs.push_back(config);
+      }
+    }
+    return configs;
+  }
+
+  static ClusterSpec* cluster_;
+  static GroundTruthExecutor* executor_;
+  static EstimatorBank* bank_;
+};
+
+ClusterSpec* ServiceTest::cluster_ = nullptr;
+GroundTruthExecutor* ServiceTest::executor_ = nullptr;
+EstimatorBank* ServiceTest::bank_ = nullptr;
+
+// ---- Protocol round-trips ---------------------------------------------------
+
+TEST(ServiceProtocolTest, PredictRequestRoundTrip) {
+  ServiceRequest request;
+  request.id = 42;
+  request.kind = ServiceRequestKind::kPredict;
+  request.deadline_ms = 1500.0;
+  request.model = TinyGpt();
+  request.config = BaseConfig();
+  request.selective_launch = true;
+  const std::string line = SerializeServiceRequest(request);
+  Result<ServiceRequest> parsed = ParseServiceRequest(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->id, 42u);
+  EXPECT_EQ(parsed->kind, ServiceRequestKind::kPredict);
+  EXPECT_EQ(parsed->deadline_ms, 1500.0);
+  EXPECT_EQ(parsed->model.name, "tiny-gpt");
+  EXPECT_EQ(parsed->model.hidden_size, 1024);
+  EXPECT_EQ(parsed->config.tensor_parallel, 2);
+  EXPECT_TRUE(parsed->selective_launch);
+  // Serialize(parse(line)) is the fixed point.
+  EXPECT_EQ(SerializeServiceRequest(*parsed), line);
+}
+
+TEST(ServiceProtocolTest, SearchAndCancelRequestRoundTrip) {
+  ServiceRequest search;
+  search.id = 7;
+  search.kind = ServiceRequestKind::kSearch;
+  search.model = TinyGpt();
+  search.search.algorithm = "random";
+  search.search.sample_budget = 64;
+  search.search.seed = 5;
+  search.global_batch = 32;
+  Result<ServiceRequest> parsed = ParseServiceRequest(SerializeServiceRequest(search));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->search.algorithm, "random");
+  EXPECT_EQ(parsed->search.sample_budget, 64);
+  EXPECT_EQ(parsed->search.seed, 5u);
+  EXPECT_EQ(parsed->global_batch, 32);
+
+  ServiceRequest cancel;
+  cancel.id = 8;
+  cancel.kind = ServiceRequestKind::kCancel;
+  cancel.target_id = 7;
+  Result<ServiceRequest> parsed_cancel = ParseServiceRequest(SerializeServiceRequest(cancel));
+  ASSERT_TRUE(parsed_cancel.ok());
+  EXPECT_EQ(parsed_cancel->target_id, 7u);
+}
+
+TEST(ServiceProtocolTest, MalformedRequestsRejected) {
+  EXPECT_FALSE(ParseServiceRequest("not json").ok());
+  EXPECT_FALSE(ParseServiceRequest(R"({"id":1})").ok());              // no kind
+  EXPECT_FALSE(ParseServiceRequest(R"({"id":1,"kind":"nope"})").ok());
+  EXPECT_FALSE(ParseServiceRequest(R"({"id":1,"kind":"predict"})").ok());  // no payload
+}
+
+TEST(ServiceProtocolTest, WrongTypedFieldsRejectedNotAborted) {
+  // Typed JSON accessors CHECK-abort; the wire parsers must return errors
+  // instead so one malformed client request cannot kill the server.
+  EXPECT_FALSE(ParseServiceRequest(R"({"id":"x","kind":"stats"})").ok());
+  EXPECT_FALSE(ParseServiceRequest(R"({"id":-1,"kind":"stats"})").ok());
+  EXPECT_FALSE(ParseServiceRequest(R"({"id":1,"kind":true})").ok());
+  EXPECT_FALSE(ParseServiceRequest(
+                   R"({"id":1,"kind":"predict","model":{"name":42,"family":"GPT"},"config":{}})")
+                   .ok());
+  EXPECT_FALSE(
+      ParseServiceRequest(
+          R"({"id":1,"kind":"predict","model":{"name":"m","family":"GPT","num_layers":"8"},"config":{}})")
+          .ok());
+  EXPECT_FALSE(
+      ParseServiceRequest(
+          R"({"id":1,"kind":"predict","model":{"name":"m","family":"GPT"},"config":{"sequence_parallel":3}})")
+          .ok());
+  EXPECT_FALSE(
+      ParseServiceRequest(R"({"id":1,"kind":"stats","deadline_ms":"soon"})").ok());
+  EXPECT_FALSE(ParseServiceRequest(R"({"id":1,"kind":"cancel","target_id":"x"})").ok());
+}
+
+TEST(ServiceProtocolTest, ErrorResponseRoundTrip) {
+  ServiceResponse error;
+  error.id = 3;
+  error.kind = ServiceRequestKind::kSearch;
+  error.ok = false;
+  error.error = "queue depth 64 at bound 64";
+  error.error_code = kErrQueueFull;
+  Result<ServiceResponse> parsed = ParseServiceResponse(SerializeServiceResponse(error));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->ok);
+  EXPECT_EQ(parsed->error_code, kErrQueueFull);
+  EXPECT_EQ(parsed->error, error.error);
+}
+
+TEST(ServiceProtocolTest, ClusterNames) {
+  Result<ClusterSpec> h100 = ClusterSpecByName("h100x32");
+  ASSERT_TRUE(h100.ok());
+  EXPECT_EQ(h100->total_gpus(), 32);
+  EXPECT_EQ(h100->gpu.arch, GpuArch::kH100);
+  Result<ClusterSpec> v100 = ClusterSpecByName("v100x16");
+  ASSERT_TRUE(v100.ok());
+  EXPECT_EQ(v100->gpu.arch, GpuArch::kV100);
+  EXPECT_TRUE(ClusterSpecByName("a40").ok());
+  EXPECT_FALSE(ClusterSpecByName("tpu").ok());
+  EXPECT_FALSE(ClusterSpecByName("h100x").ok());
+  EXPECT_FALSE(ClusterSpecByName("h100x-8").ok());
+}
+
+// ---- Engine behaviour -------------------------------------------------------
+
+TEST_F(ServiceTest, PredictMatchesDirectPipeline) {
+  auto engine = MakeEngine();
+  InProcessTransport transport(engine.get());
+  ServiceClient client(&transport);
+  Result<ServiceResponse> response = client.Predict(TinyGpt(), BaseConfig());
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_TRUE(response->ok) << response->error;
+  ASSERT_FALSE(response->oom);
+
+  PredictionRequest direct;
+  direct.model = TinyGpt();
+  direct.config = BaseConfig();
+  const Result<PredictionReport> report = engine->pipeline().Predict(direct);
+  ASSERT_TRUE(report.ok());
+  // Bit-identical through the wire: responses carry hex-encoded doubles.
+  EXPECT_EQ(response->iteration_time_us, report->iteration_time_us);
+  EXPECT_EQ(response->mfu, report->mfu);
+  EXPECT_GT(response->estimation.kernel_ops, 0u);
+}
+
+TEST_F(ServiceTest, WhatIfOomReportsVerdict) {
+  auto engine = MakeEngine();
+  InProcessTransport transport(engine.get());
+  ServiceClient client(&transport);
+
+  Result<ServiceResponse> fits = client.CheckOom(TinyGpt(), BaseConfig());
+  ASSERT_TRUE(fits.ok());
+  ASSERT_TRUE(fits->ok);
+  EXPECT_FALSE(fits->oom);
+  EXPECT_GT(fits->peak_memory_bytes, 0u);
+
+  ModelConfig heavy = TinyGpt();
+  heavy.seq_length = 8192;
+  TrainConfig config = BaseConfig();
+  config.microbatch_multiplier = 1;
+  Result<ServiceResponse> blown = client.CheckOom(heavy, config);
+  ASSERT_TRUE(blown.ok());
+  ASSERT_TRUE(blown->ok);
+  EXPECT_TRUE(blown->oom);
+  EXPECT_FALSE(blown->oom_detail.empty());
+}
+
+TEST_F(ServiceTest, WhatIfClusterSharesEstimators) {
+  auto engine = MakeEngine();
+  InProcessTransport transport(engine.get());
+  ServiceClient client(&transport);
+  TrainConfig config = BaseConfig();
+  config.global_batch_size = 64;  // divisible across 16 GPUs
+  Result<ServiceResponse> response = client.PredictOnCluster(TinyGpt(), config, "h100x16");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_TRUE(response->ok) << response->error;
+  ASSERT_FALSE(response->oom);
+
+  // Reference: a pipeline over the same estimators on the target cluster.
+  const ClusterSpec target = H100Cluster(16);
+  MayaPipeline reference(target, bank_->kernel.get(), bank_->collective.get());
+  PredictionRequest direct;
+  direct.model = TinyGpt();
+  direct.config = config;
+  const Result<PredictionReport> report = reference.Predict(direct);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(response->iteration_time_us, report->iteration_time_us);
+
+  // Cross-arch what-ifs are refused: V100 forests were never trained here.
+  Result<ServiceResponse> cross = client.PredictOnCluster(TinyGpt(), config, "v100x8");
+  ASSERT_TRUE(cross.ok());
+  EXPECT_FALSE(cross->ok);
+  EXPECT_EQ(cross->error_code, kErrInvalidRequest);
+}
+
+TEST_F(ServiceTest, TracePredictSkipsEmulation) {
+  auto engine = MakeEngine();
+  // Build a collated trace out-of-band (a client with its own emulator).
+  Result<LaunchResult> launched = EmulateJob(TinyGpt(), BaseConfig(), *cluster_);
+  ASSERT_TRUE(launched.ok());
+  TraceCollator collator;
+  Result<JobTrace> job = collator.Collate(std::move(launched->traces));
+  ASSERT_TRUE(job.ok());
+
+  ServiceRequest request;
+  request.kind = ServiceRequestKind::kTracePredict;
+  request.id = 77;
+  request.trace = *job;
+  // Exercise the full wire path: the trace payload round-trips as NDJSON.
+  Result<ServiceRequest> wire = ParseServiceRequest(SerializeServiceRequest(request));
+  ASSERT_TRUE(wire.ok()) << wire.status().ToString();
+  ServiceResponse response = engine->Submit(*std::move(wire)).get();
+  ASSERT_TRUE(response.ok) << response.error;
+  EXPECT_EQ(response.timings.emulation_ms, 0.0);
+
+  // Reference: annotate + simulate the same wire-format trace directly (the
+  // trace JSON carries decimal doubles, so the reference must consume the
+  // identical round-tripped payload for a bit-exact comparison).
+  Result<JobTrace> round_tripped = ParseJobTrace(SerializeJobTrace(*job));
+  ASSERT_TRUE(round_tripped.ok());
+  JobTrace reference = *std::move(round_tripped);
+  engine->pipeline().AnnotateDurations(reference, nullptr);
+  Simulator simulator(reference, *cluster_, SimOptions{});
+  Result<SimReport> sim = simulator.Run();
+  ASSERT_TRUE(sim.ok());
+  EXPECT_EQ(response.iteration_time_us, sim->total_time_us);
+}
+
+TEST_F(ServiceTest, ConcurrentMixedWorkloadMatchesSequential) {
+  ServiceEngineOptions options;
+  options.worker_threads = 4;
+  auto engine = MakeEngine(options);
+
+  // Sequential reference for every request, on a second engine sharing the
+  // same estimators (fresh caches: proves cold-concurrent == warm-sequential
+  // via the bit-identical cache invariant).
+  ServiceEngineOptions reference_options;
+  reference_options.worker_threads = 1;
+  auto reference = MakeEngine(reference_options);
+
+  struct Case {
+    ServiceRequest request;
+    ServiceResponse expected;
+  };
+  std::vector<Case> cases;
+  uint64_t next_id = 1;
+  for (const TrainConfig& config : SweepConfigs()) {
+    Case c;
+    c.request.id = next_id++;
+    c.request.kind = ServiceRequestKind::kPredict;
+    c.request.model = TinyGpt();
+    c.request.config = config;
+    cases.push_back(std::move(c));
+  }
+  {
+    Case c;
+    c.request.id = next_id++;
+    c.request.kind = ServiceRequestKind::kSearch;
+    c.request.model = TinyGpt();
+    c.request.search.algorithm = "random";
+    c.request.search.sample_budget = 24;
+    c.request.search.seed = 11;
+    c.request.search.early_stop_patience = 0;
+    c.request.global_batch = 32;
+    cases.push_back(std::move(c));
+  }
+  for (Case& c : cases) {
+    c.expected = reference->Execute(c.request);
+    ASSERT_TRUE(c.expected.ok) << c.expected.error;
+  }
+
+  // Issue everything concurrently from client threads, twice, so both cold
+  // and warm cache paths run under contention.
+  for (int round = 0; round < 2; ++round) {
+    std::vector<std::future<ServiceResponse>> futures(cases.size());
+    std::vector<std::thread> clients;
+    clients.reserve(cases.size());
+    for (size_t i = 0; i < cases.size(); ++i) {
+      clients.emplace_back([&, i] { futures[i] = engine->Submit(cases[i].request); });
+    }
+    for (std::thread& t : clients) {
+      t.join();
+    }
+    for (size_t i = 0; i < cases.size(); ++i) {
+      const ServiceResponse response = futures[i].get();
+      const ServiceResponse& expected = cases[i].expected;
+      ASSERT_TRUE(response.ok) << response.error;
+      // Per-request isolation: the response is for this id and kind.
+      EXPECT_EQ(response.id, cases[i].request.id);
+      EXPECT_EQ(response.kind, cases[i].request.kind);
+      if (response.kind == ServiceRequestKind::kPredict) {
+        EXPECT_EQ(response.iteration_time_us, expected.iteration_time_us)
+            << "request " << i << " round " << round;
+        EXPECT_EQ(response.mfu, expected.mfu);
+      } else {
+        EXPECT_EQ(response.best_mfu, expected.best_mfu) << "round " << round;
+        EXPECT_EQ(response.best_iteration_us, expected.best_iteration_us);
+        EXPECT_EQ(response.samples, expected.samples);
+      }
+    }
+  }
+  const ServiceStats stats = engine->stats();
+  EXPECT_EQ(stats.completed, 2 * cases.size());
+  EXPECT_EQ(stats.rejected, 0u);
+}
+
+TEST_F(ServiceTest, QueueBoundRejectsAndCancelWorks) {
+  ServiceEngineOptions options;
+  options.worker_threads = 1;
+  options.max_queue_depth = 2;
+  options.start_paused = true;
+  auto engine = MakeEngine(options);
+
+  ServiceRequest request;
+  request.kind = ServiceRequestKind::kPredict;
+  request.model = TinyGpt();
+  request.config = BaseConfig();
+
+  request.id = 1;
+  std::future<ServiceResponse> first = engine->Submit(request);
+  request.id = 2;
+  std::future<ServiceResponse> second = engine->Submit(request);
+  request.id = 3;
+  std::future<ServiceResponse> third = engine->Submit(request);
+
+  // Queue bound 2: the third submission is rejected immediately.
+  const ServiceResponse rejected = third.get();
+  EXPECT_FALSE(rejected.ok);
+  EXPECT_EQ(rejected.error_code, kErrQueueFull);
+
+  // Cancel one queued request through the protocol.
+  ServiceRequest cancel;
+  cancel.id = 4;
+  cancel.kind = ServiceRequestKind::kCancel;
+  cancel.target_id = 2;
+  const ServiceResponse cancel_ack = engine->Submit(cancel).get();
+  ASSERT_TRUE(cancel_ack.ok);
+  EXPECT_TRUE(cancel_ack.cancel_found);
+  const ServiceResponse cancelled = second.get();
+  EXPECT_FALSE(cancelled.ok);
+  EXPECT_EQ(cancelled.error_code, kErrCancelled);
+
+  // Cancelling an unknown id reports not-found.
+  cancel.id = 5;
+  cancel.target_id = 999;
+  EXPECT_FALSE(engine->Submit(cancel).get().cancel_found);
+
+  engine->Resume();
+  const ServiceResponse completed = first.get();
+  EXPECT_TRUE(completed.ok) << completed.error;
+  const ServiceStats stats = engine->stats();
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.cancelled, 1u);
+}
+
+TEST_F(ServiceTest, ExpiredDeadlineNeverExecutes) {
+  ServiceEngineOptions options;
+  options.worker_threads = 1;
+  options.start_paused = true;
+  auto engine = MakeEngine(options);
+
+  ServiceRequest request;
+  request.id = 1;
+  request.kind = ServiceRequestKind::kPredict;
+  request.model = TinyGpt();
+  request.config = BaseConfig();
+  request.deadline_ms = 1.0;
+  std::future<ServiceResponse> future = engine->Submit(request);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  engine->Resume();
+  const ServiceResponse response = future.get();
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.error_code, kErrDeadlineExceeded);
+  EXPECT_EQ(engine->stats().deadline_expired, 1u);
+}
+
+TEST_F(ServiceTest, ShutdownDrainsQueueAndRejectsNewWork) {
+  ServiceEngineOptions options;
+  options.worker_threads = 2;
+  options.start_paused = true;
+  auto engine = MakeEngine(options);
+  ServiceRequest request;
+  request.kind = ServiceRequestKind::kPredict;
+  request.model = TinyGpt();
+  request.config = BaseConfig();
+  request.id = 1;
+  std::future<ServiceResponse> queued = engine->Submit(request);
+  engine->Shutdown();  // drains the paused queue before joining
+  EXPECT_TRUE(queued.get().ok);
+  request.id = 2;
+  const ServiceResponse refused = engine->Submit(request).get();
+  EXPECT_FALSE(refused.ok);
+  EXPECT_EQ(refused.error_code, kErrShuttingDown);
+}
+
+// ---- Artifact warm start ----------------------------------------------------
+
+TEST_F(ServiceTest, WarmStartBitIdenticalWithHighHitRate) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "service_warm_bundle").string();
+
+  // Process 1: train (shared fixture bank), serve a sweep, save the bundle.
+  // The engine owns its own bank here so the bundle save path (estimators +
+  // caches) is exercised end to end.
+  ProfileSweepOptions sweep;
+  sweep.gemm_samples = 1200;
+  sweep.conv_samples = 100;
+  sweep.generic_samples = 60;
+  sweep.collective_sizes = 12;
+  GroundTruthExecutor profiling(*cluster_, 7);  // same seed as the fixture
+  auto original = std::make_unique<ServiceEngine>(
+      *cluster_, TrainEstimators(*cluster_, profiling, sweep), ServiceEngineOptions{});
+  InProcessTransport original_transport(original.get());
+  ServiceClient original_client(&original_transport);
+  std::vector<ServiceResponse> original_responses;
+  for (const TrainConfig& config : SweepConfigs()) {
+    Result<ServiceResponse> response = original_client.Predict(TinyGpt(), config);
+    ASSERT_TRUE(response.ok() && response->ok);
+    original_responses.push_back(*response);
+  }
+  ArtifactStore store(dir);
+  ASSERT_TRUE(store.Save(original->cluster(), original->bank(), original->pipeline()).ok());
+  original->Shutdown();
+
+  // Process 2 (simulated): restart from the bundle — no re-training — and
+  // answer the same sweep.
+  Result<std::unique_ptr<ServiceEngine>> restarted =
+      ServiceEngine::FromArtifacts(*cluster_, store, ServiceEngineOptions{});
+  ASSERT_TRUE(restarted.ok()) << restarted.status().ToString();
+  InProcessTransport transport(restarted->get());
+  ServiceClient client(&transport);
+
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  const std::vector<TrainConfig> configs = SweepConfigs();
+  for (size_t i = 0; i < configs.size(); ++i) {
+    Result<ServiceResponse> response = client.Predict(TinyGpt(), configs[i]);
+    ASSERT_TRUE(response.ok() && response->ok);
+    // Bit-identical to the original process's answers.
+    EXPECT_EQ(response->iteration_time_us, original_responses[i].iteration_time_us)
+        << "config " << i;
+    EXPECT_EQ(response->mfu, original_responses[i].mfu) << "config " << i;
+    hits += response->estimation.cache_hits;
+    misses += response->estimation.cache_misses;
+  }
+  // The acceptance bar: a warm-started server answers a repeated sweep with
+  // >= 90% estimate-cache hit rate (in fact 100%: every unique key was
+  // bundled).
+  ASSERT_GT(hits, 0u);
+  const double hit_rate =
+      static_cast<double>(hits) / static_cast<double>(hits + misses);
+  EXPECT_GE(hit_rate, 0.9);
+  EXPECT_EQ(misses, 0u);
+}
+
+}  // namespace
+}  // namespace maya

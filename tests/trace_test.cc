@@ -278,5 +278,74 @@ TEST(SerializationTest, ParseRejectsMalformedTrace) {
   EXPECT_FALSE(ParseWorkerTrace(R"({"rank": 0})").ok());  // incomplete — CHECKs are avoided
 }
 
+TEST(SerializationTest, JobTraceStrictRoundTrip) {
+  // Collate a small job with folding, multiple op types and annotated
+  // durations, then require serialize(parse(serialize(job))) to be the exact
+  // same bytes — the fixed-point property the service relies on for
+  // pre-collated trace payloads.
+  std::vector<WorkerTrace> workers;
+  for (int rank = 0; rank < 4; ++rank) {
+    const uint64_t uid = 100 + static_cast<uint64_t>(rank % 2);
+    WorkerTrace worker = MakeWorker(
+        rank, {Kernel(0, 64 + 64 * (rank % 2)), Collective(uid, 0, 2, rank / 2)},
+        {{uid, 2, rank / 2}});
+    worker.ops[0].duration_us = 3.25 + rank;
+    worker.peak_device_bytes = 1000u + static_cast<uint64_t>(rank);
+    workers.push_back(std::move(worker));
+  }
+  TraceCollator collator(CollationOptions{/*deduplicate=*/true});
+  Result<JobTrace> job = collator.Collate(workers);
+  ASSERT_TRUE(job.ok()) << job.status().ToString();
+
+  const std::string json = SerializeJobTrace(*job);
+  Result<JobTrace> parsed = ParseJobTrace(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->world_size, job->world_size);
+  EXPECT_EQ(parsed->workers.size(), job->workers.size());
+  EXPECT_EQ(parsed->folded_ranks, job->folded_ranks);
+  ASSERT_EQ(parsed->comms.size(), job->comms.size());
+  for (const auto& [uid, group] : job->comms) {
+    ASSERT_TRUE(parsed->comms.count(uid) > 0);
+    EXPECT_EQ(parsed->comm(uid).members, group.members);
+  }
+  for (size_t i = 0; i < job->workers.size(); ++i) {
+    EXPECT_EQ(parsed->workers[i].Fingerprint(), job->workers[i].Fingerprint());
+  }
+  EXPECT_EQ(SerializeJobTrace(*parsed), json);
+}
+
+TEST(SerializationTest, ParseJobTraceRejectsInconsistentPayloads) {
+  EXPECT_FALSE(ParseJobTrace("[]").ok());
+  EXPECT_FALSE(ParseJobTrace(R"({"world_size":1})").ok());  // missing sections
+  // A collective referencing an undeclared communicator is rejected rather
+  // than CHECK-failing downstream in the simulator.
+  WorkerTrace worker = MakeWorker(0, {Collective(42, 0, 2, 0)});
+  const std::string json =
+      R"({"world_size":1,"comms":[],"folded_ranks":[[0]],"workers":[)" +
+      SerializeWorkerTrace(worker) + "]}";
+  const Result<JobTrace> parsed = ParseJobTrace(json);
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("undeclared comm"), std::string::npos);
+  // Mismatched folded_ranks / workers lengths are rejected.
+  const std::string mismatched =
+      R"({"world_size":1,"comms":[],"folded_ranks":[[0],[1]],"workers":[)" +
+      SerializeWorkerTrace(MakeWorker(0, {Kernel(0)})) + "]}";
+  EXPECT_FALSE(ParseJobTrace(mismatched).ok());
+  // Overlapping folded ranks (one rank claimed by two workers) would make
+  // the simulator silently mis-synchronize collectives.
+  const std::string overlapping =
+      R"({"world_size":2,"comms":[],"folded_ranks":[[0],[0]],"workers":[)" +
+      SerializeWorkerTrace(MakeWorker(0, {Kernel(0)})) + "," +
+      SerializeWorkerTrace(MakeWorker(1, {Kernel(0)})) + "]}";
+  const Result<JobTrace> overlap_parsed = ParseJobTrace(overlapping);
+  EXPECT_FALSE(overlap_parsed.ok());
+  EXPECT_NE(overlap_parsed.status().message().find("claimed by workers"), std::string::npos);
+  // Wrong-typed fields are parse errors, not CHECK aborts.
+  EXPECT_FALSE(
+      ParseJobTrace(R"({"world_size":"two","comms":[],"folded_ranks":[],"workers":[]})").ok());
+  EXPECT_FALSE(
+      ParseJobTrace(R"({"world_size":1,"comms":{},"folded_ranks":[],"workers":[]})").ok());
+}
+
 }  // namespace
 }  // namespace maya

@@ -1,0 +1,203 @@
+// maya_serve: stdio front-end for the Maya prediction service.
+//
+// Reads newline-delimited JSON requests from stdin, writes one JSON response
+// line per request to stdout (in submission order), and serves them from a
+// single warm ServiceEngine. On startup the engine either loads a persistent
+// artifact bundle (--artifacts=DIR, when present) — skipping estimator
+// training and warm-starting the estimate caches — or trains estimators from
+// profiling sweeps and, with --save_artifacts, persists the bundle on exit so
+// the next start is warm.
+//
+// Usage:
+//   maya_serve [--cluster=h100x8] [--workers=4] [--queue=64]
+//              [--artifacts=DIR] [--save_artifacts] [--sweep=full|small|tiny]
+//
+// Protocol examples (one line each; see src/service/protocol.h):
+//   {"id":1,"kind":"predict","model":{"name":"gpt3-2.7b","family":"Gpt",
+//    "num_layers":32,"hidden_size":2560,"num_heads":32,"vocab_size":51200,
+//    "seq_length":2048},"config":{"global_batch_size":256,"tensor_parallel":2,
+//    "pipeline_parallel":2,"microbatch_multiplier":2}}
+//   {"id":2,"kind":"stats"}
+// EOF (or a line "shutdown") stops the server.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <future>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "src/core/estimator_bank.h"
+#include "src/service/artifact_store.h"
+#include "src/service/protocol.h"
+#include "src/service/service_engine.h"
+
+namespace {
+
+struct ServeFlags {
+  std::string cluster = "h100x8";
+  int workers = 4;
+  size_t queue = 64;
+  std::string artifacts;
+  bool save_artifacts = false;
+  std::string sweep = "small";
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+maya::ProfileSweepOptions SweepFor(const std::string& name) {
+  maya::ProfileSweepOptions sweep;
+  if (name == "small") {
+    sweep.gemm_samples = 5000;
+    sweep.conv_samples = 400;
+    sweep.generic_samples = 150;
+    sweep.collective_sizes = 16;
+  } else if (name == "tiny") {
+    sweep.gemm_samples = 1500;
+    sweep.conv_samples = 100;
+    sweep.generic_samples = 30;
+    sweep.collective_sizes = 8;
+  }
+  return sweep;  // "full": paper-scale defaults
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace maya;
+
+  ServeFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "--cluster", &flags.cluster)) {
+    } else if (ParseFlag(argv[i], "--workers", &value)) {
+      flags.workers = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--queue", &value)) {
+      flags.queue = static_cast<size_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(argv[i], "--artifacts", &flags.artifacts)) {
+    } else if (std::strcmp(argv[i], "--save_artifacts") == 0) {
+      flags.save_artifacts = true;
+    } else if (ParseFlag(argv[i], "--sweep", &flags.sweep)) {
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+
+  Result<ClusterSpec> cluster = ClusterSpecByName(flags.cluster);
+  if (!cluster.ok()) {
+    std::fprintf(stderr, "%s\n", cluster.status().ToString().c_str());
+    return 2;
+  }
+  if (flags.save_artifacts && flags.artifacts.empty()) {
+    std::fprintf(stderr, "--save_artifacts requires --artifacts=DIR\n");
+    return 2;  // fail before paying minutes of training for a save that can't happen
+  }
+
+  ServiceEngineOptions options;
+  options.worker_threads = flags.workers;
+  options.max_queue_depth = flags.queue;
+
+  std::unique_ptr<ServiceEngine> engine;
+  ArtifactStore store(flags.artifacts.empty() ? "." : flags.artifacts);
+  if (!flags.artifacts.empty() && store.Exists()) {
+    Result<std::unique_ptr<ServiceEngine>> loaded =
+        ServiceEngine::FromArtifacts(*cluster, store, options);
+    if (loaded.ok()) {
+      engine = *std::move(loaded);
+      std::fprintf(
+          stderr, "maya_serve: warm start from %s (%llu cached estimates)\n",
+          flags.artifacts.c_str(),
+          static_cast<unsigned long long>(engine->pipeline().KernelCacheStats().entries +
+                                          engine->pipeline().CollectiveCacheStats().entries));
+    } else {
+      // A corrupt/incompatible bundle degrades to a cold start instead of
+      // refusing to serve.
+      std::fprintf(stderr, "maya_serve: artifact bundle unusable (%s); falling back to cold start\n",
+                   loaded.status().ToString().c_str());
+    }
+  }
+  if (engine == nullptr) {
+    std::fprintf(stderr, "maya_serve: cold start, training estimators (%s sweep)...\n",
+                 flags.sweep.c_str());
+    GroundTruthExecutor profiling_hardware(*cluster, /*seed=*/0x9f0f);
+    EstimatorBank bank = TrainEstimators(*cluster, profiling_hardware, SweepFor(flags.sweep));
+    engine = std::make_unique<ServiceEngine>(*cluster, std::move(bank), options);
+  }
+  std::fprintf(stderr, "maya_serve: serving %s with %d workers (queue bound %zu)\n",
+               cluster->ToString().c_str(), flags.workers, flags.queue);
+
+  // Responses print in submission order: a writer drains futures FIFO while
+  // workers execute concurrently behind them.
+  std::deque<std::future<ServiceResponse>> inflight;
+  auto drain_ready = [&inflight](bool block) {
+    while (!inflight.empty()) {
+      if (!block && inflight.front().wait_for(std::chrono::seconds(0)) !=
+                        std::future_status::ready) {
+        return;
+      }
+      std::printf("%s\n", SerializeServiceResponse(inflight.front().get()).c_str());
+      std::fflush(stdout);
+      inflight.pop_front();
+    }
+  };
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    if (line == "shutdown") {
+      break;
+    }
+    Result<ServiceRequest> request = ParseServiceRequest(line);
+    if (!request.ok()) {
+      ServiceResponse error;
+      error.ok = false;
+      error.error_code = kErrInvalidRequest;
+      error.error = request.status().ToString();
+      // Echo the id/kind when the line is at least well-formed JSON, so a
+      // pipelining client can match the failure to its request.
+      if (Result<JsonValue> root = ParseJson(line); root.ok() && root->is_object()) {
+        if (root->Has("id") && root->at("id").type() == JsonValue::Type::kNumber &&
+            root->at("id").AsDouble() >= 0.0) {
+          error.id = root->at("id").AsUint();
+        }
+        if (root->Has("kind") && root->at("kind").type() == JsonValue::Type::kString) {
+          if (Result<ServiceRequestKind> kind =
+                  ServiceRequestKindFromName(root->at("kind").AsString());
+              kind.ok()) {
+            error.kind = *kind;
+          }
+        }
+      }
+      drain_ready(/*block=*/true);  // keep ordering even for parse failures
+      std::printf("%s\n", SerializeServiceResponse(error).c_str());
+      std::fflush(stdout);
+      continue;
+    }
+    inflight.push_back(engine->Submit(*std::move(request)));
+    drain_ready(/*block=*/false);
+  }
+  drain_ready(/*block=*/true);
+  engine->Shutdown();
+
+  if (flags.save_artifacts && !flags.artifacts.empty()) {
+    const Status saved = store.Save(engine->cluster(), engine->bank(), engine->pipeline());
+    if (!saved.ok()) {
+      std::fprintf(stderr, "failed to save artifact bundle: %s\n", saved.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "maya_serve: saved artifact bundle to %s\n", flags.artifacts.c_str());
+  }
+  return 0;
+}
