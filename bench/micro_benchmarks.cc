@@ -322,6 +322,134 @@ void RunEstimationThroughputStudy() {
             << "Wrote BENCH_estimation.json\n";
 }
 
+// Emulation-throughput study: wall-ms and effective ranks/s for the trace-
+// collection stage across {sequential, parallel} x {full, dedup} per
+// framework — written to BENCH_emulation.json. "Dedup" is the generalized
+// selective launch (one full rank per equivalence class + comm-init stubs);
+// outputs of every arm are asserted bit-identical to the sequential dedup-off
+// baseline in dlf_test/core_test, so this measures pure speedup.
+double MeasureEmulationWallMs(const ModelConfig& model, const TrainConfig& config,
+                              const ClusterSpec& cluster, const LaunchOptions& options,
+                              int passes) {
+  Result<LaunchResult> warmup = EmulateJob(model, config, cluster, options);  // fault in
+  CHECK(warmup.ok()) << warmup.status().ToString();
+  CHECK(!warmup->oom) << warmup->oom_detail;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < passes; ++i) {
+    Result<LaunchResult> launched = EmulateJob(model, config, cluster, options);
+    CHECK(launched.ok());
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return seconds * 1000.0 / passes;
+}
+
+void RunEmulationThroughputStudy(bool tiny) {
+  ModelConfig model = BenchModel();
+  if (tiny) {
+    model.num_layers = 2;  // harness smoke: exercise every arm, not the scale
+  } else {
+    model.num_layers = 16;  // a few ms per job, so arm ratios aren't noise
+  }
+  const ClusterSpec cluster = H100Cluster(8);
+  const int world = cluster.total_gpus();
+  const int passes = tiny ? 2 : 10;
+  const int threads = static_cast<int>(
+      std::min<unsigned>(8, std::max(2u, std::thread::hardware_concurrency())));
+
+  struct Case {
+    const char* framework;
+    TrainConfig config;
+  };
+  std::vector<Case> cases;
+  {
+    // Multi-rank symmetric config (the Fig. 14 lever at its strongest):
+    // tp1 pp1 -> dp8, every rank twins rank 0.
+    TrainConfig dp8;
+    dp8.global_batch_size = 32;
+    dp8.microbatch_multiplier = 4;
+    cases.push_back({"megatron_dp8", dp8});
+    TrainConfig grid = BenchConfig();  // tp2 x pp2: one class per stage
+    cases.push_back({"megatron_tp2pp2", grid});
+    TrainConfig fsdp;
+    fsdp.framework = ParallelFramework::kFsdp;
+    fsdp.global_batch_size = 32;
+    fsdp.microbatch_multiplier = 4;
+    cases.push_back({"fsdp", fsdp});
+  }
+  {
+    TrainConfig ddp;
+    ddp.framework = ParallelFramework::kDdp;
+    ddp.global_batch_size = 256;
+    ddp.microbatch_multiplier = 1;
+    cases.push_back({"vision", ddp});
+  }
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("benchmark", std::string_view("emulation_throughput"));
+  json.Field("world_size", static_cast<int64_t>(world));
+  json.Field("emulation_threads", static_cast<int64_t>(threads));
+  json.Field("passes", static_cast<int64_t>(passes));
+  json.Field("tiny", tiny);
+  json.KeyedBeginObject("frameworks");
+  std::cout << StrFormat(
+      "Emulation throughput (world %d, %d threads): wall-ms per job / effective ranks/s\n",
+      world, threads);
+  double symmetric_speedup = 0.0;
+  // One persistent pool for every parallel arm, as the pipeline runs it —
+  // spawning a pool per job would charge thread startup to sub-ms launches.
+  ThreadPool pool(static_cast<size_t>(threads));
+  for (const Case& test_case : cases) {
+    const ModelConfig& case_model = test_case.framework[0] == 'v' ? ResNet152() : model;
+    LaunchOptions seq_full;
+    LaunchOptions par_full;
+    par_full.emulation_pool = &pool;
+    LaunchOptions seq_dedup;
+    seq_dedup.selective_launch = true;
+    LaunchOptions par_dedup;
+    par_dedup.selective_launch = true;
+    par_dedup.emulation_pool = &pool;
+
+    const double seq_full_ms =
+        MeasureEmulationWallMs(case_model, test_case.config, cluster, seq_full, passes);
+    const double par_full_ms =
+        MeasureEmulationWallMs(case_model, test_case.config, cluster, par_full, passes);
+    const double seq_dedup_ms =
+        MeasureEmulationWallMs(case_model, test_case.config, cluster, seq_dedup, passes);
+    const double par_dedup_ms =
+        MeasureEmulationWallMs(case_model, test_case.config, cluster, par_dedup, passes);
+    const double speedup = seq_full_ms / par_dedup_ms;
+    if (test_case.framework == std::string_view("megatron_dp8")) {
+      symmetric_speedup = speedup;
+    }
+
+    json.KeyedBeginObject(test_case.framework);
+    json.Field("sequential_full_wall_ms", seq_full_ms);
+    json.Field("parallel_full_wall_ms", par_full_ms);
+    json.Field("sequential_dedup_wall_ms", seq_dedup_ms);
+    json.Field("parallel_dedup_wall_ms", par_dedup_ms);
+    json.Field("sequential_full_ranks_per_sec", world * 1000.0 / seq_full_ms);
+    json.Field("parallel_full_ranks_per_sec", world * 1000.0 / par_full_ms);
+    json.Field("sequential_dedup_ranks_per_sec", world * 1000.0 / seq_dedup_ms);
+    json.Field("parallel_dedup_ranks_per_sec", world * 1000.0 / par_dedup_ms);
+    json.Field("speedup_parallel_vs_sequential", seq_full_ms / par_full_ms);
+    json.Field("speedup_dedup_vs_full", seq_full_ms / seq_dedup_ms);
+    json.Field("speedup_parallel_dedup_vs_sequential_full", speedup);
+    json.EndObject();
+    std::cout << StrFormat(
+        "  %-16s seq %7.2f ms | par %7.2f ms | dedup %7.2f ms | par+dedup %7.2f ms "
+        "(%.1fx vs seq)\n",
+        test_case.framework, seq_full_ms, par_full_ms, seq_dedup_ms, par_dedup_ms, speedup);
+  }
+  json.EndObject();
+  json.Field("symmetric_speedup_parallel_dedup_vs_sequential_full", symmetric_speedup);
+  json.EndObject();
+  std::ofstream out("BENCH_emulation.json");
+  out << json.str() << "\n";
+  std::cout << "Wrote BENCH_emulation.json\n";
+}
+
 // Service-throughput study: requests/s through a warm ServiceEngine at 1, 4
 // and 16 concurrent clients, plus cold-start vs artifact-bundle warm-start on
 // a repeated config sweep — written to BENCH_service.json.
@@ -450,21 +578,36 @@ int main(int argc, char** argv) {
   // for (or clobber) them.
   bool run_study = true;
   bool run_service_study = true;
+  bool run_emulation_study = true;
+  bool emulation_study_tiny = false;
   for (int i = argc - 1; i > 0; --i) {
     const std::string_view arg = argv[i];
-    if (arg == "--no_estimation_study" || arg == "--no_service_study") {
-      (arg == "--no_estimation_study" ? run_study : run_service_study) = false;
+    if (arg == "--no_estimation_study" || arg == "--no_service_study" ||
+        arg == "--no_emulation_study" || arg == "--emulation_study_tiny") {
+      if (arg == "--no_estimation_study") {
+        run_study = false;
+      } else if (arg == "--no_service_study") {
+        run_service_study = false;
+      } else if (arg == "--no_emulation_study") {
+        run_emulation_study = false;
+      } else {
+        emulation_study_tiny = true;  // CI harness smoke at reduced size
+      }
       std::rotate(argv + i, argv + i + 1, argv + argc);
       argv[--argc] = nullptr;  // preserve the argv[argc] == nullptr invariant
     } else if (arg == "--benchmark_list_tests" || arg == "--benchmark_list_tests=true" ||
                arg == "--help") {
       run_study = false;
       run_service_study = false;
+      run_emulation_study = false;
     }
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
     return 1;
+  }
+  if (run_emulation_study) {
+    maya::RunEmulationThroughputStudy(emulation_study_tiny);
   }
   if (run_study) {
     maya::RunEstimationThroughputStudy();

@@ -112,6 +112,10 @@ MayaPipeline::MayaPipeline(const ClusterSpec& cluster,
     estimation_pool_ =
         std::make_unique<ThreadPool>(static_cast<size_t>(options_.estimation_threads));
   }
+  if (options_.emulation_threads > 1) {
+    emulation_pool_ =
+        std::make_unique<ThreadPool>(static_cast<size_t>(options_.emulation_threads));
+  }
 }
 
 void MayaPipeline::PredictKernels(const std::vector<const KernelDesc*>& kernels,
@@ -295,9 +299,12 @@ Result<PredictionReport> MayaPipeline::Predict(const PredictionRequest& request)
     report.full_workers_emulated = cached->full_workers_emulated;
     report.timings.collation_ms = clock.LapMs();
   } else {
-    // (1) Trace collection via emulation.
+    // (1) Trace collection via emulation. The shared pool is safe for
+    // concurrent Predict calls: ParallelFor isolates each caller's ranks
+    // behind a per-call latch.
     LaunchOptions launch;
     launch.selective_launch = request.selective_launch;
+    launch.emulation_pool = emulation_pool_.get();
     Result<LaunchResult> launched = EmulateJob(request.model, request.config, cluster_, launch);
     if (!launched.ok()) {
       return launched.status();

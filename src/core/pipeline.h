@@ -38,6 +38,13 @@ struct MayaPipelineOptions {
   int estimation_threads = 0;
   // Minimum unique kernels before the estimation pool engages.
   size_t parallel_estimation_threshold = 1024;
+  // Worker threads for per-rank emulation (stage 1): each rank runs against
+  // its own emulator + virtual clock on a pipeline-owned pool. Bit-identical
+  // to the sequential launch (communicator uids are pre-assigned in
+  // sequential order), so like estimation_threads this is output-preserving.
+  // <= 1 keeps emulation sequential — the right default inside a concurrent
+  // search, which parallelizes across trials instead.
+  int emulation_threads = 0;
   // Memoize collated traces across Predict calls keyed by
   // (model, config, pipeline knobs) — stages 1+2 are deterministic functions
   // of that key for a fixed cluster, so a repeated configuration (across
@@ -81,7 +88,10 @@ struct PredictionRequest {
 
   // Pipeline knobs.
   bool deduplicate_workers = true;   // dynamic worker dedup (§4.2)
-  bool selective_launch = false;     // hyperscale unique-rank launch (§7.4)
+  // Hyperscale unique-rank launch (§7.4), generalized to every engine:
+  // Megatron emulates one rank per pipeline stage; FSDP/DeepSpeed/DDP and
+  // vision jobs emulate rank 0 only, twins become comm-init stubs.
+  bool selective_launch = false;
   // Oracle mode (Table 3): annotate with the profiled *actual* per-instance
   // runtimes from this executor instead of learned estimates. Must be the
   // same executor (seed) that produced the "actual" measurement.
@@ -201,6 +211,7 @@ class MayaPipeline {
       collective_estimate_cache_;
   mutable ShardedCache<std::string, std::shared_ptr<const CollatedTrace>> trace_cache_;
   std::unique_ptr<ThreadPool> estimation_pool_;  // null when estimation_threads == 0
+  std::unique_ptr<ThreadPool> emulation_pool_;   // null when emulation_threads <= 1
 };
 
 // MFU given a measured/predicted iteration time.

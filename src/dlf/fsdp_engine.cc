@@ -35,14 +35,38 @@ int FsdpEngine::effective_zero_stage() const {
   return 0;
 }
 
+Status FsdpEngine::RunCommInitOnly(int rank, DeviceApi* api, VirtualHostClock* clock,
+                                   JobCommRegistry* registry) const {
+  CHECK(registry != nullptr);
+  HostCostModel costs;
+  OpEmitter emitter(api, clock, costs, SplitMix64(0xf5daULL ^ static_cast<uint64_t>(rank)));
+  MAYA_RETURN_IF_ERROR(emitter.Init());
+  if (cluster_.total_gpus() > 1) {
+    MAYA_RETURN_IF_ERROR(
+        emitter.CommInit(cluster_.total_gpus(), registry->IdFor("fsdp_world"), rank).status());
+  }
+  return Status::Ok();
+}
+
+void FsdpEngine::RegisterComms(int rank, JobCommRegistry* registry) const {
+  CHECK(registry != nullptr);
+  (void)rank;
+  if (cluster_.total_gpus() > 1) {
+    registry->IdFor("fsdp_world");
+  }
+}
+
 Status FsdpEngine::RunWorker(int rank, DeviceApi* api, VirtualHostClock* clock,
-                             JobCommRegistry* registry) {
+                             JobCommRegistry* registry) const {
   CHECK(registry != nullptr);
   HostCostModel costs;
   if (config_.torch_compile) {
     costs = costs.Compiled();
   }
-  OpEmitter emitter(api, clock, costs, SplitMix64(0xf5d9ULL ^ static_cast<uint64_t>(rank)));
+  // Every rank runs the same data-parallel script (equivalence class = rank
+  // 0), so host jitter is seeded class-wide: twins measure identical delays
+  // and deduplication is exactly lossless (see MegatronEngine::RunWorker).
+  OpEmitter emitter(api, clock, costs, SplitMix64(0xf5d9ULL));
   MAYA_RETURN_IF_ERROR(emitter.Init());
 
   const int world = cluster_.total_gpus();

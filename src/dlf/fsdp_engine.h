@@ -17,13 +17,27 @@
 
 namespace maya {
 
+// Const-after-construction like the other engines: RunWorker is safe to call
+// concurrently for distinct ranks from the parallel launcher.
 class FsdpEngine {
  public:
   FsdpEngine(const ModelConfig& model, const TrainConfig& config, const ClusterSpec& cluster);
 
   // One training iteration for `rank`. OOM propagates as a Status.
   Status RunWorker(int rank, DeviceApi* api, VirtualHostClock* clock,
-                   JobCommRegistry* registry);
+                   JobCommRegistry* registry) const;
+
+  // Selective-launch stub: every rank is a member of the single world
+  // communicator, so the stub only needs to contribute that membership
+  // evidence. All ranks execute the same data-parallel script (their op
+  // sequences share one StructuralSignature stream), which is what lets the
+  // generalized dedup fold the whole job onto rank 0.
+  Status RunCommInitOnly(int rank, DeviceApi* api, VirtualHostClock* clock,
+                         JobCommRegistry* registry) const;
+
+  // Registry-only mirror of the communicator names RunWorker uses, in first-
+  // use order (see MegatronEngine::RegisterComms).
+  void RegisterComms(int rank, JobCommRegistry* registry) const;
 
  private:
   int effective_zero_stage() const;

@@ -90,7 +90,7 @@ int64_t MegatronEngine::LocalParams(int rank) const {
   return params;
 }
 
-Status MegatronEngine::InitComms(Ctx& ctx) {
+Status MegatronEngine::InitComms(Ctx& ctx) const {
   JobCommRegistry& registry = *ctx.registry;
   const int rank = ctx.rank;
   const int pp = config_.pipeline_parallel;
@@ -153,7 +153,7 @@ Status MegatronEngine::InitComms(Ctx& ctx) {
   return Status::Ok();
 }
 
-Status MegatronEngine::AllocateState(Ctx& ctx) {
+Status MegatronEngine::AllocateState(Ctx& ctx) const {
   OpEmitter& emitter = ctx.emitter;
   // Framework / context reservation.
   MAYA_RETURN_IF_ERROR(emitter.Malloc(kFrameworkReserveBytes).status());
@@ -189,7 +189,7 @@ Status MegatronEngine::AllocateState(Ctx& ctx) {
   return Status::Ok();
 }
 
-Status MegatronEngine::Setup(Ctx& ctx) {
+Status MegatronEngine::Setup(Ctx& ctx) const {
   OpEmitter& emitter = ctx.emitter;
   MAYA_RETURN_IF_ERROR(emitter.Init());
 
@@ -268,7 +268,7 @@ int64_t StepKey(int chunk, int microbatch) {
 
 }  // namespace
 
-Status MegatronEngine::ForwardStep(Ctx& ctx, int virtual_index) {
+Status MegatronEngine::ForwardStep(Ctx& ctx, int virtual_index) const {
   const int pp = config_.pipeline_parallel;
   const VirtualStep step = MapVirtual(virtual_index, pp, ctx.chunks);
   const int global_vstage = step.chunk * pp + ctx.stage;
@@ -326,7 +326,7 @@ Status MegatronEngine::ForwardStep(Ctx& ctx, int virtual_index) {
   return Status::Ok();
 }
 
-Status MegatronEngine::BackwardStep(Ctx& ctx, int virtual_index) {
+Status MegatronEngine::BackwardStep(Ctx& ctx, int virtual_index) const {
   const int pp = config_.pipeline_parallel;
   const VirtualStep fwd_step = MapVirtual(virtual_index, pp, ctx.chunks);
   // Backward walks chunks in reverse.
@@ -389,7 +389,7 @@ Status MegatronEngine::BackwardStep(Ctx& ctx, int virtual_index) {
   return Status::Ok();
 }
 
-Status MegatronEngine::EmitChunkGradSync(Ctx& ctx, int chunk) {
+Status MegatronEngine::EmitChunkGradSync(Ctx& ctx, int chunk) const {
   if (layout_.dp() <= 1) {
     return Status::Ok();
   }
@@ -416,7 +416,7 @@ Status MegatronEngine::EmitChunkGradSync(Ctx& ctx, int chunk) {
   return Status::Ok();
 }
 
-Status MegatronEngine::OptimizerStep(Ctx& ctx) {
+Status MegatronEngine::OptimizerStep(Ctx& ctx) const {
   OpEmitter& emitter = ctx.emitter;
   emitter.ChargeGlue(emitter.costs().optimizer_glue_us);
 
@@ -447,7 +447,7 @@ Status MegatronEngine::OptimizerStep(Ctx& ctx) {
   return emitter.DeviceSync();
 }
 
-Status MegatronEngine::RunIteration(Ctx& ctx) {
+Status MegatronEngine::RunIteration(Ctx& ctx) const {
   const int pp = config_.pipeline_parallel;
   const int total = config_.num_microbatches() * ctx.chunks;
   int warmup = 0;
@@ -475,13 +475,19 @@ Status MegatronEngine::RunIteration(Ctx& ctx) {
 }
 
 Status MegatronEngine::RunWorker(int rank, DeviceApi* api, VirtualHostClock* clock,
-                                 JobCommRegistry* registry) {
+                                 JobCommRegistry* registry) const {
   CHECK(registry != nullptr);
   HostCostModel costs;
   if (config_.torch_compile) {
     costs = costs.Compiled();
   }
-  Ctx ctx(api, clock, costs, SplitMix64(0x5eedULL ^ static_cast<uint64_t>(rank)));
+  // Host-jitter RNG is seeded by the rank's equivalence class (its selective-
+  // launch representative), not the rank id: layout twins execute the same
+  // script, so giving them the same measured host delays makes worker
+  // deduplication exactly lossless (dedup on/off and selective launch are
+  // bit-identical) while distinct classes still jitter independently.
+  Ctx ctx(api, clock, costs,
+          SplitMix64(0x5eedULL ^ static_cast<uint64_t>(layout_.RepresentativeOf(rank))));
   ctx.rank = rank;
   ctx.registry = registry;
   MAYA_RETURN_IF_ERROR(Setup(ctx));
@@ -489,7 +495,7 @@ Status MegatronEngine::RunWorker(int rank, DeviceApi* api, VirtualHostClock* clo
 }
 
 Status MegatronEngine::RunCommInitOnly(int rank, DeviceApi* api, VirtualHostClock* clock,
-                                       JobCommRegistry* registry) {
+                                       JobCommRegistry* registry) const {
   CHECK(registry != nullptr);
   HostCostModel costs;
   Ctx ctx(api, clock, costs, SplitMix64(0x57abULL ^ static_cast<uint64_t>(rank)));
@@ -500,6 +506,40 @@ Status MegatronEngine::RunCommInitOnly(int rank, DeviceApi* api, VirtualHostCloc
   ctx.tp_idx = layout_.tp_index(rank);
   ctx.dp_idx = layout_.dp_index(rank);
   return InitComms(ctx);
+}
+
+void MegatronEngine::RegisterComms(int rank, JobCommRegistry* registry) const {
+  CHECK(registry != nullptr);
+  // Mirror of InitComms: same names, same order, no emulator interaction.
+  const int pp = config_.pipeline_parallel;
+  if (config_.tensor_parallel > 1) {
+    registry->IdFor(StrFormat("tp_g%d", layout_.TpGroupIndex(rank)));
+  }
+  if (layout_.dp() > 1) {
+    registry->IdFor(StrFormat("dp_g%d", layout_.DpGroupIndex(rank)));
+  }
+  if (pp > 1) {
+    const bool ring = config_.virtual_pipeline_stages > 1;
+    const int stage = layout_.pp_stage(rank);
+    const int prev = (stage - 1 + pp) % pp;
+    const int tp_idx = layout_.tp_index(rank);
+    const int dp_idx = layout_.dp_index(rank);
+    auto link_name = [&](const char* kind, int link) {
+      return StrFormat("%s_t%d_d%d_l%d", kind, tp_idx, dp_idx, link);
+    };
+    if (ring || stage < pp - 1) {
+      registry->IdFor(link_name("ppf", stage));
+    }
+    if (ring || stage > 0) {
+      registry->IdFor(link_name("ppf", prev));
+    }
+    if (ring || stage > 0) {
+      registry->IdFor(link_name("ppb", prev));
+    }
+    if (ring || stage < pp - 1) {
+      registry->IdFor(link_name("ppb", stage));
+    }
+  }
 }
 
 }  // namespace maya

@@ -20,6 +20,9 @@
 
 namespace maya {
 
+// Engines hold only immutable configuration after construction: RunWorker /
+// RunCommInitOnly are const and safe to call concurrently for distinct ranks
+// (the parallel launcher drives one engine instance from many threads).
 class MegatronEngine {
  public:
   MegatronEngine(const ModelConfig& model, const TrainConfig& config, const ClusterSpec& cluster);
@@ -29,12 +32,19 @@ class MegatronEngine {
   // Runs communicator bootstrap + one training iteration for `rank`.
   // Returns OutOfMemory when the configuration does not fit the device.
   Status RunWorker(int rank, DeviceApi* api, VirtualHostClock* clock,
-                   JobCommRegistry* registry);
+                   JobCommRegistry* registry) const;
 
   // Selective-launch stub (§7.4): initializes the rank's communicators only,
   // producing the membership evidence the collator needs.
   Status RunCommInitOnly(int rank, DeviceApi* api, VirtualHostClock* clock,
-                         JobCommRegistry* registry);
+                         JobCommRegistry* registry) const;
+
+  // Registers every logical communicator name `rank` will use, in exactly
+  // the order RunWorker would first use them, without touching any emulator
+  // state. Running this for all ranks in rank order pins the name -> unique
+  // id assignment to the sequential-emulation order, so a subsequent
+  // parallel launch produces bit-identical traces.
+  void RegisterComms(int rank, JobCommRegistry* registry) const;
 
   // Local (per-rank) parameter count, including embedding/head shards.
   int64_t LocalParams(int rank) const;
@@ -42,14 +52,14 @@ class MegatronEngine {
  private:
   struct Ctx;
 
-  Status Setup(Ctx& ctx);
-  Status InitComms(Ctx& ctx);
-  Status AllocateState(Ctx& ctx);
-  Status RunIteration(Ctx& ctx);
-  Status ForwardStep(Ctx& ctx, int virtual_index);
-  Status BackwardStep(Ctx& ctx, int virtual_index);
-  Status EmitChunkGradSync(Ctx& ctx, int chunk);
-  Status OptimizerStep(Ctx& ctx);
+  Status Setup(Ctx& ctx) const;
+  Status InitComms(Ctx& ctx) const;
+  Status AllocateState(Ctx& ctx) const;
+  Status RunIteration(Ctx& ctx) const;
+  Status ForwardStep(Ctx& ctx, int virtual_index) const;
+  Status BackwardStep(Ctx& ctx, int virtual_index) const;
+  Status EmitChunkGradSync(Ctx& ctx, int chunk) const;
+  Status OptimizerStep(Ctx& ctx) const;
 
   ModelConfig model_;
   TrainConfig config_;

@@ -11,12 +11,21 @@
 
 namespace maya {
 
+// Const-after-construction like the other engines: RunWorker is safe to call
+// concurrently for distinct ranks from the parallel launcher.
 class VisionEngine {
  public:
   VisionEngine(const ModelConfig& model, const TrainConfig& config, const ClusterSpec& cluster);
 
   Status RunWorker(int rank, DeviceApi* api, VirtualHostClock* clock,
-                   JobCommRegistry* registry);
+                   JobCommRegistry* registry) const;
+
+  // Selective-launch stub / registry-only pre-registration: the vision
+  // engine's ranks are pure data-parallel twins sharing one world
+  // communicator (see FsdpEngine for the dedup rationale).
+  Status RunCommInitOnly(int rank, DeviceApi* api, VirtualHostClock* clock,
+                         JobCommRegistry* registry) const;
+  void RegisterComms(int rank, JobCommRegistry* registry) const;
 
  private:
   ModelConfig model_;

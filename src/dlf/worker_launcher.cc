@@ -1,5 +1,6 @@
 #include "src/dlf/worker_launcher.h"
 
+#include <atomic>
 #include <chrono>
 #include <memory>
 
@@ -13,6 +14,14 @@ double WallMs(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+// Lowers `current` to `rank` if it is smaller (lock-free running minimum).
+void FetchMin(std::atomic<int>& current, int rank) {
+  int observed = current.load(std::memory_order_relaxed);
+  while (rank < observed &&
+         !current.compare_exchange_weak(observed, rank, std::memory_order_relaxed)) {
+  }
+}
+
 }  // namespace
 
 Result<LaunchResult> EmulateJob(const ModelConfig& model, const TrainConfig& config,
@@ -23,73 +32,160 @@ Result<LaunchResult> EmulateJob(const ModelConfig& model, const TrainConfig& con
   JobEmulation emulation(EmulationSpec{cluster});
   JobCommRegistry registry(&emulation.bootstrap());
   LaunchResult result;
+  const int world = cluster.total_gpus();
 
+  // Engines are const after construction; one instance drives every rank
+  // (concurrently under a parallel launch).
   const bool is_megatron = config.framework == ParallelFramework::kMegatron &&
                            model.family != ModelFamily::kResNet;
-  if (options.selective_launch && !is_megatron) {
-    return Status::InvalidArgument("selective launch requires the Megatron engine");
-  }
-
-  // Engines are stateless across workers; one instance drives every rank.
   std::unique_ptr<MegatronEngine> megatron;
   std::unique_ptr<FsdpEngine> fsdp;
   std::unique_ptr<VisionEngine> vision;
   if (model.family == ModelFamily::kResNet) {
     vision = std::make_unique<VisionEngine>(model, config, cluster);
-  } else if (config.framework == ParallelFramework::kMegatron) {
+  } else if (is_megatron) {
     megatron = std::make_unique<MegatronEngine>(model, config, cluster);
   } else {
     fsdp = std::make_unique<FsdpEngine>(model, config, cluster);
   }
 
-  std::vector<bool> full_rank(static_cast<size_t>(cluster.total_gpus()), true);
+  // Rank-equivalence plan: representative[r] is the fully-emulated rank
+  // whose trace rank r duplicates. Computed once, reused for launch
+  // selection, stub tagging and accounting.
+  std::vector<int> representative(static_cast<size_t>(world), 0);
+  if (is_megatron) {
+    for (int rank = 0; rank < world; ++rank) {
+      representative[static_cast<size_t>(rank)] = megatron->layout().RepresentativeOf(rank);
+    }
+  }
+  std::vector<bool> full_rank(static_cast<size_t>(world), true);
   if (options.selective_launch) {
-    full_rank.assign(static_cast<size_t>(cluster.total_gpus()), false);
-    for (int rank : megatron->layout().UniqueRanks()) {
-      full_rank[static_cast<size_t>(rank)] = true;
+    for (int rank = 0; rank < world; ++rank) {
+      full_rank[static_cast<size_t>(rank)] = representative[static_cast<size_t>(rank)] == rank;
     }
   }
 
-  // Host clocks must outlive the emulators that reference them.
-  std::vector<std::unique_ptr<VirtualHostClock>> clocks;
-  std::vector<WorkerEmulator*> workers;
-  for (int rank = 0; rank < cluster.total_gpus(); ++rank) {
-    clocks.push_back(std::make_unique<VirtualHostClock>());
-    WorkerEmulator& worker = emulation.CreateWorker(rank, clocks.back().get());
-    workers.push_back(&worker);
-
-    Status status;
-    if (!full_rank[static_cast<size_t>(rank)]) {
-      status = megatron->RunCommInitOnly(rank, &worker, clocks.back().get(), &registry);
+  // Pre-assign communicator unique ids by replaying, rank-major, the order
+  // in which sequential emulation would first use each logical group name.
+  // This pins uid assignment independently of execution interleaving, so the
+  // parallel fan-out below records the same comm_uids as a sequential run.
+  for (int rank = 0; rank < world; ++rank) {
+    if (megatron != nullptr) {
+      megatron->RegisterComms(rank, &registry);
     } else if (vision != nullptr) {
-      status = vision->RunWorker(rank, &worker, clocks.back().get(), &registry);
-    } else if (megatron != nullptr) {
-      status = megatron->RunWorker(rank, &worker, clocks.back().get(), &registry);
+      vision->RegisterComms(rank, &registry);
     } else {
-      status = fsdp->RunWorker(rank, &worker, clocks.back().get(), &registry);
+      fsdp->RegisterComms(rank, &registry);
     }
+  }
 
+  // Host clocks must outlive the emulators that reference them. Workers are
+  // created up front (CreateWorker is not thread-safe); after this loop each
+  // rank's emulator + clock are touched only by that rank's task.
+  std::vector<std::unique_ptr<VirtualHostClock>> clocks;
+  clocks.reserve(static_cast<size_t>(world));
+  std::vector<WorkerEmulator*> workers;
+  workers.reserve(static_cast<size_t>(world));
+  for (int rank = 0; rank < world; ++rank) {
+    clocks.push_back(std::make_unique<VirtualHostClock>());
+    workers.push_back(&emulation.CreateWorker(rank, clocks.back().get(),
+                                              full_rank[static_cast<size_t>(rank)]));
+  }
+
+  auto run_rank = [&](int rank) -> Status {
+    WorkerEmulator* worker = workers[static_cast<size_t>(rank)];
+    VirtualHostClock* clock = clocks[static_cast<size_t>(rank)].get();
+    if (!full_rank[static_cast<size_t>(rank)]) {
+      if (megatron != nullptr) {
+        return megatron->RunCommInitOnly(rank, worker, clock, &registry);
+      }
+      if (vision != nullptr) {
+        return vision->RunCommInitOnly(rank, worker, clock, &registry);
+      }
+      return fsdp->RunCommInitOnly(rank, worker, clock, &registry);
+    }
+    if (vision != nullptr) {
+      return vision->RunWorker(rank, worker, clock, &registry);
+    }
+    if (megatron != nullptr) {
+      return megatron->RunWorker(rank, worker, clock, &registry);
+    }
+    return fsdp->RunWorker(rank, worker, clock, &registry);
+  };
+
+  // `first_failed` is the lowest rank whose emulation returned non-OK — the
+  // rank sequential execution would have stopped at.
+  std::vector<Status> statuses(static_cast<size_t>(world));
+  std::atomic<int> first_failed{world};
+
+  ThreadPool* pool = options.emulation_pool;
+  std::unique_ptr<ThreadPool> local_pool;
+  if (pool == nullptr && options.emulation_threads > 1) {
+    local_pool = std::make_unique<ThreadPool>(static_cast<size_t>(options.emulation_threads));
+    pool = local_pool.get();
+  }
+
+  if (pool != nullptr && world > 1) {
+    pool->ParallelFor(static_cast<size_t>(world), [&](size_t index) {
+      const int rank = static_cast<int>(index);
+      // A lower rank already failed: sequential execution would never have
+      // reached this rank, so its outcome cannot affect the result. Skipped
+      // ranks keep an OK status; `first_failed` is the sole authority on
+      // where the job stopped.
+      if (rank > first_failed.load(std::memory_order_relaxed)) {
+        return;
+      }
+      Status status = run_rank(rank);
+      if (!status.ok()) {
+        FetchMin(first_failed, rank);
+      }
+      statuses[index] = std::move(status);
+    });
+  } else {
+    for (int rank = 0; rank < world; ++rank) {
+      Status status = run_rank(rank);
+      const bool failed = !status.ok();
+      statuses[static_cast<size_t>(rank)] = std::move(status);
+      if (failed) {
+        first_failed.store(rank, std::memory_order_relaxed);
+        break;  // sequential early exit, as in the seed
+      }
+    }
+  }
+
+  const int failed_rank = first_failed.load(std::memory_order_relaxed);
+  if (failed_rank < world) {
+    const Status& status = statuses[static_cast<size_t>(failed_rank)];
     if (status.code() == StatusCode::kOutOfMemory) {
       // The configuration does not fit: a first-class outcome (search
       // pruning, Fig. 2b OOM cells). Twin ranks would OOM identically.
+      // Counters cover the ranks a sequential run completed before the OOM.
       result.oom = true;
-      result.oom_detail = StrFormat("rank %d: %s", rank, status.message().c_str());
+      result.oom_detail = StrFormat("rank %d: %s", failed_rank, status.message().c_str());
+      for (int rank = 0; rank < failed_rank; ++rank) {
+        result.total_api_calls += workers[static_cast<size_t>(rank)]->stats().api_calls;
+        if (full_rank[static_cast<size_t>(rank)]) {
+          ++result.full_workers_emulated;
+        }
+      }
       result.emulation_wall_ms = WallMs(start);
       return result;
     }
-    MAYA_RETURN_IF_ERROR(status);
-    result.total_api_calls += worker.stats().api_calls;
+    return status;
+  }
+
+  for (int rank = 0; rank < world; ++rank) {
+    result.total_api_calls += workers[static_cast<size_t>(rank)]->stats().api_calls;
     if (full_rank[static_cast<size_t>(rank)]) {
       ++result.full_workers_emulated;
     }
   }
-
   result.traces = emulation.TakeTraces();
   if (options.selective_launch) {
     for (WorkerTrace& trace : result.traces) {
       if (!full_rank[static_cast<size_t>(trace.rank)]) {
         trace.comm_init_only = true;
-        trace.duplicate_of = megatron->layout().RepresentativeOf(trace.rank);
+        trace.duplicate_of = representative[static_cast<size_t>(trace.rank)];
         trace.ops.clear();  // bootstrap host noise is not part of the job trace
       }
     }

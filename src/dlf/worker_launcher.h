@@ -2,12 +2,19 @@
 // selective-launch mode, every analytically-unique) rank against its own
 // WorkerEmulator and collects the per-worker traces — the "Trace Collection
 // via Emulation" stage of Fig. 4/5.
+//
+// Ranks can be emulated in parallel across a thread pool: every rank owns its
+// emulator, virtual host clock and RNG stream, communicator unique ids are
+// pre-assigned in sequential order before the fan-out, and OOM/error
+// reporting replays the sequential rank order — so the parallel launch is
+// bit-identical to the sequential one (asserted in tests).
 #ifndef SRC_DLF_WORKER_LAUNCHER_H_
 #define SRC_DLF_WORKER_LAUNCHER_H_
 
 #include <string>
 #include <vector>
 
+#include "src/common/thread_pool.h"
 #include "src/dlf/fsdp_engine.h"
 #include "src/dlf/megatron_engine.h"
 #include "src/dlf/vision_engine.h"
@@ -16,10 +23,19 @@
 namespace maya {
 
 struct LaunchOptions {
-  // Hyperscale mode (§7.4): emulate only the unique workers computed from
-  // the Megatron layout; other ranks contribute communicator-bootstrap
-  // stubs. Megatron framework only.
+  // Hyperscale mode (§7.4), generalized beyond Megatron: emulate only the
+  // analytically-unique workers; twin ranks contribute communicator-
+  // bootstrap stubs marked duplicate_of their representative. Megatron folds
+  // TP/DP twins per pipeline stage via layout symmetry; the FSDP and vision
+  // engines are single-dimension data-parallel, so every rank folds onto
+  // rank 0 (their op sequences share one StructuralSignature stream).
   bool selective_launch = false;
+  // Worker threads for per-rank emulation; <= 1 keeps the seed's sequential
+  // loop. Ignored when emulation_pool is set.
+  int emulation_threads = 0;
+  // Borrowed pool to fan ranks out on (e.g. the pipeline's shared pool);
+  // overrides emulation_threads. Must outlive the EmulateJob call.
+  ThreadPool* emulation_pool = nullptr;
 };
 
 struct LaunchResult {

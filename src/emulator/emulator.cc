@@ -14,6 +14,12 @@ constexpr uint64_t kAllocationAlignment = 512;
 // framework verification code that inspects counts/metadata succeeds (§7.2).
 constexpr uint64_t kMockCopyLimit = 64 * 1024;
 
+// Initial TraceOp capacity: one training iteration of even a small model
+// records hundreds of ops, so skipping the first few geometric regrowths
+// (and their TraceOp copies) is nearly free memory-wise and measurable on
+// the emulation hot path.
+constexpr size_t kInitialTraceOpCapacity = 1024;
+
 uint64_t AlignUp(uint64_t bytes) {
   return (bytes + kAllocationAlignment - 1) / kAllocationAlignment * kAllocationAlignment;
 }
@@ -21,11 +27,12 @@ uint64_t AlignUp(uint64_t bytes) {
 }  // namespace
 
 WorkerEmulator::WorkerEmulator(int rank, const EmulationSpec& spec, JobBootstrap* bootstrap,
-                               const HostClock* clock)
+                               const HostClock* clock, size_t trace_op_reserve)
     : rank_(rank), spec_(spec), bootstrap_(bootstrap), clock_(clock) {
   CHECK(bootstrap_ != nullptr);
   CHECK(clock_ != nullptr);
   trace_.rank = rank;
+  trace_.ops.reserve(trace_op_reserve);
   last_call_time_us_ = clock_->NowUs();
   streams_[0] = true;  // legacy default stream
   current_device_ = rank % spec_.cluster.gpus_per_node;
@@ -33,13 +40,12 @@ WorkerEmulator::WorkerEmulator(int rank, const EmulationSpec& spec, JobBootstrap
 
 TraceOp& WorkerEmulator::Record(TraceOpType type, StreamHandle stream) {
   const double now = clock_->NowUs();
-  TraceOp op;
+  TraceOp& op = trace_.ops.emplace_back();
   op.type = type;
   op.host_delay_us = std::max(0.0, now - last_call_time_us_);
   op.stream = stream.id;
   last_call_time_us_ = now;
-  trace_.ops.push_back(op);
-  return trace_.ops.back();
+  return op;
 }
 
 CudaError WorkerEmulator::Flag(CudaError error, const std::string& context) {
@@ -776,8 +782,9 @@ WorkerTrace WorkerEmulator::TakeTrace() {
 
 // ---- JobEmulation --------------------------------------------------------------
 
-WorkerEmulator& JobEmulation::CreateWorker(int rank, const HostClock* clock) {
-  workers_.push_back(std::make_unique<WorkerEmulator>(rank, spec_, &bootstrap_, clock));
+WorkerEmulator& JobEmulation::CreateWorker(int rank, const HostClock* clock, bool full) {
+  workers_.push_back(std::make_unique<WorkerEmulator>(rank, spec_, &bootstrap_, clock,
+                                                      full ? kInitialTraceOpCapacity : 0));
   return *workers_.back();
 }
 

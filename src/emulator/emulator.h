@@ -56,8 +56,11 @@ struct EmulatorStats {
 
 class WorkerEmulator final : public DeviceApi {
  public:
+  // `trace_op_reserve` pre-sizes the op log (0 = grow on demand): full ranks
+  // record hundreds of ops, while comm-init stubs record a handful — at
+  // hyperscale world sizes reserving for stubs would dominate transient heap.
   WorkerEmulator(int rank, const EmulationSpec& spec, JobBootstrap* bootstrap,
-                 const HostClock* clock);
+                 const HostClock* clock, size_t trace_op_reserve);
 
   // ---- DeviceApi ----------------------------------------------------------
   CudaError cudaGetDeviceCount(int* count) override;
@@ -185,7 +188,10 @@ class WorkerEmulator final : public DeviceApi {
                            StreamHandle stream, int peer);
 
   const int rank_;
-  const EmulationSpec spec_;
+  // Borrowed from the owning JobEmulation: one shared spec instead of a
+  // per-rank ClusterSpec copy (emulation front-ends create thousands of
+  // workers across a search).
+  const EmulationSpec& spec_;
   JobBootstrap* const bootstrap_;
   const HostClock* const clock_;
 
@@ -225,6 +231,11 @@ class WorkerEmulator final : public DeviceApi {
   std::vector<PendingP2p> pending_p2p_;
 };
 
+// Concurrency model: CreateWorker must be called from one thread (the
+// launcher pre-creates every rank's emulator before fanning out), after
+// which distinct workers are fully independent — each holds only per-rank
+// state, so the launcher may drive them from different threads. The shared
+// JobBootstrap hands out unique ids atomically.
 class JobEmulation {
  public:
   explicit JobEmulation(EmulationSpec spec) : spec_(std::move(spec)) {}
@@ -232,8 +243,10 @@ class JobEmulation {
   const EmulationSpec& spec() const { return spec_; }
   JobBootstrap& bootstrap() { return bootstrap_; }
 
-  // Creates (and owns) the emulator for `rank`.
-  WorkerEmulator& CreateWorker(int rank, const HostClock* clock);
+  // Creates (and owns) the emulator for `rank`. Not thread-safe.
+  // `full` distinguishes fully-emulated ranks (op log pre-sized) from
+  // comm-init-only stubs (no reservation).
+  WorkerEmulator& CreateWorker(int rank, const HostClock* clock, bool full = true);
 
   // Collects traces from every created worker, in rank order.
   std::vector<WorkerTrace> TakeTraces();

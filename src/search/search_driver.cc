@@ -58,6 +58,7 @@ SearchOutcome RunSearch(const MayaPipeline& pipeline, const ModelConfig& model,
     request.model = model;
     request.config = config;
     request.deduplicate_workers = options.deduplicate_workers;
+    request.selective_launch = options.selective_launch;
     Result<PredictionReport> report = pipeline.Predict(request);
     CHECK(report.ok()) << report.status().ToString();
     TrialOutcome trial;
@@ -149,6 +150,7 @@ SearchOutcome RunSearch(const MayaPipeline& pipeline, const ModelConfig& model,
         request.model = model;
         request.config = batch[to_run[j]].config;
         request.deduplicate_workers = options.deduplicate_workers;
+        request.selective_launch = options.selective_launch;
         Result<PredictionReport> report = pipeline.Predict(request);
         CHECK(report.ok()) << report.status().ToString();
         TrialOutcome trial;

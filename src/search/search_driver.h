@@ -22,6 +22,9 @@ struct SearchOptions {
   bool enable_pruning = true;
   bool enable_cache = true;
   bool deduplicate_workers = true;
+  // Emulate only analytically-unique ranks per trial (§7.4, generalized to
+  // all engines) — the emulation-stage analogue of deduplicate_workers.
+  bool selective_launch = false;
   // Trials evaluated concurrently (stateless searchers only; ask/tell
   // searchers are inherently sequential).
   int concurrency = 1;

@@ -615,6 +615,11 @@ std::string SerializeServiceResponse(const ServiceResponse& response) {
       w.Field("cached", static_cast<int64_t>(response.cached));
       w.Field("skipped", static_cast<int64_t>(response.skipped));
       w.Field("oom_trials", static_cast<int64_t>(response.search_oom));
+      // Summed per-trial stage timings (SearchOutcome::stage_totals).
+      w.Field("emulation_ms", response.timings.emulation_ms);
+      w.Field("collation_ms", response.timings.collation_ms);
+      w.Field("estimation_ms", response.timings.estimation_ms);
+      w.Field("simulation_ms", response.timings.simulation_ms);
       w.Key("estimation");
       WriteEstimationStats(w, response.estimation);
       break;
@@ -625,6 +630,14 @@ std::string SerializeServiceResponse(const ServiceResponse& response) {
       w.Field("cancelled", response.stats.cancelled);
       w.Field("deadline_expired", response.stats.deadline_expired);
       w.Field("queue_depth", response.stats.queue_depth);
+      w.Field("timed_requests", response.stats.timed_requests);
+      w.Key("stage_totals_ms");
+      w.BeginObject();
+      w.Field("emulation", response.stats.stage_totals.emulation_ms);
+      w.Field("collation", response.stats.stage_totals.collation_ms);
+      w.Field("estimation", response.stats.stage_totals.estimation_ms);
+      w.Field("simulation", response.stats.stage_totals.simulation_ms);
+      w.EndObject();
       w.Key("kernel_cache");
       WriteCacheStats(w, response.stats.kernel_cache);
       w.Key("collective_cache");
@@ -718,6 +731,12 @@ Result<ServiceResponse> ParseServiceResponse(const std::string& line) {
       response.cached = static_cast<int>(root->at("cached").AsInt());
       response.skipped = static_cast<int>(root->at("skipped").AsInt());
       response.search_oom = static_cast<int>(root->at("oom_trials").AsInt());
+      if (root->Has("emulation_ms")) {
+        response.timings.emulation_ms = root->at("emulation_ms").AsDouble();
+        response.timings.collation_ms = root->at("collation_ms").AsDouble();
+        response.timings.estimation_ms = root->at("estimation_ms").AsDouble();
+        response.timings.simulation_ms = root->at("simulation_ms").AsDouble();
+      }
       response.estimation = ParseEstimationStats(root->at("estimation"));
       break;
     }
@@ -728,6 +747,16 @@ Result<ServiceResponse> ParseServiceResponse(const std::string& line) {
       response.stats.cancelled = root->at("cancelled").AsUint();
       response.stats.deadline_expired = root->at("deadline_expired").AsUint();
       response.stats.queue_depth = root->at("queue_depth").AsUint();
+      if (root->Has("timed_requests")) {
+        response.stats.timed_requests = root->at("timed_requests").AsUint();
+      }
+      if (root->Has("stage_totals_ms")) {
+        const JsonValue& totals = root->at("stage_totals_ms");
+        response.stats.stage_totals.emulation_ms = totals.at("emulation").AsDouble();
+        response.stats.stage_totals.collation_ms = totals.at("collation").AsDouble();
+        response.stats.stage_totals.estimation_ms = totals.at("estimation").AsDouble();
+        response.stats.stage_totals.simulation_ms = totals.at("simulation").AsDouble();
+      }
       response.stats.kernel_cache = ParseCacheStats(root->at("kernel_cache"));
       response.stats.collective_cache = ParseCacheStats(root->at("collective_cache"));
       response.stats.trace_cache = ParseCacheStats(root->at("trace_cache"));

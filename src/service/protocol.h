@@ -92,6 +92,12 @@ struct ServiceStats {
   uint64_t cancelled = 0;
   uint64_t deadline_expired = 0;
   uint64_t queue_depth = 0;
+  // Cumulative emulator/collator/estimator/simulator wall-ms across executed
+  // requests (predict-like reports + per-trial search totals): makes the
+  // Fig. 13 stage split — and dedup / parallel-emulation wins — observable
+  // from a running maya_serve.
+  StageTimings stage_totals;
+  uint64_t timed_requests = 0;  // requests contributing to stage_totals
   ShardedCacheStats kernel_cache;
   ShardedCacheStats collective_cache;
   ShardedCacheStats trace_cache;

@@ -229,7 +229,17 @@ ServiceResponse ServiceEngine::ExecutePredictLike(const ServiceRequest& request,
   response.timings = report->timings;
   response.estimation = report->estimation;
   response.trace_cache_hit = report->trace_cache_hit;
+  AccumulateStageTimings(report->timings);
   return response;
+}
+
+void ServiceEngine::AccumulateStageTimings(const StageTimings& timings) const {
+  std::lock_guard<std::mutex> lock(timings_mutex_);
+  stage_totals_.emulation_ms += timings.emulation_ms;
+  stage_totals_.collation_ms += timings.collation_ms;
+  stage_totals_.estimation_ms += timings.estimation_ms;
+  stage_totals_.simulation_ms += timings.simulation_ms;
+  ++timed_requests_;
 }
 
 ServiceResponse ServiceEngine::ExecuteSearch(const ServiceRequest& request) const {
@@ -251,6 +261,8 @@ ServiceResponse ServiceEngine::ExecuteSearch(const ServiceRequest& request) cons
   response.skipped = outcome.skipped;
   response.search_oom = outcome.oom;
   response.estimation = outcome.estimation_totals;
+  response.timings = outcome.stage_totals;
+  AccumulateStageTimings(outcome.stage_totals);
   return response;
 }
 
@@ -350,6 +362,11 @@ ServiceStats ServiceEngine::stats() const {
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     stats.queue_depth = queue_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(timings_mutex_);
+    stats.stage_totals = stage_totals_;
+    stats.timed_requests = timed_requests_;
   }
   stats.kernel_cache = pipeline_->KernelCacheStats();
   stats.collective_cache = pipeline_->CollectiveCacheStats();

@@ -140,6 +140,14 @@ class ServiceEngine {
   std::atomic<uint64_t> rejected_{0};
   std::atomic<uint64_t> cancelled_{0};
   std::atomic<uint64_t> deadline_expired_{0};
+
+  // Cumulative per-stage wall time across executed requests (see
+  // ServiceStats::stage_totals). Mutable: Execute() is const but observably
+  // so — timings are observability, not results.
+  void AccumulateStageTimings(const StageTimings& timings) const;
+  mutable std::mutex timings_mutex_;
+  mutable StageTimings stage_totals_;
+  mutable uint64_t timed_requests_ = 0;
 };
 
 }  // namespace maya

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <deque>
 #include <functional>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -48,6 +47,28 @@ struct SimEventLater {
     }
     return a.sequence > b.sequence;
   }
+};
+
+// Min-heap over a caller-reserved vector: std::priority_queue cannot reserve
+// its backing store, and the event queue is rebuilt for every trial of a
+// search, so the regrowth churn is hot (Fig. 13 simulator column).
+class SimEventQueue {
+ public:
+  void Reserve(size_t capacity) { events_.reserve(capacity); }
+  bool empty() const { return events_.empty(); }
+  void Push(const SimEvent& event) {
+    events_.push_back(event);
+    std::push_heap(events_.begin(), events_.end(), SimEventLater{});
+  }
+  SimEvent Pop() {
+    std::pop_heap(events_.begin(), events_.end(), SimEventLater{});
+    const SimEvent event = events_.back();
+    events_.pop_back();
+    return event;
+  }
+
+ private:
+  std::vector<SimEvent> events_;
 };
 
 struct QueuedOp {
@@ -124,38 +145,52 @@ Result<SimReport> Simulator::Run() {
   // Expected number of *simulated* joiners per communicator: folded workers
   // move in lockstep, so one representative join stands for all of its
   // folded ranks (§4.2 dedup: redundant GPUs are neither emulated nor
-  // simulated).
-  std::unordered_map<int, int> rank_to_worker;
+  // simulated). Dedup-aware worker table: dense rank -> sim-worker index
+  // (ranks are [0, world_size)), instead of a per-trial hash map.
+  std::vector<int> rank_to_worker(static_cast<size_t>(std::max(job_.world_size, 1)), -1);
   for (size_t w = 0; w < worker_count; ++w) {
     for (int rank : job_.folded_ranks[w]) {
-      rank_to_worker[rank] = static_cast<int>(w);
+      if (rank >= 0 && rank < job_.world_size) {
+        rank_to_worker[static_cast<size_t>(rank)] = static_cast<int>(w);
+      }
     }
   }
   std::unordered_map<uint64_t, int> expected_joins;
+  expected_joins.reserve(job_.comms.size());
+  // Membership is deduplicated with a stamp table (one epoch per comm)
+  // rather than a per-comm sort + unique.
+  std::vector<int> worker_stamp(worker_count, -1);
+  int comm_epoch = 0;
   for (const auto& [uid, group] : job_.comms) {
-    std::vector<int> sim_workers;
+    int joiners = 0;
     for (int member : group.members) {
-      auto it = rank_to_worker.find(member);
-      if (it != rank_to_worker.end()) {
-        sim_workers.push_back(it->second);
+      const int worker = member >= 0 && member < job_.world_size
+                             ? rank_to_worker[static_cast<size_t>(member)]
+                             : -1;
+      if (worker >= 0 && worker_stamp[static_cast<size_t>(worker)] != comm_epoch) {
+        worker_stamp[static_cast<size_t>(worker)] = comm_epoch;
+        ++joiners;
       }
     }
-    std::sort(sim_workers.begin(), sim_workers.end());
-    sim_workers.erase(std::unique(sim_workers.begin(), sim_workers.end()), sim_workers.end());
-    expected_joins[uid] = static_cast<int>(sim_workers.size());
+    expected_joins[uid] = joiners;
+    ++comm_epoch;
   }
 
-  std::priority_queue<SimEvent, std::vector<SimEvent>, SimEventLater> event_queue;
+  // Pre-size the event heap: every op produces at most one completion event,
+  // plus host wake-ups (bounded by sync ops) and the initial per-worker kick.
+  SimEventQueue event_queue;
+  event_queue.Reserve(job_.TotalOps() / 2 + worker_count + 16);
   uint64_t next_sequence = 0;
   size_t events_processed = 0;
   double now = 0.0;
 
   auto push_event = [&](double time, SimEventType type, int worker, uint64_t stream) {
-    event_queue.push(SimEvent{time, next_sequence++, type, worker, stream});
+    event_queue.Push(SimEvent{time, next_sequence++, type, worker, stream});
   };
 
   // NetworkCollectiveWaitMap: participants gathered per (uid, seq).
   std::unordered_map<CollKey, CollectiveWait, CollKeyHash> collective_waits;
+  collective_waits.reserve(job_.comms.size() * 2);
 
   // ---- Device occupancy accounting helpers ---------------------------------
 
@@ -407,8 +442,7 @@ Result<SimReport> Simulator::Run() {
   }
 
   while (!event_queue.empty()) {
-    const SimEvent event = event_queue.top();
-    event_queue.pop();
+    const SimEvent event = event_queue.Pop();
     ++events_processed;
     now = std::max(now, event.time);
 

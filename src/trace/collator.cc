@@ -157,6 +157,15 @@ Result<JobTrace> TraceCollator::Collate(std::vector<WorkerTrace> workers) {
   // every link's endpoint structure intact.
   uint64_t synthetic_key = 0;
   for (const auto& [fingerprint, member_indices] : classes) {
+    if (member_indices.size() == 1) {
+      // Singleton class (always the case with dedup disabled): nothing can
+      // fold, so skip the per-op p2p scan and union-find entirely.
+      Group group;
+      group.representative_index = member_indices.front();
+      group.ranks.push_back(workers[static_cast<size_t>(member_indices.front())].rank);
+      groups[HashCombine(fingerprint, ++synthetic_key)] = std::move(group);
+      continue;
+    }
     // Collect each member's p2p communicator set.
     std::vector<std::vector<uint64_t>> p2p_uids(member_indices.size());
     for (size_t m = 0; m < member_indices.size(); ++m) {
@@ -254,6 +263,8 @@ Result<JobTrace> TraceCollator::Collate(std::vector<WorkerTrace> workers) {
     }
   }
 
+  job.workers.reserve(groups.size());
+  job.folded_ranks.reserve(groups.size());
   for (auto& [fp, group] : groups) {
     (void)fp;
     WorkerTrace& rep = workers[static_cast<size_t>(group.representative_index)];

@@ -414,6 +414,13 @@ Result<JobTrace> ParseJobTrace(const JsonValue& value) {
       return Status::InvalidArgument(StrFormat("worker %zu has no folded ranks", w));
     }
     for (int rank : job.folded_ranks[w]) {
+      // The simulator's rank -> worker table is dense over [0, world_size):
+      // out-of-range ranks would silently drop from expected_joins and abort
+      // the collective rendezvous mid-simulation.
+      if (rank < 0 || rank >= job.world_size) {
+        return Status::InvalidArgument(StrFormat(
+            "worker %zu folds rank %d outside world size %d", w, rank, job.world_size));
+      }
       if (!rank_to_worker.emplace(rank, w).second) {
         return Status::InvalidArgument(
             StrFormat("rank %d is claimed by workers %zu and %zu", rank,

@@ -41,17 +41,23 @@ struct CollectiveOpInfo {
   int32_t nranks = 0;       // communicator size
   int32_t rank_in_comm = -1;
   int32_t peer = -1;        // global peer rank for send/recv, else -1
+
+  bool operator==(const CollectiveOpInfo&) const = default;
 };
 
 // CUDA event payload; `version` disambiguates handle re-use (Appendix A).
 struct EventOpInfo {
   uint32_t event_id = 0;
   uint32_t version = 0;
+
+  bool operator==(const EventOpInfo&) const = default;
 };
 
 struct MemoryOpInfo {
   uint64_t bytes = 0;
   DevPtr ptr = 0;
+
+  bool operator==(const MemoryOpInfo&) const = default;
 };
 
 struct TraceOp {
@@ -73,6 +79,10 @@ struct TraceOp {
   // rank-specific communicator uids and measured times. Two workers whose
   // op signatures match elementwise performed identical work.
   uint64_t StructuralSignature() const;
+
+  // Exact (bit-level for doubles) equality over every recorded field; the
+  // invariant checked by the parallel-vs-sequential emulation tests.
+  bool operator==(const TraceOp&) const = default;
 };
 
 // Communicator membership evidence recorded at ncclCommInitRank time.
@@ -80,6 +90,8 @@ struct CommInitRecord {
   uint64_t comm_uid = 0;
   int32_t nranks = 0;
   int32_t rank_in_comm = -1;
+
+  bool operator==(const CommInitRecord&) const = default;
 };
 
 struct WorkerTrace {
@@ -103,6 +115,8 @@ struct WorkerTrace {
   size_t KernelLaunchCount() const;
   size_t CollectiveCount() const;
   std::string Summary() const;
+
+  bool operator==(const WorkerTrace&) const = default;
 };
 
 }  // namespace maya

@@ -152,6 +152,130 @@ TEST_F(PipelineTest, SelectiveLaunchMatchesDedupPath) {
   EXPECT_EQ(a->full_workers_emulated, 8);
 }
 
+TEST_F(PipelineTest, ParallelEmulationMatchesSerialPrediction) {
+  // emulation_threads is output-preserving: per-rank clocks/RNGs plus
+  // pre-assigned comm uids make the parallel launch bit-identical.
+  MayaPipelineOptions parallel_options;
+  parallel_options.emulation_threads = 4;
+  MayaPipeline parallel(*cluster_, bank_->kernel.get(), bank_->collective.get(),
+                        parallel_options);
+  for (bool selective : {false, true}) {
+    PredictionRequest request{TinyGpt(), BaseConfig()};
+    request.selective_launch = selective;
+    const Result<PredictionReport> a = parallel.Predict(request);
+    const Result<PredictionReport> b = pipeline_->Predict(request);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a->iteration_time_us, b->iteration_time_us) << "selective=" << selective;
+    EXPECT_EQ(a->mfu, b->mfu);
+    EXPECT_EQ(a->full_workers_emulated, b->full_workers_emulated);
+  }
+}
+
+TEST_F(PipelineTest, ParallelEmulationOomMatchesSerial) {
+  MayaPipelineOptions parallel_options;
+  parallel_options.emulation_threads = 4;
+  MayaPipeline parallel(*cluster_, bank_->kernel.get(), bank_->collective.get(),
+                        parallel_options);
+  PredictionRequest request{TinyGpt(), BaseConfig()};
+  request.model.seq_length = 8192;
+  request.config.microbatch_multiplier = 1;
+  const Result<PredictionReport> a = parallel.Predict(request);
+  const Result<PredictionReport> b = pipeline_->Predict(request);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->oom);
+  EXPECT_EQ(a->oom_detail, b->oom_detail);
+}
+
+TEST_F(PipelineTest, GeneralizedSelectiveLaunchMatchesDedupPath) {
+  // FSDP: one fully-emulated rank stands for all eight.
+  TrainConfig fsdp = BaseConfig();
+  fsdp.framework = ParallelFramework::kFsdp;
+  fsdp.tensor_parallel = 1;
+  fsdp.pipeline_parallel = 1;
+  PredictionRequest dynamic{TinyGpt(), fsdp};
+  PredictionRequest selective{TinyGpt(), fsdp};
+  selective.selective_launch = true;
+  const Result<PredictionReport> a = pipeline_->Predict(dynamic);
+  const Result<PredictionReport> b = pipeline_->Predict(selective);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // The dynamic-dedup fold and the selective launch pick the same
+  // representative (rank 0), so the predictions are bit-identical.
+  EXPECT_EQ(a->iteration_time_us, b->iteration_time_us);
+  EXPECT_EQ(a->mfu, b->mfu);
+  EXPECT_EQ(a->full_workers_emulated, 8);
+  EXPECT_EQ(b->full_workers_emulated, 1);
+  EXPECT_EQ(b->collation.unique_workers, 1);
+}
+
+TEST_F(PipelineTest, GeneralizedSelectiveLaunchVisionMatchesDedupPath) {
+  TrainConfig ddp;
+  ddp.framework = ParallelFramework::kDdp;
+  ddp.global_batch_size = 256;
+  ddp.microbatch_multiplier = 1;
+  PredictionRequest dynamic{ResNet152(), ddp};
+  PredictionRequest selective{ResNet152(), ddp};
+  selective.selective_launch = true;
+  const Result<PredictionReport> a = pipeline_->Predict(dynamic);
+  const Result<PredictionReport> b = pipeline_->Predict(selective);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(a->iteration_time_us, b->iteration_time_us);
+  EXPECT_EQ(b->full_workers_emulated, 1);
+}
+
+TEST_F(PipelineTest, SymmetricDedupOnVsOffBitIdentical) {
+  // Twins are seeded with class-wide host jitter, so folding them (dynamic
+  // dedup or selective launch) is exactly lossless: parallel/dedup outputs
+  // must be bit-identical to the sequential, dedup-off baseline on symmetric
+  // configs — the Fig. 14 / BENCH_emulation ablation anchor.
+  struct Case {
+    const char* label;
+    ParallelFramework framework;
+  };
+  for (const Case& test_case :
+       {Case{"megatron_dp8", ParallelFramework::kMegatron},
+        Case{"fsdp", ParallelFramework::kFsdp},
+        Case{"deepspeed_z2", ParallelFramework::kDeepSpeed}}) {
+    TrainConfig config;  // tp1 pp1 -> dp8: every rank twins rank 0
+    config.framework = test_case.framework;
+    config.zero_stage = 2;
+    config.global_batch_size = 32;
+    PredictionRequest off{TinyGpt(), config};
+    off.deduplicate_workers = false;
+    PredictionRequest sel{TinyGpt(), config};
+    sel.selective_launch = true;
+    const Result<PredictionReport> a = pipeline_->Predict(off);
+    const Result<PredictionReport> b = pipeline_->Predict(sel);
+    ASSERT_TRUE(a.ok()) << test_case.label;
+    ASSERT_TRUE(b.ok()) << test_case.label;
+    EXPECT_EQ(a->iteration_time_us, b->iteration_time_us) << test_case.label;
+    EXPECT_EQ(a->mfu, b->mfu) << test_case.label;
+    EXPECT_EQ(a->collation.unique_workers, 8) << test_case.label;
+    EXPECT_EQ(b->collation.unique_workers, 1) << test_case.label;
+    EXPECT_EQ(b->full_workers_emulated, 1) << test_case.label;
+  }
+
+  // Vision DDP: same invariant through the cuDNN/conv path.
+  TrainConfig ddp;
+  ddp.framework = ParallelFramework::kDdp;
+  ddp.global_batch_size = 256;
+  ddp.microbatch_multiplier = 1;
+  PredictionRequest vision_off{ResNet152(), ddp};
+  vision_off.deduplicate_workers = false;
+  PredictionRequest vision_sel{ResNet152(), ddp};
+  vision_sel.selective_launch = true;
+  const Result<PredictionReport> e = pipeline_->Predict(vision_off);
+  const Result<PredictionReport> f = pipeline_->Predict(vision_sel);
+  ASSERT_TRUE(e.ok());
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(e->iteration_time_us, f->iteration_time_us);
+  EXPECT_EQ(e->collation.unique_workers, 8);
+  EXPECT_EQ(f->collation.unique_workers, 1);
+}
+
 TEST_F(PipelineTest, OomReportedNotFailed) {
   PredictionRequest request{TinyGpt(), BaseConfig()};
   request.model.seq_length = 8192;  // blow up attention memory

@@ -364,13 +364,169 @@ TEST(SelectiveLaunchTest, MatchesFullEmulationPrediction) {
   EXPECT_NEAR(selective / full, 1.0, 1e-9);
 }
 
-TEST(SelectiveLaunchTest, RequiresMegatron) {
+// ---- Generalized selective launch (FSDP / vision) ---------------------------
+
+// Exact (bit-level) equality of two launches: trace ops (including measured
+// host delays), comm evidence, memory highwater, and the launcher's counters.
+void ExpectLaunchIdentical(const LaunchResult& a, const LaunchResult& b) {
+  ASSERT_EQ(a.oom, b.oom);
+  EXPECT_EQ(a.oom_detail, b.oom_detail);
+  EXPECT_EQ(a.full_workers_emulated, b.full_workers_emulated);
+  EXPECT_EQ(a.total_api_calls, b.total_api_calls);
+  ASSERT_EQ(a.traces.size(), b.traces.size());
+  for (size_t i = 0; i < a.traces.size(); ++i) {
+    EXPECT_TRUE(a.traces[i] == b.traces[i])
+        << "rank " << a.traces[i].rank << " trace mismatch: " << a.traces[i].Summary()
+        << " vs " << b.traces[i].Summary();
+  }
+}
+
+TEST(SelectiveLaunchTest, FsdpFoldsEveryRankOntoRankZero) {
   TrainConfig config;
-  config.framework = ParallelFramework::kDdp;
+  config.framework = ParallelFramework::kFsdp;
   config.global_batch_size = 32;
   LaunchOptions options;
   options.selective_launch = true;
-  EXPECT_FALSE(EmulateJob(TinyGpt(), config, H100Cluster(8), options).ok());
+  Result<LaunchResult> launched = EmulateJob(TinyGpt(), config, H100Cluster(8), options);
+  ASSERT_TRUE(launched.ok()) << launched.status().ToString();
+  EXPECT_EQ(launched->full_workers_emulated, 1);
+  for (const WorkerTrace& trace : launched->traces) {
+    if (trace.rank == 0) {
+      EXPECT_FALSE(trace.comm_init_only);
+      continue;
+    }
+    EXPECT_TRUE(trace.comm_init_only);
+    EXPECT_EQ(trace.duplicate_of, 0);
+    EXPECT_TRUE(trace.ops.empty());
+    ASSERT_EQ(trace.comm_inits.size(), 1u);  // world-comm membership evidence
+    EXPECT_EQ(trace.comm_inits[0].rank_in_comm, trace.rank);
+  }
+  // The representative's trace is byte-identical to its full-emulation twin —
+  // selective launch changes which ranks run, never what a rank records.
+  Result<LaunchResult> full = EmulateJob(TinyGpt(), config, H100Cluster(8));
+  ASSERT_TRUE(full.ok());
+  EXPECT_TRUE(launched->traces[0] == full->traces[0]);
+  // Fold criterion: every full rank shares the representative's structural
+  // fingerprint (the FSDP script is rank-symmetric).
+  for (const WorkerTrace& trace : full->traces) {
+    EXPECT_EQ(trace.Fingerprint(), full->traces[0].Fingerprint());
+  }
+  // Collation accepts the stubs and folds the job to one simulated worker.
+  TraceCollator collator;
+  Result<JobTrace> job = collator.Collate(std::move(launched->traces));
+  ASSERT_TRUE(job.ok()) << job.status().ToString();
+  EXPECT_EQ(job->workers.size(), 1u);
+  EXPECT_EQ(job->folded_ranks[0].size(), 8u);
+}
+
+TEST(SelectiveLaunchTest, VisionFoldsDataParallelTwins) {
+  const ClusterSpec cluster = A40Node();
+  TrainConfig config;
+  config.framework = ParallelFramework::kDdp;
+  config.global_batch_size = 256;
+  config.microbatch_multiplier = 1;
+  LaunchOptions options;
+  options.selective_launch = true;
+  Result<LaunchResult> launched = EmulateJob(ResNet152(), config, cluster, options);
+  ASSERT_TRUE(launched.ok()) << launched.status().ToString();
+  EXPECT_EQ(launched->full_workers_emulated, 1);
+  TraceCollator collator;
+  Result<JobTrace> job = collator.Collate(std::move(launched->traces));
+  ASSERT_TRUE(job.ok()) << job.status().ToString();
+  EXPECT_EQ(job->workers.size(), 1u);
+  GroundTruthExecutor executor(cluster, 7);
+  Result<SimReport> report = executor.Execute(*job);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->comm_time_us, 0.0);
+}
+
+// ---- Parallel emulation ------------------------------------------------------
+
+struct ParallelCase {
+  const char* label;
+  ParallelFramework framework;
+  bool vision = false;
+  bool selective = false;
+};
+
+class ParallelLaunchSweep : public ::testing::TestWithParam<ParallelCase> {};
+
+TEST_P(ParallelLaunchSweep, BitIdenticalToSequential) {
+  const ParallelCase param = GetParam();
+  const ClusterSpec cluster = H100Cluster(8);
+  ModelConfig model = param.vision ? ResNet152() : TinyGpt();
+  TrainConfig config;
+  config.framework = param.framework;
+  if (param.vision) {
+    config.global_batch_size = 256;
+    config.microbatch_multiplier = 1;
+  } else if (param.framework == ParallelFramework::kMegatron) {
+    config.global_batch_size = 32;
+    config.tensor_parallel = 2;
+    config.pipeline_parallel = 2;
+    config.microbatch_multiplier = 2;
+  } else {
+    config.global_batch_size = 32;
+  }
+  LaunchOptions sequential;
+  sequential.selective_launch = param.selective;
+  LaunchOptions parallel = sequential;
+  parallel.emulation_threads = 4;
+  Result<LaunchResult> a = EmulateJob(model, config, cluster, sequential);
+  Result<LaunchResult> b = EmulateJob(model, config, cluster, parallel);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  ASSERT_FALSE(a->oom) << a->oom_detail;
+  ExpectLaunchIdentical(*a, *b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Frameworks, ParallelLaunchSweep,
+    ::testing::Values(ParallelCase{"megatron", ParallelFramework::kMegatron, false, false},
+                      ParallelCase{"megatron_sel", ParallelFramework::kMegatron, false, true},
+                      ParallelCase{"fsdp", ParallelFramework::kFsdp, false, false},
+                      ParallelCase{"fsdp_sel", ParallelFramework::kFsdp, false, true},
+                      ParallelCase{"vision", ParallelFramework::kDdp, true, false},
+                      ParallelCase{"vision_sel", ParallelFramework::kDdp, true, true}),
+    [](const auto& info) { return std::string(info.param.label); });
+
+TEST(ParallelLaunchTest, BorrowedPoolMatchesSequential) {
+  ThreadPool pool(3);
+  TrainConfig config;
+  config.framework = ParallelFramework::kDeepSpeed;
+  config.zero_stage = 2;
+  config.global_batch_size = 32;
+  config.microbatch_multiplier = 2;
+  LaunchOptions borrowed;
+  borrowed.emulation_pool = &pool;
+  Result<LaunchResult> a = EmulateJob(TinyGpt(), config, H100Cluster(8));
+  Result<LaunchResult> b = EmulateJob(TinyGpt(), config, H100Cluster(8), borrowed);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ExpectLaunchIdentical(*a, *b);
+}
+
+TEST(ParallelLaunchTest, OomPathBitIdenticalToSequential) {
+  // Shrink the device so emulation OOMs: the parallel launch must report the
+  // same lowest-failing rank, detail string, and pre-OOM counters the
+  // sequential early-exit produces.
+  ClusterSpec cluster = H100Cluster(8);
+  cluster.gpu.hbm_bytes = 4ULL << 30;
+  TrainConfig config;
+  config.global_batch_size = 32;
+  LaunchOptions parallel;
+  parallel.emulation_threads = 4;
+  Result<LaunchResult> a = EmulateJob(TinyGpt(), config, cluster);
+  Result<LaunchResult> b = EmulateJob(TinyGpt(), config, cluster, parallel);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  ASSERT_TRUE(a->oom);
+  EXPECT_TRUE(b->oom);
+  EXPECT_EQ(a->oom_detail, b->oom_detail);
+  EXPECT_EQ(a->total_api_calls, b->total_api_calls);
+  EXPECT_EQ(a->full_workers_emulated, b->full_workers_emulated);
+  EXPECT_TRUE(a->traces.empty());
+  EXPECT_TRUE(b->traces.empty());
 }
 
 // ---- FSDP / DeepSpeed / DDP engines ----------------------------------------------------

@@ -216,6 +216,34 @@ TEST_F(ServiceTest, PredictMatchesDirectPipeline) {
   EXPECT_GT(response->estimation.kernel_ops, 0u);
 }
 
+TEST_F(ServiceTest, StatsSurfaceStageTimings) {
+  auto engine = MakeEngine();
+  InProcessTransport transport(engine.get());
+  ServiceClient client(&transport);
+  Result<ServiceResponse> predict = client.Predict(TinyGpt(), BaseConfig());
+  ASSERT_TRUE(predict.ok());
+  ASSERT_TRUE(predict->ok) << predict->error;
+
+  // Per-stage wall time accumulates across executed requests and survives
+  // the NDJSON wire format — dedup/parallel-emulation wins are observable
+  // from a live maya_serve.
+  ServiceRequest request;
+  request.kind = ServiceRequestKind::kStats;
+  request.id = 2;
+  Result<ServiceRequest> wire = ParseServiceRequest(SerializeServiceRequest(request));
+  ASSERT_TRUE(wire.ok());
+  const ServiceResponse direct = engine->Execute(*wire);
+  Result<ServiceResponse> stats = ParseServiceResponse(SerializeServiceResponse(direct));
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->stats.timed_requests, 1u);
+  EXPECT_GT(stats->stats.stage_totals.emulation_ms, 0.0);
+  EXPECT_GT(stats->stats.stage_totals.estimation_ms, 0.0);
+  EXPECT_GT(stats->stats.stage_totals.simulation_ms, 0.0);
+  // Timings travel as approximate decimals (%.9g), unlike result doubles.
+  EXPECT_NEAR(stats->stats.stage_totals.total_ms(), direct.stats.stage_totals.total_ms(),
+              direct.stats.stage_totals.total_ms() * 1e-6);
+}
+
 TEST_F(ServiceTest, WhatIfOomReportsVerdict) {
   auto engine = MakeEngine();
   InProcessTransport transport(engine.get());

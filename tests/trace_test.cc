@@ -340,6 +340,14 @@ TEST(SerializationTest, ParseJobTraceRejectsInconsistentPayloads) {
   const Result<JobTrace> overlap_parsed = ParseJobTrace(overlapping);
   EXPECT_FALSE(overlap_parsed.ok());
   EXPECT_NE(overlap_parsed.status().message().find("claimed by workers"), std::string::npos);
+  // Folded ranks outside [0, world_size) would fall out of the simulator's
+  // dense rank -> worker table and abort a collective rendezvous.
+  const std::string out_of_range =
+      R"({"world_size":1,"comms":[],"folded_ranks":[[0,7]],"workers":[)" +
+      SerializeWorkerTrace(MakeWorker(0, {Kernel(0)})) + "]}";
+  const Result<JobTrace> range_parsed = ParseJobTrace(out_of_range);
+  EXPECT_FALSE(range_parsed.ok());
+  EXPECT_NE(range_parsed.status().message().find("outside world size"), std::string::npos);
   // Wrong-typed fields are parse errors, not CHECK aborts.
   EXPECT_FALSE(
       ParseJobTrace(R"({"world_size":"two","comms":[],"folded_ranks":[],"workers":[]})").ok());
