@@ -459,12 +459,13 @@ std::vector<ServiceRequest> ServiceSweepRequests() {
     for (int pp : {1, 2}) {
       for (int mb : {1, 2}) {
         ServiceRequest request;
-        request.kind = ServiceRequestKind::kPredict;
-        request.model = BenchModel();
-        request.config = BenchConfig();
-        request.config.tensor_parallel = tp;
-        request.config.pipeline_parallel = pp;
-        request.config.microbatch_multiplier = mb;
+        PredictPayload payload;
+        payload.model = BenchModel();
+        payload.config = BenchConfig();
+        payload.config.tensor_parallel = tp;
+        payload.config.pipeline_parallel = pp;
+        payload.config.microbatch_multiplier = mb;
+        request.payload = std::move(payload);
         requests.push_back(std::move(request));
       }
     }
@@ -509,7 +510,7 @@ void RunServiceThroughputStudy() {
   const std::vector<ServiceRequest> sweep = ServiceSweepRequests();
   ServiceEngineOptions options;
   options.worker_threads = 4;
-  options.max_queue_depth = 4096;
+  options.max_queue_weight = 4096.0;
 
   // Cold start: fresh engine, empty estimate caches, first sweep pass.
   ServiceEngine cold(fixture.cluster, fixture.bank.kernel.get(), fixture.bank.collective.get(),

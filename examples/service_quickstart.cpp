@@ -1,15 +1,19 @@
-// Maya-as-a-service quickstart: host one warm pipeline behind the concurrent
-// ServiceEngine, answer a batch of what-if questions through the NDJSON
-// protocol, persist the estimator artifacts, and warm-start a second engine
-// from the bundle — the flow `tools/maya_serve` wraps behind stdio.
+// Maya-as-a-service quickstart: host a fleet of deployments behind the
+// concurrent ServiceEngine, answer typed what-if scenarios through the NDJSON
+// protocol — including cross-arch predictions via a registered second bank
+// and a batch_predict under one queue slot — persist the fleet as a v2
+// artifact bundle, and warm-start a second engine from it. This is the flow
+// `tools/maya_serve` wraps behind stdio.
 //
-//   1. Train estimators once (or load a saved bundle).
-//   2. Serve Predict / WhatIf / Search requests from many clients.
-//   3. Save the artifact bundle; a restarted engine answers the same sweep
-//      from the caches without re-training.
+//   1. Train estimators once per architecture (or load a saved bundle).
+//   2. Serve Predict / BatchPredict / WhatIf / Search requests from many
+//      clients; target any deployment by name ("v100x16" etc.).
+//   3. Save the v2 artifact bundle; a restarted engine answers the same
+//      sweep from the caches without re-training.
 #include <cstdio>
 
 #include "src/core/estimator_bank.h"
+#include "src/core/execution_context.h"
 #include "src/service/artifact_store.h"
 #include "src/service/service_client.h"
 #include "src/service/service_engine.h"
@@ -19,7 +23,7 @@ int main() {
 
   const ClusterSpec cluster = H100Cluster(8);
 
-  // --- 1. Cold start: train the estimator stack (once per cluster). --------
+  // --- 1. Cold start: train the estimator stack (once per arch). -----------
   GroundTruthExecutor profiling_hardware(cluster, /*seed=*/2026);
   ProfileSweepOptions sweep;  // trimmed sweep keeps the example quick
   sweep.gemm_samples = 2000;
@@ -28,8 +32,23 @@ int main() {
   sweep.collective_sizes = 12;
   ServiceEngineOptions options;
   options.worker_threads = 4;
+  // One shared pool drives emulation + estimation of every deployment.
+  options.pipeline.context = ExecutionContext::Create(4);
+  // Admission control is weight-based: searches occupy far more of the
+  // queue bound than predicts.
+  options.max_queue_weight = 64.0;
+  options.weights.search = 16.0;
   auto engine = std::make_unique<ServiceEngine>(
       cluster, TrainEstimators(cluster, profiling_hardware, sweep), options);
+
+  // Register a second per-arch bank: V100 what-ifs now answer from V100
+  // estimators even though the engine's default deployment is H100.
+  const ClusterSpec v100 = V100Cluster(8);
+  GroundTruthExecutor v100_hardware(v100, /*seed=*/2027);
+  if (!engine->AddDeployment("v100x8", v100, TrainEstimators(v100, v100_hardware, sweep)).ok()) {
+    std::printf("failed to register v100 deployment\n");
+    return 1;
+  }
 
   // --- 2. Ask what-if questions through the wire protocol. -----------------
   // The in-process transport serializes every call to one NDJSON line and
@@ -61,6 +80,23 @@ int main() {
               predicted->iteration_time_us / 1e3, predicted->mfu * 100.0,
               predicted->estimation.hit_rate() * 100.0);
 
+  // batch_predict: one queue slot, per-item reports, bit-identical to the
+  // same predicts issued sequentially.
+  std::vector<TrainConfig> batch_configs;
+  for (int tp : {1, 2, 4}) {
+    TrainConfig variant = config;
+    variant.tensor_parallel = tp;
+    batch_configs.push_back(variant);
+  }
+  Result<ServiceResponse> batch = client.BatchPredict(model, batch_configs);
+  if (batch->ok) {
+    std::printf("batch_predict:  %zu configs in one request:", batch->batch.size());
+    for (const PredictResult& item : batch->batch) {
+      std::printf(" %.1fms", item.iteration_time_us / 1e3);
+    }
+    std::printf("\n");
+  }
+
   TrainConfig heavy = config;
   heavy.microbatch_multiplier = 1;
   heavy.activation_recomputation = false;
@@ -68,10 +104,18 @@ int main() {
   std::printf("whatif_oom:     %s\n",
               feasibility->oom ? feasibility->oom_detail.c_str() : "fits device memory");
 
-  Result<ServiceResponse> scaled = client.PredictOnCluster(model, config, "h100x16");
+  // Deployment-targeted predicts: a bigger same-arch cluster (derived from
+  // the default H100 bank) and a cross-arch V100 cluster (answered by the
+  // registered V100 bank — a v1 engine refused this).
+  Result<ServiceResponse> scaled = client.Predict(model, config, "h100x16");
   if (scaled->ok) {
-    std::printf("whatif_cluster: %.1f ms/iteration on h100x16 (same estimators)\n",
+    std::printf("deployment:     %.1f ms/iteration on h100x16 (same estimators)\n",
                 scaled->iteration_time_us / 1e3);
+  }
+  Result<ServiceResponse> cross = client.Predict(model, config, "v100x16");
+  if (cross->ok) {
+    std::printf("cross-arch:     %.1f ms/iteration on v100x16 (V100 bank)\n",
+                cross->iteration_time_us / 1e3);
   }
 
   SearchOptions search;
@@ -84,9 +128,9 @@ int main() {
                 best->best_mfu * 100.0, best->samples, best->best_config.Summary().c_str());
   }
 
-  // --- 3. Persist the artifacts; warm-start a second engine. ---------------
+  // --- 3. Persist the fleet; warm-start a second engine. -------------------
   ArtifactStore store("maya_artifacts.bundle");
-  if (!store.Save(engine->cluster(), engine->bank(), engine->pipeline()).ok()) {
+  if (!store.SaveRegistry(engine->registry()).ok()) {
     std::printf("artifact save failed\n");
     return 1;
   }
@@ -102,9 +146,10 @@ int main() {
   ServiceClient warm_client(&warm_transport);
   Result<ServiceResponse> warm_predict = warm_client.Predict(model, config);
   std::printf("warm restart:   %.1f ms/iteration, cache hit rate %.0f%% "
-              "(bit-identical: %s, no re-training)\n",
+              "(bit-identical: %s, %zu deployments restored, no re-training)\n",
               warm_predict->iteration_time_us / 1e3,
               warm_predict->estimation.hit_rate() * 100.0,
-              warm_predict->iteration_time_us == predicted->iteration_time_us ? "yes" : "no");
+              warm_predict->iteration_time_us == predicted->iteration_time_us ? "yes" : "no",
+              (*warm)->registry().Registered().size());
   return 0;
 }

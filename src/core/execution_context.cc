@@ -1,0 +1,18 @@
+#include "src/core/execution_context.h"
+
+namespace maya {
+
+ExecutionContext::ExecutionContext(int threads) : threads_(threads) {
+  if (threads_ > 1) {
+    pool_ = std::make_unique<ThreadPool>(static_cast<size_t>(threads_));
+  }
+}
+
+std::shared_ptr<ExecutionContext> ExecutionContext::Create(int threads) {
+  if (threads <= 1) {
+    return nullptr;
+  }
+  return std::make_shared<ExecutionContext>(threads);
+}
+
+}  // namespace maya

@@ -1,0 +1,47 @@
+// One execution context per process (or per tenant): the single thread pool
+// that every Maya stage borrows — per-rank emulation (stage 1), the
+// collator's fingerprint pass (stage 2) and batched kernel estimation
+// (stage 3) all fan out on the same workers instead of each component owning
+// a private pool. One context serves many pipelines: a ServiceEngine shares
+// its context across every registered deployment, so thread count scales
+// with the machine, not with the number of what-if targets.
+//
+// Every stage that uses the pool is output-preserving (bit-identical to its
+// sequential path), so the context is purely a throughput knob.
+#ifndef SRC_CORE_EXECUTION_CONTEXT_H_
+#define SRC_CORE_EXECUTION_CONTEXT_H_
+
+#include <memory>
+
+#include "src/common/thread_pool.h"
+
+namespace maya {
+
+class ExecutionContext {
+ public:
+  // threads <= 1 keeps every stage sequential (no pool is created) — the
+  // right choice inside a concurrent search, which parallelizes across
+  // trials instead of within stages.
+  explicit ExecutionContext(int threads);
+
+  ExecutionContext(const ExecutionContext&) = delete;
+  ExecutionContext& operator=(const ExecutionContext&) = delete;
+
+  // Null when the context is sequential. Borrowers must not outlive the
+  // context (pipelines hold the context via shared_ptr for exactly this).
+  ThreadPool* pool() const { return pool_.get(); }
+  int threads() const { return threads_; }
+
+  // Convenience: a shared context with `threads` workers, or nullptr when
+  // threads <= 1 — callers can pass the result straight into
+  // MayaPipelineOptions::context either way.
+  static std::shared_ptr<ExecutionContext> Create(int threads);
+
+ private:
+  int threads_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace maya
+
+#endif  // SRC_CORE_EXECUTION_CONTEXT_H_

@@ -108,20 +108,15 @@ MayaPipeline::MayaPipeline(const ClusterSpec& cluster,
       trace_cache_(ShardedCacheOptions{8, options.trace_cache_entries}) {
   CHECK(kernel_estimator_ != nullptr);
   CHECK(collective_estimator_ != nullptr);
-  if (options_.estimation_threads > 0) {
-    estimation_pool_ =
-        std::make_unique<ThreadPool>(static_cast<size_t>(options_.estimation_threads));
-  }
-  if (options_.emulation_threads > 1) {
-    emulation_pool_ =
-        std::make_unique<ThreadPool>(static_cast<size_t>(options_.emulation_threads));
-  }
+  // options_ owns the context (shared with sibling pipelines); the raw pool
+  // pointer is just the per-call shortcut.
+  stage_pool_ = options_.context != nullptr ? options_.context->pool() : nullptr;
 }
 
 void MayaPipeline::PredictKernels(const std::vector<const KernelDesc*>& kernels,
                                   double* out) const {
   const size_t count = kernels.size();
-  if (estimation_pool_ == nullptr || count < options_.parallel_estimation_threshold) {
+  if (stage_pool_ == nullptr || count < options_.parallel_estimation_threshold) {
     kernel_estimator_->PredictUsBatch(kernels.data(), count, out);
     return;
   }
@@ -130,9 +125,9 @@ void MayaPipeline::PredictKernels(const std::vector<const KernelDesc*>& kernels,
   // concurrent callers (search trials annotating at once) isolated: each
   // waits for its own chunks only.
   const size_t chunk =
-      std::max<size_t>(256, count / (estimation_pool_->num_threads() * 4));
+      std::max<size_t>(256, count / (stage_pool_->num_threads() * 4));
   const size_t num_chunks = (count + chunk - 1) / chunk;
-  estimation_pool_->ParallelFor(num_chunks, [&](size_t c) {
+  stage_pool_->ParallelFor(num_chunks, [&](size_t c) {
     const size_t begin = c * chunk;
     const size_t len = std::min(chunk, count - begin);
     kernel_estimator_->PredictUsBatch(kernels.data() + begin, len, out + begin);
@@ -304,7 +299,7 @@ Result<PredictionReport> MayaPipeline::Predict(const PredictionRequest& request)
     // behind a per-call latch.
     LaunchOptions launch;
     launch.selective_launch = request.selective_launch;
-    launch.emulation_pool = emulation_pool_.get();
+    launch.emulation_pool = stage_pool_;
     Result<LaunchResult> launched = EmulateJob(request.model, request.config, cluster_, launch);
     if (!launched.ok()) {
       return launched.status();
@@ -324,8 +319,12 @@ Result<PredictionReport> MayaPipeline::Predict(const PredictionRequest& request)
     }
     report.full_workers_emulated = launched->full_workers_emulated;
 
-    // (2) Trace collation + worker deduplication.
-    TraceCollator collator(CollationOptions{request.deduplicate_workers});
+    // (2) Trace collation + worker deduplication (fingerprints fan out on
+    // the shared pool; grouping stays bit-identical to the sequential pass).
+    CollationOptions collation;
+    collation.deduplicate = request.deduplicate_workers;
+    collation.pool = stage_pool_;
+    TraceCollator collator(collation);
     Result<JobTrace> collated = collator.Collate(std::move(launched->traces));
     if (!collated.ok()) {
       return collated.status();

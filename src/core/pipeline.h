@@ -14,6 +14,7 @@
 
 #include "src/common/sharded_cache.h"
 #include "src/common/thread_pool.h"
+#include "src/core/execution_context.h"
 #include "src/dlf/worker_launcher.h"
 #include "src/estimator/collective_estimator.h"
 #include "src/estimator/kernel_estimator.h"
@@ -32,19 +33,15 @@ struct MayaPipelineOptions {
   // Entry bound / lock-stripe count per estimate cache (kernel, collective).
   size_t estimate_cache_entries = 1u << 20;
   size_t estimate_cache_shards = 32;
-  // Worker threads for unique-kernel prediction; 0 keeps estimation serial
-  // (the right default inside a concurrent search, which parallelizes across
-  // trials instead).
-  int estimation_threads = 0;
-  // Minimum unique kernels before the estimation pool engages.
+  // The shared execution context: one pool borrowed by per-rank emulation
+  // (stage 1), the collator's fingerprint pass (stage 2) and batched kernel
+  // estimation (stage 3). Null keeps every stage sequential — the right
+  // default inside a concurrent search, which parallelizes across trials
+  // instead. Many pipelines (e.g. every deployment of a registry) may share
+  // one context; each stage is bit-identical to its sequential path.
+  std::shared_ptr<ExecutionContext> context;
+  // Minimum unique kernels before the context's pool engages for estimation.
   size_t parallel_estimation_threshold = 1024;
-  // Worker threads for per-rank emulation (stage 1): each rank runs against
-  // its own emulator + virtual clock on a pipeline-owned pool. Bit-identical
-  // to the sequential launch (communicator uids are pre-assigned in
-  // sequential order), so like estimation_threads this is output-preserving.
-  // <= 1 keeps emulation sequential — the right default inside a concurrent
-  // search, which parallelizes across trials instead.
-  int emulation_threads = 0;
   // Memoize collated traces across Predict calls keyed by
   // (model, config, pipeline knobs) — stages 1+2 are deterministic functions
   // of that key for a fixed cluster, so a repeated configuration (across
@@ -210,8 +207,9 @@ class MayaPipeline {
   mutable ShardedCache<CollectiveRequest, double, CollectiveRequestHash>
       collective_estimate_cache_;
   mutable ShardedCache<std::string, std::shared_ptr<const CollatedTrace>> trace_cache_;
-  std::unique_ptr<ThreadPool> estimation_pool_;  // null when estimation_threads == 0
-  std::unique_ptr<ThreadPool> emulation_pool_;   // null when emulation_threads <= 1
+  // The shared stage pool (see MayaPipelineOptions::context); null when the
+  // pipeline runs every stage sequentially.
+  ThreadPool* stage_pool_ = nullptr;
 };
 
 // MFU given a measured/predicted iteration time.

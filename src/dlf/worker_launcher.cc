@@ -119,11 +119,6 @@ Result<LaunchResult> EmulateJob(const ModelConfig& model, const TrainConfig& con
   std::atomic<int> first_failed{world};
 
   ThreadPool* pool = options.emulation_pool;
-  std::unique_ptr<ThreadPool> local_pool;
-  if (pool == nullptr && options.emulation_threads > 1) {
-    local_pool = std::make_unique<ThreadPool>(static_cast<size_t>(options.emulation_threads));
-    pool = local_pool.get();
-  }
 
   if (pool != nullptr && world > 1) {
     pool->ParallelFor(static_cast<size_t>(world), [&](size_t index) {

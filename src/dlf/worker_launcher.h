@@ -30,11 +30,9 @@ struct LaunchOptions {
   // engines are single-dimension data-parallel, so every rank folds onto
   // rank 0 (their op sequences share one StructuralSignature stream).
   bool selective_launch = false;
-  // Worker threads for per-rank emulation; <= 1 keeps the seed's sequential
-  // loop. Ignored when emulation_pool is set.
-  int emulation_threads = 0;
-  // Borrowed pool to fan ranks out on (e.g. the pipeline's shared pool);
-  // overrides emulation_threads. Must outlive the EmulateJob call.
+  // Borrowed pool to fan ranks out on (normally the ExecutionContext pool a
+  // pipeline shares across its stages); null keeps the seed's sequential
+  // loop. Must outlive the EmulateJob call.
   ThreadPool* emulation_pool = nullptr;
 };
 

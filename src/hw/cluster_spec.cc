@@ -1,5 +1,7 @@
 #include "src/hw/cluster_spec.h"
 
+#include <cstdlib>
+
 #include "src/common/check.h"
 #include "src/common/strings.h"
 
@@ -98,6 +100,47 @@ ClusterSpec A40Node() {
   cluster.intra_latency_us = 7.0;
   cluster.cost_per_gpu_hour = 0.6;
   return cluster;
+}
+
+Result<ClusterSpec> ClusterSpecByName(const std::string& name) {
+  if (name == "a40") {
+    return A40Node();
+  }
+  // Names reach this parser straight off the service wire (deployment
+  // targeting), so every constraint the cluster builders CHECK must be
+  // validated here first — a bad count has to come back as a Status, never
+  // abort the server.
+  const auto parse_count = [&name](size_t prefix_len) -> Result<int> {
+    const std::string count_str = name.substr(prefix_len);
+    char* end = nullptr;
+    const long count = std::strtol(count_str.c_str(), &end, 10);
+    constexpr long kMaxGpus = 1 << 20;  // hyperscale sims top out far below this
+    if (count_str.empty() || end != count_str.c_str() + count_str.size() || count <= 0 ||
+        count > kMaxGpus) {
+      return Status::InvalidArgument("bad GPU count in cluster name '" + name + "'");
+    }
+    if (count > 8 && count % 8 != 0) {
+      return Status::InvalidArgument("GPU count in cluster name '" + name +
+                                     "' must be a multiple of the 8-GPU node size");
+    }
+    return static_cast<int>(count);
+  };
+  if (name.rfind("h100x", 0) == 0) {
+    Result<int> count = parse_count(5);
+    if (!count.ok()) {
+      return count.status();
+    }
+    return H100Cluster(*count);
+  }
+  if (name.rfind("v100x", 0) == 0) {
+    Result<int> count = parse_count(5);
+    if (!count.ok()) {
+      return count.status();
+    }
+    return V100Cluster(*count);
+  }
+  return Status::InvalidArgument(
+      "unknown cluster '" + name + "' (expected h100x<N>, v100x<N>, or a40)");
 }
 
 }  // namespace maya

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/status.h"
 #include "src/hw/gpu_spec.h"
 
 namespace maya {
@@ -54,6 +55,11 @@ struct ClusterSpec {
 ClusterSpec V100Cluster(int num_gpus);  // 8 GPUs/node, NVLink cube-mesh, 100Gbps IB
 ClusterSpec H100Cluster(int num_gpus);  // 8 GPUs/node, NVSwitch, 400Gbps RoCE
 ClusterSpec A40Node();                  // single 8xA40 node, pairwise NVLink
+
+// Named evaluation clusters: "h100x<gpus>", "v100x<gpus>", "a40" — the
+// client-facing deployment / what-if naming used by the service protocol and
+// the DeploymentRegistry.
+Result<ClusterSpec> ClusterSpecByName(const std::string& name);
 
 }  // namespace maya
 

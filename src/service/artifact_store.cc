@@ -60,30 +60,126 @@ Result<JsonValue> ReadJsonFile(const std::string& path) {
   return value;
 }
 
-// Structural cluster identity via the canonical JSON encoding: the evaluation
-// clusters are constructed from constants, so equal specs serialize equally.
-std::string ClusterSignature(const ClusterSpec& cluster) {
+}  // namespace
+
+std::string ArtifactStore::ClusterSignature(const ClusterSpec& cluster) {
   JsonWriter w;
   WriteClusterSpec(w, cluster);
   return w.str();
 }
 
-}  // namespace
-
-std::string ArtifactStore::PathFor(const char* file) const {
-  return (std::filesystem::path(dir_) / file).string();
+std::string ArtifactStore::PathFor(const std::string& subdir, const char* file) const {
+  std::filesystem::path path(dir_);
+  if (!subdir.empty()) {
+    path /= subdir;
+  }
+  return (path / file).string();
 }
 
 bool ArtifactStore::Exists() const {
   std::error_code ec;
-  return std::filesystem::exists(PathFor(kManifestFile), ec);
+  return std::filesystem::exists(PathFor("", kManifestFile), ec);
 }
 
-Status ArtifactStore::SaveBundle(const ClusterSpec& cluster, const EstimatorBank& bank,
-                                 const MayaPipeline* pipeline) const {
+Status ArtifactStore::SaveDeploymentFiles(const std::string& subdir, const EstimatorBank& bank,
+                                          const MayaPipeline* pipeline,
+                                          uint64_t* kernel_entries,
+                                          uint64_t* collective_entries) const {
   if (bank.kernel == nullptr || bank.collective == nullptr) {
     return Status::FailedPrecondition("estimator bank is not trained");
   }
+  std::error_code ec;
+  std::filesystem::path dir(dir_);
+  if (!subdir.empty()) {
+    dir /= subdir;
+  }
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create bundle directory '" + dir.string() +
+                            "': " + ec.message());
+  }
+
+  {
+    JsonWriter w;
+    WriteKernelEstimator(w, *bank.kernel);
+    MAYA_RETURN_IF_ERROR(WriteFile(PathFor(subdir, kKernelEstimatorFile), w.str()));
+  }
+  {
+    JsonWriter w;
+    WriteCollectiveEstimator(w, *bank.collective);
+    MAYA_RETURN_IF_ERROR(WriteFile(PathFor(subdir, kCollectiveEstimatorFile), w.str()));
+  }
+  {
+    JsonWriter w;
+    WriteKernelDataset(w, bank.kernel_validation);
+    MAYA_RETURN_IF_ERROR(WriteFile(PathFor(subdir, kKernelValidationFile), w.str()));
+  }
+
+  *kernel_entries = 0;
+  *collective_entries = 0;
+  if (pipeline == nullptr) {
+    // Estimator-only save: empty cache files keep the bundle loadable.
+    MAYA_RETURN_IF_ERROR(WriteFile(PathFor(subdir, kKernelCacheFile), "[]"));
+    MAYA_RETURN_IF_ERROR(WriteFile(PathFor(subdir, kCollectiveCacheFile), "[]"));
+    return Status::Ok();
+  }
+  const std::vector<std::pair<KernelDesc, double>> kernels =
+      pipeline->SnapshotKernelEstimates();
+  *kernel_entries = kernels.size();
+  JsonWriter kernel_writer;
+  kernel_writer.BeginArray();
+  for (const auto& [kernel, duration_us] : kernels) {
+    kernel_writer.BeginObject();
+    kernel_writer.Key("kernel");
+    WriteKernelDescExact(kernel_writer, kernel);
+    kernel_writer.Field("duration_us", std::string_view(DoubleBits(duration_us)));
+    kernel_writer.EndObject();
+  }
+  kernel_writer.EndArray();
+  MAYA_RETURN_IF_ERROR(WriteFile(PathFor(subdir, kKernelCacheFile), kernel_writer.str()));
+
+  const std::vector<std::pair<CollectiveRequest, double>> collectives =
+      pipeline->SnapshotCollectiveEstimates();
+  *collective_entries = collectives.size();
+  JsonWriter collective_writer;
+  collective_writer.BeginArray();
+  for (const auto& [request, duration_us] : collectives) {
+    collective_writer.BeginObject();
+    collective_writer.Key("request");
+    WriteCollectiveRequest(collective_writer, request);
+    collective_writer.Field("duration_us", std::string_view(DoubleBits(duration_us)));
+    collective_writer.EndObject();
+  }
+  collective_writer.EndArray();
+  return WriteFile(PathFor(subdir, kCollectiveCacheFile), collective_writer.str());
+}
+
+Status ArtifactStore::SaveEstimators(const ClusterSpec& cluster, const EstimatorBank& bank) const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    return Status::Internal("cannot create bundle directory '" + dir_ + "': " + ec.message());
+  }
+  // Invalidate any existing bundle before touching its files, and write the
+  // manifest strictly last (see Save).
+  std::filesystem::remove(PathFor("", kManifestFile), ec);
+  uint64_t kernel_entries = 0;
+  uint64_t collective_entries = 0;
+  MAYA_RETURN_IF_ERROR(
+      SaveDeploymentFiles("", bank, nullptr, &kernel_entries, &collective_entries));
+  JsonWriter manifest;
+  manifest.BeginObject();
+  manifest.Field("version", static_cast<int64_t>(kArtifactBundleVersion));
+  manifest.Key("cluster");
+  WriteClusterSpec(manifest, cluster);
+  manifest.Field("kernel_cache_entries", kernel_entries);
+  manifest.Field("collective_cache_entries", collective_entries);
+  manifest.EndObject();
+  return WriteFile(PathFor("", kManifestFile), manifest.str());
+}
+
+Status ArtifactStore::Save(const ClusterSpec& cluster, const EstimatorBank& bank,
+                           const MayaPipeline& pipeline) const {
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
   if (ec) {
@@ -93,125 +189,145 @@ Status ArtifactStore::SaveBundle(const ClusterSpec& cluster, const EstimatorBank
   // manifest strictly last: a crash at any point mid-save leaves a directory
   // without a manifest, which never loads — not a loadable bundle mixing new
   // and stale (or torn) files.
-  std::filesystem::remove(PathFor(kManifestFile), ec);
-
-  {
-    JsonWriter w;
-    WriteKernelEstimator(w, *bank.kernel);
-    MAYA_RETURN_IF_ERROR(WriteFile(PathFor(kKernelEstimatorFile), w.str()));
-  }
-  {
-    JsonWriter w;
-    WriteCollectiveEstimator(w, *bank.collective);
-    MAYA_RETURN_IF_ERROR(WriteFile(PathFor(kCollectiveEstimatorFile), w.str()));
-  }
-  {
-    JsonWriter w;
-    WriteKernelDataset(w, bank.kernel_validation);
-    MAYA_RETURN_IF_ERROR(WriteFile(PathFor(kKernelValidationFile), w.str()));
-  }
-
-  size_t kernel_entries = 0;
-  size_t collective_entries = 0;
-  if (pipeline == nullptr) {
-    // Estimator-only save: empty cache files keep the bundle loadable.
-    MAYA_RETURN_IF_ERROR(WriteFile(PathFor(kKernelCacheFile), "[]"));
-    MAYA_RETURN_IF_ERROR(WriteFile(PathFor(kCollectiveCacheFile), "[]"));
-  } else {
-    const std::vector<std::pair<KernelDesc, double>> kernels =
-        pipeline->SnapshotKernelEstimates();
-    kernel_entries = kernels.size();
-    JsonWriter kernel_writer;
-    kernel_writer.BeginArray();
-    for (const auto& [kernel, duration_us] : kernels) {
-      kernel_writer.BeginObject();
-      kernel_writer.Key("kernel");
-      WriteKernelDescExact(kernel_writer, kernel);
-      kernel_writer.Field("duration_us", std::string_view(DoubleBits(duration_us)));
-      kernel_writer.EndObject();
-    }
-    kernel_writer.EndArray();
-    MAYA_RETURN_IF_ERROR(WriteFile(PathFor(kKernelCacheFile), kernel_writer.str()));
-
-    const std::vector<std::pair<CollectiveRequest, double>> collectives =
-        pipeline->SnapshotCollectiveEstimates();
-    collective_entries = collectives.size();
-    JsonWriter collective_writer;
-    collective_writer.BeginArray();
-    for (const auto& [request, duration_us] : collectives) {
-      collective_writer.BeginObject();
-      collective_writer.Key("request");
-      WriteCollectiveRequest(collective_writer, request);
-      collective_writer.Field("duration_us", std::string_view(DoubleBits(duration_us)));
-      collective_writer.EndObject();
-    }
-    collective_writer.EndArray();
-    MAYA_RETURN_IF_ERROR(WriteFile(PathFor(kCollectiveCacheFile), collective_writer.str()));
-  }
-
+  std::filesystem::remove(PathFor("", kManifestFile), ec);
+  uint64_t kernel_entries = 0;
+  uint64_t collective_entries = 0;
+  MAYA_RETURN_IF_ERROR(
+      SaveDeploymentFiles("", bank, &pipeline, &kernel_entries, &collective_entries));
   JsonWriter manifest;
   manifest.BeginObject();
   manifest.Field("version", static_cast<int64_t>(kArtifactBundleVersion));
   manifest.Key("cluster");
   WriteClusterSpec(manifest, cluster);
-  manifest.Field("kernel_cache_entries", static_cast<uint64_t>(kernel_entries));
-  manifest.Field("collective_cache_entries", static_cast<uint64_t>(collective_entries));
+  manifest.Field("kernel_cache_entries", kernel_entries);
+  manifest.Field("collective_cache_entries", collective_entries);
   manifest.EndObject();
-  return WriteFile(PathFor(kManifestFile), manifest.str());
+  return WriteFile(PathFor("", kManifestFile), manifest.str());
 }
 
-Status ArtifactStore::SaveEstimators(const ClusterSpec& cluster, const EstimatorBank& bank) const {
-  return SaveBundle(cluster, bank, nullptr);
-}
+Status ArtifactStore::SaveRegistry(const DeploymentRegistry& registry) const {
+  const std::vector<std::shared_ptr<const Deployment>> deployments = registry.Registered();
+  if (deployments.empty()) {
+    return Status::FailedPrecondition("registry holds no registered deployments to save");
+  }
+  for (const std::shared_ptr<const Deployment>& deployment : deployments) {
+    if (deployment->bank == nullptr) {
+      return Status::FailedPrecondition("deployment '" + deployment->name +
+                                        "' borrows its estimators and cannot be persisted");
+    }
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    return Status::Internal("cannot create bundle directory '" + dir_ + "': " + ec.message());
+  }
+  std::filesystem::remove(PathFor("", kManifestFile), ec);
 
-Status ArtifactStore::Save(const ClusterSpec& cluster, const EstimatorBank& bank,
-                           const MayaPipeline& pipeline) const {
-  return SaveBundle(cluster, bank, &pipeline);
+  JsonWriter manifest;
+  manifest.BeginObject();
+  manifest.Field("version", static_cast<int64_t>(kArtifactBundleVersionMulti));
+  manifest.KeyedBeginArray("deployments");
+  for (size_t i = 0; i < deployments.size(); ++i) {
+    const Deployment& deployment = *deployments[i];
+    const std::string subdir = StrFormat("deployment_%zu", i);
+    uint64_t kernel_entries = 0;
+    uint64_t collective_entries = 0;
+    MAYA_RETURN_IF_ERROR(SaveDeploymentFiles(subdir, *deployment.bank,
+                                             deployment.pipeline.get(), &kernel_entries,
+                                             &collective_entries));
+    manifest.BeginObject();
+    manifest.Field("name", std::string_view(deployment.name));
+    manifest.Field("dir", std::string_view(subdir));
+    manifest.Key("cluster");
+    WriteClusterSpec(manifest, deployment.cluster);
+    manifest.Field("kernel_cache_entries", kernel_entries);
+    manifest.Field("collective_cache_entries", collective_entries);
+    manifest.EndObject();
+  }
+  manifest.EndArray();
+  manifest.EndObject();
+  return WriteFile(PathFor("", kManifestFile), manifest.str());
 }
 
 Result<ArtifactManifest> ArtifactStore::ReadManifest() const {
-  Result<JsonValue> root = ReadJsonFile(PathFor(kManifestFile));
+  Result<JsonValue> root = ReadJsonFile(PathFor("", kManifestFile));
   if (!root.ok()) {
     return root.status();
   }
-  if (!root->is_object() || !root->Has("version") || !root->Has("cluster")) {
+  if (!root->is_object() || !root->Has("version")) {
     return Status::InvalidArgument("malformed artifact manifest");
   }
   ArtifactManifest manifest;
   manifest.version = static_cast<int>(root->at("version").AsInt());
-  if (manifest.version != kArtifactBundleVersion) {
-    return Status::FailedPrecondition(
-        StrFormat("artifact bundle version %d is not the supported version %d",
-                  manifest.version, kArtifactBundleVersion));
+  if (manifest.version == kArtifactBundleVersion) {
+    if (!root->Has("cluster")) {
+      return Status::InvalidArgument("malformed artifact manifest");
+    }
+    DeploymentManifest deployment;
+    deployment.name = kDefaultDeploymentName;
+    Result<ClusterSpec> cluster = ParseClusterSpec(root->at("cluster"));
+    if (!cluster.ok()) {
+      return cluster.status();
+    }
+    deployment.cluster = *std::move(cluster);
+    if (root->Has("kernel_cache_entries")) {
+      deployment.kernel_cache_entries = root->at("kernel_cache_entries").AsUint();
+    }
+    if (root->Has("collective_cache_entries")) {
+      deployment.collective_cache_entries = root->at("collective_cache_entries").AsUint();
+    }
+    manifest.cluster = deployment.cluster;
+    manifest.kernel_cache_entries = deployment.kernel_cache_entries;
+    manifest.collective_cache_entries = deployment.collective_cache_entries;
+    manifest.deployments.push_back(std::move(deployment));
+    return manifest;
   }
-  Result<ClusterSpec> cluster = ParseClusterSpec(root->at("cluster"));
-  if (!cluster.ok()) {
-    return cluster.status();
+  if (manifest.version == kArtifactBundleVersionMulti) {
+    if (!root->Has("deployments")) {
+      return Status::InvalidArgument("malformed v2 artifact manifest: no deployments");
+    }
+    for (const JsonValue& entry : root->at("deployments").AsArray()) {
+      MAYA_RETURN_IF_ERROR(RequireKeys(entry, {"name", "dir", "cluster"}));
+      DeploymentManifest deployment;
+      MAYA_ASSIGN_OR_RETURN(deployment.name, ToString(entry.at("name")));
+      MAYA_ASSIGN_OR_RETURN(deployment.dir, ToString(entry.at("dir")));
+      if (deployment.dir.empty() ||
+          deployment.dir.find_first_of("/\\") != std::string::npos ||
+          deployment.dir.find("..") != std::string::npos) {
+        return Status::InvalidArgument("v2 manifest names unsafe deployment dir '" +
+                                       deployment.dir + "'");
+      }
+      Result<ClusterSpec> cluster = ParseClusterSpec(entry.at("cluster"));
+      if (!cluster.ok()) {
+        return cluster.status();
+      }
+      deployment.cluster = *std::move(cluster);
+      if (entry.Has("kernel_cache_entries")) {
+        deployment.kernel_cache_entries = entry.at("kernel_cache_entries").AsUint();
+      }
+      if (entry.Has("collective_cache_entries")) {
+        deployment.collective_cache_entries = entry.at("collective_cache_entries").AsUint();
+      }
+      manifest.deployments.push_back(std::move(deployment));
+    }
+    if (manifest.deployments.empty()) {
+      return Status::InvalidArgument("v2 artifact manifest holds no deployments");
+    }
+    manifest.cluster = manifest.deployments.front().cluster;
+    manifest.kernel_cache_entries = manifest.deployments.front().kernel_cache_entries;
+    manifest.collective_cache_entries =
+        manifest.deployments.front().collective_cache_entries;
+    return manifest;
   }
-  manifest.cluster = *std::move(cluster);
-  if (root->Has("kernel_cache_entries")) {
-    manifest.kernel_cache_entries = root->at("kernel_cache_entries").AsUint();
-  }
-  if (root->Has("collective_cache_entries")) {
-    manifest.collective_cache_entries = root->at("collective_cache_entries").AsUint();
-  }
-  return manifest;
+  return Status::FailedPrecondition(
+      StrFormat("artifact bundle version %d is not a supported version (%d or %d)",
+                manifest.version, kArtifactBundleVersion, kArtifactBundleVersionMulti));
 }
 
-Result<EstimatorBank> ArtifactStore::LoadEstimators(const ClusterSpec& expected_cluster) const {
-  Result<ArtifactManifest> manifest = ReadManifest();
-  if (!manifest.ok()) {
-    return manifest.status();
-  }
-  if (ClusterSignature(manifest->cluster) != ClusterSignature(expected_cluster)) {
-    return Status::FailedPrecondition(
-        "artifact bundle was trained for cluster " + manifest->cluster.ToString() +
-        ", not " + expected_cluster.ToString());
-  }
-
+Result<EstimatorBank> ArtifactStore::LoadBankFrom(const std::string& subdir) const {
   EstimatorBank bank;
   {
-    Result<JsonValue> value = ReadJsonFile(PathFor(kKernelEstimatorFile));
+    Result<JsonValue> value = ReadJsonFile(PathFor(subdir, kKernelEstimatorFile));
     if (!value.ok()) {
       return value.status();
     }
@@ -223,7 +339,7 @@ Result<EstimatorBank> ArtifactStore::LoadEstimators(const ClusterSpec& expected_
     bank.kernel = *std::move(estimator);
   }
   {
-    Result<JsonValue> value = ReadJsonFile(PathFor(kCollectiveEstimatorFile));
+    Result<JsonValue> value = ReadJsonFile(PathFor(subdir, kCollectiveEstimatorFile));
     if (!value.ok()) {
       return value.status();
     }
@@ -235,7 +351,7 @@ Result<EstimatorBank> ArtifactStore::LoadEstimators(const ClusterSpec& expected_
     bank.collective = *std::move(estimator);
   }
   {
-    Result<JsonValue> value = ReadJsonFile(PathFor(kKernelValidationFile));
+    Result<JsonValue> value = ReadJsonFile(PathFor(subdir, kKernelValidationFile));
     if (!value.ok()) {
       return value.status();
     }
@@ -248,10 +364,63 @@ Result<EstimatorBank> ArtifactStore::LoadEstimators(const ClusterSpec& expected_
   return bank;
 }
 
-Result<uint64_t> ArtifactStore::WarmPipeline(MayaPipeline& pipeline) const {
+Result<std::vector<LoadedDeployment>> ArtifactStore::LoadDeployments() const {
+  Result<ArtifactManifest> manifest = ReadManifest();
+  if (!manifest.ok()) {
+    return manifest.status();
+  }
+  std::vector<LoadedDeployment> deployments;
+  deployments.reserve(manifest->deployments.size());
+  for (const DeploymentManifest& entry : manifest->deployments) {
+    Result<EstimatorBank> bank = LoadBankFrom(entry.dir);
+    if (!bank.ok()) {
+      return Status(bank.status().code(),
+                    "deployment '" + entry.name + "': " + bank.status().message());
+    }
+    LoadedDeployment deployment;
+    deployment.name = entry.name;
+    deployment.cluster = entry.cluster;
+    deployment.bank = *std::move(bank);
+    deployments.push_back(std::move(deployment));
+  }
+  return deployments;
+}
+
+Result<EstimatorBank> ArtifactStore::LoadEstimators(const ClusterSpec& expected_cluster) const {
+  Result<ArtifactManifest> manifest = ReadManifest();
+  if (!manifest.ok()) {
+    return manifest.status();
+  }
+  const std::string expected = ClusterSignature(expected_cluster);
+  for (const DeploymentManifest& entry : manifest->deployments) {
+    if (ClusterSignature(entry.cluster) == expected) {
+      return LoadBankFrom(entry.dir);
+    }
+  }
+  return Status::FailedPrecondition(
+      "artifact bundle was trained for cluster " + manifest->cluster.ToString() + ", not " +
+      expected_cluster.ToString());
+}
+
+Result<uint64_t> ArtifactStore::WarmPipeline(const std::string& name,
+                                             MayaPipeline& pipeline) const {
+  Result<ArtifactManifest> manifest = ReadManifest();
+  if (!manifest.ok()) {
+    return manifest.status();
+  }
+  const DeploymentManifest* target = nullptr;
+  for (const DeploymentManifest& entry : manifest->deployments) {
+    if (entry.name == name) {
+      target = &entry;
+      break;
+    }
+  }
+  if (target == nullptr) {
+    return Status::NotFound("bundle holds no deployment named '" + name + "'");
+  }
   uint64_t imported = 0;
   {
-    Result<JsonValue> value = ReadJsonFile(PathFor(kKernelCacheFile));
+    Result<JsonValue> value = ReadJsonFile(PathFor(target->dir, kKernelCacheFile));
     if (!value.ok()) {
       return value.status();
     }
@@ -274,7 +443,7 @@ Result<uint64_t> ArtifactStore::WarmPipeline(MayaPipeline& pipeline) const {
     imported += entries.size();
   }
   {
-    Result<JsonValue> value = ReadJsonFile(PathFor(kCollectiveCacheFile));
+    Result<JsonValue> value = ReadJsonFile(PathFor(target->dir, kCollectiveCacheFile));
     if (!value.ok()) {
       return value.status();
     }

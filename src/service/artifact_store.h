@@ -1,12 +1,12 @@
 // Persistent estimator artifacts: a versioned on-disk bundle holding
-// everything a Maya server needs to warm-start — the trained per-kind kernel
+// everything a Maya server needs to warm-start — trained per-kind kernel
 // forests, the profiled collective estimator, the held-out validation split,
 // and the kernel/collective estimate caches. A restarted server (or a fresh
 // sweep process) loads the bundle instead of re-running profiling sweeps and
 // re-training forests, and answers a repeated sweep with the previous
 // process's cache hit rate and bit-identical predictions.
 //
-// Bundle layout (directory of JSON files):
+// v1 bundle (single deployment, directory of JSON files):
 //   manifest.json            — format version, full ClusterSpec, entry counts
 //   kernel_estimator.json    — RandomForestKernelEstimator (per-kind forests)
 //   collective_estimator.json— ProfiledCollectiveEstimator tables
@@ -14,14 +14,22 @@
 //   kernel_cache.json        — KernelDesc -> duration_us estimate entries
 //   collective_cache.json    — CollectiveRequest -> duration_us entries
 //
-// All prediction-relevant doubles use the bit-exact hex encoding from
+// v2 bundle (fleet of deployments, one per-arch estimator bank each):
+//   manifest.json            — version 2 + a deployments array naming each
+//                              deployment, its cluster and its subdirectory
+//   deployment_<i>/          — the same per-deployment file set as v1
+//
+// v1 bundles still load — as a single deployment named "default". All
+// prediction-relevant doubles use the bit-exact hex encoding from
 // src/estimator/serialization.h, so loading is lossless.
 #ifndef SRC_SERVICE_ARTIFACT_STORE_H_
 #define SRC_SERVICE_ARTIFACT_STORE_H_
 
 #include <string>
+#include <vector>
 
 #include "src/common/status.h"
+#include "src/core/deployment_registry.h"
 #include "src/core/estimator_bank.h"
 #include "src/core/pipeline.h"
 #include "src/hw/cluster_spec.h"
@@ -30,12 +38,32 @@ namespace maya {
 
 // Bumped on any incompatible change to the bundle layout or encodings.
 inline constexpr int kArtifactBundleVersion = 1;
+// The multi-deployment bundle format.
+inline constexpr int kArtifactBundleVersionMulti = 2;
 
-struct ArtifactManifest {
-  int version = 0;
+struct DeploymentManifest {
+  std::string name;
+  std::string dir;  // bundle-relative subdirectory ("" for v1 bundles)
   ClusterSpec cluster;
   uint64_t kernel_cache_entries = 0;
   uint64_t collective_cache_entries = 0;
+};
+
+struct ArtifactManifest {
+  int version = 0;
+  // The first (v1: only) deployment's cluster — kept for single-deployment
+  // callers; `deployments` is the full fleet either way.
+  ClusterSpec cluster;
+  uint64_t kernel_cache_entries = 0;
+  uint64_t collective_cache_entries = 0;
+  std::vector<DeploymentManifest> deployments;
+};
+
+// One deployment rebuilt from a bundle.
+struct LoadedDeployment {
+  std::string name;
+  ClusterSpec cluster;
+  EstimatorBank bank;
 };
 
 class ArtifactStore {
@@ -46,35 +74,58 @@ class ArtifactStore {
   // True when the bundle directory holds a manifest.
   bool Exists() const;
 
-  // Writes the full bundle (estimators + the pipeline's current estimate
-  // caches) atomically enough for a single writer: any existing manifest is
-  // removed first and the new one lands last, so a crash at any point leaves
-  // a manifest-less directory that never loads — not a torn bundle.
+  // Writes a v1 single-deployment bundle (estimators + the pipeline's
+  // current estimate caches) atomically enough for a single writer: any
+  // existing manifest is removed first and the new one lands last, so a
+  // crash at any point leaves a manifest-less directory that never loads —
+  // not a torn bundle.
   Status Save(const ClusterSpec& cluster, const EstimatorBank& bank,
               const MayaPipeline& pipeline) const;
 
   // Estimators only (no caches to snapshot yet) — e.g. right after training.
   Status SaveEstimators(const ClusterSpec& cluster, const EstimatorBank& bank) const;
 
+  // Writes a v2 bundle holding every registered deployment that owns its
+  // bank (estimators + that deployment's pipeline caches). Same manifest-
+  // last crash discipline as Save. Borrowed-estimator deployments cannot be
+  // persisted and make the save fail.
+  Status SaveRegistry(const DeploymentRegistry& registry) const;
+
+  // Accepts v1 and v2 manifests.
   Result<ArtifactManifest> ReadManifest() const;
 
-  // Rebuilds the estimator bank from the bundle. Fails on version mismatch
-  // or when the manifest's cluster disagrees with `expected_cluster` (trained
-  // estimators are cluster-specific; a bundle from another cluster would
-  // silently answer with the wrong hardware model).
+  // Rebuilds every deployment in the bundle (v1: one, named "default").
+  Result<std::vector<LoadedDeployment>> LoadDeployments() const;
+
+  // v1-style single-bank load. Fails on version mismatch or when no bundled
+  // deployment's cluster matches `expected_cluster` (trained estimators are
+  // cluster-specific; a bundle from another cluster would silently answer
+  // with the wrong hardware model).
   Result<EstimatorBank> LoadEstimators(const ClusterSpec& expected_cluster) const;
 
-  // Seeds the pipeline's estimate caches from the bundle; returns the number
-  // of entries imported. Call with a pipeline built over estimators loaded
-  // from the SAME bundle — cache values are only valid for the estimators
-  // that produced them.
-  Result<uint64_t> WarmPipeline(MayaPipeline& pipeline) const;
+  // Seeds the pipeline's estimate caches from deployment `name`'s cache
+  // files; returns the number of entries imported. Call with a pipeline
+  // built over estimators loaded from the SAME bundle — cache values are
+  // only valid for the estimators that produced them.
+  Result<uint64_t> WarmPipeline(const std::string& name, MayaPipeline& pipeline) const;
+  // v1 convenience: warms from the default deployment.
+  Result<uint64_t> WarmPipeline(MayaPipeline& pipeline) const {
+    return WarmPipeline(kDefaultDeploymentName, pipeline);
+  }
+
+  // Structural cluster identity via the canonical JSON encoding: the
+  // evaluation clusters are constructed from constants, so equal specs
+  // serialize equally.
+  static std::string ClusterSignature(const ClusterSpec& cluster);
 
  private:
-  // Shared save path; null pipeline writes empty cache files.
-  Status SaveBundle(const ClusterSpec& cluster, const EstimatorBank& bank,
-                    const MayaPipeline* pipeline) const;
-  std::string PathFor(const char* file) const;
+  // Writes one deployment's file set into dir_/subdir ("" = bundle root);
+  // null pipeline writes empty cache files.
+  Status SaveDeploymentFiles(const std::string& subdir, const EstimatorBank& bank,
+                             const MayaPipeline* pipeline, uint64_t* kernel_entries,
+                             uint64_t* collective_entries) const;
+  Result<EstimatorBank> LoadBankFrom(const std::string& subdir) const;
+  std::string PathFor(const std::string& subdir, const char* file) const;
 
   std::string dir_;
 };

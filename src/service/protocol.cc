@@ -1,7 +1,5 @@
 #include "src/service/protocol.h"
 
-#include <cstdlib>
-
 #include "src/common/strings.h"
 #include "src/estimator/serialization.h"
 #include "src/trace/serialization.h"
@@ -157,18 +155,128 @@ ShardedCacheStats ParseCacheStats(const JsonValue& value) {
   return stats;
 }
 
+// ---- Request payload field groups ------------------------------------------
+
+// The shared (model, config, knobs, deployment) block of predict-like
+// payloads; `T` is PredictPayload, WhatIfOomPayload or BatchPredictPayload.
+template <typename T>
+void WritePredictLikeCommon(JsonWriter& w, const T& payload) {
+  w.Field("deduplicate_workers", payload.deduplicate_workers);
+  w.Field("selective_launch", payload.selective_launch);
+  if (!payload.deployment.empty()) {
+    w.Field("deployment", std::string_view(payload.deployment));
+  }
+}
+
+template <typename T>
+Status ParsePredictLikeCommon(const JsonValue& root, T& payload) {
+  if (root.Has("deduplicate_workers")) {
+    MAYA_ASSIGN_OR_RETURN(payload.deduplicate_workers, ToBool(root.at("deduplicate_workers")));
+  }
+  if (root.Has("selective_launch")) {
+    MAYA_ASSIGN_OR_RETURN(payload.selective_launch, ToBool(root.at("selective_launch")));
+  }
+  if (root.Has("deployment")) {
+    MAYA_ASSIGN_OR_RETURN(payload.deployment, ToString(root.at("deployment")));
+  }
+  return Status::Ok();
+}
+
+Status ParseDeployment(const JsonValue& root, std::string& deployment) {
+  if (root.Has("deployment")) {
+    MAYA_ASSIGN_OR_RETURN(deployment, ToString(root.at("deployment")));
+  }
+  return Status::Ok();
+}
+
+// ---- Response body: one prediction outcome ---------------------------------
+
+void WritePredictResultFields(JsonWriter& w, const PredictResult& result) {
+  w.Field("oom", result.oom);
+  if (result.oom) {
+    w.Field("oom_detail", std::string_view(result.oom_detail));
+  } else {
+    w.Field("iteration_time_us", std::string_view(DoubleBits(result.iteration_time_us)));
+    w.Field("iteration_time_us_approx", result.iteration_time_us);
+    w.Field("mfu", std::string_view(DoubleBits(result.mfu)));
+    w.Field("mfu_approx", result.mfu);
+    w.Field("peak_memory_bytes", result.peak_memory_bytes);
+  }
+  w.Field("emulation_ms", result.timings.emulation_ms);
+  w.Field("collation_ms", result.timings.collation_ms);
+  w.Field("estimation_ms", result.timings.estimation_ms);
+  w.Field("simulation_ms", result.timings.simulation_ms);
+  w.Key("estimation");
+  WriteEstimationStats(w, result.estimation);
+  w.Field("trace_cache_hit", result.trace_cache_hit);
+}
+
+Result<PredictResult> ParsePredictResultFields(const JsonValue& root) {
+  MAYA_RETURN_IF_ERROR(RequireKeys(root, {"oom", "estimation"}));
+  PredictResult result;
+  result.oom = root.at("oom").AsBool();
+  if (result.oom) {
+    result.oom_detail = root.at("oom_detail").AsString();
+  } else {
+    Result<double> iteration = DoubleFromBits(root.at("iteration_time_us").AsString());
+    if (!iteration.ok()) {
+      return iteration.status();
+    }
+    result.iteration_time_us = *iteration;
+    Result<double> mfu = DoubleFromBits(root.at("mfu").AsString());
+    if (!mfu.ok()) {
+      return mfu.status();
+    }
+    result.mfu = *mfu;
+    result.peak_memory_bytes = root.at("peak_memory_bytes").AsUint();
+  }
+  result.timings.emulation_ms = root.at("emulation_ms").AsDouble();
+  result.timings.collation_ms = root.at("collation_ms").AsDouble();
+  result.timings.estimation_ms = root.at("estimation_ms").AsDouble();
+  result.timings.simulation_ms = root.at("simulation_ms").AsDouble();
+  result.estimation = ParseEstimationStats(root.at("estimation"));
+  if (root.Has("trace_cache_hit")) {
+    result.trace_cache_hit = root.at("trace_cache_hit").AsBool();
+  }
+  return result;
+}
+
 }  // namespace
+
+PredictResult SinglePredictResult(const ServiceResponse& response) {
+  PredictResult result;
+  result.oom = response.oom;
+  result.oom_detail = response.oom_detail;
+  result.iteration_time_us = response.iteration_time_us;
+  result.mfu = response.mfu;
+  result.peak_memory_bytes = response.peak_memory_bytes;
+  result.timings = response.timings;
+  result.estimation = response.estimation;
+  result.trace_cache_hit = response.trace_cache_hit;
+  return result;
+}
+
+void AssignPredictResult(ServiceResponse& response, const PredictResult& result) {
+  response.oom = result.oom;
+  response.oom_detail = result.oom_detail;
+  response.iteration_time_us = result.iteration_time_us;
+  response.mfu = result.mfu;
+  response.peak_memory_bytes = result.peak_memory_bytes;
+  response.timings = result.timings;
+  response.estimation = result.estimation;
+  response.trace_cache_hit = result.trace_cache_hit;
+}
 
 const char* ServiceRequestKindName(ServiceRequestKind kind) {
   switch (kind) {
     case ServiceRequestKind::kPredict:
       return "predict";
+    case ServiceRequestKind::kBatchPredict:
+      return "batch_predict";
     case ServiceRequestKind::kSearch:
       return "search";
     case ServiceRequestKind::kWhatIfOom:
       return "whatif_oom";
-    case ServiceRequestKind::kWhatIfCluster:
-      return "whatif_cluster";
     case ServiceRequestKind::kTracePredict:
       return "trace_predict";
     case ServiceRequestKind::kStats:
@@ -181,8 +289,8 @@ const char* ServiceRequestKindName(ServiceRequestKind kind) {
 
 Result<ServiceRequestKind> ServiceRequestKindFromName(const std::string& name) {
   static constexpr ServiceRequestKind kAll[] = {
-      ServiceRequestKind::kPredict,      ServiceRequestKind::kSearch,
-      ServiceRequestKind::kWhatIfOom,    ServiceRequestKind::kWhatIfCluster,
+      ServiceRequestKind::kPredict,      ServiceRequestKind::kBatchPredict,
+      ServiceRequestKind::kSearch,       ServiceRequestKind::kWhatIfOom,
       ServiceRequestKind::kTracePredict, ServiceRequestKind::kStats,
       ServiceRequestKind::kCancel,
   };
@@ -391,177 +499,203 @@ Result<ClusterSpec> ParseClusterSpec(const JsonValue& value) {
   return cluster;
 }
 
-Result<ClusterSpec> ClusterSpecByName(const std::string& name) {
-  if (name == "a40") {
-    return A40Node();
-  }
-  const auto parse_count = [&name](size_t prefix_len) -> Result<int> {
-    const std::string count_str = name.substr(prefix_len);
-    char* end = nullptr;
-    const long count = std::strtol(count_str.c_str(), &end, 10);
-    if (count_str.empty() || end != count_str.c_str() + count_str.size() || count <= 0) {
-      return Status::InvalidArgument("bad GPU count in cluster name '" + name + "'");
-    }
-    return static_cast<int>(count);
-  };
-  if (name.rfind("h100x", 0) == 0) {
-    Result<int> count = parse_count(5);
-    if (!count.ok()) {
-      return count.status();
-    }
-    return H100Cluster(*count);
-  }
-  if (name.rfind("v100x", 0) == 0) {
-    Result<int> count = parse_count(5);
-    if (!count.ok()) {
-      return count.status();
-    }
-    return V100Cluster(*count);
-  }
-  return Status::InvalidArgument(
-      "unknown cluster '" + name + "' (expected h100x<N>, v100x<N>, or a40)");
-}
-
 std::string SerializeServiceRequest(const ServiceRequest& request) {
   JsonWriter w;
   w.BeginObject();
   w.Field("id", request.id);
-  w.Field("kind", std::string_view(ServiceRequestKindName(request.kind)));
+  w.Field("kind", std::string_view(ServiceRequestKindName(request.kind())));
   if (request.deadline_ms > 0.0) {
     w.Field("deadline_ms", request.deadline_ms);
   }
-  switch (request.kind) {
-    case ServiceRequestKind::kPredict:
-    case ServiceRequestKind::kWhatIfOom:
-      w.Key("model");
-      WriteModelConfig(w, request.model);
-      w.Key("config");
-      WriteTrainConfig(w, request.config);
-      w.Field("deduplicate_workers", request.deduplicate_workers);
-      w.Field("selective_launch", request.selective_launch);
-      break;
-    case ServiceRequestKind::kWhatIfCluster:
-      w.Key("model");
-      WriteModelConfig(w, request.model);
-      w.Key("config");
-      WriteTrainConfig(w, request.config);
-      w.Field("deduplicate_workers", request.deduplicate_workers);
-      w.Field("selective_launch", request.selective_launch);
-      w.Field("cluster", std::string_view(request.cluster_name));
-      break;
-    case ServiceRequestKind::kSearch:
-      w.Key("model");
-      WriteModelConfig(w, request.model);
-      w.Key("search");
-      WriteSearchOptions(w, request.search);
-      w.Field("global_batch", request.global_batch);
-      break;
-    case ServiceRequestKind::kTracePredict: {
-      CHECK(request.trace.has_value()) << "trace_predict request carries no trace";
-      // Embed the canonical job-trace serialization as a nested object.
-      w.Key("trace");
-      w.RawValue(SerializeJobTrace(*request.trace));
-      break;
-    }
-    case ServiceRequestKind::kStats:
-      break;
-    case ServiceRequestKind::kCancel:
-      w.Field("target_id", request.target_id);
-      break;
-  }
+  std::visit(
+      [&w](const auto& payload) {
+        using T = std::decay_t<decltype(payload)>;
+        if constexpr (std::is_same_v<T, PredictPayload> || std::is_same_v<T, WhatIfOomPayload>) {
+          w.Key("model");
+          WriteModelConfig(w, payload.model);
+          w.Key("config");
+          WriteTrainConfig(w, payload.config);
+          WritePredictLikeCommon(w, payload);
+        } else if constexpr (std::is_same_v<T, BatchPredictPayload>) {
+          w.Key("model");
+          WriteModelConfig(w, payload.model);
+          w.KeyedBeginArray("configs");
+          for (const TrainConfig& config : payload.configs) {
+            WriteTrainConfig(w, config);
+          }
+          w.EndArray();
+          WritePredictLikeCommon(w, payload);
+        } else if constexpr (std::is_same_v<T, SearchPayload>) {
+          w.Key("model");
+          WriteModelConfig(w, payload.model);
+          w.Key("search");
+          WriteSearchOptions(w, payload.search);
+          w.Field("global_batch", payload.global_batch);
+          if (!payload.deployment.empty()) {
+            w.Field("deployment", std::string_view(payload.deployment));
+          }
+        } else if constexpr (std::is_same_v<T, TracePredictPayload>) {
+          // Embed the canonical job-trace serialization as a nested object.
+          w.Key("trace");
+          w.RawValue(SerializeJobTrace(payload.trace));
+          if (!payload.deployment.empty()) {
+            w.Field("deployment", std::string_view(payload.deployment));
+          }
+        } else if constexpr (std::is_same_v<T, CancelPayload>) {
+          w.Field("target_id", payload.target_id);
+        } else {
+          static_assert(std::is_same_v<T, StatsPayload>);
+        }
+      },
+      request.payload);
   w.EndObject();
   return w.str();
 }
 
 Result<ServiceRequest> ParseServiceRequest(const std::string& line) {
-  Result<JsonValue> root = ParseJson(line);
-  if (!root.ok()) {
-    return root.status();
+  Result<JsonValue> parsed_root = ParseJson(line);
+  if (!parsed_root.ok()) {
+    return parsed_root.status();
   }
-  MAYA_RETURN_IF_ERROR(RequireKeys(*root, {"id", "kind"}));
+  const JsonValue& root = *parsed_root;
+  MAYA_RETURN_IF_ERROR(RequireKeys(root, {"id", "kind"}));
   // Typed accessors CHECK-fail on mismatches; the envelope fields come
   // straight off the wire, so validate their types before touching them.
-  if (root->at("id").type() != JsonValue::Type::kNumber || root->at("id").AsDouble() < 0.0) {
+  if (root.at("id").type() != JsonValue::Type::kNumber || root.at("id").AsDouble() < 0.0) {
     return Status::InvalidArgument("request id must be a non-negative number");
   }
-  if (root->at("kind").type() != JsonValue::Type::kString) {
+  if (root.at("kind").type() != JsonValue::Type::kString) {
     return Status::InvalidArgument("request kind must be a string");
   }
   ServiceRequest request;
-  request.id = root->at("id").AsUint();
-  Result<ServiceRequestKind> kind = ServiceRequestKindFromName(root->at("kind").AsString());
+  request.id = root.at("id").AsUint();
+  const std::string kind_name = root.at("kind").AsString();
+  if (root.Has("deadline_ms")) {
+    if (root.at("deadline_ms").type() != JsonValue::Type::kNumber) {
+      return Status::InvalidArgument("deadline_ms must be a number");
+    }
+    request.deadline_ms = root.at("deadline_ms").AsDouble();
+  }
+
+  // v1 compatibility: `whatif_cluster` was "predict on another cluster" with
+  // the target in a `cluster` field — exactly what deployment targeting
+  // expresses now, so it parses into a deployment-targeted PredictPayload.
+  if (kind_name == "whatif_cluster") {
+    MAYA_RETURN_IF_ERROR(RequireKeys(root, {"model", "config", "cluster"}));
+    PredictPayload payload;
+    Result<ModelConfig> model = ParseModelConfig(root.at("model"));
+    if (!model.ok()) {
+      return model.status();
+    }
+    payload.model = *std::move(model);
+    Result<TrainConfig> config = ParseTrainConfig(root.at("config"));
+    if (!config.ok()) {
+      return config.status();
+    }
+    payload.config = *config;
+    MAYA_RETURN_IF_ERROR(ParsePredictLikeCommon(root, payload));
+    MAYA_ASSIGN_OR_RETURN(payload.deployment, ToString(root.at("cluster")));
+    request.payload = std::move(payload);
+    return request;
+  }
+
+  Result<ServiceRequestKind> kind = ServiceRequestKindFromName(kind_name);
   if (!kind.ok()) {
     return kind.status();
   }
-  request.kind = *kind;
-  if (root->Has("deadline_ms")) {
-    if (root->at("deadline_ms").type() != JsonValue::Type::kNumber) {
-      return Status::InvalidArgument("deadline_ms must be a number");
-    }
-    request.deadline_ms = root->at("deadline_ms").AsDouble();
-  }
-  switch (request.kind) {
+  switch (*kind) {
     case ServiceRequestKind::kPredict:
-    case ServiceRequestKind::kWhatIfOom:
-    case ServiceRequestKind::kWhatIfCluster: {
-      MAYA_RETURN_IF_ERROR(RequireKeys(*root, {"model", "config"}));
-      Result<ModelConfig> model = ParseModelConfig(root->at("model"));
+    case ServiceRequestKind::kWhatIfOom: {
+      MAYA_RETURN_IF_ERROR(RequireKeys(root, {"model", "config"}));
+      Result<ModelConfig> model = ParseModelConfig(root.at("model"));
       if (!model.ok()) {
         return model.status();
       }
-      request.model = *std::move(model);
-      Result<TrainConfig> config = ParseTrainConfig(root->at("config"));
+      Result<TrainConfig> config = ParseTrainConfig(root.at("config"));
       if (!config.ok()) {
         return config.status();
       }
-      request.config = *config;
-      if (root->Has("deduplicate_workers")) {
-        MAYA_ASSIGN_OR_RETURN(request.deduplicate_workers,
-                              ToBool(root->at("deduplicate_workers")));
-      }
-      if (root->Has("selective_launch")) {
-        MAYA_ASSIGN_OR_RETURN(request.selective_launch, ToBool(root->at("selective_launch")));
-      }
-      if (request.kind == ServiceRequestKind::kWhatIfCluster) {
-        MAYA_RETURN_IF_ERROR(RequireKeys(*root, {"cluster"}));
-        MAYA_ASSIGN_OR_RETURN(request.cluster_name, ToString(root->at("cluster")));
+      if (*kind == ServiceRequestKind::kPredict) {
+        PredictPayload payload;
+        payload.model = *std::move(model);
+        payload.config = *config;
+        MAYA_RETURN_IF_ERROR(ParsePredictLikeCommon(root, payload));
+        request.payload = std::move(payload);
+      } else {
+        WhatIfOomPayload payload;
+        payload.model = *std::move(model);
+        payload.config = *config;
+        MAYA_RETURN_IF_ERROR(ParsePredictLikeCommon(root, payload));
+        request.payload = std::move(payload);
       }
       break;
     }
-    case ServiceRequestKind::kSearch: {
-      MAYA_RETURN_IF_ERROR(RequireKeys(*root, {"model"}));
-      Result<ModelConfig> model = ParseModelConfig(root->at("model"));
+    case ServiceRequestKind::kBatchPredict: {
+      MAYA_RETURN_IF_ERROR(RequireKeys(root, {"model", "configs"}));
+      BatchPredictPayload payload;
+      Result<ModelConfig> model = ParseModelConfig(root.at("model"));
       if (!model.ok()) {
         return model.status();
       }
-      request.model = *std::move(model);
-      if (root->Has("search")) {
-        Result<SearchOptions> search = ParseSearchOptions(root->at("search"));
+      payload.model = *std::move(model);
+      const JsonArray* configs = nullptr;
+      MAYA_ASSIGN_OR_RETURN(configs, ToArray(root.at("configs")));
+      payload.configs.reserve(configs->size());
+      for (const JsonValue& config_value : *configs) {
+        Result<TrainConfig> config = ParseTrainConfig(config_value);
+        if (!config.ok()) {
+          return config.status();
+        }
+        payload.configs.push_back(*config);
+      }
+      MAYA_RETURN_IF_ERROR(ParsePredictLikeCommon(root, payload));
+      request.payload = std::move(payload);
+      break;
+    }
+    case ServiceRequestKind::kSearch: {
+      MAYA_RETURN_IF_ERROR(RequireKeys(root, {"model"}));
+      SearchPayload payload;
+      Result<ModelConfig> model = ParseModelConfig(root.at("model"));
+      if (!model.ok()) {
+        return model.status();
+      }
+      payload.model = *std::move(model);
+      if (root.Has("search")) {
+        Result<SearchOptions> search = ParseSearchOptions(root.at("search"));
         if (!search.ok()) {
           return search.status();
         }
-        request.search = *search;
+        payload.search = *search;
       }
-      if (root->Has("global_batch")) {
-        MAYA_ASSIGN_OR_RETURN(request.global_batch, ToInt(root->at("global_batch")));
+      if (root.Has("global_batch")) {
+        MAYA_ASSIGN_OR_RETURN(payload.global_batch, ToInt(root.at("global_batch")));
       }
+      MAYA_RETURN_IF_ERROR(ParseDeployment(root, payload.deployment));
+      request.payload = std::move(payload);
       break;
     }
     case ServiceRequestKind::kTracePredict: {
-      MAYA_RETURN_IF_ERROR(RequireKeys(*root, {"trace"}));
-      Result<JobTrace> trace = ParseJobTrace(root->at("trace"));
+      MAYA_RETURN_IF_ERROR(RequireKeys(root, {"trace"}));
+      TracePredictPayload payload;
+      Result<JobTrace> trace = ParseJobTrace(root.at("trace"));
       if (!trace.ok()) {
         return trace.status();
       }
-      request.trace = *std::move(trace);
+      payload.trace = *std::move(trace);
+      MAYA_RETURN_IF_ERROR(ParseDeployment(root, payload.deployment));
+      request.payload = std::move(payload);
       break;
     }
     case ServiceRequestKind::kStats:
+      request.payload = StatsPayload{};
       break;
-    case ServiceRequestKind::kCancel:
-      MAYA_RETURN_IF_ERROR(RequireKeys(*root, {"target_id"}));
-      MAYA_ASSIGN_OR_RETURN(request.target_id, ToUint(root->at("target_id")));
+    case ServiceRequestKind::kCancel: {
+      MAYA_RETURN_IF_ERROR(RequireKeys(root, {"target_id"}));
+      CancelPayload payload;
+      MAYA_ASSIGN_OR_RETURN(payload.target_id, ToUint(root.at("target_id")));
+      request.payload = payload;
       break;
+    }
   }
   return request;
 }
@@ -581,25 +715,17 @@ std::string SerializeServiceResponse(const ServiceResponse& response) {
   switch (response.kind) {
     case ServiceRequestKind::kPredict:
     case ServiceRequestKind::kWhatIfOom:
-    case ServiceRequestKind::kWhatIfCluster:
     case ServiceRequestKind::kTracePredict:
-      w.Field("oom", response.oom);
-      if (response.oom) {
-        w.Field("oom_detail", std::string_view(response.oom_detail));
-      } else {
-        w.Field("iteration_time_us", std::string_view(DoubleBits(response.iteration_time_us)));
-        w.Field("iteration_time_us_approx", response.iteration_time_us);
-        w.Field("mfu", std::string_view(DoubleBits(response.mfu)));
-        w.Field("mfu_approx", response.mfu);
-        w.Field("peak_memory_bytes", response.peak_memory_bytes);
+      WritePredictResultFields(w, SinglePredictResult(response));
+      break;
+    case ServiceRequestKind::kBatchPredict:
+      w.KeyedBeginArray("items");
+      for (const PredictResult& item : response.batch) {
+        w.BeginObject();
+        WritePredictResultFields(w, item);
+        w.EndObject();
       }
-      w.Field("emulation_ms", response.timings.emulation_ms);
-      w.Field("collation_ms", response.timings.collation_ms);
-      w.Field("estimation_ms", response.timings.estimation_ms);
-      w.Field("simulation_ms", response.timings.simulation_ms);
-      w.Key("estimation");
-      WriteEstimationStats(w, response.estimation);
-      w.Field("trace_cache_hit", response.trace_cache_hit);
+      w.EndArray();
       break;
     case ServiceRequestKind::kSearch:
       w.Field("found", response.found);
@@ -630,6 +756,15 @@ std::string SerializeServiceResponse(const ServiceResponse& response) {
       w.Field("cancelled", response.stats.cancelled);
       w.Field("deadline_expired", response.stats.deadline_expired);
       w.Field("queue_depth", response.stats.queue_depth);
+      w.Field("queued_weight", response.stats.queued_weight);
+      w.Field("max_queue_weight", response.stats.max_queue_weight);
+      w.KeyedBeginArray("deployments");
+      for (const std::string& name : response.stats.deployments) {
+        w.String(name);
+      }
+      w.EndArray();
+      w.Field("registered_deployments", response.stats.registered_deployments);
+      w.Field("derived_deployments", response.stats.derived_deployments);
       w.Field("timed_requests", response.stats.timed_requests);
       w.Key("stage_totals_ms");
       w.BeginObject();
@@ -676,32 +811,25 @@ Result<ServiceResponse> ParseServiceResponse(const std::string& line) {
   switch (response.kind) {
     case ServiceRequestKind::kPredict:
     case ServiceRequestKind::kWhatIfOom:
-    case ServiceRequestKind::kWhatIfCluster:
     case ServiceRequestKind::kTracePredict: {
-      MAYA_RETURN_IF_ERROR(RequireKeys(*root, {"oom", "estimation"}));
-      response.oom = root->at("oom").AsBool();
-      if (response.oom) {
-        response.oom_detail = root->at("oom_detail").AsString();
-      } else {
-        Result<double> iteration = DoubleFromBits(root->at("iteration_time_us").AsString());
-        if (!iteration.ok()) {
-          return iteration.status();
-        }
-        response.iteration_time_us = *iteration;
-        Result<double> mfu = DoubleFromBits(root->at("mfu").AsString());
-        if (!mfu.ok()) {
-          return mfu.status();
-        }
-        response.mfu = *mfu;
-        response.peak_memory_bytes = root->at("peak_memory_bytes").AsUint();
+      Result<PredictResult> result = ParsePredictResultFields(*root);
+      if (!result.ok()) {
+        return result.status();
       }
-      response.timings.emulation_ms = root->at("emulation_ms").AsDouble();
-      response.timings.collation_ms = root->at("collation_ms").AsDouble();
-      response.timings.estimation_ms = root->at("estimation_ms").AsDouble();
-      response.timings.simulation_ms = root->at("simulation_ms").AsDouble();
-      response.estimation = ParseEstimationStats(root->at("estimation"));
-      if (root->Has("trace_cache_hit")) {
-        response.trace_cache_hit = root->at("trace_cache_hit").AsBool();
+      AssignPredictResult(response, *result);
+      break;
+    }
+    case ServiceRequestKind::kBatchPredict: {
+      MAYA_RETURN_IF_ERROR(RequireKeys(*root, {"items"}));
+      const JsonArray* items = nullptr;
+      MAYA_ASSIGN_OR_RETURN(items, ToArray(root->at("items")));
+      response.batch.reserve(items->size());
+      for (const JsonValue& item : *items) {
+        Result<PredictResult> result = ParsePredictResultFields(item);
+        if (!result.ok()) {
+          return result.status();
+        }
+        response.batch.push_back(*std::move(result));
       }
       break;
     }
@@ -747,6 +875,18 @@ Result<ServiceResponse> ParseServiceResponse(const std::string& line) {
       response.stats.cancelled = root->at("cancelled").AsUint();
       response.stats.deadline_expired = root->at("deadline_expired").AsUint();
       response.stats.queue_depth = root->at("queue_depth").AsUint();
+      if (root->Has("queued_weight")) {
+        response.stats.queued_weight = root->at("queued_weight").AsDouble();
+        response.stats.max_queue_weight = root->at("max_queue_weight").AsDouble();
+      }
+      if (root->Has("deployments")) {
+        for (const JsonValue& name : root->at("deployments").AsArray()) {
+          response.stats.deployments.push_back(name.AsString());
+        }
+        response.stats.registered_deployments =
+            root->at("registered_deployments").AsUint();
+        response.stats.derived_deployments = root->at("derived_deployments").AsUint();
+      }
       if (root->Has("timed_requests")) {
         response.stats.timed_requests = root->at("timed_requests").AsUint();
       }

@@ -1,4 +1,4 @@
-// Maya-as-a-service wire protocol: newline-delimited JSON request/response
+// Maya-as-a-service wire protocol v2: newline-delimited JSON request/response
 // messages (one object per line) over any byte stream — stdio for the
 // `maya_serve` tool, an in-process loopback for tests and benches.
 //
@@ -7,25 +7,37 @@
 // optional `deadline_ms` bounds queue wait + execution; expired requests are
 // answered with DEADLINE_EXCEEDED instead of running stale what-ifs.
 //
-// Request kinds:
-//   predict        — full pipeline run for (model, config); reports iteration
-//                    time, MFU, per-stage timings, estimate-cache hit rate.
-//   search         — Maya-Search over the Table-5 Megatron space for `model`.
-//   whatif_oom     — feasibility probe: does (model, config) fit device
-//                    memory? Reports OOM verdict + peak memory when it fits.
-//   whatif_cluster — predict (model, config) on a different named cluster
-//                    (e.g. "h100x32") sharing the engine's trained
-//                    estimators — the paper's cross-deployment what-if.
-//   trace_predict  — skip emulation: annotate + simulate a pre-collated
-//                    JobTrace supplied in the request payload.
-//   stats          — engine counters and cache statistics.
-//   cancel         — best-effort cancellation of a queued request by id.
+// Scenario model: a request is an envelope (id, deadline) plus exactly one
+// typed payload held in a std::variant — no union-struct whose meaning
+// depends on `kind`. Every compute payload carries an optional `deployment`
+// name targeting an entry of the engine's DeploymentRegistry, which is how
+// cross-deployment what-ifs work: "predict on h100x32" is just a predict
+// targeted at another deployment, not a special request kind.
+//
+// Payloads:
+//   PredictPayload      — full pipeline run for (model, config); reports
+//                         iteration time, MFU, per-stage timings, cache hits.
+//   BatchPredictPayload — one model, many configs evaluated under a single
+//                         queue slot; per-item reports, bit-identical to the
+//                         same predicts issued sequentially.
+//   SearchPayload       — Maya-Search over the Table-5 Megatron space.
+//   WhatIfOomPayload    — feasibility probe: does (model, config) fit device
+//                         memory? OOM verdict + peak memory when it fits.
+//   TracePredictPayload — skip emulation: annotate + simulate a pre-collated
+//                         JobTrace supplied in the request payload.
+//   StatsPayload        — engine counters and cache statistics.
+//   CancelPayload       — best-effort cancellation of a queued request by id.
+//
+// v1 compatibility: the retired `whatif_cluster` kind still parses — it maps
+// to a PredictPayload whose `deployment` is the old `cluster` field — but is
+// never emitted; v2 responses answer it under kind "predict".
 #ifndef SRC_SERVICE_PROTOCOL_H_
 #define SRC_SERVICE_PROTOCOL_H_
 
 #include <cstdint>
-#include <optional>
 #include <string>
+#include <variant>
+#include <vector>
 
 #include "src/common/json_parser.h"
 #include "src/common/json_writer.h"
@@ -37,11 +49,12 @@
 
 namespace maya {
 
+// Values index the ServicePayload variant: keep both in the same order.
 enum class ServiceRequestKind {
   kPredict,
+  kBatchPredict,
   kSearch,
   kWhatIfOom,
-  kWhatIfCluster,
   kTracePredict,
   kStats,
   kCancel,
@@ -50,31 +63,63 @@ enum class ServiceRequestKind {
 const char* ServiceRequestKindName(ServiceRequestKind kind);
 Result<ServiceRequestKind> ServiceRequestKindFromName(const std::string& name);
 
-struct ServiceRequest {
-  uint64_t id = 0;
-  ServiceRequestKind kind = ServiceRequestKind::kPredict;
-  // Wall-clock budget from receipt to completion; 0 = no deadline.
-  double deadline_ms = 0.0;
-
-  // predict / search / whatif_* payload.
+struct PredictPayload {
   ModelConfig model;
   TrainConfig config;
   bool deduplicate_workers = true;
   bool selective_launch = false;
+  // Target deployment name ("h100x32", "v100x16", or a registered name);
+  // empty answers on the engine's default deployment.
+  std::string deployment;
+};
 
-  // search payload (the space is the Megatron Table-5 grid for `model`;
-  // global_batch 0 selects the paper default for the model).
+struct BatchPredictPayload {
+  ModelConfig model;
+  std::vector<TrainConfig> configs;
+  bool deduplicate_workers = true;
+  bool selective_launch = false;
+  std::string deployment;
+};
+
+struct SearchPayload {
+  ModelConfig model;
+  // The space is the Megatron Table-5 grid for `model`; global_batch 0
+  // selects the paper default for the model.
   SearchOptions search;
   int64_t global_batch = 0;
+  std::string deployment;
+};
 
-  // whatif_cluster payload: target cluster name ("h100x32", "v100x16", "a40").
-  std::string cluster_name;
+struct WhatIfOomPayload {
+  ModelConfig model;
+  TrainConfig config;
+  bool deduplicate_workers = true;
+  bool selective_launch = false;
+  std::string deployment;
+};
 
-  // trace_predict payload.
-  std::optional<JobTrace> trace;
+struct TracePredictPayload {
+  JobTrace trace;
+  std::string deployment;
+};
 
-  // cancel payload.
+struct StatsPayload {};
+
+struct CancelPayload {
   uint64_t target_id = 0;
+};
+
+using ServicePayload =
+    std::variant<PredictPayload, BatchPredictPayload, SearchPayload, WhatIfOomPayload,
+                 TracePredictPayload, StatsPayload, CancelPayload>;
+
+struct ServiceRequest {
+  uint64_t id = 0;
+  // Wall-clock budget from receipt to completion; 0 = no deadline.
+  double deadline_ms = 0.0;
+  ServicePayload payload = PredictPayload{};
+
+  ServiceRequestKind kind() const { return static_cast<ServiceRequestKind>(payload.index()); }
 };
 
 // Machine-readable failure classes (the `error_code` response field).
@@ -84,6 +129,19 @@ inline constexpr const char* kErrCancelled = "CANCELLED";
 inline constexpr const char* kErrShuttingDown = "SHUTTING_DOWN";
 inline constexpr const char* kErrInvalidRequest = "INVALID_REQUEST";
 
+// One prediction outcome — the body of a predict-like response and of every
+// batch_predict item.
+struct PredictResult {
+  bool oom = false;
+  std::string oom_detail;
+  double iteration_time_us = 0.0;
+  double mfu = 0.0;
+  uint64_t peak_memory_bytes = 0;
+  StageTimings timings;
+  EstimationStats estimation;
+  bool trace_cache_hit = false;
+};
+
 // Engine-level counters reported by `stats` responses.
 struct ServiceStats {
   uint64_t submitted = 0;
@@ -92,6 +150,15 @@ struct ServiceStats {
   uint64_t cancelled = 0;
   uint64_t deadline_expired = 0;
   uint64_t queue_depth = 0;
+  // Admission-control load: summed per-kind weight of queued requests and
+  // the engine's configured bound (see ServiceEngineOptions::weights).
+  double queued_weight = 0.0;
+  double max_queue_weight = 0.0;
+  // Deployment names currently resident in the registry (registered first,
+  // then derived what-if targets), and how many of each.
+  std::vector<std::string> deployments;
+  uint64_t registered_deployments = 0;
+  uint64_t derived_deployments = 0;
   // Cumulative emulator/collator/estimator/simulator wall-ms across executed
   // requests (predict-like reports + per-trial search totals): makes the
   // Fig. 13 stage split — and dedup / parallel-emulation wins — observable
@@ -110,7 +177,7 @@ struct ServiceResponse {
   std::string error;
   std::string error_code;
 
-  // predict / whatif_* / trace_predict results.
+  // predict / whatif_oom / trace_predict results.
   bool oom = false;
   std::string oom_detail;
   double iteration_time_us = 0.0;
@@ -119,6 +186,9 @@ struct ServiceResponse {
   StageTimings timings;
   EstimationStats estimation;
   bool trace_cache_hit = false;
+
+  // batch_predict results: one entry per requested config, in order.
+  std::vector<PredictResult> batch;
 
   // search results.
   bool found = false;
@@ -138,6 +208,12 @@ struct ServiceResponse {
   bool cancel_found = false;
 };
 
+// Copies one prediction outcome into a response's single-result fields (the
+// inverse of how predict-like responses serialize). Shared by the engine and
+// the response codec so the field list lives in one place.
+void AssignPredictResult(ServiceResponse& response, const PredictResult& result);
+PredictResult SinglePredictResult(const ServiceResponse& response);
+
 // One NDJSON line (no trailing newline); the transport appends '\n'.
 std::string SerializeServiceRequest(const ServiceRequest& request);
 Result<ServiceRequest> ParseServiceRequest(const std::string& line);
@@ -151,9 +227,6 @@ void WriteTrainConfig(JsonWriter& w, const TrainConfig& config);
 Result<TrainConfig> ParseTrainConfig(const JsonValue& value);
 void WriteClusterSpec(JsonWriter& w, const ClusterSpec& cluster);
 Result<ClusterSpec> ParseClusterSpec(const JsonValue& value);
-
-// Named evaluation clusters: "h100x<gpus>", "v100x<gpus>", "a40".
-Result<ClusterSpec> ClusterSpecByName(const std::string& name);
 
 }  // namespace maya
 

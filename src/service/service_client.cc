@@ -36,31 +36,36 @@ Result<ServiceResponse> ServiceClient::Call(ServiceRequest request) {
 }
 
 Result<ServiceResponse> ServiceClient::Predict(const ModelConfig& model,
-                                               const TrainConfig& config) {
+                                               const TrainConfig& config,
+                                               const std::string& deployment) {
   ServiceRequest request;
-  request.kind = ServiceRequestKind::kPredict;
-  request.model = model;
-  request.config = config;
+  PredictPayload payload;
+  payload.model = model;
+  payload.config = config;
+  payload.deployment = deployment;
+  request.payload = std::move(payload);
+  return Call(std::move(request));
+}
+
+Result<ServiceResponse> ServiceClient::BatchPredict(const ModelConfig& model,
+                                                    const std::vector<TrainConfig>& configs,
+                                                    const std::string& deployment) {
+  ServiceRequest request;
+  BatchPredictPayload payload;
+  payload.model = model;
+  payload.configs = configs;
+  payload.deployment = deployment;
+  request.payload = std::move(payload);
   return Call(std::move(request));
 }
 
 Result<ServiceResponse> ServiceClient::CheckOom(const ModelConfig& model,
                                                 const TrainConfig& config) {
   ServiceRequest request;
-  request.kind = ServiceRequestKind::kWhatIfOom;
-  request.model = model;
-  request.config = config;
-  return Call(std::move(request));
-}
-
-Result<ServiceResponse> ServiceClient::PredictOnCluster(const ModelConfig& model,
-                                                        const TrainConfig& config,
-                                                        const std::string& cluster_name) {
-  ServiceRequest request;
-  request.kind = ServiceRequestKind::kWhatIfCluster;
-  request.model = model;
-  request.config = config;
-  request.cluster_name = cluster_name;
+  WhatIfOomPayload payload;
+  payload.model = model;
+  payload.config = config;
+  request.payload = std::move(payload);
   return Call(std::move(request));
 }
 
@@ -68,16 +73,17 @@ Result<ServiceResponse> ServiceClient::Search(const ModelConfig& model,
                                               const SearchOptions& options,
                                               int64_t global_batch) {
   ServiceRequest request;
-  request.kind = ServiceRequestKind::kSearch;
-  request.model = model;
-  request.search = options;
-  request.global_batch = global_batch;
+  SearchPayload payload;
+  payload.model = model;
+  payload.search = options;
+  payload.global_batch = global_batch;
+  request.payload = std::move(payload);
   return Call(std::move(request));
 }
 
 Result<ServiceResponse> ServiceClient::Stats() {
   ServiceRequest request;
-  request.kind = ServiceRequestKind::kStats;
+  request.payload = StatsPayload{};
   return Call(std::move(request));
 }
 

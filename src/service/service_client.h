@@ -10,6 +10,7 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/service/protocol.h"
 #include "src/service/service_engine.h"
@@ -43,11 +44,15 @@ class ServiceClient {
   // and checks the response id matches.
   Result<ServiceResponse> Call(ServiceRequest request);
 
-  // Convenience wrappers for the common request shapes.
-  Result<ServiceResponse> Predict(const ModelConfig& model, const TrainConfig& config);
+  // Convenience wrappers for the common request shapes. `deployment` targets
+  // a named deployment of the engine's registry ("h100x32", a registered
+  // name); empty answers on the engine's default deployment.
+  Result<ServiceResponse> Predict(const ModelConfig& model, const TrainConfig& config,
+                                  const std::string& deployment = "");
+  Result<ServiceResponse> BatchPredict(const ModelConfig& model,
+                                       const std::vector<TrainConfig>& configs,
+                                       const std::string& deployment = "");
   Result<ServiceResponse> CheckOom(const ModelConfig& model, const TrainConfig& config);
-  Result<ServiceResponse> PredictOnCluster(const ModelConfig& model, const TrainConfig& config,
-                                           const std::string& cluster_name);
   Result<ServiceResponse> Search(const ModelConfig& model, const SearchOptions& options,
                                  int64_t global_batch = 0);
   Result<ServiceResponse> Stats();

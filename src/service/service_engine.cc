@@ -6,16 +6,27 @@
 #include "src/common/strings.h"
 #include "src/models/model_zoo.h"
 #include "src/search/config_space.h"
+#include "src/service/artifact_store.h"
 
 namespace maya {
+namespace {
+
+DeploymentRegistryOptions RegistryOptionsFor(const ServiceEngineOptions& options) {
+  DeploymentRegistryOptions registry;
+  registry.max_derived = options.max_derived_deployments;
+  registry.pipeline = options.pipeline;
+  return registry;
+}
+
+}  // namespace
 
 ServiceEngine::ServiceEngine(const ClusterSpec& cluster, EstimatorBank bank,
                              ServiceEngineOptions options)
-    : cluster_(cluster),
-      bank_(std::move(bank)),
-      kernel_estimator_(bank_.kernel.get()),
-      collective_estimator_(bank_.collective.get()),
-      options_(options) {
+    : options_(std::move(options)), registry_(RegistryOptionsFor(options_)) {
+  Result<std::shared_ptr<const Deployment>> registered =
+      registry_.Register(kDefaultDeploymentName, cluster, std::move(bank));
+  CHECK(registered.ok()) << registered.status().ToString();
+  default_deployment_ = *std::move(registered);
   Start();
 }
 
@@ -23,21 +34,18 @@ ServiceEngine::ServiceEngine(const ClusterSpec& cluster,
                              const KernelRuntimeEstimator* kernel_estimator,
                              const CollectiveEstimator* collective_estimator,
                              ServiceEngineOptions options)
-    : cluster_(cluster),
-      kernel_estimator_(kernel_estimator),
-      collective_estimator_(collective_estimator),
-      options_(options) {
+    : options_(std::move(options)), registry_(RegistryOptionsFor(options_)) {
+  Result<std::shared_ptr<const Deployment>> registered = registry_.RegisterBorrowed(
+      kDefaultDeploymentName, cluster, kernel_estimator, collective_estimator);
+  CHECK(registered.ok()) << registered.status().ToString();
+  default_deployment_ = *std::move(registered);
   Start();
 }
 
 void ServiceEngine::Start() {
-  CHECK(kernel_estimator_ != nullptr);
-  CHECK(collective_estimator_ != nullptr);
   // A zero bound would reject every request; a service with no queue is a
   // misconfiguration, not a mode.
-  options_.max_queue_depth = std::max<size_t>(1, options_.max_queue_depth);
-  pipeline_ = std::make_unique<MayaPipeline>(cluster_, kernel_estimator_, collective_estimator_,
-                                             options_.pipeline);
+  options_.max_queue_weight = std::max(1.0, options_.max_queue_weight);
   paused_ = options_.start_paused;
   const int workers = std::max(1, options_.worker_threads);
   workers_.reserve(static_cast<size_t>(workers));
@@ -46,16 +54,59 @@ void ServiceEngine::Start() {
   }
 }
 
+Result<std::shared_ptr<const Deployment>> ServiceEngine::AddDeployment(
+    const std::string& name, const ClusterSpec& cluster, EstimatorBank bank) {
+  return registry_.Register(name, cluster, std::move(bank));
+}
+
 Result<std::unique_ptr<ServiceEngine>> ServiceEngine::FromArtifacts(
     const ClusterSpec& cluster, const ArtifactStore& store, ServiceEngineOptions options) {
-  Result<EstimatorBank> bank = store.LoadEstimators(cluster);
-  if (!bank.ok()) {
-    return bank.status();
+  Result<std::vector<LoadedDeployment>> loaded = store.LoadDeployments();
+  if (!loaded.ok()) {
+    return loaded.status();
   }
-  auto engine = std::make_unique<ServiceEngine>(cluster, *std::move(bank), options);
-  Result<uint64_t> imported = store.WarmPipeline(engine->pipeline());
+  // The requested cluster selects the default deployment.
+  const std::string expected = ArtifactStore::ClusterSignature(cluster);
+  auto default_it = loaded->end();
+  for (auto it = loaded->begin(); it != loaded->end(); ++it) {
+    if (ArtifactStore::ClusterSignature(it->cluster) == expected) {
+      default_it = it;
+      break;
+    }
+  }
+  if (default_it == loaded->end()) {
+    return Status::FailedPrecondition("artifact bundle holds no deployment for cluster " +
+                                      cluster.ToString());
+  }
+  auto engine = std::make_unique<ServiceEngine>(cluster, std::move(default_it->bank), options);
+  Result<uint64_t> imported = store.WarmPipeline(default_it->name, engine->pipeline());
   if (!imported.ok()) {
     return imported.status();
+  }
+  for (auto it = loaded->begin(); it != loaded->end(); ++it) {
+    if (it == default_it) {
+      continue;
+    }
+    // The chosen default was registered under kDefaultDeploymentName, so a
+    // bundle entry carrying that name (the saving engine's own default, when
+    // a different cluster was selected here) would collide — keep it
+    // addressable under a distinct name instead of failing the warm start.
+    std::string name = it->name;
+    int suffix = 2;
+    while (engine->registry().IsResident(name)) {
+      name = it->name + "@bundle" + (suffix > 2 ? std::to_string(suffix) : "");
+      ++suffix;
+    }
+    Result<std::shared_ptr<const Deployment>> added =
+        engine->AddDeployment(name, it->cluster, std::move(it->bank));
+    if (!added.ok()) {
+      return added.status();
+    }
+    // Cache files are keyed by the SAVED name in the manifest.
+    Result<uint64_t> warmed = store.WarmPipeline(it->name, *(*added)->pipeline);
+    if (!warmed.ok()) {
+      return warmed.status();
+    }
   }
   return engine;
 }
@@ -90,11 +141,35 @@ ServiceResponse ServiceEngine::ErrorResponse(const ServiceRequest& request, cons
                                              std::string message) {
   ServiceResponse response;
   response.id = request.id;
-  response.kind = request.kind;
+  response.kind = request.kind();
   response.ok = false;
   response.error_code = code;
   response.error = std::move(message);
   return response;
+}
+
+double ServiceEngine::WeightOf(const ServiceRequest& request) const {
+  const RequestWeights& weights = options_.weights;
+  switch (request.kind()) {
+    case ServiceRequestKind::kPredict:
+      return weights.predict;
+    case ServiceRequestKind::kBatchPredict: {
+      const auto& payload = std::get<BatchPredictPayload>(request.payload);
+      // An empty batch still occupies one queue slot's worth of bookkeeping.
+      return weights.batch_predict_item *
+             static_cast<double>(std::max<size_t>(1, payload.configs.size()));
+    }
+    case ServiceRequestKind::kSearch:
+      return weights.search;
+    case ServiceRequestKind::kWhatIfOom:
+      return weights.whatif_oom;
+    case ServiceRequestKind::kTracePredict:
+      return weights.trace_predict;
+    case ServiceRequestKind::kStats:
+    case ServiceRequestKind::kCancel:
+      return 0.0;  // control kinds never queue
+  }
+  return 0.0;
 }
 
 std::future<ServiceResponse> ServiceEngine::Submit(ServiceRequest request) {
@@ -104,22 +179,22 @@ std::future<ServiceResponse> ServiceEngine::Submit(ServiceRequest request) {
 
   // Control kinds answer synchronously: they read or mutate engine state and
   // must not queue behind compute work.
-  if (request.kind == ServiceRequestKind::kStats) {
+  if (request.kind() == ServiceRequestKind::kStats) {
     ServiceResponse response;
     response.id = request.id;
-    response.kind = request.kind;
+    response.kind = request.kind();
     response.ok = true;
     response.stats = stats();
     completed_.fetch_add(1, std::memory_order_relaxed);
     immediate.set_value(std::move(response));
     return immediate_future;
   }
-  if (request.kind == ServiceRequestKind::kCancel) {
+  if (request.kind() == ServiceRequestKind::kCancel) {
     ServiceResponse response;
     response.id = request.id;
-    response.kind = request.kind;
+    response.kind = request.kind();
     response.ok = true;
-    response.cancel_found = Cancel(request.target_id);
+    response.cancel_found = Cancel(std::get<CancelPayload>(request.payload).target_id);
     completed_.fetch_add(1, std::memory_order_relaxed);
     immediate.set_value(std::move(response));
     return immediate_future;
@@ -127,6 +202,7 @@ std::future<ServiceResponse> ServiceEngine::Submit(ServiceRequest request) {
 
   auto job = std::make_shared<Job>();
   job->request = std::move(request);
+  job->weight = WeightOf(job->request);
   job->deadline = job->request.deadline_ms > 0.0
                       ? std::chrono::steady_clock::now() +
                             std::chrono::duration_cast<std::chrono::steady_clock::duration>(
@@ -142,13 +218,20 @@ std::future<ServiceResponse> ServiceEngine::Submit(ServiceRequest request) {
           ErrorResponse(job->request, kErrShuttingDown, "engine is shutting down"));
       return future;
     }
-    if (queue_.size() >= options_.max_queue_depth) {
+    // Weighted admission: the queue admits while summed weight stays under
+    // the bound. An empty queue admits anything — otherwise one request
+    // heavier than the whole bound (a search against a small bound) could
+    // never be served.
+    if (!queue_.empty() && queued_weight_ + job->weight > options_.max_queue_weight) {
       rejected_.fetch_add(1, std::memory_order_relaxed);
       job->promise.set_value(ErrorResponse(
           job->request, kErrQueueFull,
-          StrFormat("queue depth %zu at bound %zu", queue_.size(), options_.max_queue_depth)));
+          StrFormat("queued weight %.1f + %.1f (%s) exceeds bound %.1f", queued_weight_,
+                    job->weight, ServiceRequestKindName(job->request.kind()),
+                    options_.max_queue_weight)));
       return future;
     }
+    queued_weight_ += job->weight;
     queue_.push_back(std::move(job));
   }
   queue_cv_.notify_one();
@@ -163,6 +246,7 @@ bool ServiceEngine::Cancel(uint64_t id) {
       if ((*it)->request.id == id) {
         victim = *it;
         queue_.erase(it);
+        queued_weight_ -= victim->weight;
         break;
       }
     }
@@ -189,6 +273,7 @@ void ServiceEngine::WorkerLoop() {
       }
       job = std::move(queue_.front());
       queue_.pop_front();
+      queued_weight_ -= job->weight;
     }
     if (std::chrono::steady_clock::now() > job->deadline) {
       deadline_expired_.fetch_add(1, std::memory_order_relaxed);
@@ -204,32 +289,90 @@ void ServiceEngine::WorkerLoop() {
   }
 }
 
-ServiceResponse ServiceEngine::ExecutePredictLike(const ServiceRequest& request,
-                                                  const MayaPipeline& pipeline) const {
+Result<std::shared_ptr<const Deployment>> ServiceEngine::ResolveDeployment(
+    const std::string& name) const {
+  if (name.empty() || name == default_deployment_->name) {
+    return default_deployment_;
+  }
+  return registry_.Resolve(name);
+}
+
+Result<PredictResult> ServiceEngine::RunPredict(const Deployment& deployment,
+                                                const ModelConfig& model,
+                                                const TrainConfig& config,
+                                                bool deduplicate_workers,
+                                                bool selective_launch) const {
   PredictionRequest predict;
-  predict.model = request.model;
-  predict.config = request.config;
-  predict.deduplicate_workers = request.deduplicate_workers;
-  predict.selective_launch = request.selective_launch;
-  Result<PredictionReport> report = pipeline.Predict(predict);
+  predict.model = model;
+  predict.config = config;
+  predict.deduplicate_workers = deduplicate_workers;
+  predict.selective_launch = selective_launch;
+  Result<PredictionReport> report = deployment.pipeline->Predict(predict);
   if (!report.ok()) {
-    return ErrorResponse(request, kErrInvalidRequest, report.status().ToString());
+    return report.status();
+  }
+  PredictResult result;
+  result.oom = report->oom;
+  result.oom_detail = report->oom_detail;
+  if (!report->oom) {
+    result.iteration_time_us = report->iteration_time_us;
+    result.mfu = report->mfu;
+    result.peak_memory_bytes = report->sim.peak_memory_bytes;
+  }
+  result.timings = report->timings;
+  result.estimation = report->estimation;
+  result.trace_cache_hit = report->trace_cache_hit;
+  AccumulateStageTimings(report->timings);
+  return result;
+}
+
+template <typename Payload>
+ServiceResponse ServiceEngine::ExecutePredictLike(const ServiceRequest& request,
+                                                  const Payload& payload) const {
+  Result<std::shared_ptr<const Deployment>> deployment = ResolveDeployment(payload.deployment);
+  if (!deployment.ok()) {
+    return ErrorResponse(request, kErrInvalidRequest, deployment.status().ToString());
+  }
+  Result<PredictResult> result = RunPredict(**deployment, payload.model, payload.config,
+                                            payload.deduplicate_workers,
+                                            payload.selective_launch);
+  if (!result.ok()) {
+    return ErrorResponse(request, kErrInvalidRequest, result.status().ToString());
   }
   ServiceResponse response;
   response.id = request.id;
-  response.kind = request.kind;
+  response.kind = request.kind();
   response.ok = true;
-  response.oom = report->oom;
-  response.oom_detail = report->oom_detail;
-  if (!report->oom) {
-    response.iteration_time_us = report->iteration_time_us;
-    response.mfu = report->mfu;
-    response.peak_memory_bytes = report->sim.peak_memory_bytes;
+  AssignPredictResult(response, *result);
+  return response;
+}
+
+ServiceResponse ServiceEngine::ExecuteBatchPredict(const ServiceRequest& request,
+                                                   const BatchPredictPayload& payload) const {
+  Result<std::shared_ptr<const Deployment>> deployment = ResolveDeployment(payload.deployment);
+  if (!deployment.ok()) {
+    return ErrorResponse(request, kErrInvalidRequest, deployment.status().ToString());
   }
-  response.timings = report->timings;
-  response.estimation = report->estimation;
-  response.trace_cache_hit = report->trace_cache_hit;
-  AccumulateStageTimings(report->timings);
+  ServiceResponse response;
+  response.id = request.id;
+  response.kind = request.kind();
+  response.batch.reserve(payload.configs.size());
+  // Items run sequentially against the one resolved pipeline, so the batch
+  // is bit-identical to the same predicts issued as N sequential requests
+  // (asserted in tests) — the batch buys one queue slot and one resolve, not
+  // a different execution semantics.
+  for (const TrainConfig& config : payload.configs) {
+    Result<PredictResult> result =
+        RunPredict(**deployment, payload.model, config, payload.deduplicate_workers,
+                   payload.selective_launch);
+    if (!result.ok()) {
+      return ErrorResponse(
+          request, kErrInvalidRequest,
+          StrFormat("batch item %zu: ", response.batch.size()) + result.status().ToString());
+    }
+    response.batch.push_back(*std::move(result));
+  }
+  response.ok = true;
   return response;
 }
 
@@ -242,14 +385,20 @@ void ServiceEngine::AccumulateStageTimings(const StageTimings& timings) const {
   ++timed_requests_;
 }
 
-ServiceResponse ServiceEngine::ExecuteSearch(const ServiceRequest& request) const {
+ServiceResponse ServiceEngine::ExecuteSearch(const ServiceRequest& request,
+                                             const SearchPayload& payload) const {
+  Result<std::shared_ptr<const Deployment>> deployment = ResolveDeployment(payload.deployment);
+  if (!deployment.ok()) {
+    return ErrorResponse(request, kErrInvalidRequest, deployment.status().ToString());
+  }
   const int64_t global_batch =
-      request.global_batch > 0 ? request.global_batch : DefaultGlobalBatch(request.model);
+      payload.global_batch > 0 ? payload.global_batch : DefaultGlobalBatch(payload.model);
   const ConfigSpace space = ConfigSpace::MegatronTable5(global_batch);
-  const SearchOutcome outcome = RunSearch(*pipeline_, request.model, space, request.search);
+  const SearchOutcome outcome =
+      RunSearch(*(*deployment)->pipeline, payload.model, space, payload.search);
   ServiceResponse response;
   response.id = request.id;
-  response.kind = request.kind;
+  response.kind = request.kind();
   response.ok = true;
   response.found = outcome.found;
   response.best_config = outcome.best_config;
@@ -266,18 +415,19 @@ ServiceResponse ServiceEngine::ExecuteSearch(const ServiceRequest& request) cons
   return response;
 }
 
-ServiceResponse ServiceEngine::ExecuteTracePredict(const ServiceRequest& request) const {
-  if (!request.trace.has_value()) {
-    return ErrorResponse(request, kErrInvalidRequest,
-                         "trace_predict request carries no trace");
+ServiceResponse ServiceEngine::ExecuteTracePredict(const ServiceRequest& request,
+                                                   const TracePredictPayload& payload) const {
+  Result<std::shared_ptr<const Deployment>> deployment = ResolveDeployment(payload.deployment);
+  if (!deployment.ok()) {
+    return ErrorResponse(request, kErrInvalidRequest, deployment.status().ToString());
   }
   // The trace arrives pre-collated: run stages 3+4 only.
-  JobTrace job = *request.trace;
+  JobTrace job = payload.trace;
   ServiceResponse response;
   response.id = request.id;
-  response.kind = request.kind;
-  response.estimation = pipeline_->AnnotateDurations(job, nullptr);
-  Simulator simulator(job, cluster_, SimOptions{});
+  response.kind = request.kind();
+  response.estimation = (*deployment)->pipeline->AnnotateDurations(job, nullptr);
+  Simulator simulator(job, (*deployment)->cluster, SimOptions{});
   Result<SimReport> sim = simulator.Run();
   if (!sim.ok()) {
     return ErrorResponse(request, kErrInvalidRequest, sim.status().ToString());
@@ -290,57 +440,22 @@ ServiceResponse ServiceEngine::ExecuteTracePredict(const ServiceRequest& request
   return response;
 }
 
-Result<std::shared_ptr<const MayaPipeline>> ServiceEngine::PipelineForCluster(
-    const std::string& name) const {
-  std::lock_guard<std::mutex> lock(whatif_mutex_);
-  auto it = whatif_pipelines_.find(name);
-  if (it != whatif_pipelines_.end()) {
-    return it->second;
-  }
-  Result<ClusterSpec> cluster = ClusterSpecByName(name);
-  if (!cluster.ok()) {
-    return cluster.status();
-  }
-  if (cluster->gpu.arch != cluster_.gpu.arch) {
-    return Status::FailedPrecondition(
-        "what-if cluster '" + name + "' uses a different GPU architecture (" +
-        GpuArchName(cluster->gpu.arch) + ") than the engine's estimators (" +
-        GpuArchName(cluster_.gpu.arch) + "); kernel forests do not transfer across archs");
-  }
-  // Bound the cache: cluster names are client-supplied, so evict arbitrarily
-  // beyond the cap (executing requests keep their pipeline alive via the
-  // shared_ptr; a re-requested evicted cluster is simply rebuilt).
-  constexpr size_t kMaxWhatIfPipelines = 8;
-  if (whatif_pipelines_.size() >= kMaxWhatIfPipelines) {
-    whatif_pipelines_.erase(whatif_pipelines_.begin());
-  }
-  auto pipeline = std::make_shared<const MayaPipeline>(*cluster, kernel_estimator_,
-                                                       collective_estimator_, options_.pipeline);
-  whatif_pipelines_.emplace(name, pipeline);
-  return pipeline;
-}
-
 ServiceResponse ServiceEngine::Execute(const ServiceRequest& request) const {
-  switch (request.kind) {
+  switch (request.kind()) {
     case ServiceRequestKind::kPredict:
+      return ExecutePredictLike(request, std::get<PredictPayload>(request.payload));
     case ServiceRequestKind::kWhatIfOom:
-      return ExecutePredictLike(request, *pipeline_);
-    case ServiceRequestKind::kWhatIfCluster: {
-      Result<std::shared_ptr<const MayaPipeline>> pipeline =
-          PipelineForCluster(request.cluster_name);
-      if (!pipeline.ok()) {
-        return ErrorResponse(request, kErrInvalidRequest, pipeline.status().ToString());
-      }
-      return ExecutePredictLike(request, **pipeline);
-    }
+      return ExecutePredictLike(request, std::get<WhatIfOomPayload>(request.payload));
+    case ServiceRequestKind::kBatchPredict:
+      return ExecuteBatchPredict(request, std::get<BatchPredictPayload>(request.payload));
     case ServiceRequestKind::kSearch:
-      return ExecuteSearch(request);
+      return ExecuteSearch(request, std::get<SearchPayload>(request.payload));
     case ServiceRequestKind::kTracePredict:
-      return ExecuteTracePredict(request);
+      return ExecuteTracePredict(request, std::get<TracePredictPayload>(request.payload));
     case ServiceRequestKind::kStats: {
       ServiceResponse response;
       response.id = request.id;
-      response.kind = request.kind;
+      response.kind = request.kind();
       response.ok = true;
       response.stats = stats();
       return response;
@@ -362,15 +477,21 @@ ServiceStats ServiceEngine::stats() const {
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     stats.queue_depth = queue_.size();
+    stats.queued_weight = queued_weight_;
   }
+  stats.max_queue_weight = options_.max_queue_weight;
+  stats.deployments = registry_.ResidentNames();
+  stats.registered_deployments = registry_.registered_count();
+  stats.derived_deployments = registry_.derived_count();
   {
     std::lock_guard<std::mutex> lock(timings_mutex_);
     stats.stage_totals = stage_totals_;
     stats.timed_requests = timed_requests_;
   }
-  stats.kernel_cache = pipeline_->KernelCacheStats();
-  stats.collective_cache = pipeline_->CollectiveCacheStats();
-  stats.trace_cache = pipeline_->TraceCacheStats();
+  const MayaPipeline& pipeline = *default_deployment_->pipeline;
+  stats.kernel_cache = pipeline.KernelCacheStats();
+  stats.collective_cache = pipeline.CollectiveCacheStats();
+  stats.trace_cache = pipeline.TraceCacheStats();
   return stats;
 }
 

@@ -1,17 +1,23 @@
-// Multi-tenant prediction service: one warm MayaPipeline (trained estimators
-// + sharded estimate caches) behind a bounded job queue and a worker pool, so
-// many callers share the cost of training and cache warm-up instead of each
-// paying cold-start (§5's many-what-ifs-per-estimator usage pattern at
-// service scale).
+// Multi-tenant prediction service over a fleet of deployments: a
+// DeploymentRegistry of warm pipelines (per-arch trained estimator banks +
+// sharded estimate caches) behind a weighted, bounded job queue and a worker
+// pool, so many callers share the cost of training and cache warm-up instead
+// of each paying cold-start (§5's many-what-ifs-per-estimator usage pattern
+// at service scale — across every registered architecture, not just the
+// cluster the engine was trained on).
 //
 // Concurrency model: Submit() enqueues and returns a future; worker threads
-// drain the queue and execute requests against the shared pipeline (whose
-// Predict is thread-safe and whose caches are lock-striped). Backpressure is
-// a hard queue bound — beyond it Submit answers QUEUE_FULL immediately rather
-// than building unbounded latency. Per-request deadlines are re-checked at
-// dequeue, so requests that aged out in the queue never burn worker time.
-// Queued requests can be cancelled by id; executing requests run to
-// completion (pipeline stages are short relative to queue waits).
+// drain the queue and execute requests against the shared pipelines (Predict
+// is thread-safe; caches are lock-striped). Backpressure is weighted
+// admission control: every compute kind carries a weight (search occupies a
+// worker for seconds, a predict for milliseconds), the queue admits work
+// while the summed weight stays under the bound, and an over-bound request
+// is answered QUEUE_FULL immediately rather than building unbounded latency.
+// An over-weight request still admits when the queue is idle — otherwise a
+// small bound could never serve a search at all. Per-request deadlines are
+// re-checked at dequeue, so requests that aged out in the queue never burn
+// worker time. Queued requests can be cancelled by id; executing requests
+// run to completion (pipeline stages are short relative to queue waits).
 #ifndef SRC_SERVICE_SERVICE_ENGINE_H_
 #define SRC_SERVICE_SERVICE_ENGINE_H_
 
@@ -20,24 +26,43 @@
 #include <condition_variable>
 #include <deque>
 #include <future>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/core/deployment_registry.h"
 #include "src/core/estimator_bank.h"
 #include "src/core/pipeline.h"
-#include "src/service/artifact_store.h"
 #include "src/service/protocol.h"
 
 namespace maya {
 
+class ArtifactStore;
+
+// Admission-control weights: how much of the queue bound one queued request
+// of each kind occupies. Ratios should track execution cost (search runs
+// thousands of trials; a predict runs one).
+struct RequestWeights {
+  double predict = 1.0;
+  // Per config in the batch: a 10-config batch_predict weighs 10 predicts.
+  double batch_predict_item = 1.0;
+  double whatif_oom = 1.0;
+  double trace_predict = 1.0;
+  double search = 16.0;
+};
+
 struct ServiceEngineOptions {
   int worker_threads = 4;
-  size_t max_queue_depth = 64;
+  // Queue bound in summed request weight (NOT a raw request count).
+  double max_queue_weight = 64.0;
+  RequestWeights weights;
+  // Pipeline knobs — including the shared ExecutionContext whose single pool
+  // both the emulation and estimation stages (of every deployment) borrow.
   MayaPipelineOptions pipeline;
+  // Bound on derived what-if deployments resident at once (LRU-evicted).
+  size_t max_derived_deployments = 8;
   // Construct with the queue paused (workers idle until Resume()) — lets
   // tests and staged startups fill the queue deterministically.
   bool start_paused = false;
@@ -45,16 +70,18 @@ struct ServiceEngineOptions {
 
 class ServiceEngine {
  public:
-  // Takes ownership of the trained bank; the pipeline is built over it.
+  // Takes ownership of the trained bank; it becomes the default deployment.
   ServiceEngine(const ClusterSpec& cluster, EstimatorBank bank,
                 ServiceEngineOptions options = {});
   // Borrowed-estimator variant (estimators must outlive the engine) — for
   // callers that already own a trained bank (benches, test fixtures).
-  // bank() is empty on engines built this way.
   ServiceEngine(const ClusterSpec& cluster, const KernelRuntimeEstimator* kernel_estimator,
                 const CollectiveEstimator* collective_estimator,
                 ServiceEngineOptions options = {});
-  // Warm start: estimators and estimate caches loaded from a bundle.
+  // Warm start from an artifact bundle: v2 bundles restore the whole fleet
+  // (every saved deployment, estimators + estimate caches); v1 bundles
+  // restore a single default deployment. `cluster` selects the default
+  // deployment and must match one of the bundle's clusters.
   static Result<std::unique_ptr<ServiceEngine>> FromArtifacts(
       const ClusterSpec& cluster, const ArtifactStore& store,
       ServiceEngineOptions options = {});
@@ -63,14 +90,21 @@ class ServiceEngine {
   ServiceEngine(const ServiceEngine&) = delete;
   ServiceEngine& operator=(const ServiceEngine&) = delete;
 
-  // Enqueues a compute request (predict / search / whatif_* / trace_predict)
-  // and returns a future for its response. Control kinds (stats, cancel)
-  // resolve synchronously. Rejections (queue full, shutting down) resolve
-  // immediately with ok=false.
+  // Registers an additional pinned deployment with its own per-arch trained
+  // bank, enabling cross-arch what-ifs targeted at `name` (or at any cluster
+  // name of the same arch). Call before serving traffic that targets it.
+  Result<std::shared_ptr<const Deployment>> AddDeployment(const std::string& name,
+                                                          const ClusterSpec& cluster,
+                                                          EstimatorBank bank);
+
+  // Enqueues a compute request (predict / batch_predict / search /
+  // whatif_oom / trace_predict) and returns a future for its response.
+  // Control kinds (stats, cancel) resolve synchronously. Rejections (queue
+  // weight bound, shutting down) resolve immediately with ok=false.
   std::future<ServiceResponse> Submit(ServiceRequest request);
 
   // Executes a request synchronously on the caller's thread against the same
-  // shared pipeline — the sequential reference path for tests, and the
+  // shared deployments — the sequential reference path for tests, and the
   // substrate workers run on.
   ServiceResponse Execute(const ServiceRequest& request) const;
 
@@ -85,52 +119,55 @@ class ServiceEngine {
   void Shutdown();
 
   ServiceStats stats() const;
-  const MayaPipeline& pipeline() const { return *pipeline_; }
-  MayaPipeline& pipeline() { return *pipeline_; }
-  const EstimatorBank& bank() const { return bank_; }
-  const ClusterSpec& cluster() const { return cluster_; }
+  const DeploymentRegistry& registry() const { return registry_; }
+  std::shared_ptr<const Deployment> default_deployment() const { return default_deployment_; }
+  // The default deployment's warm pipeline.
+  const MayaPipeline& pipeline() const { return *default_deployment_->pipeline; }
+  MayaPipeline& pipeline() { return *default_deployment_->pipeline; }
+  const ClusterSpec& cluster() const { return default_deployment_->cluster; }
 
  private:
   struct Job {
     ServiceRequest request;
     std::promise<ServiceResponse> promise;
     std::chrono::steady_clock::time_point deadline;  // max() = none
-    bool cancelled = false;
+    double weight = 0.0;
   };
 
-  // Shared constructor tail: clamps options, builds the pipeline, spawns the
-  // worker pool.
+  // Shared constructor tail: clamps options and spawns the worker pool.
   void Start();
   void WorkerLoop();
+  double WeightOf(const ServiceRequest& request) const;
+  // Resolves the target deployment: empty name = the default deployment;
+  // otherwise registry resolution (registered entries, then derived
+  // same-arch what-if pipelines).
+  Result<std::shared_ptr<const Deployment>> ResolveDeployment(const std::string& name) const;
+  Result<PredictResult> RunPredict(const Deployment& deployment, const ModelConfig& model,
+                                   const TrainConfig& config, bool deduplicate_workers,
+                                   bool selective_launch) const;
+  // Shared executor for predict and whatif_oom (field-identical payloads
+  // with identical execution; only the response kind differs).
+  template <typename Payload>
   ServiceResponse ExecutePredictLike(const ServiceRequest& request,
-                                     const MayaPipeline& pipeline) const;
-  ServiceResponse ExecuteSearch(const ServiceRequest& request) const;
-  ServiceResponse ExecuteTracePredict(const ServiceRequest& request) const;
-  // Lazily builds (and caches) a secondary pipeline for a what-if cluster,
-  // sharing this engine's estimators. Same-arch clusters reuse the kernel
-  // forests directly; unprofiled collective group shapes fall back to the
-  // analytical ring model inside the estimator. The cache is bounded:
-  // cluster names are client-supplied, so an unbounded map would let one
-  // caller grow the server without limit. Shared ownership keeps a pipeline
-  // alive for requests still executing on it after eviction.
-  Result<std::shared_ptr<const MayaPipeline>> PipelineForCluster(const std::string& name) const;
+                                     const Payload& payload) const;
+  ServiceResponse ExecuteBatchPredict(const ServiceRequest& request,
+                                      const BatchPredictPayload& payload) const;
+  ServiceResponse ExecuteSearch(const ServiceRequest& request,
+                                const SearchPayload& payload) const;
+  ServiceResponse ExecuteTracePredict(const ServiceRequest& request,
+                                      const TracePredictPayload& payload) const;
 
   static ServiceResponse ErrorResponse(const ServiceRequest& request, const char* code,
                                        std::string message);
 
-  ClusterSpec cluster_;
-  EstimatorBank bank_;  // empty for borrowed-estimator engines
-  const KernelRuntimeEstimator* kernel_estimator_;
-  const CollectiveEstimator* collective_estimator_;
   ServiceEngineOptions options_;
-  std::unique_ptr<MayaPipeline> pipeline_;
-
-  mutable std::mutex whatif_mutex_;
-  mutable std::map<std::string, std::shared_ptr<const MayaPipeline>> whatif_pipelines_;
+  DeploymentRegistry registry_;
+  std::shared_ptr<const Deployment> default_deployment_;
 
   mutable std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
   std::deque<std::shared_ptr<Job>> queue_;
+  double queued_weight_ = 0.0;
   bool paused_ = false;
   bool shutting_down_ = false;
   std::vector<std::thread> workers_;

@@ -134,7 +134,24 @@ Result<JobTrace> TraceCollator::Collate(std::vector<WorkerTrace> workers) {
   std::map<uint64_t, Group> groups;  // ordered: deterministic output
   std::vector<int> stub_indices;
 
-  // First pass: fingerprint classes.
+  // First pass: fingerprint classes. Fingerprints are pure per-worker hashes,
+  // so with a borrowed pool they compute in parallel; the class map is still
+  // built by the sequential index walk below, so grouping (and therefore the
+  // collated output) is bit-identical to the all-sequential pass.
+  std::vector<uint64_t> fingerprints(workers.size(), 0);
+  size_t full_traces = 0;
+  for (const WorkerTrace& worker : workers) {
+    full_traces += worker.comm_init_only ? 0 : 1;
+  }
+  const bool parallel_fingerprints = options_.deduplicate && options_.pool != nullptr &&
+                                     full_traces >= options_.parallel_fingerprint_threshold;
+  if (parallel_fingerprints) {
+    options_.pool->ParallelFor(workers.size(), [&workers, &fingerprints](size_t i) {
+      if (!workers[i].comm_init_only) {
+        fingerprints[i] = workers[i].Fingerprint();
+      }
+    });
+  }
   std::map<uint64_t, std::vector<int>> classes;  // fingerprint -> worker indices
   for (size_t i = 0; i < workers.size(); ++i) {
     const WorkerTrace& worker = workers[i];
@@ -143,8 +160,9 @@ Result<JobTrace> TraceCollator::Collate(std::vector<WorkerTrace> workers) {
       stub_indices.push_back(static_cast<int>(i));
       continue;
     }
-    const uint64_t key =
-        options_.deduplicate ? worker.Fingerprint() : static_cast<uint64_t>(worker.rank);
+    const uint64_t key = !options_.deduplicate ? static_cast<uint64_t>(worker.rank)
+                         : parallel_fingerprints ? fingerprints[i]
+                                                 : worker.Fingerprint();
     classes[key].push_back(static_cast<int>(i));
   }
 

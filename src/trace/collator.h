@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/common/thread_pool.h"
 #include "src/trace/trace.h"
 
 namespace maya {
@@ -46,6 +47,15 @@ struct JobTrace {
 struct CollationOptions {
   // Dynamic worker deduplication: fold structurally identical workers.
   bool deduplicate = true;
+  // Borrowed pool (normally the pipeline's shared ExecutionContext pool) for
+  // the fingerprint pass: per-worker fingerprints are independent hashes, so
+  // they fan out and are consumed in the original worker order afterwards —
+  // the collated trace is bit-identical to the sequential pass. Null keeps
+  // collation sequential.
+  ThreadPool* pool = nullptr;
+  // Minimum full worker traces before the pool engages (hashing a handful of
+  // small traces is cheaper than the fan-out).
+  size_t parallel_fingerprint_threshold = 4;
 };
 
 struct CollationStats {

@@ -298,5 +298,129 @@ TEST_F(ArtifactStoreTest, MissingBundleReportsNotFound) {
   EXPECT_FALSE(store.LoadEstimators(*cluster_).ok());
 }
 
+// ---- v2 multi-deployment bundles -------------------------------------------
+
+TEST_F(ArtifactStoreTest, V1BundleLoadsAsSingleDefaultDeployment) {
+  const std::string dir = TempBundleDir("bundle_v1_compat");
+  ArtifactStore store(dir);
+  ASSERT_TRUE(store.SaveEstimators(*cluster_, *bank_).ok());
+
+  Result<ArtifactManifest> manifest = store.ReadManifest();
+  ASSERT_TRUE(manifest.ok());
+  EXPECT_EQ(manifest->version, kArtifactBundleVersion);
+  ASSERT_EQ(manifest->deployments.size(), 1u);
+  EXPECT_EQ(manifest->deployments[0].name, kDefaultDeploymentName);
+
+  Result<std::vector<LoadedDeployment>> loaded = store.LoadDeployments();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 1u);
+  EXPECT_EQ((*loaded)[0].name, kDefaultDeploymentName);
+  EXPECT_EQ(ArtifactStore::ClusterSignature((*loaded)[0].cluster),
+            ArtifactStore::ClusterSignature(*cluster_));
+  for (const KernelDesc& kernel : ProbeKernels()) {
+    EXPECT_EQ(bank_->kernel->PredictUs(kernel), (*loaded)[0].bank.kernel->PredictUs(kernel));
+  }
+}
+
+TEST_F(ArtifactStoreTest, V2RegistryRoundTripsBothBanksBitExact) {
+  const std::string dir = TempBundleDir("bundle_v2_fleet");
+
+  // A two-arch fleet: the shared H100 fixture bank re-trained (owned) plus a
+  // V100 bank, each with a warmed pipeline so per-deployment caches persist.
+  ProfileSweepOptions small_sweep;
+  small_sweep.gemm_samples = 800;
+  small_sweep.conv_samples = 60;
+  small_sweep.generic_samples = 40;
+  small_sweep.collective_sizes = 8;
+  const ClusterSpec v100 = V100Cluster(8);
+  GroundTruthExecutor h100_hardware(*cluster_, 42);
+  GroundTruthExecutor v100_hardware(v100, 43);
+
+  DeploymentRegistry registry;
+  Result<std::shared_ptr<const Deployment>> h100_deployment = registry.Register(
+      "h100x8", *cluster_, TrainEstimators(*cluster_, h100_hardware, small_sweep));
+  ASSERT_TRUE(h100_deployment.ok());
+  Result<std::shared_ptr<const Deployment>> v100_deployment =
+      registry.Register("v100x8", v100, TrainEstimators(v100, v100_hardware, small_sweep));
+  ASSERT_TRUE(v100_deployment.ok());
+  // Warm both pipelines' estimate caches with a probe trace each.
+  for (const std::shared_ptr<const Deployment>& deployment :
+       {*h100_deployment, *v100_deployment}) {
+    JobTrace job;
+    job.world_size = 1;
+    WorkerTrace worker;
+    worker.rank = 0;
+    for (const KernelDesc& kernel : ProbeKernels()) {
+      TraceOp op;
+      op.type = TraceOpType::kKernelLaunch;
+      op.kernel = kernel;
+      worker.ops.push_back(op);
+    }
+    job.workers.push_back(worker);
+    deployment->pipeline->AnnotateDurations(job, nullptr);
+  }
+
+  ArtifactStore store(dir);
+  ASSERT_TRUE(store.SaveRegistry(registry).ok());
+
+  Result<ArtifactManifest> manifest = store.ReadManifest();
+  ASSERT_TRUE(manifest.ok()) << manifest.status().ToString();
+  EXPECT_EQ(manifest->version, kArtifactBundleVersionMulti);
+  ASSERT_EQ(manifest->deployments.size(), 2u);
+  EXPECT_EQ(manifest->deployments[0].name, "h100x8");
+  EXPECT_EQ(manifest->deployments[1].name, "v100x8");
+  EXPECT_GT(manifest->deployments[0].kernel_cache_entries, 0u);
+
+  Result<std::vector<LoadedDeployment>> loaded = store.LoadDeployments();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 2u);
+  const std::shared_ptr<const Deployment> sources[] = {*h100_deployment, *v100_deployment};
+  for (size_t i = 0; i < loaded->size(); ++i) {
+    const LoadedDeployment& restored = (*loaded)[i];
+    const Deployment& source = *sources[i];
+    EXPECT_EQ(restored.name, source.name);
+    EXPECT_EQ(ArtifactStore::ClusterSignature(restored.cluster),
+              ArtifactStore::ClusterSignature(source.cluster));
+    // Hex-double identity: every probe prediction is bit-exact per bank.
+    for (const KernelDesc& kernel : ProbeKernels()) {
+      EXPECT_EQ(source.kernel_estimator->PredictUs(kernel),
+                restored.bank.kernel->PredictUs(kernel))
+          << restored.name << " " << kernel.ToString();
+    }
+    // Per-deployment caches warm a fresh pipeline with every saved entry.
+    MayaPipeline warm(restored.cluster, restored.bank.kernel.get(),
+                      restored.bank.collective.get());
+    Result<uint64_t> imported = store.WarmPipeline(restored.name, warm);
+    ASSERT_TRUE(imported.ok()) << imported.status().ToString();
+    EXPECT_EQ(warm.KernelCacheStats().entries, source.pipeline->KernelCacheStats().entries);
+    for (const auto& [kernel, duration_us] : source.pipeline->SnapshotKernelEstimates()) {
+      bool found = false;
+      for (const auto& [warm_kernel, warm_duration] : warm.SnapshotKernelEstimates()) {
+        if (warm_kernel == kernel) {
+          EXPECT_EQ(warm_duration, duration_us);
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found) << "cache entry missing after v2 warm start";
+    }
+  }
+  // The two banks answer differently (different arch + hardware): loading
+  // must not have cross-wired the deployments.
+  EXPECT_NE((*loaded)[0].bank.kernel->PredictUs(ProbeKernels()[0]),
+            (*loaded)[1].bank.kernel->PredictUs(ProbeKernels()[0]));
+
+  // A v1-style load against the v2 bundle picks the matching cluster...
+  Result<EstimatorBank> by_cluster = store.LoadEstimators(v100);
+  ASSERT_TRUE(by_cluster.ok()) << by_cluster.status().ToString();
+  EXPECT_EQ(by_cluster->kernel->PredictUs(ProbeKernels()[0]),
+            (*loaded)[1].bank.kernel->PredictUs(ProbeKernels()[0]));
+  // ...and refuses clusters the fleet was not trained for.
+  EXPECT_FALSE(store.LoadEstimators(A40Node()).ok());
+  // Warm-pipeline lookups by unknown deployment name fail cleanly.
+  MayaPipeline fresh(*cluster_, bank_->kernel.get(), bank_->collective.get());
+  EXPECT_EQ(store.WarmPipeline("nope", fresh).status().code(), StatusCode::kNotFound);
+}
+
 }  // namespace
 }  // namespace maya

@@ -153,10 +153,10 @@ TEST_F(PipelineTest, SelectiveLaunchMatchesDedupPath) {
 }
 
 TEST_F(PipelineTest, ParallelEmulationMatchesSerialPrediction) {
-  // emulation_threads is output-preserving: per-rank clocks/RNGs plus
-  // pre-assigned comm uids make the parallel launch bit-identical.
+  // The shared ExecutionContext is output-preserving: per-rank clocks/RNGs
+  // plus pre-assigned comm uids make the parallel launch bit-identical.
   MayaPipelineOptions parallel_options;
-  parallel_options.emulation_threads = 4;
+  parallel_options.context = ExecutionContext::Create(4);
   MayaPipeline parallel(*cluster_, bank_->kernel.get(), bank_->collective.get(),
                         parallel_options);
   for (bool selective : {false, true}) {
@@ -174,7 +174,7 @@ TEST_F(PipelineTest, ParallelEmulationMatchesSerialPrediction) {
 
 TEST_F(PipelineTest, ParallelEmulationOomMatchesSerial) {
   MayaPipelineOptions parallel_options;
-  parallel_options.emulation_threads = 4;
+  parallel_options.context = ExecutionContext::Create(4);
   MayaPipeline parallel(*cluster_, bank_->kernel.get(), bank_->collective.get(),
                         parallel_options);
   PredictionRequest request{TinyGpt(), BaseConfig()};
@@ -358,7 +358,7 @@ TEST_F(PipelineTest, EstimateCachePersistsAcrossPredictCalls) {
 
 TEST_F(PipelineTest, ParallelEstimationMatchesSerial) {
   MayaPipelineOptions parallel_options;
-  parallel_options.estimation_threads = 4;
+  parallel_options.context = ExecutionContext::Create(4);
   parallel_options.parallel_estimation_threshold = 1;  // force the pool path
   parallel_options.enable_estimate_cache = false;      // re-predict every call
   MayaPipelineOptions serial_options;
@@ -372,6 +372,28 @@ TEST_F(PipelineTest, ParallelEstimationMatchesSerial) {
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
   EXPECT_EQ(a->iteration_time_us, b->iteration_time_us);
+}
+
+TEST_F(PipelineTest, SharedContextAllStagesBitIdentical) {
+  // One ExecutionContext drives emulation, the collator's fingerprint pass
+  // and estimation at once; every stage is output-preserving, so the fully
+  // parallel pipeline must equal the fully sequential one EXPECT_EQ-exact.
+  MayaPipelineOptions shared_options;
+  shared_options.context = ExecutionContext::Create(4);
+  shared_options.parallel_estimation_threshold = 1;
+  MayaPipeline shared(*cluster_, bank_->kernel.get(), bank_->collective.get(), shared_options);
+  for (int tp : {1, 2}) {
+    TrainConfig config = BaseConfig();
+    config.tensor_parallel = tp;
+    PredictionRequest request{TinyGpt(), config};
+    const Result<PredictionReport> a = shared.Predict(request);
+    const Result<PredictionReport> b = pipeline_->Predict(request);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a->iteration_time_us, b->iteration_time_us) << "tp=" << tp;
+    EXPECT_EQ(a->mfu, b->mfu) << "tp=" << tp;
+    EXPECT_EQ(a->collation.unique_workers, b->collation.unique_workers) << "tp=" << tp;
+  }
 }
 
 TEST_F(PipelineTest, OracleModeBypassesEstimateCache) {

@@ -468,10 +468,11 @@ TEST_P(ParallelLaunchSweep, BitIdenticalToSequential) {
   } else {
     config.global_batch_size = 32;
   }
+  ThreadPool pool(4);
   LaunchOptions sequential;
   sequential.selective_launch = param.selective;
   LaunchOptions parallel = sequential;
-  parallel.emulation_threads = 4;
+  parallel.emulation_pool = &pool;
   Result<LaunchResult> a = EmulateJob(model, config, cluster, sequential);
   Result<LaunchResult> b = EmulateJob(model, config, cluster, parallel);
   ASSERT_TRUE(a.ok()) << a.status().ToString();
@@ -514,8 +515,9 @@ TEST(ParallelLaunchTest, OomPathBitIdenticalToSequential) {
   cluster.gpu.hbm_bytes = 4ULL << 30;
   TrainConfig config;
   config.global_batch_size = 32;
+  ThreadPool pool(4);
   LaunchOptions parallel;
-  parallel.emulation_threads = 4;
+  parallel.emulation_pool = &pool;
   Result<LaunchResult> a = EmulateJob(TinyGpt(), config, cluster);
   Result<LaunchResult> b = EmulateJob(TinyGpt(), config, cluster, parallel);
   ASSERT_TRUE(a.ok()) << a.status().ToString();

@@ -1,7 +1,10 @@
-// ServiceEngine / protocol / warm-start tests: NDJSON round-trips, concurrent
-// mixed workloads with per-request isolation, deadlines, cancellation, queue
-// backpressure, what-if requests, and artifact-bundle warm starts with
-// >= 90% estimate-cache hit rate and bit-identical predictions.
+// ServiceEngine / protocol / warm-start tests: typed-payload NDJSON
+// round-trips (serialize -> parse -> serialize byte-identical per variant),
+// deployment targeting incl. cross-arch what-ifs over registered per-arch
+// banks, batch_predict bit-identity vs sequential predicts, weighted
+// admission control, concurrent mixed workloads with per-request isolation,
+// deadlines, cancellation, and v2 artifact-bundle warm starts with >= 90%
+// estimate-cache hit rate and bit-identical predictions.
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -41,18 +44,22 @@ TrainConfig BaseConfig() {
   return config;
 }
 
+ProfileSweepOptions TestSweep() {
+  ProfileSweepOptions sweep;
+  sweep.gemm_samples = 1200;
+  sweep.conv_samples = 100;
+  sweep.generic_samples = 60;
+  sweep.collective_sizes = 12;
+  return sweep;
+}
+
 // One trained bank per test binary; engines borrow it.
 class ServiceTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
     cluster_ = new ClusterSpec(H100Cluster(8));
     executor_ = new GroundTruthExecutor(*cluster_, 7);
-    ProfileSweepOptions sweep;
-    sweep.gemm_samples = 1200;
-    sweep.conv_samples = 100;
-    sweep.generic_samples = 60;
-    sweep.collective_sizes = 12;
-    bank_ = new EstimatorBank(TrainEstimators(*cluster_, *executor_, sweep));
+    bank_ = new EstimatorBank(TrainEstimators(*cluster_, *executor_, TestSweep()));
   }
   static void TearDownTestSuite() {
     delete bank_;
@@ -63,6 +70,16 @@ class ServiceTest : public ::testing::Test {
   static std::unique_ptr<ServiceEngine> MakeEngine(ServiceEngineOptions options = {}) {
     return std::make_unique<ServiceEngine>(*cluster_, bank_->kernel.get(),
                                            bank_->collective.get(), options);
+  }
+
+  static ServiceRequest PredictRequest(uint64_t id, const TrainConfig& config) {
+    ServiceRequest request;
+    request.id = id;
+    PredictPayload payload;
+    payload.model = TinyGpt();
+    payload.config = config;
+    request.payload = std::move(payload);
+    return request;
   }
 
   // The configuration sweep used by the warm-start and concurrency tests.
@@ -90,51 +107,181 @@ EstimatorBank* ServiceTest::bank_ = nullptr;
 
 // ---- Protocol round-trips ---------------------------------------------------
 
-TEST(ServiceProtocolTest, PredictRequestRoundTrip) {
-  ServiceRequest request;
-  request.id = 42;
-  request.kind = ServiceRequestKind::kPredict;
-  request.deadline_ms = 1500.0;
-  request.model = TinyGpt();
-  request.config = BaseConfig();
-  request.selective_launch = true;
+// Serialize(parse(serialize(request))) must be byte-identical for every
+// payload variant — the v2 wire format's fixed-point property.
+void ExpectRequestFixedPoint(const ServiceRequest& request) {
   const std::string line = SerializeServiceRequest(request);
   Result<ServiceRequest> parsed = ParseServiceRequest(line);
-  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
-  EXPECT_EQ(parsed->id, 42u);
-  EXPECT_EQ(parsed->kind, ServiceRequestKind::kPredict);
-  EXPECT_EQ(parsed->deadline_ms, 1500.0);
-  EXPECT_EQ(parsed->model.name, "tiny-gpt");
-  EXPECT_EQ(parsed->model.hidden_size, 1024);
-  EXPECT_EQ(parsed->config.tensor_parallel, 2);
-  EXPECT_TRUE(parsed->selective_launch);
-  // Serialize(parse(line)) is the fixed point.
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << line;
+  EXPECT_EQ(parsed->id, request.id);
+  EXPECT_EQ(parsed->kind(), request.kind());
   EXPECT_EQ(SerializeServiceRequest(*parsed), line);
+}
+
+TEST(ServiceProtocolTest, EveryPayloadVariantRoundTripsByteIdentical) {
+  ServiceRequest predict;
+  predict.id = 42;
+  predict.deadline_ms = 1500.0;
+  PredictPayload predict_payload;
+  predict_payload.model = TinyGpt();
+  predict_payload.config = BaseConfig();
+  predict_payload.selective_launch = true;
+  predict_payload.deployment = "h100x32";
+  predict.payload = predict_payload;
+  ExpectRequestFixedPoint(predict);
+
+  ServiceRequest batch;
+  batch.id = 43;
+  BatchPredictPayload batch_payload;
+  batch_payload.model = TinyGpt();
+  batch_payload.configs.push_back(BaseConfig());
+  TrainConfig second = BaseConfig();
+  second.tensor_parallel = 1;
+  batch_payload.configs.push_back(second);
+  batch_payload.deduplicate_workers = false;
+  batch_payload.deployment = "v100x16";
+  batch.payload = batch_payload;
+  ExpectRequestFixedPoint(batch);
+
+  ServiceRequest search;
+  search.id = 44;
+  SearchPayload search_payload;
+  search_payload.model = TinyGpt();
+  search_payload.search.algorithm = "random";
+  search_payload.search.sample_budget = 64;
+  search_payload.search.seed = 5;
+  search_payload.global_batch = 32;
+  search_payload.deployment = "a40";
+  search.payload = search_payload;
+  ExpectRequestFixedPoint(search);
+
+  ServiceRequest whatif;
+  whatif.id = 45;
+  WhatIfOomPayload whatif_payload;
+  whatif_payload.model = TinyGpt();
+  whatif_payload.config = BaseConfig();
+  whatif.payload = whatif_payload;
+  ExpectRequestFixedPoint(whatif);
+
+  ServiceRequest trace_predict;
+  trace_predict.id = 46;
+  TracePredictPayload trace_payload;
+  trace_payload.trace.world_size = 1;
+  WorkerTrace worker;
+  worker.rank = 0;
+  TraceOp op;
+  op.type = TraceOpType::kKernelLaunch;
+  op.kernel = MakeGemm(128, 64, 64, DType::kBf16);
+  worker.ops.push_back(op);
+  trace_payload.trace.workers.push_back(worker);
+  trace_payload.trace.folded_ranks.push_back({0});
+  trace_payload.deployment = "h100x8";
+  trace_predict.payload = trace_payload;
+  ExpectRequestFixedPoint(trace_predict);
+
+  ServiceRequest stats;
+  stats.id = 47;
+  stats.payload = StatsPayload{};
+  ExpectRequestFixedPoint(stats);
+
+  ServiceRequest cancel;
+  cancel.id = 48;
+  cancel.payload = CancelPayload{7};
+  ExpectRequestFixedPoint(cancel);
+}
+
+TEST(ServiceProtocolTest, ParsedFieldsSurviveTheWire) {
+  ServiceRequest request;
+  request.id = 42;
+  request.deadline_ms = 1500.0;
+  PredictPayload payload;
+  payload.model = TinyGpt();
+  payload.config = BaseConfig();
+  payload.selective_launch = true;
+  payload.deployment = "h100x32";
+  request.payload = std::move(payload);
+  Result<ServiceRequest> parsed = ParseServiceRequest(SerializeServiceRequest(request));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->deadline_ms, 1500.0);
+  const PredictPayload& round = std::get<PredictPayload>(parsed->payload);
+  EXPECT_EQ(round.model.name, "tiny-gpt");
+  EXPECT_EQ(round.model.hidden_size, 1024);
+  EXPECT_EQ(round.config.tensor_parallel, 2);
+  EXPECT_TRUE(round.selective_launch);
+  EXPECT_EQ(round.deployment, "h100x32");
+}
+
+TEST(ServiceProtocolTest, LegacyWhatIfClusterParsesAsDeploymentPredict) {
+  // v1 clients sent kind whatif_cluster with a `cluster` field; v2 maps it
+  // onto deployment-targeted predict (the migration path in the README).
+  const std::string line =
+      R"({"id":9,"kind":"whatif_cluster","model":{"name":"m","family":"GPT"},)"
+      R"("config":{"tensor_parallel":2},"cluster":"h100x32"})";
+  Result<ServiceRequest> parsed = ParseServiceRequest(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->kind(), ServiceRequestKind::kPredict);
+  const PredictPayload& payload = std::get<PredictPayload>(parsed->payload);
+  EXPECT_EQ(payload.deployment, "h100x32");
+  EXPECT_EQ(payload.config.tensor_parallel, 2);
+  // Without the cluster field the legacy kind is malformed.
+  EXPECT_FALSE(ParseServiceRequest(
+                   R"({"id":9,"kind":"whatif_cluster","model":{"name":"m","family":"GPT"},)"
+                   R"("config":{}})")
+                   .ok());
 }
 
 TEST(ServiceProtocolTest, SearchAndCancelRequestRoundTrip) {
   ServiceRequest search;
   search.id = 7;
-  search.kind = ServiceRequestKind::kSearch;
-  search.model = TinyGpt();
-  search.search.algorithm = "random";
-  search.search.sample_budget = 64;
-  search.search.seed = 5;
-  search.global_batch = 32;
+  SearchPayload search_payload;
+  search_payload.model = TinyGpt();
+  search_payload.search.algorithm = "random";
+  search_payload.search.sample_budget = 64;
+  search_payload.search.seed = 5;
+  search_payload.global_batch = 32;
+  search.payload = std::move(search_payload);
   Result<ServiceRequest> parsed = ParseServiceRequest(SerializeServiceRequest(search));
   ASSERT_TRUE(parsed.ok());
-  EXPECT_EQ(parsed->search.algorithm, "random");
-  EXPECT_EQ(parsed->search.sample_budget, 64);
-  EXPECT_EQ(parsed->search.seed, 5u);
-  EXPECT_EQ(parsed->global_batch, 32);
+  const SearchPayload& round = std::get<SearchPayload>(parsed->payload);
+  EXPECT_EQ(round.search.algorithm, "random");
+  EXPECT_EQ(round.search.sample_budget, 64);
+  EXPECT_EQ(round.search.seed, 5u);
+  EXPECT_EQ(round.global_batch, 32);
 
   ServiceRequest cancel;
   cancel.id = 8;
-  cancel.kind = ServiceRequestKind::kCancel;
-  cancel.target_id = 7;
+  cancel.payload = CancelPayload{7};
   Result<ServiceRequest> parsed_cancel = ParseServiceRequest(SerializeServiceRequest(cancel));
   ASSERT_TRUE(parsed_cancel.ok());
-  EXPECT_EQ(parsed_cancel->target_id, 7u);
+  EXPECT_EQ(std::get<CancelPayload>(parsed_cancel->payload).target_id, 7u);
+}
+
+TEST(ServiceProtocolTest, BatchPredictResponseRoundTripsByteIdentical) {
+  ServiceResponse response;
+  response.id = 12;
+  response.kind = ServiceRequestKind::kBatchPredict;
+  response.ok = true;
+  PredictResult fits;
+  fits.iteration_time_us = 123456.789;
+  fits.mfu = 0.421;
+  fits.peak_memory_bytes = 1ull << 33;
+  fits.estimation.kernel_ops = 100;
+  fits.estimation.unique_kernels = 10;
+  fits.estimation.cache_hits = 10;
+  response.batch.push_back(fits);
+  PredictResult blown;
+  blown.oom = true;
+  blown.oom_detail = "rank 3: allocation of 2.0 GiB exceeds device memory";
+  response.batch.push_back(blown);
+  const std::string line = SerializeServiceResponse(response);
+  Result<ServiceResponse> parsed = ParseServiceResponse(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->batch.size(), 2u);
+  EXPECT_EQ(parsed->batch[0].iteration_time_us, fits.iteration_time_us);
+  EXPECT_EQ(parsed->batch[0].mfu, fits.mfu);
+  EXPECT_TRUE(parsed->batch[1].oom);
+  EXPECT_EQ(parsed->batch[1].oom_detail, blown.oom_detail);
+  EXPECT_EQ(SerializeServiceResponse(*parsed), line);
 }
 
 TEST(ServiceProtocolTest, MalformedRequestsRejected) {
@@ -142,6 +289,10 @@ TEST(ServiceProtocolTest, MalformedRequestsRejected) {
   EXPECT_FALSE(ParseServiceRequest(R"({"id":1})").ok());              // no kind
   EXPECT_FALSE(ParseServiceRequest(R"({"id":1,"kind":"nope"})").ok());
   EXPECT_FALSE(ParseServiceRequest(R"({"id":1,"kind":"predict"})").ok());  // no payload
+  EXPECT_FALSE(  // batch_predict needs a configs array
+      ParseServiceRequest(
+          R"({"id":1,"kind":"batch_predict","model":{"name":"m","family":"GPT"}})")
+          .ok());
 }
 
 TEST(ServiceProtocolTest, WrongTypedFieldsRejectedNotAborted) {
@@ -164,6 +315,10 @@ TEST(ServiceProtocolTest, WrongTypedFieldsRejectedNotAborted) {
   EXPECT_FALSE(
       ParseServiceRequest(R"({"id":1,"kind":"stats","deadline_ms":"soon"})").ok());
   EXPECT_FALSE(ParseServiceRequest(R"({"id":1,"kind":"cancel","target_id":"x"})").ok());
+  EXPECT_FALSE(
+      ParseServiceRequest(
+          R"({"id":1,"kind":"predict","model":{"name":"m","family":"GPT"},"config":{},"deployment":7})")
+          .ok());
 }
 
 TEST(ServiceProtocolTest, ErrorResponseRoundTrip) {
@@ -171,7 +326,7 @@ TEST(ServiceProtocolTest, ErrorResponseRoundTrip) {
   error.id = 3;
   error.kind = ServiceRequestKind::kSearch;
   error.ok = false;
-  error.error = "queue depth 64 at bound 64";
+  error.error = "queued weight 64.0 + 16.0 (search) exceeds bound 64.0";
   error.error_code = kErrQueueFull;
   Result<ServiceResponse> parsed = ParseServiceResponse(SerializeServiceResponse(error));
   ASSERT_TRUE(parsed.ok());
@@ -189,9 +344,15 @@ TEST(ServiceProtocolTest, ClusterNames) {
   ASSERT_TRUE(v100.ok());
   EXPECT_EQ(v100->gpu.arch, GpuArch::kV100);
   EXPECT_TRUE(ClusterSpecByName("a40").ok());
+  EXPECT_TRUE(ClusterSpecByName("h100x4").ok());  // sub-node counts are one node
   EXPECT_FALSE(ClusterSpecByName("tpu").ok());
   EXPECT_FALSE(ClusterSpecByName("h100x").ok());
   EXPECT_FALSE(ClusterSpecByName("h100x-8").ok());
+  // Names come off the wire (deployment targeting): counts the cluster
+  // builders would CHECK-abort on must come back as Status errors.
+  EXPECT_FALSE(ClusterSpecByName("h100x12").ok());  // not a node multiple
+  EXPECT_FALSE(ClusterSpecByName("h100x4294967296").ok());  // int overflow
+  EXPECT_FALSE(ClusterSpecByName("v100x99999999999999999999").ok());  // long overflow
 }
 
 // ---- Engine behaviour -------------------------------------------------------
@@ -216,6 +377,40 @@ TEST_F(ServiceTest, PredictMatchesDirectPipeline) {
   EXPECT_GT(response->estimation.kernel_ops, 0u);
 }
 
+TEST_F(ServiceTest, BatchPredictBitIdenticalToSequentialPredicts) {
+  auto engine = MakeEngine();
+  InProcessTransport transport(engine.get());
+  ServiceClient client(&transport);
+  const std::vector<TrainConfig> configs = SweepConfigs();
+
+  // Sequential reference on a second engine sharing the estimators (fresh
+  // caches, so the batch's cold path is compared against a cold path).
+  auto reference = MakeEngine();
+  InProcessTransport reference_transport(reference.get());
+  ServiceClient reference_client(&reference_transport);
+  std::vector<ServiceResponse> sequential;
+  for (const TrainConfig& config : configs) {
+    Result<ServiceResponse> response = reference_client.Predict(TinyGpt(), config);
+    ASSERT_TRUE(response.ok() && response->ok);
+    sequential.push_back(*response);
+  }
+
+  Result<ServiceResponse> batch = client.BatchPredict(TinyGpt(), configs);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_TRUE(batch->ok) << batch->error;
+  ASSERT_EQ(batch->batch.size(), configs.size());
+  for (size_t i = 0; i < configs.size(); ++i) {
+    EXPECT_EQ(batch->batch[i].iteration_time_us, sequential[i].iteration_time_us)
+        << "config " << i;
+    EXPECT_EQ(batch->batch[i].mfu, sequential[i].mfu) << "config " << i;
+    EXPECT_EQ(batch->batch[i].peak_memory_bytes, sequential[i].peak_memory_bytes);
+    EXPECT_EQ(batch->batch[i].oom, sequential[i].oom);
+  }
+  // The whole batch occupied one queue slot but counted every item's stage
+  // timings, like the sequential predicts did.
+  EXPECT_EQ(engine->stats().timed_requests, configs.size());
+}
+
 TEST_F(ServiceTest, StatsSurfaceStageTimings) {
   auto engine = MakeEngine();
   InProcessTransport transport(engine.get());
@@ -228,8 +423,8 @@ TEST_F(ServiceTest, StatsSurfaceStageTimings) {
   // the NDJSON wire format — dedup/parallel-emulation wins are observable
   // from a live maya_serve.
   ServiceRequest request;
-  request.kind = ServiceRequestKind::kStats;
   request.id = 2;
+  request.payload = StatsPayload{};
   Result<ServiceRequest> wire = ParseServiceRequest(SerializeServiceRequest(request));
   ASSERT_TRUE(wire.ok());
   const ServiceResponse direct = engine->Execute(*wire);
@@ -242,6 +437,11 @@ TEST_F(ServiceTest, StatsSurfaceStageTimings) {
   // Timings travel as approximate decimals (%.9g), unlike result doubles.
   EXPECT_NEAR(stats->stats.stage_totals.total_ms(), direct.stats.stage_totals.total_ms(),
               direct.stats.stage_totals.total_ms() * 1e-6);
+  // The deployment fleet is visible in stats.
+  ASSERT_EQ(stats->stats.deployments.size(), 1u);
+  EXPECT_EQ(stats->stats.deployments[0], kDefaultDeploymentName);
+  EXPECT_EQ(stats->stats.registered_deployments, 1u);
+  EXPECT_EQ(stats->stats.max_queue_weight, 64.0);
 }
 
 TEST_F(ServiceTest, WhatIfOomReportsVerdict) {
@@ -266,13 +466,15 @@ TEST_F(ServiceTest, WhatIfOomReportsVerdict) {
   EXPECT_FALSE(blown->oom_detail.empty());
 }
 
-TEST_F(ServiceTest, WhatIfClusterSharesEstimators) {
+TEST_F(ServiceTest, DeploymentTargetedPredictSharesEstimators) {
+  // Same-arch what-if: an unregistered H100 cluster name derives a
+  // deployment over the default deployment's estimators.
   auto engine = MakeEngine();
   InProcessTransport transport(engine.get());
   ServiceClient client(&transport);
   TrainConfig config = BaseConfig();
   config.global_batch_size = 64;  // divisible across 16 GPUs
-  Result<ServiceResponse> response = client.PredictOnCluster(TinyGpt(), config, "h100x16");
+  Result<ServiceResponse> response = client.Predict(TinyGpt(), config, "h100x16");
   ASSERT_TRUE(response.ok()) << response.status().ToString();
   ASSERT_TRUE(response->ok) << response->error;
   ASSERT_FALSE(response->oom);
@@ -287,11 +489,70 @@ TEST_F(ServiceTest, WhatIfClusterSharesEstimators) {
   ASSERT_TRUE(report.ok());
   EXPECT_EQ(response->iteration_time_us, report->iteration_time_us);
 
-  // Cross-arch what-ifs are refused: V100 forests were never trained here.
-  Result<ServiceResponse> cross = client.PredictOnCluster(TinyGpt(), config, "v100x8");
+  // The derived deployment is now resident and visible in stats.
+  EXPECT_TRUE(engine->registry().IsResident("h100x16"));
+  EXPECT_EQ(engine->registry().derived_count(), 1u);
+
+  // Cross-arch what-ifs are refused while no V100 bank is registered.
+  Result<ServiceResponse> cross = client.Predict(TinyGpt(), config, "v100x8");
   ASSERT_TRUE(cross.ok());
   EXPECT_FALSE(cross->ok);
   EXPECT_EQ(cross->error_code, kErrInvalidRequest);
+
+  // A malformed deployment-cluster name is an error response, not an abort.
+  Result<ServiceResponse> bad_count = client.Predict(TinyGpt(), config, "h100x12");
+  ASSERT_TRUE(bad_count.ok());
+  EXPECT_FALSE(bad_count->ok);
+  EXPECT_EQ(bad_count->error_code, kErrInvalidRequest);
+}
+
+TEST_F(ServiceTest, CrossArchWhatIfViaRegisteredBank) {
+  // The ISSUE acceptance path: an engine trained on one arch (V100) answers
+  // a predict targeted at a second-arch cluster (h100x32) once an H100 bank
+  // is registered — and the answer is bit-identical to a pipeline built
+  // directly over that bank on the target cluster.
+  const ClusterSpec v100 = V100Cluster(8);
+  GroundTruthExecutor v100_hardware(v100, 21);
+  auto engine = std::make_unique<ServiceEngine>(
+      v100, TrainEstimators(v100, v100_hardware, TestSweep()), ServiceEngineOptions{});
+
+  GroundTruthExecutor h100_hardware(*cluster_, 22);
+  Result<std::shared_ptr<const Deployment>> h100_deployment = engine->AddDeployment(
+      "h100x8", *cluster_, TrainEstimators(*cluster_, h100_hardware, TestSweep()));
+  ASSERT_TRUE(h100_deployment.ok()) << h100_deployment.status().ToString();
+
+  InProcessTransport transport(engine.get());
+  ServiceClient client(&transport);
+  TrainConfig config = BaseConfig();
+  config.global_batch_size = 64;
+
+  // Cross-arch what-if at a cluster shape that is NOT itself registered:
+  // resolution parses "h100x32", finds the registered same-arch bank, and
+  // derives a pipeline for 32 GPUs over it.
+  Result<ServiceResponse> cross = client.Predict(TinyGpt(), config, "h100x32");
+  ASSERT_TRUE(cross.ok()) << cross.status().ToString();
+  ASSERT_TRUE(cross->ok) << cross->error;
+  ASSERT_FALSE(cross->oom);
+
+  MayaPipeline reference(H100Cluster(32), (*h100_deployment)->kernel_estimator,
+                         (*h100_deployment)->collective_estimator);
+  PredictionRequest direct;
+  direct.model = TinyGpt();
+  direct.config = config;
+  const Result<PredictionReport> report = reference.Predict(direct);
+  ASSERT_TRUE(report.ok());
+  ASSERT_FALSE(report->oom);
+  EXPECT_EQ(cross->iteration_time_us, report->iteration_time_us);
+  EXPECT_EQ(cross->mfu, report->mfu);
+
+  // The default (V100) path still answers on its own bank.
+  Result<ServiceResponse> native = client.Predict(TinyGpt(), BaseConfig());
+  ASSERT_TRUE(native.ok() && native->ok);
+  // And an arch with no registered bank still refuses.
+  Result<ServiceResponse> a40 = client.Predict(TinyGpt(), config, "a40");
+  ASSERT_TRUE(a40.ok());
+  EXPECT_FALSE(a40->ok);
+  EXPECT_EQ(a40->error_code, kErrInvalidRequest);
 }
 
 TEST_F(ServiceTest, TracePredictSkipsEmulation) {
@@ -304,9 +565,10 @@ TEST_F(ServiceTest, TracePredictSkipsEmulation) {
   ASSERT_TRUE(job.ok());
 
   ServiceRequest request;
-  request.kind = ServiceRequestKind::kTracePredict;
   request.id = 77;
-  request.trace = *job;
+  TracePredictPayload payload;
+  payload.trace = *job;
+  request.payload = std::move(payload);
   // Exercise the full wire path: the trace payload round-trips as NDJSON.
   Result<ServiceRequest> wire = ParseServiceRequest(SerializeServiceRequest(request));
   ASSERT_TRUE(wire.ok()) << wire.status().ToString();
@@ -347,22 +609,30 @@ TEST_F(ServiceTest, ConcurrentMixedWorkloadMatchesSequential) {
   uint64_t next_id = 1;
   for (const TrainConfig& config : SweepConfigs()) {
     Case c;
-    c.request.id = next_id++;
-    c.request.kind = ServiceRequestKind::kPredict;
-    c.request.model = TinyGpt();
-    c.request.config = config;
+    c.request = PredictRequest(next_id++, config);
     cases.push_back(std::move(c));
   }
   {
     Case c;
     c.request.id = next_id++;
-    c.request.kind = ServiceRequestKind::kSearch;
-    c.request.model = TinyGpt();
-    c.request.search.algorithm = "random";
-    c.request.search.sample_budget = 24;
-    c.request.search.seed = 11;
-    c.request.search.early_stop_patience = 0;
-    c.request.global_batch = 32;
+    SearchPayload payload;
+    payload.model = TinyGpt();
+    payload.search.algorithm = "random";
+    payload.search.sample_budget = 24;
+    payload.search.seed = 11;
+    payload.search.early_stop_patience = 0;
+    payload.global_batch = 32;
+    c.request.payload = std::move(payload);
+    cases.push_back(std::move(c));
+  }
+  {
+    // A batch sharing the queue with singles: items must match sequential.
+    Case c;
+    c.request.id = next_id++;
+    BatchPredictPayload payload;
+    payload.model = TinyGpt();
+    payload.configs = SweepConfigs();
+    c.request.payload = std::move(payload);
     cases.push_back(std::move(c));
   }
   for (Case& c : cases) {
@@ -388,11 +658,19 @@ TEST_F(ServiceTest, ConcurrentMixedWorkloadMatchesSequential) {
       ASSERT_TRUE(response.ok) << response.error;
       // Per-request isolation: the response is for this id and kind.
       EXPECT_EQ(response.id, cases[i].request.id);
-      EXPECT_EQ(response.kind, cases[i].request.kind);
+      EXPECT_EQ(response.kind, cases[i].request.kind());
       if (response.kind == ServiceRequestKind::kPredict) {
         EXPECT_EQ(response.iteration_time_us, expected.iteration_time_us)
             << "request " << i << " round " << round;
         EXPECT_EQ(response.mfu, expected.mfu);
+      } else if (response.kind == ServiceRequestKind::kBatchPredict) {
+        ASSERT_EQ(response.batch.size(), expected.batch.size());
+        for (size_t j = 0; j < response.batch.size(); ++j) {
+          EXPECT_EQ(response.batch[j].iteration_time_us,
+                    expected.batch[j].iteration_time_us)
+              << "item " << j << " round " << round;
+          EXPECT_EQ(response.batch[j].mfu, expected.batch[j].mfu);
+        }
       } else {
         EXPECT_EQ(response.best_mfu, expected.best_mfu) << "round " << round;
         EXPECT_EQ(response.best_iteration_us, expected.best_iteration_us);
@@ -405,26 +683,104 @@ TEST_F(ServiceTest, ConcurrentMixedWorkloadMatchesSequential) {
   EXPECT_EQ(stats.rejected, 0u);
 }
 
-TEST_F(ServiceTest, QueueBoundRejectsAndCancelWorks) {
+TEST_F(ServiceTest, WeightedAdmissionControl) {
+  // Deterministic paused-queue admission: weights, not counts, fill the
+  // queue. Bound 4 with predict=1/search=16: predicts fill to the bound,
+  // a search never fits behind them — but a search on an idle queue is
+  // admitted (otherwise a small bound could never serve one).
   ServiceEngineOptions options;
   options.worker_threads = 1;
-  options.max_queue_depth = 2;
+  options.max_queue_weight = 4.0;
   options.start_paused = true;
   auto engine = MakeEngine(options);
 
-  ServiceRequest request;
-  request.kind = ServiceRequestKind::kPredict;
-  request.model = TinyGpt();
-  request.config = BaseConfig();
+  ServiceRequest search;
+  search.id = 100;
+  SearchPayload search_payload;
+  search_payload.model = TinyGpt();
+  search.payload = std::move(search_payload);
 
-  request.id = 1;
-  std::future<ServiceResponse> first = engine->Submit(request);
-  request.id = 2;
-  std::future<ServiceResponse> second = engine->Submit(request);
-  request.id = 3;
-  std::future<ServiceResponse> third = engine->Submit(request);
+  std::vector<std::future<ServiceResponse>> futures;
+  for (uint64_t id = 1; id <= 4; ++id) {
+    futures.push_back(engine->Submit(PredictRequest(id, BaseConfig())));
+  }
+  EXPECT_EQ(engine->stats().queued_weight, 4.0);
+  // Weight 4 is at the bound: one more predict (4 + 1 > 4) is rejected...
+  const ServiceResponse overflow = engine->Submit(PredictRequest(5, BaseConfig())).get();
+  EXPECT_FALSE(overflow.ok);
+  EXPECT_EQ(overflow.error_code, kErrQueueFull);
+  // ...and a search (4 + 16 > 4) more so, with the weights in the message.
+  const ServiceResponse rejected_search = engine->Submit(search).get();
+  EXPECT_FALSE(rejected_search.ok);
+  EXPECT_EQ(rejected_search.error_code, kErrQueueFull);
+  EXPECT_NE(rejected_search.error.find("search"), std::string::npos);
 
-  // Queue bound 2: the third submission is rejected immediately.
+  // A 3-config batch weighs 3 predicts: it cannot fit either.
+  ServiceRequest batch;
+  batch.id = 101;
+  BatchPredictPayload batch_payload;
+  batch_payload.model = TinyGpt();
+  batch_payload.configs = {BaseConfig(), BaseConfig(), BaseConfig()};
+  batch.payload = std::move(batch_payload);
+  const ServiceResponse rejected_batch = engine->Submit(batch).get();
+  EXPECT_FALSE(rejected_batch.ok);
+  EXPECT_EQ(rejected_batch.error_code, kErrQueueFull);
+
+  EXPECT_EQ(engine->stats().rejected, 3u);
+
+  // Cancel two queued predicts (weight back to 2): a single predict
+  // (2 + 1 <= 4) fits again.
+  EXPECT_TRUE(engine->Cancel(1));
+  EXPECT_TRUE(engine->Cancel(2));
+  EXPECT_EQ(engine->stats().queued_weight, 2.0);
+  std::future<ServiceResponse> refill = engine->Submit(PredictRequest(6, BaseConfig()));
+  EXPECT_EQ(engine->stats().queued_weight, 3.0);
+
+  engine->Resume();
+  for (std::future<ServiceResponse>& future : futures) {
+    const ServiceResponse response = future.get();
+    if (response.ok) {
+      EXPECT_FALSE(response.oom);
+    } else {
+      EXPECT_EQ(response.error_code, kErrCancelled);
+    }
+  }
+  EXPECT_TRUE(refill.get().ok);
+  EXPECT_EQ(engine->stats().queued_weight, 0.0);
+
+  // An idle engine admits one over-weight request.
+  ServiceEngineOptions idle_options;
+  idle_options.worker_threads = 1;
+  idle_options.max_queue_weight = 4.0;
+  idle_options.start_paused = true;
+  auto idle = MakeEngine(idle_options);
+  ServiceRequest big_search;
+  big_search.id = 1;
+  SearchPayload big_payload;
+  big_payload.model = TinyGpt();
+  big_payload.search.algorithm = "random";
+  big_payload.search.sample_budget = 8;
+  big_payload.search.seed = 2;
+  big_payload.search.early_stop_patience = 0;
+  big_search.payload = std::move(big_payload);
+  std::future<ServiceResponse> admitted = idle->Submit(big_search);
+  EXPECT_EQ(idle->stats().queued_weight, 16.0);
+  idle->Resume();
+  EXPECT_TRUE(admitted.get().ok);
+}
+
+TEST_F(ServiceTest, QueueBoundRejectsAndCancelWorks) {
+  ServiceEngineOptions options;
+  options.worker_threads = 1;
+  options.max_queue_weight = 2.0;
+  options.start_paused = true;
+  auto engine = MakeEngine(options);
+
+  std::future<ServiceResponse> first = engine->Submit(PredictRequest(1, BaseConfig()));
+  std::future<ServiceResponse> second = engine->Submit(PredictRequest(2, BaseConfig()));
+  std::future<ServiceResponse> third = engine->Submit(PredictRequest(3, BaseConfig()));
+
+  // Weight bound 2: the third submission is rejected immediately.
   const ServiceResponse rejected = third.get();
   EXPECT_FALSE(rejected.ok);
   EXPECT_EQ(rejected.error_code, kErrQueueFull);
@@ -432,8 +788,7 @@ TEST_F(ServiceTest, QueueBoundRejectsAndCancelWorks) {
   // Cancel one queued request through the protocol.
   ServiceRequest cancel;
   cancel.id = 4;
-  cancel.kind = ServiceRequestKind::kCancel;
-  cancel.target_id = 2;
+  cancel.payload = CancelPayload{2};
   const ServiceResponse cancel_ack = engine->Submit(cancel).get();
   ASSERT_TRUE(cancel_ack.ok);
   EXPECT_TRUE(cancel_ack.cancel_found);
@@ -443,7 +798,7 @@ TEST_F(ServiceTest, QueueBoundRejectsAndCancelWorks) {
 
   // Cancelling an unknown id reports not-found.
   cancel.id = 5;
-  cancel.target_id = 999;
+  cancel.payload = CancelPayload{999};
   EXPECT_FALSE(engine->Submit(cancel).get().cancel_found);
 
   engine->Resume();
@@ -460,11 +815,7 @@ TEST_F(ServiceTest, ExpiredDeadlineNeverExecutes) {
   options.start_paused = true;
   auto engine = MakeEngine(options);
 
-  ServiceRequest request;
-  request.id = 1;
-  request.kind = ServiceRequestKind::kPredict;
-  request.model = TinyGpt();
-  request.config = BaseConfig();
+  ServiceRequest request = PredictRequest(1, BaseConfig());
   request.deadline_ms = 1.0;
   std::future<ServiceResponse> future = engine->Submit(request);
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
@@ -480,16 +831,10 @@ TEST_F(ServiceTest, ShutdownDrainsQueueAndRejectsNewWork) {
   options.worker_threads = 2;
   options.start_paused = true;
   auto engine = MakeEngine(options);
-  ServiceRequest request;
-  request.kind = ServiceRequestKind::kPredict;
-  request.model = TinyGpt();
-  request.config = BaseConfig();
-  request.id = 1;
-  std::future<ServiceResponse> queued = engine->Submit(request);
+  std::future<ServiceResponse> queued = engine->Submit(PredictRequest(1, BaseConfig()));
   engine->Shutdown();  // drains the paused queue before joining
   EXPECT_TRUE(queued.get().ok);
-  request.id = 2;
-  const ServiceResponse refused = engine->Submit(request).get();
+  const ServiceResponse refused = engine->Submit(PredictRequest(2, BaseConfig())).get();
   EXPECT_FALSE(refused.ok);
   EXPECT_EQ(refused.error_code, kErrShuttingDown);
 }
@@ -499,18 +844,14 @@ TEST_F(ServiceTest, ShutdownDrainsQueueAndRejectsNewWork) {
 TEST_F(ServiceTest, WarmStartBitIdenticalWithHighHitRate) {
   const std::string dir =
       (std::filesystem::path(::testing::TempDir()) / "service_warm_bundle").string();
+  std::filesystem::remove_all(dir);
 
-  // Process 1: train (shared fixture bank), serve a sweep, save the bundle.
-  // The engine owns its own bank here so the bundle save path (estimators +
-  // caches) is exercised end to end.
-  ProfileSweepOptions sweep;
-  sweep.gemm_samples = 1200;
-  sweep.conv_samples = 100;
-  sweep.generic_samples = 60;
-  sweep.collective_sizes = 12;
+  // Process 1: train (shared fixture bank), serve a sweep, save the v2
+  // bundle. The engine owns its own bank here so the registry save path
+  // (estimators + caches) is exercised end to end.
   GroundTruthExecutor profiling(*cluster_, 7);  // same seed as the fixture
   auto original = std::make_unique<ServiceEngine>(
-      *cluster_, TrainEstimators(*cluster_, profiling, sweep), ServiceEngineOptions{});
+      *cluster_, TrainEstimators(*cluster_, profiling, TestSweep()), ServiceEngineOptions{});
   InProcessTransport original_transport(original.get());
   ServiceClient original_client(&original_transport);
   std::vector<ServiceResponse> original_responses;
@@ -520,7 +861,7 @@ TEST_F(ServiceTest, WarmStartBitIdenticalWithHighHitRate) {
     original_responses.push_back(*response);
   }
   ArtifactStore store(dir);
-  ASSERT_TRUE(store.Save(original->cluster(), original->bank(), original->pipeline()).ok());
+  ASSERT_TRUE(store.SaveRegistry(original->registry()).ok());
   original->Shutdown();
 
   // Process 2 (simulated): restart from the bundle — no re-training — and

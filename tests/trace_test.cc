@@ -143,6 +143,44 @@ TEST(CollatorTest, DeduplicationFoldsTwins) {
   EXPECT_EQ(job->folded_ranks[0], (std::vector<int>{0, 1, 2, 3}));
 }
 
+TEST(CollatorTest, ParallelFingerprintPassBitIdentical) {
+  // The fingerprint pass fans out on a borrowed pool (the pipeline's shared
+  // ExecutionContext in production); grouping consumes the fingerprints in
+  // the original sequential worker order, so the collated trace must be
+  // bit-identical to the sequential pass — workers, fold sets and stats.
+  const auto make_workers = [] {
+    std::vector<WorkerTrace> workers;
+    for (int rank = 0; rank < 16; ++rank) {
+      const uint64_t uid = 100 + static_cast<uint64_t>(rank % 4);
+      std::vector<TraceOp> ops;
+      for (int i = 0; i < 8; ++i) {
+        ops.push_back(Kernel(0, 64 << (i % 3)));
+      }
+      ops.push_back(Collective(uid, 0, 4, rank / 4));
+      workers.push_back(MakeWorker(rank, std::move(ops), {{uid, 4, rank / 4}}));
+    }
+    return workers;
+  };
+  ThreadPool pool(4);
+  CollationOptions parallel_options;
+  parallel_options.pool = &pool;
+  parallel_options.parallel_fingerprint_threshold = 1;
+  TraceCollator parallel(parallel_options);
+  TraceCollator sequential;
+  Result<JobTrace> a = parallel.Collate(make_workers());
+  Result<JobTrace> b = sequential.Collate(make_workers());
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  ASSERT_EQ(a->workers.size(), b->workers.size());
+  for (size_t i = 0; i < a->workers.size(); ++i) {
+    EXPECT_TRUE(a->workers[i] == b->workers[i]) << "worker " << i;
+  }
+  EXPECT_EQ(a->folded_ranks, b->folded_ranks);
+  EXPECT_EQ(a->world_size, b->world_size);
+  EXPECT_EQ(parallel.stats().unique_workers, sequential.stats().unique_workers);
+  EXPECT_EQ(parallel.stats().duplicates_folded, sequential.stats().duplicates_folded);
+}
+
 TEST(CollatorTest, DedupOffKeepsAllWorkers) {
   std::vector<WorkerTrace> workers;
   for (int rank = 0; rank < 4; ++rank) {

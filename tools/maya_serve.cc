@@ -2,15 +2,23 @@
 //
 // Reads newline-delimited JSON requests from stdin, writes one JSON response
 // line per request to stdout (in submission order), and serves them from a
-// single warm ServiceEngine. On startup the engine either loads a persistent
-// artifact bundle (--artifacts=DIR, when present) — skipping estimator
-// training and warm-starting the estimate caches — or trains estimators from
-// profiling sweeps and, with --save_artifacts, persists the bundle on exit so
-// the next start is warm.
+// single warm ServiceEngine hosting a registry of deployments. On startup
+// the engine either loads a persistent artifact bundle (--artifacts=DIR,
+// when present) — skipping estimator training and warm-starting the estimate
+// caches of every bundled deployment — or trains estimators from profiling
+// sweeps (one bank per requested deployment) and, with --save_artifacts,
+// persists the whole fleet as a v2 bundle on exit so the next start is warm.
 //
 // Usage:
-//   maya_serve [--cluster=h100x8] [--workers=4] [--queue=64]
-//              [--artifacts=DIR] [--save_artifacts] [--sweep=full|small|tiny]
+//   maya_serve [--cluster=h100x8] [--deployments=v100x8,a40] [--workers=4]
+//              [--queue_weight=64] [--search_weight=16]
+//              [--execution_threads=0] [--artifacts=DIR] [--save_artifacts]
+//              [--sweep=full|small|tiny]
+//
+// --cluster is the default deployment; --deployments registers additional
+// per-arch banks (each trains its own estimators on a cold start), enabling
+// cross-arch what-ifs: a predict carrying "deployment":"v100x16" answers
+// from the v100 bank even when the default deployment is H100.
 //
 // Protocol examples (one line each; see src/service/protocol.h):
 //   {"id":1,"kind":"predict","model":{"name":"gpt3-2.7b","family":"Gpt",
@@ -28,8 +36,10 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/core/estimator_bank.h"
+#include "src/core/execution_context.h"
 #include "src/service/artifact_store.h"
 #include "src/service/protocol.h"
 #include "src/service/service_engine.h"
@@ -38,8 +48,11 @@ namespace {
 
 struct ServeFlags {
   std::string cluster = "h100x8";
+  std::string deployments;  // comma-separated extra deployment cluster names
   int workers = 4;
-  size_t queue = 64;
+  double queue_weight = 64.0;
+  double search_weight = 16.0;
+  int execution_threads = 0;
   std::string artifacts;
   bool save_artifacts = false;
   std::string sweep = "small";
@@ -70,6 +83,24 @@ maya::ProfileSweepOptions SweepFor(const std::string& name) {
   return sweep;  // "full": paper-scale defaults
 }
 
+std::vector<std::string> SplitCommaList(const std::string& list) {
+  std::vector<std::string> items;
+  size_t begin = 0;
+  while (begin <= list.size()) {
+    const size_t end = list.find(',', begin);
+    const std::string item =
+        list.substr(begin, end == std::string::npos ? std::string::npos : end - begin);
+    if (!item.empty()) {
+      items.push_back(item);
+    }
+    if (end == std::string::npos) {
+      break;
+    }
+    begin = end + 1;
+  }
+  return items;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -79,10 +110,16 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string value;
     if (ParseFlag(argv[i], "--cluster", &flags.cluster)) {
+    } else if (ParseFlag(argv[i], "--deployments", &flags.deployments)) {
     } else if (ParseFlag(argv[i], "--workers", &value)) {
       flags.workers = std::atoi(value.c_str());
-    } else if (ParseFlag(argv[i], "--queue", &value)) {
-      flags.queue = static_cast<size_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(argv[i], "--queue_weight", &value) ||
+               ParseFlag(argv[i], "--queue", &value)) {
+      flags.queue_weight = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--search_weight", &value)) {
+      flags.search_weight = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--execution_threads", &value)) {
+      flags.execution_threads = std::atoi(value.c_str());
     } else if (ParseFlag(argv[i], "--artifacts", &flags.artifacts)) {
     } else if (std::strcmp(argv[i], "--save_artifacts") == 0) {
       flags.save_artifacts = true;
@@ -102,10 +139,21 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--save_artifacts requires --artifacts=DIR\n");
     return 2;  // fail before paying minutes of training for a save that can't happen
   }
+  const std::vector<std::string> extra_deployments = SplitCommaList(flags.deployments);
+  for (const std::string& name : extra_deployments) {
+    if (Result<ClusterSpec> spec = ClusterSpecByName(name); !spec.ok()) {
+      std::fprintf(stderr, "--deployments: %s\n", spec.status().ToString().c_str());
+      return 2;
+    }
+  }
 
   ServiceEngineOptions options;
   options.worker_threads = flags.workers;
-  options.max_queue_depth = flags.queue;
+  options.max_queue_weight = flags.queue_weight;
+  options.weights.search = flags.search_weight;
+  // One shared pool drives stage 1 (emulation) and stage 3 (estimation) of
+  // every deployment's pipeline.
+  options.pipeline.context = ExecutionContext::Create(flags.execution_threads);
 
   std::unique_ptr<ServiceEngine> engine;
   ArtifactStore store(flags.artifacts.empty() ? "." : flags.artifacts);
@@ -115,8 +163,8 @@ int main(int argc, char** argv) {
     if (loaded.ok()) {
       engine = *std::move(loaded);
       std::fprintf(
-          stderr, "maya_serve: warm start from %s (%llu cached estimates)\n",
-          flags.artifacts.c_str(),
+          stderr, "maya_serve: warm start from %s (%zu deployments, %llu cached estimates)\n",
+          flags.artifacts.c_str(), engine->registry().Registered().size(),
           static_cast<unsigned long long>(engine->pipeline().KernelCacheStats().entries +
                                           engine->pipeline().CollectiveCacheStats().entries));
     } else {
@@ -133,8 +181,28 @@ int main(int argc, char** argv) {
     EstimatorBank bank = TrainEstimators(*cluster, profiling_hardware, SweepFor(flags.sweep));
     engine = std::make_unique<ServiceEngine>(*cluster, std::move(bank), options);
   }
-  std::fprintf(stderr, "maya_serve: serving %s with %d workers (queue bound %zu)\n",
-               cluster->ToString().c_str(), flags.workers, flags.queue);
+  // Requested deployments missing from the engine (cold start: all of them;
+  // warm start: any the bundle did not carry) train their own per-arch bank.
+  for (const std::string& name : extra_deployments) {
+    if (engine->registry().IsResident(name)) {
+      continue;  // restored from the bundle
+    }
+    const ClusterSpec spec = *ClusterSpecByName(name);
+    std::fprintf(stderr, "maya_serve: training %s bank for deployment '%s'...\n",
+                 GpuArchName(spec.gpu.arch), name.c_str());
+    GroundTruthExecutor deployment_hardware(spec, /*seed=*/0x9f0f);
+    Result<std::shared_ptr<const Deployment>> added = engine->AddDeployment(
+        name, spec, TrainEstimators(spec, deployment_hardware, SweepFor(flags.sweep)));
+    if (!added.ok()) {
+      std::fprintf(stderr, "maya_serve: %s\n", added.status().ToString().c_str());
+      return 2;
+    }
+  }
+  std::fprintf(stderr,
+               "maya_serve: serving %s with %d workers (queue weight bound %.0f, "
+               "%zu registered deployments)\n",
+               cluster->ToString().c_str(), flags.workers, flags.queue_weight,
+               engine->registry().Registered().size());
 
   // Responses print in submission order: a writer drains futures FIFO while
   // workers execute concurrently behind them.
@@ -192,12 +260,13 @@ int main(int argc, char** argv) {
   engine->Shutdown();
 
   if (flags.save_artifacts && !flags.artifacts.empty()) {
-    const Status saved = store.Save(engine->cluster(), engine->bank(), engine->pipeline());
+    const Status saved = store.SaveRegistry(engine->registry());
     if (!saved.ok()) {
       std::fprintf(stderr, "failed to save artifact bundle: %s\n", saved.ToString().c_str());
       return 1;
     }
-    std::fprintf(stderr, "maya_serve: saved artifact bundle to %s\n", flags.artifacts.c_str());
+    std::fprintf(stderr, "maya_serve: saved v2 artifact bundle (%zu deployments) to %s\n",
+                 engine->registry().Registered().size(), flags.artifacts.c_str());
   }
   return 0;
 }
