@@ -52,6 +52,9 @@ int main() {
     EstimatorBank& bank = cache.BankFor(test_case.setup.cluster);
     MayaPipelineOptions options;
     options.enable_estimate_cache = false;
+    // Same hygiene for stage 4: the with-dedup arm must not replay components
+    // from a cache warmed by the without-dedup arm.
+    options.enable_sim_cache = false;
     MayaPipeline pipeline(test_case.setup.cluster, bank.kernel.get(), bank.collective.get(),
                           options);
     CHECK(test_case.config.Validate(test_case.setup.model, test_case.setup.cluster).ok());

@@ -14,6 +14,13 @@ inline constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
 uint64_t FnvHash(std::string_view bytes, uint64_t seed = kFnvOffsetBasis);
 uint64_t HashCombine(uint64_t seed, uint64_t value);
 
+// One FNV-1a xor-multiply step over a 64-bit word: the cheap accumulator for
+// hot-path fingerprint walks (trace signatures, simulator fold detection),
+// where HashCombine's SplitMix finalizer per field would cost as much as the
+// work the fingerprint exists to skip. Weaker diffusion than HashCombine —
+// use for equality grouping, not for bucketing-sensitive keys.
+inline uint64_t FnvMix(uint64_t seed, uint64_t value) { return (seed ^ value) * kFnvPrime; }
+
 // Accumulates a stream of operation signatures into a single fingerprint.
 // Two workers with equal fingerprints performed (with overwhelming
 // probability) identical operation sequences.

@@ -173,20 +173,33 @@ std::vector<std::shared_ptr<const Deployment>> DeploymentRegistry::Registered() 
 }
 
 std::vector<std::string> DeploymentRegistry::ResidentNames() const {
-  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::string> names;
-  names.reserve(entries_.size());
+  for (const std::shared_ptr<const Deployment>& deployment : ResidentDeployments()) {
+    names.push_back(deployment->name);
+  }
+  return names;
+}
+
+std::vector<std::shared_ptr<const Deployment>> DeploymentRegistry::ResidentDeployments() const {
+  // THE resident-order walk (registered in registration order, then derived
+  // in name order) — ResidentNames() and the stats `per_deployment` contract
+  // both derive from it.
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::shared_ptr<const Deployment>> deployments;
+  deployments.reserve(entries_.size());
   for (const std::string& name : registration_order_) {
-    if (entries_.count(name) > 0 && entries_.at(name).pinned) {
-      names.push_back(name);
+    auto it = entries_.find(name);
+    if (it != entries_.end() && it->second.pinned) {
+      deployments.push_back(it->second.deployment);
     }
   }
   for (const auto& [name, entry] : entries_) {
+    (void)name;
     if (!entry.pinned) {
-      names.push_back(name);  // std::map iteration: already name-ordered
+      deployments.push_back(entry.deployment);  // std::map: name-ordered
     }
   }
-  return names;
+  return deployments;
 }
 
 bool DeploymentRegistry::IsResident(const std::string& name) const {

@@ -111,6 +111,10 @@ class DeploymentRegistry {
   // derived entries in name order.
   std::vector<std::string> ResidentNames() const;
 
+  // Every resident deployment, in ResidentNames() order, without bumping
+  // derived-entry recency — the observability walk for per-deployment stats.
+  std::vector<std::shared_ptr<const Deployment>> ResidentDeployments() const;
+
   size_t registered_count() const;
   size_t derived_count() const;
   const DeploymentRegistryOptions& options() const { return options_; }

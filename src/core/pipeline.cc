@@ -105,7 +105,8 @@ MayaPipeline::MayaPipeline(const ClusterSpec& cluster,
           ShardedCacheOptions{options.estimate_cache_shards, options.estimate_cache_entries}),
       collective_estimate_cache_(
           ShardedCacheOptions{options.estimate_cache_shards, options.estimate_cache_entries}),
-      trace_cache_(ShardedCacheOptions{8, options.trace_cache_entries}) {
+      trace_cache_(ShardedCacheOptions{8, options.trace_cache_entries}),
+      sim_cache_(ShardedCacheOptions{options.sim_cache_shards, options.sim_cache_entries}) {
   CHECK(kernel_estimator_ != nullptr);
   CHECK(collective_estimator_ != nullptr);
   // options_ owns the context (shared with sibling pipelines); the raw pool
@@ -264,6 +265,16 @@ EstimationStats MayaPipeline::AnnotateDurations(JobTrace& job,
   return stats;
 }
 
+Result<SimReport> MayaPipeline::Simulate(const JobTrace& job, bool deduplicate_replicas) const {
+  SimOptions sim_options;
+  sim_options.partition_components = options_.partition_simulation;
+  sim_options.deduplicate_replicas = deduplicate_replicas;
+  sim_options.pool = stage_pool_;
+  sim_options.cache = options_.enable_sim_cache ? &sim_cache_ : nullptr;
+  Simulator simulator(job, cluster_, sim_options);
+  return simulator.Run();
+}
+
 Result<PredictionReport> MayaPipeline::Predict(const PredictionRequest& request) const {
   PredictionReport report;
   StageClock clock;
@@ -346,13 +357,15 @@ Result<PredictionReport> MayaPipeline::Predict(const PredictionRequest& request)
   report.estimation = AnnotateDurations(job, request.oracle);
   report.timings.estimation_ms = clock.LapMs();
 
-  // (4) End-to-end simulation (no SM contention: Maya's model, §8).
-  Simulator simulator(job, cluster_, SimOptions{});
-  Result<SimReport> sim = simulator.Run();
+  // (4) End-to-end simulation (no SM contention: Maya's model, §8). The
+  // request's dedup knob extends to stage 4: dedup-off predictions replay
+  // every simulated worker individually.
+  Result<SimReport> sim = Simulate(job, request.deduplicate_workers);
   if (!sim.ok()) {
     return sim.status();
   }
   report.sim = *std::move(sim);
+  report.simulation = report.sim.stats;
   report.timings.simulation_ms = clock.LapMs();
 
   report.iteration_time_us = report.sim.total_time_us;

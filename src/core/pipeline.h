@@ -50,6 +50,16 @@ struct MayaPipelineOptions {
   // full JobTraces, so this trades memory for wall-clock.
   bool enable_trace_cache = false;
   size_t trace_cache_entries = 128;
+  // Stage-4 knobs (all output-preserving — bit-identical to the sequential
+  // whole-cluster replay). Partitioning splits the annotated trace into
+  // independent comm components, replayed concurrently on the shared
+  // context's pool; the sim cache memoizes per-component results across
+  // Predict calls and search trials, keyed by the annotated component
+  // fingerprint (ops + durations + comm topology modulo rank renumbering).
+  bool partition_simulation = true;
+  bool enable_sim_cache = true;
+  size_t sim_cache_entries = 1u << 16;
+  size_t sim_cache_shards = 16;
 };
 
 // Per-Predict estimation-stage counters (plumbed into PredictionReport and
@@ -117,6 +127,9 @@ struct PredictionReport {
   StageTimings timings;
   CollationStats collation;
   EstimationStats estimation;
+  // Stage-4 counters: components, folded replicas, sim-cache hits (a copy of
+  // sim.stats, hoisted for symmetry with `estimation`).
+  SimulationStats simulation;
   int full_workers_emulated = 0;
   // True when stages 1+2 were served from the collated-trace cache.
   bool trace_cache_hit = false;
@@ -144,6 +157,14 @@ class MayaPipeline {
   // durations are per-instance noisy, not functions of the key.
   EstimationStats AnnotateDurations(JobTrace& job, const GroundTruthExecutor* oracle) const;
 
+  // Stage 4 alone: replays an annotated trace through the component-
+  // partitioned simulator with the pipeline's knobs — the shared context's
+  // pool for concurrent components and the cross-trial sim cache.
+  // `deduplicate_replicas` applies the §4.2 worker-dedup lever at simulation
+  // time (lockstep replicas replay once); pass the request's
+  // `deduplicate_workers` so dedup-off predictions replay every worker.
+  Result<SimReport> Simulate(const JobTrace& job, bool deduplicate_replicas = true) const;
+
   const ClusterSpec& cluster() const { return cluster_; }
   const MayaPipelineOptions& options() const { return options_; }
 
@@ -151,6 +172,7 @@ class MayaPipeline {
   ShardedCacheStats KernelCacheStats() const { return kernel_estimate_cache_.stats(); }
   ShardedCacheStats CollectiveCacheStats() const { return collective_estimate_cache_.stats(); }
   ShardedCacheStats TraceCacheStats() const { return trace_cache_.stats(); }
+  ShardedCacheStats SimCacheStats() const { return sim_cache_.stats(); }
   void ClearEstimateCache() {
     kernel_estimate_cache_.Clear();
     collective_estimate_cache_.Clear();
@@ -177,6 +199,22 @@ class MayaPipeline {
       const std::vector<std::pair<CollectiveRequest, double>>& entries) {
     for (const auto& [request, duration_us] : entries) {
       collective_estimate_cache_.Insert(request, duration_us);
+    }
+  }
+
+  // Sim-cache export/import, mirroring the estimate caches: per-component
+  // replay results keyed by canonical component fingerprint. Imported values
+  // must come from the same estimators and cluster (the ArtifactStore bundles
+  // all three), or replays would silently diverge from fresh simulation.
+  std::vector<std::pair<uint64_t, std::shared_ptr<const ComponentSimResult>>>
+  SnapshotSimCache() const {
+    return sim_cache_.Snapshot();
+  }
+  void ImportSimCache(
+      const std::vector<std::pair<uint64_t, std::shared_ptr<const ComponentSimResult>>>&
+          entries) {
+    for (const auto& [key, result] : entries) {
+      sim_cache_.Insert(key, result);
     }
   }
 
@@ -207,6 +245,7 @@ class MayaPipeline {
   mutable ShardedCache<CollectiveRequest, double, CollectiveRequestHash>
       collective_estimate_cache_;
   mutable ShardedCache<std::string, std::shared_ptr<const CollatedTrace>> trace_cache_;
+  mutable SimulationCache sim_cache_;
   // The shared stage pool (see MayaPipelineOptions::context); null when the
   // pipeline runs every stage sequentially.
   ThreadPool* stage_pool_ = nullptr;

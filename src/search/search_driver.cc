@@ -17,6 +17,50 @@ struct TrialOutcome {
   double mfu = 0.0;
 };
 
+// One executed trial: the searcher-facing outcome plus the per-trial stage
+// timings and counters the driver aggregates. Returned by value so the
+// single-threaded and ParallelFor execution paths share one execution and
+// one accumulation routine (accumulation into SearchOutcome is not
+// thread-safe, so parallel trials buffer results and accumulate after).
+struct TrialResult {
+  TrialOutcome outcome;
+  StageTimings timings;
+  EstimationStats estimation;
+  SimulationStats simulation;
+};
+
+// Runs the full Maya pipeline for one configuration (thread-safe).
+TrialResult ExecuteTrial(const MayaPipeline& pipeline, const ModelConfig& model,
+                         const SearchOptions& options, const TrainConfig& config) {
+  PredictionRequest request;
+  request.model = model;
+  request.config = config;
+  request.deduplicate_workers = options.deduplicate_workers;
+  request.selective_launch = options.selective_launch;
+  Result<PredictionReport> report = pipeline.Predict(request);
+  CHECK(report.ok()) << report.status().ToString();
+  TrialResult result;
+  result.outcome.valid = true;
+  result.outcome.oom = report->oom;
+  if (!report->oom) {
+    result.outcome.iteration_us = report->iteration_time_us;
+    result.outcome.mfu = report->mfu;
+  }
+  result.timings = report->timings;
+  result.estimation = report->estimation;
+  result.simulation = report->simulation;
+  return result;
+}
+
+void AccumulateTrial(SearchOutcome& outcome, const TrialResult& result) {
+  outcome.stage_totals.emulation_ms += result.timings.emulation_ms;
+  outcome.stage_totals.collation_ms += result.timings.collation_ms;
+  outcome.stage_totals.estimation_ms += result.timings.estimation_ms;
+  outcome.stage_totals.simulation_ms += result.timings.simulation_ms;
+  outcome.estimation_totals.Accumulate(result.estimation);
+  outcome.simulation_totals.Accumulate(result.simulation);
+}
+
 struct DriverState {
   std::unordered_map<std::string, TrialOutcome> cache;
   PruningOracle pruning;
@@ -51,30 +95,6 @@ SearchOutcome RunSearch(const MayaPipeline& pipeline, const ModelConfig& model,
 
   SearchOutcome outcome;
   DriverState state;
-
-  // Runs the full Maya pipeline for one configuration (thread-safe).
-  auto execute_trial = [&](const TrainConfig& config) -> TrialOutcome {
-    PredictionRequest request;
-    request.model = model;
-    request.config = config;
-    request.deduplicate_workers = options.deduplicate_workers;
-    request.selective_launch = options.selective_launch;
-    Result<PredictionReport> report = pipeline.Predict(request);
-    CHECK(report.ok()) << report.status().ToString();
-    TrialOutcome trial;
-    trial.valid = true;
-    trial.oom = report->oom;
-    if (!report->oom) {
-      trial.iteration_us = report->iteration_time_us;
-      trial.mfu = report->mfu;
-    }
-    outcome.stage_totals.emulation_ms += report->timings.emulation_ms;
-    outcome.stage_totals.collation_ms += report->timings.collation_ms;
-    outcome.stage_totals.estimation_ms += report->timings.estimation_ms;
-    outcome.stage_totals.simulation_ms += report->timings.simulation_ms;
-    outcome.estimation_totals.Accumulate(report->estimation);
-    return trial;
-  };
 
   bool exhausted = false;
   while (!exhausted && outcome.samples < options.sample_budget) {
@@ -137,40 +157,18 @@ SearchOutcome RunSearch(const MayaPipeline& pipeline, const ModelConfig& model,
     }
     if (to_run.size() == 1 || batch_size == 1) {
       for (size_t i : to_run) {
-        batch[i].outcome = execute_trial(batch[i].config);
+        const TrialResult result = ExecuteTrial(pipeline, model, options, batch[i].config);
+        batch[i].outcome = result.outcome;
+        AccumulateTrial(outcome, result);
       }
     } else if (!to_run.empty()) {
-      std::vector<TrialOutcome> results(to_run.size());
-      // Stage timing accumulation is not thread-safe; run trials through the
-      // pool but accumulate afterwards via the returned outcomes.
-      std::vector<StageTimings> timings(to_run.size());
-      std::vector<EstimationStats> estimations(to_run.size());
+      std::vector<TrialResult> results(to_run.size());
       pool.ParallelFor(to_run.size(), [&](size_t j) {
-        PredictionRequest request;
-        request.model = model;
-        request.config = batch[to_run[j]].config;
-        request.deduplicate_workers = options.deduplicate_workers;
-        request.selective_launch = options.selective_launch;
-        Result<PredictionReport> report = pipeline.Predict(request);
-        CHECK(report.ok()) << report.status().ToString();
-        TrialOutcome trial;
-        trial.valid = true;
-        trial.oom = report->oom;
-        if (!report->oom) {
-          trial.iteration_us = report->iteration_time_us;
-          trial.mfu = report->mfu;
-        }
-        results[j] = trial;
-        timings[j] = report->timings;
-        estimations[j] = report->estimation;
+        results[j] = ExecuteTrial(pipeline, model, options, batch[to_run[j]].config);
       });
       for (size_t j = 0; j < to_run.size(); ++j) {
-        batch[to_run[j]].outcome = results[j];
-        outcome.stage_totals.emulation_ms += timings[j].emulation_ms;
-        outcome.stage_totals.collation_ms += timings[j].collation_ms;
-        outcome.stage_totals.estimation_ms += timings[j].estimation_ms;
-        outcome.stage_totals.simulation_ms += timings[j].simulation_ms;
-        outcome.estimation_totals.Accumulate(estimations[j]);
+        batch[to_run[j]].outcome = results[j].outcome;
+        AccumulateTrial(outcome, results[j]);
       }
     }
 

@@ -21,6 +21,16 @@ constexpr const char* kCollectiveEstimatorFile = "collective_estimator.json";
 constexpr const char* kKernelValidationFile = "kernel_validation.json";
 constexpr const char* kKernelCacheFile = "kernel_cache.json";
 constexpr const char* kCollectiveCacheFile = "collective_cache.json";
+constexpr const char* kSimCacheFile = "sim_cache.json";
+
+std::string Uint64Hex(uint64_t value) { return StrFormat("%016llx", static_cast<unsigned long long>(value)); }
+
+Result<uint64_t> Uint64FromHex(const std::string& hex) {
+  if (hex.size() != 16 || hex.find_first_not_of("0123456789abcdef") != std::string::npos) {
+    return Status::InvalidArgument("malformed 16-hex-digit value '" + hex + "'");
+  }
+  return std::strtoull(hex.c_str(), nullptr, 16);
+}
 
 Status WriteFile(const std::string& path, const std::string& contents) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
@@ -84,7 +94,8 @@ bool ArtifactStore::Exists() const {
 Status ArtifactStore::SaveDeploymentFiles(const std::string& subdir, const EstimatorBank& bank,
                                           const MayaPipeline* pipeline,
                                           uint64_t* kernel_entries,
-                                          uint64_t* collective_entries) const {
+                                          uint64_t* collective_entries,
+                                          uint64_t* sim_entries) const {
   if (bank.kernel == nullptr || bank.collective == nullptr) {
     return Status::FailedPrecondition("estimator bank is not trained");
   }
@@ -117,10 +128,12 @@ Status ArtifactStore::SaveDeploymentFiles(const std::string& subdir, const Estim
 
   *kernel_entries = 0;
   *collective_entries = 0;
+  *sim_entries = 0;
   if (pipeline == nullptr) {
     // Estimator-only save: empty cache files keep the bundle loadable.
     MAYA_RETURN_IF_ERROR(WriteFile(PathFor(subdir, kKernelCacheFile), "[]"));
     MAYA_RETURN_IF_ERROR(WriteFile(PathFor(subdir, kCollectiveCacheFile), "[]"));
+    MAYA_RETURN_IF_ERROR(WriteFile(PathFor(subdir, kSimCacheFile), "[]"));
     return Status::Ok();
   }
   const std::vector<std::pair<KernelDesc, double>> kernels =
@@ -151,7 +164,38 @@ Status ArtifactStore::SaveDeploymentFiles(const std::string& subdir, const Estim
     collective_writer.EndObject();
   }
   collective_writer.EndArray();
-  return WriteFile(PathFor(subdir, kCollectiveCacheFile), collective_writer.str());
+  MAYA_RETURN_IF_ERROR(
+      WriteFile(PathFor(subdir, kCollectiveCacheFile), collective_writer.str()));
+
+  // Stage-4 component replays: key is the canonical component fingerprint
+  // (uint64, hex), metrics are bit-exact doubles — a warm-started server
+  // replays repeated components with the saving process's exact timelines.
+  const std::vector<std::pair<uint64_t, std::shared_ptr<const ComponentSimResult>>>
+      components = pipeline->SnapshotSimCache();
+  *sim_entries = components.size();
+  JsonWriter sim_writer;
+  sim_writer.BeginArray();
+  for (const auto& [key, result] : components) {
+    sim_writer.BeginObject();
+    sim_writer.Field("key", std::string_view(Uint64Hex(key)));
+    sim_writer.KeyedBeginArray("workers");
+    for (const WorkerSimMetrics& metrics : result->workers) {
+      sim_writer.BeginObject();
+      sim_writer.Field("finish_us", std::string_view(DoubleBits(metrics.finish_us)));
+      sim_writer.Field("host_busy_us", std::string_view(DoubleBits(metrics.host_busy_us)));
+      sim_writer.Field("compute_busy_us",
+                       std::string_view(DoubleBits(metrics.compute_busy_us)));
+      sim_writer.Field("comm_busy_us", std::string_view(DoubleBits(metrics.comm_busy_us)));
+      sim_writer.Field("exposed_comm_us",
+                       std::string_view(DoubleBits(metrics.exposed_comm_us)));
+      sim_writer.Field("events", metrics.events);
+      sim_writer.EndObject();
+    }
+    sim_writer.EndArray();
+    sim_writer.EndObject();
+  }
+  sim_writer.EndArray();
+  return WriteFile(PathFor(subdir, kSimCacheFile), sim_writer.str());
 }
 
 Status ArtifactStore::SaveEstimators(const ClusterSpec& cluster, const EstimatorBank& bank) const {
@@ -165,8 +209,9 @@ Status ArtifactStore::SaveEstimators(const ClusterSpec& cluster, const Estimator
   std::filesystem::remove(PathFor("", kManifestFile), ec);
   uint64_t kernel_entries = 0;
   uint64_t collective_entries = 0;
-  MAYA_RETURN_IF_ERROR(
-      SaveDeploymentFiles("", bank, nullptr, &kernel_entries, &collective_entries));
+  uint64_t sim_entries = 0;
+  MAYA_RETURN_IF_ERROR(SaveDeploymentFiles("", bank, nullptr, &kernel_entries,
+                                           &collective_entries, &sim_entries));
   JsonWriter manifest;
   manifest.BeginObject();
   manifest.Field("version", static_cast<int64_t>(kArtifactBundleVersion));
@@ -174,6 +219,7 @@ Status ArtifactStore::SaveEstimators(const ClusterSpec& cluster, const Estimator
   WriteClusterSpec(manifest, cluster);
   manifest.Field("kernel_cache_entries", kernel_entries);
   manifest.Field("collective_cache_entries", collective_entries);
+  manifest.Field("sim_cache_entries", sim_entries);
   manifest.EndObject();
   return WriteFile(PathFor("", kManifestFile), manifest.str());
 }
@@ -192,8 +238,9 @@ Status ArtifactStore::Save(const ClusterSpec& cluster, const EstimatorBank& bank
   std::filesystem::remove(PathFor("", kManifestFile), ec);
   uint64_t kernel_entries = 0;
   uint64_t collective_entries = 0;
-  MAYA_RETURN_IF_ERROR(
-      SaveDeploymentFiles("", bank, &pipeline, &kernel_entries, &collective_entries));
+  uint64_t sim_entries = 0;
+  MAYA_RETURN_IF_ERROR(SaveDeploymentFiles("", bank, &pipeline, &kernel_entries,
+                                           &collective_entries, &sim_entries));
   JsonWriter manifest;
   manifest.BeginObject();
   manifest.Field("version", static_cast<int64_t>(kArtifactBundleVersion));
@@ -201,6 +248,7 @@ Status ArtifactStore::Save(const ClusterSpec& cluster, const EstimatorBank& bank
   WriteClusterSpec(manifest, cluster);
   manifest.Field("kernel_cache_entries", kernel_entries);
   manifest.Field("collective_cache_entries", collective_entries);
+  manifest.Field("sim_cache_entries", sim_entries);
   manifest.EndObject();
   return WriteFile(PathFor("", kManifestFile), manifest.str());
 }
@@ -232,9 +280,10 @@ Status ArtifactStore::SaveRegistry(const DeploymentRegistry& registry) const {
     const std::string subdir = StrFormat("deployment_%zu", i);
     uint64_t kernel_entries = 0;
     uint64_t collective_entries = 0;
+    uint64_t sim_entries = 0;
     MAYA_RETURN_IF_ERROR(SaveDeploymentFiles(subdir, *deployment.bank,
                                              deployment.pipeline.get(), &kernel_entries,
-                                             &collective_entries));
+                                             &collective_entries, &sim_entries));
     manifest.BeginObject();
     manifest.Field("name", std::string_view(deployment.name));
     manifest.Field("dir", std::string_view(subdir));
@@ -242,6 +291,7 @@ Status ArtifactStore::SaveRegistry(const DeploymentRegistry& registry) const {
     WriteClusterSpec(manifest, deployment.cluster);
     manifest.Field("kernel_cache_entries", kernel_entries);
     manifest.Field("collective_cache_entries", collective_entries);
+    manifest.Field("sim_cache_entries", sim_entries);
     manifest.EndObject();
   }
   manifest.EndArray();
@@ -276,6 +326,9 @@ Result<ArtifactManifest> ArtifactStore::ReadManifest() const {
     if (root->Has("collective_cache_entries")) {
       deployment.collective_cache_entries = root->at("collective_cache_entries").AsUint();
     }
+    if (root->Has("sim_cache_entries")) {
+      deployment.sim_cache_entries = root->at("sim_cache_entries").AsUint();
+    }
     manifest.cluster = deployment.cluster;
     manifest.kernel_cache_entries = deployment.kernel_cache_entries;
     manifest.collective_cache_entries = deployment.collective_cache_entries;
@@ -307,6 +360,9 @@ Result<ArtifactManifest> ArtifactStore::ReadManifest() const {
       }
       if (entry.Has("collective_cache_entries")) {
         deployment.collective_cache_entries = entry.at("collective_cache_entries").AsUint();
+      }
+      if (entry.Has("sim_cache_entries")) {
+        deployment.sim_cache_entries = entry.at("sim_cache_entries").AsUint();
       }
       manifest.deployments.push_back(std::move(deployment));
     }
@@ -464,6 +520,45 @@ Result<uint64_t> ArtifactStore::WarmPipeline(const std::string& name,
     }
     pipeline.ImportCollectiveEstimates(entries);
     imported += entries.size();
+  }
+  {
+    // Tolerate a missing file: bundles written before the sim cache existed
+    // still warm-start (estimate caches only).
+    Result<JsonValue> value = ReadJsonFile(PathFor(target->dir, kSimCacheFile));
+    if (value.ok()) {
+      std::vector<std::pair<uint64_t, std::shared_ptr<const ComponentSimResult>>> entries;
+      for (const JsonValue& entry : value->AsArray()) {
+        if (!entry.Has("key") || !entry.Has("workers")) {
+          return Status::InvalidArgument("malformed sim cache entry");
+        }
+        Result<uint64_t> key = Uint64FromHex(entry.at("key").AsString());
+        if (!key.ok()) {
+          return key.status();
+        }
+        auto result = std::make_shared<ComponentSimResult>();
+        for (const JsonValue& worker : entry.at("workers").AsArray()) {
+          MAYA_RETURN_IF_ERROR(RequireKeys(
+              worker, {"finish_us", "host_busy_us", "compute_busy_us", "comm_busy_us",
+                       "exposed_comm_us", "events"}));
+          WorkerSimMetrics metrics;
+          auto bits = [&worker](const char* field) -> Result<double> {
+            return DoubleFromBits(worker.at(field).AsString());
+          };
+          MAYA_ASSIGN_OR_RETURN(metrics.finish_us, bits("finish_us"));
+          MAYA_ASSIGN_OR_RETURN(metrics.host_busy_us, bits("host_busy_us"));
+          MAYA_ASSIGN_OR_RETURN(metrics.compute_busy_us, bits("compute_busy_us"));
+          MAYA_ASSIGN_OR_RETURN(metrics.comm_busy_us, bits("comm_busy_us"));
+          MAYA_ASSIGN_OR_RETURN(metrics.exposed_comm_us, bits("exposed_comm_us"));
+          metrics.events = worker.at("events").AsUint();
+          result->workers.push_back(metrics);
+        }
+        entries.emplace_back(*key, std::move(result));
+      }
+      pipeline.ImportSimCache(entries);
+      imported += entries.size();
+    } else if (value.status().code() != StatusCode::kNotFound) {
+      return value.status();
+    }
   }
   return imported;
 }

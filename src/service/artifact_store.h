@@ -13,6 +13,9 @@
 //   kernel_validation.json   — held-out KernelDataset (MAPE evaluation)
 //   kernel_cache.json        — KernelDesc -> duration_us estimate entries
 //   collective_cache.json    — CollectiveRequest -> duration_us entries
+//   sim_cache.json           — component fingerprint -> per-worker replay
+//                              metrics (the stage-4 cross-trial cache);
+//                              absent in bundles predating it (tolerated)
 //
 // v2 bundle (fleet of deployments, one per-arch estimator bank each):
 //   manifest.json            — version 2 + a deployments array naming each
@@ -47,6 +50,7 @@ struct DeploymentManifest {
   ClusterSpec cluster;
   uint64_t kernel_cache_entries = 0;
   uint64_t collective_cache_entries = 0;
+  uint64_t sim_cache_entries = 0;  // 0 for bundles predating the sim cache
 };
 
 struct ArtifactManifest {
@@ -123,7 +127,7 @@ class ArtifactStore {
   // null pipeline writes empty cache files.
   Status SaveDeploymentFiles(const std::string& subdir, const EstimatorBank& bank,
                              const MayaPipeline* pipeline, uint64_t* kernel_entries,
-                             uint64_t* collective_entries) const;
+                             uint64_t* collective_entries, uint64_t* sim_entries) const;
   Result<EstimatorBank> LoadBankFrom(const std::string& subdir) const;
   std::string PathFor(const std::string& subdir, const char* file) const;
 

@@ -135,6 +135,49 @@ EstimationStats ParseEstimationStats(const JsonValue& value) {
   return stats;
 }
 
+void WriteSimulationStats(JsonWriter& w, const SimulationStats& stats) {
+  w.BeginObject();
+  w.Field("workers", stats.workers);
+  w.Field("folded_workers", stats.folded_workers);
+  w.Field("components", stats.components);
+  w.Field("replicated_components", stats.replicated_components);
+  w.Field("simulated_components", stats.simulated_components);
+  w.Field("cache_hits", stats.cache_hits);
+  w.Field("cache_misses", stats.cache_misses);
+  w.Field("hit_rate", stats.hit_rate());
+  w.EndObject();
+}
+
+SimulationStats ParseSimulationStats(const JsonValue& value) {
+  SimulationStats stats;
+  stats.workers = value.at("workers").AsUint();
+  stats.folded_workers = value.at("folded_workers").AsUint();
+  stats.components = value.at("components").AsUint();
+  stats.replicated_components = value.at("replicated_components").AsUint();
+  stats.simulated_components = value.at("simulated_components").AsUint();
+  stats.cache_hits = value.at("cache_hits").AsUint();
+  stats.cache_misses = value.at("cache_misses").AsUint();
+  return stats;
+}
+
+void WriteStageTotals(JsonWriter& w, const StageTimings& totals) {
+  w.BeginObject();
+  w.Field("emulation", totals.emulation_ms);
+  w.Field("collation", totals.collation_ms);
+  w.Field("estimation", totals.estimation_ms);
+  w.Field("simulation", totals.simulation_ms);
+  w.EndObject();
+}
+
+StageTimings ParseStageTotals(const JsonValue& value) {
+  StageTimings totals;
+  totals.emulation_ms = value.at("emulation").AsDouble();
+  totals.collation_ms = value.at("collation").AsDouble();
+  totals.estimation_ms = value.at("estimation").AsDouble();
+  totals.simulation_ms = value.at("simulation").AsDouble();
+  return totals;
+}
+
 void WriteCacheStats(JsonWriter& w, const ShardedCacheStats& stats) {
   w.BeginObject();
   w.Field("hits", stats.hits);
@@ -208,6 +251,8 @@ void WritePredictResultFields(JsonWriter& w, const PredictResult& result) {
   w.Field("simulation_ms", result.timings.simulation_ms);
   w.Key("estimation");
   WriteEstimationStats(w, result.estimation);
+  w.Key("simulation");
+  WriteSimulationStats(w, result.simulation);
   w.Field("trace_cache_hit", result.trace_cache_hit);
 }
 
@@ -235,6 +280,9 @@ Result<PredictResult> ParsePredictResultFields(const JsonValue& root) {
   result.timings.estimation_ms = root.at("estimation_ms").AsDouble();
   result.timings.simulation_ms = root.at("simulation_ms").AsDouble();
   result.estimation = ParseEstimationStats(root.at("estimation"));
+  if (root.Has("simulation")) {
+    result.simulation = ParseSimulationStats(root.at("simulation"));
+  }
   if (root.Has("trace_cache_hit")) {
     result.trace_cache_hit = root.at("trace_cache_hit").AsBool();
   }
@@ -252,6 +300,7 @@ PredictResult SinglePredictResult(const ServiceResponse& response) {
   result.peak_memory_bytes = response.peak_memory_bytes;
   result.timings = response.timings;
   result.estimation = response.estimation;
+  result.simulation = response.simulation;
   result.trace_cache_hit = response.trace_cache_hit;
   return result;
 }
@@ -264,6 +313,7 @@ void AssignPredictResult(ServiceResponse& response, const PredictResult& result)
   response.peak_memory_bytes = result.peak_memory_bytes;
   response.timings = result.timings;
   response.estimation = result.estimation;
+  response.simulation = result.simulation;
   response.trace_cache_hit = result.trace_cache_hit;
 }
 
@@ -748,6 +798,8 @@ std::string SerializeServiceResponse(const ServiceResponse& response) {
       w.Field("simulation_ms", response.timings.simulation_ms);
       w.Key("estimation");
       WriteEstimationStats(w, response.estimation);
+      w.Key("simulation");
+      WriteSimulationStats(w, response.simulation);
       break;
     case ServiceRequestKind::kStats:
       w.Field("submitted", response.stats.submitted);
@@ -767,18 +819,34 @@ std::string SerializeServiceResponse(const ServiceResponse& response) {
       w.Field("derived_deployments", response.stats.derived_deployments);
       w.Field("timed_requests", response.stats.timed_requests);
       w.Key("stage_totals_ms");
-      w.BeginObject();
-      w.Field("emulation", response.stats.stage_totals.emulation_ms);
-      w.Field("collation", response.stats.stage_totals.collation_ms);
-      w.Field("estimation", response.stats.stage_totals.estimation_ms);
-      w.Field("simulation", response.stats.stage_totals.simulation_ms);
-      w.EndObject();
+      WriteStageTotals(w, response.stats.stage_totals);
       w.Key("kernel_cache");
       WriteCacheStats(w, response.stats.kernel_cache);
       w.Key("collective_cache");
       WriteCacheStats(w, response.stats.collective_cache);
       w.Key("trace_cache");
       WriteCacheStats(w, response.stats.trace_cache);
+      w.Key("sim_cache");
+      WriteCacheStats(w, response.stats.sim_cache);
+      w.KeyedBeginArray("per_deployment");
+      for (const DeploymentStats& deployment : response.stats.per_deployment) {
+        w.BeginObject();
+        w.Field("name", std::string_view(deployment.name));
+        w.Field("derived", deployment.derived);
+        w.Field("timed_requests", deployment.timed_requests);
+        w.Key("stage_totals_ms");
+        WriteStageTotals(w, deployment.stage_totals);
+        w.Key("kernel_cache");
+        WriteCacheStats(w, deployment.kernel_cache);
+        w.Key("collective_cache");
+        WriteCacheStats(w, deployment.collective_cache);
+        w.Key("trace_cache");
+        WriteCacheStats(w, deployment.trace_cache);
+        w.Key("sim_cache");
+        WriteCacheStats(w, deployment.sim_cache);
+        w.EndObject();
+      }
+      w.EndArray();
       break;
     case ServiceRequestKind::kCancel:
       w.Field("cancel_found", response.cancel_found);
@@ -866,6 +934,9 @@ Result<ServiceResponse> ParseServiceResponse(const std::string& line) {
         response.timings.simulation_ms = root->at("simulation_ms").AsDouble();
       }
       response.estimation = ParseEstimationStats(root->at("estimation"));
+      if (root->Has("simulation")) {
+        response.simulation = ParseSimulationStats(root->at("simulation"));
+      }
       break;
     }
     case ServiceRequestKind::kStats:
@@ -891,15 +962,31 @@ Result<ServiceResponse> ParseServiceResponse(const std::string& line) {
         response.stats.timed_requests = root->at("timed_requests").AsUint();
       }
       if (root->Has("stage_totals_ms")) {
-        const JsonValue& totals = root->at("stage_totals_ms");
-        response.stats.stage_totals.emulation_ms = totals.at("emulation").AsDouble();
-        response.stats.stage_totals.collation_ms = totals.at("collation").AsDouble();
-        response.stats.stage_totals.estimation_ms = totals.at("estimation").AsDouble();
-        response.stats.stage_totals.simulation_ms = totals.at("simulation").AsDouble();
+        response.stats.stage_totals = ParseStageTotals(root->at("stage_totals_ms"));
       }
       response.stats.kernel_cache = ParseCacheStats(root->at("kernel_cache"));
       response.stats.collective_cache = ParseCacheStats(root->at("collective_cache"));
       response.stats.trace_cache = ParseCacheStats(root->at("trace_cache"));
+      if (root->Has("sim_cache")) {
+        response.stats.sim_cache = ParseCacheStats(root->at("sim_cache"));
+      }
+      if (root->Has("per_deployment")) {
+        for (const JsonValue& entry : root->at("per_deployment").AsArray()) {
+          MAYA_RETURN_IF_ERROR(RequireKeys(
+              entry, {"name", "derived", "timed_requests", "stage_totals_ms", "kernel_cache",
+                      "collective_cache", "trace_cache", "sim_cache"}));
+          DeploymentStats deployment;
+          MAYA_ASSIGN_OR_RETURN(deployment.name, ToString(entry.at("name")));
+          deployment.derived = entry.at("derived").AsBool();
+          deployment.timed_requests = entry.at("timed_requests").AsUint();
+          deployment.stage_totals = ParseStageTotals(entry.at("stage_totals_ms"));
+          deployment.kernel_cache = ParseCacheStats(entry.at("kernel_cache"));
+          deployment.collective_cache = ParseCacheStats(entry.at("collective_cache"));
+          deployment.trace_cache = ParseCacheStats(entry.at("trace_cache"));
+          deployment.sim_cache = ParseCacheStats(entry.at("sim_cache"));
+          response.stats.per_deployment.push_back(std::move(deployment));
+        }
+      }
       break;
     case ServiceRequestKind::kCancel:
       response.cancel_found = root->at("cancel_found").AsBool();

@@ -139,7 +139,23 @@ struct PredictResult {
   uint64_t peak_memory_bytes = 0;
   StageTimings timings;
   EstimationStats estimation;
+  SimulationStats simulation;
   bool trace_cache_hit = false;
+};
+
+// Per-deployment observability block of the `stats` response: every resident
+// deployment's cache counters and cumulative stage wall time, not just the
+// default deployment's. Derived (what-if) entries are flagged; their
+// counters reset if the entry is LRU-evicted and re-derived.
+struct DeploymentStats {
+  std::string name;
+  bool derived = false;
+  StageTimings stage_totals;
+  uint64_t timed_requests = 0;
+  ShardedCacheStats kernel_cache;
+  ShardedCacheStats collective_cache;
+  ShardedCacheStats trace_cache;
+  ShardedCacheStats sim_cache;
 };
 
 // Engine-level counters reported by `stats` responses.
@@ -165,9 +181,15 @@ struct ServiceStats {
   // from a running maya_serve.
   StageTimings stage_totals;
   uint64_t timed_requests = 0;  // requests contributing to stage_totals
+  // Default deployment's caches (kept for v2 clients; `per_deployment` has
+  // the full fleet).
   ShardedCacheStats kernel_cache;
   ShardedCacheStats collective_cache;
   ShardedCacheStats trace_cache;
+  ShardedCacheStats sim_cache;
+  // One block per resident deployment: registered entries in registration
+  // order, then derived entries in name order.
+  std::vector<DeploymentStats> per_deployment;
 };
 
 struct ServiceResponse {
@@ -185,6 +207,8 @@ struct ServiceResponse {
   uint64_t peak_memory_bytes = 0;
   StageTimings timings;
   EstimationStats estimation;
+  // Per-request (predict-like) or summed per-trial (search) stage-4 counters.
+  SimulationStats simulation;
   bool trace_cache_hit = false;
 
   // batch_predict results: one entry per requested config, in order.

@@ -321,8 +321,9 @@ Result<PredictResult> ServiceEngine::RunPredict(const Deployment& deployment,
   }
   result.timings = report->timings;
   result.estimation = report->estimation;
+  result.simulation = report->simulation;
   result.trace_cache_hit = report->trace_cache_hit;
-  AccumulateStageTimings(report->timings);
+  AccumulateStageTimings(deployment, report->timings);
   return result;
 }
 
@@ -376,13 +377,20 @@ ServiceResponse ServiceEngine::ExecuteBatchPredict(const ServiceRequest& request
   return response;
 }
 
-void ServiceEngine::AccumulateStageTimings(const StageTimings& timings) const {
+void ServiceEngine::AccumulateStageTimings(const Deployment& deployment,
+                                           const StageTimings& timings) const {
   std::lock_guard<std::mutex> lock(timings_mutex_);
   stage_totals_.emulation_ms += timings.emulation_ms;
   stage_totals_.collation_ms += timings.collation_ms;
   stage_totals_.estimation_ms += timings.estimation_ms;
   stage_totals_.simulation_ms += timings.simulation_ms;
   ++timed_requests_;
+  DeploymentTimings& per_deployment = deployment_timings_[&deployment];
+  per_deployment.totals.emulation_ms += timings.emulation_ms;
+  per_deployment.totals.collation_ms += timings.collation_ms;
+  per_deployment.totals.estimation_ms += timings.estimation_ms;
+  per_deployment.totals.simulation_ms += timings.simulation_ms;
+  ++per_deployment.requests;
 }
 
 ServiceResponse ServiceEngine::ExecuteSearch(const ServiceRequest& request,
@@ -410,8 +418,9 @@ ServiceResponse ServiceEngine::ExecuteSearch(const ServiceRequest& request,
   response.skipped = outcome.skipped;
   response.search_oom = outcome.oom;
   response.estimation = outcome.estimation_totals;
+  response.simulation = outcome.simulation_totals;
   response.timings = outcome.stage_totals;
-  AccumulateStageTimings(outcome.stage_totals);
+  AccumulateStageTimings(**deployment, outcome.stage_totals);
   return response;
 }
 
@@ -421,14 +430,15 @@ ServiceResponse ServiceEngine::ExecuteTracePredict(const ServiceRequest& request
   if (!deployment.ok()) {
     return ErrorResponse(request, kErrInvalidRequest, deployment.status().ToString());
   }
-  // The trace arrives pre-collated: run stages 3+4 only.
+  // The trace arrives pre-collated: run stages 3+4 only. Stage 4 goes
+  // through the deployment pipeline's partitioned simulator, so repeated
+  // trace_predicts share its cross-trial sim cache.
   JobTrace job = payload.trace;
   ServiceResponse response;
   response.id = request.id;
   response.kind = request.kind();
   response.estimation = (*deployment)->pipeline->AnnotateDurations(job, nullptr);
-  Simulator simulator(job, (*deployment)->cluster, SimOptions{});
-  Result<SimReport> sim = simulator.Run();
+  Result<SimReport> sim = (*deployment)->pipeline->Simulate(job);
   if (!sim.ok()) {
     return ErrorResponse(request, kErrInvalidRequest, sim.status().ToString());
   }
@@ -436,6 +446,7 @@ ServiceResponse ServiceEngine::ExecuteTracePredict(const ServiceRequest& request
   response.oom = false;
   response.iteration_time_us = sim->total_time_us;
   response.peak_memory_bytes = sim->peak_memory_bytes;
+  response.simulation = sim->stats;
   // MFU needs a model + batch; a raw trace carries neither, so it stays 0.
   return response;
 }
@@ -483,15 +494,48 @@ ServiceStats ServiceEngine::stats() const {
   stats.deployments = registry_.ResidentNames();
   stats.registered_deployments = registry_.registered_count();
   stats.derived_deployments = registry_.derived_count();
-  {
-    std::lock_guard<std::mutex> lock(timings_mutex_);
-    stats.stage_totals = stage_totals_;
-    stats.timed_requests = timed_requests_;
-  }
   const MayaPipeline& pipeline = *default_deployment_->pipeline;
   stats.kernel_cache = pipeline.KernelCacheStats();
   stats.collective_cache = pipeline.CollectiveCacheStats();
   stats.trace_cache = pipeline.TraceCacheStats();
+  stats.sim_cache = pipeline.SimCacheStats();
+  // Per-deployment cache/stage counters for every resident entry (PR 4
+  // follow-up: previously only the default deployment's caches surfaced).
+  const std::vector<std::shared_ptr<const Deployment>> resident =
+      registry_.ResidentDeployments();
+  stats.per_deployment.reserve(resident.size());
+  for (const std::shared_ptr<const Deployment>& deployment : resident) {
+    DeploymentStats entry;
+    entry.name = deployment->name;
+    entry.derived = !deployment->derived_from.empty();
+    entry.kernel_cache = deployment->pipeline->KernelCacheStats();
+    entry.collective_cache = deployment->pipeline->CollectiveCacheStats();
+    entry.trace_cache = deployment->pipeline->TraceCacheStats();
+    entry.sim_cache = deployment->pipeline->SimCacheStats();
+    stats.per_deployment.push_back(std::move(entry));
+  }
+  {
+    std::lock_guard<std::mutex> lock(timings_mutex_);
+    stats.stage_totals = stage_totals_;
+    stats.timed_requests = timed_requests_;
+    for (size_t i = 0; i < resident.size(); ++i) {
+      auto timed = deployment_timings_.find(resident[i].get());
+      if (timed != deployment_timings_.end()) {
+        stats.per_deployment[i].stage_totals = timed->second.totals;
+        stats.per_deployment[i].timed_requests = timed->second.requests;
+      }
+    }
+    // Evicted deployments' totals are dead weight (their identity can never
+    // recur); drop them so name churn on derived entries stays bounded.
+    for (auto it = deployment_timings_.begin(); it != deployment_timings_.end();) {
+      const bool is_resident =
+          std::any_of(resident.begin(), resident.end(),
+                      [&it](const std::shared_ptr<const Deployment>& deployment) {
+                        return deployment.get() == it->first;
+                      });
+      it = is_resident ? std::next(it) : deployment_timings_.erase(it);
+    }
+  }
   return stats;
 }
 

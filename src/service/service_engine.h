@@ -26,6 +26,7 @@
 #include <condition_variable>
 #include <deque>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -179,12 +180,23 @@ class ServiceEngine {
   std::atomic<uint64_t> deadline_expired_{0};
 
   // Cumulative per-stage wall time across executed requests (see
-  // ServiceStats::stage_totals). Mutable: Execute() is const but observably
-  // so — timings are observability, not results.
-  void AccumulateStageTimings(const StageTimings& timings) const;
+  // ServiceStats::stage_totals), engine-wide and per target deployment.
+  // Mutable: Execute() is const but observably so — timings are
+  // observability, not results. Per-deployment totals are keyed by the
+  // (immutable) Deployment object, not its name: a derived entry that is
+  // LRU-evicted and later re-derived is a NEW object whose counters start at
+  // zero, matching its fresh caches; stats() prunes entries for deployments
+  // no longer resident.
+  void AccumulateStageTimings(const Deployment& deployment,
+                              const StageTimings& timings) const;
   mutable std::mutex timings_mutex_;
   mutable StageTimings stage_totals_;
   mutable uint64_t timed_requests_ = 0;
+  struct DeploymentTimings {
+    StageTimings totals;
+    uint64_t requests = 0;
+  };
+  mutable std::map<const Deployment*, DeploymentTimings> deployment_timings_;
 };
 
 }  // namespace maya

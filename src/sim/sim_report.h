@@ -19,6 +19,39 @@ struct WorkerSimReport {
   double comm_busy_us = 0.0;
   // Collective time not hidden behind concurrent compute.
   double exposed_comm_us = 0.0;
+
+  bool operator==(const WorkerSimReport&) const = default;
+};
+
+// Simulation-stage counters (the stage-4 analogue of EstimationStats): how
+// much replay the component-partitioned simulator actually performed versus
+// served through lockstep-replica folding, component-level dedup, and the
+// cross-trial simulation cache. Every lever is output-preserving, so these
+// are observability, not semantics.
+struct SimulationStats {
+  uint64_t workers = 0;          // sim workers in the job trace
+  uint64_t folded_workers = 0;   // lockstep replicas folded onto a representative
+  uint64_t components = 0;       // independent comm components (over representatives)
+  uint64_t replicated_components = 0;  // served by replicating an identical sibling
+  uint64_t simulated_components = 0;   // actually replayed through an event heap
+  // Unique components served from / missing in the cross-trial sim cache.
+  // With the cache disabled every unique component counts as a miss.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+
+  double hit_rate() const {
+    const uint64_t total = cache_hits + cache_misses;
+    return total == 0 ? 0.0 : static_cast<double>(cache_hits) / static_cast<double>(total);
+  }
+  void Accumulate(const SimulationStats& other) {
+    workers += other.workers;
+    folded_workers += other.folded_workers;
+    components += other.components;
+    replicated_components += other.replicated_components;
+    simulated_components += other.simulated_components;
+    cache_hits += other.cache_hits;
+    cache_misses += other.cache_misses;
+  }
 };
 
 struct SimReport {
@@ -29,6 +62,10 @@ struct SimReport {
   uint64_t peak_memory_bytes = 0;
   size_t events_processed = 0;
   std::vector<WorkerSimReport> workers;
+  // How the report was produced (partitioning / dedup / cache); differs
+  // between execution strategies even though every field above is
+  // bit-identical across them.
+  SimulationStats stats;
 
   std::string Summary() const;
 };

@@ -9,15 +9,64 @@
 // releases all participants after the last one joins plus the predicted
 // on-the-wire duration. Pipeline bubbles and compute/communication overlap
 // emerge from these mechanics rather than from explicit modeling.
+//
+// Execution strategy (all output-preserving — bit-identical per-worker
+// reports to the sequential whole-cluster replay, asserted in tests):
+//   1. Replica fold: workers whose annotated op sequences are identical
+//      (including communicator uids) move in lockstep — the §4.2/§7.4
+//      symmetry applied at simulation time — so one representative is
+//      replayed and its timeline replicated. Workers touching point-to-point
+//      communicators never fold (send/recv pairing would self-deadlock).
+//   2. Component partition: a union-find pass over collective membership
+//      splits the representatives into independent comm components, each
+//      replayed on its own event heap — concurrently on a borrowed pool.
+//   3. Component dedup: components with equal canonical fingerprints
+//      (ops + durations + comm topology modulo rank renumbering) replay
+//      once; siblings replicate the result positionally.
+//   4. Cross-trial cache: a borrowed SimulationCache memoizes per-component
+//      results keyed by canonical fingerprint + resolved SimOptions, so a
+//      repeated annotated component (service sweeps, repeated search
+//      configs) skips the event heap entirely.
 #ifndef SRC_SIM_SIMULATOR_H_
 #define SRC_SIM_SIMULATOR_H_
 
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/common/sharded_cache.h"
 #include "src/common/status.h"
+#include "src/common/thread_pool.h"
 #include "src/hw/cluster_spec.h"
 #include "src/sim/sim_report.h"
 #include "src/trace/collator.h"
 
 namespace maya {
+
+// Per-worker dynamic outcome of one simulated component, positional in the
+// component's ascending worker order — the unit the simulation cache stores
+// and replica dedup replicates. Identity (rank, folded multiplicity, peak
+// memory) is deliberately absent: it comes from each replica's own trace.
+struct WorkerSimMetrics {
+  double finish_us = 0.0;
+  double host_busy_us = 0.0;
+  double compute_busy_us = 0.0;
+  double comm_busy_us = 0.0;
+  double exposed_comm_us = 0.0;
+  uint64_t events = 0;  // events processed for this worker
+
+  bool operator==(const WorkerSimMetrics&) const = default;
+};
+
+struct ComponentSimResult {
+  std::vector<WorkerSimMetrics> workers;
+};
+
+// Cross-trial component memoization, shared by concurrent Simulator runs
+// (search trials, service workers). Keyed by the canonical component
+// fingerprint mixed with the resolved SimOptions; values are immutable.
+using SimulationCache = ShardedCache<uint64_t, std::shared_ptr<const ComponentSimResult>>;
 
 struct SimOptions {
   // Duration multiplier for compute kernels that start while a collective is
@@ -25,12 +74,25 @@ struct SimOptions {
   // (factor 1.0, §8); the ground-truth executor models contention (>1).
   double compute_contention_factor = 1.0;
   // Device-side launch-to-start latency applied between an operation's
-  // enqueue and its earliest start. Defaults to the GPU spec value.
-  double dispatch_latency_us = -1.0;
+  // enqueue and its earliest start. Unset selects the GPU spec value;
+  // negative values are rejected at construction.
+  std::optional<double> dispatch_latency_us;
+  // Partition the replay into independent comm components, each on its own
+  // event heap. Off replays the whole cluster through one heap (the
+  // sequential reference the bit-identity tests compare against).
+  bool partition_components = true;
+  // Fold lockstep replica workers and dedup identical components.
+  bool deduplicate_replicas = true;
+  // Borrowed pool: independent components fan out when more than one needs
+  // replay. Null replays components inline on the calling thread.
+  ThreadPool* pool = nullptr;
+  // Borrowed cross-trial component cache; null disables memoization.
+  SimulationCache* cache = nullptr;
 };
 
 class Simulator {
  public:
+  // CHECK-fails on a negative dispatch latency (explicit or from the spec).
   Simulator(const JobTrace& job, const ClusterSpec& cluster, SimOptions options = {});
 
   // Runs the discrete-event simulation to completion. Fails (with a stuck-
@@ -41,6 +103,7 @@ class Simulator {
   const JobTrace& job_;
   const ClusterSpec& cluster_;
   SimOptions options_;
+  double dispatch_latency_us_ = 0.0;  // resolved (spec default applied)
 };
 
 }  // namespace maya

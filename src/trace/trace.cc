@@ -1,5 +1,7 @@
 #include "src/trace/trace.h"
 
+#include <bit>
+
 #include "src/common/hash.h"
 #include "src/common/strings.h"
 
@@ -73,6 +75,24 @@ uint64_t TraceOp::StructuralSignature() const {
       h = HashCombine(h, memory.bytes);
       break;
   }
+  return h;
+}
+
+uint64_t TraceOp::AnnotatedSignature(uint64_t comm_token) const {
+  // Branch-free FNV-1a over 64-bit words: this walks every op of every fold
+  // candidate on the simulator's hot path, where a full-trace hash costs
+  // about as much as the replay itself, so each field is one FnvMix.
+  // Payload fields of other op kinds are zero-initialized and hash as
+  // constants; `comm_token` stands in for the communicator identity and is 0
+  // for non-collective ops.
+  uint64_t h = kFnvOffsetBasis;
+  h = FnvMix(h, static_cast<uint64_t>(type));
+  h = FnvMix(h, stream);
+  h = FnvMix(h, std::bit_cast<uint64_t>(host_delay_us));
+  h = FnvMix(h, std::bit_cast<uint64_t>(duration_us));
+  h = FnvMix(h, event.event_id | (static_cast<uint64_t>(event.version) << 32));
+  h = FnvMix(h, comm_token);
+  h = FnvMix(h, collective.seq | (static_cast<uint64_t>(collective.kind) << 32));
   return h;
 }
 

@@ -259,6 +259,51 @@ TEST_F(ArtifactStoreTest, BundleSaveLoadWarmsCaches) {
   }
 }
 
+TEST_F(ArtifactStoreTest, SimCachePersistsAndReplaysBitIdentical) {
+  // A warm-started server replays repeated components from the persisted
+  // stage-4 cache with the saving process's exact timelines.
+  const std::string dir = TempBundleDir("bundle_sim_cache");
+  MayaPipeline pipeline(*cluster_, bank_->kernel.get(), bank_->collective.get());
+  ModelConfig model;
+  model.name = "tiny-gpt";
+  model.family = ModelFamily::kGpt;
+  model.num_layers = 8;
+  model.hidden_size = 1024;
+  model.num_heads = 16;
+  model.seq_length = 512;
+  model.vocab_size = 8192;
+  TrainConfig config;
+  config.global_batch_size = 32;
+  config.tensor_parallel = 2;
+  config.pipeline_parallel = 2;
+  config.microbatch_multiplier = 2;
+  PredictionRequest request{model, config};
+  const Result<PredictionReport> cold = pipeline.Predict(request);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  const uint64_t resident = pipeline.SimCacheStats().entries;
+  ASSERT_GT(resident, 0u);
+
+  ArtifactStore store(dir);
+  ASSERT_TRUE(store.Save(*cluster_, *bank_, pipeline).ok());
+  Result<ArtifactManifest> manifest = store.ReadManifest();
+  ASSERT_TRUE(manifest.ok());
+  EXPECT_EQ(manifest->deployments.front().sim_cache_entries, resident);
+
+  Result<EstimatorBank> loaded = store.LoadEstimators(*cluster_);
+  ASSERT_TRUE(loaded.ok());
+  MayaPipeline warm(*cluster_, loaded->kernel.get(), loaded->collective.get());
+  Result<uint64_t> imported = store.WarmPipeline(warm);
+  ASSERT_TRUE(imported.ok()) << imported.status().ToString();
+  EXPECT_EQ(warm.SimCacheStats().entries, resident);
+
+  const Result<PredictionReport> replayed = warm.Predict(request);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_GT(replayed->simulation.cache_hits, 0u);
+  EXPECT_EQ(replayed->simulation.simulated_components, 0u);
+  EXPECT_EQ(replayed->iteration_time_us, cold->iteration_time_us);
+  EXPECT_EQ(replayed->mfu, cold->mfu);
+}
+
 TEST_F(ArtifactStoreTest, LoadRejectsClusterMismatch) {
   const std::string dir = TempBundleDir("bundle_cluster_mismatch");
   ArtifactStore store(dir);

@@ -451,6 +451,93 @@ TEST_F(PipelineTest, TraceCacheServesOomOutcomes) {
   EXPECT_EQ(warm->oom_detail, cold->oom_detail);
 }
 
+// Compares every simulator-produced output of two predictions EXPECT_EQ-
+// exact: iteration time, MFU, and each per-worker timeline.
+void ExpectBitIdenticalPredictions(const PredictionReport& a, const PredictionReport& b) {
+  EXPECT_EQ(a.iteration_time_us, b.iteration_time_us);
+  EXPECT_EQ(a.mfu, b.mfu);
+  EXPECT_EQ(a.sim.events_processed, b.sim.events_processed);
+  ASSERT_EQ(a.sim.workers.size(), b.sim.workers.size());
+  for (size_t w = 0; w < a.sim.workers.size(); ++w) {
+    EXPECT_EQ(a.sim.workers[w], b.sim.workers[w]) << "worker " << w;
+  }
+}
+
+TEST_F(PipelineTest, PartitionedSimulationBitIdenticalToSequential) {
+  // Stage-4 tentpole invariant: the component-partitioned, replica-deduped
+  // replay equals the sequential whole-cluster replay per worker, with and
+  // without collation-level worker dedup.
+  MayaPipelineOptions sequential_options;
+  sequential_options.partition_simulation = false;
+  sequential_options.enable_sim_cache = false;
+  MayaPipeline sequential(*cluster_, bank_->kernel.get(), bank_->collective.get(),
+                          sequential_options);
+  MayaPipelineOptions partitioned_options;
+  ASSERT_TRUE(partitioned_options.partition_simulation);
+  MayaPipeline partitioned(*cluster_, bank_->kernel.get(), bank_->collective.get(),
+                           partitioned_options);
+  for (bool deduplicate : {true, false}) {
+    PredictionRequest request{TinyGpt(), BaseConfig()};
+    request.deduplicate_workers = deduplicate;
+    const Result<PredictionReport> a = partitioned.Predict(request);
+    const Result<PredictionReport> b = sequential.Predict(request);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ExpectBitIdenticalPredictions(*a, *b);
+    EXPECT_GT(a->simulation.workers, 0u);
+    EXPECT_GT(a->simulation.components, 0u);
+    // Sequential replay reports a single whole-cluster component.
+    EXPECT_EQ(b->simulation.components, 1u);
+  }
+}
+
+TEST_F(PipelineTest, SimCacheOnVsOffBitIdentical) {
+  MayaPipelineOptions cached_options;
+  ASSERT_TRUE(cached_options.enable_sim_cache);
+  MayaPipelineOptions uncached_options;
+  uncached_options.enable_sim_cache = false;
+  MayaPipeline cached(*cluster_, bank_->kernel.get(), bank_->collective.get(), cached_options);
+  MayaPipeline uncached(*cluster_, bank_->kernel.get(), bank_->collective.get(),
+                        uncached_options);
+  PredictionRequest request{TinyGpt(), BaseConfig()};
+  const Result<PredictionReport> cold = cached.Predict(request);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(cold->simulation.cache_hits, 0u);
+  EXPECT_GT(cold->simulation.cache_misses, 0u);
+  // The repeated config re-emulates (trace cache off) but annotates to the
+  // same durations, so every component replays from the sim cache.
+  const Result<PredictionReport> warm = cached.Predict(request);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_GT(warm->simulation.cache_hits, 0u);
+  EXPECT_EQ(warm->simulation.simulated_components, 0u);
+  const Result<PredictionReport> fresh = uncached.Predict(request);
+  ASSERT_TRUE(fresh.ok());
+  ExpectBitIdenticalPredictions(*cold, *warm);
+  ExpectBitIdenticalPredictions(*cold, *fresh);
+  EXPECT_GT(cached.SimCacheStats().entries, 0u);
+  EXPECT_EQ(uncached.SimCacheStats().insertions, 0u);
+}
+
+TEST_F(PipelineTest, ParallelSimulationSharedContextBitIdentical) {
+  // The shared context's pool now also drives stage-4 component replays; a
+  // dedup-off prediction (every GPU simulated) must stay bit-identical.
+  MayaPipelineOptions shared_options;
+  shared_options.context = ExecutionContext::Create(4);
+  MayaPipeline shared(*cluster_, bank_->kernel.get(), bank_->collective.get(), shared_options);
+  MayaPipelineOptions sequential_options;
+  sequential_options.partition_simulation = false;
+  sequential_options.enable_sim_cache = false;
+  MayaPipeline sequential(*cluster_, bank_->kernel.get(), bank_->collective.get(),
+                          sequential_options);
+  PredictionRequest request{TinyGpt(), BaseConfig()};
+  request.deduplicate_workers = false;
+  const Result<PredictionReport> a = shared.Predict(request);
+  const Result<PredictionReport> b = sequential.Predict(request);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ExpectBitIdenticalPredictions(*a, *b);
+}
+
 TEST(ComputeMfuTest, ScalesInverselyWithTime) {
   const ClusterSpec cluster = H100Cluster(8);
   const ModelConfig model = Gpt3_2_7B();

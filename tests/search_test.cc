@@ -263,6 +263,33 @@ TEST_F(SearchDriverTest, FindsValidConfigAndTracksStatus) {
   EXPECT_GT(outcome.cached, 0);  // random revisits points
   EXPECT_EQ(outcome.samples, 80);
   EXPECT_TRUE(outcome.best_config.Validate(TinyGpt(), *cluster_).ok());
+  // Per-trial stage counters aggregate across executed trials (the shared
+  // trial-execution helper feeds both the serial and ParallelFor paths).
+  EXPECT_GT(outcome.estimation_totals.kernel_ops, 0u);
+  EXPECT_GT(outcome.simulation_totals.workers, 0u);
+  EXPECT_GT(outcome.simulation_totals.components, 0u);
+  EXPECT_GT(outcome.stage_totals.simulation_ms, 0.0);
+}
+
+TEST_F(SearchDriverTest, SimCacheSharedAcrossSearches) {
+  // Stage-4 analogue of TraceCacheReusedAcrossSearches: a repeated search on
+  // one pipeline replays repeated annotated components from the sim cache,
+  // bit-identically.
+  MayaPipeline pipeline(*cluster_, bank_->kernel.get(), bank_->collective.get());
+  const ConfigSpace space({1, 2}, {1, 2}, {1, 2}, {1}, {false, true}, {false}, {false}, 32);
+  SearchOptions search;
+  search.algorithm = "grid";
+  search.sample_budget = static_cast<int>(space.size());
+  search.early_stop_patience = 0;
+
+  const SearchOutcome first = RunSearch(pipeline, TinyGpt(), space, search);
+  EXPECT_GT(pipeline.SimCacheStats().insertions, 0u);
+
+  const SearchOutcome second = RunSearch(pipeline, TinyGpt(), space, search);
+  EXPECT_GT(second.simulation_totals.cache_hits, 0u);
+  EXPECT_EQ(second.simulation_totals.simulated_components, 0u);
+  EXPECT_EQ(second.best_mfu, first.best_mfu);
+  EXPECT_EQ(second.best_iteration_us, first.best_iteration_us);
 }
 
 TEST_F(SearchDriverTest, PruningSkipsDominatedConfigs) {

@@ -444,6 +444,87 @@ TEST_F(ServiceTest, StatsSurfaceStageTimings) {
   EXPECT_EQ(stats->stats.max_queue_weight, 64.0);
 }
 
+TEST_F(ServiceTest, PerDeploymentStatsRoundTrip) {
+  // PR 4 follow-up: the `stats` response reports every resident deployment's
+  // cache/stage counters, not just the default deployment's — and the block
+  // survives the NDJSON wire format.
+  auto engine = MakeEngine();
+  InProcessTransport transport(engine.get());
+  ServiceClient client(&transport);
+  Result<ServiceResponse> predict = client.Predict(TinyGpt(), BaseConfig());
+  ASSERT_TRUE(predict.ok() && predict->ok);
+  TrainConfig derived_config = BaseConfig();
+  derived_config.global_batch_size = 64;
+  Result<ServiceResponse> derived = client.Predict(TinyGpt(), derived_config, "h100x16");
+  ASSERT_TRUE(derived.ok() && derived->ok) << derived->error;
+
+  ServiceRequest request;
+  request.id = 9;
+  request.payload = StatsPayload{};
+  const ServiceResponse direct = engine->Execute(request);
+  Result<ServiceResponse> stats = ParseServiceResponse(SerializeServiceResponse(direct));
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+
+  ASSERT_EQ(stats->stats.per_deployment.size(), 2u);
+  const DeploymentStats& fallback = stats->stats.per_deployment[0];
+  EXPECT_EQ(fallback.name, kDefaultDeploymentName);
+  EXPECT_FALSE(fallback.derived);
+  EXPECT_EQ(fallback.timed_requests, 1u);
+  EXPECT_GT(fallback.stage_totals.simulation_ms, 0.0);
+  EXPECT_GT(fallback.kernel_cache.insertions, 0u);
+  EXPECT_GT(fallback.sim_cache.insertions, 0u);
+  const DeploymentStats& whatif = stats->stats.per_deployment[1];
+  EXPECT_EQ(whatif.name, "h100x16");
+  EXPECT_TRUE(whatif.derived);
+  EXPECT_EQ(whatif.timed_requests, 1u);
+  EXPECT_GT(whatif.kernel_cache.insertions, 0u);
+  // Per-deployment counters are isolated: the derived pipeline's caches are
+  // not the default pipeline's.
+  EXPECT_EQ(direct.stats.per_deployment[0].kernel_cache.insertions,
+            fallback.kernel_cache.insertions);
+  // Top-level sim cache mirrors the default deployment's.
+  EXPECT_EQ(stats->stats.sim_cache.insertions, fallback.sim_cache.insertions);
+  // Fixed point: serialize(parse(serialize(x))) is byte-identical.
+  EXPECT_EQ(SerializeServiceResponse(*stats), SerializeServiceResponse(direct));
+}
+
+TEST_F(ServiceTest, BatchPredictSimCacheOnVsOffBitIdentical) {
+  // A batch over a repeated config answers from the sim cache after the
+  // first item — bit-identically to a cache-less engine.
+  ServiceEngineOptions cached_options;
+  ASSERT_TRUE(cached_options.pipeline.enable_sim_cache);
+  auto cached = MakeEngine(cached_options);
+  ServiceEngineOptions uncached_options;
+  uncached_options.pipeline.enable_sim_cache = false;
+  auto uncached = MakeEngine(uncached_options);
+
+  std::vector<TrainConfig> configs = {BaseConfig(), BaseConfig(), BaseConfig()};
+  configs[2].tensor_parallel = 1;
+  ServiceRequest request;
+  request.id = 1;
+  BatchPredictPayload payload;
+  payload.model = TinyGpt();
+  payload.configs = configs;
+  request.payload = std::move(payload);
+
+  const ServiceResponse a = cached->Execute(request);
+  const ServiceResponse b = uncached->Execute(request);
+  ASSERT_TRUE(a.ok) << a.error;
+  ASSERT_TRUE(b.ok) << b.error;
+  ASSERT_EQ(a.batch.size(), configs.size());
+  ASSERT_EQ(b.batch.size(), configs.size());
+  for (size_t i = 0; i < configs.size(); ++i) {
+    EXPECT_EQ(a.batch[i].iteration_time_us, b.batch[i].iteration_time_us) << "item " << i;
+    EXPECT_EQ(a.batch[i].mfu, b.batch[i].mfu) << "item " << i;
+    EXPECT_EQ(a.batch[i].peak_memory_bytes, b.batch[i].peak_memory_bytes) << "item " << i;
+    EXPECT_EQ(b.batch[i].simulation.cache_hits, 0u);
+  }
+  // Item 2 repeats item 1's config: its components all replay from cache.
+  EXPECT_EQ(a.batch[0].simulation.cache_hits, 0u);
+  EXPECT_GT(a.batch[1].simulation.cache_hits, 0u);
+  EXPECT_EQ(a.batch[1].simulation.simulated_components, 0u);
+}
+
 TEST_F(ServiceTest, WhatIfOomReportsVerdict) {
   auto engine = MakeEngine();
   InProcessTransport transport(engine.get());

@@ -117,6 +117,43 @@ SimOptions NoLatency() {
   return options;
 }
 
+// The sequential whole-cluster reference: one event heap, no fold, no dedup.
+SimOptions Sequential() {
+  SimOptions options = NoLatency();
+  options.partition_components = false;
+  options.deduplicate_replicas = false;
+  return options;
+}
+
+// Every per-worker field and every total must be EXPECT_EQ (not NEAR): the
+// component-partitioned/deduped/cached replay is bit-identical to the
+// sequential whole-cluster replay by construction.
+void ExpectSameReport(const SimReport& expected, const SimReport& actual) {
+  EXPECT_EQ(expected.total_time_us, actual.total_time_us);
+  EXPECT_EQ(expected.comm_time_us, actual.comm_time_us);
+  EXPECT_EQ(expected.exposed_comm_us, actual.exposed_comm_us);
+  EXPECT_EQ(expected.host_time_us, actual.host_time_us);
+  EXPECT_EQ(expected.peak_memory_bytes, actual.peak_memory_bytes);
+  EXPECT_EQ(expected.events_processed, actual.events_processed);
+  ASSERT_EQ(expected.workers.size(), actual.workers.size());
+  for (size_t w = 0; w < expected.workers.size(); ++w) {
+    EXPECT_EQ(expected.workers[w], actual.workers[w]) << "worker " << w;
+  }
+}
+
+// Two disjoint comm islands with different timings: {0,1} on comm 100 and
+// {2,3} on comm 200.
+JobTrace TwoIslandJob() {
+  CommGroup left{100, 2, {0, 1}};
+  CommGroup right{200, 2, {2, 3}};
+  return MakeJob(
+      {TraceBuilder(0).Kernel(1, 1.0, 5.0).Collective(1, 0.0, 7.0, 100, 0, 2, 0).Build(),
+       TraceBuilder(1).Kernel(1, 1.0, 20.0).Collective(1, 0.0, 7.0, 100, 0, 2, 1).Build(),
+       TraceBuilder(2).Kernel(1, 1.0, 9.0).Collective(1, 0.0, 3.0, 200, 0, 2, 0).Build(),
+       TraceBuilder(3).Kernel(1, 1.0, 31.0).Collective(1, 0.0, 3.0, 200, 0, 2, 1).Build()},
+      {}, {left, right});
+}
+
 // ---- Stream serialization ------------------------------------------------------
 
 TEST(SimulatorTest, SequentialKernelsOnOneStream) {
@@ -377,6 +414,191 @@ TEST(SimulatorTest, TwoStagePipelineShowsBubble) {
   // Stage 0: mb at [0,10),[11,21),[22,32) + sends. Stage 1 finishes its last
   // compute 10us after receiving the last send.
   EXPECT_DOUBLE_EQ(report->total_time_us, 43.0);
+}
+
+// ---- Component partitioning / replica dedup / sim cache --------------------------
+
+TEST(SimulatorTest, PartitionedComponentsMatchSequential) {
+  JobTrace job = TwoIslandJob();
+  Result<SimReport> sequential = Simulator(job, H100Cluster(8), Sequential()).Run();
+  ASSERT_TRUE(sequential.ok()) << sequential.status().ToString();
+
+  SimOptions partitioned = NoLatency();
+  partitioned.deduplicate_replicas = false;  // isolate the partitioning lever
+  Result<SimReport> report = Simulator(job, H100Cluster(8), partitioned).Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->stats.components, 2u);
+  EXPECT_EQ(report->stats.simulated_components, 2u);
+  EXPECT_EQ(report->stats.folded_workers, 0u);
+  ExpectSameReport(*sequential, *report);
+}
+
+TEST(SimulatorTest, ParallelComponentReplayMatchesSequential) {
+  JobTrace job = TwoIslandJob();
+  Result<SimReport> sequential = Simulator(job, H100Cluster(8), Sequential()).Run();
+  ASSERT_TRUE(sequential.ok());
+
+  ThreadPool pool(4);
+  SimOptions parallel = NoLatency();
+  parallel.deduplicate_replicas = false;
+  parallel.pool = &pool;
+  Result<SimReport> report = Simulator(job, H100Cluster(8), parallel).Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->stats.components, 2u);
+  ExpectSameReport(*sequential, *report);
+}
+
+TEST(SimulatorTest, LockstepReplicasFoldOntoOneRepresentative) {
+  // Four identical workers sharing one all-reduce: the §7.4 symmetry at
+  // simulation time — one representative replays, three timelines replicate.
+  CommGroup group{9, 4, {0, 1, 2, 3}};
+  std::vector<WorkerTrace> workers;
+  for (int rank = 0; rank < 4; ++rank) {
+    workers.push_back(TraceBuilder(rank)
+                          .Kernel(1, 1.0, 10.0)
+                          .Collective(1, 0.0, 6.0, 9, 0, 4, rank)
+                          .Kernel(1, 0.0, 4.0)
+                          .Build());
+  }
+  JobTrace job = MakeJob(std::move(workers), {}, {group});
+  Result<SimReport> sequential = Simulator(job, H100Cluster(8), Sequential()).Run();
+  ASSERT_TRUE(sequential.ok());
+
+  Result<SimReport> report = Simulator(job, H100Cluster(8), NoLatency()).Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->stats.workers, 4u);
+  EXPECT_EQ(report->stats.folded_workers, 3u);
+  EXPECT_EQ(report->stats.components, 1u);
+  EXPECT_EQ(report->stats.simulated_components, 1u);
+  ExpectSameReport(*sequential, *report);
+}
+
+TEST(SimulatorTest, IdenticalComponentsReplayOnce) {
+  // Two isomorphic islands whose workers differ within each island (no
+  // worker-level fold) but match across islands modulo communicator
+  // renumbering: component-level replica dedup replays one island.
+  CommGroup left{100, 2, {0, 1}};
+  CommGroup right{200, 2, {2, 3}};
+  JobTrace job = MakeJob(
+      {TraceBuilder(0).Kernel(1, 1.0, 5.0).Collective(1, 0.0, 7.0, 100, 0, 2, 0).Build(),
+       TraceBuilder(1).Kernel(1, 1.0, 20.0).Collective(1, 0.0, 7.0, 100, 0, 2, 1).Build(),
+       TraceBuilder(2).Kernel(1, 1.0, 5.0).Collective(1, 0.0, 7.0, 200, 0, 2, 0).Build(),
+       TraceBuilder(3).Kernel(1, 1.0, 20.0).Collective(1, 0.0, 7.0, 200, 0, 2, 1).Build()},
+      {}, {left, right});
+  Result<SimReport> sequential = Simulator(job, H100Cluster(8), Sequential()).Run();
+  ASSERT_TRUE(sequential.ok());
+
+  Result<SimReport> report = Simulator(job, H100Cluster(8), NoLatency()).Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->stats.folded_workers, 0u);
+  EXPECT_EQ(report->stats.components, 2u);
+  EXPECT_EQ(report->stats.replicated_components, 1u);
+  EXPECT_EQ(report->stats.simulated_components, 1u);
+  ExpectSameReport(*sequential, *report);
+}
+
+TEST(SimulatorTest, P2pEndpointsNeverFold) {
+  // Both ring endpoints record identical op sequences (send then recv on the
+  // same link): folding them would collapse the rendezvous. The p2p guard
+  // keeps them distinct and the replay bit-identical.
+  CommGroup ring{7, 2, {0, 1}};
+  JobTrace job = MakeJob(
+      {TraceBuilder(0)
+           .Collective(1, 1.0, 5.0, 7, 0, 2, 0, CollectiveKind::kSend)
+           .Collective(1, 0.0, 5.0, 7, 1, 2, 0, CollectiveKind::kRecv)
+           .Build(),
+       TraceBuilder(1)
+           .Collective(1, 1.0, 5.0, 7, 0, 2, 1, CollectiveKind::kSend)
+           .Collective(1, 0.0, 5.0, 7, 1, 2, 1, CollectiveKind::kRecv)
+           .Build()},
+      {}, {ring});
+  Result<SimReport> sequential = Simulator(job, H100Cluster(8), Sequential()).Run();
+  ASSERT_TRUE(sequential.ok());
+
+  Result<SimReport> report = Simulator(job, H100Cluster(8), NoLatency()).Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->stats.folded_workers, 0u);
+  ExpectSameReport(*sequential, *report);
+}
+
+TEST(SimulatorTest, SimCacheReplaysBitIdentical) {
+  JobTrace job = TwoIslandJob();
+  Result<SimReport> sequential = Simulator(job, H100Cluster(8), Sequential()).Run();
+  ASSERT_TRUE(sequential.ok());
+
+  SimulationCache cache;
+  SimOptions cached = NoLatency();
+  cached.cache = &cache;
+  Result<SimReport> cold = Simulator(job, H100Cluster(8), cached).Run();
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_EQ(cold->stats.cache_hits, 0u);
+  EXPECT_EQ(cold->stats.cache_misses, 2u);
+  ExpectSameReport(*sequential, *cold);
+
+  Result<SimReport> warm = Simulator(job, H100Cluster(8), cached).Run();
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_EQ(warm->stats.cache_hits, 2u);
+  EXPECT_EQ(warm->stats.simulated_components, 0u);
+  ExpectSameReport(*sequential, *warm);
+}
+
+TEST(SimulatorTest, SimCacheKeyedBySimOptions) {
+  // The same annotated trace under different resolved options must not share
+  // cache entries.
+  JobTrace job = TwoIslandJob();
+  SimulationCache cache;
+  SimOptions no_latency = NoLatency();
+  no_latency.cache = &cache;
+  Result<SimReport> fast = Simulator(job, H100Cluster(8), no_latency).Run();
+  ASSERT_TRUE(fast.ok());
+
+  SimOptions with_latency = no_latency;
+  with_latency.dispatch_latency_us = 4.0;
+  Result<SimReport> slow = Simulator(job, H100Cluster(8), with_latency).Run();
+  ASSERT_TRUE(slow.ok());
+  EXPECT_EQ(slow->stats.cache_hits, 0u);  // different key despite same trace
+  EXPECT_GT(slow->total_time_us, fast->total_time_us);
+}
+
+TEST(SimulatorTest, StuckWorkerDiagnosticUnderBothModes) {
+  // Mismatched collective (rank 1 never joins): the deadlock diagnostic must
+  // fire — and name the stuck rank and communicator — under the sequential
+  // AND the component-partitioned/deduped execution.
+  CommGroup group{4, 2, {0, 1}};
+  JobTrace job = MakeJob(
+      {TraceBuilder(0)
+           .Collective(1, 0.0, 5.0, 4, 0, 2, 0)
+           .HostSync(TraceOpType::kDeviceSynchronize, 0, 0.0)
+           .Build(),
+       TraceBuilder(1).Kernel(1, 0.0, 5.0).Build()},
+      {}, {group});
+  for (const SimOptions& options : {Sequential(), NoLatency()}) {
+    Result<SimReport> report = Simulator(job, H100Cluster(8), options).Run();
+    ASSERT_FALSE(report.ok());
+    EXPECT_NE(report.status().message().find("deadlock"), std::string::npos);
+    EXPECT_NE(report.status().message().find("rank 0"), std::string::npos);
+    EXPECT_NE(report.status().message().find("cudaDeviceSynchronize"), std::string::npos);
+  }
+  // Without the host block the same mismatch drains the event queue with the
+  // rendezvous still pending — the collective-waits diagnostic, again under
+  // both modes.
+  JobTrace async_job = MakeJob(
+      {TraceBuilder(0).Collective(1, 0.0, 5.0, 4, 0, 2, 0).Build(),
+       TraceBuilder(1).Kernel(1, 0.0, 5.0).Build()},
+      {}, {group});
+  for (const SimOptions& options : {Sequential(), NoLatency()}) {
+    Result<SimReport> report = Simulator(async_job, H100Cluster(8), options).Run();
+    ASSERT_FALSE(report.ok());
+    EXPECT_NE(report.status().message().find("collectives left waiting"), std::string::npos);
+  }
+}
+
+TEST(SimulatorTest, NegativeDispatchLatencyRejectedAtConstruction) {
+  JobTrace job = MakeJob({TraceBuilder(0).Kernel(1, 0.0, 1.0).Build()});
+  SimOptions options;
+  options.dispatch_latency_us = -1.0;
+  EXPECT_DEATH_IF_SUPPORTED(Simulator(job, H100Cluster(8), options),
+                            "dispatch latency must be non-negative");
 }
 
 // ---- Misc ------------------------------------------------------------------------------------

@@ -13,7 +13,10 @@
 //   maya_serve [--cluster=h100x8] [--deployments=v100x8,a40] [--workers=4]
 //              [--queue_weight=64] [--search_weight=16]
 //              [--execution_threads=0] [--artifacts=DIR] [--save_artifacts]
-//              [--sweep=full|small|tiny]
+//              [--sweep=full|small|tiny] [--no_sim_cache]
+//
+// --no_sim_cache disables the cross-trial simulation cache (stage 4 replays
+// every comm component fresh; output-preserving either way).
 //
 // --cluster is the default deployment; --deployments registers additional
 // per-arch banks (each trains its own estimators on a cold start), enabling
@@ -56,6 +59,7 @@ struct ServeFlags {
   std::string artifacts;
   bool save_artifacts = false;
   std::string sweep = "small";
+  bool sim_cache = true;
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -123,6 +127,8 @@ int main(int argc, char** argv) {
     } else if (ParseFlag(argv[i], "--artifacts", &flags.artifacts)) {
     } else if (std::strcmp(argv[i], "--save_artifacts") == 0) {
       flags.save_artifacts = true;
+    } else if (std::strcmp(argv[i], "--no_sim_cache") == 0) {
+      flags.sim_cache = false;
     } else if (ParseFlag(argv[i], "--sweep", &flags.sweep)) {
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
@@ -151,9 +157,10 @@ int main(int argc, char** argv) {
   options.worker_threads = flags.workers;
   options.max_queue_weight = flags.queue_weight;
   options.weights.search = flags.search_weight;
-  // One shared pool drives stage 1 (emulation) and stage 3 (estimation) of
-  // every deployment's pipeline.
+  // One shared pool drives stage 1 (emulation), stage 3 (estimation) and the
+  // stage-4 component replays of every deployment's pipeline.
   options.pipeline.context = ExecutionContext::Create(flags.execution_threads);
+  options.pipeline.enable_sim_cache = flags.sim_cache;
 
   std::unique_ptr<ServiceEngine> engine;
   ArtifactStore store(flags.artifacts.empty() ? "." : flags.artifacts);
