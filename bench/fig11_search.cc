@@ -27,13 +27,13 @@ int main() {
     cma_options.sample_budget = 2000;
     cma_options.early_stop_patience = 20;
     cma_options.seed = 17;
-    const SearchOutcome cma = RunSearch(pipeline, setup.model, space, cma_options);
+    const SearchOutcome cma = *RunSearch(pipeline, setup.model, space, cma_options);
 
     SearchOptions grid_options;
     grid_options.algorithm = "grid";
     grid_options.sample_budget = static_cast<int>(space.size());
     grid_options.early_stop_patience = 0;
-    const SearchOutcome grid = RunSearch(pipeline, setup.model, space, grid_options);
+    const SearchOutcome grid = *RunSearch(pipeline, setup.model, space, grid_options);
 
     CHECK(cma.found);
     CHECK(grid.found);

@@ -25,7 +25,7 @@ int main() {
     options.sample_budget = 2000;
     options.early_stop_patience = 20;
     options.seed = 23;
-    const SearchOutcome outcome = RunSearch(pipeline, setup.model, space, options);
+    const SearchOutcome outcome = *RunSearch(pipeline, setup.model, space, options);
     const int resolved = outcome.executed + outcome.skipped;
     table.AddRow({setup.label, StrFormat("%d", outcome.samples),
                   StrFormat("%d", outcome.executed), StrFormat("%d", outcome.cached),

@@ -43,7 +43,7 @@ void RunSetup(const Setup& setup, EstimatorCache& cache) {
     options.sample_budget = 2000;
     options.early_stop_patience = 0;  // the appendix experiment runs the budget out
     options.seed = 41;
-    const SearchOutcome outcome = RunSearch(pipeline, setup.model, space, options);
+    const SearchOutcome outcome = *RunSearch(pipeline, setup.model, space, options);
     optimal = std::max(optimal, outcome.best_mfu);
     outcomes.emplace_back(algorithm, outcome);
   }

@@ -662,8 +662,10 @@ void RunServiceThroughputStudy() {
   options.max_queue_weight = 4096.0;
 
   // Cold start: fresh engine, empty estimate caches, first sweep pass.
-  ServiceEngine cold(fixture.cluster, fixture.bank.kernel.get(), fixture.bank.collective.get(),
-                     options);
+  Result<std::unique_ptr<ServiceEngine>> cold_created = ServiceEngine::Create(
+      fixture.cluster, fixture.bank.kernel.get(), fixture.bank.collective.get(), options);
+  CHECK(cold_created.ok()) << cold_created.status().ToString();
+  ServiceEngine& cold = **cold_created;
   const double cold_per_sec =
       MeasureServiceRequestsPerSec(cold, sweep, /*clients=*/1, /*per_client=*/
                                    static_cast<int>(sweep.size()));

@@ -25,7 +25,7 @@ int main() {
   optimized.sample_budget = 2000;
   optimized.early_stop_patience = 20;
   optimized.seed = 31;
-  const SearchOutcome maya = RunSearch(pipeline, setup.model, space, optimized);
+  const SearchOutcome maya = *RunSearch(pipeline, setup.model, space, optimized);
 
   // ---- Unoptimized sample: grid order, no dedup, no pruning -------------------
   // The estimate cache is one of Maya's optimizations (and was warmed by the

@@ -29,7 +29,12 @@ int main() {
   options.sample_budget = 2000;
   options.early_stop_patience = 20;
   options.seed = 7;
-  const SearchOutcome outcome = RunSearch(maya, model, space, options);
+  Result<SearchOutcome> search = RunSearch(maya, model, space, options);
+  if (!search.ok()) {
+    std::printf("search failed: %s\n", search.status().ToString().c_str());
+    return 1;
+  }
+  const SearchOutcome& outcome = *search;
 
   if (!outcome.found) {
     std::printf("no runnable configuration found\n");

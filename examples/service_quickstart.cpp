@@ -38,8 +38,13 @@ int main() {
   // queue bound than predicts.
   options.max_queue_weight = 64.0;
   options.weights.search = 16.0;
-  auto engine = std::make_unique<ServiceEngine>(
+  Result<std::unique_ptr<ServiceEngine>> created = ServiceEngine::Create(
       cluster, TrainEstimators(cluster, profiling_hardware, sweep), options);
+  if (!created.ok()) {
+    std::printf("engine construction failed: %s\n", created.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<ServiceEngine> engine = *std::move(created);
 
   // Register a second per-arch bank: V100 what-ifs now answer from V100
   // estimators even though the engine's default deployment is H100.

@@ -1,0 +1,155 @@
+#include "src/common/fault_injection.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "src/common/hash.h"
+#include "src/common/rng.h"
+#include "src/common/strings.h"
+
+namespace maya {
+namespace {
+
+// A probe fires iff mix(seed, site, probe index) maps under the site's
+// probability threshold. Mapping the mixed word to [0, 1) through SplitMix64
+// keeps the decision independent across sites and across probes of one site.
+bool Fires(uint64_t seed, const std::string& site, uint64_t probe, double probability) {
+  if (probability <= 0.0) {
+    return false;
+  }
+  if (probability >= 1.0) {
+    return true;
+  }
+  const uint64_t mixed = SplitMix64(HashCombine(FnvHash(site, seed), probe));
+  // 53 high bits -> uniform double in [0, 1).
+  const double draw = static_cast<double>(mixed >> 11) * 0x1.0p-53;
+  return draw < probability;
+}
+
+}  // namespace
+
+FaultInjection& FaultInjection::Instance() {
+  static FaultInjection* instance = new FaultInjection();
+  return *instance;
+}
+
+Status FaultInjection::Configure(const std::string& spec, uint64_t seed) {
+  std::vector<Rule> rules;
+  size_t begin = 0;
+  while (begin < spec.size()) {
+    size_t end = spec.find(',', begin);
+    if (end == std::string::npos) {
+      end = spec.size();
+    }
+    const std::string clause = spec.substr(begin, end - begin);
+    begin = end + 1;
+    if (clause.empty()) {
+      continue;
+    }
+    const size_t eq = clause.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("fault spec clause '" + clause +
+                                     "' is not of the form site=probability");
+    }
+    Rule rule;
+    rule.pattern = clause.substr(0, eq);
+    std::string value = clause.substr(eq + 1);
+    const size_t at = value.find('@');
+    if (at != std::string::npos) {
+      const std::string max_text = value.substr(at + 1);
+      // strtoull accepts a leading '-' and wraps, so digits-only is checked
+      // explicitly.
+      if (max_text.empty() ||
+          max_text.find_first_not_of("0123456789") != std::string::npos) {
+        return Status::InvalidArgument("fault spec clause '" + clause +
+                                       "' has a malformed @max_fires suffix");
+      }
+      const unsigned long long max_fires = std::strtoull(max_text.c_str(), nullptr, 10);
+      rule.max_fires = max_fires;
+      value = value.substr(0, at);
+    }
+    char* parse_end = nullptr;
+    rule.probability = std::strtod(value.c_str(), &parse_end);
+    // The negated range test also rejects NaN, which compares false to both
+    // bounds and would otherwise slip through.
+    if (value.empty() || parse_end == nullptr || *parse_end != '\0' ||
+        !(rule.probability >= 0.0 && rule.probability <= 1.0)) {
+      return Status::InvalidArgument("fault spec clause '" + clause +
+                                     "' needs a probability in [0, 1]");
+    }
+    rules.push_back(std::move(rule));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    seed_ = seed;
+    rules_ = std::move(rules);
+    sites_.clear();
+    fired_.store(0, std::memory_order_relaxed);
+    armed_.store(!rules_.empty(), std::memory_order_release);
+  }
+  return Status::Ok();
+}
+
+void FaultInjection::Disarm() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_.store(false, std::memory_order_release);
+  rules_.clear();
+  sites_.clear();
+  fired_.store(0, std::memory_order_relaxed);
+}
+
+const FaultInjection::Rule* FaultInjection::MatchLocked(const std::string& site) const {
+  for (const Rule& rule : rules_) {
+    if (!rule.pattern.empty() && rule.pattern.back() == '*') {
+      if (site.compare(0, rule.pattern.size() - 1, rule.pattern, 0,
+                       rule.pattern.size() - 1) == 0) {
+        return &rule;
+      }
+    } else if (site == rule.pattern) {
+      return &rule;
+    }
+  }
+  return nullptr;
+}
+
+Status FaultInjection::MaybeFail(const char* site) {
+  if (!armed_.load(std::memory_order_acquire)) {
+    return Status::Ok();
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (rules_.empty()) {
+    return Status::Ok();
+  }
+  const std::string name(site);
+  const Rule* rule = MatchLocked(name);
+  if (rule == nullptr) {
+    return Status::Ok();
+  }
+  SiteState& state = sites_[name];
+  const uint64_t probe = state.probes++;
+  if (state.fires >= rule->max_fires || !Fires(seed_, name, probe, rule->probability)) {
+    return Status::Ok();
+  }
+  ++state.fires;
+  fired_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Internal(StrFormat("injected fault at '%s' (probe %llu)", site,
+                                    static_cast<unsigned long long>(probe)));
+}
+
+uint64_t FaultInjection::fired_count(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fires;
+}
+
+std::vector<std::string> FaultInjection::ArmedPatterns() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> patterns;
+  patterns.reserve(rules_.size());
+  for (const Rule& rule : rules_) {
+    patterns.push_back(rule.pattern);
+  }
+  return patterns;
+}
+
+}  // namespace maya

@@ -1,0 +1,82 @@
+// Deterministic, seedable fault injection for chaos testing the serving
+// stack. Production code declares named injection sites (one line per site);
+// a disarmed registry answers every probe with Ok at the cost of one relaxed
+// atomic load. Tests and `maya_serve --fault_spec` arm sites with a firing
+// probability; whether a given probe fires is a pure function of
+// (seed, site name, per-site probe counter), so a single-threaded replay of
+// the same probe sequence fires identically — no wall clock, no global RNG
+// state shared across sites.
+//
+// Spec grammar (comma-separated):
+//   site=probability           fire each probe with this probability
+//   site=probability@max       as above, but at most `max` total fires
+//   prefix*=probability        arm every site whose name starts with prefix
+// Examples: "pipeline.simulate=1", "artifact.*=0.25@3,service.worker=0.1".
+//
+// A fired probe surfaces as Status::Internal("injected fault at '<site>'"),
+// which callers propagate like any other failure — fault handling exercises
+// the exact error paths real faults would take.
+#ifndef SRC_COMMON_FAULT_INJECTION_H_
+#define SRC_COMMON_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace maya {
+
+class FaultInjection {
+ public:
+  // Process-wide registry: injection sites live in library code that has no
+  // natural handle to thread a registry through (pipeline stages, file I/O).
+  static FaultInjection& Instance();
+
+  // Parses and arms `spec` (see grammar above) under `seed`. Replaces any
+  // previous configuration and resets per-site counters. An empty spec
+  // disarms. Rejects malformed specs without changing the armed state.
+  Status Configure(const std::string& spec, uint64_t seed);
+
+  // Disarms every site and resets counters.
+  void Disarm();
+
+  // Probes `site`: returns Internal when the site is armed and fires,
+  // Ok otherwise. The no-spec fast path is a single atomic load.
+  Status MaybeFail(const char* site);
+
+  // Total probes that fired since the last Configure/Disarm.
+  uint64_t fired_count() const { return fired_.load(std::memory_order_relaxed); }
+  // Fires recorded for one site.
+  uint64_t fired_count(const std::string& site) const;
+  // Armed site patterns, for diagnostics.
+  std::vector<std::string> ArmedPatterns() const;
+
+ private:
+  struct Rule {
+    std::string pattern;  // exact site name, or "prefix*"
+    double probability = 0.0;
+    uint64_t max_fires = UINT64_MAX;
+  };
+  struct SiteState {
+    uint64_t probes = 0;
+    uint64_t fires = 0;
+  };
+
+  FaultInjection() = default;
+  const Rule* MatchLocked(const std::string& site) const;
+
+  std::atomic<bool> armed_{false};
+  std::atomic<uint64_t> fired_{0};
+  mutable std::mutex mutex_;
+  uint64_t seed_ = 0;
+  std::vector<Rule> rules_;
+  std::map<std::string, SiteState> sites_;
+};
+
+}  // namespace maya
+
+#endif  // SRC_COMMON_FAULT_INJECTION_H_

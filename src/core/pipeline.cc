@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/fault_injection.h"
 #include "src/common/hash.h"
 #include "src/common/strings.h"
 #include "src/trace/collator.h"
@@ -107,8 +108,10 @@ MayaPipeline::MayaPipeline(const ClusterSpec& cluster,
           ShardedCacheOptions{options.estimate_cache_shards, options.estimate_cache_entries}),
       trace_cache_(ShardedCacheOptions{8, options.trace_cache_entries}),
       sim_cache_(ShardedCacheOptions{options.sim_cache_shards, options.sim_cache_entries}) {
-  CHECK(kernel_estimator_ != nullptr);
-  CHECK(collective_estimator_ != nullptr);
+  // Constructor contract, not a request-reachable path: pipelines are built
+  // by the deployment registry, which refuses untrained banks with a Status.
+  DCHECK(kernel_estimator_ != nullptr);
+  DCHECK(collective_estimator_ != nullptr);
   // options_ owns the context (shared with sibling pipelines); the raw pool
   // pointer is just the per-call shortcut.
   stage_pool_ = options_.context != nullptr ? options_.context->pool() : nullptr;
@@ -278,6 +281,10 @@ Result<SimReport> MayaPipeline::Simulate(const JobTrace& job, bool deduplicate_r
 Result<PredictionReport> MayaPipeline::Predict(const PredictionRequest& request) const {
   PredictionReport report;
   StageClock clock;
+  // Injection sites fire BEFORE their stage touches any shared cache, so a
+  // faulted request leaves the pipeline's cross-trial state exactly as it
+  // found it (chaos tests assert bit-identity of the surviving requests).
+  FaultInjection& faults = FaultInjection::Instance();
 
   std::string trace_key;
   std::shared_ptr<const CollatedTrace> cached;
@@ -308,6 +315,7 @@ Result<PredictionReport> MayaPipeline::Predict(const PredictionRequest& request)
     // (1) Trace collection via emulation. The shared pool is safe for
     // concurrent Predict calls: ParallelFor isolates each caller's ranks
     // behind a per-call latch.
+    MAYA_RETURN_IF_ERROR(faults.MaybeFail("pipeline.emulate"));
     LaunchOptions launch;
     launch.selective_launch = request.selective_launch;
     launch.emulation_pool = stage_pool_;
@@ -332,6 +340,7 @@ Result<PredictionReport> MayaPipeline::Predict(const PredictionRequest& request)
 
     // (2) Trace collation + worker deduplication (fingerprints fan out on
     // the shared pool; grouping stays bit-identical to the sequential pass).
+    MAYA_RETURN_IF_ERROR(faults.MaybeFail("pipeline.collate"));
     CollationOptions collation;
     collation.deduplicate = request.deduplicate_workers;
     collation.pool = stage_pool_;
@@ -354,12 +363,14 @@ Result<PredictionReport> MayaPipeline::Predict(const PredictionRequest& request)
   }
 
   // (3) Kernel runtime estimation.
+  MAYA_RETURN_IF_ERROR(faults.MaybeFail("pipeline.estimate"));
   report.estimation = AnnotateDurations(job, request.oracle);
   report.timings.estimation_ms = clock.LapMs();
 
   // (4) End-to-end simulation (no SM contention: Maya's model, §8). The
   // request's dedup knob extends to stage 4: dedup-off predictions replay
   // every simulated worker individually.
+  MAYA_RETURN_IF_ERROR(faults.MaybeFail("pipeline.simulate"));
   Result<SimReport> sim = Simulate(job, request.deduplicate_workers);
   if (!sim.ok()) {
     return sim.status();
@@ -368,6 +379,7 @@ Result<PredictionReport> MayaPipeline::Predict(const PredictionRequest& request)
   report.simulation = report.sim.stats;
   report.timings.simulation_ms = clock.LapMs();
 
+  MAYA_RETURN_IF_ERROR(faults.MaybeFail("pipeline.finalize"));
   report.iteration_time_us = report.sim.total_time_us;
   report.mfu = ComputeMfu(request.model, request.config.global_batch_size, cluster_,
                           report.iteration_time_us);
@@ -376,13 +388,18 @@ Result<PredictionReport> MayaPipeline::Predict(const PredictionRequest& request)
 
 double ComputeMfu(const ModelConfig& model, int64_t global_batch, const ClusterSpec& cluster,
                   double iteration_time_us) {
-  CHECK_GT(iteration_time_us, 0.0);
+  // Request-reachable (iteration time flows out of a simulation of an
+  // arbitrary wire config; the batch comes straight off the wire): degenerate
+  // inputs mean "no useful utilization number", never an abort.
+  if (iteration_time_us <= 0.0) {
+    return 0.0;
+  }
   const double model_flops = model.FlopsPerIteration(global_batch);
   const double peak = model.family == ModelFamily::kResNet ? cluster.gpu.peak_fp32_flops
                                                            : cluster.gpu.peak_tensor_flops;
   const double cluster_flops =
       peak * cluster.total_gpus() * (iteration_time_us / 1e6);
-  return model_flops / cluster_flops;
+  return cluster_flops > 0.0 ? model_flops / cluster_flops : 0.0;
 }
 
 }  // namespace maya

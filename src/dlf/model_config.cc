@@ -1,6 +1,5 @@
 #include "src/dlf/model_config.h"
 
-#include "src/common/check.h"
 #include "src/common/strings.h"
 
 namespace maya {
@@ -19,6 +18,48 @@ const char* ModelFamilyName(ModelFamily family) {
       return "ResNet";
   }
   return "UNKNOWN";
+}
+
+Status ModelConfig::Validate() const {
+  if (family == ModelFamily::kResNet) {
+    if (image_size < 4 || stem_channels < 1 || num_classes < 1) {
+      return Status::InvalidArgument("convolutional model needs image_size >= 4, "
+                                     "stem_channels >= 1 and num_classes >= 1");
+    }
+    if (conv_stages.empty()) {
+      return Status::InvalidArgument("convolutional model declares no conv stages");
+    }
+    int64_t spatial = image_size / 4;  // after stem + pool
+    for (size_t i = 0; i < conv_stages.size(); ++i) {
+      const ConvStageConfig& stage = conv_stages[i];
+      // Bottleneck arithmetic divides channels by 4; a narrower stage would
+      // round its mid width to zero.
+      if (stage.blocks < 1 || stage.channels < 4 || stage.stride < 1) {
+        return Status::InvalidArgument(
+            StrFormat("conv stage %zu needs blocks >= 1, channels >= 4, stride >= 1", i));
+      }
+      spatial /= stage.stride;
+      if (spatial < 1) {
+        return Status::InvalidArgument(
+            StrFormat("conv stage %zu strides the %lld-pixel input below 1x1", i,
+                      static_cast<long long>(image_size)));
+      }
+    }
+    return Status::Ok();
+  }
+  if (num_layers < 1 || hidden_size < 1 || num_heads < 1 || vocab_size < 1 ||
+      seq_length < 1 || ffn_multiplier < 1) {
+    return Status::InvalidArgument(
+        "transformer model needs num_layers, hidden_size, num_heads, vocab_size, "
+        "seq_length and ffn_multiplier all >= 1");
+  }
+  // Attention splits hidden_size into num_heads equal head dims.
+  if (hidden_size % num_heads != 0) {
+    return Status::InvalidArgument(
+        StrFormat("hidden_size %lld not divisible by num_heads %lld",
+                  static_cast<long long>(hidden_size), static_cast<long long>(num_heads)));
+  }
+  return Status::Ok();
 }
 
 double ModelConfig::ParameterCount() const {
@@ -46,7 +87,11 @@ double ModelConfig::ParameterCount() const {
 }
 
 double ModelConfig::FlopsPerIteration(int64_t global_batch) const {
-  CHECK_GT(global_batch, 0);
+  if (global_batch <= 0) {
+    // Wire-reachable (global batch comes straight out of a request config);
+    // a degenerate batch means zero work, never an abort.
+    return 0.0;
+  }
   if (family == ModelFamily::kResNet) {
     // fwd+bwd ~= 3x forward; forward ~2 flops/MAC.
     double fwd_flops = 0.0;

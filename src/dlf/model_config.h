@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "src/common/status.h"
+
 namespace maya {
 
 enum class ModelFamily {
@@ -42,6 +44,12 @@ struct ModelConfig {
   int64_t stem_channels = 64;
   std::vector<ConvStageConfig> conv_stages;
   int64_t num_classes = 1000;
+
+  // Structural sanity of the architecture fields for this family. Model
+  // configs arrive off the service wire, and the training engines index and
+  // divide by these fields without re-checking them — a hostile config must
+  // be rejected here, before it reaches engine arithmetic.
+  Status Validate() const;
 
   // Approximate parameter count.
   double ParameterCount() const;

@@ -20,29 +20,42 @@ const char* ParallelFrameworkName(ParallelFramework framework) {
 
 int TrainConfig::data_parallel(int total_gpus) const {
   const int model_parallel = tensor_parallel * pipeline_parallel;
-  CHECK_GT(model_parallel, 0);
-  CHECK_EQ(total_gpus % model_parallel, 0);
+  DCHECK_GT(model_parallel, 0);
+  DCHECK_EQ(total_gpus % model_parallel, 0);
   return total_gpus / model_parallel;
 }
 
 int64_t TrainConfig::microbatch_size(int total_gpus) const {
   const int64_t denominator =
       static_cast<int64_t>(data_parallel(total_gpus)) * num_microbatches();
-  CHECK_GT(denominator, 0);
-  CHECK_EQ(global_batch_size % denominator, 0);
+  DCHECK_GT(denominator, 0);
+  DCHECK_EQ(global_batch_size % denominator, 0);
   return global_batch_size / denominator;
 }
 
 Status TrainConfig::Validate(const ModelConfig& model, const ClusterSpec& cluster) const {
+  // Model fields feed the same engine arithmetic as the knobs below; a config
+  // over a hostile model is invalid regardless of its parallelism degrees.
+  MAYA_RETURN_IF_ERROR(model.Validate());
   const int total_gpus = cluster.total_gpus();
+  if (total_gpus < 1) {
+    return Status::InvalidArgument("cluster has no GPUs");
+  }
+  if (global_batch_size < 1) {
+    return Status::InvalidArgument("global batch size must be >= 1");
+  }
   if (tensor_parallel < 1 || pipeline_parallel < 1 || microbatch_multiplier < 1 ||
       virtual_pipeline_stages < 1) {
     return Status::InvalidArgument("degrees must be >= 1");
   }
-  const int model_parallel = tensor_parallel * pipeline_parallel;
+  // Widen before multiplying: wire-supplied degrees near INT_MAX would
+  // overflow an int product before the range check could reject them.
+  const int64_t model_parallel =
+      static_cast<int64_t>(tensor_parallel) * static_cast<int64_t>(pipeline_parallel);
   if (model_parallel > total_gpus || total_gpus % model_parallel != 0) {
     return Status::InvalidArgument(
-        StrFormat("tp*pp=%d does not divide %d GPUs", model_parallel, total_gpus));
+        StrFormat("tp*pp=%lld does not divide %d GPUs",
+                  static_cast<long long>(model_parallel), total_gpus));
   }
   // Tensor parallelism beyond the node boundary is impractical (NVLink only).
   if (tensor_parallel > cluster.gpus_per_node) {
@@ -53,6 +66,11 @@ Status TrainConfig::Validate(const ModelConfig& model, const ClusterSpec& cluste
   }
   if (virtual_pipeline_stages > 1 && pipeline_parallel == 1) {
     return Status::InvalidArgument("virtual stages require pipeline parallelism");
+  }
+  // num_microbatches() returns int; keep the product inside int range so the
+  // derived-quantity accessors can never overflow after validation.
+  if (static_cast<int64_t>(microbatch_multiplier) * pipeline_parallel > (int64_t{1} << 30)) {
+    return Status::InvalidArgument("microbatch count exceeds 2^30");
   }
   if (model.family != ModelFamily::kResNet) {
     const int64_t chunks =
@@ -69,8 +87,10 @@ Status TrainConfig::Validate(const ModelConfig& model, const ClusterSpec& cluste
       return Status::InvalidArgument("attention heads not divisible by tp");
     }
   }
-  const int64_t denominator =
-      static_cast<int64_t>(total_gpus / model_parallel) * num_microbatches();
+  // int64 throughout: num_microbatches() multiplies two wire-supplied ints.
+  const int64_t denominator = (total_gpus / model_parallel) *
+                              static_cast<int64_t>(microbatch_multiplier) *
+                              static_cast<int64_t>(pipeline_parallel);
   if (global_batch_size % denominator != 0) {
     return Status::InvalidArgument(
         StrFormat("global batch %lld not divisible by dp*microbatches=%lld",

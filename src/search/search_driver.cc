@@ -29,16 +29,18 @@ struct TrialResult {
   SimulationStats simulation;
 };
 
-// Runs the full Maya pipeline for one configuration (thread-safe).
-TrialResult ExecuteTrial(const MayaPipeline& pipeline, const ModelConfig& model,
-                         const SearchOptions& options, const TrainConfig& config) {
+// Runs the full Maya pipeline for one configuration (thread-safe). A failed
+// pipeline run (e.g. an injected fault) propagates: the caller aborts the
+// search rather than folding a silently-missing trial into the outcome.
+Result<TrialResult> ExecuteTrial(const MayaPipeline& pipeline, const ModelConfig& model,
+                                 const SearchOptions& options, const TrainConfig& config) {
   PredictionRequest request;
   request.model = model;
   request.config = config;
   request.deduplicate_workers = options.deduplicate_workers;
   request.selective_launch = options.selective_launch;
   Result<PredictionReport> report = pipeline.Predict(request);
-  CHECK(report.ok()) << report.status().ToString();
+  MAYA_RETURN_IF_ERROR(report.status());
   TrialResult result;
   result.outcome.valid = true;
   result.outcome.oom = report->oom;
@@ -85,10 +87,11 @@ bool UpdateTop5(std::multiset<double, std::greater<double>>& top5, double mfu) {
 
 }  // namespace
 
-SearchOutcome RunSearch(const MayaPipeline& pipeline, const ModelConfig& model,
-                        const ConfigSpace& space, const SearchOptions& options) {
+Result<SearchOutcome> RunSearch(const MayaPipeline& pipeline, const ModelConfig& model,
+                                const ConfigSpace& space, const SearchOptions& options) {
   const auto start = std::chrono::steady_clock::now();
-  auto algorithm = MakeSearchAlgorithm(options.algorithm, space, options.seed);
+  MAYA_ASSIGN_OR_RETURN(std::unique_ptr<SearchAlgorithm> algorithm,
+                        MakeSearchAlgorithm(options.algorithm, space, options.seed));
   const bool stateless = options.algorithm == "grid" || options.algorithm == "random";
   const int batch_size = stateless ? std::max(1, options.concurrency) : 1;
   ThreadPool pool(static_cast<size_t>(std::max(1, options.concurrency)));
@@ -157,18 +160,24 @@ SearchOutcome RunSearch(const MayaPipeline& pipeline, const ModelConfig& model,
     }
     if (to_run.size() == 1 || batch_size == 1) {
       for (size_t i : to_run) {
-        const TrialResult result = ExecuteTrial(pipeline, model, options, batch[i].config);
-        batch[i].outcome = result.outcome;
-        AccumulateTrial(outcome, result);
+        Result<TrialResult> result = ExecuteTrial(pipeline, model, options, batch[i].config);
+        MAYA_RETURN_IF_ERROR(result.status());
+        batch[i].outcome = result->outcome;
+        AccumulateTrial(outcome, *result);
       }
     } else if (!to_run.empty()) {
-      std::vector<TrialResult> results(to_run.size());
+      // Buffer per-trial statuses: ParallelFor joins every task, so all
+      // results land before the first error is surfaced (deterministically,
+      // in ask order — not in completion order).
+      std::vector<Result<TrialResult>> results(to_run.size(),
+                                               Result<TrialResult>(Status::Internal("")));
       pool.ParallelFor(to_run.size(), [&](size_t j) {
         results[j] = ExecuteTrial(pipeline, model, options, batch[to_run[j]].config);
       });
       for (size_t j = 0; j < to_run.size(); ++j) {
-        batch[to_run[j]].outcome = results[j].outcome;
-        AccumulateTrial(outcome, results[j]);
+        MAYA_RETURN_IF_ERROR(results[j].status());
+        batch[to_run[j]].outcome = results[j]->outcome;
+        AccumulateTrial(outcome, *results[j]);
       }
     }
 

@@ -62,8 +62,12 @@ struct SearchOutcome {
   std::vector<std::pair<int, double>> progress;
 };
 
-SearchOutcome RunSearch(const MayaPipeline& pipeline, const ModelConfig& model,
-                        const ConfigSpace& space, const SearchOptions& options);
+// Runs the search to completion. Fails (without aborting) on an unknown
+// algorithm name or when any trial's pipeline run fails — a search result
+// computed over a partially-failed trial set would silently diverge from the
+// fault-free outcome, so the first trial error aborts the whole search.
+Result<SearchOutcome> RunSearch(const MayaPipeline& pipeline, const ModelConfig& model,
+                                const ConfigSpace& space, const SearchOptions& options);
 
 }  // namespace maya
 

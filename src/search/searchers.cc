@@ -314,8 +314,10 @@ class CmaEsSearch final : public SearchAlgorithm {
   }
 
   void Tell(size_t, double objective) override {
-    // Tells arrive in Ask order (FIFO): batched asking is supported.
-    CHECK(!pending_.empty());
+    // Tells arrive in Ask order (FIFO): batched asking is supported. The
+    // driver owns the alternation, so an empty deque is a driver bug, not a
+    // request-reachable state.
+    DCHECK(!pending_.empty());
     Candidate candidate = std::move(pending_.front());
     pending_.pop_front();
     candidate.objective = objective;
@@ -467,28 +469,28 @@ class CmaEsSearch final : public SearchAlgorithm {
 
 }  // namespace
 
-std::unique_ptr<SearchAlgorithm> MakeSearchAlgorithm(const std::string& name,
-                                                     const ConfigSpace& space, uint64_t seed) {
+Result<std::unique_ptr<SearchAlgorithm>> MakeSearchAlgorithm(const std::string& name,
+                                                             const ConfigSpace& space,
+                                                             uint64_t seed) {
   if (name == "grid") {
-    return std::make_unique<GridSearch>(space);
+    return std::unique_ptr<SearchAlgorithm>(std::make_unique<GridSearch>(space));
   }
   if (name == "random") {
-    return std::make_unique<RandomSearch>(space, seed);
+    return std::unique_ptr<SearchAlgorithm>(std::make_unique<RandomSearch>(space, seed));
   }
   if (name == "one-plus-one") {
-    return std::make_unique<OnePlusOneSearch>(space, seed);
+    return std::unique_ptr<SearchAlgorithm>(std::make_unique<OnePlusOneSearch>(space, seed));
   }
   if (name == "pso") {
-    return std::make_unique<PsoSearch>(space, seed);
+    return std::unique_ptr<SearchAlgorithm>(std::make_unique<PsoSearch>(space, seed));
   }
   if (name == "two-points-de") {
-    return std::make_unique<TwoPointsDeSearch>(space, seed);
+    return std::unique_ptr<SearchAlgorithm>(std::make_unique<TwoPointsDeSearch>(space, seed));
   }
   if (name == "cma") {
-    return std::make_unique<CmaEsSearch>(space, seed);
+    return std::unique_ptr<SearchAlgorithm>(std::make_unique<CmaEsSearch>(space, seed));
   }
-  CHECK(false) << "unknown search algorithm '" << name << "'";
-  return nullptr;
+  return Status::InvalidArgument("unknown search algorithm '" + name + "'");
 }
 
 }  // namespace maya

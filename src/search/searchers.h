@@ -14,6 +14,7 @@
 #include <string>
 
 #include "src/common/rng.h"
+#include "src/common/status.h"
 #include "src/search/config_space.h"
 
 namespace maya {
@@ -30,9 +31,11 @@ class SearchAlgorithm {
 };
 
 // Supported names: "cma", "pso", "two-points-de", "one-plus-one", "random",
-// "grid". CHECK-fails on unknown names.
-std::unique_ptr<SearchAlgorithm> MakeSearchAlgorithm(const std::string& name,
-                                                     const ConfigSpace& space, uint64_t seed);
+// "grid". Algorithm names arrive off the service wire, so an unknown name is
+// an InvalidArgument status, not an abort.
+Result<std::unique_ptr<SearchAlgorithm>> MakeSearchAlgorithm(const std::string& name,
+                                                             const ConfigSpace& space,
+                                                             uint64_t seed);
 
 }  // namespace maya
 

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/fault_injection.h"
 #include "src/common/json_parser.h"
 #include "src/common/json_writer.h"
 #include "src/common/strings.h"
@@ -32,20 +33,55 @@ Result<uint64_t> Uint64FromHex(const std::string& hex) {
   return std::strtoull(hex.c_str(), nullptr, 16);
 }
 
+// Write-one-file with a tmp+rename publish step, so a file either appears in
+// full under its real name or not at all, and three fault sites modeling how
+// real disks fail:
+//   artifact.corrupt     — the write "succeeds" but a byte is damaged; only
+//                          a later load's parse can notice (silent fault).
+//   artifact.write_short — disk-full mid-write: the tmp holds a prefix, the
+//                          save fails, nothing is published.
+//   artifact.rename_torn — the tmp is complete but the publish rename never
+//                          happens; the target keeps its stale content.
 Status WriteFile(const std::string& path, const std::string& contents) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return Status::Internal("cannot open '" + path + "' for writing");
+  FaultInjection& faults = FaultInjection::Instance();
+  std::string payload = contents;
+  payload.push_back('\n');
+  if (!faults.MaybeFail("artifact.corrupt").ok()) {
+    // 0x80 (not a printable-range flip): a case flip of a hex digit would be
+    // value-preserving, but a high byte can never parse as JSON structure,
+    // a key, or a hex-double field.
+    payload[payload.size() / 2] ^= 0x80;
   }
-  out << contents << '\n';
-  out.flush();
-  if (!out) {
-    return Status::Internal("write to '" + path + "' failed");
+  const Status short_write = faults.MaybeFail("artifact.write_short");
+  if (!short_write.ok()) {
+    payload.resize(payload.size() / 2);
+  }
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::Internal("cannot open '" + tmp + "' for writing");
+    }
+    out << payload;
+    out.flush();
+    if (!out) {
+      return Status::Internal("write to '" + tmp + "' failed");
+    }
+  }
+  if (!short_write.ok()) {
+    return Status::Internal("short write to '" + path + "': " + short_write.message());
+  }
+  MAYA_RETURN_IF_ERROR(faults.MaybeFail("artifact.rename_torn"));
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return Status::Internal("cannot publish '" + path + "': " + ec.message());
   }
   return Status::Ok();
 }
 
 Result<std::string> ReadFile(const std::string& path) {
+  MAYA_RETURN_IF_ERROR(FaultInjection::Instance().MaybeFail("artifact.read"));
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Status::NotFound("cannot open '" + path + "'");
@@ -253,7 +289,8 @@ Status ArtifactStore::Save(const ClusterSpec& cluster, const EstimatorBank& bank
   return WriteFile(PathFor("", kManifestFile), manifest.str());
 }
 
-Status ArtifactStore::SaveRegistry(const DeploymentRegistry& registry) const {
+Status ArtifactStore::SaveRegistry(const DeploymentRegistry& registry,
+                                   const std::map<std::string, DeploymentUsage>& usage) const {
   const std::vector<std::shared_ptr<const Deployment>> deployments = registry.Registered();
   if (deployments.empty()) {
     return Status::FailedPrecondition("registry holds no registered deployments to save");
@@ -292,6 +329,21 @@ Status ArtifactStore::SaveRegistry(const DeploymentRegistry& registry) const {
     manifest.Field("kernel_cache_entries", kernel_entries);
     manifest.Field("collective_cache_entries", collective_entries);
     manifest.Field("sim_cache_entries", sim_entries);
+    auto used = usage.find(deployment.name);
+    if (used != usage.end() && used->second.timed_requests > 0) {
+      // Bit-exact doubles: a restore round-trips the exact totals.
+      manifest.Field("timed_requests", used->second.timed_requests);
+      manifest.KeyedBeginObject("stage_totals");
+      manifest.Field("emulation_ms",
+                     std::string_view(DoubleBits(used->second.stage_totals.emulation_ms)));
+      manifest.Field("collation_ms",
+                     std::string_view(DoubleBits(used->second.stage_totals.collation_ms)));
+      manifest.Field("estimation_ms",
+                     std::string_view(DoubleBits(used->second.stage_totals.estimation_ms)));
+      manifest.Field("simulation_ms",
+                     std::string_view(DoubleBits(used->second.stage_totals.simulation_ms)));
+      manifest.EndObject();
+    }
     manifest.EndObject();
   }
   manifest.EndArray();
@@ -308,7 +360,11 @@ Result<ArtifactManifest> ArtifactStore::ReadManifest() const {
     return Status::InvalidArgument("malformed artifact manifest");
   }
   ArtifactManifest manifest;
-  manifest.version = static_cast<int>(root->at("version").AsInt());
+  // A manifest is disk state, not engine output: a torn or bit-flipped
+  // bundle must load as a clean status (caller falls back to cold start),
+  // never as an abort — hence To* conversions throughout.
+  MAYA_ASSIGN_OR_RETURN(const int64_t version, ToInt(root->at("version")));
+  manifest.version = static_cast<int>(version);
   if (manifest.version == kArtifactBundleVersion) {
     if (!root->Has("cluster")) {
       return Status::InvalidArgument("malformed artifact manifest");
@@ -321,13 +377,16 @@ Result<ArtifactManifest> ArtifactStore::ReadManifest() const {
     }
     deployment.cluster = *std::move(cluster);
     if (root->Has("kernel_cache_entries")) {
-      deployment.kernel_cache_entries = root->at("kernel_cache_entries").AsUint();
+      MAYA_ASSIGN_OR_RETURN(deployment.kernel_cache_entries,
+                            ToUint(root->at("kernel_cache_entries")));
     }
     if (root->Has("collective_cache_entries")) {
-      deployment.collective_cache_entries = root->at("collective_cache_entries").AsUint();
+      MAYA_ASSIGN_OR_RETURN(deployment.collective_cache_entries,
+                            ToUint(root->at("collective_cache_entries")));
     }
     if (root->Has("sim_cache_entries")) {
-      deployment.sim_cache_entries = root->at("sim_cache_entries").AsUint();
+      MAYA_ASSIGN_OR_RETURN(deployment.sim_cache_entries,
+                            ToUint(root->at("sim_cache_entries")));
     }
     manifest.cluster = deployment.cluster;
     manifest.kernel_cache_entries = deployment.kernel_cache_entries;
@@ -339,7 +398,8 @@ Result<ArtifactManifest> ArtifactStore::ReadManifest() const {
     if (!root->Has("deployments")) {
       return Status::InvalidArgument("malformed v2 artifact manifest: no deployments");
     }
-    for (const JsonValue& entry : root->at("deployments").AsArray()) {
+    MAYA_ASSIGN_OR_RETURN(const JsonArray* entries, ToArray(root->at("deployments")));
+    for (const JsonValue& entry : *entries) {
       MAYA_RETURN_IF_ERROR(RequireKeys(entry, {"name", "dir", "cluster"}));
       DeploymentManifest deployment;
       MAYA_ASSIGN_OR_RETURN(deployment.name, ToString(entry.at("name")));
@@ -356,13 +416,30 @@ Result<ArtifactManifest> ArtifactStore::ReadManifest() const {
       }
       deployment.cluster = *std::move(cluster);
       if (entry.Has("kernel_cache_entries")) {
-        deployment.kernel_cache_entries = entry.at("kernel_cache_entries").AsUint();
+        MAYA_ASSIGN_OR_RETURN(deployment.kernel_cache_entries,
+                              ToUint(entry.at("kernel_cache_entries")));
       }
       if (entry.Has("collective_cache_entries")) {
-        deployment.collective_cache_entries = entry.at("collective_cache_entries").AsUint();
+        MAYA_ASSIGN_OR_RETURN(deployment.collective_cache_entries,
+                              ToUint(entry.at("collective_cache_entries")));
       }
       if (entry.Has("sim_cache_entries")) {
-        deployment.sim_cache_entries = entry.at("sim_cache_entries").AsUint();
+        MAYA_ASSIGN_OR_RETURN(deployment.sim_cache_entries,
+                              ToUint(entry.at("sim_cache_entries")));
+      }
+      if (entry.Has("timed_requests") && entry.Has("stage_totals")) {
+        MAYA_ASSIGN_OR_RETURN(deployment.timed_requests, ToUint(entry.at("timed_requests")));
+        const JsonValue& totals = entry.at("stage_totals");
+        MAYA_RETURN_IF_ERROR(RequireKeys(
+            totals, {"emulation_ms", "collation_ms", "estimation_ms", "simulation_ms"}));
+        auto bits = [&totals](const char* field) -> Result<double> {
+          MAYA_ASSIGN_OR_RETURN(const std::string hex, ToString(totals.at(field)));
+          return DoubleFromBits(hex);
+        };
+        MAYA_ASSIGN_OR_RETURN(deployment.stage_totals.emulation_ms, bits("emulation_ms"));
+        MAYA_ASSIGN_OR_RETURN(deployment.stage_totals.collation_ms, bits("collation_ms"));
+        MAYA_ASSIGN_OR_RETURN(deployment.stage_totals.estimation_ms, bits("estimation_ms"));
+        MAYA_ASSIGN_OR_RETURN(deployment.stage_totals.simulation_ms, bits("simulation_ms"));
       }
       manifest.deployments.push_back(std::move(deployment));
     }
@@ -437,6 +514,8 @@ Result<std::vector<LoadedDeployment>> ArtifactStore::LoadDeployments() const {
     deployment.name = entry.name;
     deployment.cluster = entry.cluster;
     deployment.bank = *std::move(bank);
+    deployment.stage_totals = entry.stage_totals;
+    deployment.timed_requests = entry.timed_requests;
     deployments.push_back(std::move(deployment));
   }
   return deployments;
@@ -480,8 +559,12 @@ Result<uint64_t> ArtifactStore::WarmPipeline(const std::string& name,
     if (!value.ok()) {
       return value.status();
     }
+    // Cache files are disk state like the manifest: torn or damaged bytes
+    // must surface as a status, so To* conversions replace the CHECK-failing
+    // As* accessors throughout the warm path.
+    MAYA_ASSIGN_OR_RETURN(const JsonArray* kernel_items, ToArray(*value));
     std::vector<std::pair<KernelDesc, double>> entries;
-    for (const JsonValue& entry : value->AsArray()) {
+    for (const JsonValue& entry : *kernel_items) {
       if (!entry.Has("kernel") || !entry.Has("duration_us")) {
         return Status::InvalidArgument("malformed kernel cache entry");
       }
@@ -489,7 +572,8 @@ Result<uint64_t> ArtifactStore::WarmPipeline(const std::string& name,
       if (!kernel.ok()) {
         return kernel.status();
       }
-      Result<double> duration = DoubleFromBits(entry.at("duration_us").AsString());
+      MAYA_ASSIGN_OR_RETURN(const std::string duration_hex, ToString(entry.at("duration_us")));
+      Result<double> duration = DoubleFromBits(duration_hex);
       if (!duration.ok()) {
         return duration.status();
       }
@@ -503,8 +587,9 @@ Result<uint64_t> ArtifactStore::WarmPipeline(const std::string& name,
     if (!value.ok()) {
       return value.status();
     }
+    MAYA_ASSIGN_OR_RETURN(const JsonArray* collective_items, ToArray(*value));
     std::vector<std::pair<CollectiveRequest, double>> entries;
-    for (const JsonValue& entry : value->AsArray()) {
+    for (const JsonValue& entry : *collective_items) {
       if (!entry.Has("request") || !entry.Has("duration_us")) {
         return Status::InvalidArgument("malformed collective cache entry");
       }
@@ -512,7 +597,8 @@ Result<uint64_t> ArtifactStore::WarmPipeline(const std::string& name,
       if (!request.ok()) {
         return request.status();
       }
-      Result<double> duration = DoubleFromBits(entry.at("duration_us").AsString());
+      MAYA_ASSIGN_OR_RETURN(const std::string duration_hex, ToString(entry.at("duration_us")));
+      Result<double> duration = DoubleFromBits(duration_hex);
       if (!duration.ok()) {
         return duration.status();
       }
@@ -526,30 +612,34 @@ Result<uint64_t> ArtifactStore::WarmPipeline(const std::string& name,
     // still warm-start (estimate caches only).
     Result<JsonValue> value = ReadJsonFile(PathFor(target->dir, kSimCacheFile));
     if (value.ok()) {
+      MAYA_ASSIGN_OR_RETURN(const JsonArray* sim_items, ToArray(*value));
       std::vector<std::pair<uint64_t, std::shared_ptr<const ComponentSimResult>>> entries;
-      for (const JsonValue& entry : value->AsArray()) {
+      for (const JsonValue& entry : *sim_items) {
         if (!entry.Has("key") || !entry.Has("workers")) {
           return Status::InvalidArgument("malformed sim cache entry");
         }
-        Result<uint64_t> key = Uint64FromHex(entry.at("key").AsString());
+        MAYA_ASSIGN_OR_RETURN(const std::string key_hex, ToString(entry.at("key")));
+        Result<uint64_t> key = Uint64FromHex(key_hex);
         if (!key.ok()) {
           return key.status();
         }
         auto result = std::make_shared<ComponentSimResult>();
-        for (const JsonValue& worker : entry.at("workers").AsArray()) {
+        MAYA_ASSIGN_OR_RETURN(const JsonArray* workers, ToArray(entry.at("workers")));
+        for (const JsonValue& worker : *workers) {
           MAYA_RETURN_IF_ERROR(RequireKeys(
               worker, {"finish_us", "host_busy_us", "compute_busy_us", "comm_busy_us",
                        "exposed_comm_us", "events"}));
           WorkerSimMetrics metrics;
           auto bits = [&worker](const char* field) -> Result<double> {
-            return DoubleFromBits(worker.at(field).AsString());
+            MAYA_ASSIGN_OR_RETURN(const std::string hex, ToString(worker.at(field)));
+            return DoubleFromBits(hex);
           };
           MAYA_ASSIGN_OR_RETURN(metrics.finish_us, bits("finish_us"));
           MAYA_ASSIGN_OR_RETURN(metrics.host_busy_us, bits("host_busy_us"));
           MAYA_ASSIGN_OR_RETURN(metrics.compute_busy_us, bits("compute_busy_us"));
           MAYA_ASSIGN_OR_RETURN(metrics.comm_busy_us, bits("comm_busy_us"));
           MAYA_ASSIGN_OR_RETURN(metrics.exposed_comm_us, bits("exposed_comm_us"));
-          metrics.events = worker.at("events").AsUint();
+          MAYA_ASSIGN_OR_RETURN(metrics.events, ToUint(worker.at("events")));
           result->workers.push_back(metrics);
         }
         entries.emplace_back(*key, std::move(result));

@@ -28,6 +28,7 @@
 #ifndef SRC_SERVICE_ARTIFACT_STORE_H_
 #define SRC_SERVICE_ARTIFACT_STORE_H_
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -51,6 +52,11 @@ struct DeploymentManifest {
   uint64_t kernel_cache_entries = 0;
   uint64_t collective_cache_entries = 0;
   uint64_t sim_cache_entries = 0;  // 0 for bundles predating the sim cache
+  // Cumulative per-stage wall time the saving engine had accumulated for
+  // this deployment (ServiceStats::stage_totals), so observability counters
+  // survive restarts like cache contents do. Zero for bundles predating it.
+  StageTimings stage_totals;
+  uint64_t timed_requests = 0;
 };
 
 struct ArtifactManifest {
@@ -68,6 +74,16 @@ struct LoadedDeployment {
   std::string name;
   ClusterSpec cluster;
   EstimatorBank bank;
+  // Restored usage counters (see DeploymentManifest).
+  StageTimings stage_totals;
+  uint64_t timed_requests = 0;
+};
+
+// Per-deployment usage counters a saving engine passes to SaveRegistry,
+// keyed by deployment name.
+struct DeploymentUsage {
+  StageTimings stage_totals;
+  uint64_t timed_requests = 0;
 };
 
 class ArtifactStore {
@@ -92,8 +108,10 @@ class ArtifactStore {
   // Writes a v2 bundle holding every registered deployment that owns its
   // bank (estimators + that deployment's pipeline caches). Same manifest-
   // last crash discipline as Save. Borrowed-estimator deployments cannot be
-  // persisted and make the save fail.
-  Status SaveRegistry(const DeploymentRegistry& registry) const;
+  // persisted and make the save fail. `usage` optionally carries cumulative
+  // per-deployment stage totals (by name) to persist alongside the caches.
+  Status SaveRegistry(const DeploymentRegistry& registry,
+                      const std::map<std::string, DeploymentUsage>& usage = {}) const;
 
   // Accepts v1 and v2 manifests.
   Result<ArtifactManifest> ReadManifest() const;

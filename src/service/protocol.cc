@@ -514,38 +514,48 @@ Result<ClusterSpec> ParseClusterSpec(const JsonValue& value) {
               "gpus_per_node", "num_nodes", "intra_fabric", "intra_bandwidth",
               "intra_latency_us", "inter_fabric", "inter_bandwidth", "inter_latency_us",
               "cost_per_gpu_hour"}));
+  // RequireKeys guarantees presence, not type: cluster specs arrive in wire
+  // requests and in on-disk manifests, so type mismatches must surface as
+  // statuses (To*), never CHECK failures (As*).
   ClusterSpec cluster;
-  Result<GpuArch> arch = GpuArchFromName(value.at("arch").AsString());
+  MAYA_ASSIGN_OR_RETURN(const std::string arch_name, ToString(value.at("arch")));
+  Result<GpuArch> arch = GpuArchFromName(arch_name);
   if (!arch.ok()) {
     return arch.status();
   }
   cluster.gpu.arch = *arch;
-  cluster.gpu.name = value.at("gpu_name").AsString();
-  cluster.gpu.peak_fp32_flops = value.at("peak_fp32_flops").AsDouble();
-  cluster.gpu.peak_tensor_flops = value.at("peak_tensor_flops").AsDouble();
-  cluster.gpu.hbm_bytes = value.at("hbm_bytes").AsUint();
-  cluster.gpu.hbm_bandwidth = value.at("hbm_bandwidth").AsDouble();
-  cluster.gpu.sm_count = static_cast<int>(value.at("sm_count").AsInt());
-  cluster.gpu.sm_clock_ghz = value.at("sm_clock_ghz").AsDouble();
-  cluster.gpu.kernel_dispatch_latency_us =
-      value.at("kernel_dispatch_latency_us").AsDouble();
-  cluster.gpus_per_node = static_cast<int>(value.at("gpus_per_node").AsInt());
-  cluster.num_nodes = static_cast<int>(value.at("num_nodes").AsInt());
-  Result<IntraNodeFabric> intra = IntraNodeFabricFromName(value.at("intra_fabric").AsString());
+  MAYA_ASSIGN_OR_RETURN(cluster.gpu.name, ToString(value.at("gpu_name")));
+  MAYA_ASSIGN_OR_RETURN(cluster.gpu.peak_fp32_flops, ToNumber(value.at("peak_fp32_flops")));
+  MAYA_ASSIGN_OR_RETURN(cluster.gpu.peak_tensor_flops,
+                        ToNumber(value.at("peak_tensor_flops")));
+  MAYA_ASSIGN_OR_RETURN(cluster.gpu.hbm_bytes, ToUint(value.at("hbm_bytes")));
+  MAYA_ASSIGN_OR_RETURN(cluster.gpu.hbm_bandwidth, ToNumber(value.at("hbm_bandwidth")));
+  MAYA_ASSIGN_OR_RETURN(const int64_t sm_count, ToInt(value.at("sm_count")));
+  cluster.gpu.sm_count = static_cast<int>(sm_count);
+  MAYA_ASSIGN_OR_RETURN(cluster.gpu.sm_clock_ghz, ToNumber(value.at("sm_clock_ghz")));
+  MAYA_ASSIGN_OR_RETURN(cluster.gpu.kernel_dispatch_latency_us,
+                        ToNumber(value.at("kernel_dispatch_latency_us")));
+  MAYA_ASSIGN_OR_RETURN(const int64_t gpus_per_node, ToInt(value.at("gpus_per_node")));
+  cluster.gpus_per_node = static_cast<int>(gpus_per_node);
+  MAYA_ASSIGN_OR_RETURN(const int64_t num_nodes, ToInt(value.at("num_nodes")));
+  cluster.num_nodes = static_cast<int>(num_nodes);
+  MAYA_ASSIGN_OR_RETURN(const std::string intra_name, ToString(value.at("intra_fabric")));
+  Result<IntraNodeFabric> intra = IntraNodeFabricFromName(intra_name);
   if (!intra.ok()) {
     return intra.status();
   }
   cluster.intra_fabric = *intra;
-  cluster.intra_bandwidth = value.at("intra_bandwidth").AsDouble();
-  cluster.intra_latency_us = value.at("intra_latency_us").AsDouble();
-  Result<InterNodeFabric> inter = InterNodeFabricFromName(value.at("inter_fabric").AsString());
+  MAYA_ASSIGN_OR_RETURN(cluster.intra_bandwidth, ToNumber(value.at("intra_bandwidth")));
+  MAYA_ASSIGN_OR_RETURN(cluster.intra_latency_us, ToNumber(value.at("intra_latency_us")));
+  MAYA_ASSIGN_OR_RETURN(const std::string inter_name, ToString(value.at("inter_fabric")));
+  Result<InterNodeFabric> inter = InterNodeFabricFromName(inter_name);
   if (!inter.ok()) {
     return inter.status();
   }
   cluster.inter_fabric = *inter;
-  cluster.inter_bandwidth = value.at("inter_bandwidth").AsDouble();
-  cluster.inter_latency_us = value.at("inter_latency_us").AsDouble();
-  cluster.cost_per_gpu_hour = value.at("cost_per_gpu_hour").AsDouble();
+  MAYA_ASSIGN_OR_RETURN(cluster.inter_bandwidth, ToNumber(value.at("inter_bandwidth")));
+  MAYA_ASSIGN_OR_RETURN(cluster.inter_latency_us, ToNumber(value.at("inter_latency_us")));
+  MAYA_ASSIGN_OR_RETURN(cluster.cost_per_gpu_hour, ToNumber(value.at("cost_per_gpu_hour")));
   return cluster;
 }
 

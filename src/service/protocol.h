@@ -128,6 +128,10 @@ inline constexpr const char* kErrDeadlineExceeded = "DEADLINE_EXCEEDED";
 inline constexpr const char* kErrCancelled = "CANCELLED";
 inline constexpr const char* kErrShuttingDown = "SHUTTING_DOWN";
 inline constexpr const char* kErrInvalidRequest = "INVALID_REQUEST";
+// Server-side failure while executing an otherwise well-formed request
+// (including injected faults under test): the request is lost, the server
+// keeps serving, and retrying may succeed.
+inline constexpr const char* kErrInternalError = "INTERNAL_ERROR";
 
 // One prediction outcome — the body of a predict-like response and of every
 // batch_predict item.

@@ -1,7 +1,12 @@
 #include "src/service/service_client.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
 
+#include "src/common/hash.h"
+#include "src/common/rng.h"
 #include "src/common/strings.h"
 
 namespace maya {
@@ -14,25 +19,65 @@ Result<std::string> InProcessTransport::RoundTrip(const std::string& request_lin
   return SerializeServiceResponse(engine_->Submit(*std::move(request)).get());
 }
 
+double ServiceClient::BackoffMs(uint64_t request_id, int attempt) const {
+  // Exponential base delay, capped, with full deterministic jitter in
+  // [0.5, 1.0]x: a pure function of (seed, id, attempt) so a test can
+  // predict every delay, yet two clients retrying the same outage spread out.
+  double delay = retry_.base_backoff_ms;
+  for (int i = 1; i < attempt; ++i) {
+    delay = std::min(delay * 2.0, retry_.max_backoff_ms);
+  }
+  delay = std::min(delay, retry_.max_backoff_ms);
+  const uint64_t mixed =
+      SplitMix64(HashCombine(HashCombine(retry_.seed, request_id), static_cast<uint64_t>(attempt)));
+  const double unit = static_cast<double>(mixed >> 11) * 0x1.0p-53;  // [0, 1)
+  return delay * (0.5 + 0.5 * unit);
+}
+
 Result<ServiceResponse> ServiceClient::Call(ServiceRequest request) {
   if (request.id == 0) {
     request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   }
   const uint64_t id = request.id;
-  Result<std::string> response_line = transport_->RoundTrip(SerializeServiceRequest(request));
-  if (!response_line.ok()) {
-    return response_line.status();
+  const std::string line = SerializeServiceRequest(request);
+  const int attempts = std::max(1, retry_.max_attempts);
+  Status last_error = Status::Ok();
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    if (attempt > 1) {
+      const double delay_ms = BackoffMs(id, attempt - 1);
+      if (retry_.sleeper) {
+        retry_.sleeper(delay_ms);
+      } else {
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delay_ms));
+      }
+    }
+    Result<std::string> response_line = transport_->RoundTrip(line);
+    if (!response_line.ok()) {
+      // Transport failures are transient by assumption (connection reset,
+      // parse-level truncation); the typed-error cases below are not.
+      last_error = response_line.status();
+      continue;
+    }
+    Result<ServiceResponse> response = ParseServiceResponse(*response_line);
+    if (!response.ok()) {
+      last_error = response.status();
+      continue;
+    }
+    if (response->id != id) {
+      return Status::Internal(StrFormat("response id %llu does not match request id %llu",
+                                        static_cast<unsigned long long>(response->id),
+                                        static_cast<unsigned long long>(id)));
+    }
+    if (!response->ok && response->error_code == kErrQueueFull && attempt < attempts) {
+      last_error = Status::FailedPrecondition("server rejected request: " + response->error);
+      continue;
+    }
+    // Any other typed answer — success, INVALID_REQUEST, INTERNAL_ERROR —
+    // goes straight to the caller. On the last attempt even QUEUE_FULL does:
+    // the typed response says more than a flattened status would.
+    return response;
   }
-  Result<ServiceResponse> response = ParseServiceResponse(*response_line);
-  if (!response.ok()) {
-    return response.status();
-  }
-  if (response->id != id) {
-    return Status::Internal(StrFormat("response id %llu does not match request id %llu",
-                                      static_cast<unsigned long long>(response->id),
-                                      static_cast<unsigned long long>(id)));
-  }
-  return response;
+  return last_error;
 }
 
 Result<ServiceResponse> ServiceClient::Predict(const ModelConfig& model,

@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -35,14 +36,37 @@ class InProcessTransport final : public LineTransport {
   ServiceEngine* engine_;
 };
 
+// Opt-in retry for transient failures: transport errors and QUEUE_FULL
+// rejections (load shedding a retry may outwait). Off by default
+// (max_attempts = 1); INVALID_REQUEST / INTERNAL_ERROR and other typed
+// server answers are never retried — resubmitting a poisoned request is how
+// retry storms start. Backoff is bounded exponential with deterministic
+// jitter (a pure function of seed, request id and attempt), so tests replay
+// the exact schedule.
+struct RetryPolicy {
+  int max_attempts = 1;  // total tries, including the first
+  double base_backoff_ms = 10.0;
+  double max_backoff_ms = 1000.0;
+  uint64_t seed = 1;
+  // Test seam: defaults to sleeping the computed delay.
+  std::function<void(double delay_ms)> sleeper;
+};
+
 class ServiceClient {
  public:
   // Borrowed transport/engine must outlive the client.
   explicit ServiceClient(LineTransport* transport) : transport_(transport) {}
+  ServiceClient(LineTransport* transport, RetryPolicy retry)
+      : transport_(transport), retry_(std::move(retry)) {}
 
   // Assigns a fresh id (unless the caller set one), round-trips the request,
-  // and checks the response id matches.
+  // and checks the response id matches. With a RetryPolicy, transient
+  // failures re-submit (same id) up to max_attempts times.
   Result<ServiceResponse> Call(ServiceRequest request);
+
+  // Backoff before retry attempt `attempt` (1-based: the delay after the
+  // first failure is BackoffMs(id, 1)). Exposed for tests.
+  double BackoffMs(uint64_t request_id, int attempt) const;
 
   // Convenience wrappers for the common request shapes. `deployment` targets
   // a named deployment of the engine's registry ("h100x32", a registered
@@ -59,6 +83,7 @@ class ServiceClient {
 
  private:
   LineTransport* transport_;
+  RetryPolicy retry_;
   std::atomic<uint64_t> next_id_{1};
 };
 

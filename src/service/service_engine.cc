@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/common/fault_injection.h"
 #include "src/common/strings.h"
 #include "src/models/model_zoo.h"
 #include "src/search/config_space.h"
@@ -18,28 +19,52 @@ DeploymentRegistryOptions RegistryOptionsFor(const ServiceEngineOptions& options
   return registry;
 }
 
-}  // namespace
-
-ServiceEngine::ServiceEngine(const ClusterSpec& cluster, EstimatorBank bank,
-                             ServiceEngineOptions options)
-    : options_(std::move(options)), registry_(RegistryOptionsFor(options_)) {
-  Result<std::shared_ptr<const Deployment>> registered =
-      registry_.Register(kDefaultDeploymentName, cluster, std::move(bank));
-  CHECK(registered.ok()) << registered.status().ToString();
-  default_deployment_ = *std::move(registered);
-  Start();
+// Maps an execution-path status onto the wire's failure taxonomy: statuses
+// the caller provoked with the request's own content are INVALID_REQUEST
+// (resubmitting unchanged will fail again); everything the server did to
+// itself — including injected faults — is INTERNAL_ERROR (a retry may
+// succeed).
+const char* ErrorCodeFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kNotFound:
+    case StatusCode::kAlreadyExists:
+    case StatusCode::kFailedPrecondition:
+      return kErrInvalidRequest;
+    case StatusCode::kOk:  // not an error; defensive default
+    case StatusCode::kOutOfMemory:
+    case StatusCode::kUnimplemented:
+    case StatusCode::kInternal:
+      return kErrInternalError;
+  }
+  return kErrInternalError;
 }
 
-ServiceEngine::ServiceEngine(const ClusterSpec& cluster,
-                             const KernelRuntimeEstimator* kernel_estimator,
-                             const CollectiveEstimator* collective_estimator,
-                             ServiceEngineOptions options)
-    : options_(std::move(options)), registry_(RegistryOptionsFor(options_)) {
-  Result<std::shared_ptr<const Deployment>> registered = registry_.RegisterBorrowed(
-      kDefaultDeploymentName, cluster, kernel_estimator, collective_estimator);
-  CHECK(registered.ok()) << registered.status().ToString();
-  default_deployment_ = *std::move(registered);
-  Start();
+}  // namespace
+
+ServiceEngine::ServiceEngine(ServiceEngineOptions options)
+    : options_(std::move(options)), registry_(RegistryOptionsFor(options_)) {}
+
+Result<std::unique_ptr<ServiceEngine>> ServiceEngine::Create(const ClusterSpec& cluster,
+                                                             EstimatorBank bank,
+                                                             ServiceEngineOptions options) {
+  std::unique_ptr<ServiceEngine> engine(new ServiceEngine(std::move(options)));
+  MAYA_ASSIGN_OR_RETURN(engine->default_deployment_, engine->registry_.Register(
+                            kDefaultDeploymentName, cluster, std::move(bank)));
+  engine->Start();
+  return engine;
+}
+
+Result<std::unique_ptr<ServiceEngine>> ServiceEngine::Create(
+    const ClusterSpec& cluster, const KernelRuntimeEstimator* kernel_estimator,
+    const CollectiveEstimator* collective_estimator, ServiceEngineOptions options) {
+  std::unique_ptr<ServiceEngine> engine(new ServiceEngine(std::move(options)));
+  MAYA_ASSIGN_OR_RETURN(engine->default_deployment_,
+                        engine->registry_.RegisterBorrowed(kDefaultDeploymentName, cluster,
+                                                           kernel_estimator,
+                                                           collective_estimator));
+  engine->Start();
+  return engine;
 }
 
 void ServiceEngine::Start() {
@@ -78,11 +103,14 @@ Result<std::unique_ptr<ServiceEngine>> ServiceEngine::FromArtifacts(
     return Status::FailedPrecondition("artifact bundle holds no deployment for cluster " +
                                       cluster.ToString());
   }
-  auto engine = std::make_unique<ServiceEngine>(cluster, std::move(default_it->bank), options);
+  MAYA_ASSIGN_OR_RETURN(std::unique_ptr<ServiceEngine> engine,
+                        Create(cluster, std::move(default_it->bank), options));
   Result<uint64_t> imported = store.WarmPipeline(default_it->name, engine->pipeline());
   if (!imported.ok()) {
     return imported.status();
   }
+  engine->SeedStageTotals(*engine->default_deployment_, default_it->stage_totals,
+                          default_it->timed_requests);
   for (auto it = loaded->begin(); it != loaded->end(); ++it) {
     if (it == default_it) {
       continue;
@@ -107,6 +135,7 @@ Result<std::unique_ptr<ServiceEngine>> ServiceEngine::FromArtifacts(
     if (!warmed.ok()) {
       return warmed.status();
     }
+    engine->SeedStageTotals(**added, it->stage_totals, it->timed_requests);
   }
   return engine;
 }
@@ -119,6 +148,14 @@ void ServiceEngine::Resume() {
     paused_ = false;
   }
   queue_cv_.notify_all();
+}
+
+void ServiceEngine::Drain() {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  draining_ = true;
+  paused_ = false;  // a paused engine's backlog must still drain
+  queue_cv_.notify_all();
+  drained_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
 }
 
 void ServiceEngine::Shutdown() {
@@ -200,6 +237,15 @@ std::future<ServiceResponse> ServiceEngine::Submit(ServiceRequest request) {
     return immediate_future;
   }
 
+  // Admission fault site: an injected failure refuses this one submission
+  // (never touching queue state) and leaves the engine serving.
+  const Status submit_fault = FaultInjection::Instance().MaybeFail("service.submit");
+  if (!submit_fault.ok()) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    immediate.set_value(ErrorResponse(request, kErrInternalError, submit_fault.ToString()));
+    return immediate_future;
+  }
+
   auto job = std::make_shared<Job>();
   job->request = std::move(request);
   job->weight = WeightOf(job->request);
@@ -212,10 +258,11 @@ std::future<ServiceResponse> ServiceEngine::Submit(ServiceRequest request) {
   std::future<ServiceResponse> future = job->promise.get_future();
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
-    if (shutting_down_) {
+    if (shutting_down_ || draining_) {
       rejected_.fetch_add(1, std::memory_order_relaxed);
       job->promise.set_value(
-          ErrorResponse(job->request, kErrShuttingDown, "engine is shutting down"));
+          ErrorResponse(job->request, kErrShuttingDown,
+                        draining_ ? "engine is draining" : "engine is shutting down"));
       return future;
     }
     // Weighted admission: the queue admits while summed weight stays under
@@ -274,18 +321,30 @@ void ServiceEngine::WorkerLoop() {
       job = std::move(queue_.front());
       queue_.pop_front();
       queued_weight_ -= job->weight;
+      ++in_flight_;
     }
     if (std::chrono::steady_clock::now() > job->deadline) {
       deadline_expired_.fetch_add(1, std::memory_order_relaxed);
       job->promise.set_value(
           ErrorResponse(job->request, kErrDeadlineExceeded, "deadline expired in queue"));
-      continue;
+    } else {
+      // Worker fault site: an injected failure here loses exactly this job —
+      // its future still resolves (INTERNAL_ERROR), the worker survives.
+      const Status worker_fault = FaultInjection::Instance().MaybeFail("service.worker");
+      ServiceResponse response =
+          worker_fault.ok()
+              ? Execute(job->request)
+              : ErrorResponse(job->request, kErrInternalError, worker_fault.ToString());
+      // Count before publishing: a caller that observed the future must also
+      // observe the completion in stats().
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      job->promise.set_value(std::move(response));
     }
-    ServiceResponse response = Execute(job->request);
-    // Count before publishing: a caller that observed the future must also
-    // observe the completion in stats().
-    completed_.fetch_add(1, std::memory_order_relaxed);
-    job->promise.set_value(std::move(response));
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      --in_flight_;
+    }
+    drained_cv_.notify_all();
   }
 }
 
@@ -332,13 +391,14 @@ ServiceResponse ServiceEngine::ExecutePredictLike(const ServiceRequest& request,
                                                   const Payload& payload) const {
   Result<std::shared_ptr<const Deployment>> deployment = ResolveDeployment(payload.deployment);
   if (!deployment.ok()) {
-    return ErrorResponse(request, kErrInvalidRequest, deployment.status().ToString());
+    return ErrorResponse(request, ErrorCodeFor(deployment.status()),
+                         deployment.status().ToString());
   }
   Result<PredictResult> result = RunPredict(**deployment, payload.model, payload.config,
                                             payload.deduplicate_workers,
                                             payload.selective_launch);
   if (!result.ok()) {
-    return ErrorResponse(request, kErrInvalidRequest, result.status().ToString());
+    return ErrorResponse(request, ErrorCodeFor(result.status()), result.status().ToString());
   }
   ServiceResponse response;
   response.id = request.id;
@@ -352,7 +412,8 @@ ServiceResponse ServiceEngine::ExecuteBatchPredict(const ServiceRequest& request
                                                    const BatchPredictPayload& payload) const {
   Result<std::shared_ptr<const Deployment>> deployment = ResolveDeployment(payload.deployment);
   if (!deployment.ok()) {
-    return ErrorResponse(request, kErrInvalidRequest, deployment.status().ToString());
+    return ErrorResponse(request, ErrorCodeFor(deployment.status()),
+                         deployment.status().ToString());
   }
   ServiceResponse response;
   response.id = request.id;
@@ -368,7 +429,7 @@ ServiceResponse ServiceEngine::ExecuteBatchPredict(const ServiceRequest& request
                    payload.selective_launch);
     if (!result.ok()) {
       return ErrorResponse(
-          request, kErrInvalidRequest,
+          request, ErrorCodeFor(result.status()),
           StrFormat("batch item %zu: ", response.batch.size()) + result.status().ToString());
     }
     response.batch.push_back(*std::move(result));
@@ -393,17 +454,40 @@ void ServiceEngine::AccumulateStageTimings(const Deployment& deployment,
   ++per_deployment.requests;
 }
 
+void ServiceEngine::SeedStageTotals(const Deployment& deployment, const StageTimings& totals,
+                                    uint64_t requests) {
+  if (requests == 0) {
+    return;  // nothing persisted (v1 bundle, or a never-exercised deployment)
+  }
+  std::lock_guard<std::mutex> lock(timings_mutex_);
+  stage_totals_.emulation_ms += totals.emulation_ms;
+  stage_totals_.collation_ms += totals.collation_ms;
+  stage_totals_.estimation_ms += totals.estimation_ms;
+  stage_totals_.simulation_ms += totals.simulation_ms;
+  timed_requests_ += requests;
+  DeploymentTimings& per_deployment = deployment_timings_[&deployment];
+  per_deployment.totals = totals;
+  per_deployment.requests = requests;
+}
+
 ServiceResponse ServiceEngine::ExecuteSearch(const ServiceRequest& request,
                                              const SearchPayload& payload) const {
   Result<std::shared_ptr<const Deployment>> deployment = ResolveDeployment(payload.deployment);
   if (!deployment.ok()) {
-    return ErrorResponse(request, kErrInvalidRequest, deployment.status().ToString());
+    return ErrorResponse(request, ErrorCodeFor(deployment.status()),
+                         deployment.status().ToString());
   }
   const int64_t global_batch =
       payload.global_batch > 0 ? payload.global_batch : DefaultGlobalBatch(payload.model);
   const ConfigSpace space = ConfigSpace::MegatronTable5(global_batch);
-  const SearchOutcome outcome =
+  Result<SearchOutcome> search =
       RunSearch(*(*deployment)->pipeline, payload.model, space, payload.search);
+  if (!search.ok()) {
+    // A partially-failed search would silently diverge from the fault-free
+    // outcome, so a trial failure fails the whole request.
+    return ErrorResponse(request, ErrorCodeFor(search.status()), search.status().ToString());
+  }
+  const SearchOutcome& outcome = *search;
   ServiceResponse response;
   response.id = request.id;
   response.kind = request.kind();
@@ -428,7 +512,8 @@ ServiceResponse ServiceEngine::ExecuteTracePredict(const ServiceRequest& request
                                                    const TracePredictPayload& payload) const {
   Result<std::shared_ptr<const Deployment>> deployment = ResolveDeployment(payload.deployment);
   if (!deployment.ok()) {
-    return ErrorResponse(request, kErrInvalidRequest, deployment.status().ToString());
+    return ErrorResponse(request, ErrorCodeFor(deployment.status()),
+                         deployment.status().ToString());
   }
   // The trace arrives pre-collated: run stages 3+4 only. Stage 4 goes
   // through the deployment pipeline's partitioned simulator, so repeated
@@ -440,7 +525,7 @@ ServiceResponse ServiceEngine::ExecuteTracePredict(const ServiceRequest& request
   response.estimation = (*deployment)->pipeline->AnnotateDurations(job, nullptr);
   Result<SimReport> sim = (*deployment)->pipeline->Simulate(job);
   if (!sim.ok()) {
-    return ErrorResponse(request, kErrInvalidRequest, sim.status().ToString());
+    return ErrorResponse(request, ErrorCodeFor(sim.status()), sim.status().ToString());
   }
   response.ok = true;
   response.oom = false;

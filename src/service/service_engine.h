@@ -72,13 +72,16 @@ struct ServiceEngineOptions {
 class ServiceEngine {
  public:
   // Takes ownership of the trained bank; it becomes the default deployment.
-  ServiceEngine(const ClusterSpec& cluster, EstimatorBank bank,
-                ServiceEngineOptions options = {});
+  // Fails (with the registry's status) instead of aborting when the bank
+  // cannot back a deployment — e.g. untrained estimators.
+  static Result<std::unique_ptr<ServiceEngine>> Create(const ClusterSpec& cluster,
+                                                       EstimatorBank bank,
+                                                       ServiceEngineOptions options = {});
   // Borrowed-estimator variant (estimators must outlive the engine) — for
   // callers that already own a trained bank (benches, test fixtures).
-  ServiceEngine(const ClusterSpec& cluster, const KernelRuntimeEstimator* kernel_estimator,
-                const CollectiveEstimator* collective_estimator,
-                ServiceEngineOptions options = {});
+  static Result<std::unique_ptr<ServiceEngine>> Create(
+      const ClusterSpec& cluster, const KernelRuntimeEstimator* kernel_estimator,
+      const CollectiveEstimator* collective_estimator, ServiceEngineOptions options = {});
   // Warm start from an artifact bundle: v2 bundles restore the whole fleet
   // (every saved deployment, estimators + estimate caches); v1 bundles
   // restore a single default deployment. `cluster` selects the default
@@ -116,6 +119,13 @@ class ServiceEngine {
   // Releases a paused engine's workers.
   void Resume();
 
+  // Graceful quiesce: stops admitting new compute work (submissions answer
+  // SHUTTING_DOWN), then blocks until every queued and in-flight request has
+  // resolved its future. Workers stay alive — control requests (stats) still
+  // answer, and the caller can snapshot/flush artifacts over a quiet engine.
+  // Idempotent; a paused engine is unpaused so its backlog can drain.
+  void Drain();
+
   // Stops accepting work, drains the queue, joins workers. Idempotent.
   void Shutdown();
 
@@ -134,6 +144,11 @@ class ServiceEngine {
     std::chrono::steady_clock::time_point deadline;  // max() = none
     double weight = 0.0;
   };
+
+  // Registration can fail (untrained banks), so construction happens in the
+  // Create factories: the constructor only fixes options; Create registers
+  // the default deployment and starts the workers.
+  explicit ServiceEngine(ServiceEngineOptions options);
 
   // Shared constructor tail: clamps options and spawns the worker pool.
   void Start();
@@ -167,9 +182,15 @@ class ServiceEngine {
 
   mutable std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
+  // Signals Drain(): fires whenever the queue empties or an in-flight job
+  // resolves its future.
+  std::condition_variable drained_cv_;
   std::deque<std::shared_ptr<Job>> queue_;
   double queued_weight_ = 0.0;
+  // Jobs dequeued by a worker whose future has not resolved yet.
+  uint64_t in_flight_ = 0;
   bool paused_ = false;
+  bool draining_ = false;
   bool shutting_down_ = false;
   std::vector<std::thread> workers_;
 
@@ -189,6 +210,11 @@ class ServiceEngine {
   // no longer resident.
   void AccumulateStageTimings(const Deployment& deployment,
                               const StageTimings& timings) const;
+  // Seeds one deployment's cumulative totals from a v2 artifact bundle
+  // (FromArtifacts only, before the engine serves traffic), so stage totals
+  // survive a save/restore cycle the way cache contents do.
+  void SeedStageTotals(const Deployment& deployment, const StageTimings& totals,
+                       uint64_t requests);
   mutable std::mutex timings_mutex_;
   mutable StageTimings stage_totals_;
   mutable uint64_t timed_requests_ = 0;

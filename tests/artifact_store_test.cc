@@ -7,13 +7,16 @@
 #include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 
+#include "src/common/fault_injection.h"
 #include "src/core/estimator_bank.h"
 #include "src/estimator/profiler_repository.h"
 #include "src/estimator/serialization.h"
 #include "src/groundtruth/executor.h"
 #include "src/service/artifact_store.h"
+#include "src/service/service_engine.h"
 
 namespace maya {
 namespace {
@@ -465,6 +468,238 @@ TEST_F(ArtifactStoreTest, V2RegistryRoundTripsBothBanksBitExact) {
   // Warm-pipeline lookups by unknown deployment name fail cleanly.
   MayaPipeline fresh(*cluster_, bank_->kernel.get(), bank_->collective.get());
   EXPECT_EQ(store.WarmPipeline("nope", fresh).status().code(), StatusCode::kNotFound);
+}
+
+// ---- Corruption and crash-mid-save robustness -------------------------------
+
+namespace corruption {
+
+std::string ReadBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  return contents.str();
+}
+
+void WriteBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
+
+}  // namespace corruption
+
+// Every bundle file kind, truncated or bit-flipped on disk, must fail the
+// full warm-start path with a clean Status — never an abort — after which a
+// cold start still serves (the maya_serve fallback contract).
+TEST_F(ArtifactStoreTest, CorruptionMatrixRejectsEveryFileKindCleanly) {
+  const std::string dir = TempBundleDir("bundle_corruption_matrix");
+  MayaPipeline pipeline(*cluster_, bank_->kernel.get(), bank_->collective.get());
+  ModelConfig model;
+  model.name = "tiny-gpt";
+  model.family = ModelFamily::kGpt;
+  model.num_layers = 8;
+  model.hidden_size = 1024;
+  model.num_heads = 16;
+  model.seq_length = 512;
+  model.vocab_size = 8192;
+  TrainConfig config;
+  config.global_batch_size = 32;
+  config.tensor_parallel = 2;
+  config.pipeline_parallel = 2;
+  config.microbatch_multiplier = 2;
+  PredictionRequest request{model, config};
+  ASSERT_TRUE(pipeline.Predict(request).ok());  // populate all three caches
+  ASSERT_GT(pipeline.KernelCacheStats().entries, 0u);
+  ASSERT_GT(pipeline.CollectiveCacheStats().entries, 0u);
+  ASSERT_GT(pipeline.SimCacheStats().entries, 0u);
+
+  ArtifactStore store(dir);
+  ASSERT_TRUE(store.Save(*cluster_, *bank_, pipeline).ok());
+
+  const char* kFileKinds[] = {"manifest.json",         "kernel_estimator.json",
+                              "collective_estimator.json", "kernel_validation.json",
+                              "kernel_cache.json",     "collective_cache.json",
+                              "sim_cache.json"};
+  for (const char* file : kFileKinds) {
+    const std::string path = (std::filesystem::path(dir) / file).string();
+    const std::string pristine = corruption::ReadBytes(path);
+    ASSERT_GT(pristine.size(), 64u) << file;
+
+    // Torn write: only the first half of the file made it to disk.
+    corruption::WriteBytes(path, pristine.substr(0, pristine.size() / 2));
+    Result<std::unique_ptr<ServiceEngine>> truncated =
+        ServiceEngine::FromArtifacts(*cluster_, store, ServiceEngineOptions{});
+    EXPECT_FALSE(truncated.ok()) << file << " truncated";
+
+    // Bit rot: a 16-byte span in the middle goes high-bit garbage.
+    std::string flipped = pristine;
+    const size_t middle = flipped.size() / 2;
+    for (size_t i = middle; i < std::min(middle + 16, flipped.size()); ++i) {
+      flipped[i] ^= 0x80;
+    }
+    corruption::WriteBytes(path, flipped);
+    Result<std::unique_ptr<ServiceEngine>> rotted =
+        ServiceEngine::FromArtifacts(*cluster_, store, ServiceEngineOptions{});
+    EXPECT_FALSE(rotted.ok()) << file << " bit-flipped";
+
+    corruption::WriteBytes(path, pristine);
+  }
+
+  // The restored pristine bundle still warm-starts...
+  Result<std::unique_ptr<ServiceEngine>> healthy =
+      ServiceEngine::FromArtifacts(*cluster_, store, ServiceEngineOptions{});
+  ASSERT_TRUE(healthy.ok()) << healthy.status().ToString();
+  (*healthy)->Shutdown();
+  // ...and a rejected bundle falls back to a cold start that serves.
+  Result<std::unique_ptr<ServiceEngine>> cold = ServiceEngine::Create(
+      *cluster_, bank_->kernel.get(), bank_->collective.get(), ServiceEngineOptions{});
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  ServiceRequest predict;
+  predict.id = 1;
+  PredictPayload payload;
+  payload.model = model;
+  payload.config = config;
+  predict.payload = std::move(payload);
+  const ServiceResponse response = (*cold)->Submit(std::move(predict)).get();
+  EXPECT_TRUE(response.ok) << response.error;
+  (*cold)->Shutdown();
+}
+
+// Injected save-path faults (the same sites `maya_serve --fault_spec` arms):
+// a short write or torn rename fails the save and never publishes a loadable
+// bundle; silent corruption publishes but is caught at load time.
+TEST_F(ArtifactStoreTest, SaveFaultsNeverPublishLoadableTornBundles) {
+  MayaPipeline pipeline(*cluster_, bank_->kernel.get(), bank_->collective.get());
+  FaultInjection& faults = FaultInjection::Instance();
+
+  {
+    const std::string dir = TempBundleDir("bundle_fault_short_write");
+    ArtifactStore store(dir);
+    ASSERT_TRUE(faults.Configure("artifact.write_short=1@1", 3).ok());
+    EXPECT_FALSE(store.Save(*cluster_, *bank_, pipeline).ok());
+    faults.Disarm();
+    // The manifest is written last, so a failed save is never loadable.
+    EXPECT_FALSE(store.Exists());
+    EXPECT_FALSE(ServiceEngine::FromArtifacts(*cluster_, store, ServiceEngineOptions{}).ok());
+  }
+  {
+    const std::string dir = TempBundleDir("bundle_fault_rename_torn");
+    ArtifactStore store(dir);
+    ASSERT_TRUE(faults.Configure("artifact.rename_torn=1@1", 3).ok());
+    EXPECT_FALSE(store.Save(*cluster_, *bank_, pipeline).ok());
+    faults.Disarm();
+    EXPECT_FALSE(store.Exists());
+  }
+  {
+    // Silent corruption: every write's payload takes a mid-file bit flip.
+    // The save itself reports success — only the load-side parse detects it.
+    const std::string dir = TempBundleDir("bundle_fault_corrupt");
+    ArtifactStore store(dir);
+    ASSERT_TRUE(faults.Configure("artifact.corrupt=1", 3).ok());
+    EXPECT_TRUE(store.Save(*cluster_, *bank_, pipeline).ok());
+    faults.Disarm();
+    EXPECT_TRUE(store.Exists());
+    EXPECT_FALSE(ServiceEngine::FromArtifacts(*cluster_, store, ServiceEngineOptions{}).ok());
+  }
+  {
+    // Read-side faults surface as clean load failures too.
+    const std::string dir = TempBundleDir("bundle_fault_read");
+    ArtifactStore store(dir);
+    ASSERT_TRUE(store.Save(*cluster_, *bank_, pipeline).ok());
+    ASSERT_TRUE(faults.Configure("artifact.read=1@1", 3).ok());
+    EXPECT_FALSE(ServiceEngine::FromArtifacts(*cluster_, store, ServiceEngineOptions{}).ok());
+    faults.Disarm();
+    // With the fault gone the same bundle loads.
+    Result<std::unique_ptr<ServiceEngine>> recovered =
+        ServiceEngine::FromArtifacts(*cluster_, store, ServiceEngineOptions{});
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    (*recovered)->Shutdown();
+  }
+}
+
+// ---- Stage-total persistence ------------------------------------------------
+
+TEST_F(ArtifactStoreTest, StageTotalsRoundTripAcrossRestart) {
+  const std::string dir = TempBundleDir("bundle_stage_totals");
+
+  ProfileSweepOptions small_sweep;
+  small_sweep.gemm_samples = 800;
+  small_sweep.conv_samples = 60;
+  small_sweep.generic_samples = 40;
+  small_sweep.collective_sizes = 8;
+  GroundTruthExecutor profiling(*cluster_, 42);
+
+  // Process 1: serve a few predicts, persist the bundle with usage totals.
+  Result<std::unique_ptr<ServiceEngine>> created = ServiceEngine::Create(
+      *cluster_, TrainEstimators(*cluster_, profiling, small_sweep), ServiceEngineOptions{});
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  ServiceEngine& original = **created;
+  ModelConfig model;
+  model.name = "tiny-gpt";
+  model.family = ModelFamily::kGpt;
+  model.num_layers = 8;
+  model.hidden_size = 1024;
+  model.num_heads = 16;
+  model.seq_length = 512;
+  model.vocab_size = 8192;
+  for (int tp : {1, 2}) {
+    ServiceRequest request;
+    request.id = static_cast<uint64_t>(tp);
+    PredictPayload payload;
+    payload.model = model;
+    payload.config.global_batch_size = 32;
+    payload.config.tensor_parallel = tp;
+    payload.config.pipeline_parallel = 2;
+    payload.config.microbatch_multiplier = 2;
+    request.payload = std::move(payload);
+    const ServiceResponse response = original.Submit(std::move(request)).get();
+    ASSERT_TRUE(response.ok) << response.error;
+  }
+  const ServiceStats before = original.stats();
+  ASSERT_EQ(before.timed_requests, 2u);
+  ASSERT_GT(before.stage_totals.total_ms(), 0.0);
+
+  std::map<std::string, DeploymentUsage> usage;
+  for (const DeploymentStats& entry : before.per_deployment) {
+    DeploymentUsage& used = usage[entry.name];
+    used.stage_totals = entry.stage_totals;
+    used.timed_requests = entry.timed_requests;
+  }
+  ArtifactStore store(dir);
+  ASSERT_TRUE(store.SaveRegistry(original.registry(), usage).ok());
+  original.Shutdown();
+
+  // Process 2 (simulated): the restart resumes the cumulative counters
+  // bit-identically instead of zeroing operator history.
+  Result<std::unique_ptr<ServiceEngine>> restarted =
+      ServiceEngine::FromArtifacts(*cluster_, store, ServiceEngineOptions{});
+  ASSERT_TRUE(restarted.ok()) << restarted.status().ToString();
+  const ServiceStats after = (*restarted)->stats();
+  EXPECT_EQ(after.timed_requests, before.timed_requests);
+  EXPECT_EQ(after.stage_totals.emulation_ms, before.stage_totals.emulation_ms);
+  EXPECT_EQ(after.stage_totals.collation_ms, before.stage_totals.collation_ms);
+  EXPECT_EQ(after.stage_totals.estimation_ms, before.stage_totals.estimation_ms);
+  EXPECT_EQ(after.stage_totals.simulation_ms, before.stage_totals.simulation_ms);
+  ASSERT_FALSE(after.per_deployment.empty());
+  EXPECT_EQ(after.per_deployment[0].timed_requests, before.per_deployment[0].timed_requests);
+  EXPECT_EQ(after.per_deployment[0].stage_totals.total_ms(),
+            before.per_deployment[0].stage_totals.total_ms());
+
+  // New work keeps accumulating on top of the restored base.
+  ServiceRequest request;
+  request.id = 9;
+  PredictPayload payload;
+  payload.model = model;
+  payload.config.global_batch_size = 32;
+  payload.config.tensor_parallel = 2;
+  payload.config.pipeline_parallel = 2;
+  payload.config.microbatch_multiplier = 2;
+  request.payload = std::move(payload);
+  ASSERT_TRUE((*restarted)->Submit(std::move(request)).get().ok);
+  const ServiceStats grown = (*restarted)->stats();
+  EXPECT_EQ(grown.timed_requests, before.timed_requests + 1);
+  EXPECT_GT(grown.stage_totals.total_ms(), before.stage_totals.total_ms());
+  (*restarted)->Shutdown();
 }
 
 }  // namespace

@@ -1,0 +1,282 @@
+// Chaos harness for the serving stack: a concurrent mixed workload (predict,
+// batch_predict, search, whatif_oom, incl. derived-deployment what-ifs) runs
+// against one engine for many iterations while deterministic faults fire at
+// every pipeline stage and in the engine's submit/worker paths.
+//
+// Invariants asserted every iteration:
+//   1. The server never aborts — every submitted future resolves.
+//   2. A faulted request fails alone, with the typed INTERNAL_ERROR code.
+//   3. Every non-faulted response is bit-identical to the fault-free
+//      baseline (faults fire before stages touch shared caches, so a lost
+//      request never poisons cross-trial state).
+//   4. Post-chaos stats reconcile: submitted == completed + rejected +
+//      cancelled + deadline_expired.
+// And once at the end: with faults disarmed, the chaos-scarred engine
+// answers the whole workload bit-identically to the pristine baseline.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/fault_injection.h"
+#include "src/common/strings.h"
+#include "src/estimator/serialization.h"
+#include "src/service/service_client.h"
+#include "src/service/service_engine.h"
+
+namespace maya {
+namespace {
+
+ModelConfig TinyGpt() {
+  ModelConfig model;
+  model.name = "tiny-gpt";
+  model.family = ModelFamily::kGpt;
+  model.num_layers = 8;
+  model.hidden_size = 1024;
+  model.num_heads = 16;
+  model.seq_length = 512;
+  model.vocab_size = 8192;
+  return model;
+}
+
+TrainConfig MakeConfig(int tp, int pp, int mm = 2) {
+  TrainConfig config;
+  config.global_batch_size = 32;
+  config.tensor_parallel = tp;
+  config.pipeline_parallel = pp;
+  config.microbatch_multiplier = mm;
+  return config;
+}
+
+// The canonical identity of a response: model-level outputs only. Wall-clock
+// timings and cache hit/miss splits legitimately vary between a cold and a
+// warm run of the same request and are excluded.
+std::string Signature(const ServiceResponse& response) {
+  std::string signature = StrFormat("kind=%d ok=%d ", static_cast<int>(response.kind),
+                                    response.ok ? 1 : 0);
+  if (!response.ok) {
+    return signature + response.error_code;
+  }
+  auto result = [](const char* tag, bool oom, const std::string& detail, double iteration_us,
+                   double mfu, uint64_t peak) {
+    return StrFormat("%s[oom=%d detail=%s it=%s mfu=%s peak=%llu] ", tag, oom ? 1 : 0,
+                     detail.c_str(), DoubleBits(iteration_us).c_str(),
+                     DoubleBits(mfu).c_str(), static_cast<unsigned long long>(peak));
+  };
+  switch (response.kind) {
+    case ServiceRequestKind::kPredict:
+    case ServiceRequestKind::kWhatIfOom:
+    case ServiceRequestKind::kTracePredict:
+      signature += result("single", response.oom, response.oom_detail,
+                          response.iteration_time_us, response.mfu,
+                          response.peak_memory_bytes);
+      break;
+    case ServiceRequestKind::kBatchPredict:
+      for (const PredictResult& item : response.batch) {
+        signature += result("item", item.oom, item.oom_detail, item.iteration_time_us,
+                            item.mfu, item.peak_memory_bytes);
+      }
+      break;
+    case ServiceRequestKind::kSearch:
+      // executed/cached splits shift as the engine's caches warm; the found
+      // optimum and the sample walk are the invariant outputs.
+      signature += StrFormat("search[found=%d best=%s it=%s config=%s samples=%d] ",
+                             response.found ? 1 : 0, DoubleBits(response.best_mfu).c_str(),
+                             DoubleBits(response.best_iteration_us).c_str(),
+                             response.best_config.Summary().c_str(), response.samples);
+      break;
+    case ServiceRequestKind::kStats:
+    case ServiceRequestKind::kCancel:
+      break;
+  }
+  return signature;
+}
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    cluster_ = new ClusterSpec(H100Cluster(8));
+    executor_ = new GroundTruthExecutor(*cluster_, 7);
+    ProfileSweepOptions sweep;
+    sweep.gemm_samples = 1200;
+    sweep.conv_samples = 100;
+    sweep.generic_samples = 60;
+    sweep.collective_sizes = 12;
+    bank_ = new EstimatorBank(TrainEstimators(*cluster_, *executor_, sweep));
+  }
+  static void TearDownTestSuite() {
+    delete bank_;
+    delete executor_;
+    delete cluster_;
+  }
+
+  // The mixed workload of one iteration. Ids are stable, so responses map
+  // back onto baseline signatures.
+  static std::vector<ServiceRequest> BuildWorkload() {
+    std::vector<ServiceRequest> requests;
+    uint64_t id = 1;
+    for (int tp : {1, 2}) {
+      for (int pp : {1, 2}) {
+        ServiceRequest request;
+        request.id = id++;
+        PredictPayload payload;
+        payload.model = TinyGpt();
+        payload.config = MakeConfig(tp, pp);
+        request.payload = std::move(payload);
+        requests.push_back(std::move(request));
+      }
+    }
+    {
+      // Fleet path: a what-if against a derived deployment of the same arch.
+      ServiceRequest request;
+      request.id = id++;
+      PredictPayload payload;
+      payload.model = TinyGpt();
+      payload.config = MakeConfig(2, 2);
+      payload.deployment = "h100x16";
+      request.payload = std::move(payload);
+      requests.push_back(std::move(request));
+    }
+    {
+      ServiceRequest request;
+      request.id = id++;
+      WhatIfOomPayload payload;
+      payload.model = TinyGpt();
+      payload.config = MakeConfig(1, 2, 4);
+      request.payload = std::move(payload);
+      requests.push_back(std::move(request));
+    }
+    {
+      ServiceRequest request;
+      request.id = id++;
+      BatchPredictPayload payload;
+      payload.model = TinyGpt();
+      payload.configs = {MakeConfig(1, 1), MakeConfig(2, 1), MakeConfig(2, 2, 4)};
+      request.payload = std::move(payload);
+      requests.push_back(std::move(request));
+    }
+    {
+      ServiceRequest request;
+      request.id = id++;
+      SearchPayload payload;
+      payload.model = TinyGpt();
+      payload.search.algorithm = "cma";
+      payload.search.sample_budget = 6;
+      payload.search.early_stop_patience = 0;
+      payload.search.seed = 13;
+      payload.global_batch = 32;
+      request.payload = std::move(payload);
+      requests.push_back(std::move(request));
+    }
+    return requests;
+  }
+
+  // Submits the whole workload from two threads, waits for every future, and
+  // returns the responses keyed by request id. Never aborting means: this
+  // function always returns.
+  static std::map<uint64_t, ServiceResponse> RunWorkload(ServiceEngine& engine) {
+    const std::vector<ServiceRequest> workload = BuildWorkload();
+    std::mutex mutex;
+    std::map<uint64_t, ServiceResponse> responses;
+    auto submit_range = [&](size_t begin, size_t end) {
+      std::vector<std::pair<uint64_t, std::future<ServiceResponse>>> futures;
+      for (size_t i = begin; i < end; ++i) {
+        futures.emplace_back(workload[i].id, engine.Submit(workload[i]));
+      }
+      for (auto& [id, future] : futures) {
+        ServiceResponse response = future.get();
+        std::lock_guard<std::mutex> lock(mutex);
+        responses.emplace(id, std::move(response));
+      }
+    };
+    const size_t half = workload.size() / 2;
+    std::thread first(submit_range, 0, half);
+    std::thread second(submit_range, half, workload.size());
+    first.join();
+    second.join();
+    return responses;
+  }
+
+  static ClusterSpec* cluster_;
+  static GroundTruthExecutor* executor_;
+  static EstimatorBank* bank_;
+};
+
+ClusterSpec* ChaosTest::cluster_ = nullptr;
+GroundTruthExecutor* ChaosTest::executor_ = nullptr;
+EstimatorBank* ChaosTest::bank_ = nullptr;
+
+TEST_F(ChaosTest, ServerSurvivesDeterministicFaultStorm) {
+  constexpr int kIterations = 100;
+  FaultInjection& faults = FaultInjection::Instance();
+  faults.Disarm();
+
+  ServiceEngineOptions options;
+  options.worker_threads = 4;
+  options.max_queue_weight = 1000.0;  // chaos targets faults, not admission
+  Result<std::unique_ptr<ServiceEngine>> created = ServiceEngine::Create(
+      *cluster_, bank_->kernel.get(), bank_->collective.get(), options);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  ServiceEngine& engine = **created;
+
+  // Fault-free baseline: the canonical signature of every workload request.
+  std::map<uint64_t, std::string> baseline;
+  for (const auto& [id, response] : RunWorkload(engine)) {
+    ASSERT_TRUE(response.ok) << "baseline request " << id << ": " << response.error;
+    baseline[id] = Signature(response);
+  }
+
+  uint64_t total_fired = 0;
+  uint64_t total_failed = 0;
+  for (int iteration = 0; iteration < kIterations; ++iteration) {
+    ASSERT_TRUE(faults
+                    .Configure("pipeline.*=0.08,service.submit=0.05,service.worker=0.05",
+                               static_cast<uint64_t>(iteration))
+                    .ok());
+    const std::map<uint64_t, ServiceResponse> responses = RunWorkload(engine);
+    total_fired += faults.fired_count();
+    faults.Disarm();
+
+    ASSERT_EQ(responses.size(), baseline.size()) << "iteration " << iteration;
+    for (const auto& [id, response] : responses) {
+      if (response.ok) {
+        // Bit-identical to the fault-free run: chaos never corrupted the
+        // shared caches the surviving requests answered from.
+        EXPECT_EQ(Signature(response), baseline[id])
+            << "iteration " << iteration << " request " << id;
+      } else {
+        // A fault fails exactly the request it hit, with the typed code.
+        ++total_failed;
+        EXPECT_EQ(response.error_code, kErrInternalError)
+            << "iteration " << iteration << " request " << id << ": " << response.error;
+        EXPECT_NE(response.error.find("injected fault"), std::string::npos)
+            << response.error;
+      }
+    }
+  }
+  // The storm actually stormed: faults fired and killed requests.
+  EXPECT_GT(total_fired, 0u);
+  EXPECT_GT(total_failed, 0u);
+
+  // Post-chaos ledger: every submission over the whole run is accounted for
+  // exactly once.
+  const ServiceStats stats = engine.stats();
+  EXPECT_EQ(stats.submitted, stats.completed + stats.rejected + stats.cancelled +
+                                 stats.deadline_expired);
+  EXPECT_EQ(stats.queue_depth, 0u);
+
+  // Faults disarmed, the scarred engine still answers the whole workload
+  // bit-identically to the pristine baseline.
+  for (const auto& [id, response] : RunWorkload(engine)) {
+    ASSERT_TRUE(response.ok) << "post-chaos request " << id << ": " << response.error;
+    EXPECT_EQ(Signature(response), baseline[id]) << "post-chaos request " << id;
+  }
+  engine.Shutdown();
+}
+
+}  // namespace
+}  // namespace maya

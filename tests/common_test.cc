@@ -2,10 +2,13 @@
 // JSON writer/parser round-trips, thread pool and table printing.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <set>
+#include <vector>
 
+#include "src/common/fault_injection.h"
 #include "src/common/hash.h"
 #include "src/common/json_parser.h"
 #include "src/common/json_writer.h"
@@ -338,6 +341,115 @@ TEST(TablePrinterTest, AlignsColumns) {
 TEST(UnitsTest, TransferAndComputeConversions) {
   EXPECT_DOUBLE_EQ(TransferUs(1e9, 1e9), 1e6);        // 1 GB at 1 GB/s = 1 s
   EXPECT_DOUBLE_EQ(ComputeUs(2e12, 1e12), 2e6);       // 2 TFLOP at 1 TFLOP/s
+}
+
+// ---- Fault injection ------------------------------------------------------------------
+
+// The registry is process-global; each test leaves it disarmed.
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjection::Instance().Disarm(); }
+  void TearDown() override { FaultInjection::Instance().Disarm(); }
+};
+
+TEST_F(FaultInjectionTest, DisarmedProbesAlwaysSucceed) {
+  FaultInjection& faults = FaultInjection::Instance();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(faults.MaybeFail("pipeline.simulate").ok());
+  }
+  EXPECT_EQ(faults.fired_count(), 0u);
+  EXPECT_TRUE(faults.ArmedPatterns().empty());
+}
+
+TEST_F(FaultInjectionTest, ProbabilityOneFiresEveryProbe) {
+  FaultInjection& faults = FaultInjection::Instance();
+  ASSERT_TRUE(faults.Configure("service.worker=1", 7).ok());
+  for (int i = 0; i < 10; ++i) {
+    const Status probe = faults.MaybeFail("service.worker");
+    EXPECT_FALSE(probe.ok());
+    EXPECT_EQ(probe.code(), StatusCode::kInternal);
+    EXPECT_NE(probe.ToString().find("service.worker"), std::string::npos);
+  }
+  EXPECT_EQ(faults.fired_count("service.worker"), 10u);
+  // Unarmed sites are untouched.
+  EXPECT_TRUE(faults.MaybeFail("pipeline.emulate").ok());
+}
+
+TEST_F(FaultInjectionTest, ProbabilityZeroNeverFires) {
+  FaultInjection& faults = FaultInjection::Instance();
+  ASSERT_TRUE(faults.Configure("pipeline.estimate=0", 7).ok());
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(faults.MaybeFail("pipeline.estimate").ok());
+  }
+  EXPECT_EQ(faults.fired_count(), 0u);
+}
+
+TEST_F(FaultInjectionTest, FiringIsDeterministicGivenSeed) {
+  FaultInjection& faults = FaultInjection::Instance();
+  auto record = [&](uint64_t seed) {
+    EXPECT_TRUE(faults.Configure("site.a=0.5,site.b=0.5", seed).ok());
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      fired.push_back(!faults.MaybeFail(i % 2 == 0 ? "site.a" : "site.b").ok());
+    }
+    return fired;
+  };
+  const std::vector<bool> first = record(11);
+  const std::vector<bool> replay = record(11);
+  EXPECT_EQ(first, replay);
+  // Some probe fired and some did not at p=0.5 over 64 probes.
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), false), 0);
+  // A different seed produces a different firing pattern.
+  EXPECT_NE(record(12), first);
+}
+
+TEST_F(FaultInjectionTest, WildcardArmsEveryPrefixedSite) {
+  FaultInjection& faults = FaultInjection::Instance();
+  ASSERT_TRUE(faults.Configure("artifact.*=1", 3).ok());
+  EXPECT_FALSE(faults.MaybeFail("artifact.corrupt").ok());
+  EXPECT_FALSE(faults.MaybeFail("artifact.rename_torn").ok());
+  EXPECT_TRUE(faults.MaybeFail("service.submit").ok());
+  // First listed rule wins: an exact rule ahead of the wildcard overrides it.
+  ASSERT_TRUE(faults.Configure("artifact.read=0,artifact.*=1", 3).ok());
+  EXPECT_TRUE(faults.MaybeFail("artifact.read").ok());
+  EXPECT_FALSE(faults.MaybeFail("artifact.corrupt").ok());
+}
+
+TEST_F(FaultInjectionTest, MaxFiresCapsTotalFires) {
+  FaultInjection& faults = FaultInjection::Instance();
+  ASSERT_TRUE(faults.Configure("service.submit=1@3", 5).ok());
+  int fired = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (!faults.MaybeFail("service.submit").ok()) {
+      ++fired;
+    }
+  }
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(faults.fired_count("service.submit"), 3u);
+}
+
+TEST_F(FaultInjectionTest, MalformedSpecsRejectedWithoutArming) {
+  FaultInjection& faults = FaultInjection::Instance();
+  for (const char* bad : {"no-equals", "site=", "site=nan", "site=2.0", "site=-0.5",
+                          "site=0.5@", "site=0.5@-1", "=0.5", "site=0.5@zero"}) {
+    EXPECT_FALSE(faults.Configure(bad, 1).ok()) << bad;
+    EXPECT_TRUE(faults.ArmedPatterns().empty()) << bad;
+    EXPECT_TRUE(faults.MaybeFail("site").ok()) << bad;
+  }
+  // A bad spec does not clobber a previously armed good one.
+  ASSERT_TRUE(faults.Configure("site.kept=1", 1).ok());
+  EXPECT_FALSE(faults.Configure("broken", 1).ok());
+  EXPECT_FALSE(faults.MaybeFail("site.kept").ok());
+}
+
+TEST_F(FaultInjectionTest, EmptySpecDisarms) {
+  FaultInjection& faults = FaultInjection::Instance();
+  ASSERT_TRUE(faults.Configure("site.x=1", 1).ok());
+  EXPECT_FALSE(faults.MaybeFail("site.x").ok());
+  ASSERT_TRUE(faults.Configure("", 1).ok());
+  EXPECT_TRUE(faults.MaybeFail("site.x").ok());
+  EXPECT_EQ(faults.fired_count(), 0u);  // counters reset
 }
 
 }  // namespace

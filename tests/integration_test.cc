@@ -194,7 +194,7 @@ TEST(IntegrationTest, GridSearchFindsTrueArgmaxOfItsOwnPredictions) {
   options.sample_budget = static_cast<int>(space.size());
   options.enable_pruning = false;
   options.early_stop_patience = 0;
-  const SearchOutcome outcome = RunSearch(pipeline, TinyGpt(), space, options);
+  const SearchOutcome outcome = *RunSearch(pipeline, TinyGpt(), space, options);
   ASSERT_TRUE(outcome.found);
 
   double best_mfu = 0.0;

@@ -138,7 +138,7 @@ class SearcherSweep : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(SearcherSweep, ImprovesOverInitialSamples) {
   const ConfigSpace space = ConfigSpace::MegatronTable5(256);
-  auto algorithm = MakeSearchAlgorithm(GetParam(), space, 7);
+  auto algorithm = *MakeSearchAlgorithm(GetParam(), space, 7);
   EXPECT_EQ(algorithm->name(), GetParam());
   double best_early = 0.0;
   double best_late = 0.0;
@@ -173,7 +173,7 @@ INSTANTIATE_TEST_SUITE_P(Algorithms, SearcherSweep,
 
 TEST(SearcherTest, GridEnumeratesWholeSpaceThenStops) {
   const ConfigSpace space = ConfigSpace::MegatronTable5(256);
-  auto grid = MakeSearchAlgorithm("grid", space, 1);
+  auto grid = *MakeSearchAlgorithm("grid", space, 1);
   std::set<size_t> seen;
   while (true) {
     const std::optional<size_t> index = grid->Ask();
@@ -189,7 +189,7 @@ TEST(SearcherTest, GridEnumeratesWholeSpaceThenStops) {
 TEST(SearcherTest, CmaConvergesTighterThanRandom) {
   const ConfigSpace space = ConfigSpace::MegatronTable5(256);
   auto run = [&](const char* name) {
-    auto algorithm = MakeSearchAlgorithm(name, space, 3);
+    auto algorithm = *MakeSearchAlgorithm(name, space, 3);
     double best = 0.0;
     for (int i = 0; i < 300; ++i) {
       const size_t index = *algorithm->Ask();
@@ -256,7 +256,7 @@ TEST_F(SearchDriverTest, FindsValidConfigAndTracksStatus) {
   options.sample_budget = 80;
   options.seed = 5;
   options.early_stop_patience = 0;
-  const SearchOutcome outcome = RunSearch(*pipeline_, TinyGpt(), space, options);
+  const SearchOutcome outcome = *RunSearch(*pipeline_, TinyGpt(), space, options);
   EXPECT_TRUE(outcome.found);
   EXPECT_GT(outcome.best_mfu, 0.0);
   EXPECT_GT(outcome.executed, 0);
@@ -282,10 +282,10 @@ TEST_F(SearchDriverTest, SimCacheSharedAcrossSearches) {
   search.sample_budget = static_cast<int>(space.size());
   search.early_stop_patience = 0;
 
-  const SearchOutcome first = RunSearch(pipeline, TinyGpt(), space, search);
+  const SearchOutcome first = *RunSearch(pipeline, TinyGpt(), space, search);
   EXPECT_GT(pipeline.SimCacheStats().insertions, 0u);
 
-  const SearchOutcome second = RunSearch(pipeline, TinyGpt(), space, search);
+  const SearchOutcome second = *RunSearch(pipeline, TinyGpt(), space, search);
   EXPECT_GT(second.simulation_totals.cache_hits, 0u);
   EXPECT_EQ(second.simulation_totals.simulated_components, 0u);
   EXPECT_EQ(second.best_mfu, first.best_mfu);
@@ -299,10 +299,10 @@ TEST_F(SearchDriverTest, PruningSkipsDominatedConfigs) {
   with.algorithm = "grid";
   with.sample_budget = static_cast<int>(space.size());
   with.early_stop_patience = 0;
-  const SearchOutcome pruned = RunSearch(*pipeline_, TinyGpt(), space, with);
+  const SearchOutcome pruned = *RunSearch(*pipeline_, TinyGpt(), space, with);
   SearchOptions without = with;
   without.enable_pruning = false;
-  const SearchOutcome full = RunSearch(*pipeline_, TinyGpt(), space, without);
+  const SearchOutcome full = *RunSearch(*pipeline_, TinyGpt(), space, without);
   EXPECT_GT(pruned.skipped, 0);
   EXPECT_EQ(full.skipped, 0);
   EXPECT_GT(full.executed, pruned.executed);
@@ -322,7 +322,7 @@ TEST_F(SearchDriverTest, EarlyStoppingCutsSamples) {
   options.sample_budget = 500;
   options.early_stop_patience = 10;
   options.seed = 5;
-  const SearchOutcome outcome = RunSearch(*pipeline_, TinyGpt(), space, options);
+  const SearchOutcome outcome = *RunSearch(*pipeline_, TinyGpt(), space, options);
   EXPECT_LT(outcome.samples, 500);
   EXPECT_TRUE(outcome.found);
 }
@@ -341,11 +341,11 @@ TEST_F(SearchDriverTest, TraceCacheReusedAcrossSearches) {
   search.sample_budget = static_cast<int>(space.size());
   search.early_stop_patience = 0;
 
-  const SearchOutcome first = RunSearch(pipeline, TinyGpt(), space, search);
+  const SearchOutcome first = *RunSearch(pipeline, TinyGpt(), space, search);
   const ShardedCacheStats after_first = pipeline.TraceCacheStats();
   EXPECT_GT(after_first.insertions, 0u);
 
-  const SearchOutcome second = RunSearch(pipeline, TinyGpt(), space, search);
+  const SearchOutcome second = *RunSearch(pipeline, TinyGpt(), space, search);
   const ShardedCacheStats after_second = pipeline.TraceCacheStats();
   EXPECT_GT(after_second.hits, after_first.hits);
   EXPECT_TRUE(second.found);
@@ -360,7 +360,7 @@ TEST_F(SearchDriverTest, ProgressIsMonotoneInBestMfu) {
   options.algorithm = "grid";
   options.sample_budget = static_cast<int>(space.size());
   options.early_stop_patience = 0;
-  const SearchOutcome outcome = RunSearch(*pipeline_, TinyGpt(), space, options);
+  const SearchOutcome outcome = *RunSearch(*pipeline_, TinyGpt(), space, options);
   double previous = 0.0;
   for (const auto& [unique, best] : outcome.progress) {
     EXPECT_GE(best, previous);

@@ -68,8 +68,8 @@ class ServiceTest : public ::testing::Test {
   }
 
   static std::unique_ptr<ServiceEngine> MakeEngine(ServiceEngineOptions options = {}) {
-    return std::make_unique<ServiceEngine>(*cluster_, bank_->kernel.get(),
-                                           bank_->collective.get(), options);
+    return *ServiceEngine::Create(*cluster_, bank_->kernel.get(),
+                                  bank_->collective.get(), options);
   }
 
   static ServiceRequest PredictRequest(uint64_t id, const TrainConfig& config) {
@@ -594,7 +594,7 @@ TEST_F(ServiceTest, CrossArchWhatIfViaRegisteredBank) {
   // directly over that bank on the target cluster.
   const ClusterSpec v100 = V100Cluster(8);
   GroundTruthExecutor v100_hardware(v100, 21);
-  auto engine = std::make_unique<ServiceEngine>(
+  auto engine = *ServiceEngine::Create(
       v100, TrainEstimators(v100, v100_hardware, TestSweep()), ServiceEngineOptions{});
 
   GroundTruthExecutor h100_hardware(*cluster_, 22);
@@ -920,6 +920,269 @@ TEST_F(ServiceTest, ShutdownDrainsQueueAndRejectsNewWork) {
   EXPECT_EQ(refused.error_code, kErrShuttingDown);
 }
 
+// ---- Fault isolation: hostile payloads --------------------------------------
+
+// Every request-reachable validation failure must answer a typed error and
+// leave the engine serving — a poisoned request fails only that request.
+TEST_F(ServiceTest, HostilePayloadSweepAnswersTypedErrorsAndKeepsServing) {
+  auto engine = MakeEngine();
+  InProcessTransport transport(engine.get());
+  ServiceClient client(&transport);
+
+  const auto expect_invalid = [&](Result<ServiceResponse> response, const char* what) {
+    ASSERT_TRUE(response.ok()) << what << ": " << response.status().ToString();
+    EXPECT_FALSE(response->ok) << what;
+    EXPECT_EQ(response->error_code, kErrInvalidRequest) << what << ": " << response->error;
+  };
+
+  // Hostile models: indivisible heads, zero layers, zero vocab.
+  ModelConfig bad_heads = TinyGpt();
+  bad_heads.hidden_size = 1000;  // not divisible by 16 heads
+  expect_invalid(client.Predict(bad_heads, BaseConfig()), "indivisible heads");
+  ModelConfig no_layers = TinyGpt();
+  no_layers.num_layers = 0;
+  expect_invalid(client.Predict(no_layers, BaseConfig()), "zero layers");
+  ModelConfig no_vocab = TinyGpt();
+  no_vocab.vocab_size = 0;
+  expect_invalid(client.CheckOom(no_vocab, BaseConfig()), "zero vocab whatif");
+
+  // Hostile train configs: zero parallelism, negative batch.
+  TrainConfig zero_tp = BaseConfig();
+  zero_tp.tensor_parallel = 0;
+  expect_invalid(client.Predict(TinyGpt(), zero_tp), "zero tensor parallel");
+  TrainConfig negative_batch = BaseConfig();
+  negative_batch.global_batch_size = -4;
+  expect_invalid(client.Predict(TinyGpt(), negative_batch), "negative batch");
+
+  // A poisoned item mid-batch fails the batch with a typed error naming the
+  // item — not the server.
+  std::vector<TrainConfig> batch = {BaseConfig(), zero_tp, BaseConfig()};
+  Result<ServiceResponse> poisoned = client.BatchPredict(TinyGpt(), batch);
+  ASSERT_TRUE(poisoned.ok());
+  EXPECT_FALSE(poisoned->ok);
+  EXPECT_EQ(poisoned->error_code, kErrInvalidRequest);
+  EXPECT_NE(poisoned->error.find("batch item 1"), std::string::npos) << poisoned->error;
+
+  // Unknown search algorithm and hostile search model.
+  SearchOptions unknown_algorithm;
+  unknown_algorithm.algorithm = "simulated-annealing";
+  unknown_algorithm.sample_budget = 4;
+  expect_invalid(client.Search(TinyGpt(), unknown_algorithm), "unknown algorithm");
+
+  // Unknown deployment target.
+  expect_invalid(client.Predict(TinyGpt(), BaseConfig(), "tpu-v9"), "unknown deployment");
+
+  // Wire-level garbage never reaches the engine: the transport surfaces a
+  // parse error as a Status, not a crash.
+  EXPECT_FALSE(transport.RoundTrip("this is not json").ok());
+  EXPECT_FALSE(transport.RoundTrip(R"({"id": "forty-two", "kind": "predict"})").ok());
+  EXPECT_FALSE(transport.RoundTrip(R"({"kind": "predict"})").ok());
+
+  // The engine survived the sweep: a well-formed predict still answers, and
+  // the admission counters reconcile.
+  Result<ServiceResponse> good = client.Predict(TinyGpt(), BaseConfig());
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(good->ok) << good->error;
+  const ServiceStats stats = engine->stats();
+  EXPECT_EQ(stats.submitted, stats.completed + stats.rejected + stats.cancelled +
+                                 stats.deadline_expired);
+}
+
+// ---- Drain ------------------------------------------------------------------
+
+TEST_F(ServiceTest, DrainCompletesBacklogThenRejectsNewCompute) {
+  ServiceEngineOptions options;
+  options.worker_threads = 2;
+  options.start_paused = true;  // build a backlog before any work starts
+  auto engine = MakeEngine(options);
+
+  std::vector<std::future<ServiceResponse>> backlog;
+  for (uint64_t id = 1; id <= 4; ++id) {
+    backlog.push_back(engine->Submit(PredictRequest(id, BaseConfig())));
+  }
+
+  // Drain unpauses, waits for the backlog (queued AND in-flight) to finish,
+  // and only then returns.
+  engine->Drain();
+  for (std::future<ServiceResponse>& future : backlog) {
+    const ServiceResponse response = future.get();
+    EXPECT_TRUE(response.ok) << response.error;
+  }
+
+  // New compute is refused with the draining message; the control plane
+  // (stats) still answers, so an operator can watch the drain complete.
+  const ServiceResponse refused = engine->Submit(PredictRequest(9, BaseConfig())).get();
+  EXPECT_FALSE(refused.ok);
+  EXPECT_EQ(refused.error_code, kErrShuttingDown);
+  EXPECT_NE(refused.error.find("draining"), std::string::npos) << refused.error;
+
+  ServiceRequest stats_request;
+  stats_request.id = 10;
+  stats_request.payload = StatsPayload{};
+  const ServiceResponse stats_response = engine->Submit(std::move(stats_request)).get();
+  ASSERT_TRUE(stats_response.ok);
+  EXPECT_EQ(stats_response.stats.queue_depth, 0u);
+
+  // Post-drain reconciliation on the quiesced engine: every submission is
+  // accounted for exactly once.
+  const ServiceStats stats = engine->stats();
+  EXPECT_EQ(stats.submitted, stats.completed + stats.rejected + stats.cancelled +
+                                 stats.deadline_expired);
+  engine->Shutdown();
+}
+
+// ---- Client retry -----------------------------------------------------------
+
+// Fails the first `failures` round-trips at the transport layer, then
+// delegates to the wrapped transport.
+class FlakyTransport final : public LineTransport {
+ public:
+  FlakyTransport(LineTransport* wrapped, int failures)
+      : wrapped_(wrapped), failures_(failures) {}
+
+  Result<std::string> RoundTrip(const std::string& line) override {
+    ++calls_;
+    if (calls_ <= failures_) {
+      return Status::Internal("connection reset by peer");
+    }
+    return wrapped_->RoundTrip(line);
+  }
+
+  int calls() const { return calls_; }
+
+ private:
+  LineTransport* wrapped_;
+  int failures_;
+  int calls_ = 0;
+};
+
+// Answers the first `rejections` round-trips with a typed QUEUE_FULL
+// response, then delegates.
+class SheddingTransport final : public LineTransport {
+ public:
+  SheddingTransport(LineTransport* wrapped, int rejections)
+      : wrapped_(wrapped), rejections_(rejections) {}
+
+  Result<std::string> RoundTrip(const std::string& line) override {
+    ++calls_;
+    if (calls_ <= rejections_) {
+      Result<ServiceRequest> request = ParseServiceRequest(line);
+      if (!request.ok()) {
+        return request.status();
+      }
+      ServiceResponse response;
+      response.id = request->id;
+      response.kind = request->kind();
+      response.ok = false;
+      response.error_code = kErrQueueFull;
+      response.error = "queued weight 8.0 + 1.0 (predict) exceeds bound 8.0";
+      return SerializeServiceResponse(response);
+    }
+    return wrapped_->RoundTrip(line);
+  }
+
+  int calls() const { return calls_; }
+
+ private:
+  LineTransport* wrapped_;
+  int rejections_;
+  int calls_ = 0;
+};
+
+TEST_F(ServiceTest, RetryPolicyOutwaitsTransportFailures) {
+  auto engine = MakeEngine();
+  InProcessTransport inner(engine.get());
+  FlakyTransport flaky(&inner, 2);
+
+  RetryPolicy retry;
+  retry.max_attempts = 4;
+  retry.seed = 99;
+  std::vector<double> slept;
+  retry.sleeper = [&slept](double delay_ms) { slept.push_back(delay_ms); };
+  ServiceClient client(&flaky, retry);
+
+  ServiceRequest request = PredictRequest(77, BaseConfig());
+  Result<ServiceResponse> response = client.Call(std::move(request));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(response->ok) << response->error;
+  EXPECT_EQ(flaky.calls(), 3);  // two failures + the success
+  // Every sleep is the deterministic schedule the client advertises.
+  ASSERT_EQ(slept.size(), 2u);
+  EXPECT_DOUBLE_EQ(slept[0], client.BackoffMs(77, 1));
+  EXPECT_DOUBLE_EQ(slept[1], client.BackoffMs(77, 2));
+}
+
+TEST_F(ServiceTest, RetryPolicyOutwaitsQueueFullButNeverTypedServerErrors) {
+  auto engine = MakeEngine();
+  InProcessTransport inner(engine.get());
+
+  // QUEUE_FULL is transient: two rejections, then the engine admits.
+  SheddingTransport shedding(&inner, 2);
+  RetryPolicy retry;
+  retry.max_attempts = 4;
+  retry.sleeper = [](double) {};
+  ServiceClient client(&shedding, retry);
+  Result<ServiceResponse> admitted = client.Predict(TinyGpt(), BaseConfig());
+  ASSERT_TRUE(admitted.ok()) << admitted.status().ToString();
+  EXPECT_TRUE(admitted->ok) << admitted->error;
+  EXPECT_EQ(shedding.calls(), 3);
+
+  // Exhausted attempts return the typed QUEUE_FULL answer, not a bare status.
+  SheddingTransport always_full(&inner, 1000);
+  ServiceClient exhausted_client(&always_full, retry);
+  Result<ServiceResponse> exhausted = exhausted_client.Predict(TinyGpt(), BaseConfig());
+  ASSERT_TRUE(exhausted.ok()) << exhausted.status().ToString();
+  EXPECT_FALSE(exhausted->ok);
+  EXPECT_EQ(exhausted->error_code, kErrQueueFull);
+  EXPECT_EQ(always_full.calls(), 4);
+
+  // A typed INVALID_REQUEST is never retried: one round trip, typed answer.
+  SheddingTransport counting(&inner, 0);
+  ServiceClient invalid_client(&counting, retry);
+  TrainConfig poisoned = BaseConfig();
+  poisoned.tensor_parallel = 0;
+  Result<ServiceResponse> invalid = invalid_client.Predict(TinyGpt(), poisoned);
+  ASSERT_TRUE(invalid.ok());
+  EXPECT_FALSE(invalid->ok);
+  EXPECT_EQ(invalid->error_code, kErrInvalidRequest);
+  EXPECT_EQ(counting.calls(), 1);
+
+  // The default client (no policy) never retries QUEUE_FULL either.
+  SheddingTransport default_full(&inner, 1000);
+  ServiceClient default_client(&default_full);
+  Result<ServiceResponse> shed = default_client.Predict(TinyGpt(), BaseConfig());
+  ASSERT_TRUE(shed.ok());
+  EXPECT_EQ(shed->error_code, kErrQueueFull);
+  EXPECT_EQ(default_full.calls(), 1);
+}
+
+TEST_F(ServiceTest, BackoffIsExponentialCappedAndDeterministicallyJittered) {
+  auto engine = MakeEngine();
+  InProcessTransport transport(engine.get());
+  RetryPolicy retry;
+  retry.base_backoff_ms = 10.0;
+  retry.max_backoff_ms = 80.0;
+  retry.seed = 5;
+  ServiceClient client(&transport, retry);
+
+  std::vector<double> id1;
+  std::vector<double> id2;
+  for (int attempt = 1; attempt <= 6; ++attempt) {
+    const double nominal = std::min(10.0 * (1 << (attempt - 1)), 80.0);
+    const double delay = client.BackoffMs(1, attempt);
+    // Full jitter keeps the delay in [0.5, 1.0) x nominal.
+    EXPECT_GE(delay, 0.5 * nominal) << attempt;
+    EXPECT_LT(delay, nominal) << attempt;
+    // Pure function of (seed, id, attempt).
+    EXPECT_DOUBLE_EQ(delay, client.BackoffMs(1, attempt));
+    id1.push_back(delay);
+    id2.push_back(client.BackoffMs(2, attempt));
+  }
+  // Two clients retrying the same outage spread out: different ids jitter
+  // differently.
+  EXPECT_NE(id1, id2);
+}
+
 // ---- Artifact warm start ----------------------------------------------------
 
 TEST_F(ServiceTest, WarmStartBitIdenticalWithHighHitRate) {
@@ -931,7 +1194,7 @@ TEST_F(ServiceTest, WarmStartBitIdenticalWithHighHitRate) {
   // bundle. The engine owns its own bank here so the registry save path
   // (estimators + caches) is exercised end to end.
   GroundTruthExecutor profiling(*cluster_, 7);  // same seed as the fixture
-  auto original = std::make_unique<ServiceEngine>(
+  auto original = *ServiceEngine::Create(
       *cluster_, TrainEstimators(*cluster_, profiling, TestSweep()), ServiceEngineOptions{});
   InProcessTransport original_transport(original.get());
   ServiceClient original_client(&original_transport);

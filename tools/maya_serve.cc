@@ -14,9 +14,20 @@
 //              [--queue_weight=64] [--search_weight=16]
 //              [--execution_threads=0] [--artifacts=DIR] [--save_artifacts]
 //              [--sweep=full|small|tiny] [--no_sim_cache]
+//              [--fault_spec=SPEC] [--fault_seed=N]
 //
 // --no_sim_cache disables the cross-trial simulation cache (stage 4 replays
 // every comm component fresh; output-preserving either way).
+//
+// --fault_spec arms deterministic fault injection (testing only): a comma-
+// separated list of site=probability[@max_fires] clauses, sites matching
+// the names in src/common/fault_injection.h ("pipeline.*", "artifact.*",
+// "service.submit", "service.worker"; trailing '*' wildcards allowed).
+// Seeded by --fault_seed: same spec + seed + request order = same faults.
+//
+// SIGTERM (and EOF / a "shutdown" line) triggers a graceful drain: no new
+// requests admitted, in-flight requests finish and answer, artifacts flush
+// (--save_artifacts), then the process exits.
 //
 // --cluster is the default deployment; --deployments registers additional
 // per-arch banks (each trains its own estimators on a cold start), enabling
@@ -30,6 +41,7 @@
 //    "pipeline_parallel":2,"microbatch_multiplier":2}}
 //   {"id":2,"kind":"stats"}
 // EOF (or a line "shutdown") stops the server.
+#include <csignal>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -37,10 +49,12 @@
 #include <deque>
 #include <future>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "src/common/fault_injection.h"
 #include "src/core/estimator_bank.h"
 #include "src/core/execution_context.h"
 #include "src/service/artifact_store.h"
@@ -60,7 +74,15 @@ struct ServeFlags {
   bool save_artifacts = false;
   std::string sweep = "small";
   bool sim_cache = true;
+  std::string fault_spec;
+  uint64_t fault_seed = 1;
 };
+
+// SIGTERM → graceful drain. The handler only sets a flag; it is installed
+// WITHOUT SA_RESTART so the blocking getline on stdin fails with EINTR and
+// the read loop falls through to the drain path.
+volatile std::sig_atomic_t g_sigterm = 0;
+void HandleSigterm(int) { g_sigterm = 1; }
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
   const size_t len = std::strlen(name);
@@ -130,6 +152,9 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--no_sim_cache") == 0) {
       flags.sim_cache = false;
     } else if (ParseFlag(argv[i], "--sweep", &flags.sweep)) {
+    } else if (ParseFlag(argv[i], "--fault_spec", &flags.fault_spec)) {
+    } else if (ParseFlag(argv[i], "--fault_seed", &value)) {
+      flags.fault_seed = std::strtoull(value.c_str(), nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
       return 2;
@@ -140,6 +165,15 @@ int main(int argc, char** argv) {
   if (!cluster.ok()) {
     std::fprintf(stderr, "%s\n", cluster.status().ToString().c_str());
     return 2;
+  }
+  if (!flags.fault_spec.empty()) {
+    const Status armed = FaultInjection::Instance().Configure(flags.fault_spec, flags.fault_seed);
+    if (!armed.ok()) {
+      std::fprintf(stderr, "--fault_spec: %s\n", armed.ToString().c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "maya_serve: fault injection armed (%s, seed %llu)\n",
+                 flags.fault_spec.c_str(), static_cast<unsigned long long>(flags.fault_seed));
   }
   if (flags.save_artifacts && flags.artifacts.empty()) {
     std::fprintf(stderr, "--save_artifacts requires --artifacts=DIR\n");
@@ -186,7 +220,13 @@ int main(int argc, char** argv) {
                  flags.sweep.c_str());
     GroundTruthExecutor profiling_hardware(*cluster, /*seed=*/0x9f0f);
     EstimatorBank bank = TrainEstimators(*cluster, profiling_hardware, SweepFor(flags.sweep));
-    engine = std::make_unique<ServiceEngine>(*cluster, std::move(bank), options);
+    Result<std::unique_ptr<ServiceEngine>> created =
+        ServiceEngine::Create(*cluster, std::move(bank), options);
+    if (!created.ok()) {
+      std::fprintf(stderr, "maya_serve: %s\n", created.status().ToString().c_str());
+      return 2;
+    }
+    engine = *std::move(created);
   }
   // Requested deployments missing from the engine (cold start: all of them;
   // warm start: any the bundle did not carry) train their own per-arch bank.
@@ -211,6 +251,15 @@ int main(int argc, char** argv) {
                cluster->ToString().c_str(), flags.workers, flags.queue_weight,
                engine->registry().Registered().size());
 
+  // Graceful-drain signal: no SA_RESTART, so a SIGTERM interrupts the
+  // blocking stdin read below instead of being deferred to the next line.
+  struct sigaction drain_action;
+  std::memset(&drain_action, 0, sizeof(drain_action));
+  drain_action.sa_handler = HandleSigterm;
+  sigemptyset(&drain_action.sa_mask);
+  drain_action.sa_flags = 0;
+  sigaction(SIGTERM, &drain_action, nullptr);
+
   // Responses print in submission order: a writer drains futures FIFO while
   // workers execute concurrently behind them.
   std::deque<std::future<ServiceResponse>> inflight;
@@ -227,7 +276,7 @@ int main(int argc, char** argv) {
   };
 
   std::string line;
-  while (std::getline(std::cin, line)) {
+  while (!g_sigterm && std::getline(std::cin, line)) {
     if (line.empty()) {
       continue;
     }
@@ -263,11 +312,25 @@ int main(int argc, char** argv) {
     inflight.push_back(engine->Submit(*std::move(request)));
     drain_ready(/*block=*/false);
   }
+  if (g_sigterm) {
+    std::fprintf(stderr, "maya_serve: SIGTERM, draining...\n");
+  }
+  // Graceful lifecycle: stop admitting, let queued + in-flight work finish
+  // and answer, THEN flush artifacts over a quiet engine and shut down.
+  engine->Drain();
   drain_ready(/*block=*/true);
-  engine->Shutdown();
 
   if (flags.save_artifacts && !flags.artifacts.empty()) {
-    const Status saved = store.SaveRegistry(engine->registry());
+    // Persist cumulative per-deployment stage totals alongside the caches so
+    // a restarted server's stats continue instead of resetting.
+    std::map<std::string, DeploymentUsage> usage;
+    const ServiceStats stats = engine->stats();
+    for (const DeploymentStats& deployment : stats.per_deployment) {
+      DeploymentUsage& entry = usage[deployment.name];
+      entry.stage_totals = deployment.stage_totals;
+      entry.timed_requests = deployment.timed_requests;
+    }
+    const Status saved = store.SaveRegistry(engine->registry(), usage);
     if (!saved.ok()) {
       std::fprintf(stderr, "failed to save artifact bundle: %s\n", saved.ToString().c_str());
       return 1;
@@ -275,5 +338,6 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "maya_serve: saved v2 artifact bundle (%zu deployments) to %s\n",
                  engine->registry().Registered().size(), flags.artifacts.c_str());
   }
+  engine->Shutdown();
   return 0;
 }
