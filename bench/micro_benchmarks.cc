@@ -20,8 +20,10 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/hash.h"
 #include "src/common/json_writer.h"
 #include "src/common/strings.h"
+#include "src/common/telemetry.h"
 #include "src/core/estimator_bank.h"
 #include "src/core/pipeline.h"
 #include "src/dlf/worker_launcher.h"
@@ -654,6 +656,40 @@ double MeasureServiceRequestsPerSec(ServiceEngine& engine,
   return static_cast<double>(clients) * per_client / seconds;
 }
 
+// Telemetry-overhead guard: a span site with telemetry disabled is one
+// relaxed atomic load + branch, so a hashing loop with a ScopedSpan per
+// iteration must run at ~the speed of the bare loop. Returns the wall-time
+// ratio (instrumented / baseline), min-of-5 to shed scheduler noise; CI
+// fails the build when the committed threshold is exceeded.
+double MeasureDisabledSpanOverheadRatio() {
+  Telemetry::Instance().Disable();
+  constexpr int kIters = 1 << 21;
+  uint64_t sink = 0;
+  const auto time_loop = [&sink](bool with_span) {
+    double best_ms = 1e300;
+    for (int repeat = 0; repeat < 5; ++repeat) {
+      const auto start = std::chrono::steady_clock::now();
+      for (int i = 0; i < kIters; ++i) {
+        if (with_span) {
+          ScopedSpan span("bench_disabled_site", "bench");
+          sink += SplitMix64(static_cast<uint64_t>(i) ^ sink);
+        } else {
+          sink += SplitMix64(static_cast<uint64_t>(i) ^ sink);
+        }
+      }
+      const double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+      best_ms = std::min(best_ms, ms);
+    }
+    return best_ms;
+  };
+  const double baseline_ms = time_loop(/*with_span=*/false);
+  const double instrumented_ms = time_loop(/*with_span=*/true);
+  benchmark::DoNotOptimize(sink);
+  return instrumented_ms / baseline_ms;
+}
+
 void RunServiceThroughputStudy() {
   EstimationFixture& fixture = EstimationFixture::Get();
   const std::vector<ServiceRequest> sweep = ServiceSweepRequests();
@@ -700,6 +736,9 @@ void RunServiceThroughputStudy() {
   json.Field("warm_start_speedup", warm_per_sec / cold_per_sec);
   json.Field("warm_start_kernel_cache_hit_rate", warm_hit_rate);
   json.Field("artifact_load_ms", artifact_load_ms);
+  const double span_overhead = MeasureDisabledSpanOverheadRatio();
+  json.Field("telemetry_disabled_span_overhead_ratio", span_overhead);
+  std::cout << StrFormat("  disabled span-site overhead: %.3fx baseline\n", span_overhead);
   json.KeyedBeginObject("warm_requests_per_sec_by_clients");
   std::cout << StrFormat(
       "Service throughput (%zu-config sweep, %d workers): cold %0.1f req/s, "

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/check.h"
+#include "src/common/telemetry.h"
 
 namespace maya {
 
@@ -53,9 +54,18 @@ void ThreadPool::ParallelFor(size_t count, const std::function<void(size_t)>& fn
   std::mutex done_mutex;
   std::condition_variable done;
   size_t remaining = count;
+  // Carry the caller's span context into every task so spans recorded on
+  // pool threads attribute to the request that fanned out, and wrap each
+  // task in a span of its own. Both are near-free when telemetry is off
+  // (a TLS copy here, one relaxed load per task there).
+  const TraceContext parent_context = Telemetry::CurrentContext();
   for (size_t i = 0; i < count; ++i) {
-    Submit([&fn, &done_mutex, &done, &remaining, i] {
-      fn(i);
+    Submit([&fn, &done_mutex, &done, &remaining, parent_context, i] {
+      {
+        ScopedTraceContext adopt(parent_context);
+        ScopedSpan span("pool_task", "pool");
+        fn(i);
+      }
       // Notify under the lock: once the waiter observes remaining == 0 it
       // returns and destroys the latch, so the notify must happen before
       // this task releases the mutex.

@@ -32,6 +32,8 @@ class ThreadPool {
   // Convenience: runs fn(i) for i in [0, count) across the pool and waits
   // for exactly those tasks (a per-call latch — safe and isolated for
   // concurrent callers sharing one pool, unlike the pool-global Wait()).
+  // The caller's telemetry span context is propagated into every task, so
+  // spans recorded inside fn attribute to the submitting request's trace.
   void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
 
   size_t num_threads() const { return threads_.size(); }

@@ -1,11 +1,19 @@
 #include "src/core/execution_context.h"
 
+#include "src/common/telemetry.h"
+
 namespace maya {
 
 ExecutionContext::ExecutionContext(int threads) : threads_(threads) {
   if (threads_ > 1) {
     pool_ = std::make_unique<ThreadPool>(static_cast<size_t>(threads_));
   }
+  // Stage fan-out (and therefore pool-task span volume) is bounded by this
+  // gauge; exporting it makes per-stage trace density interpretable.
+  MetricsRegistry::Instance()
+      .GetGauge("maya_execution_context_threads",
+                "Worker threads in the shared stage-execution context")
+      .Set(static_cast<double>(pool_ ? threads_ : 1));
 }
 
 std::shared_ptr<ExecutionContext> ExecutionContext::Create(int threads) {

@@ -8,6 +8,7 @@
 #include "src/common/fault_injection.h"
 #include "src/common/hash.h"
 #include "src/common/strings.h"
+#include "src/common/telemetry.h"
 #include "src/trace/collator.h"
 
 namespace maya {
@@ -132,6 +133,7 @@ void MayaPipeline::PredictKernels(const std::vector<const KernelDesc*>& kernels,
       std::max<size_t>(256, count / (stage_pool_->num_threads() * 4));
   const size_t num_chunks = (count + chunk - 1) / chunk;
   stage_pool_->ParallelFor(num_chunks, [&](size_t c) {
+    ScopedSpan span("estimate_chunk", "pipeline");
     const size_t begin = c * chunk;
     const size_t len = std::min(chunk, count - begin);
     kernel_estimator_->PredictUsBatch(kernels.data() + begin, len, out + begin);
@@ -319,7 +321,10 @@ Result<PredictionReport> MayaPipeline::Predict(const PredictionRequest& request)
     LaunchOptions launch;
     launch.selective_launch = request.selective_launch;
     launch.emulation_pool = stage_pool_;
-    Result<LaunchResult> launched = EmulateJob(request.model, request.config, cluster_, launch);
+    Result<LaunchResult> launched = [&] {
+      ScopedSpan span("emulate", "pipeline");
+      return EmulateJob(request.model, request.config, cluster_, launch);
+    }();
     if (!launched.ok()) {
       return launched.status();
     }
@@ -345,7 +350,10 @@ Result<PredictionReport> MayaPipeline::Predict(const PredictionRequest& request)
     collation.deduplicate = request.deduplicate_workers;
     collation.pool = stage_pool_;
     TraceCollator collator(collation);
-    Result<JobTrace> collated = collator.Collate(std::move(launched->traces));
+    Result<JobTrace> collated = [&] {
+      ScopedSpan span("collate", "pipeline");
+      return collator.Collate(std::move(launched->traces));
+    }();
     if (!collated.ok()) {
       return collated.status();
     }
@@ -364,14 +372,20 @@ Result<PredictionReport> MayaPipeline::Predict(const PredictionRequest& request)
 
   // (3) Kernel runtime estimation.
   MAYA_RETURN_IF_ERROR(faults.MaybeFail("pipeline.estimate"));
-  report.estimation = AnnotateDurations(job, request.oracle);
+  {
+    ScopedSpan span("estimate", "pipeline");
+    report.estimation = AnnotateDurations(job, request.oracle);
+  }
   report.timings.estimation_ms = clock.LapMs();
 
   // (4) End-to-end simulation (no SM contention: Maya's model, §8). The
   // request's dedup knob extends to stage 4: dedup-off predictions replay
   // every simulated worker individually.
   MAYA_RETURN_IF_ERROR(faults.MaybeFail("pipeline.simulate"));
-  Result<SimReport> sim = Simulate(job, request.deduplicate_workers);
+  Result<SimReport> sim = [&] {
+    ScopedSpan span("simulate", "pipeline");
+    return Simulate(job, request.deduplicate_workers);
+  }();
   if (!sim.ok()) {
     return sim.status();
   }

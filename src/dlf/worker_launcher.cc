@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "src/common/strings.h"
+#include "src/common/telemetry.h"
 
 namespace maya {
 namespace {
@@ -122,6 +123,7 @@ Result<LaunchResult> EmulateJob(const ModelConfig& model, const TrainConfig& con
 
   if (pool != nullptr && world > 1) {
     pool->ParallelFor(static_cast<size_t>(world), [&](size_t index) {
+      ScopedSpan span("emulate_rank", "dlf");
       const int rank = static_cast<int>(index);
       // A lower rank already failed: sequential execution would never have
       // reached this rank, so its outcome cannot affect the result. Skipped

@@ -1,0 +1,241 @@
+#include "src/service/metrics_exporter.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "src/common/fault_injection.h"
+#include "src/common/strings.h"
+#include "src/service/service_engine.h"
+
+namespace maya {
+namespace {
+
+std::string KindLabel(const std::string& kind) { return "kind=\"" + kind + "\""; }
+
+MetricFamily CounterFamily(const char* name, const char* help, double value) {
+  MetricFamily family;
+  family.name = name;
+  family.type = MetricType::kCounter;
+  family.help = help;
+  MetricSeries series;
+  series.value = value;
+  family.series.push_back(std::move(series));
+  return family;
+}
+
+MetricFamily GaugeFamily(const char* name, const char* help, double value) {
+  MetricFamily family = CounterFamily(name, help, value);
+  family.type = MetricType::kGauge;
+  return family;
+}
+
+void AppendStageSeries(MetricFamily& family, const std::string& label_prefix,
+                       const StageTimings& totals) {
+  const struct {
+    const char* stage;
+    double value;
+  } stages[] = {{"emulation", totals.emulation_ms},
+                {"collation", totals.collation_ms},
+                {"estimation", totals.estimation_ms},
+                {"simulation", totals.simulation_ms}};
+  for (const auto& stage : stages) {
+    MetricSeries series;
+    series.labels = label_prefix + "stage=\"" + stage.stage + "\"";
+    series.value = stage.value;
+    family.series.push_back(std::move(series));
+  }
+}
+
+void AppendCacheSeries(MetricFamily& hits, MetricFamily& misses,
+                       const std::string& deployment, const char* layer,
+                       const ShardedCacheStats& cache) {
+  const std::string labels =
+      "deployment=\"" + deployment + "\",layer=\"" + layer + "\"";
+  MetricSeries hit_series;
+  hit_series.labels = labels;
+  hit_series.value = static_cast<double>(cache.hits);
+  hits.series.push_back(std::move(hit_series));
+  MetricSeries miss_series;
+  miss_series.labels = labels;
+  miss_series.value = static_cast<double>(cache.misses);
+  misses.series.push_back(std::move(miss_series));
+}
+
+}  // namespace
+
+MetricsReport MetricsExporter::Collect() const {
+  const ServiceStats stats = engine_.stats();
+  MetricsReport report;
+
+  // ---- Engine counters: by construction identical to the `stats` response
+  // fields, so the exposition reconciles with ServiceStats.
+  report.push_back(CounterFamily("maya_requests_submitted_total",
+                                 "Requests submitted to the engine",
+                                 static_cast<double>(stats.submitted)));
+  report.push_back(CounterFamily("maya_requests_completed_total",
+                                 "Requests whose future resolved ok or with a typed error",
+                                 static_cast<double>(stats.completed)));
+  report.push_back(CounterFamily("maya_requests_rejected_total",
+                                 "Queue-full or shutdown refusals",
+                                 static_cast<double>(stats.rejected)));
+  report.push_back(CounterFamily("maya_requests_cancelled_total",
+                                 "Requests cancelled while queued",
+                                 static_cast<double>(stats.cancelled)));
+  report.push_back(CounterFamily("maya_requests_deadline_expired_total",
+                                 "Requests whose deadline expired in the queue",
+                                 static_cast<double>(stats.deadline_expired)));
+  report.push_back(CounterFamily("maya_timed_requests_total",
+                                 "Requests contributing to stage wall-time totals",
+                                 static_cast<double>(stats.timed_requests)));
+
+  // ---- Queue / fleet gauges.
+  report.push_back(GaugeFamily("maya_queue_depth", "Requests currently queued",
+                               static_cast<double>(stats.queue_depth)));
+  report.push_back(GaugeFamily("maya_queued_weight",
+                               "Summed admission weight of queued requests",
+                               stats.queued_weight));
+  report.push_back(GaugeFamily("maya_queue_weight_bound",
+                               "Configured admission weight bound",
+                               stats.max_queue_weight));
+  report.push_back(GaugeFamily("maya_deployments_resident",
+                               "Deployments resident in the registry",
+                               static_cast<double>(stats.deployments.size())));
+  report.push_back(GaugeFamily("maya_deployments_derived",
+                               "Derived what-if deployments resident",
+                               static_cast<double>(stats.derived_deployments)));
+
+  // ---- Cumulative stage wall time (engine-wide, the Fig. 13 split).
+  {
+    MetricFamily family;
+    family.name = "maya_stage_wall_ms_total";
+    family.type = MetricType::kCounter;
+    family.help = "Cumulative stage wall time across executed requests (ms)";
+    AppendStageSeries(family, "", stats.stage_totals);
+    report.push_back(std::move(family));
+  }
+
+  // ---- Cache hit/miss counters for every resident deployment and layer.
+  {
+    MetricFamily hits;
+    hits.name = "maya_cache_hits_total";
+    hits.type = MetricType::kCounter;
+    hits.help = "Cache hits per deployment and cache layer";
+    MetricFamily misses;
+    misses.name = "maya_cache_misses_total";
+    misses.type = MetricType::kCounter;
+    misses.help = "Cache misses per deployment and cache layer";
+    for (const DeploymentStats& deployment : stats.per_deployment) {
+      AppendCacheSeries(hits, misses, deployment.name, "kernel", deployment.kernel_cache);
+      AppendCacheSeries(hits, misses, deployment.name, "collective",
+                        deployment.collective_cache);
+      AppendCacheSeries(hits, misses, deployment.name, "trace", deployment.trace_cache);
+      AppendCacheSeries(hits, misses, deployment.name, "sim", deployment.sim_cache);
+    }
+    report.push_back(std::move(hits));
+    report.push_back(std::move(misses));
+  }
+
+  // ---- Per-deployment request/stage counters.
+  {
+    MetricFamily family;
+    family.name = "maya_deployment_timed_requests_total";
+    family.type = MetricType::kCounter;
+    family.help = "Timed requests per target deployment";
+    for (const DeploymentStats& deployment : stats.per_deployment) {
+      MetricSeries series;
+      series.labels = "deployment=\"" + deployment.name + "\"";
+      series.value = static_cast<double>(deployment.timed_requests);
+      family.series.push_back(std::move(series));
+    }
+    report.push_back(std::move(family));
+
+    MetricFamily stages;
+    stages.name = "maya_deployment_stage_wall_ms_total";
+    stages.type = MetricType::kCounter;
+    stages.help = "Cumulative stage wall time per target deployment (ms)";
+    for (const DeploymentStats& deployment : stats.per_deployment) {
+      AppendStageSeries(stages, "deployment=\"" + deployment.name + "\",",
+                        deployment.stage_totals);
+    }
+    report.push_back(std::move(stages));
+  }
+
+  // ---- Per-kind latency histograms (queue wait + end-to-end), straight
+  // from the engine-owned histograms that also feed `stats.latency`.
+  {
+    MetricFamily queue_wait;
+    queue_wait.name = "maya_queue_wait_us";
+    queue_wait.type = MetricType::kHistogram;
+    queue_wait.help = "Queue wait per request kind (us)";
+    MetricFamily latency;
+    latency.name = "maya_request_latency_us";
+    latency.type = MetricType::kHistogram;
+    latency.help = "End-to-end latency (queue wait + execution) per request kind (us)";
+    for (size_t i = 0; i < std::variant_size_v<ServicePayload>; ++i) {
+      const ServiceRequestKind kind = static_cast<ServiceRequestKind>(i);
+      const LatencyHistogram& wait = engine_.QueueWaitHistogram(kind);
+      const LatencyHistogram& e2e = engine_.RequestLatencyHistogram(kind);
+      if (wait.count() == 0 && e2e.count() == 0) {
+        continue;
+      }
+      MetricSeries wait_series = HistogramSeries(wait);
+      wait_series.labels = KindLabel(ServiceRequestKindName(kind));
+      queue_wait.series.push_back(std::move(wait_series));
+      MetricSeries e2e_series = HistogramSeries(e2e);
+      e2e_series.labels = KindLabel(ServiceRequestKindName(kind));
+      latency.series.push_back(std::move(e2e_series));
+    }
+    report.push_back(std::move(queue_wait));
+    report.push_back(std::move(latency));
+  }
+
+  // ---- Cross-cutting process counters.
+  report.push_back(CounterFamily(
+      "maya_fault_injections_total", "Injected faults fired",
+      static_cast<double>(FaultInjection::Instance().fired_count())));
+  const Telemetry& telemetry = Telemetry::Instance();
+  report.push_back(CounterFamily("maya_slow_requests_total",
+                                 "Requests over the slow-trace threshold",
+                                 static_cast<double>(telemetry.slow_requests())));
+  report.push_back(GaugeFamily("maya_trace_buffered_events",
+                               "Telemetry events currently buffered",
+                               static_cast<double>(telemetry.buffered_events())));
+  report.push_back(CounterFamily("maya_trace_dropped_events_total",
+                                 "Telemetry events overwritten by ring wrap",
+                                 static_cast<double>(telemetry.dropped_events())));
+
+  // ---- Everything registered process-wide (client retries, drain
+  // bookkeeping, execution-context gauges, test metrics, ...).
+  for (MetricFamily& family : MetricsRegistry::Instance().Collect()) {
+    report.push_back(std::move(family));
+  }
+
+  std::stable_sort(report.begin(), report.end(),
+                   [](const MetricFamily& a, const MetricFamily& b) {
+                     return a.name < b.name;
+                   });
+  return report;
+}
+
+std::string MetricsExporter::RenderPrometheus() const {
+  return maya::RenderPrometheus(Collect());
+}
+
+Status MetricsExporter::WriteToFile(const std::string& path) const {
+  return WriteTextFile(path, RenderPrometheus());
+}
+
+Status WriteTextFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::FailedPrecondition("cannot open '" + path + "' for writing");
+  }
+  out << content;
+  out.flush();
+  if (!out) {
+    return Status::Internal("short write to '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+}  // namespace maya

@@ -1,0 +1,54 @@
+// Assembles the full metrics report for one ServiceEngine: families derived
+// from the engine's own counters (ServiceStats — so the exposition always
+// reconciles with the `stats` response), the engine's per-kind latency
+// histograms, telemetry/fault-injection counters, and everything registered
+// in the process-wide MetricsRegistry. Serves the `metrics` protocol kind
+// and the Prometheus text exposition behind `maya_serve --metrics_out`.
+#ifndef SRC_SERVICE_METRICS_EXPORTER_H_
+#define SRC_SERVICE_METRICS_EXPORTER_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/common/telemetry.h"
+
+namespace maya {
+
+class ServiceEngine;
+
+class MetricsExporter {
+ public:
+  // The engine must outlive the exporter (the exporter holds a reference).
+  explicit MetricsExporter(const ServiceEngine& engine) : engine_(engine) {}
+
+  // Full report, families sorted by name (deterministic exposition):
+  //   maya_requests_*_total        — engine counters (== `stats` fields)
+  //   maya_queue_*                 — queue depth / weight gauges
+  //   maya_request_latency_us      — e2e latency histogram per {kind}
+  //   maya_queue_wait_us           — queue-wait histogram per {kind}
+  //   maya_stage_wall_ms_total     — cumulative stage wall time per {stage}
+  //   maya_cache_{hits,misses}_total — per {deployment,layer} cache counters
+  //   maya_deployment_*            — per-deployment request/stage counters
+  //   maya_fault_injections_total, maya_slow_requests_total,
+  //   maya_trace_buffered_events, maya_trace_dropped_events_total
+  // plus every metric in MetricsRegistry::Instance().
+  MetricsReport Collect() const;
+
+  // RenderPrometheus(Collect()).
+  std::string RenderPrometheus() const;
+
+  // Writes the Prometheus exposition to `path` (parent directories are not
+  // created); fails with kUnavailable when the file cannot be written.
+  Status WriteToFile(const std::string& path) const;
+
+ private:
+  const ServiceEngine& engine_;
+};
+
+// Small shared helper: atomically-ish writes `content` to `path` (plain
+// truncate + write; also used for trace dumps).
+Status WriteTextFile(const std::string& path, const std::string& content);
+
+}  // namespace maya
+
+#endif  // SRC_SERVICE_METRICS_EXPORTER_H_

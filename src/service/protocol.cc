@@ -198,6 +198,140 @@ ShardedCacheStats ParseCacheStats(const JsonValue& value) {
   return stats;
 }
 
+void WriteLatencyPercentiles(JsonWriter& w, const LatencyPercentiles& p) {
+  w.BeginObject();
+  w.Field("count", p.count);
+  w.Field("p50_us", p.p50_us);
+  w.Field("p95_us", p.p95_us);
+  w.Field("p99_us", p.p99_us);
+  w.EndObject();
+}
+
+LatencyPercentiles ParseLatencyPercentiles(const JsonValue& value) {
+  LatencyPercentiles p;
+  p.count = value.at("count").AsUint();
+  p.p50_us = value.at("p50_us").AsDouble();
+  p.p95_us = value.at("p95_us").AsDouble();
+  p.p99_us = value.at("p99_us").AsDouble();
+  return p;
+}
+
+const char* MetricTypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "counter";
+}
+
+Result<MetricType> MetricTypeFromName(const std::string& name) {
+  if (name == "counter") {
+    return MetricType::kCounter;
+  }
+  if (name == "gauge") {
+    return MetricType::kGauge;
+  }
+  if (name == "histogram") {
+    return MetricType::kHistogram;
+  }
+  return Status::InvalidArgument("unknown metric type '" + name + "'");
+}
+
+void WriteMetricsReport(JsonWriter& w, const MetricsReport& report) {
+  w.BeginArray();
+  for (const MetricFamily& family : report) {
+    w.BeginObject();
+    w.Field("name", std::string_view(family.name));
+    w.Field("type", std::string_view(MetricTypeName(family.type)));
+    if (!family.help.empty()) {
+      w.Field("help", std::string_view(family.help));
+    }
+    w.KeyedBeginArray("series");
+    for (const MetricSeries& series : family.series) {
+      w.BeginObject();
+      if (!series.labels.empty()) {
+        w.Field("labels", std::string_view(series.labels));
+      }
+      if (family.type == MetricType::kHistogram) {
+        w.Field("count", series.count);
+        w.Field("sum_us", series.sum_us);
+        w.Field("p50_us", series.p50_us);
+        w.Field("p95_us", series.p95_us);
+        w.Field("p99_us", series.p99_us);
+        w.KeyedBeginArray("buckets");
+        for (const MetricBucket& bucket : series.buckets) {
+          w.BeginObject();
+          w.Field("le", bucket.le);
+          w.Field("count", bucket.count);
+          w.EndObject();
+        }
+        w.EndArray();
+      } else {
+        w.Field("value", series.value);
+      }
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+}
+
+Result<MetricsReport> ParseMetricsReport(const JsonValue& value) {
+  MetricsReport report;
+  const JsonArray* families = nullptr;
+  MAYA_ASSIGN_OR_RETURN(families, ToArray(value));
+  report.reserve(families->size());
+  for (const JsonValue& family_value : *families) {
+    MAYA_RETURN_IF_ERROR(RequireKeys(family_value, {"name", "type", "series"}));
+    MetricFamily family;
+    MAYA_ASSIGN_OR_RETURN(family.name, ToString(family_value.at("name")));
+    std::string type_name;
+    MAYA_ASSIGN_OR_RETURN(type_name, ToString(family_value.at("type")));
+    MAYA_ASSIGN_OR_RETURN(family.type, MetricTypeFromName(type_name));
+    if (family_value.Has("help")) {
+      MAYA_ASSIGN_OR_RETURN(family.help, ToString(family_value.at("help")));
+    }
+    const JsonArray* series_array = nullptr;
+    MAYA_ASSIGN_OR_RETURN(series_array, ToArray(family_value.at("series")));
+    for (const JsonValue& series_value : *series_array) {
+      MetricSeries series;
+      if (series_value.Has("labels")) {
+        MAYA_ASSIGN_OR_RETURN(series.labels, ToString(series_value.at("labels")));
+      }
+      if (family.type == MetricType::kHistogram) {
+        MAYA_RETURN_IF_ERROR(
+            RequireKeys(series_value, {"count", "sum_us", "p50_us", "p95_us", "p99_us",
+                                       "buckets"}));
+        MAYA_ASSIGN_OR_RETURN(series.count, ToUint(series_value.at("count")));
+        MAYA_ASSIGN_OR_RETURN(series.sum_us, ToNumber(series_value.at("sum_us")));
+        MAYA_ASSIGN_OR_RETURN(series.p50_us, ToNumber(series_value.at("p50_us")));
+        MAYA_ASSIGN_OR_RETURN(series.p95_us, ToNumber(series_value.at("p95_us")));
+        MAYA_ASSIGN_OR_RETURN(series.p99_us, ToNumber(series_value.at("p99_us")));
+        const JsonArray* buckets = nullptr;
+        MAYA_ASSIGN_OR_RETURN(buckets, ToArray(series_value.at("buckets")));
+        for (const JsonValue& bucket_value : *buckets) {
+          MAYA_RETURN_IF_ERROR(RequireKeys(bucket_value, {"le", "count"}));
+          MetricBucket bucket;
+          MAYA_ASSIGN_OR_RETURN(bucket.le, ToNumber(bucket_value.at("le")));
+          MAYA_ASSIGN_OR_RETURN(bucket.count, ToUint(bucket_value.at("count")));
+          series.buckets.push_back(bucket);
+        }
+      } else {
+        MAYA_RETURN_IF_ERROR(RequireKeys(series_value, {"value"}));
+        MAYA_ASSIGN_OR_RETURN(series.value, ToNumber(series_value.at("value")));
+      }
+      family.series.push_back(std::move(series));
+    }
+    report.push_back(std::move(family));
+  }
+  return report;
+}
+
 // ---- Request payload field groups ------------------------------------------
 
 // The shared (model, config, knobs, deployment) block of predict-like
@@ -333,6 +467,10 @@ const char* ServiceRequestKindName(ServiceRequestKind kind) {
       return "stats";
     case ServiceRequestKind::kCancel:
       return "cancel";
+    case ServiceRequestKind::kMetrics:
+      return "metrics";
+    case ServiceRequestKind::kDumpTrace:
+      return "dump_trace";
   }
   return "unknown";
 }
@@ -342,7 +480,8 @@ Result<ServiceRequestKind> ServiceRequestKindFromName(const std::string& name) {
       ServiceRequestKind::kPredict,      ServiceRequestKind::kBatchPredict,
       ServiceRequestKind::kSearch,       ServiceRequestKind::kWhatIfOom,
       ServiceRequestKind::kTracePredict, ServiceRequestKind::kStats,
-      ServiceRequestKind::kCancel,
+      ServiceRequestKind::kCancel,       ServiceRequestKind::kMetrics,
+      ServiceRequestKind::kDumpTrace,
   };
   for (ServiceRequestKind kind : kAll) {
     if (name == ServiceRequestKindName(kind)) {
@@ -604,7 +743,9 @@ std::string SerializeServiceRequest(const ServiceRequest& request) {
         } else if constexpr (std::is_same_v<T, CancelPayload>) {
           w.Field("target_id", payload.target_id);
         } else {
-          static_assert(std::is_same_v<T, StatsPayload>);
+          static_assert(std::is_same_v<T, StatsPayload> ||
+                        std::is_same_v<T, MetricsPayload> ||
+                        std::is_same_v<T, DumpTracePayload>);
         }
       },
       request.payload);
@@ -756,6 +897,12 @@ Result<ServiceRequest> ParseServiceRequest(const std::string& line) {
       request.payload = payload;
       break;
     }
+    case ServiceRequestKind::kMetrics:
+      request.payload = MetricsPayload{};
+      break;
+    case ServiceRequestKind::kDumpTrace:
+      request.payload = DumpTracePayload{};
+      break;
   }
   return request;
 }
@@ -857,9 +1004,33 @@ std::string SerializeServiceResponse(const ServiceResponse& response) {
         w.EndObject();
       }
       w.EndArray();
+      w.KeyedBeginArray("latency");
+      for (const KindLatencyStats& entry : response.stats.latency) {
+        w.BeginObject();
+        w.Field("kind", std::string_view(entry.kind));
+        w.Key("queue_wait_us");
+        WriteLatencyPercentiles(w, entry.queue_wait);
+        w.Key("latency_us");
+        WriteLatencyPercentiles(w, entry.latency);
+        w.EndObject();
+      }
+      w.EndArray();
       break;
     case ServiceRequestKind::kCancel:
       w.Field("cancel_found", response.cancel_found);
+      break;
+    case ServiceRequestKind::kMetrics:
+      w.Key("families");
+      WriteMetricsReport(w, response.metrics);
+      break;
+    case ServiceRequestKind::kDumpTrace:
+      w.Field("trace_events", response.trace_events);
+      if (!response.trace_path.empty()) {
+        w.Field("trace_path", std::string_view(response.trace_path));
+      }
+      if (!response.trace_json.empty()) {
+        w.Field("trace_json", std::string_view(response.trace_json));
+      }
       break;
   }
   w.EndObject();
@@ -997,9 +1168,39 @@ Result<ServiceResponse> ParseServiceResponse(const std::string& line) {
           response.stats.per_deployment.push_back(std::move(deployment));
         }
       }
+      if (root->Has("latency")) {
+        for (const JsonValue& entry : root->at("latency").AsArray()) {
+          MAYA_RETURN_IF_ERROR(
+              RequireKeys(entry, {"kind", "queue_wait_us", "latency_us"}));
+          KindLatencyStats latency;
+          MAYA_ASSIGN_OR_RETURN(latency.kind, ToString(entry.at("kind")));
+          latency.queue_wait = ParseLatencyPercentiles(entry.at("queue_wait_us"));
+          latency.latency = ParseLatencyPercentiles(entry.at("latency_us"));
+          response.stats.latency.push_back(std::move(latency));
+        }
+      }
       break;
     case ServiceRequestKind::kCancel:
       response.cancel_found = root->at("cancel_found").AsBool();
+      break;
+    case ServiceRequestKind::kMetrics: {
+      MAYA_RETURN_IF_ERROR(RequireKeys(*root, {"families"}));
+      Result<MetricsReport> report = ParseMetricsReport(root->at("families"));
+      if (!report.ok()) {
+        return report.status();
+      }
+      response.metrics = *std::move(report);
+      break;
+    }
+    case ServiceRequestKind::kDumpTrace:
+      MAYA_RETURN_IF_ERROR(RequireKeys(*root, {"trace_events"}));
+      MAYA_ASSIGN_OR_RETURN(response.trace_events, ToUint(root->at("trace_events")));
+      if (root->Has("trace_path")) {
+        MAYA_ASSIGN_OR_RETURN(response.trace_path, ToString(root->at("trace_path")));
+      }
+      if (root->Has("trace_json")) {
+        MAYA_ASSIGN_OR_RETURN(response.trace_json, ToString(root->at("trace_json")));
+      }
       break;
   }
   return response;

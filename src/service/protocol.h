@@ -27,6 +27,10 @@
 //                         JobTrace supplied in the request payload.
 //   StatsPayload        — engine counters and cache statistics.
 //   CancelPayload       — best-effort cancellation of a queued request by id.
+//   MetricsPayload      — full metrics report (counters, gauges, latency
+//                         histograms) reconciling with the `stats` counters.
+//   DumpTracePayload    — export buffered telemetry spans as Chrome trace
+//                         JSON (inline, or to the engine's trace directory).
 //
 // v1 compatibility: the retired `whatif_cluster` kind still parses — it maps
 // to a PredictPayload whose `deployment` is the old `cluster` field — but is
@@ -43,6 +47,7 @@
 #include "src/common/json_writer.h"
 #include "src/common/sharded_cache.h"
 #include "src/common/status.h"
+#include "src/common/telemetry.h"
 #include "src/core/pipeline.h"
 #include "src/search/search_driver.h"
 #include "src/trace/collator.h"
@@ -58,6 +63,8 @@ enum class ServiceRequestKind {
   kTracePredict,
   kStats,
   kCancel,
+  kMetrics,
+  kDumpTrace,
 };
 
 const char* ServiceRequestKindName(ServiceRequestKind kind);
@@ -109,9 +116,14 @@ struct CancelPayload {
   uint64_t target_id = 0;
 };
 
+struct MetricsPayload {};
+
+struct DumpTracePayload {};
+
 using ServicePayload =
     std::variant<PredictPayload, BatchPredictPayload, SearchPayload, WhatIfOomPayload,
-                 TracePredictPayload, StatsPayload, CancelPayload>;
+                 TracePredictPayload, StatsPayload, CancelPayload, MetricsPayload,
+                 DumpTracePayload>;
 
 struct ServiceRequest {
   uint64_t id = 0;
@@ -162,6 +174,24 @@ struct DeploymentStats {
   ShardedCacheStats sim_cache;
 };
 
+// p50/p95/p99 summary of one engine-owned latency histogram (microseconds;
+// bucket-interpolated, see LatencyHistogram::Percentile).
+struct LatencyPercentiles {
+  uint64_t count = 0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+};
+
+// Queue-wait and end-to-end latency distribution of one request kind, as
+// observed by the engine's worker pool (synchronous control requests —
+// stats/cancel/metrics — never queue and are not measured).
+struct KindLatencyStats {
+  std::string kind;
+  LatencyPercentiles queue_wait;
+  LatencyPercentiles latency;
+};
+
 // Engine-level counters reported by `stats` responses.
 struct ServiceStats {
   uint64_t submitted = 0;
@@ -194,6 +224,9 @@ struct ServiceStats {
   // One block per resident deployment: registered entries in registration
   // order, then derived entries in name order.
   std::vector<DeploymentStats> per_deployment;
+  // Queue-wait + end-to-end latency percentiles per request kind, in kind
+  // order; kinds with no completed requests are omitted.
+  std::vector<KindLatencyStats> latency;
 };
 
 struct ServiceResponse {
@@ -234,6 +267,17 @@ struct ServiceResponse {
 
   // cancel results.
   bool cancel_found = false;
+
+  // metrics results: full families (counters, gauges, histograms) as
+  // assembled by MetricsExporter — reconciles with the `stats` counters.
+  MetricsReport metrics;
+
+  // dump_trace results: when the engine has a trace directory the trace is
+  // written there and `trace_path` is set; otherwise the Chrome trace JSON
+  // is returned inline in `trace_json`.
+  std::string trace_json;
+  std::string trace_path;
+  uint64_t trace_events = 0;
 };
 
 // Copies one prediction outcome into a response's single-result fields (the

@@ -8,6 +8,7 @@
 #include "src/common/hash.h"
 #include "src/common/rng.h"
 #include "src/common/strings.h"
+#include "src/common/telemetry.h"
 
 namespace maya {
 
@@ -44,6 +45,10 @@ Result<ServiceResponse> ServiceClient::Call(ServiceRequest request) {
   Status last_error = Status::Ok();
   for (int attempt = 1; attempt <= attempts; ++attempt) {
     if (attempt > 1) {
+      MetricsRegistry::Instance()
+          .GetCounter("maya_client_retries_total",
+                      "Client request retries (transport failures + QUEUE_FULL)")
+          .Increment();
       const double delay_ms = BackoffMs(id, attempt - 1);
       if (retry_.sleeper) {
         retry_.sleeper(delay_ms);

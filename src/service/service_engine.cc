@@ -1,13 +1,16 @@
 #include "src/service/service_engine.h"
 
 #include <algorithm>
+#include <filesystem>
 #include <utility>
 
 #include "src/common/fault_injection.h"
 #include "src/common/strings.h"
+#include "src/common/telemetry.h"
 #include "src/models/model_zoo.h"
 #include "src/search/config_space.h"
 #include "src/service/artifact_store.h"
+#include "src/service/metrics_exporter.h"
 
 namespace maya {
 namespace {
@@ -151,11 +154,23 @@ void ServiceEngine::Resume() {
 }
 
 void ServiceEngine::Drain() {
+  // Drain progress is observable out-of-band (the engine is busy quiescing):
+  // the gauge holds queued + in-flight work remaining and drops to 0 when
+  // the drain completes.
+  Gauge& drain_remaining = MetricsRegistry::Instance().GetGauge(
+      "maya_drain_remaining", "Queued + in-flight requests still draining");
+  MetricsRegistry::Instance()
+      .GetCounter("maya_drains_total", "Graceful drains started")
+      .Increment();
   std::unique_lock<std::mutex> lock(queue_mutex_);
   draining_ = true;
   paused_ = false;  // a paused engine's backlog must still drain
+  drain_remaining.Set(static_cast<double>(queue_.size() + in_flight_));
   queue_cv_.notify_all();
-  drained_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  drained_cv_.wait(lock, [this, &drain_remaining] {
+    drain_remaining.Set(static_cast<double>(queue_.size() + in_flight_));
+    return queue_.empty() && in_flight_ == 0;
+  });
 }
 
 void ServiceEngine::Shutdown() {
@@ -204,6 +219,8 @@ double ServiceEngine::WeightOf(const ServiceRequest& request) const {
       return weights.trace_predict;
     case ServiceRequestKind::kStats:
     case ServiceRequestKind::kCancel:
+    case ServiceRequestKind::kMetrics:
+    case ServiceRequestKind::kDumpTrace:
       return 0.0;  // control kinds never queue
   }
   return 0.0;
@@ -236,6 +253,18 @@ std::future<ServiceResponse> ServiceEngine::Submit(ServiceRequest request) {
     immediate.set_value(std::move(response));
     return immediate_future;
   }
+  if (request.kind() == ServiceRequestKind::kMetrics) {
+    ServiceResponse response = ExecuteMetrics(request);
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    immediate.set_value(std::move(response));
+    return immediate_future;
+  }
+  if (request.kind() == ServiceRequestKind::kDumpTrace) {
+    ServiceResponse response = ExecuteDumpTrace(request);
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    immediate.set_value(std::move(response));
+    return immediate_future;
+  }
 
   // Admission fault site: an injected failure refuses this one submission
   // (never touching queue state) and leaves the engine serving.
@@ -249,12 +278,16 @@ std::future<ServiceResponse> ServiceEngine::Submit(ServiceRequest request) {
   auto job = std::make_shared<Job>();
   job->request = std::move(request);
   job->weight = WeightOf(job->request);
+  job->enqueued = std::chrono::steady_clock::now();
   job->deadline = job->request.deadline_ms > 0.0
-                      ? std::chrono::steady_clock::now() +
+                      ? job->enqueued +
                             std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                                 std::chrono::duration<double, std::milli>(
                                     job->request.deadline_ms))
                       : std::chrono::steady_clock::time_point::max();
+  if (Telemetry::IsActive()) {
+    job->trace_id = Telemetry::Instance().NextTraceId();
+  }
   std::future<ServiceResponse> future = job->promise.get_future();
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
@@ -323,22 +356,54 @@ void ServiceEngine::WorkerLoop() {
       queued_weight_ -= job->weight;
       ++in_flight_;
     }
-    if (std::chrono::steady_clock::now() > job->deadline) {
+    const auto dequeued_at = std::chrono::steady_clock::now();
+    const double queue_wait_us =
+        std::chrono::duration<double, std::micro>(dequeued_at - job->enqueued).count();
+    const size_t kind_index = job->request.payload.index();
+    kind_latency_[kind_index].queue_wait.Record(queue_wait_us);
+    if (job->trace_id != 0) {
+      // The queue-wait span is recorded retroactively at dequeue (its start
+      // is back-dated to admission) — a queued request has no thread to
+      // carry a live span.
+      TraceEvent event;
+      event.name = "queue_wait";
+      event.category = "request";
+      event.trace_id = job->trace_id;
+      event.ts_us = Telemetry::NowUs() - queue_wait_us;
+      event.dur_us = queue_wait_us;
+      Telemetry::Instance().Record(event);
+    }
+    if (dequeued_at > job->deadline) {
       deadline_expired_.fetch_add(1, std::memory_order_relaxed);
       job->promise.set_value(
           ErrorResponse(job->request, kErrDeadlineExceeded, "deadline expired in queue"));
     } else {
-      // Worker fault site: an injected failure here loses exactly this job —
-      // its future still resolves (INTERNAL_ERROR), the worker survives.
-      const Status worker_fault = FaultInjection::Instance().MaybeFail("service.worker");
-      ServiceResponse response =
-          worker_fault.ok()
-              ? Execute(job->request)
-              : ErrorResponse(job->request, kErrInternalError, worker_fault.ToString());
+      ServiceResponse response;
+      {
+        // Root span of the request: every span the pipeline (and the pool
+        // tasks it fans out) records below runs under this trace id.
+        ScopedTraceContext trace_context(TraceContext{job->trace_id});
+        ScopedSpan span(ServiceRequestKindName(job->request.kind()), "request");
+        // Worker fault site: an injected failure here loses exactly this
+        // job — its future still resolves (INTERNAL_ERROR), the worker
+        // survives.
+        const Status worker_fault = FaultInjection::Instance().MaybeFail("service.worker");
+        response = worker_fault.ok()
+                       ? Execute(job->request)
+                       : ErrorResponse(job->request, kErrInternalError,
+                                       worker_fault.ToString());
+      }
+      const double latency_us = std::chrono::duration<double, std::micro>(
+                                    std::chrono::steady_clock::now() - job->enqueued)
+                                    .count();
+      kind_latency_[kind_index].latency.Record(latency_us);
       // Count before publishing: a caller that observed the future must also
       // observe the completion in stats().
       completed_.fetch_add(1, std::memory_order_relaxed);
       job->promise.set_value(std::move(response));
+      // Slow-request accounting: flushes this request's span tree to the
+      // trace sink when the threshold is armed and exceeded.
+      Telemetry::Instance().OnRequestComplete(job->trace_id, latency_us / 1000.0);
     }
     {
       std::lock_guard<std::mutex> lock(queue_mutex_);
@@ -559,8 +624,47 @@ ServiceResponse ServiceEngine::Execute(const ServiceRequest& request) const {
     case ServiceRequestKind::kCancel:
       return ErrorResponse(request, kErrInvalidRequest,
                            "cancel is a control request; submit it through the engine");
+    case ServiceRequestKind::kMetrics:
+      return ExecuteMetrics(request);
+    case ServiceRequestKind::kDumpTrace:
+      return ExecuteDumpTrace(request);
   }
   return ErrorResponse(request, kErrInvalidRequest, "unknown request kind");
+}
+
+ServiceResponse ServiceEngine::ExecuteMetrics(const ServiceRequest& request) const {
+  ServiceResponse response;
+  response.id = request.id;
+  response.kind = ServiceRequestKind::kMetrics;
+  response.ok = true;
+  response.metrics = MetricsExporter(*this).Collect();
+  return response;
+}
+
+ServiceResponse ServiceEngine::ExecuteDumpTrace(const ServiceRequest& request) const {
+  ServiceResponse response;
+  response.id = request.id;
+  response.kind = ServiceRequestKind::kDumpTrace;
+  size_t exported = 0;
+  std::string trace_json = Telemetry::Instance().ExportChromeTrace(0, &exported);
+  response.trace_events = exported;
+  if (options_.trace_dir.empty()) {
+    response.trace_json = std::move(trace_json);
+    response.ok = true;
+    return response;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(options_.trace_dir, ec);
+  const uint64_t sequence = trace_dumps_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::string path =
+      options_.trace_dir + "/trace_" + std::to_string(sequence) + ".json";
+  const Status written = WriteTextFile(path, trace_json);
+  if (!written.ok()) {
+    return ErrorResponse(request, kErrInternalError, written.ToString());
+  }
+  response.trace_path = path;
+  response.ok = true;
+  return response;
 }
 
 ServiceStats ServiceEngine::stats() const {
@@ -620,6 +724,27 @@ ServiceStats ServiceEngine::stats() const {
                       });
       it = is_resident ? std::next(it) : deployment_timings_.erase(it);
     }
+  }
+  // Queue-wait + end-to-end latency percentiles per kind; kinds never
+  // executed by the worker pool are omitted.
+  const auto summarize = [](const LatencyHistogram& histogram) {
+    LatencyPercentiles p;
+    p.count = histogram.count();
+    p.p50_us = histogram.Percentile(50.0);
+    p.p95_us = histogram.Percentile(95.0);
+    p.p99_us = histogram.Percentile(99.0);
+    return p;
+  };
+  for (size_t i = 0; i < kind_latency_.size(); ++i) {
+    const KindLatency& kind = kind_latency_[i];
+    if (kind.queue_wait.count() == 0 && kind.latency.count() == 0) {
+      continue;
+    }
+    KindLatencyStats entry;
+    entry.kind = ServiceRequestKindName(static_cast<ServiceRequestKind>(i));
+    entry.queue_wait = summarize(kind.queue_wait);
+    entry.latency = summarize(kind.latency);
+    stats.latency.push_back(std::move(entry));
   }
   return stats;
 }

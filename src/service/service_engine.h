@@ -21,6 +21,7 @@
 #ifndef SRC_SERVICE_SERVICE_ENGINE_H_
 #define SRC_SERVICE_SERVICE_ENGINE_H_
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -67,6 +68,10 @@ struct ServiceEngineOptions {
   // Construct with the queue paused (workers idle until Resume()) — lets
   // tests and staged startups fill the queue deterministically.
   bool start_paused = false;
+  // When non-empty, `dump_trace` requests write their Chrome trace JSON to
+  // `trace_dir/trace_<n>.json` and answer with the path; when empty the
+  // trace is returned inline in the response.
+  std::string trace_dir;
 };
 
 class ServiceEngine {
@@ -130,6 +135,18 @@ class ServiceEngine {
   void Shutdown();
 
   ServiceStats stats() const;
+
+  // Engine-owned latency histograms, one pair per request kind: queue wait
+  // (submit → dequeue) and end-to-end latency (submit → future resolved) of
+  // requests executed by the worker pool. They feed both `stats().latency`
+  // and the MetricsExporter exposition, so the two always reconcile.
+  const LatencyHistogram& QueueWaitHistogram(ServiceRequestKind kind) const {
+    return kind_latency_[static_cast<size_t>(kind)].queue_wait;
+  }
+  const LatencyHistogram& RequestLatencyHistogram(ServiceRequestKind kind) const {
+    return kind_latency_[static_cast<size_t>(kind)].latency;
+  }
+
   const DeploymentRegistry& registry() const { return registry_; }
   std::shared_ptr<const Deployment> default_deployment() const { return default_deployment_; }
   // The default deployment's warm pipeline.
@@ -143,6 +160,12 @@ class ServiceEngine {
     std::promise<ServiceResponse> promise;
     std::chrono::steady_clock::time_point deadline;  // max() = none
     double weight = 0.0;
+    // Admission timestamp: queue-wait and end-to-end latency are measured
+    // from here (always, independent of tracing).
+    std::chrono::steady_clock::time_point enqueued;
+    // Nonzero only while telemetry is active: the id every span recorded on
+    // behalf of this request carries.
+    uint64_t trace_id = 0;
   };
 
   // Registration can fail (untrained banks), so construction happens in the
@@ -172,6 +195,8 @@ class ServiceEngine {
                                 const SearchPayload& payload) const;
   ServiceResponse ExecuteTracePredict(const ServiceRequest& request,
                                       const TracePredictPayload& payload) const;
+  ServiceResponse ExecuteMetrics(const ServiceRequest& request) const;
+  ServiceResponse ExecuteDumpTrace(const ServiceRequest& request) const;
 
   static ServiceResponse ErrorResponse(const ServiceRequest& request, const char* code,
                                        std::string message);
@@ -223,6 +248,16 @@ class ServiceEngine {
     uint64_t requests = 0;
   };
   mutable std::map<const Deployment*, DeploymentTimings> deployment_timings_;
+
+  // Per-kind latency histograms (see QueueWaitHistogram): lock-free atomic
+  // buckets, recorded by workers, read by stats()/MetricsExporter.
+  struct KindLatency {
+    LatencyHistogram queue_wait;
+    LatencyHistogram latency;
+  };
+  mutable std::array<KindLatency, std::variant_size_v<ServicePayload>> kind_latency_;
+  // Monotonic dump_trace sequence for trace_dir file names.
+  mutable std::atomic<uint64_t> trace_dumps_{0};
 };
 
 }  // namespace maya

@@ -10,6 +10,7 @@
 
 #include "src/common/hash.h"
 #include "src/common/strings.h"
+#include "src/common/telemetry.h"
 
 namespace maya {
 namespace {
@@ -839,6 +840,7 @@ Result<SimReport> Simulator::Run() {
   stats.simulated_components = to_simulate.size();
 
   auto simulate_one = [&](size_t index) {
+    ScopedSpan span("sim_component", "sim");
     const size_t c = to_simulate[index];
     outcomes[c] = SimulateComponent(job_, components[c], expected_joins, dispatch_latency_us_,
                                     options_.compute_contention_factor);

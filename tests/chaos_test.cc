@@ -91,6 +91,8 @@ std::string Signature(const ServiceResponse& response) {
       break;
     case ServiceRequestKind::kStats:
     case ServiceRequestKind::kCancel:
+    case ServiceRequestKind::kMetrics:
+    case ServiceRequestKind::kDumpTrace:
       break;
   }
   return signature;

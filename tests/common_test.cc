@@ -180,6 +180,27 @@ TEST(StatsTest, RunningStatsTracksMinMax) {
   EXPECT_NEAR(stats.mean(), 2.75, 1e-12);
 }
 
+// Pin the first-sample initialization: min/max must come from the data, not
+// from the pre-first-Add zero state. A sign-crossing sequence (above) cannot
+// catch a zero-initialized min_/max_ leaking through — these do.
+TEST(StatsTest, RunningStatsMinMaxAllPositive) {
+  RunningStats stats;
+  for (double x : {5.0, 3.0, 9.0}) {
+    stats.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(stats.min(), 3.0);  // NOT 0.0
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(StatsTest, RunningStatsMinMaxAllNegative) {
+  RunningStats stats;
+  for (double x : {-5.0, -3.0, -9.0}) {
+    stats.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(stats.min(), -9.0);
+  EXPECT_DOUBLE_EQ(stats.max(), -3.0);  // NOT 0.0
+}
+
 // ---- Hash -----------------------------------------------------------------------
 
 TEST(HashTest, FnvMatchesKnownVector) {

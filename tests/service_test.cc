@@ -7,11 +7,16 @@
 // estimate-cache hit rate and bit-identical predictions.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <filesystem>
 #include <future>
+#include <map>
+#include <set>
 #include <thread>
 #include <vector>
 
+#include "src/common/json_parser.h"
+#include "src/common/telemetry.h"
 #include "src/dlf/worker_launcher.h"
 #include "src/service/artifact_store.h"
 #include "src/service/service_client.h"
@@ -188,6 +193,16 @@ TEST(ServiceProtocolTest, EveryPayloadVariantRoundTripsByteIdentical) {
   cancel.id = 48;
   cancel.payload = CancelPayload{7};
   ExpectRequestFixedPoint(cancel);
+
+  ServiceRequest metrics;
+  metrics.id = 49;
+  metrics.payload = MetricsPayload{};
+  ExpectRequestFixedPoint(metrics);
+
+  ServiceRequest dump_trace;
+  dump_trace.id = 50;
+  dump_trace.payload = DumpTracePayload{};
+  ExpectRequestFixedPoint(dump_trace);
 }
 
 TEST(ServiceProtocolTest, ParsedFieldsSurviveTheWire) {
@@ -282,6 +297,89 @@ TEST(ServiceProtocolTest, BatchPredictResponseRoundTripsByteIdentical) {
   EXPECT_TRUE(parsed->batch[1].oom);
   EXPECT_EQ(parsed->batch[1].oom_detail, blown.oom_detail);
   EXPECT_EQ(SerializeServiceResponse(*parsed), line);
+}
+
+TEST(ServiceProtocolTest, LatencyMetricsAndTraceResponsesRoundTripByteIdentical) {
+  // stats response carrying per-kind latency percentiles.
+  ServiceResponse stats;
+  stats.id = 20;
+  stats.kind = ServiceRequestKind::kStats;
+  stats.ok = true;
+  KindLatencyStats predict_latency;
+  predict_latency.kind = "predict";
+  predict_latency.queue_wait = {3, 12.5, 80.25, 95.125};
+  predict_latency.latency = {3, 1500.5, 2200.75, 2300.875};
+  stats.stats.latency.push_back(predict_latency);
+  const std::string stats_line = SerializeServiceResponse(stats);
+  Result<ServiceResponse> stats_parsed = ParseServiceResponse(stats_line);
+  ASSERT_TRUE(stats_parsed.ok()) << stats_parsed.status().ToString();
+  ASSERT_EQ(stats_parsed->stats.latency.size(), 1u);
+  EXPECT_EQ(stats_parsed->stats.latency[0].kind, "predict");
+  EXPECT_EQ(stats_parsed->stats.latency[0].queue_wait.count, 3u);
+  EXPECT_EQ(stats_parsed->stats.latency[0].latency.p99_us, 2300.875);
+  EXPECT_EQ(SerializeServiceResponse(*stats_parsed), stats_line);
+
+  // metrics response carrying a counter, a labelled gauge and a histogram.
+  ServiceResponse metrics;
+  metrics.id = 21;
+  metrics.kind = ServiceRequestKind::kMetrics;
+  metrics.ok = true;
+  MetricFamily counter;
+  counter.name = "maya_requests_completed_total";
+  counter.type = MetricType::kCounter;
+  counter.help = "Completed requests";
+  counter.series.push_back({.value = 42.0});
+  metrics.metrics.push_back(counter);
+  MetricFamily histogram;
+  histogram.name = "maya_request_latency_us";
+  histogram.type = MetricType::kHistogram;
+  MetricSeries series;
+  series.labels = "kind=\"predict\"";
+  series.count = 7;
+  series.sum_us = 1234.5;
+  series.buckets = {{128.0, 3}, {256.0, 4}};
+  series.p50_us = 150.5;
+  series.p95_us = 240.25;
+  series.p99_us = 250.125;
+  histogram.series.push_back(series);
+  metrics.metrics.push_back(histogram);
+  const std::string metrics_line = SerializeServiceResponse(metrics);
+  Result<ServiceResponse> metrics_parsed = ParseServiceResponse(metrics_line);
+  ASSERT_TRUE(metrics_parsed.ok()) << metrics_parsed.status().ToString();
+  ASSERT_EQ(metrics_parsed->metrics.size(), 2u);
+  EXPECT_EQ(metrics_parsed->metrics[0].series[0].value, 42.0);
+  ASSERT_EQ(metrics_parsed->metrics[1].series.size(), 1u);
+  EXPECT_EQ(metrics_parsed->metrics[1].series[0].labels, "kind=\"predict\"");
+  ASSERT_EQ(metrics_parsed->metrics[1].series[0].buckets.size(), 2u);
+  EXPECT_EQ(metrics_parsed->metrics[1].series[0].buckets[1].count, 4u);
+  EXPECT_EQ(SerializeServiceResponse(*metrics_parsed), metrics_line);
+
+  // dump_trace response: inline JSON (embedded quotes must survive escaping)
+  // and file-path variants.
+  ServiceResponse trace;
+  trace.id = 22;
+  trace.kind = ServiceRequestKind::kDumpTrace;
+  trace.ok = true;
+  trace.trace_events = 5;
+  trace.trace_json = R"({"traceEvents":[{"name":"emulate","ph":"X"}]})";
+  const std::string trace_line = SerializeServiceResponse(trace);
+  Result<ServiceResponse> trace_parsed = ParseServiceResponse(trace_line);
+  ASSERT_TRUE(trace_parsed.ok()) << trace_parsed.status().ToString();
+  EXPECT_EQ(trace_parsed->trace_events, 5u);
+  EXPECT_EQ(trace_parsed->trace_json, trace.trace_json);
+  EXPECT_EQ(SerializeServiceResponse(*trace_parsed), trace_line);
+
+  ServiceResponse trace_file;
+  trace_file.id = 23;
+  trace_file.kind = ServiceRequestKind::kDumpTrace;
+  trace_file.ok = true;
+  trace_file.trace_events = 9;
+  trace_file.trace_path = "/tmp/traces/trace_1.json";
+  Result<ServiceResponse> file_parsed =
+      ParseServiceResponse(SerializeServiceResponse(trace_file));
+  ASSERT_TRUE(file_parsed.ok());
+  EXPECT_EQ(file_parsed->trace_path, trace_file.trace_path);
+  EXPECT_TRUE(file_parsed->trace_json.empty());
 }
 
 TEST(ServiceProtocolTest, MalformedRequestsRejected) {
@@ -486,6 +584,167 @@ TEST_F(ServiceTest, PerDeploymentStatsRoundTrip) {
   EXPECT_EQ(stats->stats.sim_cache.insertions, fallback.sim_cache.insertions);
   // Fixed point: serialize(parse(serialize(x))) is byte-identical.
   EXPECT_EQ(SerializeServiceResponse(*stats), SerializeServiceResponse(direct));
+}
+
+TEST_F(ServiceTest, StatsLatencyPercentilesTrackWorkerExecutedRequests) {
+  auto engine = MakeEngine();
+  const std::vector<TrainConfig> configs = SweepConfigs();
+  uint64_t id = 1;
+  for (const TrainConfig& config : configs) {
+    ServiceResponse response = engine->Submit(PredictRequest(id++, config)).get();
+    ASSERT_TRUE(response.ok) << response.error;
+  }
+
+  // Queue-wait + e2e latency percentiles appear per kind, measured by the
+  // engine's always-on histograms, and survive the NDJSON wire format.
+  ServiceRequest request;
+  request.id = id;
+  request.payload = StatsPayload{};
+  const ServiceResponse direct = engine->Execute(request);
+  Result<ServiceResponse> stats = ParseServiceResponse(SerializeServiceResponse(direct));
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_EQ(stats->stats.latency.size(), 1u);  // only predict ran via workers
+  const KindLatencyStats& predict = stats->stats.latency[0];
+  EXPECT_EQ(predict.kind, "predict");
+  EXPECT_EQ(predict.queue_wait.count, configs.size());
+  EXPECT_EQ(predict.latency.count, configs.size());
+  EXPECT_GT(predict.latency.p50_us, 0.0);
+  EXPECT_LE(predict.latency.p50_us, predict.latency.p95_us);
+  EXPECT_LE(predict.latency.p95_us, predict.latency.p99_us);
+  // Latency includes queue wait, so the percentiles dominate queue-wait ones.
+  EXPECT_GE(predict.latency.p50_us, predict.queue_wait.p50_us);
+  // Fixed point: serialize(parse(serialize(x))) is byte-identical.
+  EXPECT_EQ(SerializeServiceResponse(*stats), SerializeServiceResponse(direct));
+  // The engine-owned histograms are the single source feeding both stats and
+  // the metrics exposition.
+  EXPECT_EQ(engine->RequestLatencyHistogram(ServiceRequestKind::kPredict).count(),
+            configs.size());
+}
+
+TEST_F(ServiceTest, MetricsResponseReconcilesWithServiceStats) {
+  auto engine = MakeEngine();
+  const std::vector<TrainConfig> configs = SweepConfigs();
+  uint64_t id = 1;
+  for (const TrainConfig& config : configs) {
+    ServiceResponse response = engine->Submit(PredictRequest(id++, config)).get();
+    ASSERT_TRUE(response.ok) << response.error;
+  }
+  const ServiceStats stats = engine->stats();
+
+  ServiceRequest request;
+  request.id = id;
+  request.payload = MetricsPayload{};
+  const ServiceResponse direct = engine->Submit(request).get();
+  ASSERT_TRUE(direct.ok) << direct.error;
+  Result<ServiceResponse> wire = ParseServiceResponse(SerializeServiceResponse(direct));
+  ASSERT_TRUE(wire.ok()) << wire.status().ToString();
+  EXPECT_EQ(SerializeServiceResponse(*wire), SerializeServiceResponse(direct));
+
+  // Families arrive sorted and reconcile with the stats snapshot taken
+  // before the metrics request itself (completed moved by the metrics
+  // request; the counters below are untouched by control kinds).
+  std::map<std::string, const MetricFamily*> families;
+  for (const MetricFamily& family : wire->metrics) {
+    families[family.name] = &family;
+  }
+  ASSERT_TRUE(families.count("maya_requests_submitted_total"));
+  ASSERT_TRUE(families.count("maya_timed_requests_total"));
+  ASSERT_TRUE(families.count("maya_request_latency_us"));
+  ASSERT_TRUE(families.count("maya_cache_hits_total"));
+  EXPECT_EQ(families["maya_timed_requests_total"]->series[0].value,
+            static_cast<double>(stats.timed_requests));
+  EXPECT_EQ(families["maya_queue_weight_bound"]->series[0].value,
+            stats.max_queue_weight);
+
+  // The per-kind latency histogram count equals the worker-executed predict
+  // count — which is exactly timed_requests here.
+  const MetricFamily* latency = families["maya_request_latency_us"];
+  uint64_t histogram_total = 0;
+  for (const MetricSeries& series : latency->series) {
+    if (series.labels == "kind=\"predict\"") {
+      histogram_total += series.count;
+    }
+  }
+  EXPECT_EQ(histogram_total, stats.timed_requests);
+  EXPECT_EQ(histogram_total, static_cast<uint64_t>(configs.size()));
+
+  // Cache hit/miss counters reconcile with the per-deployment cache stats.
+  uint64_t exported_kernel_hits = 0;
+  for (const MetricSeries& series : families["maya_cache_hits_total"]->series) {
+    if (series.labels.find("layer=\"kernel\"") != std::string::npos) {
+      exported_kernel_hits += static_cast<uint64_t>(series.value);
+    }
+  }
+  uint64_t stats_kernel_hits = 0;
+  for (const DeploymentStats& deployment : stats.per_deployment) {
+    stats_kernel_hits += deployment.kernel_cache.hits;
+  }
+  EXPECT_EQ(exported_kernel_hits, stats_kernel_hits);
+
+  // And the exposition renders without blowing up, carrying the same totals.
+  const std::string prometheus = RenderPrometheus(wire->metrics);
+  EXPECT_NE(prometheus.find("# TYPE maya_request_latency_us histogram"),
+            std::string::npos);
+  EXPECT_NE(prometheus.find("maya_requests_submitted_total"), std::string::npos);
+}
+
+TEST_F(ServiceTest, DumpTraceCoversQueueWaitAndEveryPipelineStage) {
+  Telemetry::Options tracing;
+  tracing.tracing = true;
+  Telemetry::Instance().Configure(tracing);
+
+  auto engine = MakeEngine();
+  const std::vector<TrainConfig> configs = SweepConfigs();
+  std::vector<std::future<ServiceResponse>> inflight;
+  uint64_t id = 1;
+  for (const TrainConfig& config : configs) {
+    inflight.push_back(engine->Submit(PredictRequest(id++, config)));
+  }
+  for (std::future<ServiceResponse>& future : inflight) {
+    ServiceResponse response = future.get();
+    ASSERT_TRUE(response.ok) << response.error;
+  }
+
+  ServiceRequest request;
+  request.id = id;
+  request.payload = DumpTracePayload{};
+  const ServiceResponse direct = engine->Submit(request).get();
+  Telemetry::Instance().Disable();
+  ASSERT_TRUE(direct.ok) << direct.error;
+  EXPECT_TRUE(direct.trace_path.empty());  // no trace_dir -> inline JSON
+  ASSERT_FALSE(direct.trace_json.empty());
+  EXPECT_GT(direct.trace_events, 0u);
+
+  // The export is Chrome trace-event JSON parseable by the repo's own
+  // parser; group spans by trace id and check each predict's span tree.
+  Result<JsonValue> root = ParseJson(direct.trace_json);
+  ASSERT_TRUE(root.ok()) << root.status().ToString();
+  Result<const JsonArray*> events = ToArray(root->at("traceEvents"));
+  ASSERT_TRUE(events.ok());
+  EXPECT_EQ((*events)->size(), direct.trace_events);
+  std::map<uint64_t, std::map<std::string, int>> spans_by_trace;
+  for (const JsonValue& event : **events) {
+    Result<std::string> name = ToString(event.at("name"));
+    ASSERT_TRUE(name.ok());
+    Result<uint64_t> trace_id = ToUint(event.at("args").at("trace_id"));
+    ASSERT_TRUE(trace_id.ok());
+    spans_by_trace[*trace_id][*name] += 1;
+  }
+  size_t traced_predicts = 0;
+  for (const auto& [trace_id, spans] : spans_by_trace) {
+    if (trace_id == 0 || spans.count("predict") == 0) {
+      continue;  // spans outside any request, or non-predict work
+    }
+    ++traced_predicts;
+    EXPECT_EQ(spans.at("predict"), 1) << "trace " << trace_id;
+    EXPECT_EQ(spans.count("queue_wait"), 1u) << "trace " << trace_id;
+    // All four pipeline stages appear under the request's trace id even
+    // though stages fan out across the shared execution context's pool.
+    for (const char* stage : {"emulate", "collate", "estimate", "simulate"}) {
+      EXPECT_GE(spans.count(stage), 1u) << "trace " << trace_id << " missing " << stage;
+    }
+  }
+  EXPECT_EQ(traced_predicts, configs.size());
 }
 
 TEST_F(ServiceTest, BatchPredictSimCacheOnVsOffBitIdentical) {

@@ -1,0 +1,363 @@
+// Tests for the tracing + metrics layer (src/common/telemetry.h): metric
+// primitives and Prometheus rendering, span recording and ring-buffer
+// semantics, cross-thread context propagation (no cross-contamination under
+// concurrency — run under TSan in CI), Chrome-trace export parseability, and
+// slow-request accounting.
+#include "src/common/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/json_parser.h"
+#include "src/common/stats.h"
+#include "src/common/thread_pool.h"
+
+namespace maya {
+namespace {
+
+// Telemetry and the registry are process-wide singletons; every test that
+// arms them scopes the state so later tests start clean.
+struct TelemetryGuard {
+  explicit TelemetryGuard(Telemetry::Options options) {
+    Telemetry::Instance().Configure(options);
+  }
+  ~TelemetryGuard() { Telemetry::Instance().Disable(); }
+};
+
+Telemetry::Options Tracing(size_t ring_capacity = 1 << 10) {
+  Telemetry::Options options;
+  options.tracing = true;
+  options.ring_capacity = ring_capacity;
+  return options;
+}
+
+// ---- Metric primitives ----------------------------------------------------
+
+TEST(MetricsTest, CounterAndGaugeBasics) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.Increment();
+  counter.Increment(4);
+  EXPECT_EQ(counter.value(), 5u);
+
+  Gauge gauge;
+  gauge.Set(2.5);
+  gauge.Add(-1.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 1.5);
+}
+
+TEST(MetricsTest, HistogramBucketsAreLogSpacedAndClassifyCorrectly) {
+  // bound(i) = 2^((i+1)/2): two buckets per doubling.
+  EXPECT_NEAR(LatencyHistogram::BucketBound(0), std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(LatencyHistogram::BucketBound(1), 2.0, 1e-12);
+  EXPECT_NEAR(LatencyHistogram::BucketBound(3), 4.0, 1e-12);
+  EXPECT_TRUE(std::isinf(LatencyHistogram::BucketBound(LatencyHistogram::kNumBuckets - 1)));
+
+  LatencyHistogram histogram;
+  histogram.Record(1.0);    // <= bound(0) -> bucket 0
+  histogram.Record(2.0);    // (bound(0), bound(1)] -> bucket 1
+  histogram.Record(2.5);    // (2, 2.83] -> bucket 2
+  histogram.Record(1e12);   // overflow bucket
+  EXPECT_EQ(histogram.bucket_count(0), 1u);
+  EXPECT_EQ(histogram.bucket_count(1), 1u);
+  EXPECT_EQ(histogram.bucket_count(2), 1u);
+  EXPECT_EQ(histogram.bucket_count(LatencyHistogram::kNumBuckets - 1), 1u);
+  EXPECT_EQ(histogram.count(), 4u);
+  EXPECT_NEAR(histogram.sum_us(), 1e12 + 6.0, 1.0);
+}
+
+TEST(MetricsTest, HistogramPercentileTracksExactPercentile) {
+  // Log-bucketed estimates cannot be exact, but they must stay within one
+  // bucket (a factor of sqrt(2)) of the exact stats.h Percentile and be
+  // monotone in p.
+  LatencyHistogram histogram;
+  std::vector<double> xs;
+  for (int i = 1; i <= 1000; ++i) {
+    const double v = static_cast<double>(i);  // uniform 1..1000 us
+    xs.push_back(v);
+    histogram.Record(v);
+  }
+  for (double p : {10.0, 50.0, 90.0, 95.0, 99.0}) {
+    const double exact = Percentile(xs, p);
+    const double estimate = histogram.Percentile(p);
+    EXPECT_GE(estimate, exact / std::sqrt(2.0)) << "p" << p;
+    EXPECT_LE(estimate, exact * std::sqrt(2.0)) << "p" << p;
+  }
+  EXPECT_LE(histogram.Percentile(50.0), histogram.Percentile(95.0));
+  EXPECT_LE(histogram.Percentile(95.0), histogram.Percentile(99.0));
+  LatencyHistogram empty;
+  EXPECT_EQ(empty.Percentile(50.0), 0.0);
+}
+
+TEST(MetricsTest, HistogramSeriesReconcilesWithRecords) {
+  LatencyHistogram histogram;
+  for (int i = 0; i < 17; ++i) {
+    histogram.Record(100.0);
+  }
+  histogram.Record(1e12);  // overflow: implied by count, not a bucket entry
+  const MetricSeries series = HistogramSeries(histogram);
+  EXPECT_EQ(series.count, 18u);
+  uint64_t bucketed = 0;
+  for (const MetricBucket& bucket : series.buckets) {
+    EXPECT_TRUE(std::isfinite(bucket.le));  // overflow never serializes
+    bucketed += bucket.count;
+  }
+  EXPECT_EQ(bucketed, 17u);
+}
+
+// ---- Registry + Prometheus exposition -------------------------------------
+
+TEST(MetricsTest, RegistryReturnsStableReferencesAndCollects) {
+  MetricsRegistry& registry = MetricsRegistry::Instance();
+  registry.ResetForTest();
+  Counter& a = registry.GetCounter("maya_test_total", "help text");
+  Counter& b = registry.GetCounter("maya_test_total");
+  EXPECT_EQ(&a, &b);  // same name -> same metric
+  a.Increment(3);
+  registry.GetGauge("maya_test_gauge").Set(7.0);
+  registry.GetCounter("maya_test_labeled_total{kind=\"x\"}").Increment();
+  registry.GetCounter("maya_test_labeled_total{kind=\"y\"}").Increment(2);
+
+  const MetricsReport report = registry.Collect();
+  const MetricFamily* labeled = nullptr;
+  for (const MetricFamily& family : report) {
+    if (family.name == "maya_test_labeled_total") {
+      labeled = &family;
+    }
+  }
+  ASSERT_NE(labeled, nullptr);
+  ASSERT_EQ(labeled->series.size(), 2u);  // grouped into one family
+  EXPECT_EQ(labeled->series[0].labels, "kind=\"x\"");
+  EXPECT_EQ(labeled->series[1].labels, "kind=\"y\"");
+
+  const std::string text = RenderPrometheus(report);
+  EXPECT_NE(text.find("# HELP maya_test_total help text"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE maya_test_total counter"), std::string::npos);
+  EXPECT_NE(text.find("maya_test_total 3"), std::string::npos);
+  EXPECT_NE(text.find("maya_test_gauge 7"), std::string::npos);
+  EXPECT_NE(text.find("maya_test_labeled_total{kind=\"x\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("maya_test_labeled_total{kind=\"y\"} 2"), std::string::npos);
+  registry.ResetForTest();
+}
+
+TEST(MetricsTest, PrometheusHistogramBucketsAreCumulativeWithInf) {
+  MetricsRegistry& registry = MetricsRegistry::Instance();
+  registry.ResetForTest();
+  LatencyHistogram& histogram = registry.GetHistogram("maya_test_us", "latency");
+  histogram.Record(1.0);   // bucket 0 (le ~1.41)
+  histogram.Record(2.0);   // bucket 1 (le 2)
+  histogram.Record(1e12);  // overflow -> only the +Inf line
+  const std::string text = RenderPrometheus(registry.Collect());
+  EXPECT_NE(text.find("# TYPE maya_test_us histogram"), std::string::npos);
+  EXPECT_NE(text.find("maya_test_us_bucket{le=\"2\"} 2"), std::string::npos);  // cumulative
+  EXPECT_NE(text.find("maya_test_us_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("maya_test_us_count 3"), std::string::npos);
+  registry.ResetForTest();
+}
+
+// ---- Tracing --------------------------------------------------------------
+
+TEST(TelemetryTest, DisabledSpanSitesRecordNothing) {
+  Telemetry::Instance().Disable();
+  EXPECT_FALSE(Telemetry::IsActive());
+  {
+    ScopedSpan span("should_not_record", "test");
+  }
+  EXPECT_EQ(Telemetry::Instance().buffered_events(), 0u);
+}
+
+TEST(TelemetryTest, SpansCarryTheCurrentContext) {
+  TelemetryGuard guard(Tracing());
+  const uint64_t trace_id = Telemetry::Instance().NextTraceId();
+  EXPECT_NE(trace_id, 0u);
+  {
+    ScopedTraceContext context(TraceContext{trace_id});
+    ScopedSpan outer("outer", "test");
+    { ScopedSpan inner("inner", "test"); }
+  }
+  // Context restored after the scope.
+  EXPECT_EQ(Telemetry::CurrentContext().trace_id, 0u);
+  const std::vector<TraceEvent> events = Telemetry::Instance().SnapshotEvents();
+  ASSERT_EQ(events.size(), 2u);
+  for (const TraceEvent& event : events) {
+    EXPECT_EQ(event.trace_id, trace_id);
+    EXPECT_GE(event.dur_us, 0.0);
+  }
+  // Snapshot order is by start time: outer opens first, inner nests inside.
+  EXPECT_STREQ(events[0].name, "outer");
+  EXPECT_STREQ(events[1].name, "inner");
+  EXPECT_LE(events[0].ts_us, events[1].ts_us);
+  EXPECT_GE(events[0].ts_us + events[0].dur_us, events[1].ts_us + events[1].dur_us);
+}
+
+TEST(TelemetryTest, RingBufferWrapsAndCountsDrops) {
+  Telemetry::Options options = Tracing(/*ring_capacity=*/8);
+  TelemetryGuard guard(options);
+  for (int i = 0; i < 20; ++i) {
+    ScopedSpan span("wrap", "test");
+  }
+  EXPECT_EQ(Telemetry::Instance().buffered_events(), 8u);
+  EXPECT_EQ(Telemetry::Instance().dropped_events(), 12u);
+}
+
+TEST(TelemetryTest, ExportIsParseableChromeTraceJson) {
+  TelemetryGuard guard(Tracing());
+  const uint64_t trace_id = Telemetry::Instance().NextTraceId();
+  {
+    ScopedTraceContext context(TraceContext{trace_id});
+    ScopedSpan span("exported_span", "test");
+  }
+  size_t exported = 0;
+  const std::string json = Telemetry::Instance().ExportChromeTrace(0, &exported);
+  EXPECT_EQ(exported, 1u);
+  Result<JsonValue> root = ParseJson(json);
+  ASSERT_TRUE(root.ok()) << root.status().ToString();
+  ASSERT_TRUE(root->is_object());
+  Result<const JsonArray*> events = ToArray(root->at("traceEvents"));
+  ASSERT_TRUE(events.ok());
+  ASSERT_EQ((*events)->size(), 1u);
+  const JsonValue& event = (**events)[0];
+  Result<std::string> name = ToString(event.at("name"));
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(*name, "exported_span");
+  Result<std::string> phase = ToString(event.at("ph"));
+  ASSERT_TRUE(phase.ok());
+  EXPECT_EQ(*phase, "X");
+  EXPECT_TRUE(event.Has("ts"));
+  EXPECT_TRUE(event.Has("dur"));
+  Result<uint64_t> id = ToUint(event.at("args").at("trace_id"));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, trace_id);
+}
+
+TEST(TelemetryTest, ExportFilterSelectsOneTrace) {
+  TelemetryGuard guard(Tracing());
+  const uint64_t first = Telemetry::Instance().NextTraceId();
+  const uint64_t second = Telemetry::Instance().NextTraceId();
+  {
+    ScopedTraceContext context(TraceContext{first});
+    ScopedSpan span("span_first", "test");
+  }
+  {
+    ScopedTraceContext context(TraceContext{second});
+    ScopedSpan span("span_second", "test");
+  }
+  size_t exported = 0;
+  const std::string json = Telemetry::Instance().ExportChromeTrace(first, &exported);
+  EXPECT_EQ(exported, 1u);
+  EXPECT_NE(json.find("span_first"), std::string::npos);
+  EXPECT_EQ(json.find("span_second"), std::string::npos);
+}
+
+TEST(TelemetryTest, ParallelForPropagatesContextIntoPoolTasks) {
+  TelemetryGuard guard(Tracing());
+  const uint64_t trace_id = Telemetry::Instance().NextTraceId();
+  ThreadPool pool(4);
+  {
+    ScopedTraceContext context(TraceContext{trace_id});
+    pool.ParallelFor(16, [](size_t) {
+      ScopedSpan span("task_body", "test");
+    });
+  }
+  size_t task_bodies = 0;
+  size_t pool_tasks = 0;
+  for (const TraceEvent& event : Telemetry::Instance().SnapshotEvents()) {
+    if (std::strcmp(event.name, "task_body") == 0) {
+      ++task_bodies;
+      EXPECT_EQ(event.trace_id, trace_id);
+    } else if (std::strcmp(event.name, "pool_task") == 0) {
+      ++pool_tasks;
+      EXPECT_EQ(event.trace_id, trace_id);
+    }
+  }
+  EXPECT_EQ(task_bodies, 16u);  // every task saw the submitter's context
+  EXPECT_EQ(pool_tasks, 16u);   // and the pool wrapped each in its own span
+}
+
+TEST(TelemetryTest, ConcurrentThreadsDoNotCrossContaminateContexts) {
+  TelemetryGuard guard(Tracing());
+  // Span names must be static-lifetime literals; one per thread lets the
+  // events be attributed back to their recording thread afterwards.
+  static const char* const kNames[] = {"ctx_t0", "ctx_t1", "ctx_t2", "ctx_t3"};
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      ScopedTraceContext context(TraceContext{static_cast<uint64_t>(t + 1)});
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        ScopedSpan span(kNames[t], "test");
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  size_t total = 0;
+  for (const TraceEvent& event : Telemetry::Instance().SnapshotEvents()) {
+    for (int t = 0; t < kThreads; ++t) {
+      if (std::strcmp(event.name, kNames[t]) == 0) {
+        ++total;
+        // A cross-thread context leak would show up as a mismatched id.
+        EXPECT_EQ(event.trace_id, static_cast<uint64_t>(t + 1));
+      }
+    }
+  }
+  EXPECT_EQ(total, static_cast<size_t>(kThreads * kSpansPerThread));
+}
+
+// ---- Slow-request accounting ----------------------------------------------
+
+TEST(TelemetryTest, SlowRequestsAreRetainedAndSinked) {
+  Telemetry::Options options;
+  options.tracing = false;  // slow-only mode
+  options.slow_request_threshold_ms = 5.0;
+  TelemetryGuard guard(options);
+  EXPECT_TRUE(Telemetry::IsActive());  // spans still record in slow-only mode
+
+  std::vector<uint64_t> sinked_ids;
+  std::vector<std::string> sinked_json;
+  Telemetry::Instance().SetTraceSink(
+      [&](uint64_t trace_id, const std::string& trace_json) {
+        sinked_ids.push_back(trace_id);
+        sinked_json.push_back(trace_json);
+      });
+
+  const uint64_t fast_id = Telemetry::Instance().NextTraceId();
+  const uint64_t slow_id = Telemetry::Instance().NextTraceId();
+  {
+    ScopedTraceContext context(TraceContext{fast_id});
+    ScopedSpan span("fast_request", "test");
+  }
+  {
+    ScopedTraceContext context(TraceContext{slow_id});
+    ScopedSpan span("slow_request", "test");
+  }
+
+  EXPECT_FALSE(Telemetry::Instance().OnRequestComplete(fast_id, 1.0));
+  EXPECT_TRUE(Telemetry::Instance().OnRequestComplete(slow_id, 10.0));
+  EXPECT_EQ(Telemetry::Instance().slow_requests(), 1u);
+
+  ASSERT_EQ(sinked_ids.size(), 1u);
+  EXPECT_EQ(sinked_ids[0], slow_id);
+  // The sink receives only the slow request's span tree, as valid JSON.
+  EXPECT_TRUE(ParseJson(sinked_json[0]).ok());
+  EXPECT_NE(sinked_json[0].find("slow_request"), std::string::npos);
+  EXPECT_EQ(sinked_json[0].find("fast_request"), std::string::npos);
+
+  // With tracing off, an unfiltered export is slow-only: the fast request's
+  // spans are not exported, the retained slow trace's are.
+  size_t exported = 0;
+  const std::string json = Telemetry::Instance().ExportChromeTrace(0, &exported);
+  EXPECT_EQ(exported, 1u);
+  EXPECT_NE(json.find("slow_request"), std::string::npos);
+  EXPECT_EQ(json.find("fast_request"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace maya

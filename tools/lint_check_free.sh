@@ -37,6 +37,10 @@ src/dlf/model_config.cc
 src/dlf/model_config.h
 src/common/fault_injection.cc
 src/common/fault_injection.h
+src/common/telemetry.cc
+src/common/telemetry.h
+src/service/metrics_exporter.cc
+src/service/metrics_exporter.h
 "
 
 status=0

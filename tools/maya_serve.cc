@@ -15,9 +15,22 @@
 //              [--execution_threads=0] [--artifacts=DIR] [--save_artifacts]
 //              [--sweep=full|small|tiny] [--no_sim_cache]
 //              [--fault_spec=SPEC] [--fault_seed=N]
+//              [--trace_out=DIR] [--metrics_out=FILE] [--slow_trace_ms=N]
 //
 // --no_sim_cache disables the cross-trial simulation cache (stage 4 replays
 // every comm component fresh; output-preserving either way).
+//
+// --trace_out=DIR enables span tracing: every request records queue-wait and
+// per-stage spans, "dump_trace" requests write Chrome trace-event JSON files
+// (openable in Perfetto / chrome://tracing) under DIR, and — with
+// --slow_trace_ms=N — any request slower than N ms automatically writes its
+// span tree to DIR/slow_trace_<id>.json. --slow_trace_ms without --trace_out
+// still arms span recording and slow-request counting; the traces are only
+// reachable via "dump_trace" (returned inline).
+//
+// --metrics_out=FILE writes the metrics registry + service counters in
+// Prometheus text exposition format: refreshed after every "metrics" request
+// and once more at shutdown after the final drain.
 //
 // --fault_spec arms deterministic fault injection (testing only): a comma-
 // separated list of site=probability[@max_fires] clauses, sites matching
@@ -47,6 +60,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <deque>
+#include <filesystem>
 #include <future>
 #include <iostream>
 #include <map>
@@ -55,9 +69,11 @@
 #include <vector>
 
 #include "src/common/fault_injection.h"
+#include "src/common/telemetry.h"
 #include "src/core/estimator_bank.h"
 #include "src/core/execution_context.h"
 #include "src/service/artifact_store.h"
+#include "src/service/metrics_exporter.h"
 #include "src/service/protocol.h"
 #include "src/service/service_engine.h"
 
@@ -76,6 +92,9 @@ struct ServeFlags {
   bool sim_cache = true;
   std::string fault_spec;
   uint64_t fault_seed = 1;
+  std::string trace_out;
+  std::string metrics_out;
+  double slow_trace_ms = 0.0;
 };
 
 // SIGTERM → graceful drain. The handler only sets a flag; it is installed
@@ -155,6 +174,10 @@ int main(int argc, char** argv) {
     } else if (ParseFlag(argv[i], "--fault_spec", &flags.fault_spec)) {
     } else if (ParseFlag(argv[i], "--fault_seed", &value)) {
       flags.fault_seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--trace_out", &flags.trace_out)) {
+    } else if (ParseFlag(argv[i], "--metrics_out", &flags.metrics_out)) {
+    } else if (ParseFlag(argv[i], "--slow_trace_ms", &value)) {
+      flags.slow_trace_ms = std::atof(value.c_str());
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
       return 2;
@@ -179,6 +202,35 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--save_artifacts requires --artifacts=DIR\n");
     return 2;  // fail before paying minutes of training for a save that can't happen
   }
+  if (!flags.trace_out.empty() || flags.slow_trace_ms > 0.0) {
+    Telemetry::Options telemetry;
+    telemetry.tracing = !flags.trace_out.empty();
+    telemetry.slow_request_threshold_ms = flags.slow_trace_ms;
+    Telemetry::Instance().Configure(telemetry);
+    if (!flags.trace_out.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(flags.trace_out, ec);
+      if (ec) {
+        std::fprintf(stderr, "--trace_out: cannot create %s: %s\n", flags.trace_out.c_str(),
+                     ec.message().c_str());
+        return 2;
+      }
+      if (flags.slow_trace_ms > 0.0) {
+        const std::string trace_dir = flags.trace_out;
+        Telemetry::Instance().SetTraceSink(
+            [trace_dir](uint64_t trace_id, const std::string& trace_json) {
+              const std::string path = trace_dir + "/slow_trace_" +
+                                       std::to_string(trace_id) + ".json";
+              if (const Status written = WriteTextFile(path, trace_json); !written.ok()) {
+                std::fprintf(stderr, "maya_serve: slow-trace write failed: %s\n",
+                             written.ToString().c_str());
+              }
+            });
+      }
+      std::fprintf(stderr, "maya_serve: tracing spans to %s%s\n", flags.trace_out.c_str(),
+                   flags.slow_trace_ms > 0.0 ? " (slow requests auto-dump)" : "");
+    }
+  }
   const std::vector<std::string> extra_deployments = SplitCommaList(flags.deployments);
   for (const std::string& name : extra_deployments) {
     if (Result<ClusterSpec> spec = ClusterSpecByName(name); !spec.ok()) {
@@ -195,6 +247,7 @@ int main(int argc, char** argv) {
   // stage-4 component replays of every deployment's pipeline.
   options.pipeline.context = ExecutionContext::Create(flags.execution_threads);
   options.pipeline.enable_sim_cache = flags.sim_cache;
+  options.trace_dir = flags.trace_out;
 
   std::unique_ptr<ServiceEngine> engine;
   ArtifactStore store(flags.artifacts.empty() ? "." : flags.artifacts);
@@ -309,7 +362,23 @@ int main(int argc, char** argv) {
       std::fflush(stdout);
       continue;
     }
+    const ServiceRequestKind kind = request->kind();
+    if (kind == ServiceRequestKind::kMetrics || kind == ServiceRequestKind::kDumpTrace) {
+      // Read-your-writes on one stream: these answer synchronously inside
+      // Submit, so settle every earlier pipelined request first — a client
+      // that sent predict-then-metrics sees its predict in the snapshot.
+      drain_ready(/*block=*/true);
+    }
     inflight.push_back(engine->Submit(*std::move(request)));
+    if (kind == ServiceRequestKind::kMetrics && !flags.metrics_out.empty()) {
+      // "metrics" answers synchronously, so the exposition written here is at
+      // least as fresh as the response the client is about to read.
+      if (const Status written = MetricsExporter(*engine).WriteToFile(flags.metrics_out);
+          !written.ok()) {
+        std::fprintf(stderr, "maya_serve: --metrics_out write failed: %s\n",
+                     written.ToString().c_str());
+      }
+    }
     drain_ready(/*block=*/false);
   }
   if (g_sigterm) {
@@ -319,6 +388,18 @@ int main(int argc, char** argv) {
   // and answer, THEN flush artifacts over a quiet engine and shut down.
   engine->Drain();
   drain_ready(/*block=*/true);
+
+  if (!flags.metrics_out.empty()) {
+    // Final exposition over the drained engine: every completed request is in.
+    if (const Status written = MetricsExporter(*engine).WriteToFile(flags.metrics_out);
+        !written.ok()) {
+      std::fprintf(stderr, "maya_serve: --metrics_out write failed: %s\n",
+                   written.ToString().c_str());
+    } else {
+      std::fprintf(stderr, "maya_serve: wrote metrics exposition to %s\n",
+                   flags.metrics_out.c_str());
+    }
+  }
 
   if (flags.save_artifacts && !flags.artifacts.empty()) {
     // Persist cumulative per-deployment stage totals alongside the caches so
