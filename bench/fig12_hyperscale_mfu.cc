@@ -1,7 +1,8 @@
 // Figure 12: hyperscale data-parallel scaling of GPT-3 145.6B with TP8/PP8
-// fixed (12K global batch, 64 microbatches), 1K to 12K GPUs. Selective
-// launch emulates only the 8 analytically-unique workers; collectives are
-// priced by the ASTRA-sim-like hierarchical network model. The expected
+// fixed (12K global batch, 64 microbatches), 1K to 12K GPUs. Virtual folded
+// ranks emulate only the 8 analytically-unique workers (no per-rank comm
+// stubs); collectives are priced by the ASTRA-sim-like hierarchical network
+// model. The expected
 // shape is sublinear scaling — MFU decays as inter-node communication
 // dominates.
 #include <iostream>
@@ -42,7 +43,10 @@ int main() {
     CHECK(config.Validate(model, cluster).ok()) << config.Summary();
 
     PredictionRequest request{model, config};
-    request.selective_launch = true;
+    // Virtual folded ranks: only the 8 analytically-unique workers exist at
+    // any point (bit-identical to materialized selective launch, which would
+    // still materialize one comm-init stub per rank).
+    request.virtual_folds = true;
     Result<PredictionReport> report = pipeline.Predict(request);
     CHECK(report.ok()) << report.status().ToString();
     CHECK(!report->oom) << report->oom_detail;

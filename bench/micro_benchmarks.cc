@@ -7,6 +7,7 @@
 // BENCH_simulation.json ({sequential, partitioned} x {replica dedup on/off}
 // stage-4 replays + warm sim cache) and BENCH_service.json.
 #include <benchmark/benchmark.h>
+#include <sys/resource.h>
 
 #include <algorithm>
 #include <atomic>
@@ -27,7 +28,9 @@
 #include "src/core/estimator_bank.h"
 #include "src/core/pipeline.h"
 #include "src/dlf/worker_launcher.h"
+#include "src/estimator/collective_estimator.h"
 #include "src/estimator/features.h"
+#include "src/hw/collective_cost.h"
 #include "src/estimator/kernel_estimator.h"
 #include "src/groundtruth/executor.h"
 #include "src/models/model_zoo.h"
@@ -759,6 +762,161 @@ void RunServiceThroughputStudy() {
   std::filesystem::remove_all(bundle_dir);
 }
 
+// Hyperscale-prediction study: end-to-end Predict wall time, peak-RSS growth
+// and unique-worker counts under virtual folded ranks at 16k/65k/131k ranks
+// (GPT-3 145.6B, TP8/PP8, 12K global batch — the Fig. 12 operating point,
+// collectives priced by the ASTRA-sim-like network model). Before timing,
+// the virtual path is CHECKed bit-identical to the materialized
+// selective-launch path at a small verifiable world; the hyperscale worlds
+// then measure pure O(unique-work) scaling. Written to BENCH_hyperscale.json;
+// the headline gate is wall-time growth from the first to the last world
+// (committed baseline + CI trend check: must stay <= 2x).
+long PeakRssKb() {
+  struct rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;  // KiB on Linux
+}
+
+void CheckBitIdenticalPredictions(const PredictionReport& expected,
+                                  const PredictionReport& actual, const char* arm) {
+  CHECK(expected.oom == actual.oom) << arm;
+  CHECK(expected.oom_detail == actual.oom_detail) << arm;
+  CHECK(expected.iteration_time_us == actual.iteration_time_us) << arm;
+  CHECK(expected.mfu == actual.mfu) << arm;
+  CHECK(expected.sim.total_time_us == actual.sim.total_time_us) << arm;
+  CHECK(expected.sim.peak_memory_bytes == actual.sim.peak_memory_bytes) << arm;
+  CHECK(expected.sim.workers.size() == actual.sim.workers.size()) << arm;
+  for (size_t w = 0; w < expected.sim.workers.size(); ++w) {
+    CHECK(expected.sim.workers[w] == actual.sim.workers[w]) << arm << " worker " << w;
+  }
+  CHECK(expected.collation.unique_workers == actual.collation.unique_workers) << arm;
+  CHECK(expected.full_workers_emulated == actual.full_workers_emulated) << arm;
+}
+
+void RunHyperscaleStudy(bool tiny) {
+  EstimationFixture& fixture = EstimationFixture::Get();
+  // Kernel estimators transfer across cluster sizes of the same arch; the
+  // network model replaces the profiled collective tables (§7.4).
+  AstraLikeNetworkModel astra;
+  NetworkModelCollectiveEstimator astra_estimator(&astra);
+
+  const ModelConfig model = tiny ? BenchModel() : Gpt3_145_6B();
+  TrainConfig config;
+  if (tiny) {
+    config = BenchConfig();  // tp2 x pp2: rank grid 4, dp = world / 4
+    config.global_batch_size = 4096;
+  } else {
+    // Fig. 12's operating point scaled to hyperscale DP: the global batch
+    // must keep the per-rank microbatch count at 64 up to dp 2048.
+    config.global_batch_size = 131072;
+    config.tensor_parallel = 8;
+    config.pipeline_parallel = 8;
+    config.microbatch_multiplier = 8;  // 64 microbatches
+    config.sequence_parallel = true;
+    config.activation_recomputation = true;
+    config.distributed_optimizer = true;
+  }
+  const std::vector<int> worlds = tiny ? std::vector<int>{256, 512, 1024}
+                                       : std::vector<int>{16384, 65536, 131072};
+  const int verify_world = tiny ? 16 : 1024;
+  const int passes = tiny ? 3 : 2;
+
+  // Bit-identity gate at a size where the materialized selective-launch path
+  // is still tractable: the hyperscale sweep below measures the exact same
+  // code path, just at worlds where only the virtual arm can run.
+  {
+    const ClusterSpec cluster = H100Cluster(verify_world);
+    CHECK(config.Validate(model, cluster).ok()) << config.Summary();
+    MayaPipeline pipeline(cluster, fixture.bank.kernel.get(), &astra_estimator);
+    PredictionRequest materialized{model, config};
+    materialized.selective_launch = true;
+    PredictionRequest virtualized = materialized;
+    virtualized.virtual_folds = true;
+    Result<PredictionReport> expected = pipeline.Predict(materialized);
+    CHECK(expected.ok()) << expected.status().ToString();
+    Result<PredictionReport> actual = pipeline.Predict(virtualized);
+    CHECK(actual.ok()) << actual.status().ToString();
+    CheckBitIdenticalPredictions(*expected, *actual, "virtual folds");
+    std::cout << StrFormat(
+        "Hyperscale study: virtual folds bit-identical to materialized selective launch "
+        "at world %d (%d full workers emulated)\n",
+        verify_world, expected->full_workers_emulated);
+  }
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("benchmark", std::string_view("hyperscale_prediction"));
+  json.Field("model", model.name);
+  json.Field("tiny", tiny);
+  json.Field("passes", static_cast<int64_t>(passes));
+  json.Field("verify_world", static_cast<int64_t>(verify_world));
+  json.Field("bit_identical_at_verify_world", true);
+  json.KeyedBeginObject("worlds");
+  std::cout << StrFormat(
+      "Hyperscale prediction (%s, tp%lld pp%lld, gb %lld): Predict wall-ms per world\n",
+      model.name.c_str(), static_cast<long long>(config.tensor_parallel),
+      static_cast<long long>(config.pipeline_parallel),
+      static_cast<long long>(config.global_batch_size));
+  double first_ms = 0.0;
+  double last_ms = 0.0;
+  for (const int world : worlds) {
+    const ClusterSpec cluster = H100Cluster(world);
+    CHECK(config.Validate(model, cluster).ok()) << config.Summary();
+    // Fresh pipeline per world (the cluster changes anyway); caches stay at
+    // their defaults but every pass re-emulates — the trace cache is off by
+    // default, so each timed pass pays the full 4-stage pipeline.
+    MayaPipeline pipeline(cluster, fixture.bank.kernel.get(), &astra_estimator);
+    PredictionRequest request{model, config};
+    request.virtual_folds = true;
+
+    const long rss_before_kb = PeakRssKb();
+    Result<PredictionReport> warmup = pipeline.Predict(request);  // fault in
+    CHECK(warmup.ok()) << warmup.status().ToString();
+    CHECK(!warmup->oom) << warmup->oom_detail;
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < passes; ++i) {
+      Result<PredictionReport> report = pipeline.Predict(request);
+      CHECK(report.ok());
+    }
+    const double wall_ms =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count() *
+        1000.0 / passes;
+    const long rss_after_kb = PeakRssKb();
+    if (world == worlds.front()) {
+      first_ms = wall_ms;
+    }
+    if (world == worlds.back()) {
+      last_ms = wall_ms;
+    }
+
+    json.KeyedBeginObject(StrFormat("%d", world).c_str());
+    json.Field("world_size", static_cast<int64_t>(world));
+    json.Field("data_parallel", static_cast<int64_t>(config.data_parallel(world)));
+    json.Field("predict_wall_ms", wall_ms);
+    json.Field("peak_rss_delta_kb", static_cast<int64_t>(rss_after_kb - rss_before_kb));
+    json.Field("peak_rss_kb", static_cast<int64_t>(rss_after_kb));
+    json.Field("unique_workers", static_cast<int64_t>(warmup->collation.unique_workers));
+    json.Field("full_workers_emulated",
+               static_cast<int64_t>(warmup->full_workers_emulated));
+    json.Field("iteration_time_us", warmup->iteration_time_us);
+    json.Field("mfu", warmup->mfu);
+    json.EndObject();
+    std::cout << StrFormat(
+        "  world %7d: %8.2f ms/predict | rss +%ld KiB | %d unique workers | MFU %.1f%%\n",
+        world, wall_ms, rss_after_kb - rss_before_kb, warmup->collation.unique_workers,
+        warmup->mfu * 100.0);
+  }
+  json.EndObject();
+  const double growth = last_ms / first_ms;
+  json.Field("wall_growth_first_to_last", growth);
+  json.EndObject();
+  std::ofstream out("BENCH_hyperscale.json");
+  out << json.str() << "\n";
+  std::cout << StrFormat("  wall growth %dx ranks: %.2fx (gate: <= 2x)\n",
+                         worlds.back() / worlds.front(), growth)
+            << "Wrote BENCH_hyperscale.json\n";
+}
+
 }  // namespace
 }  // namespace maya
 
@@ -771,13 +929,16 @@ int main(int argc, char** argv) {
   bool run_service_study = true;
   bool run_emulation_study = true;
   bool run_simulation_study = true;
+  bool run_hyperscale_study = true;
   bool emulation_study_tiny = false;
   bool simulation_study_tiny = false;
+  bool hyperscale_study_tiny = false;
   for (int i = argc - 1; i > 0; --i) {
     const std::string_view arg = argv[i];
     if (arg == "--no_estimation_study" || arg == "--no_service_study" ||
         arg == "--no_emulation_study" || arg == "--emulation_study_tiny" ||
-        arg == "--no_simulation_study" || arg == "--simulation_study_tiny") {
+        arg == "--no_simulation_study" || arg == "--simulation_study_tiny" ||
+        arg == "--no_hyperscale_study" || arg == "--hyperscale_study_tiny") {
       if (arg == "--no_estimation_study") {
         run_study = false;
       } else if (arg == "--no_service_study") {
@@ -786,8 +947,12 @@ int main(int argc, char** argv) {
         run_emulation_study = false;
       } else if (arg == "--no_simulation_study") {
         run_simulation_study = false;
+      } else if (arg == "--no_hyperscale_study") {
+        run_hyperscale_study = false;
       } else if (arg == "--simulation_study_tiny") {
         simulation_study_tiny = true;  // CI harness smoke at reduced size
+      } else if (arg == "--hyperscale_study_tiny") {
+        hyperscale_study_tiny = true;  // CI harness smoke at reduced size
       } else {
         emulation_study_tiny = true;  // CI harness smoke at reduced size
       }
@@ -799,6 +964,7 @@ int main(int argc, char** argv) {
       run_service_study = false;
       run_emulation_study = false;
       run_simulation_study = false;
+      run_hyperscale_study = false;
     }
   }
   benchmark::Initialize(&argc, argv);
@@ -810,6 +976,9 @@ int main(int argc, char** argv) {
   }
   if (run_simulation_study) {
     maya::RunSimulationThroughputStudy(simulation_study_tiny);
+  }
+  if (run_hyperscale_study) {
+    maya::RunHyperscaleStudy(hyperscale_study_tiny);
   }
   if (run_study) {
     maya::RunEstimationThroughputStudy();

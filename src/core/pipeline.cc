@@ -66,6 +66,7 @@ std::string TraceCacheKey(const PredictionRequest& request) {
   std::string key = request.config.CacheKey();
   key += request.deduplicate_workers ? "|d1" : "|d0";
   key += request.selective_launch ? "s1" : "s0";
+  key += request.virtual_folds ? "v1" : "v0";
   key += StrFormat("|%d|%lld|%lld|%lld|%lld|%lld|%lld|%lld|%lld|%lld",
                    static_cast<int>(model.family), static_cast<long long>(model.num_layers),
                    static_cast<long long>(model.hidden_size),
@@ -275,6 +276,7 @@ Result<SimReport> MayaPipeline::Simulate(const JobTrace& job, bool deduplicate_r
   sim_options.partition_components = options_.partition_simulation;
   sim_options.deduplicate_replicas = deduplicate_replicas;
   sim_options.pool = stage_pool_;
+  sim_options.min_parallel_components = options_.min_parallel_simulation_components;
   sim_options.cache = options_.enable_sim_cache ? &sim_cache_ : nullptr;
   Simulator simulator(job, cluster_, sim_options);
   return simulator.Run();
@@ -320,7 +322,9 @@ Result<PredictionReport> MayaPipeline::Predict(const PredictionRequest& request)
     MAYA_RETURN_IF_ERROR(faults.MaybeFail("pipeline.emulate"));
     LaunchOptions launch;
     launch.selective_launch = request.selective_launch;
+    launch.virtual_folds = request.virtual_folds;
     launch.emulation_pool = stage_pool_;
+    launch.min_parallel_ranks = options_.min_parallel_emulation_ranks;
     Result<LaunchResult> launched = [&] {
       ScopedSpan span("emulate", "pipeline");
       return EmulateJob(request.model, request.config, cluster_, launch);
@@ -352,7 +356,7 @@ Result<PredictionReport> MayaPipeline::Predict(const PredictionRequest& request)
     TraceCollator collator(collation);
     Result<JobTrace> collated = [&] {
       ScopedSpan span("collate", "pipeline");
-      return collator.Collate(std::move(launched->traces));
+      return collator.Collate(std::move(launched->traces), std::move(launched->resolved_comms));
     }();
     if (!collated.ok()) {
       return collated.status();

@@ -60,6 +60,12 @@ struct MayaPipelineOptions {
   bool enable_sim_cache = true;
   size_t sim_cache_entries = 1u << 16;
   size_t sim_cache_shards = 16;
+  // Adaptive small-N fallbacks (forwarded to LaunchOptions::min_parallel_ranks
+  // and SimOptions::min_parallel_components): below these counts the pool
+  // fan-out costs more than the work and the stages run sequentially.
+  // Bit-identical either way; 1 forces the parallel arms (used in tests).
+  int min_parallel_emulation_ranks = 16;
+  size_t min_parallel_simulation_components = 4;
 };
 
 // Per-Predict estimation-stage counters (plumbed into PredictionReport and
@@ -99,6 +105,13 @@ struct PredictionRequest {
   // Megatron emulates one rank per pipeline stage; FSDP/DeepSpeed/DDP and
   // vision jobs emulate rank 0 only, twins become comm-init stubs.
   bool selective_launch = false;
+  // Hyperscale virtual folding: emulate one representative per analytic
+  // rank-equivalence class and carry twin membership as RankSet spans — no
+  // stub emulation, no O(world) materialization anywhere in the pipeline.
+  // Takes precedence over selective_launch. Reports are bit-identical to the
+  // materialized path under estimator-based annotation; oracle mode seeds
+  // per-instance noise by communicator uid, which depends on launch mode.
+  bool virtual_folds = false;
   // Oracle mode (Table 3): annotate with the profiled *actual* per-instance
   // runtimes from this executor instead of learned estimates. Must be the
   // same executor (seed) that produced the "actual" measurement.

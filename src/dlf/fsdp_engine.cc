@@ -56,6 +56,28 @@ void FsdpEngine::RegisterComms(int rank, JobCommRegistry* registry) const {
   }
 }
 
+std::vector<RankClass> FsdpEngine::EquivalenceClasses() const {
+  RankClass cls;
+  cls.representative = 0;
+  cls.members.AddSpan(0, cluster_.total_gpus(), 1);
+  return {std::move(cls)};
+}
+
+std::vector<CommSpec> FsdpEngine::DescribeComms(int rank) const {
+  (void)rank;
+  const int world = cluster_.total_gpus();
+  if (world <= 1) {
+    return {};
+  }
+  CommSpec world_comm;
+  world_comm.name = "fsdp_world";
+  world_comm.members.resize(static_cast<size_t>(world));
+  for (int member = 0; member < world; ++member) {
+    world_comm.members[static_cast<size_t>(member)] = member;
+  }
+  return {std::move(world_comm)};
+}
+
 Status FsdpEngine::RunWorker(int rank, DeviceApi* api, VirtualHostClock* clock,
                              JobCommRegistry* registry) const {
   CHECK(registry != nullptr);

@@ -11,7 +11,10 @@
 #ifndef SRC_DLF_FSDP_ENGINE_H_
 #define SRC_DLF_FSDP_ENGINE_H_
 
+#include <vector>
+
 #include "src/dlf/comm_registry.h"
+#include "src/dlf/rank_plan.h"
 #include "src/dlf/train_config.h"
 #include "src/dlf/transformer_ops.h"
 
@@ -38,6 +41,13 @@ class FsdpEngine {
   // Registry-only mirror of the communicator names RunWorker uses, in first-
   // use order (see MegatronEngine::RegisterComms).
   void RegisterComms(int rank, JobCommRegistry* registry) const;
+
+  // Hyperscale mode: every rank is a data-parallel twin of rank 0, so there
+  // is exactly one equivalence class spanning the whole world.
+  std::vector<RankClass> EquivalenceClasses() const;
+
+  // The single world communicator (when world > 1), members by rank.
+  std::vector<CommSpec> DescribeComms(int rank) const;
 
  private:
   int effective_zero_stage() const;

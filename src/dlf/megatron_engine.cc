@@ -542,4 +542,62 @@ void MegatronEngine::RegisterComms(int rank, JobCommRegistry* registry) const {
   }
 }
 
+std::vector<RankClass> MegatronEngine::EquivalenceClasses() const {
+  // One class per pipeline stage: all (tp, dp) coordinates of a stage run
+  // the same script (same local layer shard, same collective schedule) and
+  // share the representative's jitter stream. Members of stage p are the
+  // contiguous rank block [p*tp*dp, (p+1)*tp*dp) in Megatron's
+  // tensor-fastest rank order.
+  const int block = layout_.tp() * layout_.dp();
+  std::vector<RankClass> classes;
+  classes.reserve(static_cast<size_t>(layout_.pp()));
+  for (int stage = 0; stage < layout_.pp(); ++stage) {
+    RankClass cls;
+    cls.representative = stage * block;
+    cls.members.AddSpan(static_cast<int64_t>(stage) * block, block, 1);
+    classes.push_back(std::move(cls));
+  }
+  return classes;
+}
+
+std::vector<CommSpec> MegatronEngine::DescribeComms(int rank) const {
+  // Mirror of InitComms: same names, same order, plus the full membership
+  // (rank_in_comm order) each CommInit implies.
+  std::vector<CommSpec> specs;
+  const int pp = config_.pipeline_parallel;
+  if (config_.tensor_parallel > 1) {
+    specs.push_back({StrFormat("tp_g%d", layout_.TpGroupIndex(rank)), layout_.TpGroup(rank)});
+  }
+  if (layout_.dp() > 1) {
+    specs.push_back({StrFormat("dp_g%d", layout_.DpGroupIndex(rank)), layout_.DpGroup(rank)});
+  }
+  if (pp > 1) {
+    const bool ring = config_.virtual_pipeline_stages > 1;
+    const int stage = layout_.pp_stage(rank);
+    const int prev = (stage - 1 + pp) % pp;
+    const int next = (stage + 1) % pp;
+    const int tp_idx = layout_.tp_index(rank);
+    const int dp_idx = layout_.dp_index(rank);
+    auto link_name = [&](const char* kind, int link) {
+      return StrFormat("%s_t%d_d%d_l%d", kind, tp_idx, dp_idx, link);
+    };
+    auto rank_at = [&](int s) { return layout_.RankOf(tp_idx, dp_idx, s); };
+    // Forward link l: sender stage l is comm rank 0, receiver stage (l+1)%pp
+    // comm rank 1; backward link l reverses the roles.
+    if (ring || stage < pp - 1) {
+      specs.push_back({link_name("ppf", stage), {rank, rank_at(next)}});
+    }
+    if (ring || stage > 0) {
+      specs.push_back({link_name("ppf", prev), {rank_at(prev), rank}});
+    }
+    if (ring || stage > 0) {
+      specs.push_back({link_name("ppb", prev), {rank, rank_at(prev)}});
+    }
+    if (ring || stage < pp - 1) {
+      specs.push_back({link_name("ppb", stage), {rank_at(next), rank}});
+    }
+  }
+  return specs;
+}
+
 }  // namespace maya

@@ -13,8 +13,11 @@
 #ifndef SRC_DLF_MEGATRON_ENGINE_H_
 #define SRC_DLF_MEGATRON_ENGINE_H_
 
+#include <vector>
+
 #include "src/dlf/comm_registry.h"
 #include "src/dlf/megatron_layout.h"
+#include "src/dlf/rank_plan.h"
 #include "src/dlf/train_config.h"
 #include "src/dlf/transformer_ops.h"
 
@@ -45,6 +48,18 @@ class MegatronEngine {
   // id assignment to the sequential-emulation order, so a subsequent
   // parallel launch produces bit-identical traces.
   void RegisterComms(int rank, JobCommRegistry* registry) const;
+
+  // Hierarchical selective launch (hyperscale mode): the analytic rank-
+  // equivalence classes — one per pipeline stage, since TP and DP twins
+  // within a stage execute the same script with the same jitter stream.
+  // O(pp) to compute regardless of world size.
+  std::vector<RankClass> EquivalenceClasses() const;
+
+  // Full membership of every communicator `rank` initializes, in exactly
+  // InitComms' first-use order, with members listed by rank_in_comm. Lets
+  // the launcher resolve comm groups analytically instead of collecting
+  // per-rank comm-init stub evidence.
+  std::vector<CommSpec> DescribeComms(int rank) const;
 
   // Local (per-rank) parameter count, including embedding/head shards.
   int64_t LocalParams(int rank) const;

@@ -5,7 +5,10 @@
 #ifndef SRC_DLF_VISION_ENGINE_H_
 #define SRC_DLF_VISION_ENGINE_H_
 
+#include <vector>
+
 #include "src/dlf/comm_registry.h"
+#include "src/dlf/rank_plan.h"
 #include "src/dlf/train_config.h"
 #include "src/dlf/op_emitter.h"
 
@@ -26,6 +29,11 @@ class VisionEngine {
   Status RunCommInitOnly(int rank, DeviceApi* api, VirtualHostClock* clock,
                          JobCommRegistry* registry) const;
   void RegisterComms(int rank, JobCommRegistry* registry) const;
+
+  // Hyperscale mode: one equivalence class (pure data parallelism) and one
+  // world communicator — see FsdpEngine for the rationale.
+  std::vector<RankClass> EquivalenceClasses() const;
+  std::vector<CommSpec> DescribeComms(int rank) const;
 
  private:
   ModelConfig model_;

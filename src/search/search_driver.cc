@@ -39,6 +39,7 @@ Result<TrialResult> ExecuteTrial(const MayaPipeline& pipeline, const ModelConfig
   request.config = config;
   request.deduplicate_workers = options.deduplicate_workers;
   request.selective_launch = options.selective_launch;
+  request.virtual_folds = options.virtual_folds;
   Result<PredictionReport> report = pipeline.Predict(request);
   MAYA_RETURN_IF_ERROR(report.status());
   TrialResult result;

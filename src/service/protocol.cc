@@ -69,6 +69,8 @@ void WriteSearchOptions(JsonWriter& w, const SearchOptions& options) {
   w.Field("enable_pruning", options.enable_pruning);
   w.Field("enable_cache", options.enable_cache);
   w.Field("deduplicate_workers", options.deduplicate_workers);
+  w.Field("selective_launch", options.selective_launch);
+  w.Field("virtual_folds", options.virtual_folds);
   w.Field("concurrency", static_cast<int64_t>(options.concurrency));
   w.Field("early_stop_patience", static_cast<int64_t>(options.early_stop_patience));
   w.Field("seed", options.seed);
@@ -97,6 +99,12 @@ Result<SearchOptions> ParseSearchOptions(const JsonValue& value) {
   if (value.Has("deduplicate_workers")) {
     MAYA_ASSIGN_OR_RETURN(options.deduplicate_workers,
                           ToBool(value.at("deduplicate_workers")));
+  }
+  if (value.Has("selective_launch")) {
+    MAYA_ASSIGN_OR_RETURN(options.selective_launch, ToBool(value.at("selective_launch")));
+  }
+  if (value.Has("virtual_folds")) {
+    MAYA_ASSIGN_OR_RETURN(options.virtual_folds, ToBool(value.at("virtual_folds")));
   }
   if (value.Has("concurrency")) {
     MAYA_ASSIGN_OR_RETURN(field, ToInt(value.at("concurrency")));
@@ -340,6 +348,7 @@ template <typename T>
 void WritePredictLikeCommon(JsonWriter& w, const T& payload) {
   w.Field("deduplicate_workers", payload.deduplicate_workers);
   w.Field("selective_launch", payload.selective_launch);
+  w.Field("virtual_folds", payload.virtual_folds);
   if (!payload.deployment.empty()) {
     w.Field("deployment", std::string_view(payload.deployment));
   }
@@ -352,6 +361,9 @@ Status ParsePredictLikeCommon(const JsonValue& root, T& payload) {
   }
   if (root.Has("selective_launch")) {
     MAYA_ASSIGN_OR_RETURN(payload.selective_launch, ToBool(root.at("selective_launch")));
+  }
+  if (root.Has("virtual_folds")) {
+    MAYA_ASSIGN_OR_RETURN(payload.virtual_folds, ToBool(root.at("virtual_folds")));
   }
   if (root.Has("deployment")) {
     MAYA_ASSIGN_OR_RETURN(payload.deployment, ToString(root.at("deployment")));

@@ -75,6 +75,8 @@ struct PredictPayload {
   TrainConfig config;
   bool deduplicate_workers = true;
   bool selective_launch = false;
+  // Hyperscale virtual folding (see PredictionRequest::virtual_folds).
+  bool virtual_folds = false;
   // Target deployment name ("h100x32", "v100x16", or a registered name);
   // empty answers on the engine's default deployment.
   std::string deployment;
@@ -85,6 +87,7 @@ struct BatchPredictPayload {
   std::vector<TrainConfig> configs;
   bool deduplicate_workers = true;
   bool selective_launch = false;
+  bool virtual_folds = false;
   std::string deployment;
 };
 
@@ -102,6 +105,7 @@ struct WhatIfOomPayload {
   TrainConfig config;
   bool deduplicate_workers = true;
   bool selective_launch = false;
+  bool virtual_folds = false;
   std::string deployment;
 };
 

@@ -15,6 +15,10 @@
 namespace maya {
 namespace {
 
+// Minimum unique workers before the coarse fold-key scan fans out on the
+// borrowed pool; scanning a handful of traces is cheaper than the fan-out.
+constexpr size_t kParallelScanMinWorkers = 8;
+
 // Key for (event id, version): versions disambiguate CUDA event handle
 // re-use (Appendix A, CudaEventWaitMap).
 uint64_t EventKey(uint32_t id, uint32_t version) {
@@ -516,18 +520,13 @@ Result<SimReport> Simulator::Run() {
     return Status::InvalidArgument("empty job trace");
   }
 
-  // Dedup-aware worker table: dense rank -> sim-worker index (ranks are
-  // [0, world_size)), instead of a per-trial hash map. Folded workers move in
-  // lockstep, so one representative join stands for all of its folded ranks
-  // (§4.2 dedup: redundant GPUs are neither emulated nor simulated).
-  std::vector<int> rank_to_worker(static_cast<size_t>(std::max(job_.world_size, 1)), -1);
-  for (size_t w = 0; w < worker_count; ++w) {
-    for (int rank : job_.folded_ranks[w]) {
-      if (rank >= 0 && rank < job_.world_size) {
-        rank_to_worker[static_cast<size_t>(rank)] = static_cast<int>(w);
-      }
-    }
-  }
+  // Dedup-aware worker table: span-indexed rank -> sim-worker map built
+  // straight from the compressed fold sets, so a 131k-rank world costs a
+  // handful of span entries rather than a dense O(world) table. Folded
+  // workers move in lockstep, so one representative join stands for all of
+  // its folded ranks (§4.2 dedup: redundant GPUs are neither emulated nor
+  // simulated).
+  const RankLookup rank_to_worker(job_.folded_ranks);
 
   // ---- Replica fold (§7.4 symmetry at simulation time) ----------------------
   //
@@ -542,24 +541,39 @@ Result<SimReport> Simulator::Run() {
   // the full annotated fingerprint over every op field the replay reads.
   const bool fingerprint_workers = options_.deduplicate_replicas && worker_count > 1;
   std::vector<uint64_t> coarse(worker_count, 0);
-  std::vector<bool> has_p2p(worker_count, false);
-  std::unordered_set<uint64_t> referenced_uids;
-  for (size_t w = 0; w < worker_count; ++w) {
+  std::vector<uint8_t> has_p2p(worker_count, 0);
+  std::vector<std::vector<uint64_t>> worker_uids(worker_count);
+  // The per-worker scans are independent pure reductions, so they fan out on
+  // the borrowed pool; the referenced-uid union below is a sequential merge
+  // of per-worker results, making the outcome order-independent (the set is
+  // sorted before use anyway).
+  auto coarse_scan = [&](size_t w) {
     uint64_t hash = FnvMix(kFnvOffsetBasis, job_.workers[w].ops.size());
     for (const TraceOp& op : job_.workers[w].ops) {
       if (op.type != TraceOpType::kCollective) {
         continue;
       }
-      referenced_uids.insert(op.collective.comm_uid);
+      worker_uids[w].push_back(op.collective.comm_uid);
       if (op.collective.kind == CollectiveKind::kSend ||
           op.collective.kind == CollectiveKind::kRecv) {
-        has_p2p[w] = true;
+        has_p2p[w] = 1;
       }
       if (fingerprint_workers) {
         hash = FnvMix(hash, op.AnnotatedSignature(op.collective.comm_uid));
       }
     }
     coarse[w] = hash;
+  };
+  if (options_.pool != nullptr && worker_count >= kParallelScanMinWorkers) {
+    options_.pool->ParallelFor(worker_count, coarse_scan);
+  } else {
+    for (size_t w = 0; w < worker_count; ++w) {
+      coarse_scan(w);
+    }
+  }
+  std::unordered_set<uint64_t> referenced_uids;
+  for (const std::vector<uint64_t>& uids : worker_uids) {
+    referenced_uids.insert(uids.begin(), uids.end());
   }
 
   // rep[w]: the lowest-indexed worker with an identical annotated trace that
@@ -643,9 +657,7 @@ Result<SimReport> Simulator::Run() {
     const CommGroup& group = job_.comm(uid);
     std::vector<int> reps;
     for (int member : group.members) {
-      const int worker = member >= 0 && member < job_.world_size
-                             ? rank_to_worker[static_cast<size_t>(member)]
-                             : -1;
+      const int worker = rank_to_worker.Find(member);
       if (worker < 0) {
         continue;
       }
@@ -755,9 +767,7 @@ Result<SimReport> Simulator::Run() {
         hash = FnvMix(hash, local);
         std::vector<int> positions;
         for (int member : job_.comm(uid).members) {
-          const int worker = member >= 0 && member < job_.world_size
-                                 ? rank_to_worker[static_cast<size_t>(member)]
-                                 : -1;
+          const int worker = rank_to_worker.Find(member);
           if (worker < 0) {
             continue;
           }
@@ -845,7 +855,8 @@ Result<SimReport> Simulator::Run() {
     outcomes[c] = SimulateComponent(job_, components[c], expected_joins, dispatch_latency_us_,
                                     options_.compute_contention_factor);
   };
-  if (options_.pool != nullptr && to_simulate.size() > 1) {
+  if (options_.pool != nullptr &&
+      to_simulate.size() >= std::max<size_t>(options_.min_parallel_components, 2)) {
     options_.pool->ParallelFor(to_simulate.size(), simulate_one);
   } else {
     for (size_t index = 0; index < to_simulate.size(); ++index) {

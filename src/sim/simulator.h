@@ -86,6 +86,11 @@ struct SimOptions {
   // Borrowed pool: independent components fan out when more than one needs
   // replay. Null replays components inline on the calling thread.
   ThreadPool* pool = nullptr;
+  // Adaptive small-N fallback: the pool only engages when at least this
+  // many components need replay — below that the fan-out overhead exceeds
+  // the replay cost (measured ≈1.0x at world_size 8 in BENCH_simulation).
+  // Results are bit-identical either way; 1 forces the parallel arm.
+  size_t min_parallel_components = 4;
   // Borrowed cross-trial component cache; null disables memoization.
   SimulationCache* cache = nullptr;
 };

@@ -69,13 +69,8 @@ Status TraceCollator::BuildCommGroups(const std::vector<WorkerTrace>& workers,
 }
 
 Status TraceCollator::ValidateFolding(const JobTrace& job) const {
-  // Map global rank -> sim worker index.
-  std::unordered_map<int, int> rank_to_worker;
-  for (size_t w = 0; w < job.folded_ranks.size(); ++w) {
-    for (int rank : job.folded_ranks[w]) {
-      rank_to_worker[rank] = static_cast<int>(w);
-    }
-  }
+  // Span-indexed global rank -> sim worker map (no O(world) table).
+  const RankLookup rank_to_worker(job.folded_ranks);
   // Point-to-point communicators must not have both endpoints folded into
   // one simulated worker: send/recv pairing would self-deadlock.
   std::unordered_map<uint64_t, bool> p2p_uids;
@@ -93,9 +88,9 @@ Status TraceCollator::ValidateFolding(const JobTrace& job) const {
     const CommGroup& group = job.comm(uid);
     std::vector<int> sim_workers;
     for (int member : group.members) {
-      auto it = rank_to_worker.find(member);
-      if (it != rank_to_worker.end()) {
-        sim_workers.push_back(it->second);
+      const int worker = rank_to_worker.Find(member);
+      if (worker >= 0) {
+        sim_workers.push_back(worker);
       }
     }
     std::sort(sim_workers.begin(), sim_workers.end());
@@ -109,7 +104,8 @@ Status TraceCollator::ValidateFolding(const JobTrace& job) const {
   return Status::Ok();
 }
 
-Result<JobTrace> TraceCollator::Collate(std::vector<WorkerTrace> workers) {
+Result<JobTrace> TraceCollator::Collate(std::vector<WorkerTrace> workers,
+                                        std::unordered_map<uint64_t, CommGroup> resolved_comms) {
   stats_ = CollationStats{};
   if (workers.empty()) {
     return Status::InvalidArgument("no worker traces");
@@ -118,10 +114,24 @@ Result<JobTrace> TraceCollator::Collate(std::vector<WorkerTrace> workers) {
             [](const WorkerTrace& a, const WorkerTrace& b) { return a.rank < b.rank; });
 
   JobTrace job;
-  job.world_size = workers.back().rank + 1;
-  stats_.total_workers = static_cast<int>(workers.size());
+  // Virtual folded ranks extend the world beyond the highest emulated rank.
+  int64_t max_rank = workers.back().rank;
+  stats_.total_workers = 0;
+  for (const WorkerTrace& worker : workers) {
+    if (worker.represented_ranks.empty()) {
+      stats_.total_workers += 1;
+    } else {
+      stats_.total_workers += static_cast<int>(worker.represented_ranks.size());
+      max_rank = std::max(max_rank, worker.represented_ranks.max_rank());
+    }
+  }
+  job.world_size = static_cast<int>(max_rank) + 1;
 
-  MAYA_RETURN_IF_ERROR(BuildCommGroups(workers, job.comms));
+  if (!resolved_comms.empty()) {
+    job.comms = std::move(resolved_comms);
+  } else {
+    MAYA_RETURN_IF_ERROR(BuildCommGroups(workers, job.comms));
+  }
 
   // Group full traces by structural fingerprint (dynamic dedup) and fold
   // comm-init-only stubs onto the representative of their equivalence class
@@ -129,10 +139,20 @@ Result<JobTrace> TraceCollator::Collate(std::vector<WorkerTrace> workers) {
   // dedup disabled, each full trace keys its own group.
   struct Group {
     int representative_index = -1;  // into `workers`
-    std::vector<int> ranks;
+    RankSet ranks;
   };
   std::map<uint64_t, Group> groups;  // ordered: deterministic output
   std::vector<int> stub_indices;
+
+  // A worker contributes its virtual fold set when it carries one,
+  // otherwise just its own rank.
+  const auto contribute = [](RankSet& set, const WorkerTrace& worker) {
+    if (worker.represented_ranks.empty()) {
+      set.MergeFrom(RankSet{worker.rank});
+    } else {
+      set.MergeFrom(worker.represented_ranks);
+    }
+  };
 
   // First pass: fingerprint classes. Fingerprints are pure per-worker hashes,
   // so with a borrowed pool they compute in parallel; the class map is still
@@ -180,7 +200,7 @@ Result<JobTrace> TraceCollator::Collate(std::vector<WorkerTrace> workers) {
       // fold, so skip the per-op p2p scan and union-find entirely.
       Group group;
       group.representative_index = member_indices.front();
-      group.ranks.push_back(workers[static_cast<size_t>(member_indices.front())].rank);
+      contribute(group.ranks, workers[static_cast<size_t>(member_indices.front())]);
       groups[HashCombine(fingerprint, ++synthetic_key)] = std::move(group);
       continue;
     }
@@ -241,7 +261,7 @@ Result<JobTrace> TraceCollator::Collate(std::vector<WorkerTrace> workers) {
       for (int index : member_indices) {
         Group group;
         group.representative_index = index;
-        group.ranks.push_back(workers[static_cast<size_t>(index)].rank);
+        contribute(group.ranks, workers[static_cast<size_t>(index)]);
         groups[HashCombine(fingerprint, ++synthetic_key)] = std::move(group);
       }
       continue;
@@ -252,7 +272,7 @@ Result<JobTrace> TraceCollator::Collate(std::vector<WorkerTrace> workers) {
       Group group;
       group.representative_index = ordered_chains[0][position];
       for (const auto& chain : ordered_chains) {
-        group.ranks.push_back(workers[static_cast<size_t>(chain[position])].rank);
+        contribute(group.ranks, workers[static_cast<size_t>(chain[position])]);
       }
       groups[HashCombine(fingerprint, ++synthetic_key)] = std::move(group);
     }
@@ -270,7 +290,7 @@ Result<JobTrace> TraceCollator::Collate(std::vector<WorkerTrace> workers) {
       (void)fp;
       const WorkerTrace& rep = workers[static_cast<size_t>(group.representative_index)];
       if (rep.rank == stub.duplicate_of) {
-        group.ranks.push_back(stub.rank);
+        contribute(group.ranks, stub);
         placed = true;
         break;
       }
@@ -286,7 +306,6 @@ Result<JobTrace> TraceCollator::Collate(std::vector<WorkerTrace> workers) {
   for (auto& [fp, group] : groups) {
     (void)fp;
     WorkerTrace& rep = workers[static_cast<size_t>(group.representative_index)];
-    std::sort(group.ranks.begin(), group.ranks.end());
     stats_.total_ops_out += rep.ops.size();
     job.workers.push_back(std::move(rep));
     job.folded_ranks.push_back(std::move(group.ranks));

@@ -34,8 +34,10 @@ struct JobTrace {
   std::vector<WorkerTrace> workers;
   // folded_ranks[i] = all global ranks represented by workers[i] (including
   // the representative itself). Workers folded together executed identical
-  // op sequences and move in lockstep in the simulation.
-  std::vector<std::vector<int>> folded_ranks;
+  // op sequences and move in lockstep in the simulation. Stored as
+  // compressed span sets so hyperscale jobs never materialize one entry per
+  // rank (§7.4 virtual folds).
+  std::vector<RankSet> folded_ranks;
   std::unordered_map<uint64_t, CommGroup> comms;
 
   // Global ranks participating in the communicator; CHECK-fails on unknown uid.
@@ -75,7 +77,13 @@ class TraceCollator {
   // Fails when communicator evidence is inconsistent (mismatched sizes,
   // duplicate rank_in_comm claims) or when folding would break collective
   // pairing semantics.
-  Result<JobTrace> Collate(std::vector<WorkerTrace> workers);
+  // `resolved_comms` is the analytically-resolved communicator membership
+  // from the hierarchical selective launcher (hyperscale mode): when
+  // non-empty it is used verbatim and the per-worker CommInitRecord
+  // evidence walk is skipped — virtual folded ranks never emit comm-init
+  // stubs, so their membership cannot be reconstructed from traces alone.
+  Result<JobTrace> Collate(std::vector<WorkerTrace> workers,
+                           std::unordered_map<uint64_t, CommGroup> resolved_comms = {});
 
   const CollationStats& stats() const { return stats_; }
 

@@ -76,11 +76,62 @@ void WriteOp(JsonWriter& w, const TraceOp& op) {
   w.EndObject();
 }
 
+// Span triples [base, count, stride] — the wire form of a RankSet. Emitted
+// in canonical span order, so equal sets serialize to equal bytes.
+void WriteRankSpans(JsonWriter& w, const RankSet& set) {
+  w.BeginArray();
+  for (const RankSpan& span : set.spans()) {
+    w.BeginArray();
+    w.Int(span.base);
+    w.Int(span.count);
+    w.Int(span.stride);
+    w.EndArray();
+  }
+  w.EndArray();
+}
+
+Result<RankSet> ParseRankSpans(const JsonValue& value) {
+  const JsonArray* spans = nullptr;
+  MAYA_ASSIGN_OR_RETURN(spans, ToArray(value));
+  RankSet set;
+  int64_t last = -1;
+  for (const JsonValue& span_value : *spans) {
+    const JsonArray* triple = nullptr;
+    MAYA_ASSIGN_OR_RETURN(triple, ToArray(span_value));
+    if (triple->size() != 3) {
+      return Status::InvalidArgument("rank span must be a [base, count, stride] triple");
+    }
+    int64_t base = 0;
+    int64_t count = 0;
+    int64_t stride = 0;
+    MAYA_ASSIGN_OR_RETURN(base, ToInt((*triple)[0]));
+    MAYA_ASSIGN_OR_RETURN(count, ToInt((*triple)[1]));
+    MAYA_ASSIGN_OR_RETURN(stride, ToInt((*triple)[2]));
+    if (count <= 0 || stride <= 0 || base < 0) {
+      return Status::InvalidArgument(
+          StrFormat("invalid rank span [%lld, %lld, %lld]", static_cast<long long>(base),
+                    static_cast<long long>(count), static_cast<long long>(stride)));
+    }
+    // RankSet's ascending contract (and span disjointness) enforced at the
+    // trust boundary: each span must start past the previous span's end.
+    if (base <= last) {
+      return Status::InvalidArgument("rank spans must be ascending and disjoint");
+    }
+    last = base + (count - 1) * stride;
+    set.AddSpan(base, count, stride);
+  }
+  return set;
+}
+
 void WriteWorker(JsonWriter& w, const WorkerTrace& worker) {
   w.BeginObject();
   w.Field("rank", static_cast<int64_t>(worker.rank));
   w.Field("comm_init_only", worker.comm_init_only);
   w.Field("duplicate_of", static_cast<int64_t>(worker.duplicate_of));
+  if (!worker.represented_ranks.empty()) {
+    w.Key("represented");
+    WriteRankSpans(w, worker.represented_ranks);
+  }
   w.Field("peak_device_bytes", worker.peak_device_bytes);
   w.Field("final_device_bytes", worker.final_device_bytes);
   w.KeyedBeginArray("comm_inits");
@@ -207,6 +258,13 @@ Result<WorkerTrace> ParseWorkerValue(const JsonValue& v) {
   worker.duplicate_of = static_cast<int>(field);
   MAYA_ASSIGN_OR_RETURN(worker.peak_device_bytes, ToUint(v.at("peak_device_bytes")));
   MAYA_ASSIGN_OR_RETURN(worker.final_device_bytes, ToUint(v.at("final_device_bytes")));
+  if (v.Has("represented")) {
+    MAYA_ASSIGN_OR_RETURN(worker.represented_ranks, ParseRankSpans(v.at("represented")));
+    if (!worker.represented_ranks.contains(worker.rank)) {
+      return Status::InvalidArgument(StrFormat(
+          "worker rank %d is not a member of its own represented set", worker.rank));
+    }
+  }
   const JsonArray* comm_inits = nullptr;
   MAYA_ASSIGN_OR_RETURN(comm_inits, ToArray(v.at("comm_inits")));
   for (const JsonValue& init_value : *comm_inits) {
@@ -318,13 +376,12 @@ std::string SerializeJobTrace(const JobTrace& job) {
     w.EndObject();
   }
   w.EndArray();
-  w.KeyedBeginArray("folded_ranks");
-  for (const auto& ranks : job.folded_ranks) {
-    w.BeginArray();
-    for (int rank : ranks) {
-      w.Int(rank);
-    }
-    w.EndArray();
+  // Compressed fold sets: [base, count, stride] span triples, so a worker
+  // standing for an entire data-parallel slice serializes in O(1) rather
+  // than one integer per folded rank.
+  w.KeyedBeginArray("folded_spans");
+  for (const RankSet& ranks : job.folded_ranks) {
+    WriteRankSpans(w, ranks);
   }
   w.EndArray();
   w.KeyedBeginArray("workers");
@@ -345,12 +402,22 @@ Result<WorkerTrace> ParseWorkerTrace(const std::string& json) {
 }
 
 Result<JobTrace> ParseJobTrace(const JsonValue& value) {
-  MAYA_RETURN_IF_ERROR(
-      RequireKeys(value, {"world_size", "comms", "folded_ranks", "workers"}));
+  MAYA_RETURN_IF_ERROR(RequireKeys(value, {"world_size", "comms", "workers"}));
+  if (!value.Has("folded_spans") && !value.Has("folded_ranks")) {
+    return Status::InvalidArgument("job trace lacks folded_spans (or legacy folded_ranks)");
+  }
   JobTrace job;
   int64_t field = 0;
   MAYA_ASSIGN_OR_RETURN(field, ToInt(value.at("world_size")));
   job.world_size = static_cast<int>(field);
+  // The fold validation below walks a per-rank claim table; bound the
+  // allocation an adversarial world_size could force.
+  constexpr int64_t kMaxWorldSize = int64_t{1} << 22;  // 4M ranks
+  if (field < 0 || field > kMaxWorldSize) {
+    return Status::InvalidArgument(
+        StrFormat("world_size %lld outside [0, %lld]", static_cast<long long>(field),
+                  static_cast<long long>(kMaxWorldSize)));
+  }
   const JsonArray* comms = nullptr;
   MAYA_ASSIGN_OR_RETURN(comms, ToArray(value.at("comms")));
   for (const JsonValue& comm_value : *comms) {
@@ -375,17 +442,37 @@ Result<JobTrace> ParseJobTrace(const JsonValue& value) {
       return Status::InvalidArgument("duplicate comm uid in job trace");
     }
   }
-  const JsonArray* folded = nullptr;
-  MAYA_ASSIGN_OR_RETURN(folded, ToArray(value.at("folded_ranks")));
-  for (const JsonValue& ranks_value : *folded) {
-    const JsonArray* rank_array = nullptr;
-    MAYA_ASSIGN_OR_RETURN(rank_array, ToArray(ranks_value));
-    std::vector<int> ranks;
-    for (const JsonValue& rank : *rank_array) {
-      MAYA_ASSIGN_OR_RETURN(field, ToInt(rank));
-      ranks.push_back(static_cast<int>(field));
+  if (value.Has("folded_spans")) {
+    const JsonArray* folded = nullptr;
+    MAYA_ASSIGN_OR_RETURN(folded, ToArray(value.at("folded_spans")));
+    for (const JsonValue& spans_value : *folded) {
+      RankSet ranks;
+      MAYA_ASSIGN_OR_RETURN(ranks, ParseRankSpans(spans_value));
+      job.folded_ranks.push_back(std::move(ranks));
     }
-    job.folded_ranks.push_back(std::move(ranks));
+  } else {
+    // Legacy explicit form: one integer per folded rank. Accepted (and
+    // normalized into span sets) so pre-hyperscale bundles keep loading.
+    const JsonArray* folded = nullptr;
+    MAYA_ASSIGN_OR_RETURN(folded, ToArray(value.at("folded_ranks")));
+    for (const JsonValue& ranks_value : *folded) {
+      const JsonArray* rank_array = nullptr;
+      MAYA_ASSIGN_OR_RETURN(rank_array, ToArray(ranks_value));
+      std::vector<int> ranks;
+      for (const JsonValue& rank : *rank_array) {
+        MAYA_ASSIGN_OR_RETURN(field, ToInt(rank));
+        ranks.push_back(static_cast<int>(field));
+      }
+      std::sort(ranks.begin(), ranks.end());
+      if (std::adjacent_find(ranks.begin(), ranks.end()) != ranks.end()) {
+        return Status::InvalidArgument("duplicate rank within a folded_ranks entry");
+      }
+      RankSet set;
+      for (int rank : ranks) {
+        set.Add(rank);
+      }
+      job.folded_ranks.push_back(std::move(set));
+    }
   }
   const JsonArray* workers = nullptr;
   MAYA_ASSIGN_OR_RETURN(workers, ToArray(value.at("workers")));
@@ -402,30 +489,35 @@ Result<JobTrace> ParseJobTrace(const JsonValue& value) {
   // must reject them here.
   if (job.folded_ranks.size() != job.workers.size()) {
     return Status::InvalidArgument(
-        StrFormat("folded_ranks entries (%zu) do not match workers (%zu)",
+        StrFormat("folded rank sets (%zu) do not match workers (%zu)",
                   job.folded_ranks.size(), job.workers.size()));
   }
   // Folded rank sets must be non-empty and disjoint: the simulator resolves
   // rank -> worker through this table, and an overlap would make two workers
-  // claim the same collective participant (wrong synchronization).
-  std::unordered_map<int, size_t> rank_to_worker;
+  // claim the same collective participant (wrong synchronization). The claim
+  // table stays per-rank (O(world) parse-time memory, bounded above) because
+  // detecting overlaps between arbitrary strided spans needs per-element
+  // evidence; lookups after validation use the span index.
+  std::vector<int> rank_owner(static_cast<size_t>(std::max(job.world_size, 1)), -1);
   for (size_t w = 0; w < job.workers.size(); ++w) {
     if (job.folded_ranks[w].empty()) {
       return Status::InvalidArgument(StrFormat("worker %zu has no folded ranks", w));
     }
-    for (int rank : job.folded_ranks[w]) {
-      // The simulator's rank -> worker table is dense over [0, world_size):
-      // out-of-range ranks would silently drop from expected_joins and abort
+    for (int64_t rank : job.folded_ranks[w]) {
+      // Out-of-range ranks would silently drop from expected_joins and abort
       // the collective rendezvous mid-simulation.
       if (rank < 0 || rank >= job.world_size) {
-        return Status::InvalidArgument(StrFormat(
-            "worker %zu folds rank %d outside world size %d", w, rank, job.world_size));
-      }
-      if (!rank_to_worker.emplace(rank, w).second) {
         return Status::InvalidArgument(
-            StrFormat("rank %d is claimed by workers %zu and %zu", rank,
-                      rank_to_worker.at(rank), w));
+            StrFormat("worker %zu folds rank %lld outside world size %d", w,
+                      static_cast<long long>(rank), job.world_size));
       }
+      int& owner = rank_owner[static_cast<size_t>(rank)];
+      if (owner != -1) {
+        return Status::InvalidArgument(
+            StrFormat("rank %lld is claimed by workers %d and %zu",
+                      static_cast<long long>(rank), owner, w));
+      }
+      owner = static_cast<int>(w);
     }
   }
   // Workers expected to join each comm's collectives (the simulator's
@@ -434,9 +526,8 @@ Result<JobTrace> ParseJobTrace(const JsonValue& value) {
   for (const auto& [uid, group] : job.comms) {
     std::set<size_t>& joiners = comm_workers[uid];
     for (int member : group.members) {
-      auto it = rank_to_worker.find(member);
-      if (it != rank_to_worker.end()) {
-        joiners.insert(it->second);
+      if (member >= 0 && member < job.world_size && rank_owner[static_cast<size_t>(member)] != -1) {
+        joiners.insert(static_cast<size_t>(rank_owner[static_cast<size_t>(member)]));
       }
     }
   }

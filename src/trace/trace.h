@@ -15,6 +15,7 @@
 #include "src/cuda/kernel_desc.h"
 #include "src/cuda/types.h"
 #include "src/hw/network_model.h"
+#include "src/trace/rank_set.h"
 
 namespace maya {
 
@@ -115,6 +116,13 @@ struct WorkerTrace {
   // For stubs: the global rank of the fully-emulated representative this
   // worker duplicates (supplied by the selective launcher); -1 otherwise.
   int duplicate_of = -1;
+  // Virtual folded ranks (hyperscale mode): every global rank this trace
+  // stands for, including `rank` itself. Empty means the trace represents
+  // only its own rank (the materialized path). Populated by the virtual
+  // selective launcher so folded twins are never emulated, never
+  // materialized as stubs, and ride through collation/simulation as a
+  // multiplicity attached to the representative.
+  RankSet represented_ranks;
 
   // Rolling structural fingerprint over all ops; equal fingerprints mean
   // (w.h.p.) identical operation sequences — the dedup criterion of §4.2.

@@ -473,6 +473,7 @@ TEST_P(ParallelLaunchSweep, BitIdenticalToSequential) {
   sequential.selective_launch = param.selective;
   LaunchOptions parallel = sequential;
   parallel.emulation_pool = &pool;
+  parallel.min_parallel_ranks = 1;  // force the parallel arm below the adaptive floor
   Result<LaunchResult> a = EmulateJob(model, config, cluster, sequential);
   Result<LaunchResult> b = EmulateJob(model, config, cluster, parallel);
   ASSERT_TRUE(a.ok()) << a.status().ToString();
@@ -500,6 +501,7 @@ TEST(ParallelLaunchTest, BorrowedPoolMatchesSequential) {
   config.microbatch_multiplier = 2;
   LaunchOptions borrowed;
   borrowed.emulation_pool = &pool;
+  borrowed.min_parallel_ranks = 1;
   Result<LaunchResult> a = EmulateJob(TinyGpt(), config, H100Cluster(8));
   Result<LaunchResult> b = EmulateJob(TinyGpt(), config, H100Cluster(8), borrowed);
   ASSERT_TRUE(a.ok());
@@ -518,6 +520,7 @@ TEST(ParallelLaunchTest, OomPathBitIdenticalToSequential) {
   ThreadPool pool(4);
   LaunchOptions parallel;
   parallel.emulation_pool = &pool;
+  parallel.min_parallel_ranks = 1;
   Result<LaunchResult> a = EmulateJob(TinyGpt(), config, cluster);
   Result<LaunchResult> b = EmulateJob(TinyGpt(), config, cluster, parallel);
   ASSERT_TRUE(a.ok()) << a.status().ToString();

@@ -104,7 +104,14 @@ JobTrace MakeJob(std::vector<WorkerTrace> workers,
     }
   }
   job.workers = std::move(workers);
-  job.folded_ranks = std::move(folded);
+  for (std::vector<int>& ranks : folded) {
+    std::sort(ranks.begin(), ranks.end());
+    RankSet set;
+    for (int rank : ranks) {
+      set.Add(rank);
+    }
+    job.folded_ranks.push_back(std::move(set));
+  }
   for (auto& group : comms) {
     job.comms[group.uid] = group;
   }
@@ -442,6 +449,7 @@ TEST(SimulatorTest, ParallelComponentReplayMatchesSequential) {
   SimOptions parallel = NoLatency();
   parallel.deduplicate_replicas = false;
   parallel.pool = &pool;
+  parallel.min_parallel_components = 1;  // force the parallel arm below the adaptive floor
   Result<SimReport> report = Simulator(job, H100Cluster(8), parallel).Run();
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   EXPECT_EQ(report->stats.components, 2u);

@@ -140,7 +140,7 @@ TEST(CollatorTest, DeduplicationFoldsTwins) {
   ASSERT_TRUE(job.ok()) << job.status().ToString();
   EXPECT_EQ(job->workers.size(), 1u);
   EXPECT_EQ(collator.stats().duplicates_folded, 3);
-  EXPECT_EQ(job->folded_ranks[0], (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(job->folded_ranks[0], (RankSet{0, 1, 2, 3}));
 }
 
 TEST(CollatorTest, ParallelFingerprintPassBitIdentical) {
@@ -202,7 +202,7 @@ TEST(CollatorTest, StubsAttachToDeclaredRepresentative) {
   Result<JobTrace> job = collator.Collate({full, stub});
   ASSERT_TRUE(job.ok()) << job.status().ToString();
   EXPECT_EQ(job->workers.size(), 1u);
-  EXPECT_EQ(job->folded_ranks[0], (std::vector<int>{0, 1}));
+  EXPECT_EQ(job->folded_ranks[0], (RankSet{0, 1}));
   // Membership evidence from the stub still resolved the communicator.
   EXPECT_EQ(job->comm(5).members, (std::vector<int>{0, 1}));
 }
@@ -246,8 +246,8 @@ TEST(CollatorTest, IsomorphicChainsFoldPositionally) {
                                            chain_worker(2, 200, 0), chain_worker(3, 200, 1)});
   ASSERT_TRUE(job.ok()) << job.status().ToString();
   ASSERT_EQ(job->workers.size(), 2u);
-  EXPECT_EQ(job->folded_ranks[0], (std::vector<int>{0, 2}));
-  EXPECT_EQ(job->folded_ranks[1], (std::vector<int>{1, 3}));
+  EXPECT_EQ(job->folded_ranks[0], (RankSet{0, 2}));
+  EXPECT_EQ(job->folded_ranks[1], (RankSet{1, 3}));
 }
 
 TEST(CollatorTest, JobTraceSummaryCountsOps) {
@@ -308,7 +308,7 @@ TEST(SerializationTest, JobTraceSerializesCommsAndFolding) {
   const std::string json = SerializeJobTrace(*job);
   EXPECT_NE(json.find("\"world_size\":2"), std::string::npos);
   EXPECT_NE(json.find("\"comms\""), std::string::npos);
-  EXPECT_NE(json.find("\"folded_ranks\""), std::string::npos);
+  EXPECT_NE(json.find("\"folded_spans\""), std::string::npos);
 }
 
 TEST(SerializationTest, ParseRejectsMalformedTrace) {
