@@ -456,6 +456,9 @@ std::string Telemetry::ExportChromeTrace(uint64_t trace_id_filter,
     w.Field("tid", static_cast<int64_t>(event.tid));
     w.KeyedBeginObject("args");
     w.Field("trace_id", static_cast<uint64_t>(event.trace_id));
+    if (event.conn_id != 0) {
+      w.Field("conn", static_cast<uint64_t>(event.conn_id));
+    }
     w.EndObject();
     w.EndObject();
   }
@@ -500,7 +503,9 @@ void ScopedSpan::Begin(const char* name, const char* category) {
   armed_ = true;
   name_ = name;
   category_ = category;
-  trace_id_ = Telemetry::CurrentContext().trace_id;
+  const TraceContext context = Telemetry::CurrentContext();
+  trace_id_ = context.trace_id;
+  conn_id_ = context.conn_id;
   start_us_ = Telemetry::NowUs();
 }
 
@@ -509,6 +514,7 @@ void ScopedSpan::End() {
   event.name = name_;
   event.category = category_;
   event.trace_id = trace_id_;
+  event.conn_id = conn_id_;
   event.ts_us = start_us_;
   event.dur_us = Telemetry::NowUs() - start_us_;
   Telemetry::Instance().Record(event);

@@ -174,6 +174,7 @@ struct TraceEvent {
   const char* name = nullptr;
   const char* category = nullptr;
   uint64_t trace_id = 0;  // 0 = outside any request
+  uint64_t conn_id = 0;   // submitting TCP connection; 0 = stdio/in-process
   double ts_us = 0.0;     // start, relative to the telemetry epoch
   double dur_us = 0.0;
   uint32_t tid = 0;  // small dense id assigned per recording thread
@@ -183,6 +184,10 @@ struct TraceEvent {
 // working for. Propagated across ThreadPool::ParallelFor tasks.
 struct TraceContext {
   uint64_t trace_id = 0;
+  // Connection id the enclosing request arrived on (the TCP server sets it
+  // around Submit; workers restore it with the trace id), so Chrome traces
+  // can attribute spans to connections.
+  uint64_t conn_id = 0;
 };
 
 class Telemetry {
@@ -302,6 +307,7 @@ class ScopedSpan {
   const char* name_ = nullptr;
   const char* category_ = nullptr;
   uint64_t trace_id_ = 0;
+  uint64_t conn_id_ = 0;
   double start_us_ = 0.0;
 };
 

@@ -32,6 +32,21 @@ Result<std::shared_ptr<const Deployment>> DeploymentRegistry::Insert(const std::
   return deployment;
 }
 
+Status DeploymentRegistry::Remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end() || !it->second.pinned) {
+    return Status::NotFound("no registered deployment named '" + name + "'");
+  }
+  entries_.erase(it);
+  // Insert records every entry (pinned and derived) in registration_order_;
+  // a stale name left behind would leak one slot per add/remove cycle.
+  registration_order_.erase(
+      std::remove(registration_order_.begin(), registration_order_.end(), name),
+      registration_order_.end());
+  return Status::Ok();
+}
+
 Result<std::shared_ptr<const Deployment>> DeploymentRegistry::Register(const std::string& name,
                                                                        const ClusterSpec& cluster,
                                                                        EstimatorBank bank) {

@@ -91,6 +91,13 @@ class DeploymentRegistry {
       const KernelRuntimeEstimator* kernel_estimator,
       const CollectiveEstimator* collective_estimator);
 
+  // Unregisters pinned deployment `name`. Fails kNotFound for unknown or
+  // derived names. In-flight holders of the Deployment shared_ptr (and
+  // derived entries that borrowed its estimators — they share the bank via
+  // shared_ptr) stay valid; later resolutions of the name fail, or re-derive
+  // it as a cluster-name what-if when another same-arch bank is registered.
+  Status Remove(const std::string& name);
+
   // Looks a deployment up by name, bumping its recency. Unknown names are
   // treated as evaluation-cluster names ("h100x32", "v100x16", "a40"): the
   // registry derives a deployment over the estimators of a registered

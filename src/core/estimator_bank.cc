@@ -22,4 +22,27 @@ EstimatorBank TrainEstimators(const ClusterSpec& cluster, const GroundTruthExecu
   return bank;
 }
 
+Result<ProfileSweepOptions> ProfileSweepPreset(const std::string& name) {
+  ProfileSweepOptions sweep;
+  if (name == "full") {
+    return sweep;  // paper-scale defaults
+  }
+  if (name == "small") {
+    sweep.gemm_samples = 5000;
+    sweep.conv_samples = 400;
+    sweep.generic_samples = 150;
+    sweep.collective_sizes = 16;
+    return sweep;
+  }
+  if (name == "tiny") {
+    sweep.gemm_samples = 1500;
+    sweep.conv_samples = 100;
+    sweep.generic_samples = 30;
+    sweep.collective_sizes = 8;
+    return sweep;
+  }
+  return Status::InvalidArgument("unknown sweep preset '" + name +
+                                 "' (expected full, small, or tiny)");
+}
+
 }  // namespace maya

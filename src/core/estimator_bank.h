@@ -5,7 +5,9 @@
 #define SRC_CORE_ESTIMATOR_BANK_H_
 
 #include <memory>
+#include <string>
 
+#include "src/common/status.h"
 #include "src/estimator/profiler_repository.h"
 #include "src/groundtruth/executor.h"
 
@@ -26,6 +28,11 @@ struct EstimatorBank {
 // ("dispatch on hardware, log runtimes"), splits 80:20, and fits the models.
 EstimatorBank TrainEstimators(const ClusterSpec& cluster, const GroundTruthExecutor& executor,
                               const ProfileSweepOptions& sweep = {}, uint64_t seed = 404);
+
+// Named sweep presets shared by `maya_serve --sweep` and the
+// `add_deployment` protocol kind: "full" (paper-scale defaults), "small"
+// (CI-scale), "tiny" (smoke-scale). Unknown names fail kInvalidArgument.
+Result<ProfileSweepOptions> ProfileSweepPreset(const std::string& name);
 
 }  // namespace maya
 

@@ -1,0 +1,72 @@
+#include "src/net/frame_decoder.h"
+
+#include <utility>
+
+namespace maya {
+
+FrameDecoder::FrameDecoder(size_t max_frame_bytes)
+    : max_frame_bytes_(max_frame_bytes) {}
+
+std::vector<FrameEvent> FrameDecoder::Consume(std::string_view data) {
+  std::vector<FrameEvent> events;
+  while (!data.empty()) {
+    const size_t newline = data.find('\n');
+    if (skipping_) {
+      if (newline == std::string_view::npos) {
+        skipped_bytes_ += data.size();
+        break;
+      }
+      skipped_bytes_ += newline;
+      FrameEvent event;
+      event.status = Status::InvalidArgument(
+          "frame exceeds max_frame_bytes (" +
+          std::to_string(max_frame_bytes_) + ")");
+      event.dropped_bytes = skipped_bytes_;
+      events.push_back(std::move(event));
+      skipping_ = false;
+      skipped_bytes_ = 0;
+      data.remove_prefix(newline + 1);
+      continue;
+    }
+    if (newline == std::string_view::npos) {
+      if (buffer_.size() + data.size() > max_frame_bytes_) {
+        // The frame already overflowed without a terminator in sight: drop
+        // what we buffered plus this chunk and resync at the next newline.
+        skipping_ = true;
+        skipped_bytes_ = buffer_.size() + data.size();
+        buffer_.clear();
+        break;
+      }
+      buffer_.append(data);
+      break;
+    }
+    const std::string_view rest = data.substr(0, newline);
+    if (buffer_.size() + rest.size() > max_frame_bytes_) {
+      FrameEvent event;
+      event.status = Status::InvalidArgument(
+          "frame exceeds max_frame_bytes (" +
+          std::to_string(max_frame_bytes_) + ")");
+      event.dropped_bytes = buffer_.size() + rest.size();
+      events.push_back(std::move(event));
+      buffer_.clear();
+    } else {
+      std::string line = std::move(buffer_);
+      buffer_.clear();
+      line.append(rest);
+      // Strip after assembly: a CRLF pair can be torn across reads, leaving
+      // the '\r' at the end of the buffered prefix rather than in `rest`.
+      if (!line.empty() && line.back() == '\r') {
+        line.pop_back();
+      }
+      if (!line.empty()) {
+        FrameEvent event;
+        event.line = std::move(line);
+        events.push_back(std::move(event));
+      }
+    }
+    data.remove_prefix(newline + 1);
+  }
+  return events;
+}
+
+}  // namespace maya

@@ -1,0 +1,64 @@
+// Incremental NDJSON framing for byte-stream transports: bytes go in as they
+// arrive off a socket (torn lines, many lines per read — any split), complete
+// newline-terminated frames come out in order. The line protocol itself is
+// src/service/protocol.h; this class only finds the line boundaries, so the
+// TCP server parses exactly the lines the stdio loop would have read.
+//
+// Oversized frames are a typed event, not a detail the caller infers: a line
+// that exceeds the bound is discarded (never buffered whole — a client
+// streaming an unbounded line cannot balloon server memory beyond the bound)
+// and surfaces as one FrameEvent whose status is kInvalidArgument, carrying
+// how many bytes were dropped. Decoding then resynchronizes at the next
+// newline; subsequent frames are unaffected.
+#ifndef SRC_NET_FRAME_DECODER_H_
+#define SRC_NET_FRAME_DECODER_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace maya {
+
+// Matches the longest request line the serving stack expects to see (a
+// batch_predict with thousands of configs serializes well under 1 MiB).
+inline constexpr size_t kDefaultMaxFrameBytes = 4 * 1024 * 1024;
+
+struct FrameEvent {
+  // The complete frame, newline stripped ('\r\n' is tolerated and stripped
+  // too). Empty lines are suppressed — the stdio loop skips them, and the
+  // TCP path must frame identically.
+  std::string line;
+  // ok() for a complete frame; kInvalidArgument for an oversized one (the
+  // frame's bytes were dropped, `line` is empty).
+  Status status = Status::Ok();
+  // Oversized frames only: total payload bytes discarded (newline excluded).
+  size_t dropped_bytes = 0;
+};
+
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+  // Appends `data` and returns every frame event it completes, in input
+  // order. Call with whatever chunk the transport produced; partial trailing
+  // data is buffered until a later Consume supplies its newline.
+  std::vector<FrameEvent> Consume(std::string_view data);
+
+  // Bytes buffered awaiting a newline (bounded by max_frame_bytes).
+  size_t buffered_bytes() const { return buffer_.size(); }
+  size_t max_frame_bytes() const { return max_frame_bytes_; }
+
+ private:
+  size_t max_frame_bytes_;
+  std::string buffer_;
+  // Inside an oversized frame: discarding until the next newline.
+  bool skipping_ = false;
+  size_t skipped_bytes_ = 0;
+};
+
+}  // namespace maya
+
+#endif  // SRC_NET_FRAME_DECODER_H_

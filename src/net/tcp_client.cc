@@ -1,0 +1,130 @@
+#include "src/net/tcp_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "src/common/hash.h"
+#include "src/common/strings.h"
+
+namespace maya {
+
+TcpLineTransport::TcpLineTransport(std::string host, int port, RetryPolicy retry)
+    : host_(std::move(host)), port_(port), retry_(std::move(retry)) {}
+
+TcpLineTransport::~TcpLineTransport() { Close(); }
+
+void TcpLineTransport::Close() {
+  if (fd_ != -1) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  rx_buffer_.clear();
+}
+
+Status TcpLineTransport::ConnectOnce() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port_));
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("host must be an IPv4 literal, got '" + host_ + "'");
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status status = Status::Internal(
+        StrFormat("connect %s:%d: %s", host_.c_str(), port_, std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  return Status::Ok();
+}
+
+Status TcpLineTransport::Connect() {
+  if (fd_ != -1) {
+    return Status::Ok();
+  }
+  // The endpoint hash keys the jitter stream, so clients retrying different
+  // servers (or ports in a test) follow decorrelated schedules.
+  const uint64_t key = HashCombine(FnvHash(host_), static_cast<uint64_t>(port_));
+  const int attempts = retry_.max_attempts > 0 ? retry_.max_attempts : 1;
+  Status last = Status::Ok();
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    if (attempt > 1) {
+      const double delay_ms = RetryBackoffMs(retry_, key, attempt - 1);
+      if (retry_.sleeper) {
+        retry_.sleeper(delay_ms);
+      } else {
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delay_ms));
+      }
+    }
+    last = ConnectOnce();
+    if (last.ok()) {
+      return last;
+    }
+  }
+  return last;
+}
+
+Result<std::string> TcpLineTransport::RoundTrip(const std::string& request_line) {
+  MAYA_RETURN_IF_ERROR(Connect());
+  std::string frame = request_line;
+  frame.push_back('\n');
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      const Status status = Status::Internal(std::string("send: ") + std::strerror(errno));
+      Close();
+      return status;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  while (true) {
+    const size_t newline = rx_buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = rx_buffer_.substr(0, newline);
+      rx_buffer_.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') {
+        line.pop_back();
+      }
+      return line;
+    }
+    char buffer[64 * 1024];
+    const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      const Status status = Status::Internal(std::string("recv: ") + std::strerror(errno));
+      Close();
+      return status;
+    }
+    if (n == 0) {
+      // Mid-round-trip EOF: the server shed or drained this connection.
+      Close();
+      return Status::Internal(StrFormat("connection to %s:%d closed before a response arrived",
+                                        host_.c_str(), port_));
+    }
+    rx_buffer_.append(buffer, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace maya

@@ -1,0 +1,55 @@
+// Blocking TCP implementation of the service client's LineTransport: one
+// NDJSON request line out, one response line back, against a maya_serve
+// --listen endpoint. Connects lazily on first use and reconnects (with the
+// same deterministic RetryPolicy backoff ServiceClient uses for request
+// retries) after a transport failure, so a ServiceClient wrapping this
+// transport rides out a server restart without bespoke plumbing.
+//
+// Not thread-safe: a transport is one ordered byte stream. Give each client
+// thread its own TcpLineTransport (the server multiplexes connections).
+#ifndef SRC_NET_TCP_CLIENT_H_
+#define SRC_NET_TCP_CLIENT_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/service/service_client.h"
+
+namespace maya {
+
+class TcpLineTransport final : public LineTransport {
+ public:
+  // `retry` bounds connect attempts (max_attempts total, RetryBackoffMs
+  // delays between them); the default policy tries once.
+  TcpLineTransport(std::string host, int port, RetryPolicy retry = {});
+  ~TcpLineTransport() override;
+
+  TcpLineTransport(const TcpLineTransport&) = delete;
+  TcpLineTransport& operator=(const TcpLineTransport&) = delete;
+
+  // Establishes the connection now (RoundTrip connects lazily otherwise).
+  Status Connect();
+
+  // Writes `request_line` + '\n', reads one '\n'-terminated response line
+  // (stripped). Any socket failure closes the connection and returns its
+  // status; the next call reconnects.
+  Result<std::string> RoundTrip(const std::string& request_line) override;
+
+  bool connected() const { return fd_ != -1; }
+
+ private:
+  Status ConnectOnce();
+  void Close();
+
+  std::string host_;
+  int port_;
+  RetryPolicy retry_;
+  int fd_ = -1;
+  // Bytes read past the last returned line (the server may flush several
+  // responses in one segment even though RoundTrip is strictly serial).
+  std::string rx_buffer_;
+};
+
+}  // namespace maya
+
+#endif  // SRC_NET_TCP_CLIENT_H_

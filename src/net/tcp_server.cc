@@ -1,0 +1,558 @@
+#include "src/net/tcp_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "src/common/strings.h"
+#include "src/common/telemetry.h"
+
+namespace maya {
+namespace {
+
+// epoll user-data tags for the two non-connection fds; connection ids start
+// at 1 and count up, so the top of the u64 range is free.
+constexpr uint64_t kListenTag = ~uint64_t{0};
+constexpr uint64_t kWakeTag = ~uint64_t{0} - 1;
+
+Counter& NetCounter(const char* name, const char* help) {
+  return MetricsRegistry::Instance().GetCounter(name, help);
+}
+
+Gauge& NetGauge(const char* name, const char* help) {
+  return MetricsRegistry::Instance().GetGauge(name, help);
+}
+
+Gauge& OpenGauge() {
+  return NetGauge("maya_net_connections_open", "TCP connections currently open");
+}
+
+void CloseFd(int* fd) {
+  if (*fd != -1) {
+    ::close(*fd);
+    *fd = -1;
+  }
+}
+
+}  // namespace
+
+TcpServer::TcpServer(ServiceEngine* engine, TcpServerOptions options)
+    : engine_(engine), options_(std::move(options)) {}
+
+TcpServer::~TcpServer() { Stop(); }
+
+Status TcpServer::Start() {
+  if (started_) {
+    return Status::FailedPrecondition("TcpServer already started");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    CloseFd(&listen_fd_);
+    return Status::InvalidArgument("listen host must be an IPv4 literal, got '" +
+                                   options_.host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status status = Status::Internal(
+        StrFormat("bind %s:%d: %s", options_.host.c_str(), options_.port, std::strerror(errno)));
+    CloseFd(&listen_fd_);
+    return status;
+  }
+  if (::listen(listen_fd_, options_.backlog) != 0) {
+    const Status status = Status::Internal(std::string("listen: ") + std::strerror(errno));
+    CloseFd(&listen_fd_);
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
+    const Status status = Status::Internal(std::string("getsockname: ") + std::strerror(errno));
+    CloseFd(&listen_fd_);
+    return status;
+  }
+  port_ = ntohs(bound.sin_port);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    const Status status = Status::Internal(std::string("epoll/eventfd: ") + std::strerror(errno));
+    CloseFd(&listen_fd_);
+    CloseFd(&epoll_fd_);
+    CloseFd(&wake_fd_);
+    return status;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenTag;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.u64 = kWakeTag;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  started_ = true;
+  loop_ = std::thread(&TcpServer::EventLoop, this);
+  return Status::Ok();
+}
+
+void TcpServer::Wake() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (wake_fd_ != -1) {
+    const uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  }
+}
+
+void TcpServer::Drain() {
+  if (!started_) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    draining_ = true;
+  }
+  Wake();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(options_.drain_timeout_ms);
+  std::unique_lock<std::mutex> lock(mutex_);
+  drained_cv_.wait_until(lock, deadline, [&] { return connections_.empty(); });
+  if (!connections_.empty()) {
+    // In-flight work outlasted the grace period: cut the stragglers loose.
+    force_close_ = true;
+    lock.unlock();
+    Wake();
+    lock.lock();
+    drained_cv_.wait(lock, [&] { return connections_.empty(); });
+  }
+}
+
+void TcpServer::Stop() {
+  if (!started_ || stopped_) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    draining_ = true;
+    force_close_ = true;
+    stop_requested_ = true;
+  }
+  Wake();
+  loop_.join();
+  // Late engine callbacks capture `this`; give them the drain grace period to
+  // land (each is a map lookup that misses) before the object goes away. The
+  // caller draining the engine before Stop() makes this wait trivially zero.
+  std::unique_lock<std::mutex> lock(mutex_);
+  drained_cv_.wait_for(lock, std::chrono::milliseconds(options_.drain_timeout_ms),
+                       [&] { return inflight_submits_ == 0; });
+  CloseFd(&wake_fd_);
+  CloseFd(&epoll_fd_);
+  CloseFd(&listen_fd_);
+  stopped_ = true;
+}
+
+TcpServer::Stats TcpServer::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void TcpServer::EventLoop() {
+  std::vector<epoll_event> events(64);
+  while (true) {
+    std::vector<uint64_t> dirty;
+    std::vector<uint64_t> all_ids;
+    bool drain_now = false;
+    bool force = false;
+    bool stop = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      dirty.swap(dirty_);
+      drain_now = draining_;
+      force = force_close_;
+      stop = stop_requested_;
+      if (drain_now || force) {
+        all_ids.reserve(connections_.size());
+        for (const auto& [id, conn] : connections_) {
+          all_ids.push_back(id);
+        }
+      }
+    }
+    if (drain_now && listen_fd_ != -1) {
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+      CloseFd(&listen_fd_);
+    }
+    if (force) {
+      for (const uint64_t id : all_ids) {
+        CloseConnection(id, /*shed=*/false);
+      }
+    } else if (drain_now) {
+      // Re-evaluate every connection: reading stops, idle ones close now,
+      // busy ones close when their last response flushes.
+      for (const uint64_t id : all_ids) {
+        ServiceConnection(id);
+      }
+    }
+    for (const uint64_t id : dirty) {
+      ServiceConnection(id);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stop && connections_.empty()) {
+        break;
+      }
+    }
+
+    const int n = ::epoll_wait(epoll_fd_, events.data(), static_cast<int>(events.size()), -1);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const uint64_t tag = events[i].data.u64;
+      if (tag == kListenTag) {
+        HandleAccept();
+        continue;
+      }
+      if (tag == kWakeTag) {
+        uint64_t counter = 0;
+        [[maybe_unused]] const ssize_t r = ::read(wake_fd_, &counter, sizeof(counter));
+        continue;
+      }
+      Connection* conn = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = connections_.find(tag);
+        if (it != connections_.end()) {
+          conn = it->second.get();
+        }
+      }
+      if (conn == nullptr) {
+        continue;  // closed earlier this batch
+      }
+      if ((events[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) != 0) {
+        HandleReadable(conn);
+      }
+      ServiceConnection(tag);
+    }
+  }
+}
+
+void TcpServer::HandleAccept() {
+  while (true) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;  // EAGAIN, or listen fd going away
+    }
+    bool refuse = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      refuse = draining_ || connections_.size() >= static_cast<size_t>(options_.max_connections);
+    }
+    if (refuse) {
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (options_.send_buffer_bytes > 0) {
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.send_buffer_bytes,
+                   sizeof(options_.send_buffer_bytes));
+    }
+    uint64_t id = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      id = next_conn_id_++;
+      auto conn = std::make_unique<Connection>(options_.max_frame_bytes);
+      conn->id = id;
+      conn->fd = fd;
+      connections_.emplace(id, std::move(conn));
+      ++stats_.accepted;
+      ++stats_.open;
+      OpenGauge().Set(static_cast<double>(stats_.open));
+    }
+    NetCounter("maya_net_connections_accepted_total", "TCP connections accepted").Increment();
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = id;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+  }
+}
+
+void TcpServer::HandleReadable(Connection* conn) {
+  char buffer[64 * 1024];
+  while (true) {
+    const ssize_t n = ::recv(conn->fd, buffer, sizeof(buffer), 0);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno != EAGAIN && errno != EWOULDBLOCK) {
+        // Hard receive error: treat like EOF; staged responses still flush.
+        std::lock_guard<std::mutex> lock(mutex_);
+        conn->read_closed = true;
+      }
+      return;
+    }
+    if (n == 0) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      conn->read_closed = true;
+      return;
+    }
+    // Decode + parse outside the lock (the loop thread owns the decoder);
+    // only the finished frames are spliced into the inbox under it.
+    std::vector<FrameEvent> frames =
+        conn->decoder.Consume(std::string_view(buffer, static_cast<size_t>(n)));
+    if (frames.empty()) {
+      continue;
+    }
+    std::vector<PendingFrame> pending;
+    uint64_t frame_errors = 0;
+    pending.reserve(frames.size());
+    for (FrameEvent& frame : frames) {
+      PendingFrame entry;
+      if (!frame.status.ok()) {
+        entry.error.ok = false;
+        entry.error.error_code = kErrFrameTooLarge;
+        entry.error.error = StrFormat("%s; dropped %llu byte(s)", frame.status.message().c_str(),
+                                      static_cast<unsigned long long>(frame.dropped_bytes));
+        ++frame_errors;
+      } else {
+        Result<ServiceRequest> request = ParseServiceRequest(frame.line);
+        if (request.ok()) {
+          entry.parsed = true;
+          entry.request = *std::move(request);
+          const ServiceRequestKind kind = entry.request.kind();
+          // Same barrier the stdio loop applies before these kinds: the
+          // report must reflect the connection's earlier requests.
+          entry.barrier = kind == ServiceRequestKind::kMetrics ||
+                          kind == ServiceRequestKind::kDumpTrace;
+        } else {
+          entry.error = ParseFailureResponse(frame.line, request.status());
+          ++frame_errors;
+        }
+      }
+      pending.push_back(std::move(entry));
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (PendingFrame& entry : pending) {
+        conn->inbox.push_back(std::move(entry));
+      }
+      stats_.frames += pending.size();
+      stats_.frame_errors += frame_errors;
+    }
+    NetCounter("maya_net_frames_total", "Request frames received over TCP")
+        .Increment(pending.size());
+    if (frame_errors > 0) {
+      NetCounter("maya_net_frame_errors_total",
+                 "Frames rejected before execution (oversized or unparseable)")
+          .Increment(frame_errors);
+    }
+  }
+}
+
+void TcpServer::PumpInbox(uint64_t conn_id) {
+  while (true) {
+    PendingFrame frame;
+    uint64_t seq = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = connections_.find(conn_id);
+      if (it == connections_.end()) {
+        return;
+      }
+      Connection* conn = it->second.get();
+      if (conn->shed || conn->inbox.empty()) {
+        return;
+      }
+      if (conn->inbox.front().barrier && conn->pending > 0) {
+        return;  // resumes when the last earlier response lands
+      }
+      frame = std::move(conn->inbox.front());
+      conn->inbox.pop_front();
+      seq = conn->next_seq++;
+      ++conn->pending;
+      ++inflight_submits_;
+    }
+    if (!frame.parsed) {
+      CompleteResponse(conn_id, seq, frame.error);
+      continue;
+    }
+    // Submit is called with no server lock held: control kinds and
+    // rejections invoke the callback inline, and the callback re-enters
+    // mutex_ (see the lock-order note in the header).
+    ScopedTraceContext context(TraceContext{0, conn_id});
+    engine_->Submit(std::move(frame.request), [this, conn_id, seq](ServiceResponse response) {
+      CompleteResponse(conn_id, seq, response);
+    });
+  }
+}
+
+void TcpServer::CompleteResponse(uint64_t conn_id, uint64_t seq,
+                                 const ServiceResponse& response) {
+  std::string line = SerializeServiceResponse(response);
+  line.push_back('\n');
+  bool wake = false;
+  bool shed_now = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --inflight_submits_;
+    if (inflight_submits_ == 0) {
+      drained_cv_.notify_all();
+    }
+    auto it = connections_.find(conn_id);
+    if (it == connections_.end() || it->second->closed) {
+      return;  // connection shed or force-closed: response dropped
+    }
+    Connection* conn = it->second.get();
+    conn->completed.emplace(seq, std::move(line));
+    if (conn->pending > 0) {
+      --conn->pending;
+    }
+    bool appended = false;
+    for (auto ready = conn->completed.find(conn->next_flush_seq);
+         ready != conn->completed.end();
+         ready = conn->completed.find(conn->next_flush_seq)) {
+      conn->outbound += ready->second;
+      conn->completed.erase(ready);
+      ++conn->next_flush_seq;
+      appended = true;
+    }
+    if (conn->outbound.size() > stats_.outbound_hwm_bytes) {
+      stats_.outbound_hwm_bytes = conn->outbound.size();
+      NetGauge("maya_net_outbound_queue_hwm_bytes",
+               "High-water mark of per-connection staged response bytes")
+          .Set(static_cast<double>(stats_.outbound_hwm_bytes));
+    }
+    if (!conn->shed && conn->outbound.size() > options_.max_outbound_bytes) {
+      // The peer is not reading its responses: shed it rather than buffer
+      // without bound or stall the workers producing for it.
+      conn->shed = true;
+      shed_now = true;
+    }
+    const bool pump = conn->pending == 0 && !conn->inbox.empty();
+    if (appended || shed_now || pump) {
+      dirty_.push_back(conn_id);
+      wake = true;
+    }
+  }
+  if (wake) {
+    Wake();
+  }
+}
+
+void TcpServer::FlushOutbound(Connection* conn) {
+  while (!conn->outbound.empty()) {
+    const ssize_t n =
+        ::send(conn->fd, conn->outbound.data(), conn->outbound.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->outbound.erase(0, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return;  // socket buffer full; EPOLLOUT resumes the flush
+    }
+    // Peer reset: nothing more can be delivered.
+    conn->outbound.clear();
+    conn->read_closed = true;
+    return;
+  }
+}
+
+void TcpServer::UpdateInterest(Connection* conn) {
+  epoll_event ev{};
+  ev.data.u64 = conn->id;
+  if (!conn->read_closed) {
+    ev.events |= EPOLLIN;
+  }
+  if (!conn->outbound.empty()) {
+    ev.events |= EPOLLOUT;
+  }
+  if (ev.events != conn->interest) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+    conn->interest = ev.events;
+  }
+}
+
+void TcpServer::ServiceConnection(uint64_t conn_id) {
+  PumpInbox(conn_id);
+  bool close = false;
+  bool shed = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = connections_.find(conn_id);
+    if (it == connections_.end()) {
+      return;
+    }
+    Connection* conn = it->second.get();
+    if (conn->shed) {
+      shed = true;
+    } else {
+      if (draining_) {
+        conn->read_closed = true;  // no new frames during drain
+      }
+      FlushOutbound(conn);
+      UpdateInterest(conn);
+      close = conn->read_closed && conn->inbox.empty() && conn->pending == 0 &&
+              conn->outbound.empty();
+    }
+  }
+  if (shed || close) {
+    CloseConnection(conn_id, shed);
+  }
+}
+
+void TcpServer::CloseConnection(uint64_t conn_id, bool shed) {
+  int fd = -1;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = connections_.find(conn_id);
+    if (it == connections_.end()) {
+      return;
+    }
+    Connection* conn = it->second.get();
+    conn->closed = true;
+    fd = conn->fd;
+    ++stats_.closed;
+    if (shed) {
+      ++stats_.shed;
+    }
+    --stats_.open;
+    OpenGauge().Set(static_cast<double>(stats_.open));
+    connections_.erase(it);
+  }
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  NetCounter("maya_net_connections_closed_total", "TCP connections closed (all causes)")
+      .Increment();
+  if (shed) {
+    NetCounter("maya_net_connections_shed_total",
+               "TCP connections shed for exceeding the outbound byte bound")
+        .Increment();
+  }
+  drained_cv_.notify_all();
+}
+
+}  // namespace maya

@@ -1,0 +1,189 @@
+// Non-blocking epoll TCP front end for the Maya service protocol.
+//
+// One event-loop thread owns every socket: it accepts connections, reads
+// bytes into a per-connection FrameDecoder, parses complete NDJSON lines and
+// hands them to ServiceEngine::Submit (the callback form — no thread ever
+// parks on a future). Engine callbacks, which fire on worker threads, only
+// stage serialized response bytes under the server mutex and wake the loop
+// via an eventfd; all socket I/O stays on the loop thread. The transport is
+// deliberately transparent: frames are parsed by the same codec, executed by
+// the same engine, and serialized by the same writer as the stdio loop and
+// InProcessTransport, so responses are byte-identical across transports.
+//
+// Ordering: responses are written back in request order per connection, even
+// though the engine's weighted scheduler completes them out of order — each
+// frame takes a sequence slot at submit time and completed responses are
+// flushed only when every earlier slot has been filled. `metrics` and
+// `dump_trace` frames are barriers, mirroring the stdio loop's behavior:
+// they wait until the connection's earlier requests have completed so the
+// report reflects them.
+//
+// Backpressure: each connection has a bounded outbound byte queue. A client
+// that pipelines requests but stops reading fills its queue and is shed —
+// the connection closes and the engine's remaining responses for it are
+// dropped on arrival. Shedding never blocks a worker thread or the event
+// loop, so one slow reader cannot stall other connections.
+//
+// Lock order (shared with ServiceEngine): queue_mutex_ -> server mutex_.
+// Engine callbacks (holding no engine lock) take mutex_; the event loop
+// NEVER holds mutex_ while calling Submit, because control-kind and
+// rejection callbacks fire inline inside Submit and would re-enter it.
+#ifndef SRC_NET_TCP_SERVER_H_
+#define SRC_NET_TCP_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/net/frame_decoder.h"
+#include "src/service/protocol.h"
+#include "src/service/service_engine.h"
+
+namespace maya {
+
+struct TcpServerOptions {
+  // IPv4 listen address (a literal, not a hostname). Port 0 binds an
+  // ephemeral port; read the actual one from port() after Start().
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int backlog = 128;
+  int max_connections = 256;
+  // Request frames longer than this are answered with FRAME_TOO_LARGE and
+  // dropped without being buffered (see FrameDecoder).
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  // Per-connection outbound byte bound; a connection whose staged responses
+  // exceed it is shed. Small values make slow-reader tests fast.
+  size_t max_outbound_bytes = 8 * 1024 * 1024;
+  // SO_SNDBUF override for accepted sockets; 0 keeps the kernel default.
+  // Tests shrink it so a non-reading peer back-pressures in a few frames.
+  int send_buffer_bytes = 0;
+  // Drain(): how long to wait for in-flight requests to answer and flush
+  // before force-closing the stragglers.
+  int drain_timeout_ms = 10'000;
+};
+
+class TcpServer {
+ public:
+  // `engine` must outlive the server.
+  TcpServer(ServiceEngine* engine, TcpServerOptions options);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  // Binds, listens and starts the event loop. Fails (kUnavailable /
+  // kInvalidArgument) without leaking fds if the address is bad or taken.
+  Status Start();
+
+  // Actual listening port (after Start(); useful with options.port == 0).
+  int port() const { return port_; }
+
+  // Graceful shutdown: stops accepting, stops reading new frames, lets
+  // already-submitted requests answer and flush, then closes connections.
+  // Stragglers are force-closed after options.drain_timeout_ms. Idempotent.
+  void Drain();
+
+  // Drain() + join the event loop. Idempotent; the destructor calls it.
+  void Stop();
+
+  // Counters mirrored into the process MetricsRegistry (maya_net_*);
+  // exposed directly so tests assert without scraping the registry.
+  struct Stats {
+    uint64_t accepted = 0;
+    uint64_t closed = 0;
+    uint64_t shed = 0;
+    uint64_t frames = 0;
+    uint64_t frame_errors = 0;  // oversized + unparseable frames
+    uint64_t open = 0;
+    uint64_t outbound_hwm_bytes = 0;  // max staged bytes on any connection
+  };
+  Stats stats() const;
+
+ private:
+  // One parsed frame waiting its turn on a connection. Exactly one of
+  // `request` (parse succeeded) or `error` (parse failure / oversized frame,
+  // with the pre-built failure response) is meaningful.
+  struct PendingFrame {
+    bool parsed = false;
+    ServiceRequest request;
+    ServiceResponse error;
+    bool barrier = false;  // metrics / dump_trace: wait for earlier requests
+  };
+
+  struct Connection {
+    uint64_t id = 0;
+    int fd = -1;
+    FrameDecoder decoder;
+    std::deque<PendingFrame> inbox;
+    // Frames handed to the engine (or answered inline) whose response has
+    // not been produced yet. Barriers hold the inbox until this hits 0.
+    uint64_t pending = 0;
+    uint64_t next_seq = 0;        // next sequence slot to assign
+    uint64_t next_flush_seq = 0;  // next slot to flush into `outbound`
+    std::map<uint64_t, std::string> completed;  // out-of-order responses
+    std::string outbound;
+    uint32_t interest = 0x001;  // epoll events currently registered (EPOLLIN)
+    bool read_closed = false;  // peer half-closed (or we stopped reading)
+    bool shed = false;         // outbound bound exceeded: close, drop bytes
+    bool closed = false;       // fd closed; late callbacks drop responses
+
+    explicit Connection(size_t max_frame_bytes) : decoder(max_frame_bytes) {}
+  };
+
+  void EventLoop();
+  void Wake();
+
+  void HandleAccept();
+  void HandleReadable(Connection* conn);
+  // Runs a connection's state machine on the loop thread: pump the inbox
+  // into the engine, write staged bytes, update epoll interest, close if
+  // shed / finished. The only member that calls Submit.
+  void ServiceConnection(uint64_t conn_id);
+  void PumpInbox(uint64_t conn_id);
+  void FlushOutbound(Connection* conn);  // requires mutex_ held
+  void UpdateInterest(Connection* conn);
+  void CloseConnection(uint64_t conn_id, bool shed);
+
+  // Engine-callback path (any thread): stage the response for `seq`, flush
+  // in-order completions into the outbound buffer, wake the loop.
+  void CompleteResponse(uint64_t conn_id, uint64_t seq, const ServiceResponse& response);
+
+  ServiceEngine* engine_;
+  TcpServerOptions options_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  int port_ = 0;
+  std::thread loop_;
+  bool started_ = false;
+  bool stopped_ = false;
+
+  mutable std::mutex mutex_;
+  std::condition_variable drained_cv_;  // fires when a connection closes
+  std::map<uint64_t, std::unique_ptr<Connection>> connections_;
+  uint64_t next_conn_id_ = 1;
+  bool draining_ = false;
+  bool force_close_ = false;
+  bool stop_requested_ = false;
+  // Sequence slots taken (inline answers included) whose CompleteResponse
+  // has not run yet; Stop() waits for it to hit 0 so no late engine
+  // callback dereferences a destroyed server.
+  uint64_t inflight_submits_ = 0;
+  // Connections with staged work for the loop (new outbound bytes, a shed
+  // verdict, or an unblocked inbox) since the last wakeup.
+  std::vector<uint64_t> dirty_;
+
+  Stats stats_;  // guarded by mutex_
+};
+
+}  // namespace maya
+
+#endif  // SRC_NET_TCP_SERVER_H_

@@ -483,6 +483,10 @@ const char* ServiceRequestKindName(ServiceRequestKind kind) {
       return "metrics";
     case ServiceRequestKind::kDumpTrace:
       return "dump_trace";
+    case ServiceRequestKind::kAddDeployment:
+      return "add_deployment";
+    case ServiceRequestKind::kRemoveDeployment:
+      return "remove_deployment";
   }
   return "unknown";
 }
@@ -493,7 +497,8 @@ Result<ServiceRequestKind> ServiceRequestKindFromName(const std::string& name) {
       ServiceRequestKind::kSearch,       ServiceRequestKind::kWhatIfOom,
       ServiceRequestKind::kTracePredict, ServiceRequestKind::kStats,
       ServiceRequestKind::kCancel,       ServiceRequestKind::kMetrics,
-      ServiceRequestKind::kDumpTrace,
+      ServiceRequestKind::kDumpTrace,    ServiceRequestKind::kAddDeployment,
+      ServiceRequestKind::kRemoveDeployment,
   };
   for (ServiceRequestKind kind : kAll) {
     if (name == ServiceRequestKindName(kind)) {
@@ -754,6 +759,15 @@ std::string SerializeServiceRequest(const ServiceRequest& request) {
           }
         } else if constexpr (std::is_same_v<T, CancelPayload>) {
           w.Field("target_id", payload.target_id);
+        } else if constexpr (std::is_same_v<T, AddDeploymentPayload>) {
+          w.Field("name", std::string_view(payload.name));
+          w.Field("cluster", std::string_view(payload.cluster));
+          w.Field("sweep", std::string_view(payload.sweep));
+          if (!payload.bundle_dir.empty()) {
+            w.Field("bundle_dir", std::string_view(payload.bundle_dir));
+          }
+        } else if constexpr (std::is_same_v<T, RemoveDeploymentPayload>) {
+          w.Field("name", std::string_view(payload.name));
         } else {
           static_assert(std::is_same_v<T, StatsPayload> ||
                         std::is_same_v<T, MetricsPayload> ||
@@ -915,6 +929,27 @@ Result<ServiceRequest> ParseServiceRequest(const std::string& line) {
     case ServiceRequestKind::kDumpTrace:
       request.payload = DumpTracePayload{};
       break;
+    case ServiceRequestKind::kAddDeployment: {
+      MAYA_RETURN_IF_ERROR(RequireKeys(root, {"name", "cluster"}));
+      AddDeploymentPayload payload;
+      MAYA_ASSIGN_OR_RETURN(payload.name, ToString(root.at("name")));
+      MAYA_ASSIGN_OR_RETURN(payload.cluster, ToString(root.at("cluster")));
+      if (root.Has("sweep")) {
+        MAYA_ASSIGN_OR_RETURN(payload.sweep, ToString(root.at("sweep")));
+      }
+      if (root.Has("bundle_dir")) {
+        MAYA_ASSIGN_OR_RETURN(payload.bundle_dir, ToString(root.at("bundle_dir")));
+      }
+      request.payload = std::move(payload);
+      break;
+    }
+    case ServiceRequestKind::kRemoveDeployment: {
+      MAYA_RETURN_IF_ERROR(RequireKeys(root, {"name"}));
+      RemoveDeploymentPayload payload;
+      MAYA_ASSIGN_OR_RETURN(payload.name, ToString(root.at("name")));
+      request.payload = std::move(payload);
+      break;
+    }
   }
   return request;
 }
@@ -1043,6 +1078,15 @@ std::string SerializeServiceResponse(const ServiceResponse& response) {
       if (!response.trace_json.empty()) {
         w.Field("trace_json", std::string_view(response.trace_json));
       }
+      break;
+    case ServiceRequestKind::kAddDeployment:
+      w.Field("deployment", std::string_view(response.deployment));
+      w.Field("trained", response.trained);
+      w.Field("warmed_entries", response.warmed_entries);
+      break;
+    case ServiceRequestKind::kRemoveDeployment:
+      w.Field("deployment", std::string_view(response.deployment));
+      w.Field("removed", response.removed);
       break;
   }
   w.EndObject();
@@ -1204,7 +1248,7 @@ Result<ServiceResponse> ParseServiceResponse(const std::string& line) {
       response.metrics = *std::move(report);
       break;
     }
-    case ServiceRequestKind::kDumpTrace:
+    case ServiceRequestKind::kDumpTrace: {
       MAYA_RETURN_IF_ERROR(RequireKeys(*root, {"trace_events"}));
       MAYA_ASSIGN_OR_RETURN(response.trace_events, ToUint(root->at("trace_events")));
       if (root->Has("trace_path")) {
@@ -1214,8 +1258,45 @@ Result<ServiceResponse> ParseServiceResponse(const std::string& line) {
         MAYA_ASSIGN_OR_RETURN(response.trace_json, ToString(root->at("trace_json")));
       }
       break;
+    }
+    case ServiceRequestKind::kAddDeployment: {
+      MAYA_RETURN_IF_ERROR(RequireKeys(*root, {"deployment", "trained", "warmed_entries"}));
+      MAYA_ASSIGN_OR_RETURN(response.deployment, ToString(root->at("deployment")));
+      MAYA_ASSIGN_OR_RETURN(response.trained, ToBool(root->at("trained")));
+      MAYA_ASSIGN_OR_RETURN(response.warmed_entries, ToUint(root->at("warmed_entries")));
+      break;
+    }
+    case ServiceRequestKind::kRemoveDeployment: {
+      MAYA_RETURN_IF_ERROR(RequireKeys(*root, {"deployment", "removed"}));
+      MAYA_ASSIGN_OR_RETURN(response.deployment, ToString(root->at("deployment")));
+      MAYA_ASSIGN_OR_RETURN(response.removed, ToBool(root->at("removed")));
+      break;
+    }
   }
   return response;
+}
+
+ServiceResponse ParseFailureResponse(const std::string& line, const Status& status) {
+  ServiceResponse error;
+  error.ok = false;
+  error.error_code = kErrInvalidRequest;
+  error.error = status.ToString();
+  // Echo the id/kind when the line is at least well-formed JSON, so a
+  // pipelining client can match the failure to its request.
+  if (Result<JsonValue> root = ParseJson(line); root.ok() && root->is_object()) {
+    if (root->Has("id") && root->at("id").type() == JsonValue::Type::kNumber &&
+        root->at("id").AsDouble() >= 0.0) {
+      error.id = root->at("id").AsUint();
+    }
+    if (root->Has("kind") && root->at("kind").type() == JsonValue::Type::kString) {
+      if (Result<ServiceRequestKind> kind =
+              ServiceRequestKindFromName(root->at("kind").AsString());
+          kind.ok()) {
+        error.kind = *kind;
+      }
+    }
+  }
+  return error;
 }
 
 }  // namespace maya

@@ -31,6 +31,11 @@
 //                         histograms) reconciling with the `stats` counters.
 //   DumpTracePayload    — export buffered telemetry spans as Chrome trace
 //                         JSON (inline, or to the engine's trace directory).
+//   AddDeploymentPayload    — admin: register a new pinned deployment, either
+//                             cold-start trained on the server or restored
+//                             from an artifact bundle directory.
+//   RemoveDeploymentPayload — admin: unregister a pinned deployment; refused
+//                             while requests target it (DEPLOYMENT_BUSY).
 //
 // v1 compatibility: the retired `whatif_cluster` kind still parses — it maps
 // to a PredictPayload whose `deployment` is the old `cluster` field — but is
@@ -65,6 +70,8 @@ enum class ServiceRequestKind {
   kCancel,
   kMetrics,
   kDumpTrace,
+  kAddDeployment,
+  kRemoveDeployment,
 };
 
 const char* ServiceRequestKindName(ServiceRequestKind kind);
@@ -124,10 +131,34 @@ struct MetricsPayload {};
 
 struct DumpTracePayload {};
 
+// Admin: register deployment `name` on cluster `cluster` (a named evaluation
+// cluster — "h100x32", "v100x16", "a40"). When `bundle_dir` is set the bank
+// is restored from that artifact bundle (estimators + warm caches; the
+// bundle must hold a deployment for the same cluster); otherwise the server
+// cold-start trains with the named profiling sweep preset. Queued as a heavy
+// compute request (training occupies a worker like a search does).
+struct AddDeploymentPayload {
+  std::string name;
+  std::string cluster;
+  // Sweep preset for cold-start training: "full", "small", or "tiny".
+  std::string sweep = "small";
+  std::string bundle_dir;
+};
+
+// Admin: unregister deployment `name`. A control request (answers
+// synchronously): refused with DEPLOYMENT_BUSY while any queued or executing
+// request targets the deployment, and always refused for the default
+// deployment. In-flight holders of the removed deployment finish safely
+// (deployments are shared_ptr-owned); later requests targeting the name are
+// answered INVALID_REQUEST.
+struct RemoveDeploymentPayload {
+  std::string name;
+};
+
 using ServicePayload =
     std::variant<PredictPayload, BatchPredictPayload, SearchPayload, WhatIfOomPayload,
                  TracePredictPayload, StatsPayload, CancelPayload, MetricsPayload,
-                 DumpTracePayload>;
+                 DumpTracePayload, AddDeploymentPayload, RemoveDeploymentPayload>;
 
 struct ServiceRequest {
   uint64_t id = 0;
@@ -144,6 +175,12 @@ inline constexpr const char* kErrDeadlineExceeded = "DEADLINE_EXCEEDED";
 inline constexpr const char* kErrCancelled = "CANCELLED";
 inline constexpr const char* kErrShuttingDown = "SHUTTING_DOWN";
 inline constexpr const char* kErrInvalidRequest = "INVALID_REQUEST";
+// remove_deployment refusal: queued or executing requests still target the
+// deployment. Retry after they settle.
+inline constexpr const char* kErrDeploymentBusy = "DEPLOYMENT_BUSY";
+// A TCP frame exceeded the server's line bound; the oversized line was
+// discarded and the connection resynchronizes at the next newline.
+inline constexpr const char* kErrFrameTooLarge = "FRAME_TOO_LARGE";
 // Server-side failure while executing an otherwise well-formed request
 // (including injected faults under test): the request is lost, the server
 // keeps serving, and retrying may succeed.
@@ -282,6 +319,12 @@ struct ServiceResponse {
   std::string trace_json;
   std::string trace_path;
   uint64_t trace_events = 0;
+
+  // add_deployment / remove_deployment results.
+  std::string deployment;        // the (added/removed) deployment name
+  bool trained = false;          // add: cold-start trained (vs bundle-backed)
+  uint64_t warmed_entries = 0;   // add: cache entries imported from a bundle
+  bool removed = false;          // remove: the entry was unregistered
 };
 
 // Copies one prediction outcome into a response's single-result fields (the
@@ -289,6 +332,13 @@ struct ServiceResponse {
 // the response codec so the field list lives in one place.
 void AssignPredictResult(ServiceResponse& response, const PredictResult& result);
 PredictResult SinglePredictResult(const ServiceResponse& response);
+
+// Builds the INVALID_REQUEST response for a line that failed
+// ParseServiceRequest with `status`: echoes the id/kind when the line is at
+// least well-formed JSON, so a pipelining client can match the failure to
+// its request. Shared by the stdio loop and the TCP server so both
+// transports answer malformed input identically.
+ServiceResponse ParseFailureResponse(const std::string& line, const Status& status);
 
 // One NDJSON line (no trailing newline); the transport appends '\n'.
 std::string SerializeServiceRequest(const ServiceRequest& request);

@@ -15,24 +15,31 @@ namespace maya {
 Result<std::string> InProcessTransport::RoundTrip(const std::string& request_line) {
   Result<ServiceRequest> request = ParseServiceRequest(request_line);
   if (!request.ok()) {
-    return request.status();
+    // Mirror the stdio loop and the TCP server: a malformed line answers
+    // with the shared failure response, not a transport error — transports
+    // stay byte-identical even for garbage input.
+    return SerializeServiceResponse(ParseFailureResponse(request_line, request.status()));
   }
   return SerializeServiceResponse(engine_->Submit(*std::move(request)).get());
 }
 
-double ServiceClient::BackoffMs(uint64_t request_id, int attempt) const {
+double RetryBackoffMs(const RetryPolicy& policy, uint64_t key, int attempt) {
   // Exponential base delay, capped, with full deterministic jitter in
-  // [0.5, 1.0]x: a pure function of (seed, id, attempt) so a test can
+  // [0.5, 1.0]x: a pure function of (seed, key, attempt) so a test can
   // predict every delay, yet two clients retrying the same outage spread out.
-  double delay = retry_.base_backoff_ms;
+  double delay = policy.base_backoff_ms;
   for (int i = 1; i < attempt; ++i) {
-    delay = std::min(delay * 2.0, retry_.max_backoff_ms);
+    delay = std::min(delay * 2.0, policy.max_backoff_ms);
   }
-  delay = std::min(delay, retry_.max_backoff_ms);
+  delay = std::min(delay, policy.max_backoff_ms);
   const uint64_t mixed =
-      SplitMix64(HashCombine(HashCombine(retry_.seed, request_id), static_cast<uint64_t>(attempt)));
+      SplitMix64(HashCombine(HashCombine(policy.seed, key), static_cast<uint64_t>(attempt)));
   const double unit = static_cast<double>(mixed >> 11) * 0x1.0p-53;  // [0, 1)
   return delay * (0.5 + 0.5 * unit);
+}
+
+double ServiceClient::BackoffMs(uint64_t request_id, int attempt) const {
+  return RetryBackoffMs(retry_, request_id, attempt);
 }
 
 Result<ServiceResponse> ServiceClient::Call(ServiceRequest request) {

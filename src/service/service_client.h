@@ -52,6 +52,14 @@ struct RetryPolicy {
   std::function<void(double delay_ms)> sleeper;
 };
 
+// Backoff before retry attempt `attempt` (1-based) for the operation keyed
+// by `key` (request id for request retries, an endpoint hash for connection
+// retries). Bounded exponential with deterministic jitter in [0.5, 1.0]x —
+// a pure function of (policy.seed, key, attempt), shared by ServiceClient
+// request retries and TcpLineTransport reconnects so every transport in the
+// stack replays the same schedule under test.
+double RetryBackoffMs(const RetryPolicy& policy, uint64_t key, int attempt);
+
 class ServiceClient {
  public:
   // Borrowed transport/engine must outlive the client.

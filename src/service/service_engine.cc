@@ -7,6 +7,7 @@
 #include "src/common/fault_injection.h"
 #include "src/common/strings.h"
 #include "src/common/telemetry.h"
+#include "src/groundtruth/executor.h"
 #include "src/models/model_zoo.h"
 #include "src/search/config_space.h"
 #include "src/service/artifact_store.h"
@@ -165,11 +166,11 @@ void ServiceEngine::Drain() {
   std::unique_lock<std::mutex> lock(queue_mutex_);
   draining_ = true;
   paused_ = false;  // a paused engine's backlog must still drain
-  drain_remaining.Set(static_cast<double>(queue_.size() + in_flight_));
+  drain_remaining.Set(static_cast<double>(ready_jobs_ + in_flight_));
   queue_cv_.notify_all();
   drained_cv_.wait(lock, [this, &drain_remaining] {
-    drain_remaining.Set(static_cast<double>(queue_.size() + in_flight_));
-    return queue_.empty() && in_flight_ == 0;
+    drain_remaining.Set(static_cast<double>(ready_jobs_ + in_flight_));
+    return ready_jobs_ == 0 && in_flight_ == 0;
   });
 }
 
@@ -217,19 +218,92 @@ double ServiceEngine::WeightOf(const ServiceRequest& request) const {
       return weights.whatif_oom;
     case ServiceRequestKind::kTracePredict:
       return weights.trace_predict;
+    case ServiceRequestKind::kAddDeployment:
+      return weights.add_deployment;
     case ServiceRequestKind::kStats:
     case ServiceRequestKind::kCancel:
     case ServiceRequestKind::kMetrics:
     case ServiceRequestKind::kDumpTrace:
+    case ServiceRequestKind::kRemoveDeployment:
       return 0.0;  // control kinds never queue
   }
   return 0.0;
 }
 
+std::string ServiceEngine::TargetNameOf(const ServiceRequest& request) const {
+  const auto resolved = [this](const std::string& deployment) {
+    return deployment.empty() ? default_deployment_->name : deployment;
+  };
+  switch (request.kind()) {
+    case ServiceRequestKind::kPredict:
+      return resolved(std::get<PredictPayload>(request.payload).deployment);
+    case ServiceRequestKind::kBatchPredict:
+      return resolved(std::get<BatchPredictPayload>(request.payload).deployment);
+    case ServiceRequestKind::kSearch:
+      return resolved(std::get<SearchPayload>(request.payload).deployment);
+    case ServiceRequestKind::kWhatIfOom:
+      return resolved(std::get<WhatIfOomPayload>(request.payload).deployment);
+    case ServiceRequestKind::kTracePredict:
+      return resolved(std::get<TracePredictPayload>(request.payload).deployment);
+    case ServiceRequestKind::kAddDeployment:
+      // The name being registered: a concurrent remove of a half-added
+      // deployment is refused as busy rather than racing the registration.
+      return std::get<AddDeploymentPayload>(request.payload).name;
+    case ServiceRequestKind::kStats:
+    case ServiceRequestKind::kCancel:
+    case ServiceRequestKind::kMetrics:
+    case ServiceRequestKind::kDumpTrace:
+    case ServiceRequestKind::kRemoveDeployment:
+      return std::string();
+  }
+  return std::string();
+}
+
+void ServiceEngine::PushReady(std::shared_ptr<Job> job) {
+  ReadyClass& ready = ready_[job->request.payload.index()];
+  if (ready.jobs.empty()) {
+    // Re-entry after idling starts at the current virtual time — a class
+    // cannot bank credit while it has nothing queued.
+    ready.pass = std::max(ready.pass, virtual_time_);
+  }
+  job->sequence = ++enqueue_sequence_;
+  ready.jobs.push_back(std::move(job));
+  ++ready_jobs_;
+}
+
+std::shared_ptr<ServiceEngine::Job> ServiceEngine::PopReady() {
+  ReadyClass* best = nullptr;
+  for (ReadyClass& ready : ready_) {
+    if (ready.jobs.empty()) {
+      continue;
+    }
+    if (best == nullptr || ready.pass < best->pass ||
+        (ready.pass == best->pass &&
+         ready.jobs.front()->sequence < best->jobs.front()->sequence)) {
+      best = &ready;
+    }
+  }
+  std::shared_ptr<Job> job = std::move(best->jobs.front());
+  best->jobs.pop_front();
+  --ready_jobs_;
+  // The chosen class pays for its service: its pass advances by the job's
+  // weight, so a search-class dequeue cedes the next 16 weight-1 slots to
+  // lighter classes before its next turn.
+  virtual_time_ = best->pass;
+  best->pass += job->weight;
+  return job;
+}
+
 std::future<ServiceResponse> ServiceEngine::Submit(ServiceRequest request) {
+  auto promise = std::make_shared<std::promise<ServiceResponse>>();
+  std::future<ServiceResponse> future = promise->get_future();
+  Submit(std::move(request),
+         [promise](ServiceResponse response) { promise->set_value(std::move(response)); });
+  return future;
+}
+
+void ServiceEngine::Submit(ServiceRequest request, ResponseCallback done) {
   submitted_.fetch_add(1, std::memory_order_relaxed);
-  std::promise<ServiceResponse> immediate;
-  std::future<ServiceResponse> immediate_future = immediate.get_future();
 
   // Control kinds answer synchronously: they read or mutate engine state and
   // must not queue behind compute work.
@@ -240,8 +314,8 @@ std::future<ServiceResponse> ServiceEngine::Submit(ServiceRequest request) {
     response.ok = true;
     response.stats = stats();
     completed_.fetch_add(1, std::memory_order_relaxed);
-    immediate.set_value(std::move(response));
-    return immediate_future;
+    done(std::move(response));
+    return;
   }
   if (request.kind() == ServiceRequestKind::kCancel) {
     ServiceResponse response;
@@ -250,20 +324,27 @@ std::future<ServiceResponse> ServiceEngine::Submit(ServiceRequest request) {
     response.ok = true;
     response.cancel_found = Cancel(std::get<CancelPayload>(request.payload).target_id);
     completed_.fetch_add(1, std::memory_order_relaxed);
-    immediate.set_value(std::move(response));
-    return immediate_future;
+    done(std::move(response));
+    return;
   }
   if (request.kind() == ServiceRequestKind::kMetrics) {
     ServiceResponse response = ExecuteMetrics(request);
     completed_.fetch_add(1, std::memory_order_relaxed);
-    immediate.set_value(std::move(response));
-    return immediate_future;
+    done(std::move(response));
+    return;
   }
   if (request.kind() == ServiceRequestKind::kDumpTrace) {
     ServiceResponse response = ExecuteDumpTrace(request);
     completed_.fetch_add(1, std::memory_order_relaxed);
-    immediate.set_value(std::move(response));
-    return immediate_future;
+    done(std::move(response));
+    return;
+  }
+  if (request.kind() == ServiceRequestKind::kRemoveDeployment) {
+    ServiceResponse response = ExecuteRemoveDeployment(
+        request, std::get<RemoveDeploymentPayload>(request.payload));
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    done(std::move(response));
+    return;
   }
 
   // Admission fault site: an injected failure refuses this one submission
@@ -271,13 +352,15 @@ std::future<ServiceResponse> ServiceEngine::Submit(ServiceRequest request) {
   const Status submit_fault = FaultInjection::Instance().MaybeFail("service.submit");
   if (!submit_fault.ok()) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
-    immediate.set_value(ErrorResponse(request, kErrInternalError, submit_fault.ToString()));
-    return immediate_future;
+    done(ErrorResponse(request, kErrInternalError, submit_fault.ToString()));
+    return;
   }
 
   auto job = std::make_shared<Job>();
   job->request = std::move(request);
+  job->done = std::move(done);
   job->weight = WeightOf(job->request);
+  job->target = TargetNameOf(job->request);
   job->enqueued = std::chrono::steady_clock::now();
   job->deadline = job->request.deadline_ms > 0.0
                       ? job->enqueued +
@@ -288,45 +371,59 @@ std::future<ServiceResponse> ServiceEngine::Submit(ServiceRequest request) {
   if (Telemetry::IsActive()) {
     job->trace_id = Telemetry::Instance().NextTraceId();
   }
-  std::future<ServiceResponse> future = job->promise.get_future();
+  job->conn_id = Telemetry::CurrentContext().conn_id;
+  // Rejections resolve OUTSIDE the lock: the callback may re-enter transport
+  // state (the TCP server's connection mutex) that must never nest inside
+  // queue_mutex_ the other way around.
+  ServiceResponse rejection;
+  bool rejected = false;
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     if (shutting_down_ || draining_) {
-      rejected_.fetch_add(1, std::memory_order_relaxed);
-      job->promise.set_value(
+      rejected = true;
+      rejection =
           ErrorResponse(job->request, kErrShuttingDown,
-                        draining_ ? "engine is draining" : "engine is shutting down"));
-      return future;
-    }
-    // Weighted admission: the queue admits while summed weight stays under
-    // the bound. An empty queue admits anything — otherwise one request
-    // heavier than the whole bound (a search against a small bound) could
-    // never be served.
-    if (!queue_.empty() && queued_weight_ + job->weight > options_.max_queue_weight) {
-      rejected_.fetch_add(1, std::memory_order_relaxed);
-      job->promise.set_value(ErrorResponse(
+                        draining_ ? "engine is draining" : "engine is shutting down");
+    } else if (ready_jobs_ != 0 &&
+               queued_weight_ + job->weight > options_.max_queue_weight) {
+      // Weighted admission: the queue admits while summed weight stays under
+      // the bound. An empty queue admits anything — otherwise one request
+      // heavier than the whole bound (a search against a small bound) could
+      // never be served.
+      rejected = true;
+      rejection = ErrorResponse(
           job->request, kErrQueueFull,
           StrFormat("queued weight %.1f + %.1f (%s) exceeds bound %.1f", queued_weight_,
                     job->weight, ServiceRequestKindName(job->request.kind()),
-                    options_.max_queue_weight)));
-      return future;
+                    options_.max_queue_weight));
+    } else {
+      queued_weight_ += job->weight;
+      PushReady(job);
     }
-    queued_weight_ += job->weight;
-    queue_.push_back(std::move(job));
+  }
+  if (rejected) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    job->done(std::move(rejection));
+    return;
   }
   queue_cv_.notify_one();
-  return future;
 }
 
 bool ServiceEngine::Cancel(uint64_t id) {
   std::shared_ptr<Job> victim;
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
-    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-      if ((*it)->request.id == id) {
-        victim = *it;
-        queue_.erase(it);
-        queued_weight_ -= victim->weight;
+    for (ReadyClass& ready : ready_) {
+      for (auto it = ready.jobs.begin(); it != ready.jobs.end(); ++it) {
+        if ((*it)->request.id == id) {
+          victim = *it;
+          ready.jobs.erase(it);
+          --ready_jobs_;
+          queued_weight_ -= victim->weight;
+          break;
+        }
+      }
+      if (victim != nullptr) {
         break;
       }
     }
@@ -335,8 +432,7 @@ bool ServiceEngine::Cancel(uint64_t id) {
     return false;
   }
   cancelled_.fetch_add(1, std::memory_order_relaxed);
-  victim->promise.set_value(
-      ErrorResponse(victim->request, kErrCancelled, "cancelled while queued"));
+  victim->done(ErrorResponse(victim->request, kErrCancelled, "cancelled while queued"));
   return true;
 }
 
@@ -346,17 +442,33 @@ void ServiceEngine::WorkerLoop() {
     {
       std::unique_lock<std::mutex> lock(queue_mutex_);
       queue_cv_.wait(lock, [this] {
-        return (!queue_.empty() && !paused_) || (shutting_down_ && queue_.empty());
+        return (ready_jobs_ != 0 && !paused_) || (shutting_down_ && ready_jobs_ == 0);
       });
-      if (queue_.empty()) {
+      if (ready_jobs_ == 0) {
         return;  // shutting down, queue drained
       }
-      job = std::move(queue_.front());
-      queue_.pop_front();
+      job = PopReady();
       queued_weight_ -= job->weight;
       ++in_flight_;
+      if (!job->target.empty()) {
+        ++active_targets_[job->target];
+      }
     }
     const auto dequeued_at = std::chrono::steady_clock::now();
+    // Release the busy-tracking claim BEFORE resolving the response: a
+    // caller that has observed the response must be able to
+    // remove_deployment without a spurious DEPLOYMENT_BUSY. Late holders
+    // are safe — deployments are shared_ptr-owned.
+    const auto release_target = [this, &job] {
+      if (job->target.empty()) {
+        return;
+      }
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      auto active = active_targets_.find(job->target);
+      if (active != active_targets_.end() && --active->second == 0) {
+        active_targets_.erase(active);
+      }
+    };
     const double queue_wait_us =
         std::chrono::duration<double, std::micro>(dequeued_at - job->enqueued).count();
     const size_t kind_index = job->request.payload.index();
@@ -369,38 +481,47 @@ void ServiceEngine::WorkerLoop() {
       event.name = "queue_wait";
       event.category = "request";
       event.trace_id = job->trace_id;
+      event.conn_id = job->conn_id;
       event.ts_us = Telemetry::NowUs() - queue_wait_us;
       event.dur_us = queue_wait_us;
       Telemetry::Instance().Record(event);
     }
     if (dequeued_at > job->deadline) {
       deadline_expired_.fetch_add(1, std::memory_order_relaxed);
-      job->promise.set_value(
+      release_target();
+      job->done(
           ErrorResponse(job->request, kErrDeadlineExceeded, "deadline expired in queue"));
     } else {
       ServiceResponse response;
       {
         // Root span of the request: every span the pipeline (and the pool
-        // tasks it fans out) records below runs under this trace id.
-        ScopedTraceContext trace_context(TraceContext{job->trace_id});
+        // tasks it fans out) records below runs under this trace id and
+        // carries the submitting connection's id.
+        ScopedTraceContext trace_context(TraceContext{job->trace_id, job->conn_id});
         ScopedSpan span(ServiceRequestKindName(job->request.kind()), "request");
         // Worker fault site: an injected failure here loses exactly this
-        // job — its future still resolves (INTERNAL_ERROR), the worker
+        // job — its response still resolves (INTERNAL_ERROR), the worker
         // survives.
         const Status worker_fault = FaultInjection::Instance().MaybeFail("service.worker");
-        response = worker_fault.ok()
-                       ? Execute(job->request)
-                       : ErrorResponse(job->request, kErrInternalError,
-                                       worker_fault.ToString());
+        if (!worker_fault.ok()) {
+          response = ErrorResponse(job->request, kErrInternalError, worker_fault.ToString());
+        } else if (job->request.kind() == ServiceRequestKind::kAddDeployment) {
+          // Fleet mutation runs on the worker, outside the const Execute().
+          response = ExecuteAddDeployment(
+              job->request, std::get<AddDeploymentPayload>(job->request.payload));
+        } else {
+          response = Execute(job->request);
+        }
       }
       const double latency_us = std::chrono::duration<double, std::micro>(
                                     std::chrono::steady_clock::now() - job->enqueued)
                                     .count();
       kind_latency_[kind_index].latency.Record(latency_us);
-      // Count before publishing: a caller that observed the future must also
-      // observe the completion in stats().
+      // Count before publishing: a caller that observed the response must
+      // also observe the completion in stats().
       completed_.fetch_add(1, std::memory_order_relaxed);
-      job->promise.set_value(std::move(response));
+      release_target();
+      job->done(std::move(response));
       // Slow-request accounting: flushes this request's span tree to the
       // trace sink when the threshold is armed and exceeded.
       Telemetry::Instance().OnRequestComplete(job->trace_id, latency_us / 1000.0);
@@ -647,8 +768,136 @@ ServiceResponse ServiceEngine::Execute(const ServiceRequest& request) const {
       return ExecuteMetrics(request);
     case ServiceRequestKind::kDumpTrace:
       return ExecuteDumpTrace(request);
+    case ServiceRequestKind::kAddDeployment:
+      return ErrorResponse(request, kErrInvalidRequest,
+                           "add_deployment mutates the fleet; submit it through the engine");
+    case ServiceRequestKind::kRemoveDeployment:
+      return ErrorResponse(
+          request, kErrInvalidRequest,
+          "remove_deployment is a control request; submit it through the engine");
   }
   return ErrorResponse(request, kErrInvalidRequest, "unknown request kind");
+}
+
+ServiceResponse ServiceEngine::ExecuteAddDeployment(const ServiceRequest& request,
+                                                    const AddDeploymentPayload& payload) {
+  if (payload.name.empty()) {
+    return ErrorResponse(request, kErrInvalidRequest,
+                         "add_deployment requires a non-empty deployment name");
+  }
+  if (registry_.IsResident(payload.name)) {
+    return ErrorResponse(request, kErrInvalidRequest,
+                         "deployment '" + payload.name + "' is already resident");
+  }
+  Result<ClusterSpec> cluster = ClusterSpecByName(payload.cluster);
+  if (!cluster.ok()) {
+    return ErrorResponse(request, ErrorCodeFor(cluster.status()),
+                         cluster.status().ToString());
+  }
+  ServiceResponse response;
+  response.id = request.id;
+  response.kind = request.kind();
+  response.deployment = payload.name;
+  if (!payload.bundle_dir.empty()) {
+    // Bundle-backed add: restore the matching deployment's estimators and
+    // warm caches instead of re-training.
+    const ArtifactStore store(payload.bundle_dir);
+    Result<std::vector<LoadedDeployment>> loaded = store.LoadDeployments();
+    if (!loaded.ok()) {
+      return ErrorResponse(request, ErrorCodeFor(loaded.status()),
+                           loaded.status().ToString());
+    }
+    const std::string expected = ArtifactStore::ClusterSignature(*cluster);
+    auto match = loaded->end();
+    for (auto it = loaded->begin(); it != loaded->end(); ++it) {
+      if (ArtifactStore::ClusterSignature(it->cluster) == expected) {
+        match = it;
+        break;
+      }
+    }
+    if (match == loaded->end()) {
+      return ErrorResponse(
+          request, kErrInvalidRequest,
+          "bundle '" + payload.bundle_dir + "' holds no deployment for cluster '" +
+              payload.cluster + "'");
+    }
+    Result<std::shared_ptr<const Deployment>> added =
+        AddDeployment(payload.name, *cluster, std::move(match->bank));
+    if (!added.ok()) {
+      return ErrorResponse(request, ErrorCodeFor(added.status()), added.status().ToString());
+    }
+    // Cache files are keyed by the SAVED name in the bundle manifest.
+    Result<uint64_t> warmed = store.WarmPipeline(match->name, *(*added)->pipeline);
+    if (!warmed.ok()) {
+      return ErrorResponse(request, ErrorCodeFor(warmed.status()),
+                           warmed.status().ToString());
+    }
+    response.warmed_entries = *warmed;
+    SeedStageTotals(**added, match->stage_totals, match->timed_requests);
+  } else {
+    // Cold-start add: the same deterministic training path maya_serve uses,
+    // so two engines that add the same deployment answer bit-identically.
+    Result<ProfileSweepOptions> sweep = ProfileSweepPreset(payload.sweep);
+    if (!sweep.ok()) {
+      return ErrorResponse(request, ErrorCodeFor(sweep.status()), sweep.status().ToString());
+    }
+    const GroundTruthExecutor executor(*cluster, /*seed=*/0x9f0f);
+    Result<std::shared_ptr<const Deployment>> added =
+        AddDeployment(payload.name, *cluster, TrainEstimators(*cluster, executor, *sweep));
+    if (!added.ok()) {
+      return ErrorResponse(request, ErrorCodeFor(added.status()), added.status().ToString());
+    }
+    response.trained = true;
+  }
+  response.ok = true;
+  return response;
+}
+
+ServiceResponse ServiceEngine::ExecuteRemoveDeployment(
+    const ServiceRequest& request, const RemoveDeploymentPayload& payload) {
+  if (payload.name.empty() || payload.name == default_deployment_->name) {
+    return ErrorResponse(request, kErrInvalidRequest,
+                         "cannot remove the default deployment");
+  }
+  {
+    // The busy check and the unregistration are atomic with admission and
+    // dequeue: a job targeting the name is either still queued/executing
+    // (refused busy here) or was never admitted (later submissions fail to
+    // resolve the name). In-flight holders of the Deployment shared_ptr
+    // finish safely after removal either way.
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    uint64_t queued = 0;
+    for (const ReadyClass& ready : ready_) {
+      for (const std::shared_ptr<Job>& job : ready.jobs) {
+        if (job->target == payload.name) {
+          ++queued;
+        }
+      }
+    }
+    uint64_t executing = 0;
+    if (auto active = active_targets_.find(payload.name); active != active_targets_.end()) {
+      executing = active->second;
+    }
+    if (queued + executing > 0) {
+      return ErrorResponse(
+          request, kErrDeploymentBusy,
+          StrFormat("deployment '%s' is busy: %llu queued + %llu executing request(s) "
+                    "target it; retry after they settle",
+                    payload.name.c_str(), static_cast<unsigned long long>(queued),
+                    static_cast<unsigned long long>(executing)));
+    }
+    const Status removed = registry_.Remove(payload.name);
+    if (!removed.ok()) {
+      return ErrorResponse(request, ErrorCodeFor(removed), removed.ToString());
+    }
+  }
+  ServiceResponse response;
+  response.id = request.id;
+  response.kind = request.kind();
+  response.ok = true;
+  response.deployment = payload.name;
+  response.removed = true;
+  return response;
 }
 
 ServiceResponse ServiceEngine::ExecuteMetrics(const ServiceRequest& request) const {
@@ -695,7 +944,7 @@ ServiceStats ServiceEngine::stats() const {
   stats.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
-    stats.queue_depth = queue_.size();
+    stats.queue_depth = ready_jobs_;
     stats.queued_weight = queued_weight_;
   }
   stats.max_queue_weight = options_.max_queue_weight;

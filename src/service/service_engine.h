@@ -18,6 +18,11 @@
 // re-checked at dequeue, so requests that aged out in the queue never burn
 // worker time. Queued requests can be cancelled by id; executing requests
 // run to completion (pipeline stages are short relative to queue waits).
+//
+// Dequeue order is weighted virtual-time scheduling across per-kind ready
+// classes (see ReadyClass below), not FIFO: cheap queued predicts overtake a
+// backlog of heavy searches in proportion to the same weights admission
+// uses, while a single-kind workload still executes in submission order.
 #ifndef SRC_SERVICE_SERVICE_ENGINE_H_
 #define SRC_SERVICE_SERVICE_ENGINE_H_
 
@@ -26,6 +31,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -53,6 +59,9 @@ struct RequestWeights {
   double whatif_oom = 1.0;
   double trace_predict = 1.0;
   double search = 16.0;
+  // add_deployment cold-start trains estimators — it occupies a worker the
+  // way a search does.
+  double add_deployment = 16.0;
 };
 
 struct ServiceEngineOptions {
@@ -107,10 +116,20 @@ class ServiceEngine {
                                                           EstimatorBank bank);
 
   // Enqueues a compute request (predict / batch_predict / search /
-  // whatif_oom / trace_predict) and returns a future for its response.
-  // Control kinds (stats, cancel) resolve synchronously. Rejections (queue
-  // weight bound, shutting down) resolve immediately with ok=false.
+  // whatif_oom / trace_predict / add_deployment) and returns a future for
+  // its response. Control kinds (stats, cancel, metrics, dump_trace,
+  // remove_deployment) resolve synchronously. Rejections (queue weight
+  // bound, shutting down) resolve immediately with ok=false.
   std::future<ServiceResponse> Submit(ServiceRequest request);
+
+  // Callback form of Submit, for transports that must never park a thread on
+  // a future (the TCP server resolves responses from worker threads into
+  // per-connection outbound queues). `done` is invoked exactly once — inline
+  // on the calling thread for synchronous control kinds and rejections,
+  // or on a worker thread for queued compute work — so it must be safe to
+  // run from either and should stay cheap (hand off, don't compute).
+  using ResponseCallback = std::function<void(ServiceResponse)>;
+  void Submit(ServiceRequest request, ResponseCallback done);
 
   // Executes a request synchronously on the caller's thread against the same
   // shared deployments — the sequential reference path for tests, and the
@@ -157,7 +176,7 @@ class ServiceEngine {
  private:
   struct Job {
     ServiceRequest request;
-    std::promise<ServiceResponse> promise;
+    ResponseCallback done;
     std::chrono::steady_clock::time_point deadline;  // max() = none
     double weight = 0.0;
     // Admission timestamp: queue-wait and end-to-end latency are measured
@@ -166,6 +185,16 @@ class ServiceEngine {
     // Nonzero only while telemetry is active: the id every span recorded on
     // behalf of this request carries.
     uint64_t trace_id = 0;
+    // Connection id propagated from the submitting transport's trace context
+    // (0 for stdio / in-process submissions); workers restore it so every
+    // span of this request is annotated with the connection it came from.
+    uint64_t conn_id = 0;
+    // Admission order across all ready classes: the scheduler's FIFO
+    // tie-break, so equal-pass classes never reorder same-kind arrivals.
+    uint64_t sequence = 0;
+    // Resolved target deployment name (compute kinds only) for the
+    // remove_deployment busy check.
+    std::string target;
   };
 
   // Registration can fail (untrained banks), so construction happens in the
@@ -197,6 +226,21 @@ class ServiceEngine {
                                       const TracePredictPayload& payload) const;
   ServiceResponse ExecuteMetrics(const ServiceRequest& request) const;
   ServiceResponse ExecuteDumpTrace(const ServiceRequest& request) const;
+  // Admin kinds. add_deployment mutates the fleet, so it runs through the
+  // worker pool as a heavy compute request (WorkerLoop dispatches here, not
+  // through the const Execute()); remove_deployment is a synchronous control
+  // request handled inside Submit so its busy check is atomic with admission
+  // and dequeue.
+  ServiceResponse ExecuteAddDeployment(const ServiceRequest& request,
+                                       const AddDeploymentPayload& payload);
+  ServiceResponse ExecuteRemoveDeployment(const ServiceRequest& request,
+                                          const RemoveDeploymentPayload& payload);
+  // Resolved target deployment name of a compute request (empty payload
+  // deployment = the default deployment's name; add_deployment targets the
+  // name it registers); empty for control kinds. Matching is by exact name:
+  // requests addressing a registered deployment through a derived what-if
+  // alias do not pin the base entry (the alias holds the bank alive anyway).
+  std::string TargetNameOf(const ServiceRequest& request) const;
 
   static ServiceResponse ErrorResponse(const ServiceRequest& request, const char* code,
                                        std::string message);
@@ -210,7 +254,30 @@ class ServiceEngine {
   // Signals Drain(): fires whenever the queue empties or an in-flight job
   // resolves its future.
   std::condition_variable drained_cv_;
-  std::deque<std::shared_ptr<Job>> queue_;
+  // Weighted virtual-time (stride-style) ready queue, one class per request
+  // kind. Each class carries a `pass`; dequeue picks the non-empty class
+  // with the smallest pass (FIFO sequence breaks ties) and advances that
+  // class's pass by the job's weight. Light kinds therefore get
+  // proportionally more dequeues: four queued predicts (weight 1) all
+  // overtake a second queued search (weight 16) instead of sitting FIFO
+  // behind it, while an uncontended engine still dequeues in exact
+  // submission order. A class going idle re-enters at
+  // max(its pass, virtual time), so sleeping never banks credit.
+  struct ReadyClass {
+    std::deque<std::shared_ptr<Job>> jobs;
+    double pass = 0.0;
+  };
+  // Callers hold queue_mutex_.
+  void PushReady(std::shared_ptr<Job> job);
+  std::shared_ptr<Job> PopReady();
+  std::array<ReadyClass, std::variant_size_v<ServicePayload>> ready_;
+  double virtual_time_ = 0.0;
+  uint64_t enqueue_sequence_ = 0;
+  size_t ready_jobs_ = 0;  // total queued jobs across classes
+  // Target deployment names of jobs a worker dequeued but has not finished
+  // (guarded by queue_mutex_): the executing half of the remove_deployment
+  // busy check.
+  std::map<std::string, uint64_t> active_targets_;
   double queued_weight_ = 0.0;
   // Jobs dequeued by a worker whose future has not resolved yet.
   uint64_t in_flight_ = 0;

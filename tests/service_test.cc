@@ -1231,11 +1231,19 @@ TEST_F(ServiceTest, HostilePayloadSweepAnswersTypedErrorsAndKeepsServing) {
   // Unknown deployment target.
   expect_invalid(client.Predict(TinyGpt(), BaseConfig(), "tpu-v9"), "unknown deployment");
 
-  // Wire-level garbage never reaches the engine: the transport surfaces a
-  // parse error as a Status, not a crash.
-  EXPECT_FALSE(transport.RoundTrip("this is not json").ok());
-  EXPECT_FALSE(transport.RoundTrip(R"({"id": "forty-two", "kind": "predict"})").ok());
-  EXPECT_FALSE(transport.RoundTrip(R"({"kind": "predict"})").ok());
+  // Wire-level garbage never reaches the engine: the transport answers with
+  // the same INVALID_REQUEST failure response the stdio loop and the TCP
+  // server produce, not a transport error and not a crash.
+  for (const char* garbage :
+       {"this is not json", R"({"id": "forty-two", "kind": "predict"})",
+        R"({"kind": "predict"})"}) {
+    Result<std::string> line = transport.RoundTrip(garbage);
+    ASSERT_TRUE(line.ok()) << line.status().ToString();
+    Result<ServiceResponse> failure = ParseServiceResponse(*line);
+    ASSERT_TRUE(failure.ok()) << failure.status().ToString();
+    EXPECT_FALSE(failure->ok);
+    EXPECT_EQ(failure->error_code, kErrInvalidRequest) << *line;
+  }
 
   // The engine survived the sweep: a well-formed predict still answers, and
   // the admission counters reconcile.

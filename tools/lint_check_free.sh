@@ -41,6 +41,14 @@ src/common/telemetry.cc
 src/common/telemetry.h
 src/service/metrics_exporter.cc
 src/service/metrics_exporter.h
+src/service/bundle_merge.cc
+src/service/bundle_merge.h
+src/net/frame_decoder.cc
+src/net/frame_decoder.h
+src/net/tcp_server.cc
+src/net/tcp_server.h
+src/net/tcp_client.cc
+src/net/tcp_client.h
 "
 
 status=0

@@ -16,6 +16,16 @@
 //              [--sweep=full|small|tiny] [--no_sim_cache]
 //              [--fault_spec=SPEC] [--fault_seed=N]
 //              [--trace_out=DIR] [--metrics_out=FILE] [--slow_trace_ms=N]
+//              [--listen=HOST:PORT]
+//
+// --listen=HOST:PORT serves the same NDJSON protocol over TCP instead of
+// stdio: an epoll event loop multiplexes many concurrent connections into
+// the one engine (see src/net/tcp_server.h), each with ordered responses and
+// bounded per-connection write buffers (slow readers are shed, not waited
+// on). PORT 0 binds an ephemeral port; the actual endpoint is announced on
+// stderr as "maya_serve: listening on HOST:PORT". SIGTERM drains: stops
+// accepting, answers in-flight requests, flushes, then exits. Responses are
+// byte-identical to stdio serving — the transports share codec and engine.
 //
 // --no_sim_cache disables the cross-trial simulation cache (stage 4 replays
 // every comm component fresh; output-preserving either way).
@@ -54,6 +64,8 @@
 //    "pipeline_parallel":2,"microbatch_multiplier":2}}
 //   {"id":2,"kind":"stats"}
 // EOF (or a line "shutdown") stops the server.
+#include <unistd.h>
+
 #include <csignal>
 #include <chrono>
 #include <cstdio>
@@ -72,6 +84,7 @@
 #include "src/common/telemetry.h"
 #include "src/core/estimator_bank.h"
 #include "src/core/execution_context.h"
+#include "src/net/tcp_server.h"
 #include "src/service/artifact_store.h"
 #include "src/service/metrics_exporter.h"
 #include "src/service/protocol.h"
@@ -95,6 +108,7 @@ struct ServeFlags {
   std::string trace_out;
   std::string metrics_out;
   double slow_trace_ms = 0.0;
+  std::string listen;  // HOST:PORT; empty = stdio serving
 };
 
 // SIGTERM → graceful drain. The handler only sets a flag; it is installed
@@ -110,22 +124,6 @@ bool ParseFlag(const char* arg, const char* name, std::string* out) {
     return true;
   }
   return false;
-}
-
-maya::ProfileSweepOptions SweepFor(const std::string& name) {
-  maya::ProfileSweepOptions sweep;
-  if (name == "small") {
-    sweep.gemm_samples = 5000;
-    sweep.conv_samples = 400;
-    sweep.generic_samples = 150;
-    sweep.collective_sizes = 16;
-  } else if (name == "tiny") {
-    sweep.gemm_samples = 1500;
-    sweep.conv_samples = 100;
-    sweep.generic_samples = 30;
-    sweep.collective_sizes = 8;
-  }
-  return sweep;  // "full": paper-scale defaults
 }
 
 std::vector<std::string> SplitCommaList(const std::string& list) {
@@ -178,6 +176,7 @@ int main(int argc, char** argv) {
     } else if (ParseFlag(argv[i], "--metrics_out", &flags.metrics_out)) {
     } else if (ParseFlag(argv[i], "--slow_trace_ms", &value)) {
       flags.slow_trace_ms = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--listen", &flags.listen)) {
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
       return 2;
@@ -188,6 +187,24 @@ int main(int argc, char** argv) {
   if (!cluster.ok()) {
     std::fprintf(stderr, "%s\n", cluster.status().ToString().c_str());
     return 2;
+  }
+  // The same presets back the add_deployment protocol kind (see
+  // ProfileSweepPreset), so the flag and the wire accept the same names.
+  Result<ProfileSweepOptions> sweep = ProfileSweepPreset(flags.sweep);
+  if (!sweep.ok()) {
+    std::fprintf(stderr, "--sweep: %s\n", sweep.status().ToString().c_str());
+    return 2;
+  }
+  std::string listen_host;
+  int listen_port = -1;
+  if (!flags.listen.empty()) {
+    const size_t colon = flags.listen.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 == flags.listen.size()) {
+      std::fprintf(stderr, "--listen expects HOST:PORT, got '%s'\n", flags.listen.c_str());
+      return 2;
+    }
+    listen_host = flags.listen.substr(0, colon);
+    listen_port = std::atoi(flags.listen.c_str() + colon + 1);
   }
   if (!flags.fault_spec.empty()) {
     const Status armed = FaultInjection::Instance().Configure(flags.fault_spec, flags.fault_seed);
@@ -272,7 +289,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "maya_serve: cold start, training estimators (%s sweep)...\n",
                  flags.sweep.c_str());
     GroundTruthExecutor profiling_hardware(*cluster, /*seed=*/0x9f0f);
-    EstimatorBank bank = TrainEstimators(*cluster, profiling_hardware, SweepFor(flags.sweep));
+    EstimatorBank bank = TrainEstimators(*cluster, profiling_hardware, *sweep);
     Result<std::unique_ptr<ServiceEngine>> created =
         ServiceEngine::Create(*cluster, std::move(bank), options);
     if (!created.ok()) {
@@ -292,7 +309,7 @@ int main(int argc, char** argv) {
                  GpuArchName(spec.gpu.arch), name.c_str());
     GroundTruthExecutor deployment_hardware(spec, /*seed=*/0x9f0f);
     Result<std::shared_ptr<const Deployment>> added = engine->AddDeployment(
-        name, spec, TrainEstimators(spec, deployment_hardware, SweepFor(flags.sweep)));
+        name, spec, TrainEstimators(spec, deployment_hardware, *sweep));
     if (!added.ok()) {
       std::fprintf(stderr, "maya_serve: %s\n", added.status().ToString().c_str());
       return 2;
@@ -328,8 +345,31 @@ int main(int argc, char** argv) {
     }
   };
 
+  std::unique_ptr<TcpServer> server;
+  if (!flags.listen.empty()) {
+    TcpServerOptions net;
+    net.host = listen_host;
+    net.port = listen_port;
+    server = std::make_unique<TcpServer>(engine.get(), net);
+    if (const Status started = server->Start(); !started.ok()) {
+      std::fprintf(stderr, "--listen: %s\n", started.ToString().c_str());
+      return 2;
+    }
+    // Announced on stderr (with the resolved port) so wrappers using
+    // --listen=HOST:0 can discover the endpoint.
+    std::fprintf(stderr, "maya_serve: listening on %s:%d\n", listen_host.c_str(),
+                 server->port());
+    while (!g_sigterm) {
+      pause();  // SIGTERM (no SA_RESTART) interrupts
+    }
+    std::fprintf(stderr, "maya_serve: SIGTERM, draining...\n");
+    // Connection-level drain first (stop accepting, answer and flush
+    // in-flight frames), then the engine-level drain below is a formality.
+    server->Drain();
+  }
+
   std::string line;
-  while (!g_sigterm && std::getline(std::cin, line)) {
+  while (server == nullptr && !g_sigterm && std::getline(std::cin, line)) {
     if (line.empty()) {
       continue;
     }
@@ -338,25 +378,7 @@ int main(int argc, char** argv) {
     }
     Result<ServiceRequest> request = ParseServiceRequest(line);
     if (!request.ok()) {
-      ServiceResponse error;
-      error.ok = false;
-      error.error_code = kErrInvalidRequest;
-      error.error = request.status().ToString();
-      // Echo the id/kind when the line is at least well-formed JSON, so a
-      // pipelining client can match the failure to its request.
-      if (Result<JsonValue> root = ParseJson(line); root.ok() && root->is_object()) {
-        if (root->Has("id") && root->at("id").type() == JsonValue::Type::kNumber &&
-            root->at("id").AsDouble() >= 0.0) {
-          error.id = root->at("id").AsUint();
-        }
-        if (root->Has("kind") && root->at("kind").type() == JsonValue::Type::kString) {
-          if (Result<ServiceRequestKind> kind =
-                  ServiceRequestKindFromName(root->at("kind").AsString());
-              kind.ok()) {
-            error.kind = *kind;
-          }
-        }
-      }
+      const ServiceResponse error = ParseFailureResponse(line, request.status());
       drain_ready(/*block=*/true);  // keep ordering even for parse failures
       std::printf("%s\n", SerializeServiceResponse(error).c_str());
       std::fflush(stdout);
@@ -381,7 +403,7 @@ int main(int argc, char** argv) {
     }
     drain_ready(/*block=*/false);
   }
-  if (g_sigterm) {
+  if (server == nullptr && g_sigterm) {
     std::fprintf(stderr, "maya_serve: SIGTERM, draining...\n");
   }
   // Graceful lifecycle: stop admitting, let queued + in-flight work finish
@@ -418,6 +440,11 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr, "maya_serve: saved v2 artifact bundle (%zu deployments) to %s\n",
                  engine->registry().Registered().size(), flags.artifacts.c_str());
+  }
+  if (server != nullptr) {
+    // The engine drained above, so no response callbacks are outstanding;
+    // Stop() just joins the event loop.
+    server->Stop();
   }
   engine->Shutdown();
   return 0;
