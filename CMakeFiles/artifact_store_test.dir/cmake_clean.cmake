@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artifact_store_test.dir/tests/artifact_store_test.cc.o"
+  "CMakeFiles/artifact_store_test.dir/tests/artifact_store_test.cc.o.d"
+  "artifact_store_test"
+  "artifact_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artifact_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

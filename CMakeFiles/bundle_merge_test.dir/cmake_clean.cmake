@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bundle_merge_test.dir/tests/bundle_merge_test.cc.o"
+  "CMakeFiles/bundle_merge_test.dir/tests/bundle_merge_test.cc.o.d"
+  "bundle_merge_test"
+  "bundle_merge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bundle_merge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cuda_test.dir/tests/cuda_test.cc.o"
+  "CMakeFiles/cuda_test.dir/tests/cuda_test.cc.o.d"
+  "cuda_test"
+  "cuda_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cuda_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

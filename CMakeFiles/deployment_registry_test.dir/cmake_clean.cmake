@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deployment_registry_test.dir/tests/deployment_registry_test.cc.o"
+  "CMakeFiles/deployment_registry_test.dir/tests/deployment_registry_test.cc.o.d"
+  "deployment_registry_test"
+  "deployment_registry_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deployment_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

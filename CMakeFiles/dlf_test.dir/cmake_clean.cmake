@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlf_test.dir/tests/dlf_test.cc.o"
+  "CMakeFiles/dlf_test.dir/tests/dlf_test.cc.o.d"
+  "dlf_test"
+  "dlf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emulator_test.dir/tests/emulator_test.cc.o"
+  "CMakeFiles/emulator_test.dir/tests/emulator_test.cc.o.d"
+  "emulator_test"
+  "emulator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_estimator.dir/examples/custom_estimator.cpp.o"
+  "CMakeFiles/example_custom_estimator.dir/examples/custom_estimator.cpp.o.d"
+  "example_custom_estimator"
+  "example_custom_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

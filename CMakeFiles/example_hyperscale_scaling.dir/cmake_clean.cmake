@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_hyperscale_scaling.dir/examples/hyperscale_scaling.cpp.o"
+  "CMakeFiles/example_hyperscale_scaling.dir/examples/hyperscale_scaling.cpp.o.d"
+  "example_hyperscale_scaling"
+  "example_hyperscale_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_hyperscale_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

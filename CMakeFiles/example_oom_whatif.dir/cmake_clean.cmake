@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_oom_whatif.dir/examples/oom_whatif.cpp.o"
+  "CMakeFiles/example_oom_whatif.dir/examples/oom_whatif.cpp.o.d"
+  "example_oom_whatif"
+  "example_oom_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_oom_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_recipe_search.dir/examples/recipe_search.cpp.o"
+  "CMakeFiles/example_recipe_search.dir/examples/recipe_search.cpp.o.d"
+  "example_recipe_search"
+  "example_recipe_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_recipe_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

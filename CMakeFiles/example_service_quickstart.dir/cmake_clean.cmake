@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_service_quickstart.dir/examples/service_quickstart.cpp.o"
+  "CMakeFiles/example_service_quickstart.dir/examples/service_quickstart.cpp.o.d"
+  "example_service_quickstart"
+  "example_service_quickstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_service_quickstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

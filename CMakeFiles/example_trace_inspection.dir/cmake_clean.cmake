@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_trace_inspection.dir/examples/trace_inspection.cpp.o"
+  "CMakeFiles/example_trace_inspection.dir/examples/trace_inspection.cpp.o.d"
+  "example_trace_inspection"
+  "example_trace_inspection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_trace_inspection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

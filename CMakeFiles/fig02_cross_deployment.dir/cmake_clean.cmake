@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_cross_deployment.dir/bench/fig02_cross_deployment.cc.o"
+  "CMakeFiles/fig02_cross_deployment.dir/bench/fig02_cross_deployment.cc.o.d"
+  "fig02_cross_deployment"
+  "fig02_cross_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_cross_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

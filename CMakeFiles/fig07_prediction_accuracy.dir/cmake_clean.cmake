@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_prediction_accuracy.dir/bench/fig07_prediction_accuracy.cc.o"
+  "CMakeFiles/fig07_prediction_accuracy.dir/bench/fig07_prediction_accuracy.cc.o.d"
+  "fig07_prediction_accuracy"
+  "fig07_prediction_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_prediction_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

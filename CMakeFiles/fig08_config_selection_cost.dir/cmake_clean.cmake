@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_config_selection_cost.dir/bench/fig08_config_selection_cost.cc.o"
+  "CMakeFiles/fig08_config_selection_cost.dir/bench/fig08_config_selection_cost.cc.o.d"
+  "fig08_config_selection_cost"
+  "fig08_config_selection_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_config_selection_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

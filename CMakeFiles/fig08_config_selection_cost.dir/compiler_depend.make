@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig08_config_selection_cost.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_config_selection_cost.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_error_cdf.dir/bench/fig09_error_cdf.cc.o"
+  "CMakeFiles/fig09_error_cdf.dir/bench/fig09_error_cdf.cc.o.d"
+  "fig09_error_cdf"
+  "fig09_error_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_error_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_resnet.dir/bench/fig10_resnet.cc.o"
+  "CMakeFiles/fig10_resnet.dir/bench/fig10_resnet.cc.o.d"
+  "fig10_resnet"
+  "fig10_resnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_resnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

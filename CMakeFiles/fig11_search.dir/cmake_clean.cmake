@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_search.dir/bench/fig11_search.cc.o"
+  "CMakeFiles/fig11_search.dir/bench/fig11_search.cc.o.d"
+  "fig11_search"
+  "fig11_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_hyperscale_mfu.dir/bench/fig12_hyperscale_mfu.cc.o"
+  "CMakeFiles/fig12_hyperscale_mfu.dir/bench/fig12_hyperscale_mfu.cc.o.d"
+  "fig12_hyperscale_mfu"
+  "fig12_hyperscale_mfu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_hyperscale_mfu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

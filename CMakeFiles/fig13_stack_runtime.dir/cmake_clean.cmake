@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_stack_runtime.dir/bench/fig13_stack_runtime.cc.o"
+  "CMakeFiles/fig13_stack_runtime.dir/bench/fig13_stack_runtime.cc.o.d"
+  "fig13_stack_runtime"
+  "fig13_stack_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_stack_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

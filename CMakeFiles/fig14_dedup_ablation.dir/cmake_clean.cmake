@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_dedup_ablation.dir/bench/fig14_dedup_ablation.cc.o"
+  "CMakeFiles/fig14_dedup_ablation.dir/bench/fig14_dedup_ablation.cc.o.d"
+  "fig14_dedup_ablation"
+  "fig14_dedup_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_dedup_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

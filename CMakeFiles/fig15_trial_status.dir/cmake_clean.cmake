@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_trial_status.dir/bench/fig15_trial_status.cc.o"
+  "CMakeFiles/fig15_trial_status.dir/bench/fig15_trial_status.cc.o.d"
+  "fig15_trial_status"
+  "fig15_trial_status.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_trial_status.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_search_algorithms.dir/bench/fig16_search_algorithms.cc.o"
+  "CMakeFiles/fig16_search_algorithms.dir/bench/fig16_search_algorithms.cc.o.d"
+  "fig16_search_algorithms"
+  "fig16_search_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_search_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

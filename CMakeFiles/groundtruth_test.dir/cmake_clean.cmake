@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/groundtruth_test.dir/tests/groundtruth_test.cc.o"
+  "CMakeFiles/groundtruth_test.dir/tests/groundtruth_test.cc.o.d"
+  "groundtruth_test"
+  "groundtruth_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/groundtruth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

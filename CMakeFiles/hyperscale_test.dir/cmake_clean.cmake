@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperscale_test.dir/tests/hyperscale_test.cc.o"
+  "CMakeFiles/hyperscale_test.dir/tests/hyperscale_test.cc.o.d"
+  "hyperscale_test"
+  "hyperscale_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperscale_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

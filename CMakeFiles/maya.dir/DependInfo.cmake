@@ -1,0 +1,83 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/amped_like.cc" "CMakeFiles/maya.dir/src/baselines/amped_like.cc.o" "gcc" "CMakeFiles/maya.dir/src/baselines/amped_like.cc.o.d"
+  "/root/repo/src/baselines/analytical_common.cc" "CMakeFiles/maya.dir/src/baselines/analytical_common.cc.o" "gcc" "CMakeFiles/maya.dir/src/baselines/analytical_common.cc.o.d"
+  "/root/repo/src/baselines/calculon_like.cc" "CMakeFiles/maya.dir/src/baselines/calculon_like.cc.o" "gcc" "CMakeFiles/maya.dir/src/baselines/calculon_like.cc.o.d"
+  "/root/repo/src/baselines/proteus_like.cc" "CMakeFiles/maya.dir/src/baselines/proteus_like.cc.o" "gcc" "CMakeFiles/maya.dir/src/baselines/proteus_like.cc.o.d"
+  "/root/repo/src/common/fault_injection.cc" "CMakeFiles/maya.dir/src/common/fault_injection.cc.o" "gcc" "CMakeFiles/maya.dir/src/common/fault_injection.cc.o.d"
+  "/root/repo/src/common/hash.cc" "CMakeFiles/maya.dir/src/common/hash.cc.o" "gcc" "CMakeFiles/maya.dir/src/common/hash.cc.o.d"
+  "/root/repo/src/common/json_parser.cc" "CMakeFiles/maya.dir/src/common/json_parser.cc.o" "gcc" "CMakeFiles/maya.dir/src/common/json_parser.cc.o.d"
+  "/root/repo/src/common/json_writer.cc" "CMakeFiles/maya.dir/src/common/json_writer.cc.o" "gcc" "CMakeFiles/maya.dir/src/common/json_writer.cc.o.d"
+  "/root/repo/src/common/rng.cc" "CMakeFiles/maya.dir/src/common/rng.cc.o" "gcc" "CMakeFiles/maya.dir/src/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "CMakeFiles/maya.dir/src/common/stats.cc.o" "gcc" "CMakeFiles/maya.dir/src/common/stats.cc.o.d"
+  "/root/repo/src/common/status.cc" "CMakeFiles/maya.dir/src/common/status.cc.o" "gcc" "CMakeFiles/maya.dir/src/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "CMakeFiles/maya.dir/src/common/strings.cc.o" "gcc" "CMakeFiles/maya.dir/src/common/strings.cc.o.d"
+  "/root/repo/src/common/table_printer.cc" "CMakeFiles/maya.dir/src/common/table_printer.cc.o" "gcc" "CMakeFiles/maya.dir/src/common/table_printer.cc.o.d"
+  "/root/repo/src/common/telemetry.cc" "CMakeFiles/maya.dir/src/common/telemetry.cc.o" "gcc" "CMakeFiles/maya.dir/src/common/telemetry.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "CMakeFiles/maya.dir/src/common/thread_pool.cc.o" "gcc" "CMakeFiles/maya.dir/src/common/thread_pool.cc.o.d"
+  "/root/repo/src/core/deployment_registry.cc" "CMakeFiles/maya.dir/src/core/deployment_registry.cc.o" "gcc" "CMakeFiles/maya.dir/src/core/deployment_registry.cc.o.d"
+  "/root/repo/src/core/estimator_bank.cc" "CMakeFiles/maya.dir/src/core/estimator_bank.cc.o" "gcc" "CMakeFiles/maya.dir/src/core/estimator_bank.cc.o.d"
+  "/root/repo/src/core/execution_context.cc" "CMakeFiles/maya.dir/src/core/execution_context.cc.o" "gcc" "CMakeFiles/maya.dir/src/core/execution_context.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "CMakeFiles/maya.dir/src/core/pipeline.cc.o" "gcc" "CMakeFiles/maya.dir/src/core/pipeline.cc.o.d"
+  "/root/repo/src/cuda/kernel_desc.cc" "CMakeFiles/maya.dir/src/cuda/kernel_desc.cc.o" "gcc" "CMakeFiles/maya.dir/src/cuda/kernel_desc.cc.o.d"
+  "/root/repo/src/cuda/types.cc" "CMakeFiles/maya.dir/src/cuda/types.cc.o" "gcc" "CMakeFiles/maya.dir/src/cuda/types.cc.o.d"
+  "/root/repo/src/dlf/comm_registry.cc" "CMakeFiles/maya.dir/src/dlf/comm_registry.cc.o" "gcc" "CMakeFiles/maya.dir/src/dlf/comm_registry.cc.o.d"
+  "/root/repo/src/dlf/fsdp_engine.cc" "CMakeFiles/maya.dir/src/dlf/fsdp_engine.cc.o" "gcc" "CMakeFiles/maya.dir/src/dlf/fsdp_engine.cc.o.d"
+  "/root/repo/src/dlf/host_cost_model.cc" "CMakeFiles/maya.dir/src/dlf/host_cost_model.cc.o" "gcc" "CMakeFiles/maya.dir/src/dlf/host_cost_model.cc.o.d"
+  "/root/repo/src/dlf/megatron_engine.cc" "CMakeFiles/maya.dir/src/dlf/megatron_engine.cc.o" "gcc" "CMakeFiles/maya.dir/src/dlf/megatron_engine.cc.o.d"
+  "/root/repo/src/dlf/megatron_layout.cc" "CMakeFiles/maya.dir/src/dlf/megatron_layout.cc.o" "gcc" "CMakeFiles/maya.dir/src/dlf/megatron_layout.cc.o.d"
+  "/root/repo/src/dlf/model_config.cc" "CMakeFiles/maya.dir/src/dlf/model_config.cc.o" "gcc" "CMakeFiles/maya.dir/src/dlf/model_config.cc.o.d"
+  "/root/repo/src/dlf/op_emitter.cc" "CMakeFiles/maya.dir/src/dlf/op_emitter.cc.o" "gcc" "CMakeFiles/maya.dir/src/dlf/op_emitter.cc.o.d"
+  "/root/repo/src/dlf/train_config.cc" "CMakeFiles/maya.dir/src/dlf/train_config.cc.o" "gcc" "CMakeFiles/maya.dir/src/dlf/train_config.cc.o.d"
+  "/root/repo/src/dlf/transformer_ops.cc" "CMakeFiles/maya.dir/src/dlf/transformer_ops.cc.o" "gcc" "CMakeFiles/maya.dir/src/dlf/transformer_ops.cc.o.d"
+  "/root/repo/src/dlf/vision_engine.cc" "CMakeFiles/maya.dir/src/dlf/vision_engine.cc.o" "gcc" "CMakeFiles/maya.dir/src/dlf/vision_engine.cc.o.d"
+  "/root/repo/src/dlf/worker_launcher.cc" "CMakeFiles/maya.dir/src/dlf/worker_launcher.cc.o" "gcc" "CMakeFiles/maya.dir/src/dlf/worker_launcher.cc.o.d"
+  "/root/repo/src/emulator/emulator.cc" "CMakeFiles/maya.dir/src/emulator/emulator.cc.o" "gcc" "CMakeFiles/maya.dir/src/emulator/emulator.cc.o.d"
+  "/root/repo/src/estimator/collective_estimator.cc" "CMakeFiles/maya.dir/src/estimator/collective_estimator.cc.o" "gcc" "CMakeFiles/maya.dir/src/estimator/collective_estimator.cc.o.d"
+  "/root/repo/src/estimator/features.cc" "CMakeFiles/maya.dir/src/estimator/features.cc.o" "gcc" "CMakeFiles/maya.dir/src/estimator/features.cc.o.d"
+  "/root/repo/src/estimator/kernel_estimator.cc" "CMakeFiles/maya.dir/src/estimator/kernel_estimator.cc.o" "gcc" "CMakeFiles/maya.dir/src/estimator/kernel_estimator.cc.o.d"
+  "/root/repo/src/estimator/profiler_repository.cc" "CMakeFiles/maya.dir/src/estimator/profiler_repository.cc.o" "gcc" "CMakeFiles/maya.dir/src/estimator/profiler_repository.cc.o.d"
+  "/root/repo/src/estimator/random_forest.cc" "CMakeFiles/maya.dir/src/estimator/random_forest.cc.o" "gcc" "CMakeFiles/maya.dir/src/estimator/random_forest.cc.o.d"
+  "/root/repo/src/estimator/serialization.cc" "CMakeFiles/maya.dir/src/estimator/serialization.cc.o" "gcc" "CMakeFiles/maya.dir/src/estimator/serialization.cc.o.d"
+  "/root/repo/src/groundtruth/collective_cost.cc" "CMakeFiles/maya.dir/src/groundtruth/collective_cost.cc.o" "gcc" "CMakeFiles/maya.dir/src/groundtruth/collective_cost.cc.o.d"
+  "/root/repo/src/groundtruth/executor.cc" "CMakeFiles/maya.dir/src/groundtruth/executor.cc.o" "gcc" "CMakeFiles/maya.dir/src/groundtruth/executor.cc.o.d"
+  "/root/repo/src/groundtruth/kernel_cost.cc" "CMakeFiles/maya.dir/src/groundtruth/kernel_cost.cc.o" "gcc" "CMakeFiles/maya.dir/src/groundtruth/kernel_cost.cc.o.d"
+  "/root/repo/src/hw/cluster_spec.cc" "CMakeFiles/maya.dir/src/hw/cluster_spec.cc.o" "gcc" "CMakeFiles/maya.dir/src/hw/cluster_spec.cc.o.d"
+  "/root/repo/src/hw/collective_cost.cc" "CMakeFiles/maya.dir/src/hw/collective_cost.cc.o" "gcc" "CMakeFiles/maya.dir/src/hw/collective_cost.cc.o.d"
+  "/root/repo/src/hw/gpu_spec.cc" "CMakeFiles/maya.dir/src/hw/gpu_spec.cc.o" "gcc" "CMakeFiles/maya.dir/src/hw/gpu_spec.cc.o.d"
+  "/root/repo/src/models/model_zoo.cc" "CMakeFiles/maya.dir/src/models/model_zoo.cc.o" "gcc" "CMakeFiles/maya.dir/src/models/model_zoo.cc.o.d"
+  "/root/repo/src/net/frame_decoder.cc" "CMakeFiles/maya.dir/src/net/frame_decoder.cc.o" "gcc" "CMakeFiles/maya.dir/src/net/frame_decoder.cc.o.d"
+  "/root/repo/src/net/tcp_client.cc" "CMakeFiles/maya.dir/src/net/tcp_client.cc.o" "gcc" "CMakeFiles/maya.dir/src/net/tcp_client.cc.o.d"
+  "/root/repo/src/net/tcp_server.cc" "CMakeFiles/maya.dir/src/net/tcp_server.cc.o" "gcc" "CMakeFiles/maya.dir/src/net/tcp_server.cc.o.d"
+  "/root/repo/src/search/config_space.cc" "CMakeFiles/maya.dir/src/search/config_space.cc.o" "gcc" "CMakeFiles/maya.dir/src/search/config_space.cc.o.d"
+  "/root/repo/src/search/pruning.cc" "CMakeFiles/maya.dir/src/search/pruning.cc.o" "gcc" "CMakeFiles/maya.dir/src/search/pruning.cc.o.d"
+  "/root/repo/src/search/search_driver.cc" "CMakeFiles/maya.dir/src/search/search_driver.cc.o" "gcc" "CMakeFiles/maya.dir/src/search/search_driver.cc.o.d"
+  "/root/repo/src/search/searchers.cc" "CMakeFiles/maya.dir/src/search/searchers.cc.o" "gcc" "CMakeFiles/maya.dir/src/search/searchers.cc.o.d"
+  "/root/repo/src/service/artifact_store.cc" "CMakeFiles/maya.dir/src/service/artifact_store.cc.o" "gcc" "CMakeFiles/maya.dir/src/service/artifact_store.cc.o.d"
+  "/root/repo/src/service/bundle_merge.cc" "CMakeFiles/maya.dir/src/service/bundle_merge.cc.o" "gcc" "CMakeFiles/maya.dir/src/service/bundle_merge.cc.o.d"
+  "/root/repo/src/service/metrics_exporter.cc" "CMakeFiles/maya.dir/src/service/metrics_exporter.cc.o" "gcc" "CMakeFiles/maya.dir/src/service/metrics_exporter.cc.o.d"
+  "/root/repo/src/service/protocol.cc" "CMakeFiles/maya.dir/src/service/protocol.cc.o" "gcc" "CMakeFiles/maya.dir/src/service/protocol.cc.o.d"
+  "/root/repo/src/service/service_client.cc" "CMakeFiles/maya.dir/src/service/service_client.cc.o" "gcc" "CMakeFiles/maya.dir/src/service/service_client.cc.o.d"
+  "/root/repo/src/service/service_engine.cc" "CMakeFiles/maya.dir/src/service/service_engine.cc.o" "gcc" "CMakeFiles/maya.dir/src/service/service_engine.cc.o.d"
+  "/root/repo/src/sim/sim_report.cc" "CMakeFiles/maya.dir/src/sim/sim_report.cc.o" "gcc" "CMakeFiles/maya.dir/src/sim/sim_report.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "CMakeFiles/maya.dir/src/sim/simulator.cc.o" "gcc" "CMakeFiles/maya.dir/src/sim/simulator.cc.o.d"
+  "/root/repo/src/trace/collator.cc" "CMakeFiles/maya.dir/src/trace/collator.cc.o" "gcc" "CMakeFiles/maya.dir/src/trace/collator.cc.o.d"
+  "/root/repo/src/trace/rank_set.cc" "CMakeFiles/maya.dir/src/trace/rank_set.cc.o" "gcc" "CMakeFiles/maya.dir/src/trace/rank_set.cc.o.d"
+  "/root/repo/src/trace/serialization.cc" "CMakeFiles/maya.dir/src/trace/serialization.cc.o" "gcc" "CMakeFiles/maya.dir/src/trace/serialization.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "CMakeFiles/maya.dir/src/trace/trace.cc.o" "gcc" "CMakeFiles/maya.dir/src/trace/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maya_bundle.dir/tools/maya_bundle.cc.o"
+  "CMakeFiles/maya_bundle.dir/tools/maya_bundle.cc.o.d"
+  "maya_bundle"
+  "maya_bundle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maya_bundle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maya_serve.dir/tools/maya_serve.cc.o"
+  "CMakeFiles/maya_serve.dir/tools/maya_serve.cc.o.d"
+  "maya_serve"
+  "maya_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maya_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

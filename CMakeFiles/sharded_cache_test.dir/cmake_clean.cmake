@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharded_cache_test.dir/tests/sharded_cache_test.cc.o"
+  "CMakeFiles/sharded_cache_test.dir/tests/sharded_cache_test.cc.o.d"
+  "sharded_cache_test"
+  "sharded_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharded_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

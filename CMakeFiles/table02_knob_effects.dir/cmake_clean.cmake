@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table02_knob_effects.dir/bench/table02_knob_effects.cc.o"
+  "CMakeFiles/table02_knob_effects.dir/bench/table02_knob_effects.cc.o.d"
+  "table02_knob_effects"
+  "table02_knob_effects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table02_knob_effects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

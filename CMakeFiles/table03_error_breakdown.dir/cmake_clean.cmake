@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table03_error_breakdown.dir/bench/table03_error_breakdown.cc.o"
+  "CMakeFiles/table03_error_breakdown.dir/bench/table03_error_breakdown.cc.o.d"
+  "table03_error_breakdown"
+  "table03_error_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table03_error_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table04_generality.dir/bench/table04_generality.cc.o"
+  "CMakeFiles/table04_generality.dir/bench/table04_generality.cc.o.d"
+  "table04_generality"
+  "table04_generality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table04_generality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

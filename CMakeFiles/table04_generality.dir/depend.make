@@ -1,0 +1,2 @@
+# Empty dependencies file for table04_generality.
+# This may be replaced when dependencies are built.

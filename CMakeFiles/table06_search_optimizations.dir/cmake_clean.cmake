@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table06_search_optimizations.dir/bench/table06_search_optimizations.cc.o"
+  "CMakeFiles/table06_search_optimizations.dir/bench/table06_search_optimizations.cc.o.d"
+  "table06_search_optimizations"
+  "table06_search_optimizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table06_search_optimizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

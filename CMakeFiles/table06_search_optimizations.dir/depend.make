@@ -1,0 +1,2 @@
+# Empty dependencies file for table06_search_optimizations.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table07_kernel_mape.dir/bench/table07_kernel_mape.cc.o"
+  "CMakeFiles/table07_kernel_mape.dir/bench/table07_kernel_mape.cc.o.d"
+  "table07_kernel_mape"
+  "table07_kernel_mape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table07_kernel_mape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table07_kernel_mape.
+# This may be replaced when dependencies are built.

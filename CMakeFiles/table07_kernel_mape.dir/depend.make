@@ -1,0 +1,2 @@
+# Empty dependencies file for table07_kernel_mape.
+# This may be replaced when dependencies are built.
