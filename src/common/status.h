@@ -20,6 +20,8 @@ enum class StatusCode {
   kOutOfMemory,   // Emulated device out-of-memory: a first-class outcome in Maya.
   kUnimplemented,
   kInternal,
+  kCancelled,          // Cooperative cancellation observed at a stage checkpoint.
+  kDeadlineExceeded,   // Request deadline expired (queued or executing).
 };
 
 // Human-readable name of a status code ("OK", "INVALID_ARGUMENT", ...).
@@ -49,6 +51,12 @@ class Status {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
   static Status Internal(std::string msg) { return Status(StatusCode::kInternal, std::move(msg)); }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }

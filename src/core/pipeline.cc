@@ -143,6 +143,15 @@ void MayaPipeline::PredictKernels(const std::vector<const KernelDesc*>& kernels,
 
 EstimationStats MayaPipeline::AnnotateDurations(JobTrace& job,
                                                 const GroundTruthExecutor* oracle) const {
+  // A null token can never fail, so the cancellable variant's Result always
+  // holds a value here.
+  return *AnnotateDurations(job, oracle, nullptr);
+}
+
+Result<EstimationStats> MayaPipeline::AnnotateDurations(JobTrace& job,
+                                                        const GroundTruthExecutor* oracle,
+                                                        const CancelToken* cancel) const {
+  MAYA_RETURN_IF_ERROR(CheckCancel(cancel));
   EstimationStats stats;
   if (oracle != nullptr) {
     // Profiled actual runtime of each exact execution instance: per-instance
@@ -205,6 +214,8 @@ EstimationStats MayaPipeline::AnnotateDurations(JobTrace& job,
   stats.unique_kernels = unique_kernels.size();
   stats.collective_ops = collective_op_slots.size();
   stats.unique_collectives = unique_collectives.size();
+  // Checkpoint between dedup and prediction: nothing published yet.
+  MAYA_RETURN_IF_ERROR(CheckCancel(cancel));
 
   // Pass 2: resolve each unique kernel once — from the cross-trial cache
   // when possible, otherwise through batched (optionally parallel) inference.
@@ -224,6 +235,10 @@ EstimationStats MayaPipeline::AnnotateDurations(JobTrace& job,
     if (!miss_kernels.empty()) {
       std::vector<double> predicted(miss_kernels.size());
       PredictKernels(miss_kernels, predicted.data());
+      // Checkpoint between the (possibly parallel) prediction batch and the
+      // cache publish: a cancelled annotation inserts none of the fresh
+      // predictions, leaving the kernel estimate cache untouched.
+      MAYA_RETURN_IF_ERROR(CheckCancel(cancel));
       for (size_t j = 0; j < miss_kernels.size(); ++j) {
         kernel_durations[miss_slots[j]] = predicted[j];
         kernel_estimate_cache_.Insert(*miss_kernels[j], predicted[j]);
@@ -236,6 +251,8 @@ EstimationStats MayaPipeline::AnnotateDurations(JobTrace& job,
   }
 
   // Unique collectives (few per trace): canonical request built once each.
+  // Checkpoint before the collective batch (and its cache inserts).
+  MAYA_RETURN_IF_ERROR(CheckCancel(cancel));
   std::vector<double> collective_durations(unique_collectives.size());
   for (size_t i = 0; i < unique_collectives.size(); ++i) {
     const LocalCollectiveKey& key = unique_collectives[i];
@@ -271,13 +288,15 @@ EstimationStats MayaPipeline::AnnotateDurations(JobTrace& job,
   return stats;
 }
 
-Result<SimReport> MayaPipeline::Simulate(const JobTrace& job, bool deduplicate_replicas) const {
+Result<SimReport> MayaPipeline::Simulate(const JobTrace& job, bool deduplicate_replicas,
+                                         const CancelToken* cancel) const {
   SimOptions sim_options;
   sim_options.partition_components = options_.partition_simulation;
   sim_options.deduplicate_replicas = deduplicate_replicas;
   sim_options.pool = stage_pool_;
   sim_options.min_parallel_components = options_.min_parallel_simulation_components;
   sim_options.cache = options_.enable_sim_cache ? &sim_cache_ : nullptr;
+  sim_options.cancel = cancel;
   Simulator simulator(job, cluster_, sim_options);
   return simulator.Run();
 }
@@ -320,11 +339,13 @@ Result<PredictionReport> MayaPipeline::Predict(const PredictionRequest& request)
     // concurrent Predict calls: ParallelFor isolates each caller's ranks
     // behind a per-call latch.
     MAYA_RETURN_IF_ERROR(faults.MaybeFail("pipeline.emulate"));
+    MAYA_RETURN_IF_ERROR(CheckCancel(request.cancel));
     LaunchOptions launch;
     launch.selective_launch = request.selective_launch;
     launch.virtual_folds = request.virtual_folds;
     launch.emulation_pool = stage_pool_;
     launch.min_parallel_ranks = options_.min_parallel_emulation_ranks;
+    launch.cancel = request.cancel;
     Result<LaunchResult> launched = [&] {
       ScopedSpan span("emulate", "pipeline");
       return EmulateJob(request.model, request.config, cluster_, launch);
@@ -337,6 +358,9 @@ Result<PredictionReport> MayaPipeline::Predict(const PredictionRequest& request)
     if (launched->oom) {
       report.oom = true;
       report.oom_detail = launched->oom_detail;
+      // A cancelled request publishes nothing — not even the (correct) OOM
+      // outcome — so the trace cache stays byte-identical to never running.
+      MAYA_RETURN_IF_ERROR(CheckCancel(request.cancel));
       if (options_.enable_trace_cache) {
         auto entry = std::make_shared<CollatedTrace>();
         entry->oom = true;
@@ -350,9 +374,11 @@ Result<PredictionReport> MayaPipeline::Predict(const PredictionRequest& request)
     // (2) Trace collation + worker deduplication (fingerprints fan out on
     // the shared pool; grouping stays bit-identical to the sequential pass).
     MAYA_RETURN_IF_ERROR(faults.MaybeFail("pipeline.collate"));
+    MAYA_RETURN_IF_ERROR(CheckCancel(request.cancel));
     CollationOptions collation;
     collation.deduplicate = request.deduplicate_workers;
     collation.pool = stage_pool_;
+    collation.cancel = request.cancel;
     TraceCollator collator(collation);
     Result<JobTrace> collated = [&] {
       ScopedSpan span("collate", "pipeline");
@@ -365,6 +391,8 @@ Result<PredictionReport> MayaPipeline::Predict(const PredictionRequest& request)
     report.collation = collator.stats();
     report.timings.collation_ms = clock.LapMs();
 
+    // Checkpoint before the trace-cache publish (see OOM branch above).
+    MAYA_RETURN_IF_ERROR(CheckCancel(request.cancel));
     if (options_.enable_trace_cache) {
       auto entry = std::make_shared<CollatedTrace>();
       entry->job = job;  // pre-annotation copy (durations still zero)
@@ -378,7 +406,9 @@ Result<PredictionReport> MayaPipeline::Predict(const PredictionRequest& request)
   MAYA_RETURN_IF_ERROR(faults.MaybeFail("pipeline.estimate"));
   {
     ScopedSpan span("estimate", "pipeline");
-    report.estimation = AnnotateDurations(job, request.oracle);
+    Result<EstimationStats> annotated = AnnotateDurations(job, request.oracle, request.cancel);
+    MAYA_RETURN_IF_ERROR(annotated.status());
+    report.estimation = *annotated;
   }
   report.timings.estimation_ms = clock.LapMs();
 
@@ -388,7 +418,7 @@ Result<PredictionReport> MayaPipeline::Predict(const PredictionRequest& request)
   MAYA_RETURN_IF_ERROR(faults.MaybeFail("pipeline.simulate"));
   Result<SimReport> sim = [&] {
     ScopedSpan span("simulate", "pipeline");
-    return Simulate(job, request.deduplicate_workers);
+    return Simulate(job, request.deduplicate_workers, request.cancel);
   }();
   if (!sim.ok()) {
     return sim.status();
@@ -398,6 +428,7 @@ Result<PredictionReport> MayaPipeline::Predict(const PredictionRequest& request)
   report.timings.simulation_ms = clock.LapMs();
 
   MAYA_RETURN_IF_ERROR(faults.MaybeFail("pipeline.finalize"));
+  MAYA_RETURN_IF_ERROR(CheckCancel(request.cancel));
   report.iteration_time_us = report.sim.total_time_us;
   report.mfu = ComputeMfu(request.model, request.config.global_batch_size, cluster_,
                           report.iteration_time_us);

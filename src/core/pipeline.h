@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/cancellation.h"
 #include "src/common/sharded_cache.h"
 #include "src/common/thread_pool.h"
 #include "src/core/execution_context.h"
@@ -116,6 +117,13 @@ struct PredictionRequest {
   // runtimes from this executor instead of learned estimates. Must be the
   // same executor (seed) that produced the "actual" measurement.
   const GroundTruthExecutor* oracle = nullptr;
+  // Cooperative cancellation: Predict probes this token at stage boundaries
+  // (per-rank emulation, the collator fingerprint pass, estimation batches,
+  // per-component sim replays) and unwinds with CANCELLED/DEADLINE_EXCEEDED
+  // before any shared-cache publish — a cancelled request leaves the trace /
+  // estimate / sim caches byte-identical to never having run. Null = not
+  // cancellable (direct library use, benches).
+  const CancelToken* cancel = nullptr;
 };
 
 // Wall-clock cost of each Maya stage (Fig. 13 / Table 6).
@@ -168,7 +176,12 @@ class MayaPipeline {
   // cross-trial estimate cache, in parallel when configured), and broadcasts
   // durations to all matching ops. Oracle mode bypasses the cache: oracle
   // durations are per-instance noisy, not functions of the key.
+  // The cancellable variant probes `cancel` between the dedup, prediction and
+  // broadcast passes — always BEFORE inserting freshly predicted batches into
+  // the estimate caches, so a cancelled annotation publishes nothing.
   EstimationStats AnnotateDurations(JobTrace& job, const GroundTruthExecutor* oracle) const;
+  Result<EstimationStats> AnnotateDurations(JobTrace& job, const GroundTruthExecutor* oracle,
+                                            const CancelToken* cancel) const;
 
   // Stage 4 alone: replays an annotated trace through the component-
   // partitioned simulator with the pipeline's knobs — the shared context's
@@ -176,7 +189,8 @@ class MayaPipeline {
   // `deduplicate_replicas` applies the §4.2 worker-dedup lever at simulation
   // time (lockstep replicas replay once); pass the request's
   // `deduplicate_workers` so dedup-off predictions replay every worker.
-  Result<SimReport> Simulate(const JobTrace& job, bool deduplicate_replicas = true) const;
+  Result<SimReport> Simulate(const JobTrace& job, bool deduplicate_replicas = true,
+                             const CancelToken* cancel = nullptr) const;
 
   const ClusterSpec& cluster() const { return cluster_; }
   const MayaPipelineOptions& options() const { return options_; }

@@ -61,6 +61,12 @@ Result<LaunchResult> EmulateJob(const ModelConfig& model, const TrainConfig& con
     }
   };
   auto run_full_worker = [&](int rank, WorkerEmulator* worker, VirtualHostClock* clock) {
+    // Per-rank cancellation checkpoint: a pending cancel/deadline aborts the
+    // launch before this rank's emulation, propagating through the same
+    // first-failure path an emulation error takes.
+    if (Status cancelled = CheckCancel(options.cancel); !cancelled.ok()) {
+      return cancelled;
+    }
     if (vision != nullptr) {
       return vision->RunWorker(rank, worker, clock, &registry);
     }

@@ -50,6 +50,11 @@ struct LaunchOptions {
   // the emulation cost (measured 0.87x at world_size 8 in BENCH_emulation).
   // Traces are bit-identical either way; 1 forces the parallel arm.
   int min_parallel_ranks = 16;
+  // Cooperative-cancellation checkpoint before each full-worker emulation
+  // (sequential and parallel launches alike): a cancelled launch unwinds with
+  // CANCELLED/DEADLINE_EXCEEDED through the normal first-failure machinery.
+  // Null = not cancellable.
+  const CancelToken* cancel = nullptr;
 };
 
 struct LaunchResult {

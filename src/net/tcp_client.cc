@@ -18,7 +18,17 @@
 namespace maya {
 
 TcpLineTransport::TcpLineTransport(std::string host, int port, RetryPolicy retry)
-    : host_(std::move(host)), port_(port), retry_(std::move(retry)) {}
+    : TcpLineTransport(std::vector<TcpEndpoint>{{std::move(host), port}},
+                       std::move(retry)) {}
+
+TcpLineTransport::TcpLineTransport(std::vector<TcpEndpoint> endpoints, RetryPolicy retry)
+    : endpoints_(std::move(endpoints)), retry_(std::move(retry)) {
+  if (endpoints_.empty()) {
+    // A transport must always have an endpoint to name in errors; an empty
+    // list degenerates to one that can never connect.
+    endpoints_.push_back(TcpEndpoint{"0.0.0.0", 0});
+  }
+}
 
 TcpLineTransport::~TcpLineTransport() { Close(); }
 
@@ -30,21 +40,29 @@ void TcpLineTransport::Close() {
   rx_buffer_.clear();
 }
 
-Status TcpLineTransport::ConnectOnce() {
+void TcpLineTransport::AdvanceReplica() {
+  if (endpoints_.size() > 1) {
+    active_ = (active_ + 1) % endpoints_.size();
+  }
+}
+
+Status TcpLineTransport::ConnectOnce(const TcpEndpoint& endpoint) {
   const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) {
     return Status::Internal(std::string("socket: ") + std::strerror(errno));
   }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(port_));
-  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+  addr.sin_port = htons(static_cast<uint16_t>(endpoint.port));
+  if (::inet_pton(AF_INET, endpoint.host.c_str(), &addr.sin_addr) != 1) {
     ::close(fd);
-    return Status::InvalidArgument("host must be an IPv4 literal, got '" + host_ + "'");
+    return Status::InvalidArgument("host must be an IPv4 literal, got '" + endpoint.host +
+                                   "'");
   }
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const Status status = Status::Internal(
-        StrFormat("connect %s:%d: %s", host_.c_str(), port_, std::strerror(errno)));
+    const Status status =
+        Status::Internal(StrFormat("connect %s:%d: %s", endpoint.host.c_str(),
+                                   endpoint.port, std::strerror(errno)));
     ::close(fd);
     return status;
   }
@@ -58,13 +76,15 @@ Status TcpLineTransport::Connect() {
   if (fd_ != -1) {
     return Status::Ok();
   }
-  // The endpoint hash keys the jitter stream, so clients retrying different
-  // servers (or ports in a test) follow decorrelated schedules.
-  const uint64_t key = HashCombine(FnvHash(host_), static_cast<uint64_t>(port_));
   const int attempts = retry_.max_attempts > 0 ? retry_.max_attempts : 1;
   Status last = Status::Ok();
   for (int attempt = 1; attempt <= attempts; ++attempt) {
     if (attempt > 1) {
+      // The endpoint hash keys the jitter stream, so clients retrying
+      // different servers (or ports in a test) follow decorrelated
+      // schedules.
+      const uint64_t key = HashCombine(FnvHash(endpoints_[active_].host),
+                                       static_cast<uint64_t>(endpoints_[active_].port));
       const double delay_ms = RetryBackoffMs(retry_, key, attempt - 1);
       if (retry_.sleeper) {
         retry_.sleeper(delay_ms);
@@ -72,9 +92,15 @@ Status TcpLineTransport::Connect() {
         std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delay_ms));
       }
     }
-    last = ConnectOnce();
-    if (last.ok()) {
-      return last;
+    // One sweep per attempt: every replica gets a chance before the backoff
+    // delay, starting at the most recently healthy one.
+    for (size_t i = 0; i < endpoints_.size(); ++i) {
+      const size_t index = (active_ + i) % endpoints_.size();
+      last = ConnectOnce(endpoints_[index]);
+      if (last.ok()) {
+        active_ = index;
+        return last;
+      }
     }
   }
   return last;
@@ -93,6 +119,7 @@ Result<std::string> TcpLineTransport::RoundTrip(const std::string& request_line)
       }
       const Status status = Status::Internal(std::string("send: ") + std::strerror(errno));
       Close();
+      AdvanceReplica();
       return status;
     }
     sent += static_cast<size_t>(n);
@@ -115,13 +142,17 @@ Result<std::string> TcpLineTransport::RoundTrip(const std::string& request_line)
       }
       const Status status = Status::Internal(std::string("recv: ") + std::strerror(errno));
       Close();
+      AdvanceReplica();
       return status;
     }
     if (n == 0) {
-      // Mid-round-trip EOF: the server shed or drained this connection.
+      // Mid-round-trip EOF: the server shed, drained, or died. Prefer the
+      // next replica on reconnect — this one just proved unhealthy.
+      const TcpEndpoint& endpoint = endpoints_[active_];
       Close();
+      AdvanceReplica();
       return Status::Internal(StrFormat("connection to %s:%d closed before a response arrived",
-                                        host_.c_str(), port_));
+                                        endpoint.host.c_str(), endpoint.port));
     }
     rx_buffer_.append(buffer, static_cast<size_t>(n));
   }

@@ -5,44 +5,67 @@
 // retries) after a transport failure, so a ServiceClient wrapping this
 // transport rides out a server restart without bespoke plumbing.
 //
+// Failover: construct with a replica endpoint list and the transport treats
+// them as one logical service — each connect sweep tries every replica
+// (starting at the last one that worked), and a connection reset advances
+// the preference to the next replica before reconnecting. The request that
+// hit the reset still fails (a line transport cannot know whether the dead
+// server executed it); ServiceClient's RetryPolicy decides whether to
+// re-issue it, now against the surviving replica.
+//
 // Not thread-safe: a transport is one ordered byte stream. Give each client
 // thread its own TcpLineTransport (the server multiplexes connections).
 #ifndef SRC_NET_TCP_CLIENT_H_
 #define SRC_NET_TCP_CLIENT_H_
 
+#include <cstddef>
 #include <string>
+#include <vector>
 
 #include "src/common/status.h"
 #include "src/service/service_client.h"
 
 namespace maya {
 
+// One replica address (an IPv4 literal, not a hostname).
+struct TcpEndpoint {
+  std::string host;
+  int port = 0;
+};
+
 class TcpLineTransport final : public LineTransport {
  public:
   // `retry` bounds connect attempts (max_attempts total, RetryBackoffMs
   // delays between them); the default policy tries once.
   TcpLineTransport(std::string host, int port, RetryPolicy retry = {});
+  // Replica-list form: every connect sweep tries each endpoint once, in
+  // order starting from the active one; `retry` bounds the number of sweeps.
+  explicit TcpLineTransport(std::vector<TcpEndpoint> endpoints, RetryPolicy retry = {});
   ~TcpLineTransport() override;
 
   TcpLineTransport(const TcpLineTransport&) = delete;
   TcpLineTransport& operator=(const TcpLineTransport&) = delete;
 
-  // Establishes the connection now (RoundTrip connects lazily otherwise).
+  // Establishes a connection now (RoundTrip connects lazily otherwise).
   Status Connect();
 
   // Writes `request_line` + '\n', reads one '\n'-terminated response line
-  // (stripped). Any socket failure closes the connection and returns its
-  // status; the next call reconnects.
+  // (stripped). Any socket failure closes the connection, advances the
+  // replica preference, and returns its status; the next call reconnects.
   Result<std::string> RoundTrip(const std::string& request_line) override;
 
   bool connected() const { return fd_ != -1; }
+  // The endpoint the transport is connected to (or will try first).
+  const TcpEndpoint& active_endpoint() const { return endpoints_[active_]; }
 
  private:
-  Status ConnectOnce();
+  Status ConnectOnce(const TcpEndpoint& endpoint);
   void Close();
+  // Failover: prefer the next replica on the next connect.
+  void AdvanceReplica();
 
-  std::string host_;
-  int port_;
+  std::vector<TcpEndpoint> endpoints_;
+  size_t active_ = 0;
   RetryPolicy retry_;
   int fd_ = -1;
   // Bytes read past the last returned line (the server may flush several

@@ -122,6 +122,11 @@ void TcpServer::Drain() {
   if (!started_) {
     return;
   }
+  // Readiness flips FIRST — before the loop stops reading frames and long
+  // before the listen socket closes — so health probes (and any failover
+  // controller watching them) observe not-ready while in-flight requests
+  // are still finishing, instead of discovering the drain via a reset.
+  engine_->SetReady(false);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     draining_ = true;
@@ -145,6 +150,7 @@ void TcpServer::Stop() {
   if (!started_ || stopped_) {
     return;
   }
+  engine_->SetReady(false);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     draining_ = true;

@@ -40,6 +40,7 @@ Result<TrialResult> ExecuteTrial(const MayaPipeline& pipeline, const ModelConfig
   request.deduplicate_workers = options.deduplicate_workers;
   request.selective_launch = options.selective_launch;
   request.virtual_folds = options.virtual_folds;
+  request.cancel = options.cancel;
   Result<PredictionReport> report = pipeline.Predict(request);
   MAYA_RETURN_IF_ERROR(report.status());
   TrialResult result;
@@ -102,6 +103,10 @@ Result<SearchOutcome> RunSearch(const MayaPipeline& pipeline, const ModelConfig&
 
   bool exhausted = false;
   while (!exhausted && outcome.samples < options.sample_budget) {
+    // Per-batch cancellation checkpoint; cached/pruned-only batches touch no
+    // pipeline stage, so without this a search resolving everything from the
+    // trial cache would never observe its deadline.
+    MAYA_RETURN_IF_ERROR(CheckCancel(options.cancel));
     // Collect a batch of proposals (1 for stateful searchers).
     struct Pending {
       size_t index;

@@ -36,6 +36,11 @@ struct SearchOptions {
   // non-OOM evaluations (§7.3). <= 0 disables.
   int early_stop_patience = 20;
   uint64_t seed = 1;
+  // Cooperative cancellation: probed between trial batches and threaded into
+  // every trial's pipeline run, so a deadline-blown or cancelled search
+  // releases its worker within one trial's stage checkpoints. A cancelled
+  // trial aborts the whole search (same contract as any trial error).
+  const CancelToken* cancel = nullptr;
 };
 
 struct SearchOutcome {

@@ -1,5 +1,10 @@
 #include "src/service/artifact_store.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -33,13 +38,42 @@ Result<uint64_t> Uint64FromHex(const std::string& hex) {
   return std::strtoull(hex.c_str(), nullptr, 16);
 }
 
-// Write-one-file with a tmp+rename publish step, so a file either appears in
-// full under its real name or not at all, and three fault sites modeling how
-// real disks fail:
+// Durably syncs `fd`; EINVAL/ENOTSUP (fs without fsync, e.g. some tmpfs
+// setups) is treated as success — the data went through the page cache and
+// the filesystem offers nothing stronger.
+Status FsyncFd(int fd, const std::string& what) {
+  MAYA_RETURN_IF_ERROR(FaultInjection::Instance().MaybeFail("artifact.fsync"));
+  if (::fsync(fd) != 0 && errno != EINVAL && errno != ENOTSUP) {
+    return Status::Internal("fsync of '" + what + "' failed: " + std::string(strerror(errno)));
+  }
+  return Status::Ok();
+}
+
+// Syncs the directory holding `path`, making a just-published rename durable
+// (the rename itself lives in the directory's metadata).
+Status FsyncParentDir(const std::string& path) {
+  const std::string parent = std::filesystem::path(path).parent_path().string();
+  const int fd = ::open(parent.empty() ? "." : parent.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::Internal("cannot open directory of '" + path + "' for fsync");
+  }
+  const Status synced = FsyncFd(fd, parent);
+  ::close(fd);
+  return synced;
+}
+
+// Write-one-file with a fsync'd tmp+rename+dir-fsync publish step, so a file
+// either appears in full under its real name or not at all — durably: the
+// content is fsync'd before the rename and the parent directory after it, so
+// a power cut right after success cannot roll the publish back (crash-of-
+// the-process safety alone only needed the rename). Four fault sites model
+// how real disks fail:
 //   artifact.corrupt     — the write "succeeds" but a byte is damaged; only
 //                          a later load's parse can notice (silent fault).
 //   artifact.write_short — disk-full mid-write: the tmp holds a prefix, the
 //                          save fails, nothing is published.
+//   artifact.fsync       — the durability barrier fails: the save fails,
+//                          nothing is published.
 //   artifact.rename_torn — the tmp is complete but the publish rename never
 //                          happens; the target keeps its stale content.
 Status WriteFile(const std::string& path, const std::string& contents) {
@@ -57,27 +91,40 @@ Status WriteFile(const std::string& path, const std::string& contents) {
     payload.resize(payload.size() / 2);
   }
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      return Status::Internal("cannot open '" + tmp + "' for writing");
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Internal("cannot open '" + tmp + "' for writing");
+  }
+  size_t written = 0;
+  while (written < payload.size()) {
+    const ssize_t n = ::write(fd, payload.data() + written, payload.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      ::close(fd);
+      return Status::Internal("write to '" + tmp + "' failed: " + std::string(strerror(errno)));
     }
-    out << payload;
-    out.flush();
-    if (!out) {
-      return Status::Internal("write to '" + tmp + "' failed");
-    }
+    written += static_cast<size_t>(n);
   }
   if (!short_write.ok()) {
+    ::close(fd);
     return Status::Internal("short write to '" + path + "': " + short_write.message());
   }
+  // Content durable before the publish rename can make it reachable.
+  if (const Status synced = FsyncFd(fd, tmp); !synced.ok()) {
+    ::close(fd);
+    return synced;
+  }
+  ::close(fd);
   MAYA_RETURN_IF_ERROR(faults.MaybeFail("artifact.rename_torn"));
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
   if (ec) {
     return Status::Internal("cannot publish '" + path + "': " + ec.message());
   }
-  return Status::Ok();
+  // Rename durable: sync the directory entry.
+  return FsyncParentDir(path);
 }
 
 Result<std::string> ReadFile(const std::string& path) {

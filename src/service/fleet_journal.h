@@ -1,0 +1,164 @@
+// Crash-consistent fleet durability: an append-only, fsync'd deployment
+// journal plus periodic atomic checkpoints, so a server killed at ANY point
+// (kill -9 included) reconstructs its exact registered fleet on restart.
+//
+// On-disk layout under the state directory:
+//   journal.ndjson   — one JSON record per line, appended + fsync'd BEFORE
+//                      the admin mutation is acknowledged; each record
+//                      carries a monotonic `seq`
+//   CHECKPOINT       — pointer file naming the live checkpoint bundle and
+//                      the last journal seq it covers; published atomically
+//                      (tmp + rename + dir fsync), so it always names a
+//                      complete bundle or does not exist
+//   checkpoint_<n>/  — a v2 artifact bundle (ArtifactStore::SaveRegistry)
+//                      snapshotting every owned deployment's estimators and
+//                      warm caches; the manifest-written-last discipline
+//                      makes a half-written bundle unloadable, never torn
+//
+// Recovery contract: load the pointed-to checkpoint (if any), then replay
+// journal records with seq > checkpoint seq through the normal admin path.
+// Cold-start adds retrain with the same fixed profiling seed, and
+// bundle-backed adds restore the same bundle, so the recovered fleet answers
+// warm predicts bit-identically to the pre-crash server. A torn final record
+// (the crash landed mid-append) is detected and dropped at open — the
+// mutation it described was never acknowledged, so dropping it is correct.
+//
+// Failure atomicity: a failed append (injected `journal.append_torn` /
+// `journal.fsync` faults, or a real write error) truncates the journal back
+// to its pre-append length before returning, so the file never holds an
+// unacknowledged record the engine rolled back. A failed checkpoint
+// (`checkpoint.partial` fires between bundle write and pointer publish)
+// leaves the previous pointer and the full journal intact — recovery simply
+// replays more.
+#ifndef SRC_SERVICE_FLEET_JOURNAL_H_
+#define SRC_SERVICE_FLEET_JOURNAL_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/service/artifact_store.h"
+#include "src/service/protocol.h"
+
+namespace maya {
+
+struct FleetJournalOptions {
+  // Checkpoint after this many journal records have accumulated past the
+  // last checkpoint (the engine consults CheckpointDue() after each admin
+  // mutation). Checkpoints bound replay cost: a cold-train add replays as a
+  // full retrain, so an uncheckpointed journal makes restart expensive, not
+  // incorrect.
+  uint64_t checkpoint_every = 4;
+};
+
+// One durable admin mutation.
+struct FleetJournalRecord {
+  enum class Op { kAdd, kRemove };
+  uint64_t seq = 0;
+  Op op = Op::kAdd;
+  std::string name;
+  // kAdd only — mirrors AddDeploymentPayload, so replay re-submits the
+  // original request verbatim.
+  std::string cluster;
+  std::string sweep;
+  std::string bundle_dir;
+};
+
+// What Open() found on disk: the checkpoint to load (if any) and the journal
+// tail to replay over it, in seq order.
+struct FleetRecoveryPlan {
+  bool has_checkpoint = false;
+  std::string checkpoint_dir;  // full path, valid when has_checkpoint
+  uint64_t checkpoint_seq = 0;
+  std::vector<FleetJournalRecord> replay;
+  // Trailing journal bytes dropped by torn-tail repair (crash mid-append).
+  uint64_t torn_records_dropped = 0;
+};
+
+// Counters for the health surface and metrics exposition.
+struct FleetJournalStats {
+  uint64_t appends = 0;          // successful appends this process
+  uint64_t append_failures = 0;  // rolled-back appends this process
+  uint64_t checkpoints = 0;      // successful checkpoints this process
+  uint64_t checkpoint_failures = 0;
+  // Journal records not yet covered by a checkpoint (replay cost on crash).
+  uint64_t lag = 0;
+  // Seconds since the last successful checkpoint THIS process took; -1 when
+  // it has not checkpointed yet (recovery freshness comes from `lag`).
+  double last_checkpoint_age_s = -1.0;
+  uint64_t replayed_records = 0;  // journal tail length at Open()
+  uint64_t torn_records_dropped = 0;
+};
+
+// Thread-safe after Open(): appends and checkpoints serialize on an internal
+// mutex. Lock ordering — callers holding engine locks may call in, but the
+// journal never calls back out.
+class FleetJournal {
+ public:
+  explicit FleetJournal(std::string state_dir, FleetJournalOptions options = {});
+  ~FleetJournal();
+
+  FleetJournal(const FleetJournal&) = delete;
+  FleetJournal& operator=(const FleetJournal&) = delete;
+
+  // Creates the state directory, repairs a torn journal tail, reads the
+  // checkpoint pointer, and opens the journal for appending. Must be called
+  // (and the plan() replayed) before the first append.
+  Status Open();
+
+  // Valid after Open().
+  const FleetRecoveryPlan& plan() const { return plan_; }
+
+  // Durably record an admin mutation. On success the record is on disk and
+  // fsync'd before return; on failure the journal file is exactly as it was
+  // before the call and the caller must roll the mutation back.
+  Status AppendAdd(const AddDeploymentPayload& payload);
+  Status AppendRemove(const std::string& name);
+
+  // True when enough records accumulated past the last checkpoint that the
+  // caller should Checkpoint() (also true right after a recovery that
+  // replayed a long tail).
+  bool CheckpointDue() const;
+
+  // Snapshots the registry into a fresh checkpoint bundle, atomically
+  // publishes the pointer, and compacts the journal. Failure keeps the
+  // previous checkpoint + full journal (never a torn state); the caller
+  // should treat it as advisory (the fleet is still durable via the
+  // journal), not fail the admin operation that triggered it.
+  Status Checkpoint(const DeploymentRegistry& registry,
+                    const std::map<std::string, DeploymentUsage>& usage = {});
+
+  FleetJournalStats stats() const;
+
+  const std::string& state_dir() const { return state_dir_; }
+
+ private:
+  Status AppendRecord(const FleetJournalRecord& record);
+
+  const std::string state_dir_;
+  const FleetJournalOptions options_;
+
+  mutable std::mutex mutex_;
+  bool open_ = false;
+  int fd_ = -1;             // journal append fd
+  uint64_t file_size_ = 0;  // tracked for rollback truncation
+  uint64_t next_seq_ = 1;
+  uint64_t checkpoint_index_ = 0;  // last published checkpoint_<n> index
+  FleetRecoveryPlan plan_;
+
+  uint64_t appends_ = 0;
+  uint64_t append_failures_ = 0;
+  uint64_t checkpoints_ = 0;
+  uint64_t checkpoint_failures_ = 0;
+  uint64_t lag_ = 0;
+  bool has_checkpoint_time_ = false;
+  std::chrono::steady_clock::time_point last_checkpoint_time_;
+};
+
+}  // namespace maya
+
+#endif  // SRC_SERVICE_FLEET_JOURNAL_H_

@@ -5,6 +5,7 @@
 
 #include "src/common/fault_injection.h"
 #include "src/common/strings.h"
+#include "src/service/fleet_journal.h"
 #include "src/service/service_engine.h"
 
 namespace maya {
@@ -79,10 +80,10 @@ MetricsReport MetricsExporter::Collect() const {
                                  "Queue-full or shutdown refusals",
                                  static_cast<double>(stats.rejected)));
   report.push_back(CounterFamily("maya_requests_cancelled_total",
-                                 "Requests cancelled while queued",
+                                 "Requests cancelled while queued or executing",
                                  static_cast<double>(stats.cancelled)));
   report.push_back(CounterFamily("maya_requests_deadline_expired_total",
-                                 "Requests whose deadline expired in the queue",
+                                 "Requests whose deadline expired queued or executing",
                                  static_cast<double>(stats.deadline_expired)));
   report.push_back(CounterFamily("maya_timed_requests_total",
                                  "Requests contributing to stage wall-time totals",
@@ -158,6 +159,71 @@ MetricsReport MetricsExporter::Collect() const {
                         deployment.stage_totals);
     }
     report.push_back(std::move(stages));
+
+    MetricFamily cancelled;
+    cancelled.name = "maya_deployment_cancelled_total";
+    cancelled.type = MetricType::kCounter;
+    cancelled.help = "Cancelled requests per target deployment";
+    MetricFamily expired;
+    expired.name = "maya_deployment_deadline_expired_total";
+    expired.type = MetricType::kCounter;
+    expired.help = "Deadline-expired requests per target deployment";
+    for (const DeploymentStats& deployment : stats.per_deployment) {
+      MetricSeries cancelled_series;
+      cancelled_series.labels = "deployment=\"" + deployment.name + "\"";
+      cancelled_series.value = static_cast<double>(deployment.cancelled);
+      cancelled.series.push_back(std::move(cancelled_series));
+      MetricSeries expired_series;
+      expired_series.labels = "deployment=\"" + deployment.name + "\"";
+      expired_series.value = static_cast<double>(deployment.deadline_expired);
+      expired.series.push_back(std::move(expired_series));
+    }
+    report.push_back(std::move(cancelled));
+    report.push_back(std::move(expired));
+  }
+
+  // ---- Serving-surface readiness and fleet durability. The journal families
+  // appear only when the server runs with --state_dir, so dashboards can
+  // distinguish "journal disabled" from "journal idle".
+  {
+    const HealthStatus health = engine_.Health();
+    report.push_back(GaugeFamily("maya_ready",
+                                 "1 when the serving surface admits new requests",
+                                 health.ready ? 1.0 : 0.0));
+    report.push_back(GaugeFamily("maya_draining",
+                                 "1 while the engine is draining or shutting down",
+                                 health.draining ? 1.0 : 0.0));
+    if (const FleetJournal* journal = engine_.journal()) {
+      const FleetJournalStats journal_stats = journal->stats();
+      report.push_back(CounterFamily("maya_journal_appends_total",
+                                     "Fleet mutations durably journaled",
+                                     static_cast<double>(journal_stats.appends)));
+      report.push_back(CounterFamily(
+          "maya_journal_append_failures_total",
+          "Journal appends rolled back after a write or fsync failure",
+          static_cast<double>(journal_stats.append_failures)));
+      report.push_back(GaugeFamily("maya_journal_lag",
+                                   "Journaled records not yet covered by a checkpoint",
+                                   static_cast<double>(journal_stats.lag)));
+      report.push_back(CounterFamily("maya_checkpoints_total",
+                                     "Fleet checkpoints published",
+                                     static_cast<double>(journal_stats.checkpoints)));
+      report.push_back(CounterFamily(
+          "maya_checkpoint_failures_total",
+          "Checkpoint attempts that failed before the pointer publish",
+          static_cast<double>(journal_stats.checkpoint_failures)));
+      report.push_back(GaugeFamily(
+          "maya_last_checkpoint_age_seconds",
+          "Seconds since the last published checkpoint (-1 before the first)",
+          journal_stats.last_checkpoint_age_s));
+      report.push_back(CounterFamily("maya_journal_replayed_records_total",
+                                     "Journal records replayed at the last startup",
+                                     static_cast<double>(journal_stats.replayed_records)));
+      report.push_back(CounterFamily(
+          "maya_journal_torn_records_dropped_total",
+          "Torn journal tail records repaired away at the last startup",
+          static_cast<double>(journal_stats.torn_records_dropped)));
+    }
   }
 
   // ---- Per-kind latency histograms (queue wait + end-to-end), straight

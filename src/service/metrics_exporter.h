@@ -28,7 +28,10 @@ class MetricsExporter {
   //   maya_queue_wait_us           — queue-wait histogram per {kind}
   //   maya_stage_wall_ms_total     — cumulative stage wall time per {stage}
   //   maya_cache_{hits,misses}_total — per {deployment,layer} cache counters
-  //   maya_deployment_*            — per-deployment request/stage counters
+  //   maya_deployment_*            — per-deployment request/stage/governance counters
+  //   maya_ready, maya_draining    — serving-surface readiness gauges
+  //   maya_journal_*, maya_checkpoints_*, maya_last_checkpoint_age_seconds
+  //                                — fleet durability (only with --state_dir)
   //   maya_fault_injections_total, maya_slow_requests_total,
   //   maya_trace_buffered_events, maya_trace_dropped_events_total
   // plus every metric in MetricsRegistry::Instance().

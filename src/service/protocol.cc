@@ -487,6 +487,8 @@ const char* ServiceRequestKindName(ServiceRequestKind kind) {
       return "add_deployment";
     case ServiceRequestKind::kRemoveDeployment:
       return "remove_deployment";
+    case ServiceRequestKind::kHealth:
+      return "health";
   }
   return "unknown";
 }
@@ -498,7 +500,7 @@ Result<ServiceRequestKind> ServiceRequestKindFromName(const std::string& name) {
       ServiceRequestKind::kTracePredict, ServiceRequestKind::kStats,
       ServiceRequestKind::kCancel,       ServiceRequestKind::kMetrics,
       ServiceRequestKind::kDumpTrace,    ServiceRequestKind::kAddDeployment,
-      ServiceRequestKind::kRemoveDeployment,
+      ServiceRequestKind::kRemoveDeployment, ServiceRequestKind::kHealth,
   };
   for (ServiceRequestKind kind : kAll) {
     if (name == ServiceRequestKindName(kind)) {
@@ -771,7 +773,8 @@ std::string SerializeServiceRequest(const ServiceRequest& request) {
         } else {
           static_assert(std::is_same_v<T, StatsPayload> ||
                         std::is_same_v<T, MetricsPayload> ||
-                        std::is_same_v<T, DumpTracePayload>);
+                        std::is_same_v<T, DumpTracePayload> ||
+                        std::is_same_v<T, HealthPayload>);
         }
       },
       request.payload);
@@ -950,6 +953,9 @@ Result<ServiceRequest> ParseServiceRequest(const std::string& line) {
       request.payload = std::move(payload);
       break;
     }
+    case ServiceRequestKind::kHealth:
+      request.payload = HealthPayload{};
+      break;
   }
   return request;
 }
@@ -1038,6 +1044,8 @@ std::string SerializeServiceResponse(const ServiceResponse& response) {
         w.Field("name", std::string_view(deployment.name));
         w.Field("derived", deployment.derived);
         w.Field("timed_requests", deployment.timed_requests);
+        w.Field("cancelled", deployment.cancelled);
+        w.Field("deadline_expired", deployment.deadline_expired);
         w.Key("stage_totals_ms");
         WriteStageTotals(w, deployment.stage_totals);
         w.Key("kernel_cache");
@@ -1087,6 +1095,20 @@ std::string SerializeServiceResponse(const ServiceResponse& response) {
     case ServiceRequestKind::kRemoveDeployment:
       w.Field("deployment", std::string_view(response.deployment));
       w.Field("removed", response.removed);
+      break;
+    case ServiceRequestKind::kHealth:
+      w.Field("live", response.health.live);
+      w.Field("ready", response.health.ready);
+      w.Field("draining", response.health.draining);
+      w.Field("journal_enabled", response.health.journal_enabled);
+      w.Field("journal_appends", response.health.journal_appends);
+      w.Field("journal_lag", response.health.journal_lag);
+      w.Field("journal_append_failures", response.health.journal_append_failures);
+      w.Field("checkpoints", response.health.checkpoints);
+      w.Field("last_checkpoint_age_s", response.health.last_checkpoint_age_s);
+      w.Field("replayed_records", response.health.replayed_records);
+      w.Field("torn_records_dropped", response.health.torn_records_dropped);
+      w.Field("queue_depth", response.health.queue_depth);
       break;
   }
   w.EndObject();
@@ -1216,6 +1238,13 @@ Result<ServiceResponse> ParseServiceResponse(const std::string& line) {
           MAYA_ASSIGN_OR_RETURN(deployment.name, ToString(entry.at("name")));
           deployment.derived = entry.at("derived").AsBool();
           deployment.timed_requests = entry.at("timed_requests").AsUint();
+          // Optional for compatibility with pre-governance servers.
+          if (entry.Has("cancelled")) {
+            deployment.cancelled = entry.at("cancelled").AsUint();
+          }
+          if (entry.Has("deadline_expired")) {
+            deployment.deadline_expired = entry.at("deadline_expired").AsUint();
+          }
           deployment.stage_totals = ParseStageTotals(entry.at("stage_totals_ms"));
           deployment.kernel_cache = ParseCacheStats(entry.at("kernel_cache"));
           deployment.collective_cache = ParseCacheStats(entry.at("collective_cache"));
@@ -1270,6 +1299,45 @@ Result<ServiceResponse> ParseServiceResponse(const std::string& line) {
       MAYA_RETURN_IF_ERROR(RequireKeys(*root, {"deployment", "removed"}));
       MAYA_ASSIGN_OR_RETURN(response.deployment, ToString(root->at("deployment")));
       MAYA_ASSIGN_OR_RETURN(response.removed, ToBool(root->at("removed")));
+      break;
+    }
+    case ServiceRequestKind::kHealth: {
+      MAYA_RETURN_IF_ERROR(RequireKeys(*root, {"live", "ready", "draining"}));
+      MAYA_ASSIGN_OR_RETURN(response.health.live, ToBool(root->at("live")));
+      MAYA_ASSIGN_OR_RETURN(response.health.ready, ToBool(root->at("ready")));
+      MAYA_ASSIGN_OR_RETURN(response.health.draining, ToBool(root->at("draining")));
+      if (root->Has("journal_enabled")) {
+        MAYA_ASSIGN_OR_RETURN(response.health.journal_enabled,
+                              ToBool(root->at("journal_enabled")));
+      }
+      if (root->Has("journal_appends")) {
+        MAYA_ASSIGN_OR_RETURN(response.health.journal_appends,
+                              ToUint(root->at("journal_appends")));
+      }
+      if (root->Has("journal_lag")) {
+        MAYA_ASSIGN_OR_RETURN(response.health.journal_lag, ToUint(root->at("journal_lag")));
+      }
+      if (root->Has("journal_append_failures")) {
+        MAYA_ASSIGN_OR_RETURN(response.health.journal_append_failures,
+                              ToUint(root->at("journal_append_failures")));
+      }
+      if (root->Has("checkpoints")) {
+        MAYA_ASSIGN_OR_RETURN(response.health.checkpoints, ToUint(root->at("checkpoints")));
+      }
+      if (root->Has("last_checkpoint_age_s")) {
+        response.health.last_checkpoint_age_s = root->at("last_checkpoint_age_s").AsDouble();
+      }
+      if (root->Has("replayed_records")) {
+        MAYA_ASSIGN_OR_RETURN(response.health.replayed_records,
+                              ToUint(root->at("replayed_records")));
+      }
+      if (root->Has("torn_records_dropped")) {
+        MAYA_ASSIGN_OR_RETURN(response.health.torn_records_dropped,
+                              ToUint(root->at("torn_records_dropped")));
+      }
+      if (root->Has("queue_depth")) {
+        MAYA_ASSIGN_OR_RETURN(response.health.queue_depth, ToUint(root->at("queue_depth")));
+      }
       break;
     }
   }

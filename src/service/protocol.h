@@ -36,6 +36,10 @@
 //                             from an artifact bundle directory.
 //   RemoveDeploymentPayload — admin: unregister a pinned deployment; refused
 //                             while requests target it (DEPLOYMENT_BUSY).
+//   HealthPayload       — liveness/readiness probe (live, ready, draining,
+//                         journal lag, checkpoint age) answered synchronously
+//                         without taking a queue slot — health stays
+//                         answerable when the queue is full or paused.
 //
 // v1 compatibility: the retired `whatif_cluster` kind still parses — it maps
 // to a PredictPayload whose `deployment` is the old `cluster` field — but is
@@ -72,6 +76,7 @@ enum class ServiceRequestKind {
   kDumpTrace,
   kAddDeployment,
   kRemoveDeployment,
+  kHealth,  // appended last: earlier kinds keep their wire variant indices
 };
 
 const char* ServiceRequestKindName(ServiceRequestKind kind);
@@ -155,10 +160,13 @@ struct RemoveDeploymentPayload {
   std::string name;
 };
 
+struct HealthPayload {};
+
 using ServicePayload =
     std::variant<PredictPayload, BatchPredictPayload, SearchPayload, WhatIfOomPayload,
                  TracePredictPayload, StatsPayload, CancelPayload, MetricsPayload,
-                 DumpTracePayload, AddDeploymentPayload, RemoveDeploymentPayload>;
+                 DumpTracePayload, AddDeploymentPayload, RemoveDeploymentPayload,
+                 HealthPayload>;
 
 struct ServiceRequest {
   uint64_t id = 0;
@@ -185,6 +193,10 @@ inline constexpr const char* kErrFrameTooLarge = "FRAME_TOO_LARGE";
 // (including injected faults under test): the request is lost, the server
 // keeps serving, and retrying may succeed.
 inline constexpr const char* kErrInternalError = "INTERNAL_ERROR";
+// An admin mutation could not be made durable (journal append / fsync
+// failed). The in-memory mutation was rolled back: the fleet is unchanged,
+// and retrying after the storage issue clears may succeed.
+inline constexpr const char* kErrJournal = "JOURNAL_ERROR";
 
 // One prediction outcome — the body of a predict-like response and of every
 // batch_predict item.
@@ -209,6 +221,10 @@ struct DeploymentStats {
   bool derived = false;
   StageTimings stage_totals;
   uint64_t timed_requests = 0;
+  // Governance outcomes attributed to this deployment: requests answered
+  // CANCELLED / DEADLINE_EXCEEDED (queued or executing) while targeting it.
+  uint64_t cancelled = 0;
+  uint64_t deadline_expired = 0;
   ShardedCacheStats kernel_cache;
   ShardedCacheStats collective_cache;
   ShardedCacheStats trace_cache;
@@ -270,6 +286,26 @@ struct ServiceStats {
   std::vector<KindLatencyStats> latency;
 };
 
+// Liveness/readiness snapshot of the `health` response. `live` is true
+// whenever the process answers at all; `ready` flips false on drain (the TCP
+// server flips it BEFORE closing the listen socket, so a balancer probing
+// health sees not-ready before connects start failing). Journal fields are
+// zeros when the server runs without --state_dir (journal_enabled=false).
+struct HealthStatus {
+  bool live = true;
+  bool ready = false;
+  bool draining = false;
+  bool journal_enabled = false;
+  uint64_t journal_appends = 0;         // records appended since start
+  uint64_t journal_lag = 0;             // records appended since last checkpoint
+  uint64_t journal_append_failures = 0; // refused admin mutations (JOURNAL_ERROR)
+  uint64_t checkpoints = 0;
+  double last_checkpoint_age_s = -1.0;  // seconds; -1 = never checkpointed
+  uint64_t replayed_records = 0;        // journal records replayed at startup
+  uint64_t torn_records_dropped = 0;    // torn tail lines repaired at startup
+  uint64_t queue_depth = 0;
+};
+
 struct ServiceResponse {
   uint64_t id = 0;
   ServiceRequestKind kind = ServiceRequestKind::kPredict;
@@ -325,6 +361,9 @@ struct ServiceResponse {
   bool trained = false;          // add: cold-start trained (vs bundle-backed)
   uint64_t warmed_entries = 0;   // add: cache entries imported from a bundle
   bool removed = false;          // remove: the entry was unregistered
+
+  // health results.
+  HealthStatus health;
 };
 
 // Copies one prediction outcome into a response's single-result fields (the

@@ -11,6 +11,7 @@
 #include "src/models/model_zoo.h"
 #include "src/search/config_space.h"
 #include "src/service/artifact_store.h"
+#include "src/service/fleet_journal.h"
 #include "src/service/metrics_exporter.h"
 
 namespace maya {
@@ -35,6 +36,13 @@ const char* ErrorCodeFor(const Status& status) {
     case StatusCode::kAlreadyExists:
     case StatusCode::kFailedPrecondition:
       return kErrInvalidRequest;
+    // Governance outcomes keep their typed wire codes: the caller must be
+    // able to tell "the server refused/failed" from "my own deadline or
+    // cancel interrupted the work".
+    case StatusCode::kCancelled:
+      return kErrCancelled;
+    case StatusCode::kDeadlineExceeded:
+      return kErrDeadlineExceeded;
     case StatusCode::kOk:  // not an error; defensive default
     case StatusCode::kOutOfMemory:
     case StatusCode::kUnimplemented:
@@ -47,7 +55,9 @@ const char* ErrorCodeFor(const Status& status) {
 }  // namespace
 
 ServiceEngine::ServiceEngine(ServiceEngineOptions options)
-    : options_(std::move(options)), registry_(RegistryOptionsFor(options_)) {}
+    : options_(std::move(options)),
+      registry_(RegistryOptionsFor(options_)),
+      journal_(options_.journal) {}
 
 Result<std::unique_ptr<ServiceEngine>> ServiceEngine::Create(const ClusterSpec& cluster,
                                                              EstimatorBank bank,
@@ -225,6 +235,7 @@ double ServiceEngine::WeightOf(const ServiceRequest& request) const {
     case ServiceRequestKind::kMetrics:
     case ServiceRequestKind::kDumpTrace:
     case ServiceRequestKind::kRemoveDeployment:
+    case ServiceRequestKind::kHealth:
       return 0.0;  // control kinds never queue
   }
   return 0.0;
@@ -254,6 +265,7 @@ std::string ServiceEngine::TargetNameOf(const ServiceRequest& request) const {
     case ServiceRequestKind::kMetrics:
     case ServiceRequestKind::kDumpTrace:
     case ServiceRequestKind::kRemoveDeployment:
+    case ServiceRequestKind::kHealth:
       return std::string();
   }
   return std::string();
@@ -307,6 +319,19 @@ void ServiceEngine::Submit(ServiceRequest request, ResponseCallback done) {
 
   // Control kinds answer synchronously: they read or mutate engine state and
   // must not queue behind compute work.
+  if (request.kind() == ServiceRequestKind::kHealth) {
+    // Health is the failover probe: it must answer (and answer fast) even
+    // when the queue is saturated or the engine is draining, so it never
+    // takes a queue slot and is exempt from the admission fault site.
+    ServiceResponse response;
+    response.id = request.id;
+    response.kind = request.kind();
+    response.ok = true;
+    response.health = Health();
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    done(std::move(response));
+    return;
+  }
   if (request.kind() == ServiceRequestKind::kStats) {
     ServiceResponse response;
     response.id = request.id;
@@ -368,6 +393,13 @@ void ServiceEngine::Submit(ServiceRequest request, ResponseCallback done) {
                                 std::chrono::duration<double, std::milli>(
                                     job->request.deadline_ms))
                       : std::chrono::steady_clock::time_point::max();
+  // Every queued job carries a CancelToken so cancel/deadline reach it even
+  // mid-execution; the deadline is armed before the job is shared with any
+  // worker thread.
+  job->cancel = std::make_shared<CancelToken>();
+  if (job->deadline != std::chrono::steady_clock::time_point::max()) {
+    job->cancel->ArmDeadline(job->deadline);
+  }
   if (Telemetry::IsActive()) {
     job->trace_id = Telemetry::Instance().NextTraceId();
   }
@@ -411,6 +443,7 @@ void ServiceEngine::Submit(ServiceRequest request, ResponseCallback done) {
 
 bool ServiceEngine::Cancel(uint64_t id) {
   std::shared_ptr<Job> victim;
+  std::shared_ptr<CancelToken> executing;
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     for (ReadyClass& ready : ready_) {
@@ -427,13 +460,30 @@ bool ServiceEngine::Cancel(uint64_t id) {
         break;
       }
     }
+    if (victim == nullptr) {
+      // Not queued — maybe a worker is executing it right now. Signalling
+      // the token under the same lock that registered it means the request
+      // either observes the cancel at its next stage checkpoint or has
+      // already deregistered (finished) and we report not-found.
+      if (auto it = executing_.find(id); it != executing_.end()) {
+        executing = it->second;
+      }
+    }
   }
-  if (victim == nullptr) {
-    return false;
+  if (victim != nullptr) {
+    cancelled_.fetch_add(1, std::memory_order_relaxed);
+    NoteGovernance(victim->target, /*was_cancelled=*/true);
+    victim->done(ErrorResponse(victim->request, kErrCancelled, "cancelled while queued"));
+    return true;
   }
-  cancelled_.fetch_add(1, std::memory_order_relaxed);
-  victim->done(ErrorResponse(victim->request, kErrCancelled, "cancelled while queued"));
-  return true;
+  if (executing != nullptr) {
+    // The executing worker counts the outcome when its CANCELLED response
+    // resolves (the request may still complete if it was past its last
+    // checkpoint — then this cancel was simply too late).
+    executing->Cancel();
+    return true;
+  }
+  return false;
 }
 
 void ServiceEngine::WorkerLoop() {
@@ -488,10 +538,16 @@ void ServiceEngine::WorkerLoop() {
     }
     if (dequeued_at > job->deadline) {
       deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+      NoteGovernance(job->target, /*was_cancelled=*/false);
       release_target();
       job->done(
           ErrorResponse(job->request, kErrDeadlineExceeded, "deadline expired in queue"));
     } else {
+      // Register the token so Cancel(id) reaches this executing request.
+      {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        executing_[job->request.id] = job->cancel;
+      }
       ServiceResponse response;
       {
         // Root span of the request: every span the pipeline (and the pool
@@ -510,7 +566,22 @@ void ServiceEngine::WorkerLoop() {
           response = ExecuteAddDeployment(
               job->request, std::get<AddDeploymentPayload>(job->request.payload));
         } else {
-          response = Execute(job->request);
+          response = Execute(job->request, job->cancel.get());
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        executing_.erase(job->request.id);
+      }
+      // Governance accounting for requests interrupted mid-execution (the
+      // queued paths count themselves at their resolve sites).
+      if (!response.ok) {
+        if (response.error_code == kErrCancelled) {
+          cancelled_.fetch_add(1, std::memory_order_relaxed);
+          NoteGovernance(job->target, /*was_cancelled=*/true);
+        } else if (response.error_code == kErrDeadlineExceeded) {
+          deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+          NoteGovernance(job->target, /*was_cancelled=*/false);
         }
       }
       const double latency_us = std::chrono::duration<double, std::micro>(
@@ -546,14 +617,15 @@ Result<PredictResult> ServiceEngine::RunPredict(const Deployment& deployment,
                                                 const ModelConfig& model,
                                                 const TrainConfig& config,
                                                 bool deduplicate_workers,
-                                                bool selective_launch,
-                                                bool virtual_folds) const {
+                                                bool selective_launch, bool virtual_folds,
+                                                const CancelToken* cancel) const {
   PredictionRequest predict;
   predict.model = model;
   predict.config = config;
   predict.deduplicate_workers = deduplicate_workers;
   predict.selective_launch = selective_launch;
   predict.virtual_folds = virtual_folds;
+  predict.cancel = cancel;
   Result<PredictionReport> report = deployment.pipeline->Predict(predict);
   if (!report.ok()) {
     return report.status();
@@ -576,15 +648,16 @@ Result<PredictResult> ServiceEngine::RunPredict(const Deployment& deployment,
 
 template <typename Payload>
 ServiceResponse ServiceEngine::ExecutePredictLike(const ServiceRequest& request,
-                                                  const Payload& payload) const {
+                                                  const Payload& payload,
+                                                  const CancelToken* cancel) const {
   Result<std::shared_ptr<const Deployment>> deployment = ResolveDeployment(payload.deployment);
   if (!deployment.ok()) {
     return ErrorResponse(request, ErrorCodeFor(deployment.status()),
                          deployment.status().ToString());
   }
-  Result<PredictResult> result = RunPredict(**deployment, payload.model, payload.config,
-                                            payload.deduplicate_workers,
-                                            payload.selective_launch, payload.virtual_folds);
+  Result<PredictResult> result =
+      RunPredict(**deployment, payload.model, payload.config, payload.deduplicate_workers,
+                 payload.selective_launch, payload.virtual_folds, cancel);
   if (!result.ok()) {
     return ErrorResponse(request, ErrorCodeFor(result.status()), result.status().ToString());
   }
@@ -597,7 +670,8 @@ ServiceResponse ServiceEngine::ExecutePredictLike(const ServiceRequest& request,
 }
 
 ServiceResponse ServiceEngine::ExecuteBatchPredict(const ServiceRequest& request,
-                                                   const BatchPredictPayload& payload) const {
+                                                   const BatchPredictPayload& payload,
+                                                   const CancelToken* cancel) const {
   Result<std::shared_ptr<const Deployment>> deployment = ResolveDeployment(payload.deployment);
   if (!deployment.ok()) {
     return ErrorResponse(request, ErrorCodeFor(deployment.status()),
@@ -629,10 +703,12 @@ ServiceResponse ServiceEngine::ExecuteBatchPredict(const ServiceRequest& request
   std::stable_sort(order.begin(), order.end(),
                    [&keys](size_t a, size_t b) { return keys[a] < keys[b]; });
   for (size_t index : order) {
+    // Each item re-threads the token, so a cancelled batch stops at the next
+    // stage checkpoint of the item in flight (never mid-cache-publish).
     Result<PredictResult> result =
         RunPredict(**deployment, payload.model, payload.configs[index],
                    payload.deduplicate_workers, payload.selective_launch,
-                   payload.virtual_folds);
+                   payload.virtual_folds, cancel);
     if (!result.ok()) {
       return ErrorResponse(request, ErrorCodeFor(result.status()),
                            StrFormat("batch item %zu: ", index) + result.status().ToString());
@@ -676,7 +752,8 @@ void ServiceEngine::SeedStageTotals(const Deployment& deployment, const StageTim
 }
 
 ServiceResponse ServiceEngine::ExecuteSearch(const ServiceRequest& request,
-                                             const SearchPayload& payload) const {
+                                             const SearchPayload& payload,
+                                             const CancelToken* cancel) const {
   Result<std::shared_ptr<const Deployment>> deployment = ResolveDeployment(payload.deployment);
   if (!deployment.ok()) {
     return ErrorResponse(request, ErrorCodeFor(deployment.status()),
@@ -685,8 +762,10 @@ ServiceResponse ServiceEngine::ExecuteSearch(const ServiceRequest& request,
   const int64_t global_batch =
       payload.global_batch > 0 ? payload.global_batch : DefaultGlobalBatch(payload.model);
   const ConfigSpace space = ConfigSpace::MegatronTable5(global_batch);
+  SearchOptions search_options = payload.search;
+  search_options.cancel = cancel;
   Result<SearchOutcome> search =
-      RunSearch(*(*deployment)->pipeline, payload.model, space, payload.search);
+      RunSearch(*(*deployment)->pipeline, payload.model, space, search_options);
   if (!search.ok()) {
     // A partially-failed search would silently diverge from the fault-free
     // outcome, so a trial failure fails the whole request.
@@ -714,7 +793,8 @@ ServiceResponse ServiceEngine::ExecuteSearch(const ServiceRequest& request,
 }
 
 ServiceResponse ServiceEngine::ExecuteTracePredict(const ServiceRequest& request,
-                                                   const TracePredictPayload& payload) const {
+                                                   const TracePredictPayload& payload,
+                                                   const CancelToken* cancel) const {
   Result<std::shared_ptr<const Deployment>> deployment = ResolveDeployment(payload.deployment);
   if (!deployment.ok()) {
     return ErrorResponse(request, ErrorCodeFor(deployment.status()),
@@ -727,8 +807,15 @@ ServiceResponse ServiceEngine::ExecuteTracePredict(const ServiceRequest& request
   ServiceResponse response;
   response.id = request.id;
   response.kind = request.kind();
-  response.estimation = (*deployment)->pipeline->AnnotateDurations(job, nullptr);
-  Result<SimReport> sim = (*deployment)->pipeline->Simulate(job);
+  Result<EstimationStats> annotated =
+      (*deployment)->pipeline->AnnotateDurations(job, nullptr, cancel);
+  if (!annotated.ok()) {
+    return ErrorResponse(request, ErrorCodeFor(annotated.status()),
+                         annotated.status().ToString());
+  }
+  response.estimation = *annotated;
+  Result<SimReport> sim =
+      (*deployment)->pipeline->Simulate(job, /*deduplicate_replicas=*/true, cancel);
   if (!sim.ok()) {
     return ErrorResponse(request, ErrorCodeFor(sim.status()), sim.status().ToString());
   }
@@ -741,18 +828,30 @@ ServiceResponse ServiceEngine::ExecuteTracePredict(const ServiceRequest& request
   return response;
 }
 
-ServiceResponse ServiceEngine::Execute(const ServiceRequest& request) const {
+ServiceResponse ServiceEngine::Execute(const ServiceRequest& request,
+                                       const CancelToken* cancel) const {
   switch (request.kind()) {
     case ServiceRequestKind::kPredict:
-      return ExecutePredictLike(request, std::get<PredictPayload>(request.payload));
+      return ExecutePredictLike(request, std::get<PredictPayload>(request.payload), cancel);
     case ServiceRequestKind::kWhatIfOom:
-      return ExecutePredictLike(request, std::get<WhatIfOomPayload>(request.payload));
+      return ExecutePredictLike(request, std::get<WhatIfOomPayload>(request.payload),
+                                cancel);
     case ServiceRequestKind::kBatchPredict:
-      return ExecuteBatchPredict(request, std::get<BatchPredictPayload>(request.payload));
+      return ExecuteBatchPredict(request, std::get<BatchPredictPayload>(request.payload),
+                                 cancel);
     case ServiceRequestKind::kSearch:
-      return ExecuteSearch(request, std::get<SearchPayload>(request.payload));
+      return ExecuteSearch(request, std::get<SearchPayload>(request.payload), cancel);
     case ServiceRequestKind::kTracePredict:
-      return ExecuteTracePredict(request, std::get<TracePredictPayload>(request.payload));
+      return ExecuteTracePredict(request, std::get<TracePredictPayload>(request.payload),
+                                 cancel);
+    case ServiceRequestKind::kHealth: {
+      ServiceResponse response;
+      response.id = request.id;
+      response.kind = request.kind();
+      response.ok = true;
+      response.health = Health();
+      return response;
+    }
     case ServiceRequestKind::kStats: {
       ServiceResponse response;
       response.id = request.id;
@@ -849,7 +948,20 @@ ServiceResponse ServiceEngine::ExecuteAddDeployment(const ServiceRequest& reques
     }
     response.trained = true;
   }
+  // Durability barrier: the add is acknowledged only once its journal record
+  // is fsync'd. A failed append rolls the registration back — an
+  // unacknowledged mutation must not outlive a restart the journal cannot
+  // replay it into.
+  if (journal_ != nullptr) {
+    if (Status logged = journal_->AppendAdd(payload); !logged.ok()) {
+      registry_.Remove(payload.name);
+      return ErrorResponse(
+          request, kErrJournal,
+          "fleet journal append failed (add rolled back): " + logged.ToString());
+    }
+  }
   response.ok = true;
+  MaybeCheckpoint();
   return response;
 }
 
@@ -886,6 +998,19 @@ ServiceResponse ServiceEngine::ExecuteRemoveDeployment(
                     payload.name.c_str(), static_cast<unsigned long long>(queued),
                     static_cast<unsigned long long>(executing)));
     }
+    // Journal BEFORE the in-memory removal (lock order: queue_mutex_ →
+    // journal mutex): a failed append refuses the remove with the registry
+    // untouched, so an unjournaled removal can never be acknowledged. The
+    // converse window — record journaled, Remove then fails NotFound (the
+    // name was never a pinned registration) — leaves a remove record for an
+    // absent name, which recovery replays as a no-op.
+    if (journal_ != nullptr) {
+      if (Status logged = journal_->AppendRemove(payload.name); !logged.ok()) {
+        return ErrorResponse(request, kErrJournal,
+                             "fleet journal append failed (remove refused): " +
+                                 logged.ToString());
+      }
+    }
     const Status removed = registry_.Remove(payload.name);
     if (!removed.ok()) {
       return ErrorResponse(request, ErrorCodeFor(removed), removed.ToString());
@@ -897,7 +1022,72 @@ ServiceResponse ServiceEngine::ExecuteRemoveDeployment(
   response.ok = true;
   response.deployment = payload.name;
   response.removed = true;
+  MaybeCheckpoint();
   return response;
+}
+
+void ServiceEngine::NoteGovernance(const std::string& target, bool was_cancelled) const {
+  if (target.empty()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(timings_mutex_);
+  GovernanceCounters& counters = deployment_governance_[target];
+  if (was_cancelled) {
+    ++counters.cancelled;
+  } else {
+    ++counters.deadline_expired;
+  }
+}
+
+void ServiceEngine::MaybeCheckpoint() {
+  if (journal_ == nullptr || !journal_->CheckpointDue()) {
+    return;
+  }
+  // Assemble per-deployment usage (the same counters SaveRegistry persists
+  // at graceful shutdown) so checkpointed bundles restore stage totals too.
+  std::map<std::string, DeploymentUsage> usage;
+  const std::vector<std::shared_ptr<const Deployment>> resident =
+      registry_.ResidentDeployments();
+  {
+    std::lock_guard<std::mutex> lock(timings_mutex_);
+    for (const std::shared_ptr<const Deployment>& deployment : resident) {
+      auto timed = deployment_timings_.find(deployment.get());
+      if (timed != deployment_timings_.end()) {
+        usage[deployment->name] = {timed->second.totals, timed->second.requests};
+      }
+    }
+  }
+  // Advisory: a failed checkpoint (disk, injected fault) keeps the previous
+  // checkpoint + full journal — the fleet stays durable, replay just costs
+  // more. The journal's failure counters surface it via health/metrics.
+  (void)journal_->Checkpoint(registry_, usage);
+}
+
+HealthStatus ServiceEngine::Health() const {
+  HealthStatus health;
+  health.live = true;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    health.draining = draining_ || shutting_down_;
+    health.queue_depth = ready_jobs_;
+    // Ready = willing to admit new compute work: not quiescing, and the
+    // transport has not flipped readiness off ahead of its own drain. A
+    // paused engine still admits (it queues), so pause does not unready.
+    health.ready = !draining_ && !shutting_down_ &&
+                   transport_ready_.load(std::memory_order_acquire);
+  }
+  if (journal_ != nullptr) {
+    const FleetJournalStats journal = journal_->stats();
+    health.journal_enabled = true;
+    health.journal_appends = journal.appends;
+    health.journal_lag = journal.lag;
+    health.journal_append_failures = journal.append_failures;
+    health.checkpoints = journal.checkpoints;
+    health.last_checkpoint_age_s = journal.last_checkpoint_age_s;
+    health.replayed_records = journal.replayed_records;
+    health.torn_records_dropped = journal.torn_records_dropped;
+  }
+  return health;
 }
 
 ServiceResponse ServiceEngine::ExecuteMetrics(const ServiceRequest& request) const {
@@ -981,6 +1171,11 @@ ServiceStats ServiceEngine::stats() const {
         stats.per_deployment[i].stage_totals = timed->second.totals;
         stats.per_deployment[i].timed_requests = timed->second.requests;
       }
+      auto governed = deployment_governance_.find(resident[i]->name);
+      if (governed != deployment_governance_.end()) {
+        stats.per_deployment[i].cancelled = governed->second.cancelled;
+        stats.per_deployment[i].deadline_expired = governed->second.deadline_expired;
+      }
     }
     // Evicted deployments' totals are dead weight (their identity can never
     // recur); drop them so name churn on derived entries stays bounded.
@@ -991,6 +1186,16 @@ ServiceStats ServiceEngine::stats() const {
                         return deployment.get() == it->first;
                       });
       it = is_resident ? std::next(it) : deployment_timings_.erase(it);
+    }
+    // Same pruning for governance counters (keyed by name, so a re-added
+    // name starts fresh — matching its fresh caches and timings).
+    for (auto it = deployment_governance_.begin(); it != deployment_governance_.end();) {
+      const bool is_resident =
+          std::any_of(resident.begin(), resident.end(),
+                      [&it](const std::shared_ptr<const Deployment>& deployment) {
+                        return deployment->name == it->first;
+                      });
+      it = is_resident ? std::next(it) : deployment_governance_.erase(it);
     }
   }
   // Queue-wait + end-to-end latency percentiles per kind; kinds never

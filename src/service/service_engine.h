@@ -17,7 +17,10 @@
 // small bound could never serve a search at all. Per-request deadlines are
 // re-checked at dequeue, so requests that aged out in the queue never burn
 // worker time. Queued requests can be cancelled by id; executing requests
-// run to completion (pipeline stages are short relative to queue waits).
+// carry a CancelToken threaded through every pipeline stage boundary, so
+// cancel and deadline expiry interrupt them at the next stage checkpoint
+// (typed CANCELLED / DEADLINE_EXCEEDED responses, bounded worker-release
+// latency) without publishing anything into the shared caches.
 //
 // Dequeue order is weighted virtual-time scheduling across per-kind ready
 // classes (see ReadyClass below), not FIFO: cheap queued predicts overtake a
@@ -40,6 +43,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/cancellation.h"
 #include "src/core/deployment_registry.h"
 #include "src/core/estimator_bank.h"
 #include "src/core/pipeline.h"
@@ -48,6 +52,7 @@
 namespace maya {
 
 class ArtifactStore;
+class FleetJournal;
 
 // Admission-control weights: how much of the queue bound one queued request
 // of each kind occupies. Ratios should track execution cost (search runs
@@ -81,6 +86,11 @@ struct ServiceEngineOptions {
   // `trace_dir/trace_<n>.json` and answer with the path; when empty the
   // trace is returned inline in the response.
   std::string trace_dir;
+  // Optional durable fleet journal (must be Open()ed and outlive the
+  // engine): every acknowledged add/remove_deployment is appended before its
+  // response resolves, and checkpoints are taken when the journal says one
+  // is due. Null = no durability (the pre-journal behavior).
+  FleetJournal* journal = nullptr;
 };
 
 class ServiceEngine {
@@ -134,11 +144,33 @@ class ServiceEngine {
   // Executes a request synchronously on the caller's thread against the same
   // shared deployments — the sequential reference path for tests, and the
   // substrate workers run on.
-  ServiceResponse Execute(const ServiceRequest& request) const;
+  ServiceResponse Execute(const ServiceRequest& request) const {
+    return Execute(request, nullptr);
+  }
+  // Cancellable form: `cancel` (may be null) is probed at every pipeline
+  // stage checkpoint of the executed request.
+  ServiceResponse Execute(const ServiceRequest& request, const CancelToken* cancel) const;
 
-  // Best-effort cancellation of a queued request; returns true when the
-  // request was found still queued (its future resolves CANCELLED).
+  // Cancellation by request id: a still-queued request resolves CANCELLED
+  // immediately; an executing request has its CancelToken signalled and
+  // resolves CANCELLED at its next stage checkpoint. Returns true when the
+  // id was found in either state.
   bool Cancel(uint64_t id);
+
+  // Attaches the durable fleet journal after construction — maya_serve
+  // replays the recovery plan through a journal-less engine first, then
+  // attaches, so replayed mutations are not re-journaled. Call before the
+  // engine serves admin traffic.
+  void AttachJournal(FleetJournal* journal) { journal_ = journal; }
+  const FleetJournal* journal() const { return journal_; }
+
+  // Liveness/readiness snapshot for the `health` protocol kind — answered
+  // synchronously, never taking a queue slot.
+  HealthStatus Health() const;
+  // Transport-readiness override: the TCP server flips this to false at the
+  // start of Drain (before the listen socket closes), so health probes
+  // observe not-ready while in-flight work finishes.
+  void SetReady(bool ready) { transport_ready_.store(ready, std::memory_order_release); }
 
   // Releases a paused engine's workers.
   void Resume();
@@ -195,6 +227,10 @@ class ServiceEngine {
     // Resolved target deployment name (compute kinds only) for the
     // remove_deployment busy check.
     std::string target;
+    // Cooperative cancellation handle, created at submit (deadline armed
+    // from request.deadline_ms) and registered in executing_ while a worker
+    // runs the job, so Cancel(id) reaches executing requests too.
+    std::shared_ptr<CancelToken> cancel;
   };
 
   // Registration can fail (untrained banks), so construction happens in the
@@ -212,18 +248,21 @@ class ServiceEngine {
   Result<std::shared_ptr<const Deployment>> ResolveDeployment(const std::string& name) const;
   Result<PredictResult> RunPredict(const Deployment& deployment, const ModelConfig& model,
                                    const TrainConfig& config, bool deduplicate_workers,
-                                   bool selective_launch, bool virtual_folds) const;
+                                   bool selective_launch, bool virtual_folds,
+                                   const CancelToken* cancel) const;
   // Shared executor for predict and whatif_oom (field-identical payloads
   // with identical execution; only the response kind differs).
   template <typename Payload>
-  ServiceResponse ExecutePredictLike(const ServiceRequest& request,
-                                     const Payload& payload) const;
+  ServiceResponse ExecutePredictLike(const ServiceRequest& request, const Payload& payload,
+                                     const CancelToken* cancel) const;
   ServiceResponse ExecuteBatchPredict(const ServiceRequest& request,
-                                      const BatchPredictPayload& payload) const;
-  ServiceResponse ExecuteSearch(const ServiceRequest& request,
-                                const SearchPayload& payload) const;
+                                      const BatchPredictPayload& payload,
+                                      const CancelToken* cancel) const;
+  ServiceResponse ExecuteSearch(const ServiceRequest& request, const SearchPayload& payload,
+                                const CancelToken* cancel) const;
   ServiceResponse ExecuteTracePredict(const ServiceRequest& request,
-                                      const TracePredictPayload& payload) const;
+                                      const TracePredictPayload& payload,
+                                      const CancelToken* cancel) const;
   ServiceResponse ExecuteMetrics(const ServiceRequest& request) const;
   ServiceResponse ExecuteDumpTrace(const ServiceRequest& request) const;
   // Admin kinds. add_deployment mutates the fleet, so it runs through the
@@ -278,6 +317,9 @@ class ServiceEngine {
   // (guarded by queue_mutex_): the executing half of the remove_deployment
   // busy check.
   std::map<std::string, uint64_t> active_targets_;
+  // CancelTokens of jobs a worker is executing right now, by request id
+  // (guarded by queue_mutex_): the executing half of Cancel(id).
+  std::map<uint64_t, std::shared_ptr<CancelToken>> executing_;
   double queued_weight_ = 0.0;
   // Jobs dequeued by a worker whose future has not resolved yet.
   uint64_t in_flight_ = 0;
@@ -315,6 +357,23 @@ class ServiceEngine {
     uint64_t requests = 0;
   };
   mutable std::map<const Deployment*, DeploymentTimings> deployment_timings_;
+  // Per-deployment governance counters, keyed by TARGET NAME (unlike
+  // timings: a deadline can expire while the request is still queued, before
+  // any Deployment object is resolved). Guarded by timings_mutex_; stats()
+  // prunes names no longer resident.
+  struct GovernanceCounters {
+    uint64_t cancelled = 0;
+    uint64_t deadline_expired = 0;
+  };
+  mutable std::map<std::string, GovernanceCounters> deployment_governance_;
+  // Records a cancelled / deadline-expired outcome against `target`.
+  void NoteGovernance(const std::string& target, bool was_cancelled) const;
+
+  // Journals an acknowledged admin mutation's checkpoint when one is due
+  // (called by the admin executors with no engine lock held).
+  void MaybeCheckpoint();
+  FleetJournal* journal_ = nullptr;
+  std::atomic<bool> transport_ready_{true};
 
   // Per-kind latency histograms (see QueueWaitHistogram): lock-free atomic
   // buckets, recorded by workers, read by stats()/MetricsExporter.

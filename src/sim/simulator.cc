@@ -860,9 +860,16 @@ Result<SimReport> Simulator::Run() {
     options_.pool->ParallelFor(to_simulate.size(), simulate_one);
   } else {
     for (size_t index = 0; index < to_simulate.size(); ++index) {
+      // Per-component cancellation checkpoint: unwinds before the next replay
+      // — and always before the cache publish below, so a cancelled run
+      // leaves the cross-trial sim cache untouched.
+      MAYA_RETURN_IF_ERROR(CheckCancel(options_.cancel));
       simulate_one(index);
     }
   }
+  // Authoritative post-replay checkpoint (covers the parallel arm, whose
+  // components finish together): nothing published yet.
+  MAYA_RETURN_IF_ERROR(CheckCancel(options_.cancel));
 
   // ---- Termination checks (global worker order, matching the sequential
   // whole-cluster replay's diagnostics) ---------------------------------------

@@ -35,6 +35,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/common/cancellation.h"
 #include "src/common/sharded_cache.h"
 #include "src/common/status.h"
 #include "src/common/thread_pool.h"
@@ -93,6 +94,10 @@ struct SimOptions {
   size_t min_parallel_components = 4;
   // Borrowed cross-trial component cache; null disables memoization.
   SimulationCache* cache = nullptr;
+  // Cooperative-cancellation checkpoints between component replays (and
+  // before the final cache publish, so a cancelled run never feeds the
+  // cross-trial cache). Null = not cancellable.
+  const CancelToken* cancel = nullptr;
 };
 
 class Simulator {

@@ -172,6 +172,9 @@ Result<JobTrace> TraceCollator::Collate(std::vector<WorkerTrace> workers,
       }
     });
   }
+  // Cancellation checkpoint between the (possibly parallel) fingerprint pass
+  // and the grouping walk — nothing has been published yet.
+  MAYA_RETURN_IF_ERROR(CheckCancel(options_.cancel));
   std::map<uint64_t, std::vector<int>> classes;  // fingerprint -> worker indices
   for (size_t i = 0; i < workers.size(); ++i) {
     const WorkerTrace& worker = workers[i];

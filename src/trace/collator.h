@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/cancellation.h"
 #include "src/common/status.h"
 #include "src/common/thread_pool.h"
 #include "src/trace/trace.h"
@@ -58,6 +59,10 @@ struct CollationOptions {
   // Minimum full worker traces before the pool engages (hashing a handful of
   // small traces is cheaper than the fan-out).
   size_t parallel_fingerprint_threshold = 4;
+  // Cooperative-cancellation checkpoint after the fingerprint pass: a
+  // cancelled Collate unwinds with CANCELLED/DEADLINE_EXCEEDED before the
+  // grouping walk. Null = not cancellable.
+  const CancelToken* cancel = nullptr;
 };
 
 struct CollationStats {

@@ -15,9 +15,12 @@
 // answers the whole workload bit-identically to the pristine baseline.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <future>
 #include <map>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -25,6 +28,8 @@
 #include "src/common/fault_injection.h"
 #include "src/common/strings.h"
 #include "src/estimator/serialization.h"
+#include "src/service/artifact_store.h"
+#include "src/service/fleet_journal.h"
 #include "src/service/service_client.h"
 #include "src/service/service_engine.h"
 
@@ -93,6 +98,9 @@ std::string Signature(const ServiceResponse& response) {
     case ServiceRequestKind::kCancel:
     case ServiceRequestKind::kMetrics:
     case ServiceRequestKind::kDumpTrace:
+    case ServiceRequestKind::kAddDeployment:
+    case ServiceRequestKind::kRemoveDeployment:
+    case ServiceRequestKind::kHealth:
       break;
   }
   return signature;
@@ -278,6 +286,223 @@ TEST_F(ChaosTest, ServerSurvivesDeterministicFaultStorm) {
     EXPECT_EQ(Signature(response), baseline[id]) << "post-chaos request " << id;
   }
   engine.Shutdown();
+}
+
+// ---- Crash-recovery storm ---------------------------------------------------
+
+// Eight crash/recover cycles under journal + checkpoint faults: every cycle
+// SIGKILL-equivalently drops the process state (no final checkpoint, no
+// graceful journal handoff), recovers checkpoint-first with idempotent
+// journal replay, and must reconstruct EXACTLY the acknowledged fleet — every
+// acknowledged deployment resident and answering bit-identically, every
+// refused mutation absent. One cycle hand-tears the journal tail; one forces
+// a guaranteed journal refusal.
+TEST_F(ChaosTest, CrashRecoveryStormReconstructsFleetBitIdentical) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "chaos_crash_recovery").string();
+  std::filesystem::remove_all(dir);
+  FaultInjection& faults = FaultInjection::Instance();
+  faults.Disarm();
+
+  // Checkpoints snapshot the registry through SaveRegistry, which requires
+  // engines that OWN their banks; training is deterministic (executor seed 7,
+  // fixture sweep), so independently trained engines agree bit-for-bit.
+  const auto owning_engine = [&](ServiceEngineOptions options = {}) {
+    ProfileSweepOptions sweep;
+    sweep.gemm_samples = 1200;
+    sweep.conv_samples = 100;
+    sweep.generic_samples = 60;
+    sweep.collective_sizes = 12;
+    const GroundTruthExecutor executor(*cluster_, 7);
+    Result<std::unique_ptr<ServiceEngine>> created = ServiceEngine::Create(
+        *cluster_, TrainEstimators(*cluster_, executor, sweep), options);
+    EXPECT_TRUE(created.ok()) << created.status().ToString();
+    return *std::move(created);
+  };
+  uint64_t next_id = 1000;
+  const auto predict = [&](ServiceEngine& engine, const std::string& deployment) {
+    ServiceRequest request;
+    request.id = next_id++;
+    PredictPayload payload;
+    payload.model = TinyGpt();
+    payload.config = MakeConfig(2, 2);
+    payload.deployment = deployment;
+    request.payload = std::move(payload);
+    return engine.Submit(std::move(request)).get();
+  };
+  const auto predict_sig = [](const ServiceResponse& response) {
+    return DoubleBits(response.iteration_time_us) + "/" + DoubleBits(response.mfu);
+  };
+  const auto make_add = [&](const std::string& name) {
+    ServiceRequest request;
+    request.id = next_id++;
+    AddDeploymentPayload payload;
+    payload.name = name;
+    payload.cluster = "h100x16";
+    payload.sweep = "tiny";
+    request.payload = std::move(payload);
+    return request;
+  };
+
+  // Baseline: what the default deployment and any h100x16/tiny add must
+  // answer, captured on a never-crashed engine.
+  std::string base_sig;
+  std::string aux_sig;
+  {
+    std::unique_ptr<ServiceEngine> engine = owning_engine();
+    ASSERT_TRUE(engine->Submit(make_add("probe")).get().ok);
+    const ServiceResponse base = predict(*engine, "");
+    const ServiceResponse aux = predict(*engine, "probe");
+    ASSERT_TRUE(base.ok && aux.ok);
+    base_sig = predict_sig(base);
+    aux_sig = predict_sig(aux);
+    engine->Shutdown();
+  }
+
+  // Recovers the fleet exactly as maya_serve does: checkpoint-preferred
+  // engine construction, then idempotent replay of the journal tail through
+  // the normal admin path, then journal attach.
+  const auto recover = [&](FleetJournal& journal) {
+    std::unique_ptr<ServiceEngine> engine;
+    if (journal.plan().has_checkpoint) {
+      Result<std::unique_ptr<ServiceEngine>> restored = ServiceEngine::FromArtifacts(
+          *cluster_, ArtifactStore(journal.plan().checkpoint_dir), ServiceEngineOptions{});
+      EXPECT_TRUE(restored.ok()) << restored.status().ToString();
+      engine = *std::move(restored);
+    } else {
+      engine = owning_engine();
+    }
+    for (const FleetJournalRecord& record : journal.plan().replay) {
+      ServiceRequest request;
+      request.id = next_id++;
+      if (record.op == FleetJournalRecord::Op::kAdd) {
+        if (engine->registry().IsResident(record.name)) {
+          continue;
+        }
+        AddDeploymentPayload payload;
+        payload.name = record.name;
+        payload.cluster = record.cluster;
+        payload.sweep = record.sweep;
+        payload.bundle_dir = record.bundle_dir;
+        request.payload = std::move(payload);
+      } else {
+        if (!engine->registry().IsResident(record.name)) {
+          continue;
+        }
+        request.payload = RemoveDeploymentPayload{record.name};
+      }
+      const ServiceResponse replayed = engine->Submit(std::move(request)).get();
+      EXPECT_TRUE(replayed.ok) << replayed.error;
+    }
+    engine->AttachJournal(&journal);
+    return engine;
+  };
+  const auto storm_fleet = [](const ServiceEngine& engine) {
+    std::set<std::string> fleet;
+    for (const std::string& name : engine.registry().ResidentNames()) {
+      if (name.rfind("fleet_", 0) == 0) {
+        fleet.insert(name);
+      }
+    }
+    return fleet;
+  };
+
+  std::set<std::string> expected;  // acknowledged (and only acknowledged) adds
+  uint64_t journal_refusals = 0;
+  int next_fleet = 0;
+  constexpr int kCycles = 8;
+  for (int cycle = 0; cycle < kCycles; ++cycle) {
+    if (cycle == 4) {
+      // A crash mid-append leaves a partial line; recovery must repair it.
+      std::ofstream torn((std::filesystem::path(dir) / "journal.ndjson").string(),
+                         std::ios::app | std::ios::binary);
+      torn << R"({"seq":999,"op":"add","na)";
+    }
+    FleetJournalOptions journal_options;
+    journal_options.checkpoint_every = 3;
+    FleetJournal journal(dir, journal_options);
+    ASSERT_TRUE(journal.Open().ok()) << "cycle " << cycle;
+    if (cycle == 4) {
+      EXPECT_GE(journal.plan().torn_records_dropped, 1u);
+    }
+
+    std::unique_ptr<ServiceEngine> engine = recover(journal);
+    ASSERT_NE(engine, nullptr);
+
+    // Invariant: the recovered fleet is EXACTLY the acknowledged set, and
+    // every survivor answers bit-identically to the never-crashed baseline.
+    EXPECT_EQ(storm_fleet(*engine), expected) << "cycle " << cycle;
+    const ServiceResponse base = predict(*engine, "");
+    ASSERT_TRUE(base.ok) << base.error;
+    EXPECT_EQ(predict_sig(base), base_sig) << "cycle " << cycle;
+    for (const std::string& name : expected) {
+      const ServiceResponse aux = predict(*engine, name);
+      ASSERT_TRUE(aux.ok) << "cycle " << cycle << " " << name << ": " << aux.error;
+      EXPECT_EQ(predict_sig(aux), aux_sig) << "cycle " << cycle << " " << name;
+    }
+
+    // Admin mutations under a durability-fault storm. Cycle 6 forces a
+    // refusal so the storm provably exercises the rollback path.
+    ASSERT_TRUE(faults
+                    .Configure(cycle == 6
+                                   ? "journal.fsync=1"
+                                   : "journal.append_torn=0.2,journal.fsync=0.2,"
+                                     "checkpoint.partial=0.5",
+                               static_cast<uint64_t>(cycle))
+                    .ok());
+    const std::string name = "fleet_" + std::to_string(next_fleet++);
+    const ServiceResponse added = engine->Submit(make_add(name)).get();
+    if (added.ok) {
+      expected.insert(name);
+    } else {
+      EXPECT_EQ(added.error_code, kErrJournal) << added.error;
+      EXPECT_FALSE(engine->registry().IsResident(name));
+      ++journal_refusals;
+    }
+    if (cycle % 2 == 1 && !expected.empty()) {
+      ServiceRequest remove;
+      remove.id = next_id++;
+      remove.payload = RemoveDeploymentPayload{*expected.begin()};
+      const ServiceResponse removed = engine->Submit(std::move(remove)).get();
+      if (removed.ok) {
+        expected.erase(expected.begin());
+      } else {
+        EXPECT_EQ(removed.error_code, kErrJournal) << removed.error;
+        EXPECT_TRUE(engine->registry().IsResident(*expected.begin()));
+        ++journal_refusals;
+      }
+    }
+    faults.Disarm();
+    engine->Shutdown();
+    // Scope exit = SIGKILL: no final checkpoint, no graceful handoff — the
+    // next cycle sees only what append-time fsyncs and published checkpoint
+    // pointers made durable.
+  }
+  EXPECT_GT(journal_refusals, 0u);  // the storm actually refused mutations
+
+  // Clean ending: one more recovery with faults disarmed, a final mutation,
+  // and an explicit checkpoint whose bundle alone restores the whole fleet.
+  FleetJournal journal(dir);
+  ASSERT_TRUE(journal.Open().ok());
+  std::unique_ptr<ServiceEngine> engine = recover(journal);
+  EXPECT_EQ(storm_fleet(*engine), expected);
+  ASSERT_TRUE(engine->Submit(make_add("fleet_final")).get().ok);
+  expected.insert("fleet_final");
+  ASSERT_TRUE(journal.Checkpoint(engine->registry()).ok());
+  engine->Shutdown();
+
+  FleetJournal final_journal(dir);
+  ASSERT_TRUE(final_journal.Open().ok());
+  ASSERT_TRUE(final_journal.plan().has_checkpoint);
+  EXPECT_TRUE(final_journal.plan().replay.empty());
+  std::unique_ptr<ServiceEngine> restored = recover(final_journal);
+  EXPECT_EQ(storm_fleet(*restored), expected);
+  for (const std::string& name : expected) {
+    const ServiceResponse aux = predict(*restored, name);
+    ASSERT_TRUE(aux.ok) << name << ": " << aux.error;
+    EXPECT_EQ(predict_sig(aux), aux_sig) << name;
+  }
+  restored->Shutdown();
 }
 
 }  // namespace

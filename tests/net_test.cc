@@ -612,6 +612,77 @@ TEST_F(NetTest, DrainAnswersInFlightThenRefusesNewConnections) {
   server.Stop();
 }
 
+// ---- Health & failover ------------------------------------------------------
+
+// `health` over TCP reports ready while serving; Drain flips readiness
+// BEFORE the listen socket closes, so a balancer probing health sees
+// not-ready rather than a connection error.
+TEST_F(NetTest, HealthOverTcpAndDrainFlipsReadiness) {
+  std::unique_ptr<ServiceEngine> engine = MakeEngine();
+  TcpServer server(engine.get(), TcpServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  TcpLineTransport tcp("127.0.0.1", server.port());
+  ServiceRequest probe;
+  probe.id = 1;
+  probe.payload = HealthPayload{};
+  Result<std::string> line = tcp.RoundTrip(SerializeServiceRequest(probe));
+  ASSERT_TRUE(line.ok()) << line.status().ToString();
+  Result<ServiceResponse> health = ParseServiceResponse(*line);
+  ASSERT_TRUE(health.ok()) << *line;
+  ASSERT_TRUE(health->ok) << *line;
+  EXPECT_TRUE(health->health.live);
+  EXPECT_TRUE(health->health.ready);
+  EXPECT_FALSE(health->health.draining);
+  EXPECT_FALSE(health->health.journal_enabled);
+
+  server.Drain();
+  EXPECT_FALSE(engine->Health().ready);
+  EXPECT_TRUE(engine->Health().live);
+  server.Stop();
+}
+
+// Replica-list failover: when the active replica dies, the transport fails
+// the in-flight round trip (the reply is lost — callers decide whether to
+// retry), then the next attempt sweeps to the surviving replica.
+TEST_F(NetTest, TransportFailsOverToSurvivingReplica) {
+  std::unique_ptr<ServiceEngine> engine_a = MakeEngine();
+  std::unique_ptr<ServiceEngine> engine_b = MakeEngine();
+  TcpServer server_a(engine_a.get(), TcpServerOptions{});
+  TcpServer server_b(engine_b.get(), TcpServerOptions{});
+  ASSERT_TRUE(server_a.Start().ok());
+  ASSERT_TRUE(server_b.Start().ok());
+
+  ServiceRequest probe;
+  probe.id = 1;
+  probe.payload = HealthPayload{};
+  const std::string line = SerializeServiceRequest(probe);
+
+  TcpLineTransport tcp({{"127.0.0.1", server_a.port()}, {"127.0.0.1", server_b.port()}});
+  ASSERT_TRUE(tcp.RoundTrip(line).ok());
+  EXPECT_EQ(tcp.active_endpoint().port, server_a.port());
+
+  // Kill the active replica. The established connection dies with it; the
+  // next round trips advance to — and are answered by — the survivor.
+  server_a.Stop();
+  Result<std::string> answered = Status::Internal("unset");
+  for (int attempt = 0; attempt < 4 && !answered.ok(); ++attempt) {
+    answered = tcp.RoundTrip(line);
+  }
+  ASSERT_TRUE(answered.ok()) << answered.status().ToString();
+  EXPECT_EQ(tcp.active_endpoint().port, server_b.port());
+  Result<ServiceResponse> health = ParseServiceResponse(*answered);
+  ASSERT_TRUE(health.ok());
+  EXPECT_TRUE(health->health.ready);
+
+  // A dead-first replica list connects through one sweep: the first endpoint
+  // refuses, the same attempt moves on to the live one.
+  TcpLineTransport dead_first({{"127.0.0.1", 1}, {"127.0.0.1", server_b.port()}});
+  EXPECT_TRUE(dead_first.Connect().ok());
+  EXPECT_EQ(dead_first.active_endpoint().port, server_b.port());
+  server_b.Stop();
+}
+
 // ---- Scheduling -------------------------------------------------------------
 
 // Weighted virtual-time dequeue: four predicts submitted behind two searches

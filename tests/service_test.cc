@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/cancellation.h"
 #include "src/common/json_parser.h"
 #include "src/common/telemetry.h"
 #include "src/dlf/worker_launcher.h"
@@ -203,6 +204,65 @@ TEST(ServiceProtocolTest, EveryPayloadVariantRoundTripsByteIdentical) {
   dump_trace.id = 50;
   dump_trace.payload = DumpTracePayload{};
   ExpectRequestFixedPoint(dump_trace);
+
+  ServiceRequest health;
+  health.id = 51;
+  health.payload = HealthPayload{};
+  ExpectRequestFixedPoint(health);
+}
+
+TEST(ServiceProtocolTest, HealthResponseRoundTripsEveryField) {
+  ServiceResponse response;
+  response.id = 60;
+  response.kind = ServiceRequestKind::kHealth;
+  response.ok = true;
+  response.health.live = true;
+  response.health.ready = true;
+  response.health.draining = true;
+  response.health.journal_enabled = true;
+  response.health.journal_appends = 17;
+  response.health.journal_lag = 3;
+  response.health.journal_append_failures = 2;
+  response.health.checkpoints = 5;
+  response.health.last_checkpoint_age_s = 12.625;
+  response.health.replayed_records = 4;
+  response.health.torn_records_dropped = 1;
+  response.health.queue_depth = 9;
+  const std::string line = SerializeServiceResponse(response);
+  Result<ServiceResponse> parsed = ParseServiceResponse(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->health.live);
+  EXPECT_TRUE(parsed->health.ready);
+  EXPECT_TRUE(parsed->health.draining);
+  EXPECT_TRUE(parsed->health.journal_enabled);
+  EXPECT_EQ(parsed->health.journal_appends, 17u);
+  EXPECT_EQ(parsed->health.journal_lag, 3u);
+  EXPECT_EQ(parsed->health.journal_append_failures, 2u);
+  EXPECT_EQ(parsed->health.checkpoints, 5u);
+  EXPECT_EQ(parsed->health.last_checkpoint_age_s, 12.625);
+  EXPECT_EQ(parsed->health.replayed_records, 4u);
+  EXPECT_EQ(parsed->health.torn_records_dropped, 1u);
+  EXPECT_EQ(parsed->health.queue_depth, 9u);
+  EXPECT_EQ(SerializeServiceResponse(*parsed), line);
+}
+
+TEST(ServiceProtocolTest, DeploymentGovernanceCountersSurviveTheWire) {
+  ServiceResponse stats;
+  stats.id = 61;
+  stats.kind = ServiceRequestKind::kStats;
+  stats.ok = true;
+  DeploymentStats deployment;
+  deployment.name = "default";
+  deployment.cancelled = 6;
+  deployment.deadline_expired = 2;
+  stats.stats.per_deployment.push_back(deployment);
+  const std::string line = SerializeServiceResponse(stats);
+  Result<ServiceResponse> parsed = ParseServiceResponse(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->stats.per_deployment.size(), 1u);
+  EXPECT_EQ(parsed->stats.per_deployment[0].cancelled, 6u);
+  EXPECT_EQ(parsed->stats.per_deployment[0].deadline_expired, 2u);
+  EXPECT_EQ(SerializeServiceResponse(*parsed), line);
 }
 
 TEST(ServiceProtocolTest, ParsedFieldsSurviveTheWire) {
@@ -1164,6 +1224,193 @@ TEST_F(ServiceTest, ExpiredDeadlineNeverExecutes) {
   EXPECT_FALSE(response.ok);
   EXPECT_EQ(response.error_code, kErrDeadlineExceeded);
   EXPECT_EQ(engine->stats().deadline_expired, 1u);
+}
+
+// ---- Health ----------------------------------------------------------------
+
+// `health` answers synchronously without a queue slot: a paused engine with
+// queued work still responds immediately, and the snapshot reflects the
+// queue depth and readiness transitions.
+TEST_F(ServiceTest, HealthAnswersSynchronouslyEvenWhenQueueIsPaused) {
+  ServiceEngineOptions options;
+  options.worker_threads = 1;
+  options.start_paused = true;
+  auto engine = MakeEngine(options);
+
+  std::future<ServiceResponse> first = engine->Submit(PredictRequest(1, BaseConfig()));
+  std::future<ServiceResponse> second = engine->Submit(PredictRequest(2, BaseConfig()));
+
+  ServiceRequest probe;
+  probe.id = 3;
+  probe.payload = HealthPayload{};
+  std::future<ServiceResponse> health_future = engine->Submit(probe);
+  // Workers are paused, so only a synchronous answer can resolve this.
+  ASSERT_EQ(health_future.wait_for(std::chrono::seconds(5)), std::future_status::ready);
+  const ServiceResponse health = health_future.get();
+  ASSERT_TRUE(health.ok) << health.error;
+  EXPECT_TRUE(health.health.live);
+  EXPECT_TRUE(health.health.ready);
+  EXPECT_FALSE(health.health.draining);
+  EXPECT_FALSE(health.health.journal_enabled);
+  EXPECT_EQ(health.health.queue_depth, 2u);
+
+  // Readiness is a transport-controlled flag, independent of liveness.
+  engine->SetReady(false);
+  EXPECT_FALSE(engine->Health().ready);
+  EXPECT_TRUE(engine->Health().live);
+  engine->SetReady(true);
+
+  engine->Resume();
+  EXPECT_TRUE(first.get().ok);
+  EXPECT_TRUE(second.get().ok);
+
+  engine->Shutdown();
+  EXPECT_TRUE(engine->Health().draining);
+  EXPECT_FALSE(engine->Health().ready);
+}
+
+// ---- Executing-request governance ------------------------------------------
+
+std::string CacheSig(const ShardedCacheStats& stats) {
+  return std::to_string(stats.hits) + "/" + std::to_string(stats.misses) + "/" +
+         std::to_string(stats.insertions) + "/" + std::to_string(stats.evictions) + "/" +
+         std::to_string(stats.entries);
+}
+
+// One string capturing every counter of all four cache layers of every
+// resident deployment — byte-compared to prove a governed request published
+// nothing anywhere.
+std::string AllCacheSig(const ServiceEngine& engine) {
+  std::string sig;
+  for (const DeploymentStats& deployment : engine.stats().per_deployment) {
+    sig += deployment.name + ":" + CacheSig(deployment.kernel_cache) + "|" +
+           CacheSig(deployment.collective_cache) + "|" + CacheSig(deployment.trace_cache) +
+           "|" + CacheSig(deployment.sim_cache) + "\n";
+  }
+  return sig;
+}
+
+ServiceRequest LongSearchRequest(uint64_t id) {
+  ServiceRequest request;
+  request.id = id;
+  SearchPayload payload;
+  payload.model = TinyGpt();
+  payload.search.algorithm = "random";
+  payload.search.sample_budget = 20000;
+  payload.search.seed = 3;
+  payload.search.early_stop_patience = 0;
+  payload.global_batch = 32;
+  request.payload = std::move(payload);
+  return request;
+}
+
+// Deterministic acceptance variant: a search entered with an already-expired
+// deadline (or pre-cancelled token) must answer the typed error at the first
+// stage checkpoint and leave every cache layer byte-identical to never
+// having run.
+TEST_F(ServiceTest, GovernedSearchPublishesNothingToAnyCacheLayer) {
+  ServiceEngineOptions options;
+  options.worker_threads = 1;
+  options.pipeline.enable_trace_cache = true;  // all three layers armed
+  auto engine = MakeEngine(options);
+
+  // Warm the caches so the comparison is against a non-trivial baseline.
+  ASSERT_TRUE(engine->Execute(PredictRequest(1, BaseConfig())).ok);
+  const std::string baseline = AllCacheSig(*engine);
+  ASSERT_FALSE(baseline.empty());
+
+  CancelToken expired;
+  expired.ArmDeadline(std::chrono::steady_clock::now() - std::chrono::seconds(1));
+  const ServiceResponse timed_out = engine->Execute(LongSearchRequest(2), &expired);
+  EXPECT_FALSE(timed_out.ok);
+  EXPECT_EQ(timed_out.error_code, kErrDeadlineExceeded);
+  EXPECT_EQ(AllCacheSig(*engine), baseline);
+
+  CancelToken cancelled;
+  cancelled.Cancel();
+  const ServiceResponse aborted = engine->Execute(LongSearchRequest(3), &cancelled);
+  EXPECT_FALSE(aborted.ok);
+  EXPECT_EQ(aborted.error_code, kErrCancelled);
+  EXPECT_EQ(AllCacheSig(*engine), baseline);
+
+  // The same predict still answers — and bit-identically — afterwards.
+  const ServiceResponse again = engine->Execute(PredictRequest(4, BaseConfig()));
+  ASSERT_TRUE(again.ok);
+}
+
+// An EXECUTING search whose deadline expires mid-flight is interrupted at a
+// stage checkpoint: the worker is released within bounded time, the response
+// is typed DEADLINE_EXCEEDED, and the engine keeps serving.
+TEST_F(ServiceTest, ExecutingSearchInterruptedByDeadline) {
+  ServiceEngineOptions options;
+  options.worker_threads = 1;
+  // Disable every cache so repeated trials cannot finish the budget early.
+  options.pipeline.enable_estimate_cache = false;
+  options.pipeline.enable_sim_cache = false;
+  auto engine = MakeEngine(options);
+
+  ServiceRequest search = LongSearchRequest(1);
+  search.deadline_ms = 250.0;
+  std::future<ServiceResponse> future = engine->Submit(search);
+  // A 20000-trial search takes far longer than 250ms; the deadline must
+  // interrupt it while executing, well before the search could finish.
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(60)), std::future_status::ready);
+  const ServiceResponse response = future.get();
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.error_code, kErrDeadlineExceeded);
+
+  const ServiceStats stats = engine->stats();
+  EXPECT_EQ(stats.deadline_expired, 1u);
+  ASSERT_FALSE(stats.per_deployment.empty());
+  EXPECT_EQ(stats.per_deployment[0].deadline_expired, 1u);
+
+  // The released worker immediately serves the next request.
+  EXPECT_TRUE(engine->Submit(PredictRequest(2, BaseConfig())).get().ok);
+}
+
+// An EXECUTING search is interrupted by a protocol `cancel`: the cancel must
+// find the request after it left the queue, and the typed CANCELLED response
+// must resolve promptly.
+TEST_F(ServiceTest, ExecutingSearchInterruptedByCancel) {
+  ServiceEngineOptions options;
+  options.worker_threads = 1;
+  options.pipeline.enable_estimate_cache = false;
+  options.pipeline.enable_sim_cache = false;
+  auto engine = MakeEngine(options);
+
+  std::future<ServiceResponse> future = engine->Submit(LongSearchRequest(1));
+  // Wait for the request to leave the queue (it is then executing).
+  while (engine->stats().queue_depth != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // There is a small window between dequeue and executing-registration;
+  // retry the cancel until it lands.
+  bool cancel_found = false;
+  for (int attempt = 0; attempt < 1000 && !cancel_found; ++attempt) {
+    ServiceRequest cancel;
+    cancel.id = 100 + static_cast<uint64_t>(attempt);
+    cancel.payload = CancelPayload{1};
+    const ServiceResponse ack = engine->Submit(cancel).get();
+    ASSERT_TRUE(ack.ok);
+    cancel_found = ack.cancel_found;
+    if (!cancel_found) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  ASSERT_TRUE(cancel_found);
+
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(60)), std::future_status::ready);
+  const ServiceResponse response = future.get();
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.error_code, kErrCancelled);
+
+  const ServiceStats stats = engine->stats();
+  EXPECT_EQ(stats.cancelled, 1u);
+  ASSERT_FALSE(stats.per_deployment.empty());
+  EXPECT_EQ(stats.per_deployment[0].cancelled, 1u);
+
+  // Worker released: the engine still serves.
+  EXPECT_TRUE(engine->Submit(PredictRequest(2, BaseConfig())).get().ok);
 }
 
 TEST_F(ServiceTest, ShutdownDrainsQueueAndRejectsNewWork) {

@@ -49,6 +49,9 @@ src/net/tcp_server.cc
 src/net/tcp_server.h
 src/net/tcp_client.cc
 src/net/tcp_client.h
+src/service/fleet_journal.cc
+src/service/fleet_journal.h
+src/common/cancellation.h
 "
 
 status=0

@@ -16,7 +16,17 @@
 //              [--sweep=full|small|tiny] [--no_sim_cache]
 //              [--fault_spec=SPEC] [--fault_seed=N]
 //              [--trace_out=DIR] [--metrics_out=FILE] [--slow_trace_ms=N]
-//              [--listen=HOST:PORT]
+//              [--listen=HOST:PORT] [--state_dir=DIR] [--checkpoint_every=N]
+//
+// --state_dir=DIR arms crash-consistent fleet durability (see
+// src/service/fleet_journal.h): every acknowledged add/remove_deployment is
+// appended to an fsync'd journal before its response resolves, and the fleet
+// is periodically checkpointed into an atomic v2 bundle under DIR (every
+// --checkpoint_every journaled mutations, plus once at graceful exit). On
+// startup the server loads the latest checkpoint, replays the journal tail
+// through the normal admin path, and serves the exact pre-crash fleet — a
+// kill -9 at any point loses at most the mutations whose responses were
+// never sent, and warm predicts answer bit-identically to the dead server.
 //
 // --listen=HOST:PORT serves the same NDJSON protocol over TCP instead of
 // stdio: an epoll event loop multiplexes many concurrent connections into
@@ -86,6 +96,7 @@
 #include "src/core/execution_context.h"
 #include "src/net/tcp_server.h"
 #include "src/service/artifact_store.h"
+#include "src/service/fleet_journal.h"
 #include "src/service/metrics_exporter.h"
 #include "src/service/protocol.h"
 #include "src/service/service_engine.h"
@@ -108,7 +119,9 @@ struct ServeFlags {
   std::string trace_out;
   std::string metrics_out;
   double slow_trace_ms = 0.0;
-  std::string listen;  // HOST:PORT; empty = stdio serving
+  std::string listen;     // HOST:PORT; empty = stdio serving
+  std::string state_dir;  // durable fleet state; empty = no journal
+  uint64_t checkpoint_every = 4;
 };
 
 // SIGTERM → graceful drain. The handler only sets a flag; it is installed
@@ -177,6 +190,9 @@ int main(int argc, char** argv) {
     } else if (ParseFlag(argv[i], "--slow_trace_ms", &value)) {
       flags.slow_trace_ms = std::atof(value.c_str());
     } else if (ParseFlag(argv[i], "--listen", &flags.listen)) {
+    } else if (ParseFlag(argv[i], "--state_dir", &flags.state_dir)) {
+    } else if (ParseFlag(argv[i], "--checkpoint_every", &value)) {
+      flags.checkpoint_every = std::strtoull(value.c_str(), nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
       return 2;
@@ -266,9 +282,47 @@ int main(int argc, char** argv) {
   options.pipeline.enable_sim_cache = flags.sim_cache;
   options.trace_dir = flags.trace_out;
 
+  // Durable fleet state: open (and repair) the journal BEFORE building the
+  // engine, because its checkpoint is the preferred warm-start source.
+  std::unique_ptr<FleetJournal> journal;
+  if (!flags.state_dir.empty()) {
+    FleetJournalOptions journal_options;
+    journal_options.checkpoint_every = std::max<uint64_t>(1, flags.checkpoint_every);
+    journal = std::make_unique<FleetJournal>(flags.state_dir, journal_options);
+    if (const Status opened = journal->Open(); !opened.ok()) {
+      std::fprintf(stderr, "--state_dir: %s\n", opened.ToString().c_str());
+      return 2;
+    }
+    const FleetRecoveryPlan& plan = journal->plan();
+    std::fprintf(stderr,
+                 "maya_serve: state dir %s (%s, %zu journal record(s) to replay%s)\n",
+                 flags.state_dir.c_str(),
+                 plan.has_checkpoint ? plan.checkpoint_dir.c_str() : "no checkpoint",
+                 plan.replay.size(),
+                 plan.torn_records_dropped > 0 ? ", torn tail repaired" : "");
+  }
+
   std::unique_ptr<ServiceEngine> engine;
   ArtifactStore store(flags.artifacts.empty() ? "." : flags.artifacts);
-  if (!flags.artifacts.empty() && store.Exists()) {
+  if (journal != nullptr && journal->plan().has_checkpoint) {
+    // Checkpoint warm start: the bundle snapshots the fleet as of the
+    // checkpointed journal seq; the tail replay below brings it current.
+    const ArtifactStore checkpoint(journal->plan().checkpoint_dir);
+    Result<std::unique_ptr<ServiceEngine>> loaded =
+        ServiceEngine::FromArtifacts(*cluster, checkpoint, options);
+    if (loaded.ok()) {
+      engine = *std::move(loaded);
+      std::fprintf(stderr, "maya_serve: restored %zu deployment(s) from checkpoint\n",
+                   engine->registry().Registered().size());
+    } else {
+      // Externally damaged checkpoint: degrade to cold start + tail replay
+      // (mutations compacted into the checkpoint cannot be recovered, but
+      // the server still comes up) rather than refusing to serve.
+      std::fprintf(stderr, "maya_serve: checkpoint unusable (%s); cold start + replay\n",
+                   loaded.status().ToString().c_str());
+    }
+  }
+  if (engine == nullptr && !flags.artifacts.empty() && store.Exists()) {
     Result<std::unique_ptr<ServiceEngine>> loaded =
         ServiceEngine::FromArtifacts(*cluster, store, options);
     if (loaded.ok()) {
@@ -313,6 +367,72 @@ int main(int argc, char** argv) {
     if (!added.ok()) {
       std::fprintf(stderr, "maya_serve: %s\n", added.status().ToString().c_str());
       return 2;
+    }
+  }
+
+  // Per-deployment usage counters for checkpoint/save bundles, so a restored
+  // server's stats continue instead of resetting.
+  const auto collect_usage = [&engine] {
+    std::map<std::string, DeploymentUsage> usage;
+    const ServiceStats stats = engine->stats();
+    for (const DeploymentStats& deployment : stats.per_deployment) {
+      DeploymentUsage& entry = usage[deployment.name];
+      entry.stage_totals = deployment.stage_totals;
+      entry.timed_requests = deployment.timed_requests;
+    }
+    return usage;
+  };
+
+  if (journal != nullptr) {
+    // Replay the journal tail through the normal admin path — the journal is
+    // not attached yet, so replayed mutations are not re-journaled. Replay
+    // is idempotent: a record the checkpoint already reflects (the
+    // checkpoint raced an unjournaled registration) is skipped.
+    uint64_t replayed = 0;
+    for (const FleetJournalRecord& record : journal->plan().replay) {
+      ServiceRequest request;
+      if (record.op == FleetJournalRecord::Op::kAdd) {
+        if (engine->registry().IsResident(record.name)) {
+          continue;
+        }
+        AddDeploymentPayload add;
+        add.name = record.name;
+        add.cluster = record.cluster;
+        add.sweep = record.sweep;
+        add.bundle_dir = record.bundle_dir;
+        request.payload = std::move(add);
+        std::fprintf(stderr, "maya_serve: replaying add '%s' (%s)...\n",
+                     record.name.c_str(),
+                     record.bundle_dir.empty() ? "cold train" : "bundle restore");
+      } else {
+        if (!engine->registry().IsResident(record.name)) {
+          continue;
+        }
+        request.payload = RemoveDeploymentPayload{record.name};
+      }
+      const ServiceResponse response = engine->Submit(std::move(request)).get();
+      if (!response.ok) {
+        // A record that no longer applies (its bundle was deleted, say)
+        // degrades to a warning: the rest of the fleet still recovers.
+        std::fprintf(stderr, "maya_serve: journal replay of '%s' failed: %s\n",
+                     record.name.c_str(), response.error.c_str());
+        continue;
+      }
+      ++replayed;
+    }
+    engine->AttachJournal(journal.get());
+    if (replayed > 0) {
+      std::fprintf(stderr, "maya_serve: replayed %llu journal record(s)\n",
+                   static_cast<unsigned long long>(replayed));
+    }
+    // A long replayed tail means the journal is due for compaction: take the
+    // checkpoint now so the NEXT restart is cheap.
+    if (journal->CheckpointDue()) {
+      if (const Status checkpointed = journal->Checkpoint(engine->registry(), collect_usage());
+          !checkpointed.ok()) {
+        std::fprintf(stderr, "maya_serve: post-recovery checkpoint failed: %s\n",
+                     checkpointed.ToString().c_str());
+      }
     }
   }
   std::fprintf(stderr,
@@ -423,17 +543,20 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (journal != nullptr) {
+    // Final checkpoint over the drained fleet: the next start replays nothing.
+    // Failure is advisory — the journal alone still recovers the fleet.
+    if (const Status checkpointed = journal->Checkpoint(engine->registry(), collect_usage());
+        !checkpointed.ok()) {
+      std::fprintf(stderr, "maya_serve: shutdown checkpoint failed: %s\n",
+                   checkpointed.ToString().c_str());
+    }
+  }
+
   if (flags.save_artifacts && !flags.artifacts.empty()) {
     // Persist cumulative per-deployment stage totals alongside the caches so
     // a restarted server's stats continue instead of resetting.
-    std::map<std::string, DeploymentUsage> usage;
-    const ServiceStats stats = engine->stats();
-    for (const DeploymentStats& deployment : stats.per_deployment) {
-      DeploymentUsage& entry = usage[deployment.name];
-      entry.stage_totals = deployment.stage_totals;
-      entry.timed_requests = deployment.timed_requests;
-    }
-    const Status saved = store.SaveRegistry(engine->registry(), usage);
+    const Status saved = store.SaveRegistry(engine->registry(), collect_usage());
     if (!saved.ok()) {
       std::fprintf(stderr, "failed to save artifact bundle: %s\n", saved.ToString().c_str());
       return 1;
